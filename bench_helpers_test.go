@@ -1,0 +1,32 @@
+package kizzle_test
+
+import "math/rand"
+
+// newJunkRand and junkStatement support the junk-insertion ablation.
+func newJunkRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func junkStatement(rng *rand.Rand) string {
+	ident := func() string {
+		const chars = "abcdefghijklmnopqrstuvwxyz"
+		b := make([]byte, 3+rng.Intn(5))
+		for i := range b {
+			b[i] = chars[rng.Intn(len(chars))]
+		}
+		return string(b)
+	}
+	num := func() string {
+		return string([]byte{byte('1' + rng.Intn(9)), byte('0' + rng.Intn(10))})
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return "var " + ident() + "=" + ident() + "(" + num() + ");"
+	case 1:
+		return ident() + "++;"
+	case 2:
+		return "if(" + ident() + "){" + ident() + "=" + num() + ";}"
+	case 3:
+		return "var " + ident() + "=[" + num() + "," + num() + "];"
+	default:
+		return "while(false){" + ident() + "();}"
+	}
+}

@@ -1,0 +1,555 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// section (run with `go test -bench=. -benchmem`), plus ablations for the
+// design choices called out in DESIGN.md. Shape metrics are attached to the
+// benchmark output via b.ReportMetric; the full-resolution tables come from
+// `go run ./cmd/evalmonth`.
+package kizzle_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"kizzle"
+	"kizzle/internal/ekit"
+	"kizzle/internal/evalharness"
+	"kizzle/internal/jstoken"
+	"kizzle/internal/pipeline"
+	"kizzle/internal/textdist"
+	"kizzle/internal/winnow"
+	"kizzle/synth"
+)
+
+// harnessWindow runs the evaluation harness over a window of August days at
+// bench scale.
+func harnessWindow(b *testing.B, fromDay, toDay, benign int, mutate func(*evalharness.Config)) *evalharness.MonthResult {
+	b.Helper()
+	cfg := evalharness.DefaultConfig()
+	cfg.Stream.BenignPerDay = benign
+	cfg.Days = nil
+	for d := fromDay; d <= toDay; d++ {
+		cfg.Days = append(cfg.Days, d)
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := evalharness.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig2KitInventory regenerates the Figure 2 CVE table.
+func BenchmarkFig2KitInventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := evalharness.FormatFig2()
+		if len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	b.ReportMetric(float64(len(ekit.KitInventory())), "kits")
+}
+
+// BenchmarkFig5NuclearEvolution regenerates the three-month Nuclear
+// mutation timeline: 13 superficial packer changes, one semantic change,
+// two payload events.
+func BenchmarkFig5NuclearEvolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prev := ""
+		changes := 0
+		for day := ekit.JuneStart; day <= ekit.AugustEnd; day++ {
+			cur := ekit.VersionOn(ekit.FamilyNuclear, day).Note
+			if cur != prev {
+				changes++
+				prev = cur
+			}
+		}
+		if changes != len(ekit.NuclearTimeline) {
+			b.Fatalf("observed %d packer versions, want %d", changes, len(ekit.NuclearTimeline))
+		}
+	}
+	b.ReportMetric(float64(len(ekit.NuclearTimeline)-1), "packer-changes")
+}
+
+// BenchmarkFig6WindowOfVulnerability replays the Angler flip window: AV
+// loses roughly half its Angler coverage for ~6 days while Kizzle's
+// same-day signatures keep FN near zero.
+func BenchmarkFig6WindowOfVulnerability(b *testing.B) {
+	var avPeak, kizzlePeak float64
+	for i := 0; i < b.N; i++ {
+		res := harnessWindow(b, ekit.Date(8, 11), ekit.Date(8, 20), 120, nil)
+		avPeak, kizzlePeak = 0, 0
+		for _, d := range res.Days {
+			total := d.ByFamily["Angler"]
+			if total == 0 || d.Day == ekit.Date(8, 13) {
+				continue // flip day itself is the trickle, not the window
+			}
+			if r := float64(d.AVFN["Angler"]) / float64(total); r > avPeak {
+				avPeak = r
+			}
+			if r := float64(d.KizzleFN["Angler"]) / float64(total); r > kizzlePeak {
+				kizzlePeak = r
+			}
+		}
+		if avPeak < 0.25 {
+			b.Fatalf("AV FN peak %.2f, expected a window of vulnerability", avPeak)
+		}
+	}
+	b.ReportMetric(100*avPeak, "av-fn-peak-%")
+	b.ReportMetric(100*kizzlePeak, "kizzle-fn-peak-%")
+}
+
+// BenchmarkFig11SimilarityOverTime regenerates the day-over-day unpacked
+// similarity series: Nuclear and Angler near 100%, Sweet Orange high with
+// rotation dips, RIG noisy around 50%.
+func BenchmarkFig11SimilarityOverTime(b *testing.B) {
+	cfg := winnow.DefaultConfig()
+	avgs := make(map[ekit.Family]float64, len(ekit.Families))
+	for i := 0; i < b.N; i++ {
+		for _, fam := range ekit.Families {
+			sum, n := 0.0, 0
+			prev := winnow.Fingerprint(ekit.Payload(fam, ekit.AugustStart), cfg)
+			for day := ekit.AugustStart + 1; day <= ekit.AugustEnd; day++ {
+				cur := winnow.Fingerprint(ekit.Payload(fam, day), cfg)
+				sum += winnow.Overlap(cur, prev)
+				prev = cur
+				n++
+			}
+			avgs[fam] = sum / float64(n)
+		}
+	}
+	b.ReportMetric(100*avgs[ekit.FamilyNuclear], "nuclear-%")
+	b.ReportMetric(100*avgs[ekit.FamilyAngler], "angler-%")
+	b.ReportMetric(100*avgs[ekit.FamilySweetOrange], "sweetorange-%")
+	b.ReportMetric(100*avgs[ekit.FamilyRIG], "rig-%")
+	if avgs[ekit.FamilyNuclear] < 0.96 || avgs[ekit.FamilyRIG] > 0.8 {
+		b.Fatalf("similarity shape off: nuclear %.2f rig %.2f", avgs[ekit.FamilyNuclear], avgs[ekit.FamilyRIG])
+	}
+}
+
+// BenchmarkFig12SignatureLengths regenerates signature lengths over the
+// Nuclear churn window; signatures must stay in the AV-deployable range and
+// new ones must be minted on mutation days.
+func BenchmarkFig12SignatureLengths(b *testing.B) {
+	var maxLen, newSigs float64
+	for i := 0; i < b.N; i++ {
+		res := harnessWindow(b, ekit.Date(8, 15), ekit.Date(8, 23), 100, nil)
+		maxLen, newSigs = 0, 0
+		for _, d := range res.Days {
+			for _, l := range d.SigLength {
+				if float64(l) > maxLen {
+					maxLen = float64(l)
+				}
+			}
+			for range d.NewSignature {
+				newSigs++
+			}
+		}
+		if maxLen > 2200 {
+			b.Fatalf("signature length %d outside Figure 12's range", int(maxLen))
+		}
+	}
+	b.ReportMetric(maxLen, "max-sig-chars")
+	b.ReportMetric(newSigs, "new-sigs")
+}
+
+// BenchmarkFig13FalseRates regenerates the daily FP/FN comparison over a
+// 12-day window spanning the Angler flip.
+func BenchmarkFig13FalseRates(b *testing.B) {
+	var rates evalharness.Rates
+	for i := 0; i < b.N; i++ {
+		res := harnessWindow(b, ekit.Date(8, 9), ekit.Date(8, 20), 200, nil)
+		rates = res.MonthRates()
+		if rates.KizzleFN >= 0.05 {
+			b.Fatalf("Kizzle FN %.3f, headline requires < 5%%", rates.KizzleFN)
+		}
+	}
+	b.ReportMetric(100*rates.KizzleFP, "kizzle-fp-%")
+	b.ReportMetric(100*rates.KizzleFN, "kizzle-fn-%")
+	b.ReportMetric(100*rates.AVFP, "av-fp-%")
+	b.ReportMetric(100*rates.AVFN, "av-fn-%")
+}
+
+// BenchmarkFig14AbsoluteCounts regenerates the per-kit FP/FN count table
+// over a window; ordering must match the paper (Angler dominates ground
+// truth, RIG is Kizzle's hardest family).
+func BenchmarkFig14AbsoluteCounts(b *testing.B) {
+	var sum evalharness.Totals
+	for i := 0; i < b.N; i++ {
+		res := harnessWindow(b, ekit.Date(8, 16), ekit.Date(8, 27), 150, nil)
+		totals := res.FamilyTotals()
+		sum = totals[len(totals)-1]
+		byFam := make(map[string]evalharness.Totals)
+		for _, t := range totals {
+			byFam[t.Family] = t
+		}
+		if byFam["Angler"].GroundTruth <= byFam["RIG"].GroundTruth {
+			b.Fatal("ground-truth ordering broken")
+		}
+	}
+	b.ReportMetric(float64(sum.GroundTruth), "ground-truth")
+	b.ReportMetric(float64(sum.KizzleFP), "kizzle-fp")
+	b.ReportMetric(float64(sum.KizzleFN), "kizzle-fn")
+	b.ReportMetric(float64(sum.AVFP), "av-fp")
+	b.ReportMetric(float64(sum.AVFN), "av-fn")
+}
+
+// BenchmarkFig15PluginDetectOverlap regenerates the representative false
+// positive: the benign PluginDetect library's winnow overlap with Nuclear
+// (the paper measured 79%).
+func BenchmarkFig15PluginDetectOverlap(b *testing.B) {
+	cfg := winnow.DefaultConfig()
+	nuclear := winnow.Fingerprint(ekit.Payload(ekit.FamilyNuclear, ekit.Date(8, 20)), cfg)
+	var overlap float64
+	for i := 0; i < b.N; i++ {
+		pd := ekit.BenignSample(ekit.BenignPluginDetect, ekit.Date(8, 20), 0)
+		overlap = winnow.Overlap(winnow.Fingerprint(pd, cfg), nuclear)
+	}
+	if overlap < 0.6 || overlap > 0.95 {
+		b.Fatalf("PluginDetect/Nuclear overlap %.2f outside the Figure 15 regime", overlap)
+	}
+	b.ReportMetric(100*overlap, "overlap-%")
+}
+
+// BenchmarkPipelineThroughput measures one full pipeline day (the paper's
+// runs took ~90 minutes for up to 500k samples on 50 machines; this reports
+// single-machine throughput at evaluation scale).
+func BenchmarkPipelineThroughput(b *testing.B) {
+	cfg := ekit.DefaultStreamConfig()
+	cfg.BenignPerDay = 400
+	stream, err := ekit.NewStream(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	day := ekit.Date(8, 5)
+	samples := stream.Day(day)
+	inputs := make([]pipeline.Input, len(samples))
+	var bytes int64
+	for i, s := range samples {
+		inputs[i] = pipeline.Input{ID: s.ID, Content: s.Content}
+		bytes += int64(len(s.Content))
+	}
+	corpus := pipeline.NewCorpus(winnow.DefaultConfig(), 16)
+	for _, fam := range ekit.Families {
+		corpus.Add(fam.String(), ekit.Payload(fam, day-1))
+	}
+	pcfg := pipeline.DefaultConfig()
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Process(inputs, corpus, pcfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(inputs)), "samples/run")
+}
+
+// BenchmarkClusterVsReduce quantifies the paper's observation that
+// clustering takes the majority of the time and the reduce step is the
+// serial bottleneck.
+func BenchmarkClusterVsReduce(b *testing.B) {
+	cfg := ekit.DefaultStreamConfig()
+	cfg.BenignPerDay = 400
+	stream, err := ekit.NewStream(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	day := ekit.Date(8, 6)
+	samples := stream.Day(day)
+	inputs := make([]pipeline.Input, len(samples))
+	for i, s := range samples {
+		inputs[i] = pipeline.Input{ID: s.ID, Content: s.Content}
+	}
+	corpus := pipeline.NewCorpus(winnow.DefaultConfig(), 16)
+	for _, fam := range ekit.Families {
+		corpus.Add(fam.String(), ekit.Payload(fam, day-1))
+	}
+	pcfg := pipeline.DefaultConfig()
+	pcfg.PartitionSize = 15 // stress the reduce step
+	var stats pipeline.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pipeline.Process(inputs, corpus, pcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = res.Stats
+	}
+	b.ReportMetric(float64(stats.Cluster.Microseconds()), "cluster-us")
+	b.ReportMetric(float64(stats.Reduce.Microseconds()), "reduce-us")
+	b.ReportMetric(float64(stats.Partitions), "partitions")
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationEps sweeps the DBSCAN threshold around the paper's 0.10:
+// too small shatters kit clusters, too large merges distinct families.
+func BenchmarkAblationEps(b *testing.B) {
+	day := ekit.Date(8, 5)
+	cfg := ekit.DefaultStreamConfig()
+	cfg.BenignPerDay = 150
+	stream, err := ekit.NewStream(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := stream.Day(day)
+	inputs := make([]pipeline.Input, len(samples))
+	for i, s := range samples {
+		inputs[i] = pipeline.Input{ID: s.ID, Content: s.Content}
+	}
+	corpus := pipeline.NewCorpus(winnow.DefaultConfig(), 16)
+	for _, fam := range ekit.Families {
+		corpus.Add(fam.String(), ekit.Payload(fam, day-1))
+	}
+	for _, eps := range []float64{0.02, 0.05, 0.10, 0.20, 0.40} {
+		b.Run(fmt.Sprintf("eps=%.2f", eps), func(b *testing.B) {
+			var clusters, malicious int
+			pcfg := pipeline.DefaultConfig()
+			pcfg.Eps = eps
+			for i := 0; i < b.N; i++ {
+				res, err := pipeline.Process(inputs, corpus, pcfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				clusters, malicious = res.Stats.Clusters, res.Stats.Malicious
+			}
+			b.ReportMetric(float64(clusters), "clusters")
+			b.ReportMetric(float64(malicious), "malicious")
+		})
+	}
+}
+
+// BenchmarkAblationSignatureCap sweeps the common-run token cap (the paper
+// uses 200).
+func BenchmarkAblationSignatureCap(b *testing.B) {
+	day := synth.Date(8, 5)
+	for _, cap := range []int{50, 100, 200, 400} {
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			var maxTokens, sigChars float64
+			for i := 0; i < b.N; i++ {
+				c := kizzle.New(kizzle.WithSignatureTokens(10, cap))
+				for _, fam := range synth.Kits() {
+					c.AddKnown(fam.String(), synth.Payload(fam, day-1))
+				}
+				scfg := synth.DefaultConfig()
+				scfg.BenignPerDay = 60
+				stream, err := synth.NewStream(scfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var batch []kizzle.Sample
+				for _, s := range stream.Day(day) {
+					batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+				}
+				res, err := c.Process(batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxTokens, sigChars = 0, 0
+				for _, sig := range res.Signatures {
+					if float64(sig.TokenLength()) > maxTokens {
+						maxTokens = float64(sig.TokenLength())
+					}
+					sigChars += float64(sig.Length())
+				}
+				if maxTokens > float64(cap) {
+					b.Fatalf("signature %d tokens exceeds cap %d", int(maxTokens), cap)
+				}
+			}
+			b.ReportMetric(maxTokens, "max-tokens")
+			b.ReportMetric(sigChars, "total-chars")
+		})
+	}
+}
+
+// BenchmarkAblationSlack sweeps the signature length slack extension:
+// next-day coverage rises with slack (0 is the paper's exact-lengths rule).
+func BenchmarkAblationSlack(b *testing.B) {
+	day := synth.Date(8, 5)
+	scfg := synth.DefaultConfig()
+	scfg.BenignPerDay = 80
+	stream, err := synth.NewStream(scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var batch []kizzle.Sample
+	for _, s := range stream.Day(day) {
+		batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+	}
+	nextDay := stream.MaliciousDay(day + 1)
+	for _, slack := range []int{0, 2, 6} {
+		b.Run(fmt.Sprintf("slack=%d", slack), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				c := kizzle.New(kizzle.WithSignatureSlack(slack))
+				for _, fam := range synth.Kits() {
+					c.AddKnown(fam.String(), synth.Payload(fam, day-1))
+				}
+				res, err := c.Process(batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := kizzle.NewMatcher(res.Signatures)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hit := 0
+				for _, s := range nextDay {
+					if m.Detects(s.Content) {
+						hit++
+					}
+				}
+				rate = float64(hit) / float64(len(nextDay))
+			}
+			b.ReportMetric(100*rate, "nextday-%")
+		})
+	}
+}
+
+// BenchmarkAblationTokenVsRaw demonstrates why clustering runs on abstract
+// tokens: two same-day Nuclear samples are within eps in token space but
+// far apart in raw byte space (per-sample keys re-encrypt the payload).
+func BenchmarkAblationTokenVsRaw(b *testing.B) {
+	day := ekit.Date(8, 5)
+	payload := ekit.Payload(ekit.FamilyNuclear, day)
+	s1 := ekit.Pack(ekit.FamilyNuclear, payload, day, 0)
+	s2 := ekit.Pack(ekit.FamilyNuclear, payload, day, 1)
+	tok1 := jstoken.Abstract(jstoken.Lex(s1))
+	tok2 := jstoken.Abstract(jstoken.Lex(s2))
+	raw1 := bytesAsSymbols(s1)
+	raw2 := bytesAsSymbols(s2)
+	var tokDist, rawDist float64
+	for i := 0; i < b.N; i++ {
+		tokDist = textdist.Normalized(tok1, tok2)
+		rawDist = textdist.Normalized(raw1, raw2)
+	}
+	if tokDist > 0.10 {
+		b.Fatalf("token distance %.3f should be within the 0.10 clustering eps", tokDist)
+	}
+	if rawDist < 0.3 {
+		b.Fatalf("raw distance %.3f should be far outside eps", rawDist)
+	}
+	b.ReportMetric(tokDist, "token-dist")
+	b.ReportMetric(rawDist, "raw-dist")
+}
+
+func bytesAsSymbols(s string) []jstoken.Symbol {
+	out := make([]jstoken.Symbol, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = jstoken.Symbol(s[i])
+	}
+	return out
+}
+
+// BenchmarkAblationWinnow sweeps the winnowing parameters used for cluster
+// labeling and reports the margin between a true Nuclear match and the
+// benign PluginDetect near-miss.
+func BenchmarkAblationWinnow(b *testing.B) {
+	day := ekit.Date(8, 20)
+	nuclear := ekit.Payload(ekit.FamilyNuclear, day)
+	nuclearPrev := ekit.Payload(ekit.FamilyNuclear, day-1)
+	pd := ekit.BenignSample(ekit.BenignPluginDetect, day, 0)
+	for _, cfg := range []winnow.Config{{K: 3, Window: 4}, {K: 5, Window: 8}, {K: 8, Window: 16}} {
+		b.Run(fmt.Sprintf("k=%d,w=%d", cfg.K, cfg.Window), func(b *testing.B) {
+			var self, fp float64
+			for i := 0; i < b.N; i++ {
+				ref := winnow.Fingerprint(nuclearPrev, cfg)
+				self = winnow.Overlap(winnow.Fingerprint(nuclear, cfg), ref)
+				fp = winnow.Overlap(winnow.Fingerprint(pd, cfg), ref)
+			}
+			b.ReportMetric(100*self, "true-match-%")
+			b.ReportMetric(100*fp, "benign-nearmiss-%")
+			b.ReportMetric(100*(self-fp), "margin-%")
+		})
+	}
+}
+
+// BenchmarkAblationJunkAttack pits the §V junk-insertion evasion against
+// single-run and multi-sequence signatures: the attacker sprays random
+// statements between the packer's operations; fresh-variant detection is
+// reported for both signature forms.
+func BenchmarkAblationJunkAttack(b *testing.B) {
+	day := synth.Date(8, 5)
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 0
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	junk := func(doc string, seed int64) string {
+		rng := newJunkRand(seed)
+		stmts := strings.SplitAfter(doc, ";")
+		var sb strings.Builder
+		for _, s := range stmts {
+			sb.WriteString(s)
+			if rng.Float64() < 0.4 {
+				sb.WriteString(junkStatement(rng))
+			}
+		}
+		return sb.String()
+	}
+	var train, fresh []string
+	i := int64(0)
+	for _, s := range stream.Day(day) {
+		if s.Family != synth.Angler {
+			continue
+		}
+		i++
+		if len(train) < 10 {
+			train = append(train, junk(s.Content, i))
+		} else if len(fresh) < 10 {
+			fresh = append(fresh, junk(s.Content, 1000+i))
+		}
+	}
+	var singleRate, multiRate float64
+	for n := 0; n < b.N; n++ {
+		// Single-run signature over the junked cluster.
+		singleHits := 0
+		c := kizzle.New(kizzle.WithSignatureSlack(2))
+		for _, fam := range synth.Kits() {
+			c.AddKnown(fam.String(), synth.Payload(fam, day-1))
+		}
+		batch := make([]kizzle.Sample, len(train))
+		for j, d := range train {
+			batch[j] = kizzle.Sample{ID: fmt.Sprintf("t%d", j), Content: d}
+		}
+		res, err := c.Process(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Signatures) > 0 {
+			m, err := kizzle.NewMatcher(res.Signatures)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, d := range fresh {
+				if m.Detects(d) {
+					singleHits++
+				}
+			}
+		}
+		singleRate = float64(singleHits) / float64(len(fresh))
+
+		// Multi-sequence signature over the same cluster.
+		multiHits := 0
+		if multi, err := kizzle.GenerateMulti("Angler", train, kizzle.WithMultiSlack(2)); err == nil {
+			mm, err := kizzle.NewMultiMatcher([]kizzle.MultiSignature{multi})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, d := range fresh {
+				if mm.Detects(d) {
+					multiHits++
+				}
+			}
+		}
+		multiRate = float64(multiHits) / float64(len(fresh))
+	}
+	b.ReportMetric(100*singleRate, "single-run-%")
+	b.ReportMetric(100*multiRate, "multi-seq-%")
+	if multiRate < singleRate {
+		b.Fatalf("multi-sequence detection %.2f below single-run %.2f", multiRate, singleRate)
+	}
+}

@@ -1,0 +1,95 @@
+// Command ekgen writes a synthetic grayware corpus to disk: one HTML file
+// per sample plus a ground-truth manifest, for feeding external tools or
+// the kizzle CLI.
+//
+// Usage:
+//
+//	ekgen -out corpus/ [-month 8] [-day 5] [-benign 200] [-malicious-only]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"kizzle/synth"
+)
+
+// manifestEntry records one sample's ground truth.
+type manifestEntry struct {
+	File       string `json:"file"`
+	ID         string `json:"id"`
+	Family     string `json:"family"`
+	BenignKind string `json:"benignKind,omitempty"`
+	Day        string `json:"day"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ekgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ekgen", flag.ContinueOnError)
+	out := fs.String("out", "", "output directory (required)")
+	month := fs.Int("month", 8, "2014 month (6-8)")
+	day := fs.Int("day", 5, "day of month")
+	benign := fs.Int("benign", 200, "benign samples")
+	maliciousOnly := fs.Bool("malicious-only", false, "emit only exploit-kit samples")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	if *month < 6 || *month > 8 {
+		return fmt.Errorf("-month %d outside the simulated window (6-8)", *month)
+	}
+
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = *benign
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	simDay := synth.Date(time.Month(*month), *day)
+	samples := stream.Day(simDay)
+	if *maliciousOnly {
+		samples = stream.MaliciousDay(simDay)
+	}
+	manifest := make([]manifestEntry, 0, len(samples))
+	for _, s := range samples {
+		name := s.ID + ".html"
+		if err := os.WriteFile(filepath.Join(*out, name), []byte(s.Content), 0o644); err != nil {
+			return err
+		}
+		manifest = append(manifest, manifestEntry{
+			File:       name,
+			ID:         s.ID,
+			Family:     s.Family.String(),
+			BenignKind: s.BenignKind,
+			Day:        synth.Label(s.Day),
+		})
+	}
+	mf, err := os.Create(filepath.Join(*out, "manifest.json"))
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(manifest); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d samples to %s\n", len(samples), *out)
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesCorpusAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-day", "5", "-benign", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manifest []manifestEntry
+	if err := json.Unmarshal(data, &manifest); err != nil {
+		t.Fatal(err)
+	}
+	if len(manifest) < 10 {
+		t.Fatalf("manifest has %d entries", len(manifest))
+	}
+	families := make(map[string]bool)
+	for _, e := range manifest {
+		families[e.Family] = true
+		body, err := os.ReadFile(filepath.Join(dir, e.File))
+		if err != nil {
+			t.Fatalf("sample file missing: %v", err)
+		}
+		if len(body) == 0 {
+			t.Errorf("%s is empty", e.File)
+		}
+	}
+	if !families["Benign"] || !families["Angler"] {
+		t.Errorf("families in manifest: %v", families)
+	}
+}
+
+func TestRunMaliciousOnly(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-day", "5", "-malicious-only"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manifest []manifestEntry
+	if err := json.Unmarshal(data, &manifest); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range manifest {
+		if e.Family == "Benign" {
+			t.Fatalf("benign sample %s in malicious-only corpus", e.ID)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-day", "5"}); err == nil {
+		t.Error("missing -out must fail")
+	}
+	if err := run([]string{"-out", t.TempDir(), "-month", "3"}); err == nil {
+		t.Error("month outside window must fail")
+	}
+}

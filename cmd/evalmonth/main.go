@@ -1,0 +1,97 @@
+// Command evalmonth replays the paper's August 2014 evaluation (§IV) and
+// prints every table and figure of the evaluation section: the Angler
+// window of vulnerability (Fig 6), similarity over time (Fig 11), signature
+// lengths (Fig 12), FP/FN rates (Fig 13), absolute counts (Fig 14), plus
+// the static kit inventory (Fig 2) and Nuclear timeline (Fig 5).
+//
+// Usage:
+//
+//	evalmonth [-benign 1200] [-days 31] [-fig all|2|5|6|11|12|13|14|perf]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kizzle/internal/ekit"
+	"kizzle/internal/evalharness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "evalmonth:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("evalmonth", flag.ContinueOnError)
+	benign := fs.Int("benign", 1200, "benign samples per day")
+	days := fs.Int("days", 31, "number of August days to evaluate (1-31)")
+	fig := fs.String("fig", "all", "which figure to print: all, 2, 5, 6, 11, 12, 13, 14, perf")
+	slack := fs.Int("slack", 0, "signature length slack (0 = paper-faithful)")
+	sweep := fs.String("sweep", "", "sweep the labeling threshold for this family instead of running figures")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *days < 1 || *days > 31 {
+		return fmt.Errorf("-days %d outside 1-31", *days)
+	}
+	if *sweep != "" {
+		scfg := evalharness.DefaultSweepWindow(*benign)
+		points, err := evalharness.SweepThreshold(*sweep,
+			[]float64{0.3, 0.45, 0.6, 0.75, 0.88, 0.95}, scfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(evalharness.FormatSweep(*sweep, points))
+		return nil
+	}
+
+	// Static figures need no run.
+	static := map[string]func() string{"2": evalharness.FormatFig2, "5": evalharness.FormatFig5}
+	if f, ok := static[*fig]; ok {
+		fmt.Println(f())
+		return nil
+	}
+
+	cfg := evalharness.DefaultConfig()
+	cfg.Stream.BenignPerDay = *benign
+	cfg.Pipeline.Signature.LengthSlack = *slack
+	cfg.Days = ekit.AugustDays()[:*days]
+
+	fmt.Fprintf(os.Stderr, "running %d days at %d benign samples/day...\n", *days, *benign)
+	res, err := evalharness.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	sections := []struct {
+		key string
+		out func() string
+	}{
+		{"2", evalharness.FormatFig2},
+		{"5", evalharness.FormatFig5},
+		{"6", res.FormatFig6},
+		{"11", res.FormatFig11},
+		{"12", res.FormatFig12},
+		{"13", res.FormatFig13},
+		{"14", res.FormatFig14},
+		{"perf", res.FormatPerf},
+	}
+	printed := false
+	for _, s := range sections {
+		if *fig == "all" || *fig == s.key {
+			fmt.Println(s.out())
+			fmt.Println(strings.Repeat("-", 78))
+			printed = true
+		}
+	}
+	if !printed {
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+	fmt.Println(res.FormatSummary())
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunStaticFigures(t *testing.T) {
+	for _, fig := range []string{"2", "5"} {
+		if err := run([]string{"-fig", fig}); err != nil {
+			t.Errorf("-fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunShortWindow(t *testing.T) {
+	if err := run([]string{"-days", "2", "-benign", "40", "-fig", "14"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-days", "0"}); err == nil {
+		t.Error("days=0 must fail")
+	}
+	if err := run([]string{"-days", "2", "-benign", "30", "-fig", "bogus"}); err == nil {
+		t.Error("unknown figure must fail")
+	}
+}

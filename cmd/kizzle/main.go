@@ -1,0 +1,179 @@
+// Command kizzle runs the signature compiler over a directory of captured
+// HTML/JS samples: it clusters them, labels clusters against a directory of
+// known unpacked kit payloads, and prints (or writes) the generated
+// signatures.
+//
+// Usage:
+//
+//	kizzle -samples corpus/ -known known/ [-json sigs.json] [-eps 0.10]
+//
+// The -known directory holds one file per known payload, named
+// <family>.<anything> (e.g. nuclear.txt, rig-0803.txt); the part before the
+// first '.' or '-' is the family label (case-insensitive match against
+// rig/nuclear/angler/sweetorange is normalized to the paper's names).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"kizzle"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kizzle:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kizzle", flag.ContinueOnError)
+	samplesDir := fs.String("samples", "", "directory of .html/.js samples (required)")
+	knownDir := fs.String("known", "", "directory of known unpacked kit payloads (required)")
+	jsonOut := fs.String("json", "", "write signatures as JSON to this file")
+	eps := fs.Float64("eps", 0.10, "DBSCAN normalized edit-distance threshold")
+	minPts := fs.Int("minpts", 2, "DBSCAN minimum cluster size")
+	slack := fs.Int("slack", 0, "signature length slack")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *samplesDir == "" || *knownDir == "" {
+		return fmt.Errorf("-samples and -known are required")
+	}
+
+	c := kizzle.New(
+		kizzle.WithEps(*eps),
+		kizzle.WithMinPts(*minPts),
+		kizzle.WithSignatureSlack(*slack),
+	)
+	nKnown, err := loadKnown(c, *knownDir)
+	if err != nil {
+		return err
+	}
+	samples, err := loadSamples(*samplesDir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d samples, %d known payloads\n", len(samples), nKnown)
+
+	res, err := c.Process(samples)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clusters: %d (%d malicious), unique token sequences: %d\n",
+		res.Stats.Clusters, res.Stats.MaliciousClusters, res.Stats.UniqueSequences)
+	for _, cl := range res.Clusters {
+		if cl.Family == "" {
+			continue
+		}
+		fmt.Printf("\ncluster %s: %d samples, overlap %.1f%%\n", cl.Family, len(cl.SampleIDs), 100*cl.Overlap)
+		if cl.SignatureIndex >= 0 {
+			sig := res.Signatures[cl.SignatureIndex]
+			fmt.Printf("signature (%d tokens, %d chars):\n%s\n", sig.TokenLength(), sig.Length(), sig.Regex())
+		}
+	}
+	if *jsonOut != "" {
+		return writeJSON(*jsonOut, res.Signatures)
+	}
+	return nil
+}
+
+// canonicalFamily normalizes file-name prefixes to the paper's kit names.
+func canonicalFamily(prefix string) string {
+	switch strings.ToLower(prefix) {
+	case "rig":
+		return "RIG"
+	case "nuclear", "nek":
+		return "Nuclear"
+	case "angler", "ang":
+		return "Angler"
+	case "sweetorange", "sweet_orange", "so":
+		return "Sweet Orange"
+	default:
+		return prefix
+	}
+}
+
+func loadKnown(c *kizzle.Compiler, dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("read known dir: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		cut := strings.IndexAny(name, ".-")
+		if cut < 0 {
+			cut = len(name)
+		}
+		body, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return n, err
+		}
+		c.AddKnown(canonicalFamily(name[:cut]), string(body))
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no known payloads in %s", dir)
+	}
+	return n, nil
+}
+
+func loadSamples(dir string) ([]kizzle.Sample, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("read samples dir: %w", err)
+	}
+	var out []kizzle.Sample
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		ext := strings.ToLower(filepath.Ext(e.Name()))
+		if ext != ".html" && ext != ".htm" && ext != ".js" {
+			continue
+		}
+		body, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, kizzle.Sample{ID: e.Name(), Content: string(body)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no .html/.js samples in %s", dir)
+	}
+	return out, nil
+}
+
+// sigJSON is the serialized signature format.
+type sigJSON struct {
+	Family      string `json:"family"`
+	Regex       string `json:"regex"`
+	TokenLength int    `json:"tokenLength"`
+	Length      int    `json:"length"`
+}
+
+func writeJSON(path string, sigs []kizzle.Signature) error {
+	out := make([]sigJSON, len(sigs))
+	for i, s := range sigs {
+		out[i] = sigJSON{Family: s.Family(), Regex: s.Regex(), TokenLength: s.TokenLength(), Length: s.Length()}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kizzle/synth"
+)
+
+// buildDirs writes a small sample corpus and known-payload directory.
+func buildDirs(t *testing.T) (samplesDir, knownDir string) {
+	t.Helper()
+	samplesDir, knownDir = t.TempDir(), t.TempDir()
+	day := synth.Date(time.August, 5)
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 20
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stream.Day(day) {
+		if err := os.WriteFile(filepath.Join(samplesDir, s.ID+".html"), []byte(s.Content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := map[string]string{"RIG": "rig", "Nuclear": "nuclear", "Angler": "angler", "Sweet Orange": "sweetorange"}
+	for _, f := range synth.Kits() {
+		if err := os.WriteFile(filepath.Join(knownDir, names[f.String()]+".txt"),
+			[]byte(synth.Payload(f, day-1)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return samplesDir, knownDir
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	samplesDir, knownDir := buildDirs(t)
+	out := filepath.Join(t.TempDir(), "sigs.json")
+	if err := run([]string{"-samples", samplesDir, "-known", knownDir, "-json", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sigs []sigJSON
+	if err := json.Unmarshal(data, &sigs); err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) == 0 {
+		t.Fatal("no signatures written")
+	}
+	families := make(map[string]bool)
+	for _, s := range sigs {
+		families[s.Family] = true
+		if s.Regex == "" || s.TokenLength == 0 {
+			t.Errorf("degenerate signature: %+v", s)
+		}
+	}
+	if !families["Angler"] {
+		t.Errorf("families: %v", families)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing flags must fail")
+	}
+	if err := run([]string{"-samples", t.TempDir(), "-known", t.TempDir()}); err == nil {
+		t.Error("empty dirs must fail")
+	}
+}
+
+func TestCanonicalFamily(t *testing.T) {
+	tests := map[string]string{
+		"rig": "RIG", "NEK": "Nuclear", "angler": "Angler", "so": "Sweet Orange",
+		"custom": "custom",
+	}
+	for in, want := range tests {
+		if got := canonicalFamily(in); got != want {
+			t.Errorf("canonicalFamily(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

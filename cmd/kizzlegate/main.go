@@ -1,0 +1,108 @@
+// Command kizzlegate runs the scanning reverse proxy (the paper's
+// browser/CDN deployment channel): it fronts an upstream web server,
+// scans HTML/JavaScript responses against the deployed Kizzle signature
+// set, and blocks exploit-kit landings. Signatures come from a local
+// sigdb file and/or are kept current by polling a signature server.
+//
+// Usage:
+//
+//	kizzlegate -listen :8080 -upstream http://origin:80 \
+//	           [-sigfile sigs.json] [-sigurl http://sigserver/signatures] \
+//	           [-poll 1m]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"kizzle/gateway"
+	"kizzle/sigdb"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "kizzlegate:", err)
+		os.Exit(1)
+	}
+}
+
+// run configures the gate. When ready is non-nil, the configured handler
+// is sent to it instead of binding a listener (test hook).
+func run(args []string, ready chan<- http.Handler) error {
+	fs := flag.NewFlagSet("kizzlegate", flag.ContinueOnError)
+	listen := fs.String("listen", ":8080", "address to serve on")
+	upstream := fs.String("upstream", "", "origin URL to proxy (required)")
+	sigfile := fs.String("sigfile", "", "local sigdb JSON file to load")
+	sigurl := fs.String("sigurl", "", "signature server URL to poll for updates")
+	poll := fs.Duration("poll", time.Minute, "signature poll interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *upstream == "" {
+		return fmt.Errorf("-upstream is required")
+	}
+	if *sigfile == "" && *sigurl == "" {
+		return fmt.Errorf("one of -sigfile or -sigurl is required")
+	}
+	target, err := url.Parse(*upstream)
+	if err != nil || target.Scheme == "" {
+		return fmt.Errorf("bad -upstream %q", *upstream)
+	}
+
+	vetter := gateway.NewVetter(nil)
+	if *sigfile != "" {
+		store, err := sigdb.Open(*sigfile)
+		if err != nil {
+			return err
+		}
+		snap := store.Snapshot()
+		m, _, err := snap.Matcher()
+		if err != nil {
+			return err
+		}
+		vetter.Update(m)
+		log.Printf("loaded signature set v%d from %s", snap.Version, *sigfile)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pollDone := make(chan struct{})
+	if *sigurl != "" {
+		client := &sigdb.Client{URL: *sigurl}
+		go func() {
+			defer close(pollDone)
+			client.Poll(ctx, *poll, func(snap sigdb.Snapshot) {
+				m, _, err := snap.Matcher()
+				if err != nil {
+					log.Printf("rejecting signature update v%d: %v", snap.Version, err)
+					return
+				}
+				vetter.Update(m)
+				log.Printf("deployed signature set v%d (%d signatures)", snap.Version, len(snap.Signatures))
+			}, func(err error) {
+				log.Printf("signature poll: %v", err)
+			})
+		}()
+	} else {
+		close(pollDone)
+	}
+
+	proxy := gateway.NewProxy(target, vetter)
+	if ready != nil {
+		ready <- proxy
+		cancel()
+		<-pollDone
+		return nil
+	}
+	log.Printf("kizzlegate proxying %s on %s", target, *listen)
+	err = http.ListenAndServe(*listen, proxy)
+	cancel()
+	<-pollDone
+	return err
+}

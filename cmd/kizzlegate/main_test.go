@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kizzle"
+	"kizzle/sigdb"
+	"kizzle/synth"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-sigfile", "x.json"}, nil); err == nil {
+		t.Error("missing -upstream must fail")
+	}
+	if err := run([]string{"-upstream", "http://x"}, nil); err == nil {
+		t.Error("missing signature source must fail")
+	}
+	if err := run([]string{"-upstream", "://bad", "-sigfile", "x.json"}, nil); err == nil {
+		t.Error("bad upstream URL must fail")
+	}
+	// A missing sigfile opens as an empty store; use the ready hook so no
+	// listener is bound.
+	ready := make(chan http.Handler, 1)
+	if err := run([]string{"-upstream", "http://x", "-sigfile", filepath.Join(t.TempDir(), "missing.json")}, ready); err != nil {
+		t.Errorf("missing sigfile should start empty, got %v", err)
+	}
+	<-ready
+}
+
+// TestGateEndToEnd builds a signature file from the synthetic stream and
+// verifies the configured proxy handler blocks a kit landing page.
+func TestGateEndToEnd(t *testing.T) {
+	day := synth.Date(time.August, 5)
+
+	// Train and persist signatures.
+	c := kizzle.New(kizzle.WithSignatureSlack(2))
+	for _, fam := range synth.Kits() {
+		c.AddKnown(fam.String(), synth.Payload(fam, day-1))
+	}
+	scfg := synth.DefaultConfig()
+	scfg.BenignPerDay = 40
+	stream, err := synth.NewStream(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []kizzle.Sample
+	var kitDoc string
+	for _, s := range stream.Day(day) {
+		batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+		if s.Family == synth.Angler && kitDoc == "" {
+			kitDoc = s.Content
+		}
+	}
+	res, err := c.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigPath := filepath.Join(t.TempDir(), "sigs.json")
+	store, err := sigdb.Open(sigPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Replace(res.Signatures, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Upstream origin serving the kit page and a benign page.
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		if r.URL.Path == "/landing" {
+			io.WriteString(w, kitDoc)
+			return
+		}
+		io.WriteString(w, "<html><body>ok</body></html>")
+	}))
+	defer upstream.Close()
+
+	// Obtain the configured handler through the test hook.
+	ready := make(chan http.Handler, 1)
+	go func() {
+		if err := run([]string{"-upstream", upstream.URL, "-sigfile", sigPath}, ready); err != nil {
+			t.Error(err)
+		}
+	}()
+	var handler http.Handler
+	select {
+	case handler = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("gate never became ready")
+	}
+	front := httptest.NewServer(handler)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/landing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("kit landing status = %d, want 403", resp.StatusCode)
+	}
+	resp, err = http.Get(front.URL + "/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("benign page status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestSigfileFormat guards the on-disk contract: the file written by sigdb
+// is plain JSON with a version and signatures array.
+func TestSigfileFormat(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	c := kizzle.New()
+	for _, fam := range synth.Kits() {
+		c.AddKnown(fam.String(), synth.Payload(fam, day-1))
+	}
+	scfg := synth.DefaultConfig()
+	scfg.BenignPerDay = 20
+	stream, err := synth.NewStream(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []kizzle.Sample
+	for _, s := range stream.Day(day) {
+		batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+	}
+	res, err := c.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sigs.json")
+	store, err := sigdb.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Replace(res.Signatures, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version    int64             `json:"version"`
+		Signatures []json.RawMessage `json:"signatures"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != 1 || len(doc.Signatures) == 0 {
+		t.Errorf("sigfile: version %d, %d signatures", doc.Version, len(doc.Signatures))
+	}
+}

@@ -1,0 +1,186 @@
+// Command sigserve is the publisher side of the signature distribution
+// channel: it serves a sigdb store over HTTP for kizzlegate (and any other
+// consumer) to poll, and can optionally watch a samples directory and
+// recompile signatures on an interval — the "signatures for malware
+// variants observed the same day within a matter of hours" loop.
+//
+// Usage:
+//
+//	sigserve -store sigs.json -listen :9090 \
+//	         [-samples corpus/ -known known/ -recompile 1h]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"kizzle"
+	"kizzle/sigdb"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sigserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run configures the server. When ready is non-nil the handler is sent to
+// it instead of binding a listener (test hook); recompilation still runs
+// once synchronously so tests observe a populated store.
+func run(args []string, ready chan<- http.Handler) error {
+	fs := flag.NewFlagSet("sigserve", flag.ContinueOnError)
+	storePath := fs.String("store", "", "sigdb JSON file to serve (required)")
+	listen := fs.String("listen", ":9090", "address to serve on")
+	samplesDir := fs.String("samples", "", "directory of samples to recompile from (optional)")
+	knownDir := fs.String("known", "", "directory of known unpacked payloads (required with -samples)")
+	recompile := fs.Duration("recompile", time.Hour, "recompilation interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storePath == "" {
+		return fmt.Errorf("-store is required")
+	}
+	if *samplesDir != "" && *knownDir == "" {
+		return fmt.Errorf("-known is required with -samples")
+	}
+
+	store, err := sigdb.Open(*storePath)
+	if err != nil {
+		return err
+	}
+
+	if *samplesDir != "" {
+		if err := compileInto(store, *samplesDir, *knownDir); err != nil {
+			return fmt.Errorf("initial compile: %w", err)
+		}
+		log.Printf("compiled signature set v%d from %s", store.Version(), *samplesDir)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/signatures", store.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok v%d\n", store.Version())
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	loopDone := make(chan struct{})
+	if *samplesDir != "" && ready == nil {
+		go func() {
+			defer close(loopDone)
+			ticker := time.NewTicker(*recompile)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+				if err := compileInto(store, *samplesDir, *knownDir); err != nil {
+					log.Printf("recompile: %v", err)
+					continue
+				}
+				log.Printf("published signature set v%d", store.Version())
+			}
+		}()
+	} else {
+		close(loopDone)
+	}
+
+	if ready != nil {
+		ready <- mux
+		cancel()
+		<-loopDone
+		return nil
+	}
+	log.Printf("sigserve on %s (store %s, v%d)", *listen, *storePath, store.Version())
+	err = http.ListenAndServe(*listen, mux)
+	cancel()
+	<-loopDone
+	return err
+}
+
+// compileInto runs the compiler over the samples directory and publishes
+// the resulting signatures to the store.
+func compileInto(store *sigdb.Store, samplesDir, knownDir string) error {
+	c := kizzle.New()
+	if err := seedKnown(c, knownDir); err != nil {
+		return err
+	}
+	samples, err := readSamples(samplesDir)
+	if err != nil {
+		return err
+	}
+	res, err := c.Process(samples)
+	if err != nil {
+		return err
+	}
+	if _, err := store.Replace(res.Signatures, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+func seedKnown(c *kizzle.Compiler, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("read known dir: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		cut := strings.IndexAny(name, ".-")
+		if cut < 0 {
+			cut = len(name)
+		}
+		body, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		c.AddKnown(name[:cut], string(body))
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("no known payloads in %s", dir)
+	}
+	return nil
+}
+
+func readSamples(dir string) ([]kizzle.Sample, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("read samples dir: %w", err)
+	}
+	var out []kizzle.Sample
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		ext := strings.ToLower(filepath.Ext(e.Name()))
+		if ext != ".html" && ext != ".htm" && ext != ".js" {
+			continue
+		}
+		body, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, kizzle.Sample{ID: e.Name(), Content: string(body)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no samples in %s", dir)
+	}
+	return out, nil
+}

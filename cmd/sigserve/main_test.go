@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kizzle/sigdb"
+	"kizzle/synth"
+)
+
+// writeCorpus writes a day's samples and known payloads to temp dirs.
+func writeCorpus(t *testing.T) (samplesDir, knownDir string) {
+	t.Helper()
+	samplesDir, knownDir = t.TempDir(), t.TempDir()
+	day := synth.Date(time.August, 5)
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 20
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stream.Day(day) {
+		if err := os.WriteFile(filepath.Join(samplesDir, s.ID+".html"), []byte(s.Content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range synth.Kits() {
+		name := strings.ReplaceAll(f.String(), " ", "") + ".txt"
+		if err := os.WriteFile(filepath.Join(knownDir, name), []byte(synth.Payload(f, day-1)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return samplesDir, knownDir
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil, nil); err == nil {
+		t.Error("missing -store must fail")
+	}
+	if err := run([]string{"-store", "x.json", "-samples", "dir"}, nil); err == nil {
+		t.Error("-samples without -known must fail")
+	}
+}
+
+// TestServeEndToEnd compiles from a corpus, serves the store, and fetches
+// it with the sigdb client; the restored snapshot must detect kit traffic.
+func TestServeEndToEnd(t *testing.T) {
+	samplesDir, knownDir := writeCorpus(t)
+	storePath := filepath.Join(t.TempDir(), "sigs.json")
+
+	ready := make(chan http.Handler, 1)
+	go func() {
+		if err := run([]string{
+			"-store", storePath, "-samples", samplesDir, "-known", knownDir,
+		}, ready); err != nil {
+			t.Error(err)
+		}
+	}()
+	var handler http.Handler
+	select {
+	case handler = <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	// Health endpoint reports the published version.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(health), "ok v1") {
+		t.Errorf("healthz = %q", health)
+	}
+
+	// A consumer fetches and compiles the snapshot.
+	client := &sigdb.Client{URL: srv.URL + "/signatures"}
+	snap, updated, err := client.Fetch(context.Background())
+	if err != nil || !updated {
+		t.Fatalf("fetch: updated=%v err=%v", updated, err)
+	}
+	m, _, err := snap.Matcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := synth.Date(time.August, 5)
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 0
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected, total := 0, 0
+	for _, s := range stream.Day(day) {
+		total++
+		if m.Detects(s.Content) {
+			detected++
+		}
+	}
+	if detected < total*3/4 {
+		t.Errorf("fetched signatures detect %d/%d same-day kit samples", detected, total)
+	}
+	// The store file was persisted for restarts.
+	if _, err := os.Stat(storePath); err != nil {
+		t.Errorf("store not persisted: %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+// Gateway demonstrates the paper's server-side deployment channel: a CDN
+// administrator compiles the current Kizzle signature set once and vets
+// every JavaScript document before agreeing to host it, blocking exploit-
+// kit landings while passing benign libraries through.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kizzle"
+	"kizzle/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	day := synth.Date(time.August, 20)
+
+	// Build today's signature set from the grayware feed.
+	compiler := kizzle.New()
+	for _, kit := range synth.Kits() {
+		compiler.AddKnown(kit.String(), synth.Payload(kit, day-1))
+	}
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 120
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		return err
+	}
+	var batch []kizzle.Sample
+	for _, s := range stream.Day(day) {
+		batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+	}
+	res, err := compiler.Process(batch)
+	if err != nil {
+		return err
+	}
+	gate, err := kizzle.NewMatcher(res.Signatures)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gateway armed with %d signatures\n\n", gate.Len())
+
+	// Vet the next day's upload queue.
+	uploads := stream.Day(day + 1)
+	var blocked, passed, wrongCalls int
+	for _, doc := range uploads {
+		matches := gate.Scan(doc.Content)
+		if len(matches) > 0 {
+			blocked++
+			if doc.Family == synth.Benign {
+				wrongCalls++
+			}
+			if blocked <= 8 {
+				fmt.Printf("BLOCK %-14s as %-13s (truth: %s)\n", doc.ID, matches[0].Family, truth(doc))
+			}
+		} else {
+			passed++
+			if doc.Family != synth.Benign {
+				wrongCalls++
+			}
+		}
+	}
+	fmt.Printf("\nvetted %d uploads: %d blocked, %d passed, %d wrong calls\n",
+		len(uploads), blocked, passed, wrongCalls)
+	return nil
+}
+
+func truth(s synth.Sample) string {
+	if s.Family == synth.Benign {
+		return "benign/" + s.BenignKind
+	}
+	return s.Family.String()
+}

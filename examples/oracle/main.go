@@ -1,0 +1,70 @@
+// Oracle demonstrates the paper's §V hidden server-side detection: an
+// attacker who swaps his kit's packer wholesale (here: re-wrapping the
+// Nuclear payload in RIG's packer, the kind of cross-kit code borrowing
+// §II-B documents) evades every deployed structural signature — but the
+// server-side oracle, which unpacks and compares the slow-moving inner
+// payload, still catches the sample, and cannot be probed the way client
+// signatures can.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kizzle"
+	"kizzle/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	day := synth.Date(time.August, 10)
+
+	// Client side: today's structural signatures.
+	compiler := kizzle.New()
+	oracle := kizzle.NewOracle()
+	for _, kit := range synth.Kits() {
+		compiler.AddKnown(kit.String(), synth.Payload(kit, day-1))
+		oracle.AddKnown(kit.String(), synth.Payload(kit, day-1))
+	}
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 80
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		return err
+	}
+	var batch []kizzle.Sample
+	for _, s := range stream.Day(day) {
+		batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+	}
+	res, err := compiler.Process(batch)
+	if err != nil {
+		return err
+	}
+	matcher, err := kizzle.NewMatcher(res.Signatures)
+	if err != nil {
+		return err
+	}
+
+	// The attacker's move: Nuclear's payload inside RIG's packer.
+	swapped, err := synth.RepackAs(synth.Nuclear, synth.RIG, day)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("attacker re-wraps the Nuclear payload in RIG's packer:")
+	fmt.Printf("  deployed structural signatures detect it: %v\n", matcher.Detects(swapped))
+	v := oracle.Inspect(swapped)
+	fmt.Printf("  hidden server-side oracle verdict:        detected=%v family=%s overlap=%.0f%% (unpacked=%v)\n",
+		v.Detected, v.Family, 100*v.Overlap, v.Unpacked)
+
+	// And a benign control.
+	benign := `var x = document.getElementById("menu"); x.className = "open";`
+	fmt.Printf("  oracle on benign control:                 detected=%v\n", oracle.Inspect(benign).Detected)
+	return nil
+}

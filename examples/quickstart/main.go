@@ -1,0 +1,70 @@
+// Quickstart: seed the compiler with known unpacked kit payloads, run it
+// over one day of grayware, inspect the clusters and generated signatures,
+// and deploy them to detect a fresh variant.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kizzle"
+	"kizzle/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	day := synth.Date(time.August, 5)
+
+	// 1. Seed Kizzle with known unpacked exploit-kit payloads. In a real
+	// deployment these come from an analyst or a malware feed; here the
+	// synthetic substrate provides them.
+	compiler := kizzle.New()
+	for _, kit := range synth.Kits() {
+		compiler.AddKnown(kit.String(), synth.Payload(kit, day-1))
+	}
+	fmt.Println("seeded families:", compiler.KnownFamilies())
+
+	// 2. Collect a day of grayware (benign traffic plus kit landings).
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 150
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		return err
+	}
+	var batch []kizzle.Sample
+	for _, s := range stream.Day(day) {
+		batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+	}
+
+	// 3. Cluster, label, and compile signatures.
+	res, err := compiler.Process(batch)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("processed %d samples -> %d clusters (%d malicious), %d signatures\n",
+		res.Stats.Samples, res.Stats.Clusters, res.Stats.MaliciousClusters, len(res.Signatures))
+	for _, sig := range res.Signatures {
+		fmt.Printf("  %-13s %4d tokens, %5d chars\n", sig.Family(), sig.TokenLength(), sig.Length())
+	}
+
+	// 4. Deploy the signatures and scan a next-day sample.
+	matcher, err := kizzle.NewMatcher(res.Signatures)
+	if err != nil {
+		return err
+	}
+	fresh := stream.MaliciousDay(day + 1)
+	detected := 0
+	for _, s := range fresh {
+		if matcher.Detects(s.Content) {
+			detected++
+		}
+	}
+	fmt.Printf("next-day detection: %d/%d malicious samples\n", detected, len(fresh))
+	return nil
+}

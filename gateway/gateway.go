@@ -1,0 +1,166 @@
+// Package gateway implements the paper's deployment channels as a working
+// HTTP component: "Kizzle signatures may be deployed within a browser ...
+// to scan all or some of the incoming JavaScript code" and "server-side,
+// for instance, a CDN administrator may decide which JavaScript files to
+// host". The Proxy is a reverse proxy that scans HTML/JavaScript responses
+// with a deployed signature set and blocks exploit-kit landings; the
+// Vetter is the CDN-side admission check for uploads.
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"kizzle"
+)
+
+// Decision is the outcome of scanning one document.
+type Decision struct {
+	// Blocked reports whether the document was rejected.
+	Blocked bool
+	// Family is the detected kit for blocked documents.
+	Family string
+}
+
+// Scanner is the signature-set interface the gateway needs; both
+// *kizzle.Matcher and *kizzle.MultiMatcher satisfy it.
+type Scanner interface {
+	Scan(doc string) []kizzle.Match
+}
+
+// multiAdapter lifts a MultiMatcher to the Scanner interface.
+type multiAdapter struct{ m *kizzle.MultiMatcher }
+
+func (a multiAdapter) Scan(doc string) []kizzle.Match {
+	var out []kizzle.Match
+	for _, fam := range a.m.Scan(doc) {
+		out = append(out, kizzle.Match{Family: fam})
+	}
+	return out
+}
+
+// WrapMulti adapts a MultiMatcher for use as a gateway Scanner.
+func WrapMulti(m *kizzle.MultiMatcher) Scanner { return multiAdapter{m: m} }
+
+// Vetter makes admission decisions for documents. It is safe for
+// concurrent use, and its signature set can be swapped live (the
+// "frequent, automatic updates" of the AV distribution channel).
+type Vetter struct {
+	mu      sync.RWMutex
+	scanner Scanner
+
+	scanned atomic.Int64
+	blocked atomic.Int64
+}
+
+// NewVetter builds a vetter around an initial signature set.
+func NewVetter(scanner Scanner) *Vetter {
+	return &Vetter{scanner: scanner}
+}
+
+// Update swaps in a new signature set atomically.
+func (v *Vetter) Update(scanner Scanner) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.scanner = scanner
+}
+
+// Vet scans one document.
+func (v *Vetter) Vet(doc string) Decision {
+	v.mu.RLock()
+	scanner := v.scanner
+	v.mu.RUnlock()
+	v.scanned.Add(1)
+	if scanner == nil {
+		return Decision{}
+	}
+	matches := scanner.Scan(doc)
+	if len(matches) == 0 {
+		return Decision{}
+	}
+	v.blocked.Add(1)
+	return Decision{Blocked: true, Family: matches[0].Family}
+}
+
+// Stats reports how many documents were scanned and blocked.
+func (v *Vetter) Stats() (scanned, blocked int64) {
+	return v.scanned.Load(), v.blocked.Load()
+}
+
+// Proxy is a scanning reverse proxy: HTML and JavaScript responses from the
+// upstream are buffered, vetted, and replaced with 403 when a signature
+// fires. Non-script content passes through untouched.
+type Proxy struct {
+	vetter *Vetter
+	proxy  *httputil.ReverseProxy
+	// MaxScanBytes bounds how much of a response is buffered for
+	// scanning (default 4 MiB); larger responses pass unscanned rather
+	// than stalling the proxy.
+	MaxScanBytes int64
+}
+
+// NewProxy builds a scanning reverse proxy in front of upstream.
+func NewProxy(upstream *url.URL, vetter *Vetter) *Proxy {
+	p := &Proxy{vetter: vetter, MaxScanBytes: 4 << 20}
+	rp := httputil.NewSingleHostReverseProxy(upstream)
+	rp.ModifyResponse = p.modifyResponse
+	p.proxy = rp
+	return p
+}
+
+var _ http.Handler = (*Proxy)(nil)
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.proxy.ServeHTTP(w, r)
+}
+
+// scannable reports whether a response content type carries script.
+func scannable(contentType string) bool {
+	ct := strings.ToLower(contentType)
+	return strings.Contains(ct, "text/html") ||
+		strings.Contains(ct, "javascript") ||
+		strings.Contains(ct, "ecmascript")
+}
+
+func (p *Proxy) modifyResponse(resp *http.Response) error {
+	if !scannable(resp.Header.Get("Content-Type")) {
+		return nil
+	}
+	if resp.ContentLength > p.MaxScanBytes {
+		return nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, p.MaxScanBytes+1))
+	closeErr := resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("gateway: read upstream body: %w", err)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("gateway: close upstream body: %w", closeErr)
+	}
+	if int64(len(body)) > p.MaxScanBytes {
+		// Too large to scan: pass through what we read plus the rest.
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		return nil
+	}
+	if d := p.vetter.Vet(string(body)); d.Blocked {
+		blocked := fmt.Sprintf("blocked by kizzle: %s exploit kit detected\n", d.Family)
+		resp.StatusCode = http.StatusForbidden
+		resp.Status = http.StatusText(http.StatusForbidden)
+		resp.Header = http.Header{"Content-Type": {"text/plain; charset=utf-8"}}
+		resp.Body = io.NopCloser(strings.NewReader(blocked))
+		resp.ContentLength = int64(len(blocked))
+		return nil
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return nil
+}

@@ -1,0 +1,263 @@
+package gateway
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"kizzle"
+	"kizzle/synth"
+)
+
+// buildMatcher trains a matcher on one synthetic day.
+func buildMatcher(t *testing.T, day int) *kizzle.Matcher {
+	t.Helper()
+	c := kizzle.New(kizzle.WithSignatureSlack(2))
+	for _, fam := range synth.Kits() {
+		c.AddKnown(fam.String(), synth.Payload(fam, day-1))
+	}
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 60
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []kizzle.Sample
+	for _, s := range stream.Day(day) {
+		batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+	}
+	res, err := c.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kizzle.NewMatcher(res.Signatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func kitDoc(t *testing.T, day int) string {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 0
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stream.Day(day) {
+		if s.Family == synth.Angler {
+			return s.Content
+		}
+	}
+	t.Fatal("no Angler sample")
+	return ""
+}
+
+func TestVetter(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	v := NewVetter(buildMatcher(t, day))
+	if d := v.Vet(`var x = document.title;`); d.Blocked {
+		t.Error("benign blocked")
+	}
+	d := v.Vet(kitDoc(t, day))
+	if !d.Blocked || d.Family != "Angler" {
+		t.Errorf("kit decision = %+v", d)
+	}
+	scanned, blocked := v.Stats()
+	if scanned != 2 || blocked != 1 {
+		t.Errorf("stats = %d/%d, want 2/1", scanned, blocked)
+	}
+}
+
+func TestVetterNilScanner(t *testing.T) {
+	v := NewVetter(nil)
+	if d := v.Vet("anything"); d.Blocked {
+		t.Error("nil scanner must pass everything")
+	}
+}
+
+func TestVetterLiveUpdate(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	v := NewVetter(nil)
+	doc := kitDoc(t, day)
+	if v.Vet(doc).Blocked {
+		t.Fatal("unarmed vetter blocked")
+	}
+	v.Update(buildMatcher(t, day))
+	if !v.Vet(doc).Blocked {
+		t.Fatal("updated vetter must block")
+	}
+}
+
+func TestVetterConcurrent(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	v := NewVetter(buildMatcher(t, day))
+	doc := kitDoc(t, day)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if !v.Vet(doc).Blocked {
+					t.Error("concurrent vet missed")
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent updates while scanning.
+	for i := 0; i < 5; i++ {
+		v.Update(buildMatcher(t, day))
+	}
+	wg.Wait()
+}
+
+// TestProxyBlocksKitServesBenign drives the reverse proxy end to end with
+// a real upstream HTTP server.
+func TestProxyBlocksKitServesBenign(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	kit := kitDoc(t, day)
+	benign := `<html><body><script>var x = document.title;</script></body></html>`
+
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/landing":
+			w.Header().Set("Content-Type", "text/html")
+			io.WriteString(w, kit)
+		case "/app.js":
+			w.Header().Set("Content-Type", "application/javascript")
+			io.WriteString(w, `console.log("hello");`)
+		case "/logo.png":
+			w.Header().Set("Content-Type", "image/png")
+			w.Write([]byte{0x89, 'P', 'N', 'G'})
+		default:
+			w.Header().Set("Content-Type", "text/html")
+			io.WriteString(w, benign)
+		}
+	}))
+	defer upstream.Close()
+
+	target, err := url.Parse(upstream.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(NewProxy(target, NewVetter(buildMatcher(t, day))))
+	defer front.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(front.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/landing"); code != http.StatusForbidden {
+		t.Errorf("kit landing: status %d body %.60q, want 403", code, body)
+	}
+	if code, body := get("/index.html"); code != http.StatusOK || body != benign {
+		t.Errorf("benign page: status %d, body mismatch", code)
+	}
+	if code, _ := get("/app.js"); code != http.StatusOK {
+		t.Errorf("benign js: status %d", code)
+	}
+	if code, _ := get("/logo.png"); code != http.StatusOK {
+		t.Errorf("image passthrough: status %d", code)
+	}
+}
+
+func TestProxyOversizedPassesUnscanned(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	big := make([]byte, 2048)
+	for i := range big {
+		big[i] = 'a'
+	}
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		w.Write(big)
+	}))
+	defer upstream.Close()
+	target, err := url.Parse(upstream.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProxy(target, NewVetter(buildMatcher(t, day)))
+	p.MaxScanBytes = 1024
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/big.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(body) != len(big) {
+		t.Errorf("oversized response: status %d, %d bytes (want 200, %d)", resp.StatusCode, len(body), len(big))
+	}
+}
+
+func TestWrapMulti(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 0
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []string
+	for _, s := range stream.Day(day) {
+		if s.Family == synth.Angler {
+			docs = append(docs, s.Content)
+		}
+	}
+	multi, err := kizzle.GenerateMulti("Angler", docs, kizzle.WithMultiSlack(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := kizzle.NewMultiMatcher([]kizzle.MultiSignature{multi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVetter(WrapMulti(mm))
+	if d := v.Vet(docs[0]); !d.Blocked || d.Family != "Angler" {
+		t.Errorf("multi-backed vetter decision = %+v", d)
+	}
+	if v.Vet("var benign = 1;").Blocked {
+		t.Error("multi-backed vetter blocked benign")
+	}
+}
+
+func TestScannable(t *testing.T) {
+	tests := []struct {
+		ct   string
+		want bool
+	}{
+		{"text/html; charset=utf-8", true},
+		{"application/javascript", true},
+		{"text/javascript", true},
+		{"application/ecmascript", true},
+		{"image/png", false},
+		{"application/octet-stream", false},
+		{"", false},
+	}
+	for _, tt := range tests {
+		if got := scannable(tt.ct); got != tt.want {
+			t.Errorf("scannable(%q) = %v, want %v", tt.ct, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package avsim models the anonymized commercial anti-virus engine Kizzle
+// is compared against. The engine matches literal byte signatures over the
+// raw document — the classic AV approach — and its signature set evolves on
+// an analyst timetable: when a kit mutates past the current signatures, a
+// human writes a new one and it ships days later (the adversarial cycle of
+// Figure 1 and the window of vulnerability of Figure 6).
+package avsim
+
+import (
+	"sort"
+	"strings"
+)
+
+// ManualSignature is one analyst-written literal signature.
+type ManualSignature struct {
+	// Name labels the signature as in Figure 12 (e.g. "ANG.sig2").
+	Name string
+	// Family is the kit the analyst targeted.
+	Family string
+	// Literal is the byte pattern matched against the raw document.
+	Literal string
+	// ReleaseDay is the simulation day the signature shipped; before
+	// that day the engine does not know it.
+	ReleaseDay int
+	// RetireDay, if positive, is the day the vendor pulled the
+	// signature (e.g. after false-positive complaints).
+	RetireDay int
+}
+
+// Engine is a deployed AV engine with a dated signature database.
+type Engine struct {
+	sigs []ManualSignature
+}
+
+// NewEngine builds an engine from a signature history. Signatures are
+// sorted by release day for stable iteration.
+func NewEngine(sigs []ManualSignature) *Engine {
+	sorted := make([]ManualSignature, len(sigs))
+	copy(sorted, sigs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].ReleaseDay < sorted[j].ReleaseDay })
+	return &Engine{sigs: sorted}
+}
+
+// Active returns the signatures deployed on a given day.
+func (e *Engine) Active(day int) []ManualSignature {
+	var out []ManualSignature
+	for _, s := range e.sigs {
+		if s.ReleaseDay <= day && (s.RetireDay <= 0 || day < s.RetireDay) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Scan matches the day's active signatures against a raw document and
+// returns the families of all hits.
+func (e *Engine) Scan(doc string, day int) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, s := range e.Active(day) {
+		if strings.Contains(doc, s.Literal) && !seen[s.Family] {
+			seen[s.Family] = true
+			out = append(out, s.Family)
+		}
+	}
+	return out
+}
+
+// Detects reports whether any active signature matches.
+func (e *Engine) Detects(doc string, day int) bool {
+	for _, s := range e.Active(day) {
+		if strings.Contains(doc, s.Literal) {
+			return true
+		}
+	}
+	return false
+}
+
+// SignatureCount returns the number of signatures deployed on day.
+func (e *Engine) SignatureCount(day int) int { return len(e.Active(day)) }

@@ -1,0 +1,157 @@
+package avsim
+
+import (
+	"testing"
+
+	"kizzle/internal/ekit"
+)
+
+func TestActiveRespectsReleaseAndRetire(t *testing.T) {
+	e := NewEngine([]ManualSignature{
+		{Name: "a", Family: "X", Literal: "aaa", ReleaseDay: 10, RetireDay: 20},
+		{Name: "b", Family: "X", Literal: "bbb", ReleaseDay: 15},
+	})
+	tests := []struct {
+		day  int
+		want int
+	}{
+		{5, 0}, {10, 1}, {14, 1}, {15, 2}, {19, 2}, {20, 1}, {30, 1},
+	}
+	for _, tt := range tests {
+		if got := e.SignatureCount(tt.day); got != tt.want {
+			t.Errorf("day %d: %d active, want %d", tt.day, got, tt.want)
+		}
+	}
+}
+
+func TestScanMatchesLiteral(t *testing.T) {
+	e := NewEngine([]ManualSignature{
+		{Name: "s", Family: "RIG", Literal: `="y6";`, ReleaseDay: 0},
+	})
+	if !e.Detects(`var d="y6";`, 1) {
+		t.Error("literal must match")
+	}
+	if e.Detects(`var d="y7";`, 1) {
+		t.Error("non-matching literal")
+	}
+	fams := e.Scan(`var d="y6";`, 1)
+	if len(fams) != 1 || fams[0] != "RIG" {
+		t.Errorf("Scan = %v", fams)
+	}
+}
+
+func TestScanDedupesFamilies(t *testing.T) {
+	e := NewEngine([]ManualSignature{
+		{Name: "s1", Family: "RIG", Literal: "aaa", ReleaseDay: 0},
+		{Name: "s2", Family: "RIG", Literal: "bbb", ReleaseDay: 0},
+	})
+	fams := e.Scan("aaa bbb", 1)
+	if len(fams) != 1 {
+		t.Errorf("Scan = %v, want one deduped family", fams)
+	}
+}
+
+// TestWindowOfVulnerability reproduces the Figure 6 mechanics against real
+// generated Angler traffic: near-full coverage before 8/13, roughly half
+// coverage during the window, recovery after 8/19.
+func TestWindowOfVulnerability(t *testing.T) {
+	e := NewEngine(August2014History())
+	cfg := ekit.DefaultStreamConfig()
+	cfg.BenignPerDay = 0
+	stream, err := ekit.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fnRate := func(day int) float64 {
+		total, missed := 0, 0
+		for _, s := range stream.Day(day) {
+			if s.Family != ekit.FamilyAngler {
+				continue
+			}
+			total++
+			if !e.Detects(s.Content, day) {
+				missed++
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(missed) / float64(total)
+	}
+	if r := fnRate(ekit.Date(8, 10)); r > 0.05 {
+		t.Errorf("8/10 Angler FN rate = %v, want ~0 before the window", r)
+	}
+	if r := fnRate(ekit.Date(8, 15)); r < 0.3 || r > 0.8 {
+		t.Errorf("8/15 Angler FN rate = %v, want ~0.55 inside the window", r)
+	}
+	if r := fnRate(ekit.Date(8, 22)); r > 0.05 {
+		t.Errorf("8/22 Angler FN rate = %v, want ~0 after the generic signature", r)
+	}
+}
+
+// TestNuclearLag verifies the engine loses Nuclear during the late-August
+// delimiter churn and recovers with each NEK release.
+func TestNuclearLag(t *testing.T) {
+	e := NewEngine(August2014History())
+	cfg := ekit.DefaultStreamConfig()
+	cfg.BenignPerDay = 0
+	stream, err := ekit.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missRate := func(day int) float64 {
+		total, missed := 0, 0
+		for _, s := range stream.Day(day) {
+			if s.Family != ekit.FamilyNuclear {
+				continue
+			}
+			total++
+			if !e.Detects(s.Content, day) {
+				missed++
+			}
+		}
+		if total == 0 {
+			return -1
+		}
+		return float64(missed) / float64(total)
+	}
+	if r := missRate(ekit.Date(8, 5)); r > 0.05 && r >= 0 {
+		t.Errorf("8/5 Nuclear FN = %v, want ~0 (NEK.sig1 active)", r)
+	}
+	if r := missRate(ekit.Date(8, 20)); r >= 0 && r < 0.5 {
+		t.Errorf("8/20 Nuclear FN = %v, want high (analyst lag)", r)
+	}
+}
+
+// TestGenericSignatureFalsePositives: the 8/19 Angler response matches the
+// benign hex loader, the engine's dominant FP source (Figure 13a / 14).
+func TestGenericSignatureFalsePositives(t *testing.T) {
+	e := NewEngine(August2014History())
+	doc := ekit.BenignSample(ekit.BenignHexLoader, ekit.Date(8, 20), 0)
+	if e.Detects(doc, ekit.Date(8, 10)) {
+		t.Error("hexloader must not be flagged before 8/19")
+	}
+	if !e.Detects(doc, ekit.Date(8, 20)) {
+		t.Error("hexloader must be flagged by the generic 8/19 signature")
+	}
+}
+
+func TestSweetOrangeStableCoverage(t *testing.T) {
+	e := NewEngine(August2014History())
+	cfg := ekit.DefaultStreamConfig()
+	cfg.BenignPerDay = 0
+	stream, err := ekit.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, day := range []int{ekit.Date(8, 2), ekit.Date(8, 15), ekit.Date(8, 28)} {
+		for _, s := range stream.Day(day) {
+			if s.Family != ekit.FamilySweetOrange {
+				continue
+			}
+			if !e.Detects(s.Content, day) {
+				t.Errorf("day %s: Sweet Orange sample %s missed", ekit.Label(day), s.ID)
+			}
+		}
+	}
+}

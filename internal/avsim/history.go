@@ -1,0 +1,47 @@
+package avsim
+
+import "kizzle/internal/ekit"
+
+// August2014History reproduces the commercial engine's signature timeline
+// for the evaluation month, matching the red call-outs of Figure 12 and the
+// narrative of Example 1 / Figure 6:
+//
+//   - Angler was covered by a signature on the plain-HTML Java applet
+//     marker; on 8/13 the kit moved the marker into the packed body and the
+//     engine fell back to a gate-rotator signature covering only ~45% of
+//     traffic until a (too generic) replacement shipped on 8/19 — which
+//     then also matched legitimate hex decoders, the engine's main
+//     false-positive source.
+//   - Nuclear was tracked through its eval-delimiter literals; the analyst
+//     lag behind the 8/17→8/26 delimiter churn is the engine's main
+//     false-negative source late in the month.
+//   - RIG signatures key on the delimiter declaration and are refreshed
+//     with a ~2-day lag; old ones are retired on replacement.
+//   - Sweet Orange's Math.sqrt obfuscation is stable, so one signature
+//     holds all month.
+func August2014History() []ManualSignature {
+	nek := func(delim string) string { return "ev" + delim + "al" }
+	rig := func(delim string) string { return `="` + delim + `";` }
+	return []ManualSignature{
+		// Angler (Example 1, Figure 6).
+		{Name: "ANG.sig1", Family: "Angler", Literal: ekit.AnglerJavaMarker, ReleaseDay: ekit.Date(7, 10)},
+		{Name: "ANG.sig2", Family: "Angler", Literal: ekit.AnglerGateMarker, ReleaseDay: ekit.Date(7, 18)},
+		{Name: "ANG.sig3", Family: "Angler", Literal: ",2),16))", ReleaseDay: ekit.Date(8, 19)},
+
+		// Nuclear (Figure 12's NEK call-outs; first response to the
+		// late-August delimiter churn emerges 8/25).
+		{Name: "NEK.sig1", Family: "Nuclear", Literal: nek("3fwrwg4#"), ReleaseDay: ekit.Date(7, 23)},
+		{Name: "NEK.sig2", Family: "Nuclear", Literal: nek("fber443"), ReleaseDay: ekit.Date(8, 25)},
+		{Name: "NEK.sig3", Family: "Nuclear", Literal: nek("UluN"), ReleaseDay: ekit.Date(8, 30)},
+
+		// RIG (Figure 12's RIG.sig series), ~2-day analyst lag, retired
+		// on replacement.
+		{Name: "RIG.sig4", Family: "RIG", Literal: rig("zw"), ReleaseDay: ekit.Date(8, 1), RetireDay: ekit.Date(8, 9)},
+		{Name: "RIG.sig5", Family: "RIG", Literal: rig("c9d"), ReleaseDay: ekit.Date(8, 9), RetireDay: ekit.Date(8, 17)},
+		{Name: "RIG.sig6", Family: "RIG", Literal: rig("u5"), ReleaseDay: ekit.Date(8, 17), RetireDay: ekit.Date(8, 25)},
+		{Name: "RIG.sig7", Family: "RIG", Literal: rig("hh2"), ReleaseDay: ekit.Date(8, 25)},
+
+		// Sweet Orange: the stable obfuscation literal.
+		{Name: "SO.sig1", Family: "Sweet Orange", Literal: ".substr(Math.sqrt(", ReleaseDay: ekit.Date(7, 15)},
+	}
+}

@@ -1,0 +1,240 @@
+package dbscan
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// pointSet clusters 1-D float points with absolute-difference distance.
+type pointSet struct {
+	pts []float64
+	eps float64
+}
+
+func (p *pointSet) Len() int { return len(p.pts) }
+
+func (p *pointSet) Neighbors(i int) []int {
+	var out []int
+	for j := range p.pts {
+		if j != i && math.Abs(p.pts[i]-p.pts[j]) <= p.eps {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func TestClusterTwoBlobs(t *testing.T) {
+	// Two tight blobs far apart plus one outlier.
+	pts := []float64{0, 0.1, 0.2, 0.05, 10, 10.1, 10.2, 10.15, 55}
+	ids := Cluster(&pointSet{pts: pts, eps: 0.5}, 3)
+	if ids[8] != Noise {
+		t.Errorf("outlier got cluster %d, want noise", ids[8])
+	}
+	if ids[0] == Noise || ids[4] == Noise {
+		t.Fatalf("blob members marked noise: %v", ids)
+	}
+	if ids[0] == ids[4] {
+		t.Error("distant blobs merged into one cluster")
+	}
+	for i := 1; i < 4; i++ {
+		if ids[i] != ids[0] {
+			t.Errorf("point %d in wrong cluster: %v", i, ids)
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if ids[i] != ids[4] {
+			t.Errorf("point %d in wrong cluster: %v", i, ids)
+		}
+	}
+}
+
+func TestClusterAllNoiseWhenSparse(t *testing.T) {
+	pts := []float64{0, 10, 20, 30}
+	ids := Cluster(&pointSet{pts: pts, eps: 1}, 2)
+	for i, id := range ids {
+		if id != Noise {
+			t.Errorf("point %d = cluster %d, want noise", i, id)
+		}
+	}
+}
+
+func TestClusterSinglePointMinPtsOne(t *testing.T) {
+	ids := Cluster(&pointSet{pts: []float64{5}, eps: 1}, 1)
+	if ids[0] != 0 {
+		t.Errorf("minPts=1 single point should form cluster 0, got %d", ids[0])
+	}
+}
+
+func TestClusterEmpty(t *testing.T) {
+	ids := Cluster(&pointSet{}, 3)
+	if len(ids) != 0 {
+		t.Errorf("empty input produced %v", ids)
+	}
+}
+
+func TestClusterChainReachability(t *testing.T) {
+	// A chain of points each within eps of the next must form one cluster.
+	pts := make([]float64, 50)
+	for i := range pts {
+		pts[i] = float64(i) * 0.9
+	}
+	ids := Cluster(&pointSet{pts: pts, eps: 1.0}, 3)
+	for i, id := range ids {
+		if id != 0 {
+			t.Fatalf("chain point %d got cluster %d, want 0", i, id)
+		}
+	}
+}
+
+func TestBorderPointAdoption(t *testing.T) {
+	// Point 3 is within eps of a core point but is not core itself
+	// (only one neighbor): it must be adopted as a border point.
+	pts := []float64{0, 0.1, 0.2, 0.9}
+	ids := Cluster(&pointSet{pts: pts, eps: 0.75}, 3)
+	if ids[3] == Noise || ids[3] != ids[0] {
+		t.Errorf("border point not adopted: %v", ids)
+	}
+}
+
+func TestGroups(t *testing.T) {
+	groups := Groups([]int{0, 1, 0, Noise, 1, 2})
+	want := [][]int{{0, 2}, {1, 4}, {5}}
+	if len(groups) != len(want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+	for i := range want {
+		got := append([]int(nil), groups[i]...)
+		sort.Ints(got)
+		if len(got) != len(want[i]) {
+			t.Fatalf("group %d = %v, want %v", i, got, want[i])
+		}
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("group %d = %v, want %v", i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestGroupsEmpty(t *testing.T) {
+	if g := Groups(nil); len(g) != 0 {
+		t.Errorf("Groups(nil) = %v", g)
+	}
+	if g := Groups([]int{Noise, Noise}); len(g) != 0 {
+		t.Errorf("Groups(noise) = %v", g)
+	}
+}
+
+func TestFuncNeighborer(t *testing.T) {
+	f := &FuncNeighborer{N: 4, Within: func(i, j int) bool { return (i+j)%2 == 0 }}
+	got := f.Neighbors(0)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("Neighbors(0) = %v, want [2]", got)
+	}
+}
+
+func TestCachedNeighborerConsistency(t *testing.T) {
+	calls := 0
+	inner := &FuncNeighborer{N: 6, Within: func(i, j int) bool {
+		calls++
+		return j == i+1 || j == i-1
+	}}
+	c := &CachedNeighborer{Inner: inner}
+	first := c.Neighbors(2)
+	callsAfterFirst := calls
+	second := c.Neighbors(2)
+	if calls != callsAfterFirst {
+		t.Error("cached query recomputed distances")
+	}
+	if len(first) != len(second) {
+		t.Errorf("cached result differs: %v vs %v", first, second)
+	}
+}
+
+// Property: every non-noise point is within eps of at least one other point
+// in its cluster, and clustering is deterministic for a fixed scan order.
+func TestClusterInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		pts := make([]float64, 5+rng.Intn(60))
+		for i := range pts {
+			pts[i] = rng.Float64() * 20
+		}
+		set := &pointSet{pts: pts, eps: 0.8}
+		ids := Cluster(set, 3)
+		ids2 := Cluster(set, 3)
+		for i := range ids {
+			if ids[i] != ids2[i] {
+				t.Fatal("clustering not deterministic")
+			}
+			if ids[i] == Noise {
+				continue
+			}
+			ok := false
+			for j := range pts {
+				if j != i && ids[j] == ids[i] && math.Abs(pts[i]-pts[j]) <= set.eps {
+					ok = true
+					break
+				}
+			}
+			// Singleton clusters only possible with minPts=1.
+			if !ok {
+				t.Fatalf("point %d in cluster %d has no in-cluster neighbor", i, ids[i])
+			}
+		}
+	}
+}
+
+func BenchmarkCluster1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]float64, 1000)
+	for i := range pts {
+		pts[i] = rng.NormFloat64() * 10
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Cluster(&CachedNeighborer{Inner: &pointSet{pts: pts, eps: 0.5}}, 4)
+	}
+}
+
+func TestClusterWeighted(t *testing.T) {
+	// Two points close together: with unit weights and minPts=4 they stay
+	// noise; a weight of 3 on one of them makes both core.
+	pts := []float64{0, 0.1}
+	set := &pointSet{pts: pts, eps: 0.5}
+	ids := ClusterWeighted(set, nil, 4)
+	if ids[0] != Noise || ids[1] != Noise {
+		t.Fatalf("unit weights: ids = %v, want noise", ids)
+	}
+	ids = ClusterWeighted(set, []int{3, 1}, 4)
+	if ids[0] != 0 || ids[1] != 0 {
+		t.Fatalf("weighted: ids = %v, want one cluster", ids)
+	}
+}
+
+func TestClusterWeightedMatchesDuplication(t *testing.T) {
+	// Weighted clustering of unique points must equal unit clustering of
+	// the expanded multiset.
+	unique := []float64{0, 0.2, 5, 5.1, 9}
+	weights := []int{3, 1, 2, 2, 1}
+	var expanded []float64
+	for i, p := range unique {
+		for k := 0; k < weights[i]; k++ {
+			expanded = append(expanded, p)
+		}
+	}
+	uw := ClusterWeighted(&pointSet{pts: unique, eps: 0.5}, weights, 3)
+	ex := Cluster(&pointSet{pts: expanded, eps: 0.5}, 3)
+	// Point 0 (weight 3) must be clustered in both.
+	if (uw[0] == Noise) != (ex[0] == Noise) {
+		t.Errorf("weighted %v vs expanded %v disagree on point 0", uw, ex)
+	}
+	if (uw[2] == Noise) != (ex[4] == Noise) {
+		t.Errorf("weighted %v vs expanded %v disagree on the 5-blob", uw, ex)
+	}
+	if uw[4] != Noise || ex[len(ex)-1] != Noise {
+		t.Error("singleton must stay noise in both")
+	}
+}

@@ -1,0 +1,48 @@
+package ekit
+
+import "time"
+
+// The simulation calendar spans the paper's measurement window: days are
+// counted from 2014-06-01 (day 0), covering the three-month Nuclear
+// evolution study (Figure 5) and the August 2014 evaluation month
+// (Figures 6, 11, 12, 13, 14).
+var epoch = time.Date(2014, time.June, 1, 0, 0, 0, 0, time.UTC)
+
+// Calendar day constants.
+const (
+	// JuneStart is 2014-06-01, day 0.
+	JuneStart = 0
+	// AugustStart is 2014-08-01.
+	AugustStart = 61
+	// AugustEnd is 2014-08-31 (inclusive).
+	AugustEnd = 91
+	// SeptemberStart is the first day outside the evaluation window.
+	SeptemberStart = 92
+)
+
+// DateOf converts a simulation day to its calendar date.
+func DateOf(day int) time.Time { return epoch.AddDate(0, 0, day) }
+
+// DayOf converts a calendar date to a simulation day.
+func DayOf(t time.Time) int { return int(t.Sub(epoch).Hours() / 24) }
+
+// Date builds the simulation day for a 2014 month/day pair, e.g.
+// Date(8, 13) for the Angler variant flip of Figure 6.
+func Date(month time.Month, day int) int {
+	return DayOf(time.Date(2014, month, day, 0, 0, 0, 0, time.UTC))
+}
+
+// Label renders a day in the short "8/13" style the paper's figures use.
+func Label(day int) string {
+	d := DateOf(day)
+	return d.Format("1/2")
+}
+
+// AugustDays returns all 31 days of the evaluation month in order.
+func AugustDays() []int {
+	days := make([]int, 0, AugustEnd-AugustStart+1)
+	for d := AugustStart; d <= AugustEnd; d++ {
+		days = append(days, d)
+	}
+	return days
+}

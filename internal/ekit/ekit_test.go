@@ -1,0 +1,340 @@
+package ekit
+
+import (
+	"strings"
+	"testing"
+
+	"kizzle/internal/jstoken"
+	"kizzle/internal/winnow"
+)
+
+func TestCalendar(t *testing.T) {
+	tests := []struct {
+		day   int
+		label string
+	}{
+		{JuneStart, "6/1"},
+		{AugustStart, "8/1"},
+		{AugustEnd, "8/31"},
+		{Date(8, 13), "8/13"},
+		{Date(7, 29), "7/29"},
+	}
+	for _, tt := range tests {
+		if got := Label(tt.day); got != tt.label {
+			t.Errorf("Label(%d) = %s, want %s", tt.day, got, tt.label)
+		}
+	}
+	if got := DayOf(DateOf(42)); got != 42 {
+		t.Errorf("DayOf(DateOf(42)) = %d", got)
+	}
+	days := AugustDays()
+	if len(days) != 31 || days[0] != AugustStart || days[30] != AugustEnd {
+		t.Errorf("AugustDays() = %v", days)
+	}
+}
+
+func TestKitInventoryMatchesFigure2(t *testing.T) {
+	inv := KitInventory()
+	if len(inv) != 4 {
+		t.Fatalf("inventory has %d kits, want 4", len(inv))
+	}
+	byFam := make(map[Family]KitInfo, len(inv))
+	for _, k := range inv {
+		byFam[k.Family] = k
+	}
+	if byFam[FamilySweetOrange].AVCheck {
+		t.Error("Sweet Orange must not have an AV check (Figure 2)")
+	}
+	for _, f := range []Family{FamilyAngler, FamilyRIG, FamilyNuclear} {
+		if !byFam[f].AVCheck {
+			t.Errorf("%v must have an AV check (Figure 2)", f)
+		}
+	}
+	if got := byFam[FamilyNuclear].AdobeReader; len(got) != 1 || got[0] != "2010-0188" {
+		t.Errorf("Nuclear Reader CVEs = %v, want the 2010 CVE the paper highlights", got)
+	}
+	if got := byFam[FamilyAngler].Java; len(got) != 1 || got[0] != "2013-0422" {
+		t.Errorf("Angler Java CVEs = %v", got)
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if FamilyBenign.Malicious() {
+		t.Error("benign must not be malicious")
+	}
+	for _, f := range Families {
+		if !f.Malicious() {
+			t.Errorf("%v must be malicious", f)
+		}
+		if strings.HasPrefix(f.String(), "Family(") {
+			t.Errorf("missing name for %d", int(f))
+		}
+	}
+}
+
+func TestNuclearTimelineMatchesFigure5(t *testing.T) {
+	if len(NuclearTimeline) != 14 {
+		t.Fatalf("Nuclear timeline has %d entries, want 14 (13 packer changes + semantic)", len(NuclearTimeline))
+	}
+	semantic := 0
+	for i := 1; i < len(NuclearTimeline); i++ {
+		if NuclearTimeline[i].Day <= NuclearTimeline[i-1].Day {
+			t.Errorf("timeline not strictly ordered at %d", i)
+		}
+		if NuclearTimeline[i].Semantic {
+			semantic++
+		}
+	}
+	if semantic != 1 {
+		t.Errorf("semantic changes = %d, want exactly 1 (8/12)", semantic)
+	}
+	if got := VersionOn(FamilyNuclear, Date(8, 27)).Delim; got != "UluN" {
+		t.Errorf("delim on 8/27 = %q, want UluN (Figure 10a window)", got)
+	}
+	if got := VersionOn(FamilyNuclear, Date(6, 5)).Delim; got != "#FFFFFF" {
+		t.Errorf("delim on 6/5 = %q, want #FFFFFF", got)
+	}
+}
+
+func TestVersionFlipDays(t *testing.T) {
+	if !IsVersionFlipDay(FamilyAngler, Date(8, 13)) {
+		t.Error("8/13 must be Angler's flip day")
+	}
+	if IsVersionFlipDay(FamilyAngler, Date(8, 14)) {
+		t.Error("8/14 must not be a flip day")
+	}
+	if VersionIndex(FamilyAngler, Date(8, 12)) == VersionIndex(FamilyAngler, Date(8, 13)) {
+		t.Error("version index must change on 8/13")
+	}
+}
+
+func TestPayloadStability(t *testing.T) {
+	// Nuclear payload must be identical across a quiet stretch (Fig 11a).
+	a := Payload(FamilyNuclear, Date(8, 2))
+	b := Payload(FamilyNuclear, Date(8, 10))
+	if a != b {
+		t.Error("Nuclear payload changed in a quiet window")
+	}
+	// ...and must change on the 8/27 CVE append.
+	c := Payload(FamilyNuclear, Date(8, 27))
+	if a == c {
+		t.Error("Nuclear payload must grow on 8/27")
+	}
+	if !strings.Contains(c, "2013_0074") {
+		t.Error("appended CVE 2013-0074 missing from 8/27 payload")
+	}
+	if strings.Contains(a, "2013_0074") {
+		t.Error("CVE 2013-0074 present before 8/27")
+	}
+}
+
+func TestNuclearAVCheckBorrowedFromRIG(t *testing.T) {
+	// Before 7/29: no AV check in Nuclear; after: the exact RIG code.
+	before := Payload(FamilyNuclear, Date(7, 28))
+	after := Payload(FamilyNuclear, Date(7, 29))
+	if strings.Contains(before, avCheckCode) {
+		t.Error("Nuclear must not have AV check before 7/29")
+	}
+	if !strings.Contains(after, avCheckCode) {
+		t.Error("Nuclear must contain the exact borrowed AV-check code from 7/29")
+	}
+	if !strings.Contains(Payload(FamilyRIG, Date(6, 5)), avCheckCode) {
+		t.Error("RIG must contain the AV check throughout")
+	}
+}
+
+func TestRIGPayloadChurns(t *testing.T) {
+	a := Payload(FamilyRIG, Date(8, 2))
+	b := Payload(FamilyRIG, Date(8, 3))
+	if a == b {
+		t.Error("RIG payload must change daily (URL churn)")
+	}
+	cfg := winnow.DefaultConfig()
+	rigOverlap := winnow.Overlap(winnow.Fingerprint(a, cfg), winnow.Fingerprint(b, cfg))
+	nucOverlap := winnow.Overlap(
+		winnow.Fingerprint(Payload(FamilyNuclear, Date(8, 2)), cfg),
+		winnow.Fingerprint(Payload(FamilyNuclear, Date(8, 3)), cfg),
+	)
+	if nucOverlap < 0.96 {
+		t.Errorf("Nuclear day-over-day overlap = %v, want >= 0.96 (Figure 11a)", nucOverlap)
+	}
+	if rigOverlap > nucOverlap {
+		t.Errorf("RIG overlap %v must be below Nuclear %v (Figure 11d)", rigOverlap, nucOverlap)
+	}
+}
+
+func TestAnglerMarkerFlip(t *testing.T) {
+	before := Payload(FamilyAngler, Date(8, 12))
+	after := Payload(FamilyAngler, Date(8, 13))
+	if strings.Contains(before, AnglerJavaMarker) {
+		t.Error("marker must not be in the payload before 8/13")
+	}
+	if !strings.Contains(after, AnglerJavaMarker) {
+		t.Error("marker must be embedded in the payload from 8/13")
+	}
+}
+
+func TestPackersRandomizePerSample(t *testing.T) {
+	for _, fam := range Families {
+		p := Payload(fam, AugustStart)
+		a := Pack(fam, p, AugustStart, 0)
+		b := Pack(fam, p, AugustStart, 1)
+		if a == b {
+			t.Errorf("%v: two samples of one day must differ", fam)
+		}
+		// But their token structure must be near-identical (this is what
+		// clustering keys on).
+		sa, sb := jstoken.Abstract(jstoken.Lex(a)), jstoken.Abstract(jstoken.Lex(b))
+		if len(sa) == 0 {
+			t.Fatalf("%v: packed sample lexed to nothing", fam)
+		}
+		diff := lenDiff(len(sa), len(sb))
+		if diff > len(sa)/5 {
+			t.Errorf("%v: token lengths %d vs %d diverge too much", fam, len(sa), len(sb))
+		}
+	}
+}
+
+func lenDiff(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	s, err := NewStream(DefaultStreamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Day(AugustStart)
+	b := s.Day(AugustStart)
+	if len(a) != len(b) {
+		t.Fatalf("stream sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Content != b[i].Content || a[i].ID != b[i].ID {
+			t.Fatalf("sample %d differs between runs", i)
+		}
+	}
+}
+
+func TestStreamComposition(t *testing.T) {
+	cfg := DefaultStreamConfig()
+	cfg.BenignPerDay = 200
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := Date(8, 5)
+	samples := s.Day(day)
+	counts := make(map[Family]int)
+	benignKinds := make(map[string]int)
+	for _, smp := range samples {
+		counts[smp.Family]++
+		if smp.Family == FamilyBenign {
+			if smp.BenignKind == "" {
+				t.Error("benign sample missing kind")
+			}
+			benignKinds[smp.BenignKind]++
+		}
+		if smp.Content == "" || !strings.Contains(smp.Content, "<script") {
+			t.Error("sample content must be an HTML document with scripts")
+		}
+	}
+	if counts[FamilyBenign] != 200 {
+		t.Errorf("benign count = %d, want 200", counts[FamilyBenign])
+	}
+	if counts[FamilyAngler] <= counts[FamilyRIG] {
+		t.Errorf("Angler (%d) must outnumber RIG (%d)", counts[FamilyAngler], counts[FamilyRIG])
+	}
+	for _, kind := range []string{BenignPluginDetect, BenignCharLoader, BenignHexLoader} {
+		if benignKinds[kind] == 0 {
+			t.Errorf("special benign family %s absent", kind)
+		}
+	}
+	if len(benignKinds) < 10 {
+		t.Errorf("only %d benign families in a day, want a diverse mix", len(benignKinds))
+	}
+}
+
+func TestStreamConfigValidation(t *testing.T) {
+	if _, err := NewStream(StreamConfig{BenignPerDay: -1}); err == nil {
+		t.Error("negative BenignPerDay must be rejected")
+	}
+	if _, err := NewStream(StreamConfig{NewVariantTrickle: 1.5}); err == nil {
+		t.Error("trickle > 1 must be rejected")
+	}
+}
+
+func TestAnglerAppletOnlyBeforeFlip(t *testing.T) {
+	cfg := DefaultStreamConfig()
+	cfg.BenignPerDay = 0
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasApplet := func(day int) (with, without int) {
+		for _, smp := range s.Day(day) {
+			if smp.Family != FamilyAngler {
+				continue
+			}
+			if strings.Contains(smp.Content, "<applet") {
+				with++
+			} else {
+				without++
+			}
+		}
+		return with, without
+	}
+	with, without := hasApplet(Date(8, 10))
+	if without != 0 || with == 0 {
+		t.Errorf("8/10: applet tags = %d/%d, want all-with", with, without)
+	}
+	with, without = hasApplet(Date(8, 14))
+	if with != 0 || without == 0 {
+		t.Errorf("8/14: applet tags = %d/%d, want none-with", with, without)
+	}
+	// Flip day: mixed (old variant dominates, new trickles in).
+	with, without = hasApplet(Date(8, 13))
+	if with == 0 {
+		t.Error("8/13 must still serve mostly old-variant traffic")
+	}
+}
+
+// Same-day samples of one kit must abstract to identical symbol sequences
+// apart from volume-independent offsets — i.e. they must cluster together.
+func TestKitSamplesClusterable(t *testing.T) {
+	cfg := DefaultStreamConfig()
+	cfg.BenignPerDay = 0
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFam := make(map[Family][][]jstoken.Symbol)
+	for _, smp := range s.Day(Date(8, 5)) {
+		syms := jstoken.Abstract(jstoken.LexDocument(smp.Content))
+		byFam[smp.Family] = append(byFam[smp.Family], syms)
+	}
+	for fam, seqs := range byFam {
+		if len(seqs) < 2 {
+			continue
+		}
+		for i := 1; i < len(seqs); i++ {
+			if lenDiff(len(seqs[0]), len(seqs[i])) > len(seqs[0])/5 {
+				t.Errorf("%v: sample token counts %d vs %d too far apart to cluster", fam, len(seqs[0]), len(seqs[i]))
+			}
+		}
+	}
+}
+
+func BenchmarkStreamDay(b *testing.B) {
+	s, err := NewStream(DefaultStreamConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Day(AugustStart + i%31)
+	}
+}

@@ -1,0 +1,120 @@
+// Package ekit is the synthetic exploit-kit substrate: it reproduces, as a
+// deterministic generator, the grayware stream the paper collected through
+// browser telemetry in August 2014. Each of the four studied kits (RIG,
+// Nuclear, Angler, Sweet Orange) is modeled with the layered structure of
+// Figure 3 — a fast-mutating packer around a slowly-evolving payload — with
+// per-sample randomization (identifiers, delimiters, keys) and the
+// dated mutation events of Figure 5. Benign traffic comes from a parametric
+// family generator plus special-cased families (a PluginDetect-alike that
+// shares code with Nuclear, per Figure 15, and a charcode loader that is
+// structurally close to RIG's packer).
+//
+// Everything is keyed by (family, day, index), so streams are reproducible:
+// the same configuration always yields byte-identical corpora.
+package ekit
+
+import "fmt"
+
+// Family identifies the ground-truth origin of a sample.
+type Family int
+
+// The four exploit kits under study plus benign. FamilyBenign is the zero
+// value: an unlabeled sample is benign until proven otherwise.
+const (
+	FamilyBenign Family = iota
+	FamilyRIG
+	FamilyNuclear
+	FamilyAngler
+	FamilySweetOrange
+)
+
+// Families lists the malicious families in a stable order.
+var Families = []Family{FamilyRIG, FamilyNuclear, FamilyAngler, FamilySweetOrange}
+
+// String returns the family name as used in the paper.
+func (f Family) String() string {
+	switch f {
+	case FamilyBenign:
+		return "Benign"
+	case FamilyRIG:
+		return "RIG"
+	case FamilyNuclear:
+		return "Nuclear"
+	case FamilyAngler:
+		return "Angler"
+	case FamilySweetOrange:
+		return "Sweet Orange"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Malicious reports whether the family is an exploit kit.
+func (f Family) Malicious() bool { return f != FamilyBenign }
+
+// CVE names a targeted vulnerability.
+type CVE string
+
+// KitInfo is one row of the paper's Figure 2: the CVE inventory of a kit as
+// of September 2014, broken down by targeted component.
+type KitInfo struct {
+	Family      Family
+	Flash       []CVE
+	Silverlight []CVE
+	Java        []CVE
+	AdobeReader []CVE
+	IE          []CVE
+	AVCheck     bool
+}
+
+// KitInventory reproduces Figure 2 exactly.
+func KitInventory() []KitInfo {
+	return []KitInfo{
+		{
+			Family: FamilySweetOrange,
+			Flash:  []CVE{"2014-0515"},
+			Java:   []CVE{"Unknown"},
+			IE:     []CVE{"2013-2551", "2014-0322"},
+		},
+		{
+			Family:      FamilyAngler,
+			Flash:       []CVE{"2014-0507", "2014-0515"},
+			Silverlight: []CVE{"2013-0074"},
+			Java:        []CVE{"2013-0422"},
+			IE:          []CVE{"2013-2551"},
+			AVCheck:     true,
+		},
+		{
+			Family:      FamilyRIG,
+			Flash:       []CVE{"2014-0497"},
+			Silverlight: []CVE{"2013-0074"},
+			Java:        []CVE{"Unknown"},
+			IE:          []CVE{"2013-2551"},
+			AVCheck:     true,
+		},
+		{
+			Family:      FamilyNuclear,
+			Flash:       []CVE{"(2013-5331)", "2014-0497"},
+			Java:        []CVE{"2013-2423", "2013-2460"},
+			AdobeReader: []CVE{"2010-0188"},
+			IE:          []CVE{"2013-2551"},
+			AVCheck:     true,
+		},
+	}
+}
+
+// Sample is one grayware document with its ground truth.
+type Sample struct {
+	// ID uniquely identifies the sample within a stream.
+	ID string
+	// Day is the simulation day (days since 2014-06-01; see Calendar).
+	Day int
+	// Family is the ground-truth origin; FamilyBenign for benign code.
+	Family Family
+	// BenignKind names the benign generator family (empty for kits).
+	BenignKind string
+	// Variant tags which packer version produced a malicious sample.
+	Variant int
+	// Content is the full HTML document, inline scripts included.
+	Content string
+}

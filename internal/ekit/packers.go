@@ -1,0 +1,229 @@
+package ekit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file models the *outer* layer of the onion: the packers of
+// Figure 4. Each packer encodes the day's payload with per-sample
+// randomness (identifiers, keys) and per-version structure (delimiters,
+// obfuscation constants). The encodings round-trip with internal/unpack.
+
+// interleave splices delim between every character of s — Nuclear's
+// API-name obfuscation ("substr" -> "sUluNuUluNbUluN...").
+func interleave(s, delim string) string {
+	var sb strings.Builder
+	sb.Grow(len(s) * (1 + len(delim)))
+	for i := 0; i < len(s); i++ {
+		if i > 0 {
+			sb.WriteString(delim)
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}
+
+// encodeDecimalXOR encodes payload as fixed-width 3-digit decimal codes,
+// each byte XORed with the cycling key — Nuclear's "encryption key" scheme:
+// the key (and therefore the encoded payload) differs in every response.
+func encodeDecimalXOR(payload, key string) string {
+	var sb strings.Builder
+	sb.Grow(len(payload) * 3)
+	for i := 0; i < len(payload); i++ {
+		c := payload[i] ^ key[i%len(key)]
+		sb.WriteString(fmt.Sprintf("%03d", c))
+	}
+	return sb.String()
+}
+
+// PackNuclear wraps the payload in the Figure 4(b) unpacker: an encrypted
+// payload string, a per-sample crypt key, a getter indirection, and the
+// delimiter-obfuscated eval/window trigger. All identifiers are random per
+// sample; the delimiter comes from the active PackerVersion.
+func PackNuclear(payload string, day, index int) string {
+	r := rng("nuclear-pack", FamilyNuclear, day, index)
+	v := VersionOn(FamilyNuclear, day)
+	key := randAlnum(r, 32, 48)
+	enc := encodeDecimalXOR(payload, key)
+
+	pv, kv := randIdent(r, 5, 8), randIdent(r, 5, 8)
+	getter, thiscopy := randIdent(r, 5, 8), randIdent(r, 5, 8)
+	doc, bgc := randIdent(r, 4, 7), randIdent(r, 4, 7)
+	evl, win := randIdent(r, 4, 7), randIdent(r, 4, 7)
+	out, ii := randIdent(r, 4, 7), randIdent(r, 3, 5)
+
+	d := v.Delim
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "var %s=%q;\n", pv, enc)
+	fmt.Fprintf(&sb, "var %s=%q;\n", kv, key)
+	fmt.Fprintf(&sb, "%s=function(a){return a;};\n", getter)
+	fmt.Fprintf(&sb, "%s=this;\n", thiscopy)
+	fmt.Fprintf(&sb, "%s=%s[%s[%q](%q)];\n", doc, thiscopy, thiscopy, getter, "document")
+	fmt.Fprintf(&sb, "%s=%s[%s[%q](%q)];\n", bgc, doc, thiscopy, getter, "bgColor")
+	// The API-name block the Figure 10(a) signature keys on.
+	fmt.Fprintf(&sb, "var ops=[%s[%q](%q),%s[%q](%q),%s[%q](%q),%s[%q](%q)];\n",
+		thiscopy, getter, interleave("concat", d),
+		thiscopy, getter, interleave("substr", d),
+		thiscopy, getter, interleave("Color", d),
+		thiscopy, getter, interleave("length", d))
+	fmt.Fprintf(&sb, "%s=%s[%q](\"ev%sal\");\n", evl, thiscopy, getter, d)
+	fmt.Fprintf(&sb, "%s=%s[%q](\"win%sdow\");\n", win, thiscopy, getter, d)
+	// Decode loop: strip the key by XOR over 3-digit groups.
+	fmt.Fprintf(&sb, "var %s=\"\";\nfor(var %s=0;%s<%s.length;%s+=3){%s+=String.fromCharCode(parseInt(%s.substr(%s,3),10)^%s.charCodeAt((%s/3)%%%s.length));}\n",
+		out, ii, ii, pv, ii, out, pv, ii, kv, ii, kv)
+	fmt.Fprintf(&sb, "%s[%s[\"replace\"](%s,\"\")][%s[\"replace\"](%s,\"\")](%s);\n",
+		thiscopy, win, bgc, evl, bgc, out)
+	return sb.String()
+}
+
+// PackRIG wraps the payload in the Figure 4(a) unpacker: char codes joined
+// by the version delimiter, fed through collect() calls into a buffer, then
+// split and fromCharCode'd into a script element.
+func PackRIG(payload string, day, index int) string {
+	r := rng("rig-pack", FamilyRIG, day, index)
+	v := VersionOn(FamilyRIG, day)
+	delim := v.Delim
+
+	codes := make([]string, len(payload))
+	for i := 0; i < len(payload); i++ {
+		codes[i] = strconv.Itoa(int(payload[i]))
+	}
+	joined := strings.Join(codes, delim) + delim
+
+	buffer, collect := randIdent(r, 5, 8), randIdent(r, 5, 8)
+	dv, pieces := randIdent(r, 4, 6), randIdent(r, 5, 8)
+	screlem, iv := randIdent(r, 5, 8), randIdent(r, 2, 3)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "var %s=\"\";\n", buffer)
+	fmt.Fprintf(&sb, "var %s=%q;\n", dv, delim)
+	fmt.Fprintf(&sb, "function %s(text){%s+=text;}\n", collect, buffer)
+	// Split the encoded stream across several collect calls, at
+	// delimiter boundaries so decoding is chunk-order independent.
+	chunks := splitChunks(joined, 180+r.Intn(60))
+	for _, ch := range chunks {
+		fmt.Fprintf(&sb, "%s(%q);\n", collect, ch)
+	}
+	fmt.Fprintf(&sb, "%s=%s.split(%s);\n", pieces, buffer, dv)
+	fmt.Fprintf(&sb, "%s=document.createElement(\"script\");\n", screlem)
+	fmt.Fprintf(&sb, "for(var %s=0;%s<%s.length;%s++){if(%s[%s]!=\"\"){%s.text+=String.fromCharCode(%s[%s]);}}\n",
+		iv, iv, pieces, iv, pieces, iv, screlem, pieces, iv)
+	fmt.Fprintf(&sb, "document.body.appendChild(%s);\n", screlem)
+	return sb.String()
+}
+
+// splitChunks cuts s into pieces of roughly n bytes.
+func splitChunks(s string, n int) []string {
+	if n <= 0 {
+		n = 180
+	}
+	var out []string
+	for len(s) > n {
+		out = append(out, s[:n])
+		s = s[n:]
+	}
+	if len(s) > 0 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// encodeHex encodes payload bytes as lowercase hex pairs.
+func encodeHex(payload string) string {
+	const hexdigits = "0123456789abcdef"
+	b := make([]byte, 0, len(payload)*2)
+	for i := 0; i < len(payload); i++ {
+		b = append(b, hexdigits[payload[i]>>4], hexdigits[payload[i]&0x0f])
+	}
+	return string(b)
+}
+
+// AnglerGateMarker appears in roughly half of Angler responses (the
+// campaigns that route through an iframe gate); the second manual AV
+// signature matches it, which is why AV's Angler coverage drops to ~50%
+// rather than zero during the window of vulnerability.
+const AnglerGateMarker = "anglr_gate_rotator_28"
+
+// PackAngler produces Angler's packed body: hex-encoded payload plus a
+// compact decoder. Before 8/13 the Java marker is additionally served as a
+// plain HTML applet tag (handled in the HTML wrapper); withGate controls
+// the optional gate-rotator chunk.
+func PackAngler(payload string, day, index int, withGate bool) string {
+	r := rng("angler-pack", FamilyAngler, day, index)
+	enc := encodeHex(payload)
+	dv, ov, iv := randIdent(r, 5, 9), randIdent(r, 5, 9), randIdent(r, 2, 4)
+
+	var sb strings.Builder
+	if withGate {
+		fmt.Fprintf(&sb, "var gate=%q+%q;\n", AnglerGateMarker, randAlnum(r, 6, 12))
+	}
+	fmt.Fprintf(&sb, "var %s=%q;\n", dv, enc)
+	fmt.Fprintf(&sb, "var %s=\"\";\n", ov)
+	fmt.Fprintf(&sb, "for(var %s=0;%s<%s.length;%s+=2){%s+=String.fromCharCode(parseInt(%s.substr(%s,2),16));}\n",
+		iv, iv, dv, iv, ov, dv, iv)
+	fmt.Fprintf(&sb, "window[\"ev\"+\"al\"](%s);\n", ov)
+	return sb.String()
+}
+
+// PackSweetOrange hides hex-encoded payload chunks inside longer random
+// strings, recovered with substr(Math.sqrt(N), len) — the integer-literal
+// obfuscation of Figure 10(b). N is the active version's perfect square.
+func PackSweetOrange(payload string, day, index int) string {
+	r := rng("so-pack", FamilySweetOrange, day, index)
+	v := VersionOn(FamilySweetOrange, day)
+	square, _ := strconv.Atoi(v.Delim)
+	offset := intSqrt(square)
+
+	enc := encodeHex(payload)
+	const chunkLen = 48
+	qq, fn := randIdent(r, 4, 7), randIdent(r, 5, 8)
+	hx, out, iv := randIdent(r, 4, 7), randIdent(r, 4, 7), randIdent(r, 2, 4)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "function %s(){var %s=[];\n", fn, qq)
+	for start := 0; start < len(enc); start += chunkLen {
+		end := start + chunkLen
+		if end > len(enc) {
+			end = len(enc)
+		}
+		chunk := enc[start:end]
+		carrier := randLower(r, offset, offset) + chunk + randLower(r, 4, 9)
+		fmt.Fprintf(&sb, "%s.push(%q.substr(Math.sqrt(%d),%d));\n", qq, carrier, square, len(chunk))
+	}
+	fmt.Fprintf(&sb, "return %s.join(\"\");}\n", qq)
+	fmt.Fprintf(&sb, "var %s=%s();var %s=\"\";\n", hx, fn, out)
+	fmt.Fprintf(&sb, "for(var %s=0;%s<%s.length;%s+=2){%s+=String.fromCharCode(parseInt(%s.substr(%s,2),16));}\n",
+		iv, iv, hx, iv, out, hx, iv)
+	fmt.Fprintf(&sb, "window[\"e\"+\"va\"+\"l\"](%s);\n", out)
+	return sb.String()
+}
+
+func intSqrt(n int) int {
+	for i := 0; i*i <= n; i++ {
+		if i*i == n {
+			return i
+		}
+	}
+	return 0
+}
+
+// Pack dispatches to the family's packer for the packer version active on
+// day (or, on flip days, the previous version when useOld is set — the
+// trickle mechanism lives in stream.go).
+func Pack(family Family, payload string, day, index int) string {
+	switch family {
+	case FamilyNuclear:
+		return PackNuclear(payload, day, index)
+	case FamilyRIG:
+		return PackRIG(payload, day, index)
+	case FamilyAngler:
+		r := rng("angler-gate", FamilyAngler, day, index)
+		return PackAngler(payload, day, index, r.Float64() < 0.45)
+	case FamilySweetOrange:
+		return PackSweetOrange(payload, day, index)
+	default:
+		return payload
+	}
+}

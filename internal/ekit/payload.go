@@ -1,0 +1,224 @@
+package ekit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file models the *inner* layer of the onion: the unpacked payloads.
+// Per the paper's key observation, payloads keep stable identifiers and
+// structure across versions — kit authors append to them (new CVEs, an AV
+// check) but rarely rewrite them. All identifiers below are therefore fixed
+// strings, not randomized.
+
+// avCheckCode is the anti-AV file-probing routine. The paper observed the
+// *exact same code* in RIG from May 2014 and in Nuclear from August,
+// "apparently having been copied from the rivaling kit" — so it is a single
+// shared constant here too.
+const avCheckCode = `function checkAV(){var res=[];var files=["c:\\Windows\\System32\\drivers\\kl1.sys","c:\\Windows\\System32\\drivers\\tmactmon.sys","c:\\Windows\\System32\\drivers\\avgntflt.sys","c:\\Windows\\System32\\drivers\\avc3.sys"];for(var fi=0;fi<files.length;fi++){try{var ax=new ActiveXObject("Scripting.FileSystemObject");if(ax.FileExists(files[fi])){res.push(files[fi]);}}catch(errv){}}return res.length===0;}`
+
+// pluginDetectCore is the plugin-version fingerprinting library. Nuclear's
+// detector is borrowed from the benign PluginDetect library, which is why
+// the paper's one representative false positive (Figure 15) is PluginDetect
+// itself at 79% winnow overlap with Nuclear. The benign generator embeds
+// this same constant.
+const pluginDetectCore = `var PluginProbe={rgx:{any:/^\s*function/,num:/^number$/,arr:/Array/,str:/String/},hasOwn:function(obj,prop){return Object.prototype.hasOwnProperty.call(obj,prop);},toString:({}).constructor.prototype.toString,isPlainObject:function(c){var a=this,b;if(!c||a.rgx.any.test(a.toString.call(c))||c.window==c||a.rgx.num.test(a.toString.call(c.nodeType))){return 0;}try{if(!a.hasOwn(c,"constructor")&&!a.hasOwn(c.constructor.prototype,"isPrototypeOf")){return 0;}}catch(b2){return 0;}return 1;},isDefined:function(b){return typeof b!="undefined";},isArray:function(b){return this.rgx.arr.test(this.toString.call(b));},isString:function(b){return this.rgx.str.test(this.toString.call(b));},getVersion:function(name){var nav=window.navigator,plugs=nav.plugins;for(var pi=0;pi<plugs.length;pi++){if(plugs[pi].name.indexOf(name)>=0){return plugs[pi].description;}}try{var axo=new ActiveXObject(name);return axo.GetVariable("$version");}catch(e9){}return null;}};`
+
+// exploitRoutine renders one CVE's exploit stub. Structure is constant per
+// CVE; the routine names come straight from the Figure 2 inventory.
+func exploitRoutine(component string, cve CVE) string {
+	clean := strings.NewReplacer("-", "_", "(", "", ")", "").Replace(string(cve))
+	return fmt.Sprintf(`function run_%s_%s(){var tgt=PluginProbe.getVersion(%q);if(!tgt){return false;}var el=document.createElement("object");el.setAttribute("data","payload_%s");el.setAttribute("type","application/x-%s");document.body.appendChild(el);return true;}`,
+		strings.ToLower(component), clean, component, clean, strings.ToLower(component))
+}
+
+// evalTrigger is the short stub that kicks off kit execution once unpacked.
+const evalTrigger = `(function(){var go=true;if(typeof checkAV=="function"){go=checkAV();}if(go){runAll();}})();`
+
+// runAllStub chains the exploit routines in a fixed order.
+func runAllStub(names []string) string {
+	var sb strings.Builder
+	sb.WriteString(`function runAll(){`)
+	for _, n := range names {
+		sb.WriteString(`if(` + n + `()){return;}`)
+	}
+	sb.WriteString(`}`)
+	return sb.String()
+}
+
+// routineName reconstructs the name emitted by exploitRoutine.
+func routineName(component string, cve CVE) string {
+	clean := strings.NewReplacer("-", "_", "(", "", ")", "").Replace(string(cve))
+	return "run_" + strings.ToLower(component) + "_" + clean
+}
+
+// Payload mutation dates (Figure 5 and §II-B).
+var (
+	// nuclearAVCheckDay: 7/29, "AV detection was added to the plug-in
+	// detector" (borrowed from RIG).
+	nuclearAVCheckDay = Date(7, 29)
+	// nuclearCVEAppendDay: 8/27, "CVE 2013-0074 (SL)" appended.
+	nuclearCVEAppendDay = Date(8, 27)
+	// anglerEmbedDay: 8/13, the Java-exploit marker string moved from the
+	// plain HTML snippet into the obfuscated body (Figure 6).
+	anglerEmbedDay = Date(8, 13)
+)
+
+// AnglerJavaMarker is the distinctive string the commercial AV signature
+// matched on (Example 1): visible in plain HTML before 8/13, inside the
+// packed body afterwards.
+const AnglerJavaMarker = `applet_cve_2013_0422_loader_v2`
+
+// deliverCode is the hidden-iframe gate rotator. It is public loader
+// boilerplate: the RIG author lifted it from the same snippet legitimate
+// tracking widgets use, so the benign "charloader" family's decoded payload
+// shares these exact bytes with RIG's unpacked body. Combined with RIG's
+// necessarily low labeling threshold (its body churns ~50% a day), this is
+// what makes RIG the family "that gave Kizzle the most challenge"
+// (Figure 14's RIG false positives).
+const deliverCode = `function deliver(){for(var gi=0;gi<gates.length;gi++){var fr=document.createElement("iframe");fr.setAttribute("src",gates[gi]);fr.width=1;fr.height=1;fr.frameBorder=0;document.body.appendChild(fr);}}`
+
+// Payload returns the unpacked inner code of a kit on a given day. Within a
+// day the payload is constant across samples (the slow-moving core); only
+// RIG embeds per-day campaign URLs, which is what makes its day-over-day
+// similarity so noisy (Figure 11d).
+func Payload(family Family, day int) string {
+	switch family {
+	case FamilyRIG:
+		return rigPayload(day)
+	case FamilyNuclear:
+		return nuclearPayload(day)
+	case FamilyAngler:
+		return anglerPayload(day)
+	case FamilySweetOrange:
+		return sweetOrangePayload(day)
+	default:
+		return ""
+	}
+}
+
+func nuclearPayload(day int) string {
+	parts := []string{pluginDetectCore}
+	routines := []string{
+		exploitRoutine("Flash", "2013-5331"),
+		exploitRoutine("Flash", "2014-0497"),
+		exploitRoutine("Java", "2013-2423"),
+		exploitRoutine("Java", "2013-2460"),
+		exploitRoutine("Reader", "2010-0188"),
+		exploitRoutine("IE", "2013-2551"),
+	}
+	names := []string{
+		routineName("Flash", "2013-5331"),
+		routineName("Flash", "2014-0497"),
+		routineName("Java", "2013-2423"),
+		routineName("Java", "2013-2460"),
+		routineName("Reader", "2010-0188"),
+		routineName("IE", "2013-2551"),
+	}
+	if day >= nuclearCVEAppendDay {
+		routines = append(routines, exploitRoutine("Silverlight", "2013-0074"))
+		names = append(names, routineName("Silverlight", "2013-0074"))
+	}
+	parts = append(parts, routines...)
+	if day >= nuclearAVCheckDay {
+		parts = append(parts, avCheckCode)
+	}
+	parts = append(parts, runAllStub(names), evalTrigger)
+	return strings.Join(parts, "\n")
+}
+
+// anglerDetectCore is Angler's own plugin fingerprinting. Unlike Nuclear,
+// Angler did not borrow the PluginDetect library, so the benign
+// PluginDetect-alike overlaps Nuclear — not Angler — at labeling time.
+const anglerDetectCore = `var AxProbe={cache:{},query:function(clsid){if(this.cache[clsid]!==undefined){return this.cache[clsid];}var hit=null;try{hit=new ActiveXObject(clsid);}catch(qe){}this.cache[clsid]=hit;return hit;},versionOf:function(name){var mimes=window.navigator.mimeTypes;for(var mi=0;mi<mimes.length;mi++){if(mimes[mi].type.indexOf(name)>=0&&mimes[mi].enabledPlugin){return mimes[mi].enabledPlugin.description;}}var ax=this.query(name+".1");if(ax){try{return ax.GetVariable("$version");}catch(ve){}}return null;}};
+var PluginProbe={getVersion:function(name){return AxProbe.versionOf(name);}};`
+
+func anglerPayload(day int) string {
+	parts := []string{anglerDetectCore, avCheckCode}
+	routines := []string{
+		exploitRoutine("Flash", "2014-0507"),
+		exploitRoutine("Flash", "2014-0515"),
+		exploitRoutine("Silverlight", "2013-0074"),
+		exploitRoutine("IE", "2013-2551"),
+	}
+	names := []string{
+		routineName("Flash", "2014-0507"),
+		routineName("Flash", "2014-0515"),
+		routineName("Silverlight", "2013-0074"),
+		routineName("IE", "2013-2551"),
+	}
+	// The Java exploit: served as a plain HTML applet before 8/13, after
+	// which the marker is only written from inside the payload when a
+	// vulnerable Java version is present.
+	if day >= anglerEmbedDay {
+		routines = append(routines, `function run_java_2013_0422(){var jv=PluginProbe.getVersion("Java");if(!jv){return false;}document.write('<applet code="`+AnglerJavaMarker+`"></applet>');return true;}`)
+		names = append(names, "run_java_2013_0422")
+	}
+	parts = append(parts, routines...)
+	parts = append(parts, runAllStub(names), evalTrigger)
+	return strings.Join(parts, "\n")
+}
+
+func rigPayload(day int) string {
+	r := rng("rig-urls", FamilyRIG, day, 0)
+	// RIG's unpacked body is short and dominated by per-day campaign
+	// URLs; "these URLs alone represent a significant enough part of the
+	// code to create a 50% churn" day over day (Figure 11d). The URL
+	// count swings widely between campaigns.
+	count := 6 + r.Intn(10)
+	urls := make([]string, count)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://%s.%s/%s/%s.php?id=%s&c=%s",
+			randLower(r, 8, 14), randLower(r, 5, 9), randLower(r, 6, 10),
+			randLower(r, 6, 10), randAlnum(r, 16, 24), randAlnum(r, 10, 18))
+	}
+	var sb strings.Builder
+	sb.WriteString(avCheckCode)
+	sb.WriteString("\nvar gates=[")
+	for i, u := range urls {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`"` + u + `"`)
+	}
+	sb.WriteString("];\n")
+	sb.WriteString(exploitRoutine("Flash", "2014-0497"))
+	sb.WriteString("\n")
+	sb.WriteString(deliverCode)
+	sb.WriteString("\n")
+	sb.WriteString(runAllStub([]string{routineName("Flash", "2014-0497"), "deliver"}))
+	sb.WriteString("\n")
+	sb.WriteString(evalTrigger)
+	return sb.String()
+}
+
+func sweetOrangePayload(day int) string {
+	parts := []string{pluginDetectCore}
+	parts = append(parts,
+		exploitRoutine("Flash", "2014-0515"),
+		exploitRoutine("Java", "Unknown"),
+		exploitRoutine("IE", "2013-2551"),
+		exploitRoutine("IE", "2014-0322"),
+	)
+	// Sweet Orange rotates a mid-sized landing-page section every few
+	// days, giving the 50–95% band of Figure 11(b).
+	epochIdx := day / 3
+	r := rng("so-rotator", FamilySweetOrange, epochIdx, 0)
+	var rot strings.Builder
+	rot.WriteString("var landing={")
+	for i := 0; i < 20+r.Intn(14); i++ {
+		if i > 0 {
+			rot.WriteString(",")
+		}
+		fmt.Fprintf(&rot, "%s:%q", randLower(r, 5, 9), randAlnum(r, 14, 34))
+	}
+	rot.WriteString("};")
+	parts = append(parts, rot.String())
+	parts = append(parts, runAllStub([]string{
+		routineName("Flash", "2014-0515"),
+		routineName("Java", "Unknown"),
+		routineName("IE", "2013-2551"),
+		routineName("IE", "2014-0322"),
+	}), evalTrigger)
+	return strings.Join(parts, "\n")
+}

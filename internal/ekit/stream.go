@@ -1,0 +1,167 @@
+package ekit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StreamConfig scales the daily grayware stream. The defaults are a
+// 1:30-ish scale model of the paper's August 2014 volumes (80k–500k
+// samples/day with Figure 14's per-kit ground truth of 58,856 over the
+// month); rates, not absolute counts, are the comparable quantity.
+type StreamConfig struct {
+	// BenignPerDay is the number of benign samples per day, spread over
+	// the benign families with a heavy-tailed mix.
+	BenignPerDay int
+	// KitPerDay gives the mean daily volume per kit.
+	KitPerDay map[Family]int
+	// NewVariantTrickle is the fraction of a kit's flip-day traffic that
+	// already carries the new packer version (the rest still runs the
+	// old one); low values reproduce the paper's "not numerous enough"
+	// false-negative mechanism.
+	NewVariantTrickle float64
+}
+
+// DefaultStreamConfig returns the scale used throughout the evaluation.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		BenignPerDay: 1200,
+		KitPerDay: map[Family]int{
+			FamilyAngler:      42, // 40,026 over the month at paper scale
+			FamilySweetOrange: 12, // 11,315
+			FamilyNuclear:     7,  // 6,106
+			FamilyRIG:         2,  // 1,409 — "occurred with low frequency"
+		},
+		NewVariantTrickle: 0.08,
+	}
+}
+
+// Stream generates deterministic daily sample sets.
+type Stream struct {
+	cfg StreamConfig
+}
+
+// NewStream validates the configuration and builds a stream.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	if cfg.BenignPerDay < 0 {
+		return nil, fmt.Errorf("ekit: negative BenignPerDay %d", cfg.BenignPerDay)
+	}
+	if cfg.NewVariantTrickle < 0 || cfg.NewVariantTrickle > 1 {
+		return nil, fmt.Errorf("ekit: NewVariantTrickle %v outside [0,1]", cfg.NewVariantTrickle)
+	}
+	return &Stream{cfg: cfg}, nil
+}
+
+// Day renders the full grayware stream for one simulation day: benign
+// samples first, then each kit's traffic, all with ground truth attached.
+func (s *Stream) Day(day int) []Sample {
+	var out []Sample
+	out = append(out, s.benignDay(day)...)
+	for _, fam := range Families {
+		out = append(out, s.kitDay(fam, day)...)
+	}
+	return out
+}
+
+// MaliciousDay renders only the kit traffic of a day.
+func (s *Stream) MaliciousDay(day int) []Sample {
+	var out []Sample
+	for _, fam := range Families {
+		out = append(out, s.kitDay(fam, day)...)
+	}
+	return out
+}
+
+func (s *Stream) benignDay(day int) []Sample {
+	r := rng("benign-mix", FamilyBenign, day, 0)
+	out := make([]Sample, 0, s.cfg.BenignPerDay)
+	// The three special families get small fixed slices; the rest is a
+	// heavy-tailed mix over the parametric families.
+	special := []string{BenignPluginDetect, BenignCharLoader, BenignHexLoader}
+	specialShare := []int{4, 5, 2}
+	idx := 0
+	emit := func(kind string) {
+		body := BenignSample(kind, day, idx)
+		out = append(out, Sample{
+			ID:         fmt.Sprintf("b-%d-%d", day, idx),
+			Day:        day,
+			Family:     FamilyBenign,
+			BenignKind: kind,
+			Content:    wrapHTML(kind, body, ""),
+		})
+		idx++
+	}
+	for si, kind := range special {
+		n := specialShare[si]
+		if n > s.cfg.BenignPerDay/20 {
+			n = s.cfg.BenignPerDay / 20
+		}
+		for i := 0; i < n; i++ {
+			emit(kind)
+		}
+	}
+	for len(out) < s.cfg.BenignPerDay {
+		// Zipf-ish: low-numbered families are much more common.
+		f := int(float64(GenericBenignFamilies) * r.Float64() * r.Float64())
+		if f >= GenericBenignFamilies {
+			f = GenericBenignFamilies - 1
+		}
+		emit(GenericFamilyName(f))
+	}
+	return out
+}
+
+func (s *Stream) kitDay(family Family, day int) []Sample {
+	mean := s.cfg.KitPerDay[family]
+	if mean <= 0 {
+		return nil
+	}
+	r := rng("kit-volume", family, day, 0)
+	// Daily volume fluctuates ±40% around the mean.
+	n := mean + r.Intn(2*mean/2+1) - mean/2
+	if n < 0 {
+		n = 0
+	}
+	flip := IsVersionFlipDay(family, day) && day > JuneStart
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		genDay := day
+		idx := i
+		if flip && r.Float64() >= s.cfg.NewVariantTrickle {
+			// Old variant still serving most flip-day traffic:
+			// generate exactly as the previous day's kit, with an
+			// index offset to keep randomization fresh.
+			genDay = day - 1
+			idx = i + 100000
+		}
+		payload := Payload(family, genDay)
+		packed := Pack(family, payload, genDay, idx)
+		applet := ""
+		if family == FamilyAngler && genDay < anglerEmbedDay {
+			applet = `<applet code="` + AnglerJavaMarker + `" width="1" height="1"></applet>`
+		}
+		out = append(out, Sample{
+			ID:      fmt.Sprintf("%s-%d-%d", strings.ToLower(family.String()[:3]), day, i),
+			Day:     day,
+			Family:  family,
+			Variant: VersionIndex(family, genDay),
+			Content: wrapHTML("lander", packed, applet),
+		})
+	}
+	return out
+}
+
+// wrapHTML embeds a script body (and optional extra HTML) into a complete
+// document, as captured by the telemetry hook.
+func wrapHTML(title, script, extraHTML string) string {
+	var sb strings.Builder
+	sb.Grow(len(script) + len(extraHTML) + 128)
+	sb.WriteString("<html><head><title>")
+	sb.WriteString(title)
+	sb.WriteString("</title></head><body>")
+	sb.WriteString(extraHTML)
+	sb.WriteString("<script type=\"text/javascript\">\n")
+	sb.WriteString(script)
+	sb.WriteString("\n</script></body></html>")
+	return sb.String()
+}

@@ -1,0 +1,122 @@
+package ekit
+
+// PackerVersion describes one dated mutation of a kit's packer. For
+// Nuclear this reproduces the Figure 5 timeline verbatim: 13 superficial
+// changes to the eval obfuscation (above the axis) and one semantic change
+// on 8/12.
+type PackerVersion struct {
+	// Day the version was first deployed.
+	Day int
+	// Delim is the delimiter / obfuscation fragment this version splices
+	// into keywords and API-name strings (e.g. "UluN" turns "substr"
+	// into "sUluNuUluNbUluNsUluNtUluNrUluN", as in Figure 10a).
+	Delim string
+	// Note is the Figure 5 call-out label.
+	Note string
+	// Semantic marks the 8/12 change that altered packer semantics.
+	Semantic bool
+}
+
+// NuclearTimeline is the Figure 5 packer-change series.
+var NuclearTimeline = []PackerVersion{
+	{Day: Date(6, 1), Delim: "#FFFFFF", Note: "ev#FFFFFFal"},
+	{Day: Date(6, 14), Delim: "#ffffff", Note: "e#FFFFFFval"},
+	{Day: Date(6, 18), Delim: "#FFFFF0", Note: "eva#FFFFFFl"},
+	{Day: Date(6, 24), Delim: "evv", Note: `"ev" + var`},
+	{Day: Date(6, 30), Delim: "~", Note: "e~v~#...~a~l"},
+	{Day: Date(7, 9), Delim: "~#", Note: "e~#...~v~a~l"},
+	{Day: Date(7, 11), Delim: "~##", Note: "e~##...~#v~#a~#l"},
+	{Day: Date(7, 17), Delim: "3X@@#", Note: "e3X@@#v.."},
+	{Day: Date(7, 20), Delim: "3fwrwg4#", Note: "e3fwrwg4#"},
+	{Day: Date(8, 12), Delim: "3fwrwg4#", Note: "Semantic change", Semantic: true},
+	{Day: Date(8, 17), Delim: "sa1as", Note: "esa1asv"},
+	{Day: Date(8, 19), Delim: "her_vam", Note: "eher_vam#"},
+	{Day: Date(8, 22), Delim: "fber443", Note: "efber443#"},
+	{Day: Date(8, 26), Delim: "UluN", Note: "eUluN#"},
+}
+
+// RIGTimeline models RIG's version churn: the delimiter "is randomized
+// between different versions of the kit", with new versions roughly weekly.
+var RIGTimeline = []PackerVersion{
+	{Day: Date(6, 1), Delim: "y6"},
+	{Day: Date(6, 9), Delim: "qz3"},
+	{Day: Date(6, 17), Delim: "w0"},
+	{Day: Date(6, 26), Delim: "t8b"},
+	{Day: Date(7, 4), Delim: "k2"},
+	{Day: Date(7, 13), Delim: "pp7"},
+	{Day: Date(7, 22), Delim: "m4"},
+	{Day: Date(7, 30), Delim: "zw"},
+	{Day: Date(8, 7), Delim: "c9d"},
+	{Day: Date(8, 15), Delim: "u5"},
+	{Day: Date(8, 23), Delim: "hh2"},
+}
+
+// SweetOrangeTimeline rotates the perfect square used for the Math.sqrt
+// integer obfuscation (Figure 10b shows 196 and 324 in one signature
+// generation window).
+var SweetOrangeTimeline = []PackerVersion{
+	{Day: Date(6, 1), Delim: "196"},
+	{Day: Date(6, 20), Delim: "324"},
+	{Day: Date(7, 8), Delim: "225"},
+	{Day: Date(7, 25), Delim: "289"},
+	{Day: Date(8, 10), Delim: "196"},
+	{Day: Date(8, 24), Delim: "324"},
+}
+
+// AnglerTimeline has a single structural flip: on 8/13 the Java-exploit
+// marker moved from the plain HTML snippet into the obfuscated body
+// (Example 1 / Figure 6).
+var AnglerTimeline = []PackerVersion{
+	{Day: Date(6, 1), Delim: "html-applet"},
+	{Day: Date(8, 13), Delim: "embedded"},
+}
+
+// timelineFor returns a kit's packer timeline.
+func timelineFor(family Family) []PackerVersion {
+	switch family {
+	case FamilyNuclear:
+		return NuclearTimeline
+	case FamilyRIG:
+		return RIGTimeline
+	case FamilySweetOrange:
+		return SweetOrangeTimeline
+	case FamilyAngler:
+		return AnglerTimeline
+	default:
+		return nil
+	}
+}
+
+// VersionIndex returns the index into the kit's timeline active on day.
+func VersionIndex(family Family, day int) int {
+	tl := timelineFor(family)
+	idx := 0
+	for i, v := range tl {
+		if v.Day <= day {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// VersionOn returns the packer version active on day.
+func VersionOn(family Family, day int) PackerVersion {
+	tl := timelineFor(family)
+	if len(tl) == 0 {
+		return PackerVersion{}
+	}
+	return tl[VersionIndex(family, day)]
+}
+
+// IsVersionFlipDay reports whether a new packer version is first deployed
+// on day. On flip days only a trickle of traffic carries the new variant —
+// the "not numerous enough ... to warrant a separate cluster" situation
+// that causes Kizzle's residual false negatives.
+func IsVersionFlipDay(family Family, day int) bool {
+	for _, v := range timelineFor(family) {
+		if v.Day == day {
+			return true
+		}
+	}
+	return false
+}

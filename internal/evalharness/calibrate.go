@@ -1,0 +1,74 @@
+package evalharness
+
+import (
+	"fmt"
+	"strings"
+
+	"kizzle/internal/ekit"
+)
+
+// The paper (§V, "Tuning the ML") notes that threshold knobs need
+// observation-driven tuning. SweepThreshold automates that: it replays a
+// window once per candidate value of one family's labeling threshold and
+// reports the FP/FN trade-off, which is how the family-specific defaults
+// in pipeline.DefaultConfig were chosen.
+
+// SweepPoint is the outcome for one threshold value.
+type SweepPoint struct {
+	// Threshold is the labeling threshold evaluated.
+	Threshold float64
+	// KizzleFP counts benign samples flagged as the swept family.
+	KizzleFP int
+	// KizzleFN counts missed samples of the swept family.
+	KizzleFN int
+	// GroundTruth is the family's sample count in the window.
+	GroundTruth int
+}
+
+// SweepThreshold evaluates each candidate threshold for family over the
+// window in cfg.Days.
+func SweepThreshold(family string, thresholds []float64, cfg Config) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		run := cfg
+		run.Pipeline.Thresholds = make(map[string]float64, len(cfg.Pipeline.Thresholds)+1)
+		for k, v := range cfg.Pipeline.Thresholds {
+			run.Pipeline.Thresholds[k] = v
+		}
+		run.Pipeline.Thresholds[family] = th
+		res, err := Run(run)
+		if err != nil {
+			return nil, fmt.Errorf("threshold %.3f: %w", th, err)
+		}
+		p := SweepPoint{Threshold: th}
+		for _, d := range res.Days {
+			p.KizzleFP += d.KizzleFP[family]
+			p.KizzleFN += d.KizzleFN[family]
+			p.GroundTruth += d.ByFamily[family]
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FormatSweep renders a sweep as a table.
+func FormatSweep(family string, points []SweepPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Labeling-threshold sweep for %s\n", family)
+	fmt.Fprintf(&sb, "%-10s %8s %8s %8s\n", "threshold", "FP", "FN", "truth")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-10.3f %8d %8d %8d\n", p.Threshold, p.KizzleFP, p.KizzleFN, p.GroundTruth)
+	}
+	return sb.String()
+}
+
+// DefaultSweepWindow is a short window suitable for calibration runs.
+func DefaultSweepWindow(benignPerDay int) Config {
+	cfg := DefaultConfig()
+	cfg.Stream.BenignPerDay = benignPerDay
+	cfg.Days = nil
+	for d := ekit.Date(8, 17); d <= ekit.Date(8, 21); d++ {
+		cfg.Days = append(cfg.Days, d)
+	}
+	return cfg
+}

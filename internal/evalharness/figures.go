@@ -1,0 +1,224 @@
+package evalharness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kizzle/internal/ekit"
+)
+
+// This file renders every table and figure of the paper's evaluation as
+// text, so `cmd/evalmonth` (and the benchmarks) can print paper-vs-measured
+// series.
+
+// FormatFig2 renders the kit/CVE inventory table.
+func FormatFig2() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2: CVEs used for each malware kit (as of September 2014)\n")
+	fmt.Fprintf(&sb, "%-14s %-24s %-12s %-22s %-14s %-22s %s\n",
+		"EK", "Flash", "Silverlight", "Java", "Adobe Reader", "Internet Explorer", "AV check")
+	for _, k := range ekit.KitInventory() {
+		fmt.Fprintf(&sb, "%-14s %-24s %-12s %-22s %-14s %-22s %v\n",
+			k.Family, joinCVEs(k.Flash), joinCVEs(k.Silverlight), joinCVEs(k.Java),
+			joinCVEs(k.AdobeReader), joinCVEs(k.IE), k.AVCheck)
+	}
+	return sb.String()
+}
+
+func joinCVEs(cves []ekit.CVE) string {
+	if len(cves) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(cves))
+	for i, c := range cves {
+		parts[i] = string(c)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// FormatFig5 renders the Nuclear evolution timeline.
+func FormatFig5() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: Evolution of the Nuclear exploit kit (packer changes above, payload changes below)\n")
+	sb.WriteString("Packer changes:\n")
+	for _, v := range ekit.NuclearTimeline {
+		marker := ""
+		if v.Semantic {
+			marker = "  (semantic change)"
+		}
+		fmt.Fprintf(&sb, "  %-5s %s%s\n", ekit.Label(v.Day), v.Note, marker)
+	}
+	sb.WriteString("Payload changes:\n")
+	fmt.Fprintf(&sb, "  %-5s %s\n", "7/29", "AV detection (code borrowed from RIG)")
+	fmt.Fprintf(&sb, "  %-5s %s\n", "8/27", "CVE 2013-0074 (SL) appended")
+	return sb.String()
+}
+
+// FormatFig6 renders the Angler window-of-vulnerability series.
+func (r *MonthResult) FormatFig6() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6: Window of vulnerability for Angler (FN rate per day)\n")
+	fmt.Fprintf(&sb, "%-6s %10s %12s\n", "day", "AV FN %", "Kizzle FN %")
+	for _, d := range r.Days {
+		total := d.ByFamily["Angler"]
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-6s %9.1f%% %11.1f%%\n", ekit.Label(d.Day),
+			100*float64(d.AVFN["Angler"])/float64(total),
+			100*float64(d.KizzleFN["Angler"])/float64(total))
+	}
+	return sb.String()
+}
+
+// FormatFig11 renders the similarity-over-time series per kit.
+func (r *MonthResult) FormatFig11() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11: Similarity over time (winnow overlap of unpacked centroids vs best previous day)\n")
+	families := []string{"Nuclear", "Sweet Orange", "Angler", "RIG"}
+	fmt.Fprintf(&sb, "%-6s", "day")
+	for _, f := range families {
+		fmt.Fprintf(&sb, " %13s", f)
+	}
+	sb.WriteString("\n")
+	for _, d := range r.Days {
+		fmt.Fprintf(&sb, "%-6s", ekit.Label(d.Day))
+		for _, f := range families {
+			if v, ok := d.Similarity[f]; ok {
+				fmt.Fprintf(&sb, " %12.1f%%", 100*v)
+			} else {
+				fmt.Fprintf(&sb, " %13s", "-")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// FormatFig12 renders deployed Kizzle signature lengths over time; asterisks
+// mark days a family's signature changed.
+func (r *MonthResult) FormatFig12() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 12: Kizzle signature lengths over time (chars; * = new signature issued)\n")
+	families := []string{"RIG", "Angler", "Sweet Orange", "Nuclear"}
+	fmt.Fprintf(&sb, "%-6s", "day")
+	for _, f := range families {
+		fmt.Fprintf(&sb, " %14s", f)
+	}
+	sb.WriteString("\n")
+	for _, d := range r.Days {
+		fmt.Fprintf(&sb, "%-6s", ekit.Label(d.Day))
+		for _, f := range families {
+			mark := " "
+			if d.NewSignature[f] {
+				mark = "*"
+			}
+			fmt.Fprintf(&sb, " %13d%s", d.SigLength[f], mark)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// FormatFig13 renders daily FP and FN rates for both engines.
+func (r *MonthResult) FormatFig13() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 13: False positives and false negatives over time, Kizzle vs. AV\n")
+	fmt.Fprintf(&sb, "%-6s %10s %12s %10s %12s\n", "day", "AV FP %", "Kizzle FP %", "AV FN %", "Kizzle FN %")
+	for _, d := range r.Days {
+		mal := d.maliciousTotal()
+		if d.Samples == 0 || mal == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-6s %9.3f%% %11.3f%% %9.1f%% %11.1f%%\n", ekit.Label(d.Day),
+			100*float64(d.avFPTotal())/float64(d.Samples),
+			100*float64(d.kizzleFPTotal())/float64(d.Samples),
+			100*float64(d.avFNTotal())/float64(mal),
+			100*float64(d.kizzleFNTotal())/float64(mal))
+	}
+	return sb.String()
+}
+
+// FormatFig14 renders the absolute FP/FN counts table.
+func (r *MonthResult) FormatFig14() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 14: False positives and false negatives, absolute counts (Kizzle vs. AV)\n")
+	fmt.Fprintf(&sb, "%-14s %12s %8s %8s %10s %10s\n", "EK", "Ground truth", "AV FP", "AV FN", "Kizzle FP", "Kizzle FN")
+	for _, t := range r.FamilyTotals() {
+		fmt.Fprintf(&sb, "%-14s %12d %8d %8d %10d %10d\n",
+			t.Family, t.GroundTruth, t.AVFP, t.AVFN, t.KizzleFP, t.KizzleFN)
+	}
+	rates := r.MonthRates()
+	fmt.Fprintf(&sb, "\nMonth rates: Kizzle FP %.4f%%  FN %.2f%%   |   AV FP %.4f%%  FN %.2f%%\n",
+		100*rates.KizzleFP, 100*rates.KizzleFN, 100*rates.AVFP, 100*rates.AVFN)
+	return sb.String()
+}
+
+// FormatPerf renders the cluster-based processing performance summary
+// (cluster counts per day, per-stage durations, reduce bottleneck).
+func (r *MonthResult) FormatPerf() string {
+	var sb strings.Builder
+	sb.WriteString("Processing performance (per §IV: clustering dominates; reduce is the serial bottleneck)\n")
+	fmt.Fprintf(&sb, "%-6s %8s %8s %9s %10s %9s %9s %9s %9s\n",
+		"day", "samples", "uniques", "clusters", "malicious", "tokenize", "cluster", "reduce", "label")
+	var minClusters, maxClusters int
+	for i, d := range r.Days {
+		if i == 0 || d.Clusters < minClusters {
+			minClusters = d.Clusters
+		}
+		if d.Clusters > maxClusters {
+			maxClusters = d.Clusters
+		}
+		fmt.Fprintf(&sb, "%-6s %8d %8d %9d %10d %9s %9s %9s %9s\n",
+			ekit.Label(d.Day), d.Samples, d.UniqueSequences, d.Clusters, d.MaliciousClusters,
+			d.Pipeline.Tokenize.Round(1e6).String(), d.Pipeline.Cluster.Round(1e6).String(),
+			d.Pipeline.Reduce.Round(1e6).String(), d.Pipeline.Label.Round(1e6).String())
+	}
+	fmt.Fprintf(&sb, "Clusters per day: %d–%d (paper: 280–1,200 at ~30x our stream scale)\n", minClusters, maxClusters)
+	return sb.String()
+}
+
+// FormatSummary renders a one-screen digest of the run.
+func (r *MonthResult) FormatSummary() string {
+	var sb strings.Builder
+	rates := r.MonthRates()
+	fmt.Fprintf(&sb, "Evaluation window: %s – %s (%d days)\n",
+		ekit.Label(r.Days[0].Day), ekit.Label(r.Days[len(r.Days)-1].Day), len(r.Days))
+	var samples int
+	for _, d := range r.Days {
+		samples += d.Samples
+	}
+	fmt.Fprintf(&sb, "Samples scanned: %d\n", samples)
+	fmt.Fprintf(&sb, "Kizzle: FP %.4f%%, FN %.2f%%\n", 100*rates.KizzleFP, 100*rates.KizzleFN)
+	fmt.Fprintf(&sb, "AV:     FP %.4f%%, FN %.2f%%\n", 100*rates.AVFP, 100*rates.AVFN)
+	return sb.String()
+}
+
+// SimilaritySeries extracts a family's Figure 11 series as (label, value)
+// pairs for programmatic checks.
+func (r *MonthResult) SimilaritySeries(family string) []float64 {
+	var out []float64
+	for _, d := range r.Days {
+		if v, ok := d.Similarity[family]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Families lists families seen in the run, sorted.
+func (r *MonthResult) Families() []string {
+	set := make(map[string]bool)
+	for _, d := range r.Days {
+		for f := range d.ByFamily {
+			set[f] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,268 @@
+package evalharness
+
+import (
+	"strings"
+	"testing"
+
+	"kizzle/internal/ekit"
+)
+
+// weekConfig runs a reduced window around the Angler flip (Figure 6) at a
+// small benign scale for fast tests.
+func weekConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Stream.BenignPerDay = 150
+	cfg.Days = nil
+	for d := ekit.Date(8, 9); d <= ekit.Date(8, 20); d++ {
+		cfg.Days = append(cfg.Days, d)
+	}
+	return cfg
+}
+
+func TestRunWindowOfVulnerability(t *testing.T) {
+	res, err := Run(weekConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDay := make(map[int]DayStats, len(res.Days))
+	for _, d := range res.Days {
+		byDay[d.Day] = d
+	}
+
+	// Before the flip both engines cover Angler fully.
+	pre := byDay[ekit.Date(8, 11)]
+	if pre.AVFN["Angler"] != 0 || pre.KizzleFN["Angler"] != 0 {
+		t.Errorf("8/11 Angler FN: AV=%d Kizzle=%d, want 0/0", pre.AVFN["Angler"], pre.KizzleFN["Angler"])
+	}
+	// Inside the window AV misses roughly half of Angler; Kizzle tracked
+	// the change within a day.
+	for _, day := range []int{ekit.Date(8, 15), ekit.Date(8, 17)} {
+		d := byDay[day]
+		total := d.ByFamily["Angler"]
+		if total == 0 {
+			t.Fatalf("%s: no Angler traffic generated", ekit.Label(day))
+		}
+		avRate := float64(d.AVFN["Angler"]) / float64(total)
+		if avRate < 0.25 {
+			t.Errorf("%s: AV Angler FN rate = %.2f, want >= 0.25 (window of vulnerability)", ekit.Label(day), avRate)
+		}
+		if d.KizzleFN["Angler"] != 0 {
+			t.Errorf("%s: Kizzle Angler FN = %d, want 0 (same-day response)", ekit.Label(day), d.KizzleFN["Angler"])
+		}
+	}
+	// Flip day itself: Kizzle may miss only the trickle.
+	flip := byDay[ekit.Date(8, 13)]
+	if total := flip.ByFamily["Angler"]; total > 0 {
+		if rate := float64(flip.KizzleFN["Angler"]) / float64(total); rate > 0.3 {
+			t.Errorf("8/13 Kizzle Angler FN rate = %.2f, want a small trickle", rate)
+		}
+	}
+}
+
+func TestRunSimilaritySeries(t *testing.T) {
+	res, err := Run(weekConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nuc := res.SimilaritySeries("Nuclear")
+	if len(nuc) == 0 {
+		t.Fatal("no Nuclear similarity points")
+	}
+	for _, v := range nuc {
+		if v < 0.95 {
+			t.Errorf("Nuclear similarity %v, want >= 0.95 (Figure 11a)", v)
+		}
+	}
+	rig := res.SimilaritySeries("RIG")
+	if len(rig) > 0 {
+		avgRig := avg(rig)
+		if avgRig > 0.9 {
+			t.Errorf("RIG average similarity %v, want noisy/low (Figure 11d)", avgRig)
+		}
+		if avgRig >= avg(nuc) {
+			t.Errorf("RIG similarity %v must be below Nuclear %v", avgRig, avg(nuc))
+		}
+	}
+}
+
+func avg(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestRunSignatureChurnTracksKit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stream.BenignPerDay = 100
+	cfg.Days = nil
+	// Window containing the Nuclear delimiter changes on 8/17 and 8/19.
+	for d := ekit.Date(8, 14); d <= ekit.Date(8, 20); d++ {
+		cfg.Days = append(cfg.Days, d)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSigDays := 0
+	for _, d := range res.Days {
+		if d.NewSignature["Nuclear"] {
+			newSigDays++
+		}
+		if d.SigLength["Nuclear"] == 0 {
+			t.Errorf("%s: no deployed Nuclear signature", ekit.Label(d.Day))
+		}
+	}
+	// At least the first day and the two flip days must mint signatures.
+	if newSigDays < 3 {
+		t.Errorf("Nuclear minted signatures on %d days, want >= 3 (initial + 8/17 + 8/19)", newSigDays)
+	}
+}
+
+// TestRunFullMonthHeadline reproduces the paper's headline claims over the
+// whole of August: Kizzle FN under 5%, Kizzle FP comparable-to-AV and
+// small, and AV FN several times Kizzle's.
+func TestRunFullMonthHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full month run")
+	}
+	cfg := DefaultConfig()
+	cfg.Stream.BenignPerDay = 400
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := res.MonthRates()
+	if rates.KizzleFN >= 0.05 {
+		t.Errorf("Kizzle FN = %.2f%%, want < 5%%", 100*rates.KizzleFN)
+	}
+	if rates.KizzleFP >= 0.01 {
+		t.Errorf("Kizzle FP = %.3f%%, want < 1%%", 100*rates.KizzleFP)
+	}
+	if rates.AVFN <= 2*rates.KizzleFN {
+		t.Errorf("AV FN %.2f%% should be well above Kizzle FN %.2f%%", 100*rates.AVFN, 100*rates.KizzleFN)
+	}
+
+	totals := r14Map(res)
+	// Ground-truth ordering matches Figure 14.
+	if !(totals["Angler"].GroundTruth > totals["Sweet Orange"].GroundTruth &&
+		totals["Sweet Orange"].GroundTruth > totals["Nuclear"].GroundTruth &&
+		totals["Nuclear"].GroundTruth > totals["RIG"].GroundTruth) {
+		t.Errorf("ground-truth ordering wrong: %+v", totals)
+	}
+	// RIG is Kizzle's hardest family: worst FN rate among the kits.
+	rigFN := float64(totals["RIG"].KizzleFN) / float64(totals["RIG"].GroundTruth)
+	for _, fam := range []string{"Nuclear", "Sweet Orange", "Angler"} {
+		r := float64(totals[fam].KizzleFN) / float64(totals[fam].GroundTruth)
+		if r > rigFN {
+			t.Errorf("%s Kizzle FN rate %.3f exceeds RIG's %.3f", fam, r, rigFN)
+		}
+	}
+	// AV's false positives concentrate in Angler (the generic 8/19
+	// signature); Kizzle's in Nuclear and RIG (shared-code families).
+	if totals["Angler"].AVFP == 0 {
+		t.Error("expected AV Angler false positives after 8/19")
+	}
+	if totals["Angler"].KizzleFP != 0 {
+		t.Errorf("Kizzle Angler FP = %d, want 0", totals["Angler"].KizzleFP)
+	}
+	if totals["Nuclear"].KizzleFP+totals["RIG"].KizzleFP == 0 {
+		t.Error("expected Kizzle FP in the shared-code families")
+	}
+
+	// Sum row consistency.
+	sums := res.FamilyTotals()
+	sum := sums[len(sums)-1]
+	var gt, kfp, kfn int
+	for _, tt := range sums[:len(sums)-1] {
+		gt += tt.GroundTruth
+		kfp += tt.KizzleFP
+		kfn += tt.KizzleFN
+	}
+	if sum.GroundTruth != gt || sum.KizzleFP != kfp || sum.KizzleFN != kfn {
+		t.Errorf("sum row inconsistent: %+v", sum)
+	}
+}
+
+func r14Map(res *MonthResult) map[string]Totals {
+	out := make(map[string]Totals)
+	for _, t := range res.FamilyTotals() {
+		out[t.Family] = t
+	}
+	return out
+}
+
+func TestFormatters(t *testing.T) {
+	res, err := Run(weekConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name, out, needle string
+	}{
+		{"Fig2", FormatFig2(), "Sweet Orange"},
+		{"Fig2 nuclear reader", FormatFig2(), "2010-0188"},
+		{"Fig5", FormatFig5(), "Semantic change"},
+		{"Fig5 borrow", FormatFig5(), "borrowed from RIG"},
+		{"Fig6", res.FormatFig6(), "Kizzle FN %"},
+		{"Fig11", res.FormatFig11(), "Nuclear"},
+		{"Fig12", res.FormatFig12(), "Sweet Orange"},
+		{"Fig13", res.FormatFig13(), "AV FP %"},
+		{"Fig14", res.FormatFig14(), "Ground truth"},
+		{"Perf", res.FormatPerf(), "Clusters per day"},
+		{"Summary", res.FormatSummary(), "Kizzle"},
+	}
+	for _, c := range checks {
+		if !strings.Contains(c.out, c.needle) {
+			t.Errorf("%s output missing %q:\n%s", c.name, c.needle, c.out)
+		}
+	}
+}
+
+func TestRunRejectsBadStream(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stream.BenignPerDay = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected stream validation error")
+	}
+}
+
+func TestFamiliesList(t *testing.T) {
+	res, err := Run(weekConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := res.Families()
+	if len(fams) != 4 {
+		t.Errorf("Families = %v, want the four kits", fams)
+	}
+}
+
+// TestSweepThreshold verifies the calibration utility exposes the FP/FN
+// trade-off: very low thresholds admit benign shared-code clusters (FP),
+// very high ones reject the kit itself (FN).
+func TestSweepThreshold(t *testing.T) {
+	cfg := DefaultSweepWindow(120)
+	points, err := SweepThreshold("Nuclear", []float64{0.5, 0.88, 1.01}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	low, def, high := points[0], points[1], points[2]
+	if low.KizzleFP <= def.KizzleFP {
+		t.Errorf("low threshold FP %d should exceed default's %d (PluginDetect admitted)", low.KizzleFP, def.KizzleFP)
+	}
+	if high.KizzleFN <= def.KizzleFN {
+		t.Errorf("impossible threshold FN %d should exceed default's %d (kit rejected)", high.KizzleFN, def.KizzleFN)
+	}
+	if high.KizzleFP != 0 {
+		t.Errorf("threshold > 1 cannot produce FP, got %d", high.KizzleFP)
+	}
+	out := FormatSweep("Nuclear", points)
+	if !strings.Contains(out, "threshold") || !strings.Contains(out, "0.880") {
+		t.Errorf("FormatSweep output:\n%s", out)
+	}
+}

@@ -1,0 +1,49 @@
+package jstoken
+
+import "strings"
+
+// ExtractScripts pulls the contents of all inline <script> elements out of
+// an HTML document. A sample in the paper "consists of a complete HTML
+// document, including all inline script elements"; Kizzle tokenizes the
+// concatenation of those scripts. Inputs that contain no <script> tag are
+// treated as raw JavaScript and returned unchanged.
+func ExtractScripts(doc string) string {
+	lower := strings.ToLower(doc)
+	if !strings.Contains(lower, "<script") {
+		return doc
+	}
+	var sb strings.Builder
+	i := 0
+	for {
+		open := strings.Index(lower[i:], "<script")
+		if open < 0 {
+			break
+		}
+		open += i
+		tagEnd := strings.IndexByte(lower[open:], '>')
+		if tagEnd < 0 {
+			break
+		}
+		bodyStart := open + tagEnd + 1
+		closeIdx := strings.Index(lower[bodyStart:], "</script")
+		if closeIdx < 0 {
+			sb.WriteString(doc[bodyStart:])
+			sb.WriteByte('\n')
+			break
+		}
+		sb.WriteString(doc[bodyStart : bodyStart+closeIdx])
+		sb.WriteByte('\n')
+		closeEnd := strings.IndexByte(lower[bodyStart+closeIdx:], '>')
+		if closeEnd < 0 {
+			break
+		}
+		i = bodyStart + closeIdx + closeEnd + 1
+	}
+	return sb.String()
+}
+
+// LexDocument extracts inline scripts from an HTML document (or accepts raw
+// JavaScript) and tokenizes the result.
+func LexDocument(doc string) []Token {
+	return Lex(ExtractScripts(doc))
+}

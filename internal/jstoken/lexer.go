@@ -1,0 +1,235 @@
+package jstoken
+
+import (
+	"strings"
+)
+
+// Lex tokenizes JavaScript source. The lexer is deliberately forgiving:
+// grayware streams contain truncated and syntactically broken scripts, and
+// Kizzle must still produce a stable token stream for them. Unterminated
+// strings and comments consume to end of input; bytes that fit no token are
+// skipped.
+func Lex(src string) []Token {
+	l := lexer{src: src, tokens: make([]Token, 0, len(src)/6+8)}
+	l.run()
+	return l.tokens
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []Token
+}
+
+func (l *lexer) run() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v':
+			l.pos++
+		case c == '/' && l.peek(1) == '/':
+			l.skipLineComment()
+		case c == '/' && l.peek(1) == '*':
+			l.skipBlockComment()
+		case c == '"' || c == '\'' || c == '`':
+			l.lexString(c)
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '.' && isDigit(l.peek(1)):
+			l.lexNumber()
+		case isIdentStart(c):
+			l.lexIdentifier()
+		case c == '/' && l.regexAllowed():
+			l.lexRegex()
+		default:
+			if !l.lexPunct() {
+				l.pos++ // unknown byte: skip
+			}
+		}
+	}
+}
+
+func (l *lexer) peek(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func (l *lexer) emit(class Class, start int) {
+	l.tokens = append(l.tokens, Token{Class: class, Text: l.src[start:l.pos], Pos: start})
+}
+
+func (l *lexer) skipLineComment() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func (l *lexer) skipBlockComment() {
+	l.pos += 2
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '*' && l.peek(1) == '/' {
+			l.pos += 2
+			return
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) lexString(quote byte) {
+	start := l.pos
+	l.pos++
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos += 2
+			continue
+		}
+		if c == quote {
+			l.pos++
+			break
+		}
+		// Plain strings do not span lines; unterminated ones end there.
+		if quote != '`' && (c == '\n' || c == '\r') {
+			break
+		}
+		l.pos++
+	}
+	l.emit(ClassString, start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '0' && (l.peek(1) == 'x' || l.peek(1) == 'X') {
+		l.pos += 2
+		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		l.emit(ClassNumber, start)
+		return
+	}
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		next := l.peek(1)
+		if isDigit(next) || ((next == '+' || next == '-') && isDigit(l.peek(2))) {
+			l.pos++
+			if l.src[l.pos] == '+' || l.src[l.pos] == '-' {
+				l.pos++
+			}
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+	}
+	l.emit(ClassNumber, start)
+}
+
+func (l *lexer) lexIdentifier() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	if IsKeyword(word) {
+		l.emit(ClassKeyword, start)
+	} else {
+		l.emit(ClassIdentifier, start)
+	}
+}
+
+// regexAllowed applies the standard heuristic for the / ambiguity: a regex
+// literal may start only where an expression may start, i.e. after an
+// operator, opening bracket, keyword, or at the beginning of input.
+func (l *lexer) regexAllowed() bool {
+	if len(l.tokens) == 0 {
+		return true
+	}
+	prev := l.tokens[len(l.tokens)-1]
+	switch prev.Class {
+	case ClassIdentifier, ClassString, ClassNumber, ClassRegex:
+		return false
+	case ClassKeyword:
+		// `this`, `true` etc. are value keywords; division follows them.
+		switch prev.Text {
+		case "this", "true", "false", "null", "undefined", "super":
+			return false
+		}
+		return true
+	case ClassPunct:
+		switch prev.Text {
+		case ")", "]", "}", "++", "--":
+			return false
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+func (l *lexer) lexRegex() {
+	start := l.pos
+	l.pos++ // consume '/'
+	inClass := false
+	terminated := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos += 2
+			continue
+		}
+		if c == '\n' || c == '\r' {
+			break
+		}
+		if c == '[' {
+			inClass = true
+		} else if c == ']' {
+			inClass = false
+		} else if c == '/' && !inClass {
+			l.pos++
+			terminated = true
+			break
+		}
+		l.pos++
+	}
+	if !terminated {
+		// Not a regex after all (e.g. stray slash); emit as punctuator.
+		l.pos = start + 1
+		l.emit(ClassPunct, start)
+		return
+	}
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++ // flags
+	}
+	l.emit(ClassRegex, start)
+}
+
+func (l *lexer) lexPunct() bool {
+	rest := l.src[l.pos:]
+	for _, p := range puncts {
+		if strings.HasPrefix(rest, p) {
+			start := l.pos
+			l.pos += len(p)
+			l.emit(ClassPunct, start)
+			return true
+		}
+	}
+	return false
+}
+
+func isDigit(c byte) bool    { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,324 @@
+package jstoken
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func classes(tokens []Token) []Class {
+	out := make([]Class, len(tokens))
+	for i, t := range tokens {
+		out[i] = t.Class
+	}
+	return out
+}
+
+func texts(tokens []Token) []string {
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func equalClasses(a, b []Class) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLexFigure8 reproduces the paper's Figure 8 tokenization example:
+//
+//	var Euur1V = this["l9D"]("ev#333399al");
+func TestLexFigure8(t *testing.T) {
+	src := `var Euur1V = this["l9D"]("ev#333399al");`
+	got := Lex(src)
+	want := []struct {
+		class Class
+		text  string
+	}{
+		{ClassKeyword, "var"},
+		{ClassIdentifier, "Euur1V"},
+		{ClassPunct, "="},
+		{ClassKeyword, "this"},
+		{ClassPunct, "["},
+		{ClassString, `"l9D"`},
+		{ClassPunct, "]"},
+		{ClassPunct, "("},
+		{ClassString, `"ev#333399al"`},
+		{ClassPunct, ")"},
+		{ClassPunct, ";"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), texts(got))
+	}
+	for i, w := range want {
+		if got[i].Class != w.class || got[i].Text != w.text {
+			t.Errorf("token %d = (%v, %q), want (%v, %q)", i, got[i].Class, got[i].Text, w.class, w.text)
+		}
+	}
+}
+
+func TestLexTable(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want []Class
+	}{
+		{"empty", "", nil},
+		{"whitespace only", " \t\n\r ", nil},
+		{"keyword", "function", []Class{ClassKeyword}},
+		{"identifier", "payload", []Class{ClassIdentifier}},
+		{"dollar ident", "$x", []Class{ClassIdentifier}},
+		{"underscore ident", "_0x2f", []Class{ClassIdentifier}},
+		{"number int", "42", []Class{ClassNumber}},
+		{"number float", "3.14", []Class{ClassNumber}},
+		{"number leading dot", ".5", []Class{ClassNumber}},
+		{"number hex", "0xFF", []Class{ClassNumber}},
+		{"number exponent", "1e9", []Class{ClassNumber}},
+		{"number signed exponent", "2.5e-3", []Class{ClassNumber}},
+		{"string double", `"abc"`, []Class{ClassString}},
+		{"string single", `'abc'`, []Class{ClassString}},
+		{"string template", "`abc`", []Class{ClassString}},
+		{"string escape", `"a\"b"`, []Class{ClassString}},
+		{"string unterminated", `"abc`, []Class{ClassString}},
+		{"line comment", "// hi\nx", []Class{ClassIdentifier}},
+		{"block comment", "/* hi */x", []Class{ClassIdentifier}},
+		{"unterminated block comment", "/* hi", nil},
+		{"regex", `/a+b/g`, []Class{ClassRegex}},
+		{"regex after punct", `x = /ab/;`, []Class{ClassIdentifier, ClassPunct, ClassRegex, ClassPunct}},
+		{"division not regex", `a / b`, []Class{ClassIdentifier, ClassPunct, ClassIdentifier}},
+		{"division after paren", `(a) / b`, []Class{ClassPunct, ClassIdentifier, ClassPunct, ClassPunct, ClassIdentifier}},
+		{"regex with class", `/[/]/`, []Class{ClassRegex}},
+		{"multi-char punct", "a === b", []Class{ClassIdentifier, ClassPunct, ClassIdentifier}},
+		{"shift assign", "a >>>= 1", []Class{ClassIdentifier, ClassPunct, ClassNumber}},
+		{"arrow", "x => y", []Class{ClassIdentifier, ClassPunct, ClassIdentifier}},
+		{"member access", "document.body", []Class{ClassIdentifier, ClassPunct, ClassIdentifier}},
+		{"unknown bytes skipped", "a @ b", []Class{ClassIdentifier, ClassIdentifier}},
+		{"keyword prefix ident", "variable", []Class{ClassIdentifier}},
+		{"division after this", "this / 2", []Class{ClassKeyword, ClassPunct, ClassNumber}},
+		{"regex after return", "return /x/", []Class{ClassKeyword, ClassRegex}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := classes(Lex(tt.src))
+			if !equalClasses(got, tt.want) {
+				t.Errorf("Lex(%q) classes = %v, want %v", tt.src, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	src := `var x = "y";`
+	for _, tok := range Lex(src) {
+		if tok.Pos < 0 || tok.Pos+len(tok.Text) > len(src) {
+			t.Fatalf("token %q has out-of-range pos %d", tok.Text, tok.Pos)
+		}
+		if src[tok.Pos:tok.Pos+len(tok.Text)] != tok.Text {
+			t.Errorf("token text %q does not match source at pos %d", tok.Text, tok.Pos)
+		}
+	}
+}
+
+func TestTokenValueStripsQuotes(t *testing.T) {
+	tests := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Class: ClassString, Text: `"ev#333399al"`}, "ev#333399al"},
+		{Token{Class: ClassString, Text: `'x'`}, "x"},
+		{Token{Class: ClassString, Text: "`tpl`"}, "tpl"},
+		{Token{Class: ClassString, Text: `"unterminated`}, `"unterminated`},
+		{Token{Class: ClassIdentifier, Text: `abc`}, "abc"},
+		{Token{Class: ClassString, Text: `""`}, ""},
+	}
+	for _, tt := range tests {
+		if got := tt.tok.Value(); got != tt.want {
+			t.Errorf("Value(%q) = %q, want %q", tt.tok.Text, got, tt.want)
+		}
+	}
+}
+
+// TestAbstractCollapsesRandomization verifies the core property that makes
+// clustering work: samples differing only in identifier names and string
+// contents abstract to identical symbol sequences.
+func TestAbstractCollapsesRandomization(t *testing.T) {
+	a := Abstract(Lex(`Euur1V = this["l9D"]("ev#333399al");`))
+	b := Abstract(Lex(`jkb0hA = this["uqA"]("ev#ccff00al");`))
+	c := Abstract(Lex(`QB0Xk = this["k3LSC"]("ev#33cc00al");`))
+	if len(a) == 0 {
+		t.Fatal("no symbols produced")
+	}
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("symbol %d differs across renamed variants: %v %v %v", i, a[i], b[i], c[i])
+		}
+	}
+}
+
+func TestAbstractDistinguishesStructure(t *testing.T) {
+	a := Abstract(Lex(`x = y + 1;`))
+	b := Abstract(Lex(`x = y * 1;`))
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different punctuators must map to different symbols")
+	}
+}
+
+func TestSymbolsDisjoint(t *testing.T) {
+	seen := make(map[Symbol]string)
+	for _, kw := range keywords {
+		sym := Token{Class: ClassKeyword, Text: kw}.Symbol()
+		if prev, ok := seen[sym]; ok {
+			t.Fatalf("symbol collision: %q and %q both map to %d", prev, kw, sym)
+		}
+		seen[sym] = kw
+	}
+	for _, p := range puncts {
+		sym := Token{Class: ClassPunct, Text: p}.Symbol()
+		if prev, ok := seen[sym]; ok {
+			t.Fatalf("symbol collision: %q and %q both map to %d", prev, p, sym)
+		}
+		seen[sym] = p
+	}
+	for _, sym := range []Symbol{SymIdentifier, SymString, SymNumber, SymRegex} {
+		if prev, ok := seen[sym]; ok {
+			t.Fatalf("reserved symbol %d collides with %q", sym, prev)
+		}
+		seen[sym] = "reserved"
+	}
+}
+
+func TestExtractScripts(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{
+			"plain js passthrough",
+			`var x = 1;`,
+			`var x = 1;`,
+		},
+		{
+			"single script",
+			`<html><script>var x = 1;</script></html>`,
+			"var x = 1;\n",
+		},
+		{
+			"two scripts",
+			`<script>a();</script><p>hi</p><script type="text/javascript">b();</script>`,
+			"a();\nb();\n",
+		},
+		{
+			"unclosed script",
+			`<script>a();`,
+			"a();\n",
+		},
+		{
+			"case insensitive",
+			`<SCRIPT>a();</SCRIPT>`,
+			"a();\n",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ExtractScripts(tt.doc); got != tt.want {
+				t.Errorf("ExtractScripts = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLexDocument(t *testing.T) {
+	toks := LexDocument(`<html><body><script>var x = 5;</script></body></html>`)
+	want := []Class{ClassKeyword, ClassIdentifier, ClassPunct, ClassNumber, ClassPunct}
+	if !equalClasses(classes(toks), want) {
+		t.Errorf("LexDocument classes = %v, want %v", classes(toks), want)
+	}
+}
+
+// Property: the lexer never panics and token texts are slices of the input
+// in order.
+func TestLexRobustnessProperty(t *testing.T) {
+	f := func(src string) bool {
+		tokens := Lex(src)
+		last := -1
+		for _, tok := range tokens {
+			if tok.Pos <= last {
+				return false
+			}
+			if tok.Pos+len(tok.Text) > len(src) {
+				return false
+			}
+			if src[tok.Pos:tok.Pos+len(tok.Text)] != tok.Text {
+				return false
+			}
+			last = tok.Pos
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lexing is deterministic.
+func TestLexDeterministicProperty(t *testing.T) {
+	f := func(src string) bool {
+		a, b := Lex(src), Lex(src)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: whitespace insertion between tokens does not change the
+// abstraction (superfluous-whitespace resistance).
+func TestLexWhitespaceInsensitiveProperty(t *testing.T) {
+	src := `var a = this["x"](1, "y"); function f() { return a; }`
+	compact := Abstract(Lex(src))
+	spaced := Abstract(Lex(strings.ReplaceAll(src, " ", "\n\t  ")))
+	if len(compact) != len(spaced) {
+		t.Fatalf("lengths differ: %d vs %d", len(compact), len(spaced))
+	}
+	for i := range compact {
+		if compact[i] != spaced[i] {
+			t.Fatalf("symbol %d differs", i)
+		}
+	}
+}
+
+func BenchmarkLex(b *testing.B) {
+	src := strings.Repeat(`var Euur1V = this["l9D"]("ev#333399al"); `, 200)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Lex(src)
+	}
+}

@@ -1,0 +1,152 @@
+// Package jstoken lexes JavaScript source into a stream of tokens and
+// abstracts them into the small token alphabet Kizzle clusters on
+// (Keyword, Identifier, Punctuation, String, Number, Regex).
+//
+// The abstraction (paper, Figure 8) is what makes clustering robust against
+// the identifier/delimiter randomization exploit-kit packers apply to every
+// response: two samples that differ only in variable names or string
+// contents abstract to the same symbol sequence.
+package jstoken
+
+import "strconv"
+
+// Class is the abstract class of a lexical token.
+type Class int
+
+// Token classes, mirroring the paper's abstraction alphabet.
+const (
+	ClassKeyword Class = iota + 1
+	ClassIdentifier
+	ClassPunct
+	ClassString
+	ClassNumber
+	ClassRegex
+)
+
+// String returns a short human-readable class name.
+func (c Class) String() string {
+	switch c {
+	case ClassKeyword:
+		return "Keyword"
+	case ClassIdentifier:
+		return "Identifier"
+	case ClassPunct:
+		return "Punctuation"
+	case ClassString:
+		return "String"
+	case ClassNumber:
+		return "Number"
+	case ClassRegex:
+		return "Regex"
+	default:
+		return "Class(" + strconv.Itoa(int(c)) + ")"
+	}
+}
+
+// Token is one lexical token with its concrete source text.
+type Token struct {
+	Class Class
+	// Text is the raw source text of the token, including string quotes.
+	Text string
+	// Pos is the byte offset of the token in the input.
+	Pos int
+}
+
+// Value returns the token text after AV-style normalization: string quotes
+// are stripped (the paper notes AV scanners remove quotation marks in a
+// normalization step, so generated signatures omit them).
+func (t Token) Value() string {
+	if t.Class == ClassString && len(t.Text) >= 2 {
+		q := t.Text[0]
+		if (q == '"' || q == '\'' || q == '`') && t.Text[len(t.Text)-1] == q {
+			return t.Text[1 : len(t.Text)-1]
+		}
+	}
+	return t.Text
+}
+
+// Symbol is one letter of the abstraction alphabet used for edit-distance
+// clustering. Keywords and punctuators keep their identity (each distinct
+// keyword or punctuator is its own symbol); identifiers, strings, numbers
+// and regexes each collapse to a single symbol so that packer-randomized
+// names compare equal.
+type Symbol uint16
+
+// Reserved symbols for the collapsed classes. Keyword and punctuator
+// symbols are assigned above symbolBase.
+const (
+	SymIdentifier Symbol = 1
+	SymString     Symbol = 2
+	SymNumber     Symbol = 3
+	SymRegex      Symbol = 4
+
+	symbolBase Symbol = 16
+)
+
+// Abstract maps tokens to their abstraction symbols.
+func Abstract(tokens []Token) []Symbol {
+	out := make([]Symbol, len(tokens))
+	for i, t := range tokens {
+		out[i] = t.Symbol()
+	}
+	return out
+}
+
+// Symbol returns the abstraction symbol for a single token.
+func (t Token) Symbol() Symbol {
+	switch t.Class {
+	case ClassIdentifier:
+		return SymIdentifier
+	case ClassString:
+		return SymString
+	case ClassNumber:
+		return SymNumber
+	case ClassRegex:
+		return SymRegex
+	case ClassKeyword:
+		return symbolBase + Symbol(keywordIndex[t.Text])
+	case ClassPunct:
+		return symbolBase + Symbol(len(keywords)) + Symbol(punctIndex[t.Text])
+	default:
+		return 0
+	}
+}
+
+// keywords is the ECMAScript 5 keyword set plus the literals the lexer
+// treats as keywords. Order is fixed: symbol identity depends on it.
+var keywords = []string{
+	"break", "case", "catch", "continue", "debugger", "default", "delete",
+	"do", "else", "finally", "for", "function", "if", "in", "instanceof",
+	"new", "return", "switch", "this", "throw", "try", "typeof", "var",
+	"void", "while", "with", "true", "false", "null", "undefined", "let",
+	"const", "class", "extends", "super", "yield", "import", "export",
+}
+
+// puncts lists all punctuators, longest first so the lexer can greedily
+// match multi-character operators.
+var puncts = []string{
+	">>>=", "===", "!==", ">>>", "<<=", ">>=", "**=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "++", "--", "<<", ">>", "+=", "-=",
+	"*=", "/=", "%=", "&=", "|=", "^=", "=>", "**", "?.", "??",
+	"{", "}", "(", ")", "[", "]", ";", ",", "<", ">", "+", "-", "*", "/",
+	"%", "&", "|", "^", "!", "~", "?", ":", "=", ".",
+}
+
+var (
+	keywordIndex = buildIndex(keywords)
+	punctIndex   = buildIndex(puncts)
+)
+
+func buildIndex(items []string) map[string]int {
+	m := make(map[string]int, len(items))
+	for i, s := range items {
+		m[s] = i
+	}
+	return m
+}
+
+// IsKeyword reports whether word is lexed as a keyword.
+func IsKeyword(word string) bool {
+	_, ok := keywordIndex[word]
+	return ok
+}

@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"sort"
+	"sync"
+
+	"kizzle/internal/winnow"
+)
+
+// Corpus is the collection of known unpacked malware samples Kizzle is
+// seeded with ("a collection of known unpacked malware samples (with
+// exploit family labels)"). Cluster prototypes are labeled by comparing
+// their winnow histogram against every corpus entry; the corpus grows over
+// time as newly labeled cluster centroids are fed back, which is how Kizzle
+// tracks kit drift day over day.
+type Corpus struct {
+	mu           sync.RWMutex
+	cfg          winnow.Config
+	maxPerFamily int
+	entries      map[string][]corpusEntry
+}
+
+type corpusEntry struct {
+	hist winnow.Histogram
+	text string
+}
+
+// NewCorpus builds an empty corpus. maxPerFamily bounds memory: when a
+// family exceeds it, the oldest entries are evicted (recent variants matter
+// most for tracking).
+func NewCorpus(cfg winnow.Config, maxPerFamily int) *Corpus {
+	if maxPerFamily <= 0 {
+		maxPerFamily = 32
+	}
+	return &Corpus{
+		cfg:          cfg,
+		maxPerFamily: maxPerFamily,
+		entries:      make(map[string][]corpusEntry),
+	}
+}
+
+// Add inserts one labeled unpacked sample.
+func (c *Corpus) Add(family, text string) {
+	hist := winnow.Fingerprint(text, c.cfg)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	list := append(c.entries[family], corpusEntry{hist: hist, text: text})
+	if len(list) > c.maxPerFamily {
+		list = list[len(list)-c.maxPerFamily:]
+	}
+	c.entries[family] = list
+}
+
+// Families returns the known family labels in sorted order.
+func (c *Corpus) Families() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.entries))
+	for f := range c.entries {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of entries stored for a family.
+func (c *Corpus) Size(family string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries[family])
+}
+
+// BestMatch returns the family with the highest winnow overlap against the
+// given unpacked text and that overlap. A corpus with no entries returns
+// ("", 0).
+func (c *Corpus) BestMatch(text string) (string, float64) {
+	hist := winnow.Fingerprint(text, c.cfg)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	bestFamily, bestOverlap := "", 0.0
+	families := make([]string, 0, len(c.entries))
+	for f := range c.entries {
+		families = append(families, f)
+	}
+	sort.Strings(families) // deterministic tie-break
+	for _, f := range families {
+		for _, e := range c.entries[f] {
+			if o := winnow.Overlap(hist, e.hist); o > bestOverlap {
+				bestFamily, bestOverlap = f, o
+			}
+		}
+	}
+	return bestFamily, bestOverlap
+}
+
+// OverlapWith returns the best overlap against a single family's entries,
+// used by the similarity-over-time experiment (Figure 11).
+func (c *Corpus) OverlapWith(family, text string) float64 {
+	hist := winnow.Fingerprint(text, c.cfg)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	best := 0.0
+	for _, e := range c.entries[family] {
+		if o := winnow.Overlap(hist, e.hist); o > best {
+			best = o
+		}
+	}
+	return best
+}

@@ -1,0 +1,540 @@
+// Package pipeline is Kizzle's main driver (paper Figure 7): partition the
+// day's samples across clustering workers, cluster each partition with
+// DBSCAN over normalized token edit distance, reconcile partition clusters
+// in a reduce step, label each merged cluster by unpacking its prototype
+// and winnow-matching it against the known-kit corpus, and generate a
+// structural signature for every malicious cluster.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"kizzle/internal/dbscan"
+	"kizzle/internal/jstoken"
+	"kizzle/internal/siggen"
+	"kizzle/internal/textdist"
+	"kizzle/internal/unpack"
+	"kizzle/internal/winnow"
+)
+
+// Input is one grayware sample handed to the pipeline.
+type Input struct {
+	// ID identifies the sample in results.
+	ID string
+	// Content is the HTML document (or raw JavaScript).
+	Content string
+}
+
+// Config holds the pipeline's tuning knobs (paper §V "Tuning the ML").
+type Config struct {
+	// Workers is the clustering parallelism (the paper used 50 machines;
+	// workers here are goroutines). Defaults to GOMAXPROCS.
+	Workers int
+	// PartitionSize is the target number of unique token sequences per
+	// partition.
+	PartitionSize int
+	// Eps is the normalized edit-distance threshold for DBSCAN; the
+	// paper determined 0.10 experimentally.
+	Eps float64
+	// MinPts is DBSCAN's minimum weighted neighborhood size.
+	MinPts int
+	// Winnow configures cluster-labeling fingerprints.
+	Winnow winnow.Config
+	// Signature configures signature generation.
+	Signature siggen.Config
+	// Thresholds maps family label to the minimum winnow overlap needed
+	// to label a cluster with that family ("a threshold that we
+	// determined empirically is malware family specific").
+	Thresholds map[string]float64
+	// DefaultThreshold applies to families missing from Thresholds.
+	DefaultThreshold float64
+	// MaxNoiseRecluster caps the reduce step's global re-clustering of
+	// partition-level noise (0 disables the cap).
+	MaxNoiseRecluster int
+	// MaxSignatureSamples caps how many cluster samples feed signature
+	// generalization.
+	MaxSignatureSamples int
+}
+
+// DefaultConfig returns the parameters used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		Workers:       runtime.GOMAXPROCS(0),
+		PartitionSize: 300,
+		Eps:           0.10,
+		MinPts:        2,
+		Winnow:        winnow.DefaultConfig(),
+		Signature:     siggen.DefaultConfig(),
+		// Family-specific thresholds, "determined empirically". Nuclear
+		// needs a high bar because the benign PluginDetect library
+		// legitimately shares its detection core (Figure 15: a 79–88%
+		// overlap false positive); RIG needs a low bar because its short
+		// body churns ~50% day over day (Figure 11d).
+		Thresholds: map[string]float64{
+			"Nuclear": 0.88,
+			"RIG":     0.45,
+		},
+		DefaultThreshold:    0.60,
+		MaxNoiseRecluster:   3000,
+		MaxSignatureSamples: 24,
+	}
+}
+
+// Threshold resolves the labeling threshold for a family.
+func (c Config) Threshold(family string) float64 {
+	if t, ok := c.Thresholds[family]; ok {
+		return t
+	}
+	return c.DefaultThreshold
+}
+
+// Cluster is one merged cluster with its label.
+type Cluster struct {
+	// Samples indexes into the Process inputs.
+	Samples []int
+	// Prototype is the representative sample index.
+	Prototype int
+	// Label is the kit family, or "" for benign.
+	Label string
+	// Overlap is the winnow overlap that produced the label.
+	Overlap float64
+	// Unpacked is the prototype's decoded payload (or its own script
+	// text when not packed).
+	Unpacked string
+	// UnpackMethod names the unpacker that fired ("" if none).
+	UnpackMethod string
+	// SignatureIndex points into Result.Signatures, -1 if none.
+	SignatureIndex int
+}
+
+// Stats captures the per-stage costs the paper discusses (§IV
+// "Cluster-Based Processing Performance": clustering dominates, the reduce
+// step is the bottleneck to parallelize next).
+type Stats struct {
+	Samples         int
+	UniqueSequences int
+	Partitions      int
+	Clusters        int
+	Malicious       int
+	NoisePoints     int
+
+	Tokenize  time.Duration
+	Cluster   time.Duration
+	Reduce    time.Duration
+	Label     time.Duration
+	Signature time.Duration
+}
+
+// Result is the output of one pipeline run.
+type Result struct {
+	Clusters   []Cluster
+	Signatures []siggen.Signature
+	Stats      Stats
+}
+
+// ErrNoInputs is returned when Process is called with an empty batch.
+var ErrNoInputs = errors.New("pipeline: no input samples")
+
+// Process runs the full pipeline over one batch of samples.
+func Process(inputs []Input, corpus *Corpus, cfg Config) (Result, error) {
+	if len(inputs) == 0 {
+		return Result{}, ErrNoInputs
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.PartitionSize <= 0 {
+		cfg.PartitionSize = 300
+	}
+	if cfg.Eps <= 0 {
+		cfg.Eps = 0.10
+	}
+	if cfg.MinPts <= 0 {
+		cfg.MinPts = 2
+	}
+
+	var res Result
+	res.Stats.Samples = len(inputs)
+
+	// Stage 1: tokenize + abstract, in parallel.
+	start := time.Now()
+	tokens, symbols := tokenizeAll(inputs, cfg.Workers)
+	res.Stats.Tokenize = time.Since(start)
+
+	// Stage 2: deduplicate identical symbol sequences. Exploit-kit
+	// randomization leaves the abstract sequence intact, so dedup often
+	// collapses a family's whole day into a handful of points.
+	uniq := dedupe(symbols)
+	res.Stats.UniqueSequences = len(uniq.seqs)
+
+	// Stage 3: partition and cluster.
+	start = time.Now()
+	parts := partition(len(uniq.seqs), cfg.PartitionSize)
+	res.Stats.Partitions = len(parts)
+	partClusters, noise := clusterPartitions(uniq, parts, cfg)
+	res.Stats.Cluster = time.Since(start)
+
+	// Stage 4: reduce — merge partition clusters, re-cluster noise.
+	start = time.Now()
+	merged, remaining := reduceClusters(uniq, partClusters, noise, cfg)
+	res.Stats.Reduce = time.Since(start)
+	res.Stats.NoisePoints = 0
+	for _, u := range remaining {
+		res.Stats.NoisePoints += len(uniq.members[u])
+	}
+
+	// Stage 5: label each cluster via its unpacked prototype.
+	start = time.Now()
+	res.Clusters = labelClusters(inputs, uniq, merged, corpus, cfg)
+	res.Stats.Label = time.Since(start)
+	res.Stats.Clusters = len(res.Clusters)
+
+	// Stage 6: signatures for malicious clusters.
+	start = time.Now()
+	for ci := range res.Clusters {
+		cl := &res.Clusters[ci]
+		cl.SignatureIndex = -1
+		if cl.Label == "" {
+			continue
+		}
+		res.Stats.Malicious++
+		sig, err := generateSignature(cl, tokens, cfg)
+		if err != nil {
+			// Short common runs are expected occasionally; the
+			// cluster stays labeled but unsignatured.
+			continue
+		}
+		cl.SignatureIndex = len(res.Signatures)
+		res.Signatures = append(res.Signatures, sig)
+	}
+	res.Stats.Signature = time.Since(start)
+	return res, nil
+}
+
+// tokenizeAll lexes and abstracts all inputs with a worker pool.
+func tokenizeAll(inputs []Input, workers int) ([][]jstoken.Token, [][]jstoken.Symbol) {
+	tokens := make([][]jstoken.Token, len(inputs))
+	symbols := make([][]jstoken.Symbol, len(inputs))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				tokens[i] = jstoken.LexDocument(inputs[i].Content)
+				symbols[i] = jstoken.Abstract(tokens[i])
+			}
+		}()
+	}
+	for i := range inputs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return tokens, symbols
+}
+
+// uniqueSet groups samples with identical abstract sequences.
+type uniqueSet struct {
+	seqs    [][]jstoken.Symbol
+	members [][]int // members[u] = input indices sharing seqs[u]
+}
+
+func dedupe(symbols [][]jstoken.Symbol) uniqueSet {
+	type bucket struct {
+		unique int
+	}
+	var u uniqueSet
+	index := make(map[uint64][]bucket)
+	for i, seq := range symbols {
+		h := hashSeq(seq)
+		found := -1
+		for _, b := range index[h] {
+			if symbolsEqual(u.seqs[b.unique], seq) {
+				found = b.unique
+				break
+			}
+		}
+		if found < 0 {
+			found = len(u.seqs)
+			u.seqs = append(u.seqs, seq)
+			u.members = append(u.members, nil)
+			index[h] = append(index[h], bucket{unique: found})
+		}
+		u.members[found] = append(u.members[found], i)
+	}
+	return u
+}
+
+func hashSeq(s []jstoken.Symbol) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, x := range s {
+		h ^= uint64(x)
+		h *= prime
+	}
+	return h
+}
+
+func symbolsEqual(a, b []jstoken.Symbol) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// partition assigns unique-sequence indices to partitions of roughly
+// targetSize, using a deterministic shuffle ("randomly partition the
+// samples across a cluster of machines").
+func partition(n, targetSize int) [][]int {
+	parts := (n + targetSize - 1) / targetSize
+	if parts < 1 {
+		parts = 1
+	}
+	order := rand.New(rand.NewSource(int64(n)*2654435761 + 1)).Perm(n)
+	out := make([][]int, parts)
+	for pos, idx := range order {
+		p := pos % parts
+		out[p] = append(out[p], idx)
+	}
+	return out
+}
+
+// partCluster is one cluster local to a partition, by unique indices.
+type partCluster []int
+
+// clusterPartitions runs weighted DBSCAN per partition in parallel and
+// returns the per-partition clusters plus all noise uniques.
+func clusterPartitions(u uniqueSet, parts [][]int, cfg Config) ([]partCluster, []int) {
+	type partResult struct {
+		clusters []partCluster
+		noise    []int
+	}
+	results := make([]partResult, len(parts))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for pi, part := range parts {
+		wg.Add(1)
+		go func(pi int, part []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[pi] = clusterOne(u, part, cfg)
+		}(pi, part)
+	}
+	wg.Wait()
+
+	var clusters []partCluster
+	var noise []int
+	for _, r := range results {
+		clusters = append(clusters, r.clusters...)
+		noise = append(noise, r.noise...)
+	}
+	return clusters, noise
+}
+
+func clusterOne(u uniqueSet, part []int, cfg Config) (out struct {
+	clusters []partCluster
+	noise    []int
+}) {
+	weights := make([]int, len(part))
+	for i, ui := range part {
+		weights[i] = len(u.members[ui])
+	}
+	neigh := &dbscan.CachedNeighborer{Inner: &dbscan.FuncNeighborer{
+		N: len(part),
+		Within: func(i, j int) bool {
+			return textdist.WithinNormalized(u.seqs[part[i]], u.seqs[part[j]], cfg.Eps)
+		},
+	}}
+	ids := dbscan.ClusterWeighted(neigh, weights, cfg.MinPts)
+	for gi, group := range dbscan.Groups(ids) {
+		_ = gi
+		pc := make(partCluster, len(group))
+		for k, local := range group {
+			pc[k] = part[local]
+		}
+		out.clusters = append(out.clusters, pc)
+	}
+	for local, id := range ids {
+		if id == dbscan.Noise {
+			out.noise = append(out.noise, part[local])
+		}
+	}
+	return out
+}
+
+// reduceClusters merges partition clusters whose representatives are within
+// eps (union-find), re-clusters the pooled noise globally, and adopts any
+// remaining noise point that sits within eps of a merged representative.
+// This reconciliation is the step the paper identifies as the bottleneck.
+func reduceClusters(u uniqueSet, clusters []partCluster, noise []int, cfg Config) ([][]int, []int) {
+	// Union-find over partition clusters by representative distance.
+	reps := make([]int, len(clusters))
+	for i, c := range clusters {
+		reps[i] = repOf(u, c)
+	}
+	parent := make([]int, len(clusters))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i := 0; i < len(clusters); i++ {
+		for j := i + 1; j < len(clusters); j++ {
+			if find(i) == find(j) {
+				continue
+			}
+			if textdist.WithinNormalized(u.seqs[reps[i]], u.seqs[reps[j]], cfg.Eps) {
+				union(i, j)
+			}
+		}
+	}
+	mergedBy := make(map[int][]int)
+	for i, c := range clusters {
+		root := find(i)
+		mergedBy[root] = append(mergedBy[root], c...)
+	}
+	var merged [][]int
+	for i := 0; i < len(clusters); i++ {
+		if find(i) == i {
+			merged = append(merged, mergedBy[i])
+		}
+	}
+
+	// Re-cluster pooled noise: uniques whose family was split across
+	// partitions below MinPts per partition still deserve a cluster.
+	if len(noise) > 0 && (cfg.MaxNoiseRecluster == 0 || len(noise) <= cfg.MaxNoiseRecluster) {
+		weights := make([]int, len(noise))
+		for i, ui := range noise {
+			weights[i] = len(u.members[ui])
+		}
+		neigh := &dbscan.CachedNeighborer{Inner: &dbscan.FuncNeighborer{
+			N: len(noise),
+			Within: func(i, j int) bool {
+				return textdist.WithinNormalized(u.seqs[noise[i]], u.seqs[noise[j]], cfg.Eps)
+			},
+		}}
+		ids := dbscan.ClusterWeighted(neigh, weights, cfg.MinPts)
+		for _, group := range dbscan.Groups(ids) {
+			nc := make([]int, len(group))
+			for k, local := range group {
+				nc[k] = noise[local]
+			}
+			merged = append(merged, nc)
+		}
+		var rest []int
+		for local, id := range ids {
+			if id == dbscan.Noise {
+				rest = append(rest, noise[local])
+			}
+		}
+		noise = rest
+	}
+
+	// Adopt stragglers into existing clusters.
+	var remaining []int
+	for _, ui := range noise {
+		adopted := false
+		for mi := range merged {
+			rep := repOf(u, merged[mi])
+			if textdist.WithinNormalized(u.seqs[ui], u.seqs[rep], cfg.Eps) {
+				merged[mi] = append(merged[mi], ui)
+				adopted = true
+				break
+			}
+		}
+		if !adopted {
+			remaining = append(remaining, ui)
+		}
+	}
+	return merged, remaining
+}
+
+// repOf picks a cluster's representative unique: the one covering the most
+// samples (the modal shape).
+func repOf(u uniqueSet, cluster []int) int {
+	best := cluster[0]
+	for _, ui := range cluster[1:] {
+		if len(u.members[ui]) > len(u.members[best]) {
+			best = ui
+		}
+	}
+	return best
+}
+
+// labelClusters unpacks each merged cluster's prototype and labels it by
+// best winnow overlap against the corpus.
+func labelClusters(inputs []Input, u uniqueSet, merged [][]int, corpus *Corpus, cfg Config) []Cluster {
+	out := make([]Cluster, 0, len(merged))
+	for _, uniques := range merged {
+		rep := repOf(u, uniques)
+		var samples []int
+		for _, ui := range uniques {
+			samples = append(samples, u.members[ui]...)
+		}
+		proto := u.members[rep][0]
+		cl := Cluster{Samples: samples, Prototype: proto, SignatureIndex: -1}
+		if res, err := unpack.Unpack(inputs[proto].Content); err == nil {
+			cl.Unpacked = res.Payload
+			cl.UnpackMethod = res.Method
+		} else {
+			cl.Unpacked = jstoken.ExtractScripts(inputs[proto].Content)
+		}
+		if corpus != nil {
+			family, overlap := corpus.BestMatch(cl.Unpacked)
+			cl.Overlap = overlap
+			if family != "" && overlap >= cfg.Threshold(family) {
+				cl.Label = family
+			}
+		}
+		out = append(out, cl)
+	}
+	return out
+}
+
+// generateSignature runs siggen over (a capped number of) the cluster's
+// packed token streams.
+func generateSignature(cl *Cluster, tokens [][]jstoken.Token, cfg Config) (siggen.Signature, error) {
+	limit := cfg.MaxSignatureSamples
+	if limit <= 0 {
+		limit = 24
+	}
+	pick := cl.Samples
+	if len(pick) > limit {
+		// Spread across the cluster rather than taking a prefix.
+		stride := len(pick) / limit
+		spaced := make([]int, 0, limit)
+		for i := 0; i < len(pick) && len(spaced) < limit; i += stride {
+			spaced = append(spaced, pick[i])
+		}
+		pick = spaced
+	}
+	streams := make([][]jstoken.Token, 0, len(pick))
+	for _, si := range pick {
+		streams = append(streams, tokens[si])
+	}
+	sig, err := siggen.Generate(cl.Label, streams, cfg.Signature)
+	if err != nil {
+		return siggen.Signature{}, fmt.Errorf("cluster with %d samples: %w", len(cl.Samples), err)
+	}
+	return sig, nil
+}

@@ -1,0 +1,68 @@
+package siggen
+
+// charClass is one of the predefined regex character-class templates the
+// paper draws on when the concrete strings at a token offset differ across
+// samples ("a predefined set of common patterns such as [a-z]+,
+// [a-zA-Z0-9]+, etc."). Classes are ordered from most to least specific;
+// inference brute-forces the first one that accepts every observed string.
+type charClass struct {
+	// Name is the rendered regex form, e.g. "[0-9a-zA-Z]".
+	Name string
+	// Match reports whether the class accepts byte c.
+	Match func(c byte) bool
+}
+
+// AnyClassName is the rendered form of the catch-all class.
+const AnyClassName = "."
+
+var classTemplates = []charClass{
+	{"[0-9]", func(c byte) bool { return c >= '0' && c <= '9' }},
+	{"[a-z]", func(c byte) bool { return c >= 'a' && c <= 'z' }},
+	{"[A-Z]", func(c byte) bool { return c >= 'A' && c <= 'Z' }},
+	{"[a-zA-Z]", isAlpha},
+	{"[0-9a-z]", func(c byte) bool { return isDigit(c) || (c >= 'a' && c <= 'z') }},
+	{"[0-9A-Z]", func(c byte) bool { return isDigit(c) || (c >= 'A' && c <= 'Z') }},
+	{"[0-9a-zA-Z]", isAlnum},
+	{"[0-9a-zA-Z_$]", func(c byte) bool { return isAlnum(c) || c == '_' || c == '$' }},
+	{`[0-9a-zA-Z"']`, func(c byte) bool { return isAlnum(c) || c == '"' || c == '\'' }},
+	{AnyClassName, func(c byte) bool { return true }},
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isAlnum(c byte) bool { return isDigit(c) || isAlpha(c) }
+
+// inferClass returns the most specific template class accepting every byte
+// of every value. Values must be non-empty as a set but may contain empty
+// strings (which any class accepts length-wise).
+func inferClass(values []string) charClass {
+	for _, cls := range classTemplates {
+		ok := true
+	values:
+		for _, v := range values {
+			for i := 0; i < len(v); i++ {
+				if !cls.Match(v[i]) {
+					ok = false
+					break values
+				}
+			}
+		}
+		if ok {
+			return cls
+		}
+	}
+	// Unreachable: the catch-all accepts everything.
+	return classTemplates[len(classTemplates)-1]
+}
+
+// ClassByName resolves a rendered class name back to its template; used by
+// the matcher when signatures are deserialized. The boolean reports whether
+// the name is known.
+func ClassByName(name string) (charClass, bool) {
+	for _, cls := range classTemplates {
+		if cls.Name == name {
+			return cls, true
+		}
+	}
+	return charClass{}, false
+}

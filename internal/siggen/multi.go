@@ -1,0 +1,173 @@
+package siggen
+
+import (
+	"strings"
+
+	"kizzle/internal/jstoken"
+)
+
+// MultiSignature is the paper's §V proposed hardening against structural
+// evasion: "our approach can be extended to create signatures which not
+// only match one consecutive token sequence, but rather consist of
+// multiple, shorter sequences". An attacker who sprays superfluous
+// statements between the packer's real operations breaks any single long
+// common run, but the stable fragments *between* the junk insertions still
+// recur in every sample; a MultiSignature matches those fragments in order
+// with arbitrary gaps.
+type MultiSignature struct {
+	// Family is the exploit-kit family label.
+	Family string `json:"family"`
+	// Parts are the ordered runs; each must match at a strictly later
+	// token offset than the previous one. Capture groups are numbered
+	// across the whole signature, so back-references can span parts.
+	Parts []Signature `json:"parts"`
+	// MinParts is how many parts must match (in order) for the signature
+	// to fire; 0 means all of them. Requiring a quorum rather than every
+	// part is what makes the signature robust when fresh junk lands
+	// inside one fragment's span.
+	MinParts int `json:"minParts,omitempty"`
+	// Samples is the number of cluster samples generalized from.
+	Samples int `json:"samples"`
+}
+
+// MultiConfig controls multi-sequence generation.
+type MultiConfig struct {
+	// Config applies per part; MinTokens is the per-part floor.
+	Config
+	// MaxParts caps the number of runs collected.
+	MaxParts int
+	// MinTotalTokens discards multi-signatures whose parts sum to fewer
+	// tokens than this (overall specificity floor).
+	MinTotalTokens int
+	// QuorumNum/QuorumDen set the matching quorum as a fraction of the
+	// collected parts (e.g. 2/3). Zero means all parts must match.
+	QuorumNum, QuorumDen int
+}
+
+// DefaultMultiConfig uses shorter per-part runs than the single-run
+// default, with an overall specificity floor equal to the single-run one.
+func DefaultMultiConfig() MultiConfig {
+	cfg := DefaultConfig()
+	cfg.MinTokens = 6
+	return MultiConfig{Config: cfg, MaxParts: 6, MinTotalTokens: 12, QuorumNum: 2, QuorumDen: 3}
+}
+
+// GenerateMulti builds a multi-sequence signature by divide and conquer:
+// find the longest common unique run over the whole cluster, then recurse
+// into the aligned regions to its left and right, collecting up to MaxParts
+// ordered, non-overlapping runs.
+func GenerateMulti(family string, samples [][]jstoken.Token, cfg MultiConfig) (MultiSignature, error) {
+	if len(samples) == 0 {
+		return MultiSignature{}, ErrNoSamples
+	}
+	if cfg.MaxParts <= 0 {
+		cfg.MaxParts = DefaultMultiConfig().MaxParts
+	}
+	if cfg.MinTokens <= 0 {
+		cfg.MinTokens = DefaultMultiConfig().MinTokens
+	}
+	if cfg.MaxTokens <= 0 {
+		cfg.MaxTokens = DefaultMultiConfig().MaxTokens
+	}
+	if cfg.MinTotalTokens <= 0 {
+		cfg.MinTotalTokens = DefaultMultiConfig().MinTotalTokens
+	}
+
+	base := make([]int, len(samples))
+	budget := cfg.MaxParts
+	var runs []placedRun
+	collectRuns(samples, base, cfg, &budget, &runs)
+	if len(runs) == 0 {
+		return MultiSignature{}, ErrNoCommonRun
+	}
+	sortRuns(runs)
+
+	total := 0
+	var gs groupState
+	out := MultiSignature{Family: family, Samples: len(samples)}
+	for _, r := range runs {
+		elements := gs.build(samples, CommonRun{Length: r.Length, Starts: r.Starts}, cfg.Config)
+		out.Parts = append(out.Parts, Signature{Family: family, Elements: elements, Samples: len(samples)})
+		total += r.Length
+	}
+	if total < cfg.MinTotalTokens {
+		return MultiSignature{}, ErrNoCommonRun
+	}
+	if cfg.QuorumNum > 0 && cfg.QuorumDen > 0 {
+		out.MinParts = (len(out.Parts)*cfg.QuorumNum + cfg.QuorumDen - 1) / cfg.QuorumDen
+		if out.MinParts < 1 {
+			out.MinParts = 1
+		}
+	}
+	return out, nil
+}
+
+// placedRun is a common run with absolute per-sample start offsets.
+type placedRun struct {
+	Length int
+	Starts []int
+}
+
+// collectRuns finds the best run in the aligned region, records it with
+// absolute offsets, and recurses into the left and right sub-regions.
+func collectRuns(region [][]jstoken.Token, base []int, cfg MultiConfig, budget *int, out *[]placedRun) {
+	if *budget <= 0 {
+		return
+	}
+	seqs := make([][]jstoken.Symbol, len(region))
+	for i, s := range region {
+		seqs[i] = jstoken.Abstract(s)
+	}
+	run, ok := FindCommonRun(seqs, cfg.MinTokens, cfg.MaxTokens)
+	if !ok {
+		return
+	}
+	*budget--
+	abs := make([]int, len(region))
+	for i := range region {
+		abs[i] = base[i] + run.Starts[i]
+	}
+	*out = append(*out, placedRun{Length: run.Length, Starts: abs})
+
+	left := make([][]jstoken.Token, len(region))
+	right := make([][]jstoken.Token, len(region))
+	rightBase := make([]int, len(region))
+	for i, s := range region {
+		left[i] = s[:run.Starts[i]]
+		right[i] = s[run.Starts[i]+run.Length:]
+		rightBase[i] = base[i] + run.Starts[i] + run.Length
+	}
+	collectRuns(left, base, cfg, budget, out)
+	collectRuns(right, rightBase, cfg, budget, out)
+}
+
+// sortRuns orders runs by their position in the first sample (regions are
+// aligned, so the order is consistent across samples).
+func sortRuns(runs []placedRun) {
+	for i := 1; i < len(runs); i++ {
+		for j := i; j > 0 && runs[j].Starts[0] < runs[j-1].Starts[0]; j-- {
+			runs[j], runs[j-1] = runs[j-1], runs[j]
+		}
+	}
+}
+
+// TokenLength returns the summed token length of all parts.
+func (m MultiSignature) TokenLength() int {
+	n := 0
+	for _, p := range m.Parts {
+		n += p.TokenLength()
+	}
+	return n
+}
+
+// Regex renders the signature with non-greedy gaps between parts.
+func (m MultiSignature) Regex() string {
+	parts := make([]string, len(m.Parts))
+	for i, p := range m.Parts {
+		parts[i] = p.Regex()
+	}
+	return strings.Join(parts, `.*?`)
+}
+
+// Length is the rendered length in characters.
+func (m MultiSignature) Length() int { return len(m.Regex()) }

@@ -1,0 +1,139 @@
+package siggen
+
+import (
+	"strings"
+	"testing"
+
+	"kizzle/internal/jstoken"
+)
+
+func lexN(srcs ...string) [][]jstoken.Token {
+	out := make([][]jstoken.Token, len(srcs))
+	for i, s := range srcs {
+		out[i] = jstoken.Lex(s)
+	}
+	return out
+}
+
+func TestGenerateMultiNoSamples(t *testing.T) {
+	if _, err := GenerateMulti("X", nil, DefaultMultiConfig()); err != ErrNoSamples {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestGenerateMultiNoCommonRun(t *testing.T) {
+	samples := lexN("a=1;", "function f(){}")
+	if _, err := GenerateMulti("X", samples, DefaultMultiConfig()); err != ErrNoCommonRun {
+		t.Errorf("err = %v, want ErrNoCommonRun", err)
+	}
+}
+
+func TestGenerateMultiSinglePartFallback(t *testing.T) {
+	// Fully identical structure: one long run covers everything.
+	src := `var a=1; var b=2; var c=3; f(a,b,c);`
+	samples := lexN(src, src, src)
+	cfg := DefaultMultiConfig()
+	multi, err := GenerateMulti("X", samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Parts) < 1 {
+		t.Fatal("no parts")
+	}
+	if multi.TokenLength() < cfg.MinTotalTokens {
+		t.Errorf("total tokens %d below floor", multi.TokenLength())
+	}
+}
+
+func TestGenerateMultiQuorumMath(t *testing.T) {
+	mk := func(id string) string {
+		// Three stable fragments separated by id-varying middles.
+		return `window.alpha(1,2,3);` + `var ` + id + `="` + id + `";` +
+			`document.beta("x","y");` + id + `.gamma();` +
+			`console.delta(9,8,7);`
+	}
+	samples := lexN(mk("aaaa"), mk("bbzz"), mk("ccc"))
+	cfg := DefaultMultiConfig()
+	cfg.MinTokens = 5
+	cfg.QuorumNum, cfg.QuorumDen = 1, 2
+	multi, err := GenerateMulti("X", samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (len(multi.Parts) + 1) / 2
+	if multi.MinParts != want {
+		t.Errorf("MinParts = %d, want ceil(%d/2) = %d", multi.MinParts, len(multi.Parts), want)
+	}
+	// Quorum disabled: all parts required.
+	cfg.QuorumNum, cfg.QuorumDen = 0, 0
+	multi, err = GenerateMulti("X", samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.MinParts != 0 {
+		t.Errorf("MinParts = %d, want 0 (all)", multi.MinParts)
+	}
+}
+
+func TestGenerateMultiRespectsMaxParts(t *testing.T) {
+	// Structurally distinct stable fragments separated by id-varying
+	// fillers (identifiers abstract to one symbol, so the fragments must
+	// differ in keywords/punctuation to stay unique).
+	mk := func(id string) string {
+		return `window.one(1);var ` + id + `a=0;` +
+			`if(two){three.four("x");}var ` + id + `b=1;` +
+			`for(var i=0;i<9;i++){five(i);}var ` + id + `c=2;` +
+			`try{six();}catch(e){}var ` + id + `d=3;` +
+			`function seven(){return 8;}var ` + id + `e=4;`
+	}
+	samples := lexN(mk("xx"), mk("yyy"), mk("zzzz"))
+	cfg := DefaultMultiConfig()
+	cfg.MaxParts = 3
+	cfg.MinTokens = 4
+	multi, err := GenerateMulti("X", samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Parts) > 3 {
+		t.Errorf("parts = %d, exceeds MaxParts", len(multi.Parts))
+	}
+}
+
+func TestGenerateMultiPartsOrderedAndDisjoint(t *testing.T) {
+	mk := func(id string) string {
+		return `head.one(1);var ` + id + `=2;middle.two(3);var ` + id + `x=4;tail.three(5);`
+	}
+	samples := lexN(mk("aaa"), mk("bbbbb"), mk("cc"))
+	cfg := DefaultMultiConfig()
+	cfg.MinTokens = 4
+	multi, err := GenerateMulti("X", samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rendered regex must contain the fragments in source order.
+	re := multi.Regex()
+	posOne := strings.Index(re, "one")
+	posThree := strings.Index(re, "three")
+	if posOne < 0 || posThree < 0 || posOne > posThree {
+		t.Errorf("fragments out of order in %q", re)
+	}
+}
+
+func TestMultiRegexGaps(t *testing.T) {
+	m := MultiSignature{
+		Family: "X",
+		Parts: []Signature{
+			{Family: "X", Elements: []Element{{Kind: KindLiteral, Literal: "aa", Group: -1}}},
+			{Family: "X", Elements: []Element{{Kind: KindLiteral, Literal: "bb", Group: -1}}},
+		},
+	}
+	if got := m.Regex(); got != `aa.*?bb` {
+		t.Errorf("Regex = %q", got)
+	}
+	if m.Length() != len(`aa.*?bb`) {
+		t.Errorf("Length = %d", m.Length())
+	}
+	if m.TokenLength() != 2 {
+		t.Errorf("TokenLength = %d", m.TokenLength())
+	}
+}

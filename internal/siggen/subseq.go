@@ -1,0 +1,127 @@
+// Package siggen implements Kizzle's signature creation algorithm
+// (paper §III-C): for a malicious cluster it finds the longest common token
+// substring (capped, unique in every sample), collects the distinct
+// concrete strings at every token offset, and compiles the result into a
+// structural regular-expression signature — literals where samples agree,
+// inferred character classes where they diverge, and back-references where
+// packers reuse templatized variable names (Figures 9 and 10).
+package siggen
+
+import (
+	"kizzle/internal/jstoken"
+)
+
+// CommonRun is the longest common token substring found across a cluster:
+// its length and, for each sample, the start offset of its (unique)
+// occurrence.
+type CommonRun struct {
+	// Length in tokens.
+	Length int
+	// Starts[i] is the token offset of the run in sample i.
+	Starts []int
+}
+
+// FindCommonRun searches for the maximum N (capped at maxTokens) such that
+// all abstract token sequences share a common substring of N symbols that
+// occurs exactly once in every sequence, using binary search over N as in
+// the paper. It returns false if no common unique substring of at least
+// minTokens exists.
+func FindCommonRun(seqs [][]jstoken.Symbol, minTokens, maxTokens int) (CommonRun, bool) {
+	if len(seqs) == 0 || minTokens <= 0 {
+		return CommonRun{}, false
+	}
+	shortest := 0
+	for i, s := range seqs {
+		if len(s) < len(seqs[shortest]) {
+			shortest = i
+		}
+		_ = s
+	}
+	hi := len(seqs[shortest])
+	if hi > maxTokens {
+		hi = maxTokens
+	}
+	if hi < minTokens {
+		return CommonRun{}, false
+	}
+
+	var best CommonRun
+	found := false
+	lo := minTokens
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if run, ok := commonRunOfLength(seqs, shortest, mid); ok {
+			best, found = run, true
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best, found
+}
+
+// commonRunOfLength checks whether a common substring of exactly n symbols
+// exists that is unique in every sequence. Candidates are enumerated from
+// the shortest sequence; the first qualifying candidate (leftmost) wins,
+// which keeps signature generation deterministic.
+func commonRunOfLength(seqs [][]jstoken.Symbol, shortest, n int) (CommonRun, bool) {
+	base := seqs[shortest]
+	seen := make(map[uint64]bool)
+candidates:
+	for start := 0; start+n <= len(base); start++ {
+		window := base[start : start+n]
+		h := hashSymbols(window)
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		starts := make([]int, len(seqs))
+		for i, s := range seqs {
+			pos, count := occurrences(s, window)
+			if count != 1 {
+				continue candidates
+			}
+			starts[i] = pos
+		}
+		return CommonRun{Length: n, Starts: starts}, true
+	}
+	return CommonRun{}, false
+}
+
+// occurrences returns the first match position of needle in haystack and
+// the number of matches, stopping early after the second match (we only
+// care about zero / one / many).
+func occurrences(haystack, needle []jstoken.Symbol) (first, count int) {
+	first = -1
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if symbolsEqual(haystack[i:i+len(needle)], needle) {
+			if count == 0 {
+				first = i
+			}
+			count++
+			if count > 1 {
+				return first, count
+			}
+		}
+	}
+	return first, count
+}
+
+func symbolsEqual(a, b []jstoken.Symbol) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hashSymbols(s []jstoken.Symbol) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, x := range s {
+		h ^= uint64(x)
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,110 @@
+package sigmatch
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"kizzle/internal/jstoken"
+	"kizzle/internal/siggen"
+)
+
+// goRegex renders a signature in Go's RE2 dialect (plain groups, no
+// back-references). Only valid for signatures without KindBackref.
+func goRegex(sig siggen.Signature) (string, bool) {
+	var sb strings.Builder
+	for _, e := range sig.Elements {
+		switch e.Kind {
+		case siggen.KindLiteral:
+			sb.WriteString(regexp.QuoteMeta(e.Literal))
+		case siggen.KindClass:
+			cls := e.Class
+			if e.MinLen == e.MaxLen {
+				fmt.Fprintf(&sb, "%s{%d}", cls, e.MinLen)
+			} else {
+				fmt.Fprintf(&sb, "%s{%d,%d}", cls, e.MinLen, e.MaxLen)
+			}
+		case siggen.KindBackref:
+			return "", false
+		}
+	}
+	return sb.String(), true
+}
+
+// normalize renders the token stream the way AV normalization would see it:
+// quote-stripped token values concatenated.
+func normalize(tokens []jstoken.Token) string {
+	var sb strings.Builder
+	for _, t := range tokens {
+		sb.WriteString(t.Value())
+	}
+	return sb.String()
+}
+
+// TestCrossValidateAgainstRegexp checks the token-aligned matcher against
+// Go's regexp engine: whenever the structural matcher reports a match, the
+// rendered regex must match the normalized text too (the converse does not
+// hold — a regex may match across token boundaries).
+func TestCrossValidateAgainstRegexp(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 40; iter++ {
+		// Build a small cluster with randomized names.
+		n := 2 + rng.Intn(4)
+		srcs := make([]string, n)
+		for i := range srcs {
+			id := randIdent(rng)
+			srcs[i] = `var ` + id + ` = window["` + randIdent(rng) + `"](` + fmt.Sprint(10+rng.Intn(90)) + `); ` +
+				id + `.go("` + randIdent(rng) + `");`
+		}
+		samples := make([][]jstoken.Token, n)
+		for i, s := range srcs {
+			samples[i] = jstoken.Lex(s)
+		}
+		sig, err := siggen.Generate("X", samples, siggen.Config{MinTokens: 5, MaxTokens: 200})
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		pattern, ok := goRegex(sig)
+		if !ok {
+			continue // back-references: RE2 cannot express them
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			t.Fatalf("iter %d: rendered regex does not compile: %v\n%s", iter, err, pattern)
+		}
+		c, err := Compile(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Probe with source samples plus fresh variants and mutants.
+		probes := append([]string(nil), srcs...)
+		probes = append(probes,
+			`var `+randIdent(rng)+` = window["`+randIdent(rng)+`"](55); `+randIdent(rng)+`.go("x");`,
+			`completely different code`,
+			srcs[0]+" trailing();",
+		)
+		for _, p := range probes {
+			tokens := jstoken.Lex(p)
+			_, structural := c.MatchTokens(tokens)
+			textual := re.MatchString(normalize(tokens))
+			if structural && !textual {
+				t.Fatalf("iter %d: structural matcher fired but regex %q does not match %q",
+					iter, pattern, normalize(tokens))
+			}
+		}
+	}
+}
+
+func randIdent(rng *rand.Rand) string {
+	const start = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	const rest = start + "0123456789"
+	n := 4 + rng.Intn(4)
+	b := make([]byte, n)
+	b[0] = start[rng.Intn(len(start))]
+	for i := 1; i < n; i++ {
+		b[i] = rest[rng.Intn(len(rest))]
+	}
+	return string(b)
+}

@@ -1,0 +1,190 @@
+// Package sigmatch compiles Kizzle signatures into a scanner that can be
+// run over incoming JavaScript, emulating an AV engine's deployment of the
+// generated signatures. Matching is performed structurally over the
+// normalized token stream (token-aligned), which gives exact semantics for
+// the back-references Kizzle emits — Go's RE2 regexp engine deliberately
+// has none — and runs in linear time per start offset without regex
+// backtracking pathologies.
+package sigmatch
+
+import (
+	"fmt"
+
+	"kizzle/internal/jstoken"
+	"kizzle/internal/siggen"
+)
+
+// Compiled is one signature prepared for scanning.
+type Compiled struct {
+	sig     siggen.Signature
+	classes []func(byte) bool // nil for non-class elements
+	groups  int
+}
+
+// Compile validates the signature and prepares class matchers.
+func Compile(sig siggen.Signature) (*Compiled, error) {
+	if len(sig.Elements) == 0 {
+		return nil, fmt.Errorf("sigmatch: empty signature for family %q", sig.Family)
+	}
+	c := &Compiled{sig: sig, classes: make([]func(byte) bool, len(sig.Elements))}
+	for i, e := range sig.Elements {
+		switch e.Kind {
+		case siggen.KindLiteral:
+		case siggen.KindClass:
+			cls, ok := siggen.ClassByName(e.Class)
+			if !ok {
+				return nil, fmt.Errorf("sigmatch: element %d: unknown class %q", i, e.Class)
+			}
+			c.classes[i] = cls.Match
+			// Group < 0 marks an uncaptured class (abstracted long
+			// constants); only captured classes allocate a slot.
+			if e.Group >= c.groups {
+				c.groups = e.Group + 1
+			}
+		case siggen.KindBackref:
+			if e.Group < 0 {
+				return nil, fmt.Errorf("sigmatch: element %d: back-reference without group", i)
+			}
+		default:
+			return nil, fmt.Errorf("sigmatch: element %d: unknown kind %d", i, e.Kind)
+		}
+	}
+	// Back-references must point at groups captured earlier.
+	seen := make(map[int]bool, c.groups)
+	for i, e := range sig.Elements {
+		switch e.Kind {
+		case siggen.KindClass:
+			if e.Group >= 0 {
+				seen[e.Group] = true
+			}
+		case siggen.KindBackref:
+			if !seen[e.Group] {
+				return nil, fmt.Errorf("sigmatch: element %d references group %d before capture", i, e.Group)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Family returns the signature's exploit-kit family label.
+func (c *Compiled) Family() string { return c.sig.Family }
+
+// Signature returns the underlying signature.
+func (c *Compiled) Signature() siggen.Signature { return c.sig }
+
+// MatchTokens reports whether the signature matches anywhere in the token
+// stream, and the token offset of the first match.
+func (c *Compiled) MatchTokens(tokens []jstoken.Token) (int, bool) {
+	n := len(c.sig.Elements)
+	if n > len(tokens) {
+		return 0, false
+	}
+	captures := make([]string, c.groups)
+	for start := 0; start+n <= len(tokens); start++ {
+		if c.matchAt(tokens, start, captures) {
+			return start, true
+		}
+	}
+	return 0, false
+}
+
+func (c *Compiled) matchAt(tokens []jstoken.Token, start int, captures []string) bool {
+	for i, e := range c.sig.Elements {
+		v := tokens[start+i].Value()
+		switch e.Kind {
+		case siggen.KindLiteral:
+			if v != e.Literal {
+				return false
+			}
+		case siggen.KindClass:
+			if len(v) < e.MinLen || len(v) > e.MaxLen {
+				return false
+			}
+			match := c.classes[i]
+			for b := 0; b < len(v); b++ {
+				if !match(v[b]) {
+					return false
+				}
+			}
+			if e.Group >= 0 {
+				captures[e.Group] = v
+			}
+		case siggen.KindBackref:
+			if v != captures[e.Group] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Match is one signature hit in a scanned document.
+type Match struct {
+	// Family is the kit family of the matching signature.
+	Family string
+	// SignatureIndex identifies the signature within the scanner.
+	SignatureIndex int
+	// TokenOffset is where in the token stream the match begins.
+	TokenOffset int
+}
+
+// Scanner holds a deployed signature set, like an AV engine's definition
+// database.
+type Scanner struct {
+	sigs []*Compiled
+}
+
+// NewScanner compiles all signatures. It fails on the first invalid one.
+func NewScanner(sigs []siggen.Signature) (*Scanner, error) {
+	s := &Scanner{sigs: make([]*Compiled, 0, len(sigs))}
+	for i, sig := range sigs {
+		c, err := Compile(sig)
+		if err != nil {
+			return nil, fmt.Errorf("signature %d: %w", i, err)
+		}
+		s.sigs = append(s.sigs, c)
+	}
+	return s, nil
+}
+
+// Add compiles and deploys one more signature (signature updates during the
+// month-long evaluation).
+func (s *Scanner) Add(sig siggen.Signature) error {
+	c, err := Compile(sig)
+	if err != nil {
+		return err
+	}
+	s.sigs = append(s.sigs, c)
+	return nil
+}
+
+// Len returns the number of deployed signatures.
+func (s *Scanner) Len() int { return len(s.sigs) }
+
+// Scan tokenizes the document (HTML or raw JavaScript) and returns all
+// signature matches.
+func (s *Scanner) Scan(doc string) []Match {
+	return s.ScanTokens(jstoken.LexDocument(doc))
+}
+
+// ScanTokens matches all signatures against a pre-tokenized sample.
+func (s *Scanner) ScanTokens(tokens []jstoken.Token) []Match {
+	var out []Match
+	for i, c := range s.sigs {
+		if off, ok := c.MatchTokens(tokens); ok {
+			out = append(out, Match{Family: c.Family(), SignatureIndex: i, TokenOffset: off})
+		}
+	}
+	return out
+}
+
+// Detects reports whether any deployed signature matches the document.
+func (s *Scanner) Detects(doc string) bool {
+	tokens := jstoken.LexDocument(doc)
+	for _, c := range s.sigs {
+		if _, ok := c.MatchTokens(tokens); ok {
+			return true
+		}
+	}
+	return false
+}

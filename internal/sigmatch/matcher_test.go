@@ -1,0 +1,239 @@
+package sigmatch
+
+import (
+	"strings"
+	"testing"
+
+	"kizzle/internal/jstoken"
+	"kizzle/internal/siggen"
+)
+
+func mustGenerate(t *testing.T, family string, srcs ...string) siggen.Signature {
+	t.Helper()
+	samples := make([][]jstoken.Token, len(srcs))
+	for i, s := range srcs {
+		samples[i] = jstoken.Lex(s)
+	}
+	sig, err := siggen.Generate(family, samples, siggen.Config{MinTokens: 5, MaxTokens: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig
+}
+
+func TestRoundTripFigure9(t *testing.T) {
+	srcs := []string{
+		`Euur1V = this["l9D"]("ev#333399al");`,
+		`jkb0hA = this["uqA"]("ev#ccff00al");`,
+		`QB0Xk = this["k3LSC"]("ev#33cc00al");`,
+	}
+	sig := mustGenerate(t, "Nuclear", srcs...)
+	c, err := Compile(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The signature must match all its source samples…
+	for _, src := range srcs {
+		if _, ok := c.MatchTokens(jstoken.Lex(src)); !ok {
+			t.Errorf("signature does not match source sample %q", src)
+		}
+	}
+	// …and a fresh variant with new random names (the generalization
+	// that lets Kizzle track kit changes)…
+	variant := `Zk99x = this["abc"]("ev#00ff00al");`
+	if _, ok := c.MatchTokens(jstoken.Lex(variant)); !ok {
+		t.Error("signature does not generalize to a renamed variant")
+	}
+	// …but not benign code of different shape.
+	for _, benign := range []string{
+		`var x = document.getElementById("main");`,
+		`a = b + c;`,
+		`verylongidentifiername = this["toolongproperty"]("ev#333399al");`,
+	} {
+		if _, ok := c.MatchTokens(jstoken.Lex(benign)); ok {
+			t.Errorf("signature matched benign %q", benign)
+		}
+	}
+}
+
+func TestBackrefEnforced(t *testing.T) {
+	srcs := []string{
+		`aQw3["k"]("x"); aQw3["k"]("y1");`,
+		`Zp0t["m"]("x"); Zp0t["m"]("y2");`,
+		`m4Jq["z"]("x"); m4Jq["z"]("y3");`,
+	}
+	sig := mustGenerate(t, "Nuclear", srcs...)
+	c, err := Compile(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consistent reuse matches.
+	if _, ok := c.MatchTokens(jstoken.Lex(`xYz1["q"]("x"); xYz1["q"]("y9");`)); !ok {
+		t.Error("consistent variable reuse must match")
+	}
+	// Inconsistent reuse must not match: the back-reference binds.
+	if _, ok := c.MatchTokens(jstoken.Lex(`xYz1["q"]("x"); Diff2["q"]("y9");`)); ok {
+		t.Error("back-reference must reject mismatched identifier reuse")
+	}
+}
+
+func TestMatchOffset(t *testing.T) {
+	sig := mustGenerate(t, "RIG",
+		`pfx(); Euur1V = this["l9D"]("ev#333399al");`,
+		`pfx(); jkb0hA = this["uqA"]("ev#ccff00al");`,
+	)
+	c, err := Compile(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := jstoken.Lex(`aaa(); bbb(); pfx(); Qq1abc = this["zzz"]("ev#121212al");`)
+	off, ok := c.MatchTokens(tokens)
+	if !ok {
+		t.Fatal("expected match")
+	}
+	if off == 0 {
+		t.Error("match offset should be inside the stream, not 0")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		sig  siggen.Signature
+	}{
+		{"empty", siggen.Signature{Family: "X"}},
+		{"unknown class", siggen.Signature{Family: "X", Elements: []siggen.Element{
+			{Kind: siggen.KindClass, Class: "[bogus]", MinLen: 1, MaxLen: 2, Group: 0},
+		}}},
+		{"backref before capture", siggen.Signature{Family: "X", Elements: []siggen.Element{
+			{Kind: siggen.KindBackref, Group: 0},
+			{Kind: siggen.KindClass, Class: "[0-9]", MinLen: 1, MaxLen: 2, Group: 0},
+		}}},
+		{"negative backref group", siggen.Signature{Family: "X", Elements: []siggen.Element{
+			{Kind: siggen.KindBackref, Group: -1},
+		}}},
+		{"unknown kind", siggen.Signature{Family: "X", Elements: []siggen.Element{
+			{Kind: siggen.ElementKind(99)},
+		}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Compile(tt.sig); err == nil {
+				t.Error("expected compile error")
+			}
+		})
+	}
+}
+
+func TestScannerMultipleSignatures(t *testing.T) {
+	rig := mustGenerate(t, "RIG",
+		`var b1 = ""; b1 += "47 y642"; p = b1.split("y6");`,
+		`var c2 = ""; c2 += "48 z717"; p = c2.split("z7");`,
+	)
+	nuclear := mustGenerate(t, "Nuclear",
+		`Euur1V = this["l9D"]("ev#333399al");`,
+		`jkb0hA = this["uqA"]("ev#ccff00al");`,
+	)
+	s, err := NewScanner([]siggen.Signature{rig, nuclear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+
+	matches := s.Scan(`var q9 = ""; q9 += "50 a100"; p = q9.split("a1");`)
+	if len(matches) != 1 || matches[0].Family != "RIG" {
+		t.Errorf("matches = %+v, want one RIG match", matches)
+	}
+	matches = s.Scan(`Pp3qXY = this["ab1"]("ev#ffffffal");`)
+	if len(matches) != 1 || matches[0].Family != "Nuclear" {
+		t.Errorf("matches = %+v, want one Nuclear match", matches)
+	}
+	if s.Detects(`var benign = document.title;`) {
+		t.Error("scanner flagged benign content")
+	}
+}
+
+func TestScannerAdd(t *testing.T) {
+	s, err := NewScanner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Detects(`Euur1V = this["l9D"]("ev#333399al");`) {
+		t.Error("empty scanner detected something")
+	}
+	sig := mustGenerate(t, "Nuclear",
+		`Euur1V = this["l9D"]("ev#333399al");`,
+		`jkb0hA = this["uqA"]("ev#ccff00al");`,
+	)
+	if err := s.Add(sig); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Detects(`Zzz999 = this["kkk"]("ev#abababal");`) {
+		t.Error("added signature not live")
+	}
+}
+
+func TestScannerAddInvalid(t *testing.T) {
+	s, _ := NewScanner(nil)
+	if err := s.Add(siggen.Signature{Family: "X"}); err == nil {
+		t.Error("expected error adding empty signature")
+	}
+}
+
+func TestScanHTMLDocument(t *testing.T) {
+	sig := mustGenerate(t, "Nuclear",
+		`Euur1V = this["l9D"]("ev#333399al");`,
+		`jkb0hA = this["uqA"]("ev#ccff00al");`,
+	)
+	s, err := NewScanner([]siggen.Signature{sig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `<html><body><p>welcome</p><script>Rr4tXX = this["ppp"]("ev#101010al");</script></body></html>`
+	if !s.Detects(doc) {
+		t.Error("scanner must find signature inside inline <script>")
+	}
+}
+
+func TestSignatureLongerThanSample(t *testing.T) {
+	sig := mustGenerate(t, "RIG",
+		`var a = 1; var b = 2; var c = 3;`,
+		`var x = 7; var y = 8; var z = 9;`,
+	)
+	c, err := Compile(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.MatchTokens(jstoken.Lex(`var a = 1;`)); ok {
+		t.Error("signature longer than sample must not match")
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	srcs := []string{
+		`Euur1V = this["l9D"]("ev#333399al");`,
+		`jkb0hA = this["uqA"]("ev#ccff00al");`,
+	}
+	samples := make([][]jstoken.Token, len(srcs))
+	for i, s := range srcs {
+		samples[i] = jstoken.Lex(s)
+	}
+	sig, err := siggen.Generate("Nuclear", samples, siggen.Config{MinTokens: 5, MaxTokens: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewScanner([]siggen.Signature{sig})
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := strings.Repeat(`var filler = compute(1, "x"); `, 300) + `Zk1abc = this["abz"]("ev#00aa00al");`
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !s.Detects(doc) {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package sigmatch
+
+import (
+	"fmt"
+
+	"kizzle/internal/jstoken"
+	"kizzle/internal/siggen"
+)
+
+// CompiledMulti is a compiled multi-sequence signature: its parts must
+// match at strictly increasing token offsets, with shared capture groups
+// so back-references work across parts.
+type CompiledMulti struct {
+	sig    siggen.MultiSignature
+	parts  []*partMatcher
+	groups int
+}
+
+type partMatcher struct {
+	elements []siggen.Element
+	classes  []func(byte) bool
+}
+
+// CompileMulti validates and prepares a multi-sequence signature.
+func CompileMulti(sig siggen.MultiSignature) (*CompiledMulti, error) {
+	if len(sig.Parts) == 0 {
+		return nil, fmt.Errorf("sigmatch: empty multi-signature for family %q", sig.Family)
+	}
+	c := &CompiledMulti{sig: sig}
+	seen := make(map[int]bool)
+	for pi, part := range sig.Parts {
+		if len(part.Elements) == 0 {
+			return nil, fmt.Errorf("sigmatch: part %d is empty", pi)
+		}
+		pm := &partMatcher{
+			elements: part.Elements,
+			classes:  make([]func(byte) bool, len(part.Elements)),
+		}
+		for i, e := range part.Elements {
+			switch e.Kind {
+			case siggen.KindLiteral:
+			case siggen.KindClass:
+				cls, ok := siggen.ClassByName(e.Class)
+				if !ok {
+					return nil, fmt.Errorf("sigmatch: part %d element %d: unknown class %q", pi, i, e.Class)
+				}
+				pm.classes[i] = cls.Match
+				if e.Group >= 0 {
+					seen[e.Group] = true
+					if e.Group >= c.groups {
+						c.groups = e.Group + 1
+					}
+				}
+			case siggen.KindBackref:
+				if e.Group < 0 || !seen[e.Group] {
+					return nil, fmt.Errorf("sigmatch: part %d element %d: back-reference to uncaptured group %d", pi, i, e.Group)
+				}
+			default:
+				return nil, fmt.Errorf("sigmatch: part %d element %d: unknown kind %d", pi, i, e.Kind)
+			}
+		}
+		c.parts = append(c.parts, pm)
+	}
+	return c, nil
+}
+
+// Family returns the signature's family label.
+func (c *CompiledMulti) Family() string { return c.sig.Family }
+
+// MatchTokens reports whether at least MinParts parts (all parts when
+// MinParts is 0) match at strictly increasing token offsets. Parts are
+// placed left to right with backtracking over placements and over which
+// parts to skip.
+func (c *CompiledMulti) MatchTokens(tokens []jstoken.Token) (int, bool) {
+	need := c.sig.MinParts
+	if need <= 0 || need > len(c.parts) {
+		need = len(c.parts)
+	}
+	captures := make([]string, c.groups)
+	return 0, c.place(tokens, 0, 0, 0, need, captures)
+}
+
+// place tries to satisfy the quorum starting with part pi at offsets >= from.
+func (c *CompiledMulti) place(tokens []jstoken.Token, pi, from, matched, need int, captures []string) bool {
+	if matched >= need {
+		return true
+	}
+	if matched+len(c.parts)-pi < need {
+		return false // not enough parts left
+	}
+	pm := c.parts[pi]
+	n := len(pm.elements)
+	for start := from; start+n <= len(tokens); start++ {
+		// Snapshot captures so a failed downstream placement can retry
+		// with different bindings.
+		snapshot := append([]string(nil), captures...)
+		if !pm.matchAt(tokens, start, captures) {
+			copy(captures, snapshot)
+			continue
+		}
+		if c.place(tokens, pi+1, start+n, matched+1, need, captures) {
+			return true
+		}
+		copy(captures, snapshot)
+	}
+	// Skip part pi entirely.
+	return c.place(tokens, pi+1, from, matched, need, captures)
+}
+
+func (pm *partMatcher) matchAt(tokens []jstoken.Token, start int, captures []string) bool {
+	for i, e := range pm.elements {
+		v := tokens[start+i].Value()
+		switch e.Kind {
+		case siggen.KindLiteral:
+			if v != e.Literal {
+				return false
+			}
+		case siggen.KindClass:
+			if len(v) < e.MinLen || len(v) > e.MaxLen {
+				return false
+			}
+			match := pm.classes[i]
+			for b := 0; b < len(v); b++ {
+				if !match(v[b]) {
+					return false
+				}
+			}
+			if e.Group >= 0 {
+				captures[e.Group] = v
+			}
+		case siggen.KindBackref:
+			if v != captures[e.Group] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Detects reports whether the multi-signature matches the document.
+func (c *CompiledMulti) Detects(doc string) bool {
+	_, ok := c.MatchTokens(jstoken.LexDocument(doc))
+	return ok
+}

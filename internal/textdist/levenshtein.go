@@ -1,0 +1,165 @@
+// Package textdist implements the edit-distance primitives Kizzle's
+// clustering stage uses to compare abstract token sequences. The paper
+// clusters samples with DBSCAN "using the edit distance between token
+// strings as a means of determining the distance between any two samples"
+// with a normalized threshold of 0.10.
+//
+// Two implementations are provided: a full O(n·m) dynamic program and a
+// banded variant that abandons early once the distance provably exceeds a
+// caller-supplied bound. DBSCAN only needs to know whether two samples are
+// within eps of each other, so the banded variant is the hot path.
+package textdist
+
+import "kizzle/internal/jstoken"
+
+// Distance computes the Levenshtein edit distance (unit insert, delete and
+// substitute costs) between two symbol sequences using two rolling rows.
+func Distance(a, b []jstoken.Symbol) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	// Keep the inner loop over the shorter sequence.
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	curr := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = i
+		ai := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ai == b[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)]
+}
+
+// DistanceWithin computes the Levenshtein distance between a and b if it is
+// at most maxDist, using a band of width 2·maxDist+1 around the diagonal.
+// If the true distance exceeds maxDist it returns (0, false). This runs in
+// O(maxDist · max(len)) time, which is what makes DBSCAN over thousands of
+// samples per partition tractable.
+func DistanceWithin(a, b []jstoken.Symbol, maxDist int) (int, bool) {
+	if maxDist < 0 {
+		return 0, false
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	// The length difference is a lower bound on the distance.
+	if len(b)-len(a) > maxDist {
+		return 0, false
+	}
+	if len(a) == 0 {
+		return len(b), true
+	}
+
+	const inf = int(^uint(0) >> 1)
+	width := 2*maxDist + 1
+	prev := make([]int, width)
+	curr := make([]int, width)
+	// Row i stores cells j in [i-maxDist, i+maxDist]; index k maps to
+	// j = i - maxDist + k.
+	for k := 0; k < width; k++ {
+		j := 0 - maxDist + k
+		if j >= 0 && j <= len(b) {
+			prev[k] = j
+		} else {
+			prev[k] = inf
+		}
+	}
+	for i := 1; i <= len(a); i++ {
+		rowMin := inf
+		ai := a[i-1]
+		for k := 0; k < width; k++ {
+			j := i - maxDist + k
+			if j < 0 || j > len(b) {
+				curr[k] = inf
+				continue
+			}
+			if j == 0 {
+				curr[k] = i
+				rowMin = min2(rowMin, i)
+				continue
+			}
+			best := inf
+			// Substitution / match: prev row, same k.
+			if prev[k] != inf {
+				cost := 1
+				if ai == b[j-1] {
+					cost = 0
+				}
+				best = prev[k] + cost
+			}
+			// Deletion from a: prev row, k+1 (same j).
+			if k+1 < width && prev[k+1] != inf && prev[k+1]+1 < best {
+				best = prev[k+1] + 1
+			}
+			// Insertion into a: current row, k-1 (j-1).
+			if k-1 >= 0 && curr[k-1] != inf && curr[k-1]+1 < best {
+				best = curr[k-1] + 1
+			}
+			curr[k] = best
+			rowMin = min2(rowMin, best)
+		}
+		if rowMin > maxDist {
+			return 0, false
+		}
+		prev, curr = curr, prev
+	}
+	k := len(b) - len(a) + maxDist
+	if k < 0 || k >= width || prev[k] == inf || prev[k] > maxDist {
+		return 0, false
+	}
+	return prev[k], true
+}
+
+// Normalized returns the edit distance between a and b divided by the
+// length of the longer sequence, the quantity the paper thresholds at 0.10.
+// Two empty sequences have distance 0.
+func Normalized(a, b []jstoken.Symbol) float64 {
+	n := max2(len(a), len(b))
+	if n == 0 {
+		return 0
+	}
+	return float64(Distance(a, b)) / float64(n)
+}
+
+// WithinNormalized reports whether the normalized edit distance between a
+// and b is at most eps, using the banded early-abandon computation.
+func WithinNormalized(a, b []jstoken.Symbol, eps float64) bool {
+	n := max2(len(a), len(b))
+	if n == 0 {
+		return true
+	}
+	maxDist := int(eps * float64(n))
+	_, ok := DistanceWithin(a, b, maxDist)
+	return ok
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min3(a, b, c int) int { return min2(min2(a, b), c) }

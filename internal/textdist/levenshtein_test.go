@@ -1,0 +1,210 @@
+package textdist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kizzle/internal/jstoken"
+)
+
+func syms(xs ...int) []jstoken.Symbol {
+	out := make([]jstoken.Symbol, len(xs))
+	for i, x := range xs {
+		out[i] = jstoken.Symbol(x)
+	}
+	return out
+}
+
+func fromString(s string) []jstoken.Symbol {
+	out := make([]jstoken.Symbol, len(s))
+	for i := range s {
+		out[i] = jstoken.Symbol(s[i])
+	}
+	return out
+}
+
+func TestDistanceTable(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b string
+		want int
+	}{
+		{"both empty", "", "", 0},
+		{"a empty", "", "abc", 3},
+		{"b empty", "abc", "", 3},
+		{"equal", "abc", "abc", 0},
+		{"single sub", "abc", "axc", 1},
+		{"single insert", "abc", "abxc", 1},
+		{"single delete", "abc", "ac", 1},
+		{"kitten sitting", "kitten", "sitting", 3},
+		{"flaw lawn", "flaw", "lawn", 2},
+		{"disjoint", "aaaa", "bbbb", 4},
+		{"prefix", "abcdef", "abc", 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a, b := fromString(tt.a), fromString(tt.b)
+			if got := Distance(a, b); got != tt.want {
+				t.Errorf("Distance(%q,%q) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+			// Symmetry.
+			if got := Distance(b, a); got != tt.want {
+				t.Errorf("Distance(%q,%q) = %d, want %d (symmetry)", tt.b, tt.a, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistanceWithinAgreesWithFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 500; iter++ {
+		a := randSeq(rng, rng.Intn(40))
+		b := randSeq(rng, rng.Intn(40))
+		full := Distance(a, b)
+		for _, bound := range []int{0, 1, 2, full - 1, full, full + 1, 50} {
+			if bound < 0 {
+				continue
+			}
+			got, ok := DistanceWithin(a, b, bound)
+			if full <= bound {
+				if !ok || got != full {
+					t.Fatalf("DistanceWithin(%v,%v,%d) = (%d,%v), want (%d,true)", a, b, bound, got, ok, full)
+				}
+			} else if ok {
+				t.Fatalf("DistanceWithin(%v,%v,%d) = (%d,true), want false (full=%d)", a, b, bound, got, full)
+			}
+		}
+	}
+}
+
+func TestDistanceWithinNegativeBound(t *testing.T) {
+	if _, ok := DistanceWithin(syms(1), syms(1), -1); ok {
+		t.Error("negative bound must report false")
+	}
+}
+
+func TestDistanceWithinEmpty(t *testing.T) {
+	d, ok := DistanceWithin(nil, syms(1, 2, 3), 3)
+	if !ok || d != 3 {
+		t.Errorf("got (%d,%v), want (3,true)", d, ok)
+	}
+	if _, ok := DistanceWithin(nil, syms(1, 2, 3), 2); ok {
+		t.Error("bound 2 must fail for distance 3")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b string
+		want float64
+	}{
+		{"identical", "abcd", "abcd", 0},
+		{"empty", "", "", 0},
+		{"one of four", "abcd", "abxd", 0.25},
+		{"total", "ab", "xy", 1},
+		{"against empty", "abcd", "", 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Normalized(fromString(tt.a), fromString(tt.b)); got != tt.want {
+				t.Errorf("Normalized = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestWithinNormalized(t *testing.T) {
+	// 100 symbols, 5 substitutions: normalized distance 0.05.
+	a := randSeq(rand.New(rand.NewSource(1)), 100)
+	b := make([]jstoken.Symbol, len(a))
+	copy(b, a)
+	for i := 0; i < 5; i++ {
+		b[i*17] ^= 0x7fff
+	}
+	if !WithinNormalized(a, b, 0.10) {
+		t.Error("0.05 distance must be within eps 0.10")
+	}
+	if WithinNormalized(a, b, 0.01) {
+		t.Error("0.05 distance must not be within eps 0.01")
+	}
+}
+
+func randSeq(rng *rand.Rand, n int) []jstoken.Symbol {
+	out := make([]jstoken.Symbol, n)
+	for i := range out {
+		out[i] = jstoken.Symbol(rng.Intn(8) + 1)
+	}
+	return out
+}
+
+// Property: triangle inequality d(a,c) <= d(a,b) + d(b,c), required for the
+// distance to behave as a metric under DBSCAN.
+func TestTriangleInequalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		a := randSeq(rng, rng.Intn(25))
+		b := randSeq(rng, rng.Intn(25))
+		c := randSeq(rng, rng.Intn(25))
+		if Distance(a, c) > Distance(a, b)+Distance(b, c) {
+			t.Fatalf("triangle inequality violated: a=%v b=%v c=%v", a, b, c)
+		}
+	}
+}
+
+// Property: identity of indiscernibles and non-negativity.
+func TestMetricAxiomsProperty(t *testing.T) {
+	f := func(xs, ys []byte) bool {
+		a := make([]jstoken.Symbol, len(xs))
+		for i, x := range xs {
+			a[i] = jstoken.Symbol(x % 6)
+		}
+		b := make([]jstoken.Symbol, len(ys))
+		for i, y := range ys {
+			b[i] = jstoken.Symbol(y % 6)
+		}
+		d := Distance(a, b)
+		if d < 0 {
+			return false
+		}
+		if d == 0 {
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return Distance(a, a) == 0 && Distance(a, b) == Distance(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDistanceFull(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := randSeq(rng, 500)
+	y := randSeq(rng, 500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Distance(x, y)
+	}
+}
+
+func BenchmarkDistanceBanded(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := randSeq(rng, 500)
+	y := make([]jstoken.Symbol, len(x))
+	copy(y, x)
+	for i := 0; i < 20; i++ {
+		y[i*23] ^= 0x0f
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DistanceWithin(x, y, 50)
+	}
+}

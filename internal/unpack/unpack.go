@@ -1,0 +1,357 @@
+// Package unpack reverses the packers of the four studied exploit kits.
+// The paper unpacks cluster prototypes before labeling them; instead of
+// hooking a JavaScript engine's eval loop, the authors "implemented
+// unpackers for all kits under investigation" — exactly what this package
+// does. Each unpacker statically recognizes its kit's encoding in the token
+// stream and decodes the inner payload; all of them fail cleanly on
+// non-matching input.
+package unpack
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+
+	"kizzle/internal/jstoken"
+)
+
+// ErrNotPacked is returned when no unpacker recognizes the sample.
+var ErrNotPacked = errors.New("unpack: no known packer structure recognized")
+
+// Result is a successful unpacking.
+type Result struct {
+	// Payload is the decoded inner code.
+	Payload string
+	// Method names the unpacker that succeeded ("rig", "nuclear",
+	// "angler-hex", "sweetorange").
+	Method string
+}
+
+// unpacker is one kit-specific decoder.
+type unpacker struct {
+	name string
+	fn   func(tokens []jstoken.Token) (string, bool)
+}
+
+// unpackers are tried in order of structural specificity.
+func unpackers() []unpacker {
+	return []unpacker{
+		{"nuclear", unpackNuclear},
+		{"sweetorange", unpackSweetOrange},
+		{"rig", unpackRIG},
+		{"angler-hex", unpackAnglerHex},
+	}
+}
+
+// Unpack extracts inline scripts from the document and tries every known
+// unpacker. Layered packing is handled by unpacking repeatedly until no
+// unpacker applies; the paper notes code is "unpacked, often multiple
+// times, to get to the ultimate payload".
+func Unpack(doc string) (Result, error) {
+	script := jstoken.ExtractScripts(doc)
+	var (
+		res   Result
+		found bool
+	)
+	for depth := 0; depth < 4; depth++ {
+		tokens := jstoken.Lex(script)
+		matched := false
+		for _, u := range unpackers() {
+			if payload, ok := u.fn(tokens); ok {
+				res = Result{Payload: payload, Method: u.name}
+				script = payload
+				matched, found = true, true
+				break
+			}
+		}
+		if !matched {
+			break
+		}
+	}
+	if !found {
+		return Result{}, ErrNotPacked
+	}
+	return res, nil
+}
+
+// UnpackOrSelf returns the decoded payload, or the sample's own script text
+// when it is not packed (benign clusters are compared as-is).
+func UnpackOrSelf(doc string) string {
+	if res, err := Unpack(doc); err == nil {
+		return res.Payload
+	}
+	return jstoken.ExtractScripts(doc)
+}
+
+// --- token-stream helpers ---
+
+// tokAt returns the token at i, or a zero Token past the end.
+func tokAt(tokens []jstoken.Token, i int) jstoken.Token {
+	if i < 0 || i >= len(tokens) {
+		return jstoken.Token{}
+	}
+	return tokens[i]
+}
+
+func isPunct(t jstoken.Token, text string) bool {
+	return t.Class == jstoken.ClassPunct && t.Text == text
+}
+
+func isIdent(t jstoken.Token, name string) bool {
+	return t.Class == jstoken.ClassIdentifier && t.Text == name
+}
+
+// stringValue returns the unquoted value if t is a string literal.
+func stringValue(t jstoken.Token) (string, bool) {
+	if t.Class != jstoken.ClassString {
+		return "", false
+	}
+	return t.Value(), true
+}
+
+// varStrings collects `var NAME = "VALUE"`-style bindings.
+func varStrings(tokens []jstoken.Token) map[string]string {
+	out := make(map[string]string)
+	for i := 0; i+3 < len(tokens); i++ {
+		if tokens[i].Class == jstoken.ClassKeyword && tokens[i].Text == "var" &&
+			tokens[i+1].Class == jstoken.ClassIdentifier &&
+			isPunct(tokAt(tokens, i+2), "=") {
+			if v, ok := stringValue(tokAt(tokens, i+3)); ok {
+				out[tokens[i+1].Text] = v
+			}
+		}
+	}
+	return out
+}
+
+func decodeHexString(s string) (string, bool) {
+	if len(s) == 0 || len(s)%2 != 0 {
+		return "", false
+	}
+	b := make([]byte, 0, len(s)/2)
+	for i := 0; i < len(s); i += 2 {
+		v, err := strconv.ParseUint(s[i:i+2], 16, 8)
+		if err != nil {
+			return "", false
+		}
+		b = append(b, byte(v))
+	}
+	return string(b), true
+}
+
+// --- RIG (Figure 4a): collect()ed char codes joined by a delimiter ---
+
+func unpackRIG(tokens []jstoken.Token) (string, bool) {
+	// Locate `function NAME ( PARAM ) { BUF += PARAM ; }`.
+	collectName, bufName := "", ""
+	for i := 0; i+9 < len(tokens); i++ {
+		if tokens[i].Class == jstoken.ClassKeyword && tokens[i].Text == "function" &&
+			tokens[i+1].Class == jstoken.ClassIdentifier &&
+			isPunct(tokAt(tokens, i+2), "(") &&
+			tokAt(tokens, i+3).Class == jstoken.ClassIdentifier &&
+			isPunct(tokAt(tokens, i+4), ")") &&
+			isPunct(tokAt(tokens, i+5), "{") &&
+			tokAt(tokens, i+6).Class == jstoken.ClassIdentifier &&
+			isPunct(tokAt(tokens, i+7), "+=") &&
+			isIdent(tokAt(tokens, i+8), tokens[i+3].Text) &&
+			isPunct(tokAt(tokens, i+9), ";") {
+			collectName, bufName = tokens[i+1].Text, tokens[i+6].Text
+			break
+		}
+	}
+	if collectName == "" {
+		return "", false
+	}
+	// The delimiter variable: the one .split(DV) is called with.
+	vars := varStrings(tokens)
+	delim := ""
+	for i := 0; i+4 < len(tokens); i++ {
+		if isIdent(tokens[i], bufName) && isPunct(tokAt(tokens, i+1), ".") &&
+			isIdent(tokAt(tokens, i+2), "split") && isPunct(tokAt(tokens, i+3), "(") {
+			if d, ok := vars[tokAt(tokens, i+4).Text]; ok {
+				delim = d
+			} else if v, ok := stringValue(tokAt(tokens, i+4)); ok {
+				delim = v
+			}
+		}
+	}
+	if delim == "" {
+		return "", false
+	}
+	// Concatenate all collect("...") arguments.
+	var joined strings.Builder
+	for i := 0; i+2 < len(tokens); i++ {
+		if isIdent(tokens[i], collectName) && isPunct(tokAt(tokens, i+1), "(") {
+			if v, ok := stringValue(tokAt(tokens, i+2)); ok {
+				joined.WriteString(v)
+			}
+		}
+	}
+	if joined.Len() == 0 {
+		return "", false
+	}
+	pieces := strings.Split(joined.String(), delim)
+	var out strings.Builder
+	for _, p := range pieces {
+		if p == "" {
+			continue
+		}
+		code, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || code < 0 || code > 0x10ffff {
+			return "", false
+		}
+		out.WriteRune(rune(code))
+	}
+	if out.Len() == 0 {
+		return "", false
+	}
+	return out.String(), true
+}
+
+// --- Nuclear (Figure 4b): XORed 3-digit decimal codes plus a crypt key ---
+
+func unpackNuclear(tokens []jstoken.Token) (string, bool) {
+	// Nuclear's marker: the getter indirection `X[Y["..."]("document")]`
+	// together with two long var strings (payload digits + key).
+	hasGetter := false
+	for i := 0; i+2 < len(tokens); i++ {
+		if v, ok := stringValue(tokens[i]); ok && v == "document" &&
+			isPunct(tokAt(tokens, i-1), "(") {
+			hasGetter = true
+			break
+		}
+	}
+	if !hasGetter {
+		return "", false
+	}
+	var payload, key string
+	for _, v := range varStrings(tokens) {
+		if len(v) >= 30 && len(v)%3 == 0 && allDigits(v) {
+			if len(v) > len(payload) {
+				payload = v
+			}
+		} else if len(v) >= 16 {
+			if len(v) > len(key) {
+				key = v
+			}
+		}
+	}
+	if payload == "" || key == "" {
+		return "", false
+	}
+	var out strings.Builder
+	out.Grow(len(payload) / 3)
+	for i := 0; i+3 <= len(payload); i += 3 {
+		code, err := strconv.Atoi(payload[i : i+3])
+		if err != nil {
+			return "", false
+		}
+		out.WriteByte(byte(code) ^ key[(i/3)%len(key)])
+	}
+	return out.String(), true
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// --- Sweet Orange: hex chunks hidden at substr(Math.sqrt(N), L) ---
+
+func unpackSweetOrange(tokens []jstoken.Token) (string, bool) {
+	var hexParts []string
+	for i := 0; i+12 < len(tokens); i++ {
+		// "CARRIER" . substr ( Math . sqrt ( N ) , L )
+		carrier, ok := stringValue(tokens[i])
+		if !ok {
+			continue
+		}
+		if !isPunct(tokAt(tokens, i+1), ".") || !isIdent(tokAt(tokens, i+2), "substr") ||
+			!isPunct(tokAt(tokens, i+3), "(") || !isIdent(tokAt(tokens, i+4), "Math") ||
+			!isPunct(tokAt(tokens, i+5), ".") || !isIdent(tokAt(tokens, i+6), "sqrt") ||
+			!isPunct(tokAt(tokens, i+7), "(") {
+			continue
+		}
+		if tokAt(tokens, i+8).Class != jstoken.ClassNumber || !isPunct(tokAt(tokens, i+9), ")") ||
+			!isPunct(tokAt(tokens, i+10), ",") || tokAt(tokens, i+11).Class != jstoken.ClassNumber ||
+			!isPunct(tokAt(tokens, i+12), ")") {
+			continue
+		}
+		square, err1 := strconv.Atoi(tokAt(tokens, i+8).Text)
+		length, err2 := strconv.Atoi(tokAt(tokens, i+11).Text)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		off := intSqrt(square)
+		if off < 0 || off > len(carrier) {
+			continue
+		}
+		end := off + length
+		if end > len(carrier) {
+			end = len(carrier)
+		}
+		hexParts = append(hexParts, carrier[off:end])
+	}
+	if len(hexParts) == 0 {
+		return "", false
+	}
+	decoded, ok := decodeHexString(strings.Join(hexParts, ""))
+	return decoded, ok
+}
+
+func intSqrt(n int) int {
+	for i := 0; i*i <= n; i++ {
+		if i*i == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- Angler: a single long hex string plus a parseInt(...,16) loop ---
+
+func unpackAnglerHex(tokens []jstoken.Token) (string, bool) {
+	// Require the hex-decode loop shape: parseInt ( X . substr ( I , 2 ) , 16 )
+	hasLoop := false
+	for i := 0; i+2 < len(tokens); i++ {
+		if isIdent(tokens[i], "parseInt") {
+			// Look ahead a bounded window for ", 16 )".
+			for j := i; j < i+14 && j+2 < len(tokens); j++ {
+				if isPunct(tokens[j], ",") && tokAt(tokens, j+1).Text == "16" && isPunct(tokAt(tokens, j+2), ")") {
+					hasLoop = true
+					break
+				}
+			}
+		}
+		if hasLoop {
+			break
+		}
+	}
+	if !hasLoop {
+		return "", false
+	}
+	best := ""
+	for _, v := range varStrings(tokens) {
+		if len(v) > len(best) && len(v) >= 20 && isHex(v) {
+			best = v
+		}
+	}
+	if best == "" {
+		return "", false
+	}
+	return decodeHexString(best)
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,150 @@
+package unpack
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"kizzle/internal/ekit"
+)
+
+// TestRoundTripAllKits is the central property of the substrate: every
+// kit's packer must be exactly reversed by its unpacker, for every version
+// in its timeline and arbitrary sample indices.
+func TestRoundTripAllKits(t *testing.T) {
+	days := []int{
+		ekit.JuneStart, ekit.Date(6, 20), ekit.Date(7, 15),
+		ekit.AugustStart, ekit.Date(8, 13), ekit.Date(8, 20), ekit.Date(8, 28), ekit.AugustEnd,
+	}
+	for _, fam := range ekit.Families {
+		for _, day := range days {
+			for idx := 0; idx < 3; idx++ {
+				payload := ekit.Payload(fam, day)
+				packed := ekit.Pack(fam, payload, day, idx)
+				res, err := Unpack(packed)
+				if err != nil {
+					t.Fatalf("%v day %s idx %d: %v", fam, ekit.Label(day), idx, err)
+				}
+				if res.Payload != payload {
+					t.Fatalf("%v day %s idx %d: roundtrip mismatch (%d vs %d bytes)",
+						fam, ekit.Label(day), idx, len(res.Payload), len(payload))
+				}
+			}
+		}
+	}
+}
+
+func TestUnpackMethodPerKit(t *testing.T) {
+	day := ekit.Date(8, 5)
+	tests := []struct {
+		fam  ekit.Family
+		want string
+	}{
+		{ekit.FamilyRIG, "rig"},
+		{ekit.FamilyNuclear, "nuclear"},
+		{ekit.FamilyAngler, "angler-hex"},
+		{ekit.FamilySweetOrange, "sweetorange"},
+	}
+	for _, tt := range tests {
+		packed := ekit.Pack(tt.fam, ekit.Payload(tt.fam, day), day, 0)
+		res, err := Unpack(packed)
+		if err != nil {
+			t.Fatalf("%v: %v", tt.fam, err)
+		}
+		if res.Method != tt.want {
+			t.Errorf("%v unpacked via %q, want %q", tt.fam, res.Method, tt.want)
+		}
+	}
+}
+
+func TestUnpackFullHTMLSample(t *testing.T) {
+	s, err := ekit.NewStream(ekit.DefaultStreamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, smp := range s.MaliciousDay(ekit.Date(8, 5)) {
+		res, uerr := Unpack(smp.Content)
+		if uerr != nil {
+			t.Fatalf("%s (%v): %v", smp.ID, smp.Family, uerr)
+		}
+		if !strings.Contains(res.Payload, "function") {
+			t.Errorf("%s: unpacked payload does not look like code", smp.ID)
+		}
+	}
+}
+
+func TestUnpackBenignFails(t *testing.T) {
+	for _, doc := range []string{
+		``,
+		`var x = 1; function f() { return x; }`,
+		`<html><body><script>document.title = "hello";</script></body></html>`,
+	} {
+		if _, err := Unpack(doc); !errors.Is(err, ErrNotPacked) {
+			t.Errorf("Unpack(%.40q) err = %v, want ErrNotPacked", doc, err)
+		}
+	}
+}
+
+// The benign charcode loader is *structurally* RIG-shaped, so the RIG
+// unpacker legitimately decodes it — to a benign banner, which the labeling
+// stage must then not match against any kit corpus. Verify it decodes
+// without error and yields the banner.
+func TestUnpackBenignCharLoader(t *testing.T) {
+	body := ekit.BenignSample(ekit.BenignCharLoader, ekit.Date(8, 5), 0)
+	res, err := Unpack(body)
+	if err != nil {
+		t.Fatalf("charloader: %v", err)
+	}
+	if !strings.Contains(res.Payload, "deliver();") {
+		t.Errorf("charloader payload = %.80q..., want the tracker snippet", res.Payload)
+	}
+}
+
+func TestUnpackBenignHexLoader(t *testing.T) {
+	body := ekit.BenignSample(ekit.BenignHexLoader, ekit.Date(8, 5), 0)
+	res, err := Unpack(body)
+	if err != nil {
+		t.Fatalf("hexloader: %v", err)
+	}
+	if !strings.Contains(res.Payload, "sprite sheet") {
+		t.Errorf("hexloader payload = %q", res.Payload)
+	}
+}
+
+func TestUnpackOrSelf(t *testing.T) {
+	benign := `var x = document.title;`
+	if got := UnpackOrSelf(benign); got != benign {
+		t.Errorf("UnpackOrSelf(benign) = %q, want identity", got)
+	}
+	day := ekit.Date(8, 5)
+	payload := ekit.Payload(ekit.FamilyNuclear, day)
+	packed := ekit.Pack(ekit.FamilyNuclear, payload, day, 0)
+	if got := UnpackOrSelf(packed); got != payload {
+		t.Error("UnpackOrSelf(packed) must decode")
+	}
+}
+
+func TestUnpackCorruptedInputs(t *testing.T) {
+	day := ekit.Date(8, 5)
+	packed := ekit.Pack(ekit.FamilyRIG, ekit.Payload(ekit.FamilyRIG, day), day, 0)
+	// Truncation and mutation must not panic; they may or may not decode.
+	for _, mutated := range []string{
+		packed[:len(packed)/2],
+		strings.ReplaceAll(packed, "split", "splot"),
+		strings.ReplaceAll(packed, "0", "!"),
+	} {
+		_, _ = Unpack(mutated) // must not panic
+	}
+}
+
+func BenchmarkUnpackNuclear(b *testing.B) {
+	day := ekit.Date(8, 5)
+	packed := ekit.Pack(ekit.FamilyNuclear, ekit.Payload(ekit.FamilyNuclear, day), day, 0)
+	b.SetBytes(int64(len(packed)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unpack(packed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package winnow implements document fingerprinting by winnowing
+// (Schleimer, Wilkerson, Aiken — SIGMOD 2003), the plagiarism-detection
+// technique Kizzle uses to label clusters: the winnow histogram of an
+// unpacked cluster prototype is compared against histograms of known
+// unpacked exploit-kit corpora, and sufficient overlap labels the cluster
+// with that kit's family.
+package winnow
+
+// Config holds the two winnowing parameters. With k-gram size k and window
+// size w, winnowing guarantees that any shared substring of length at least
+// w+k-1 produces at least one shared fingerprint.
+type Config struct {
+	// K is the k-gram (shingle) length in bytes.
+	K int
+	// Window is the number of consecutive k-gram hashes a minimum is
+	// selected from.
+	Window int
+}
+
+// DefaultConfig mirrors common winnowing deployments (MOSS uses similar
+// magnitudes): 5-byte grams over an 8-hash window guarantee detection of
+// shared substrings of 12+ bytes, well under the size of any EK component.
+func DefaultConfig() Config { return Config{K: 5, Window: 8} }
+
+// Histogram is a multiset of selected fingerprint hashes.
+type Histogram map[uint64]int
+
+// Fingerprint computes the winnow histogram of text. Documents shorter than
+// one k-gram yield a single hash of the whole text so that tiny payload
+// fragments still compare non-trivially.
+func Fingerprint(text string, cfg Config) Histogram {
+	if cfg.K <= 0 {
+		cfg.K = DefaultConfig().K
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultConfig().Window
+	}
+	h := make(Histogram)
+	if len(text) < cfg.K {
+		h[hashBytes(text)]++
+		return h
+	}
+	hashes := gramHashes(text, cfg.K)
+	if len(hashes) <= cfg.Window {
+		minIdx := argmin(hashes)
+		h[hashes[minIdx]]++
+		return h
+	}
+	// Robust winnowing: in each window select the minimum hash; if the
+	// previous minimum is still in the window, keep it (record each
+	// selected position once).
+	prevSel := -1
+	for start := 0; start+cfg.Window <= len(hashes); start++ {
+		window := hashes[start : start+cfg.Window]
+		rel := argminRightmost(window)
+		abs := start + rel
+		if abs != prevSel {
+			h[hashes[abs]]++
+			prevSel = abs
+		}
+	}
+	return h
+}
+
+// gramHashes returns the rolling FNV-style hash of every k-gram.
+func gramHashes(text string, k int) []uint64 {
+	n := len(text) - k + 1
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = hashBytes(text[i : i+k])
+	}
+	return out
+}
+
+// hashBytes is 64-bit FNV-1a.
+func hashBytes(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func argmin(xs []uint64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// argminRightmost returns the index of the minimum, breaking ties toward
+// the rightmost occurrence (the standard winnowing tie-break, which
+// minimizes re-selection).
+func argminRightmost(xs []uint64) int {
+	best := 0
+	for i, x := range xs {
+		if x <= xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Total returns the histogram mass.
+func (h Histogram) Total() int {
+	n := 0
+	for _, c := range h {
+		n += c
+	}
+	return n
+}
+
+// Overlap computes the containment coefficient between two histograms: the
+// shared mass divided by the mass of the smaller histogram, in [0, 1].
+// This is the "sufficient overlap" quantity Kizzle thresholds per family;
+// containment (rather than Jaccard) keeps the score high when a small
+// unpacked payload is compared against a larger known corpus sample.
+func Overlap(a, b Histogram) float64 {
+	ta, tb := a.Total(), b.Total()
+	if ta == 0 || tb == 0 {
+		return 0
+	}
+	if ta > tb {
+		a, b = b, a
+		ta = tb
+	}
+	shared := 0
+	for k, ca := range a {
+		if cb, ok := b[k]; ok {
+			if cb < ca {
+				shared += cb
+			} else {
+				shared += ca
+			}
+		}
+	}
+	return float64(shared) / float64(ta)
+}
+
+// Merge adds other's counts into h.
+func (h Histogram) Merge(other Histogram) {
+	for k, c := range other {
+		h[k] += c
+	}
+}

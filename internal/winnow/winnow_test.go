@@ -1,0 +1,189 @@
+package winnow
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFingerprintDeterministic(t *testing.T) {
+	text := "var buffer = ''; buffer += chunk; document.body.appendChild(el);"
+	a := Fingerprint(text, DefaultConfig())
+	b := Fingerprint(text, DefaultConfig())
+	if Overlap(a, b) != 1 {
+		t.Error("identical documents must overlap fully")
+	}
+	if len(a) != len(b) {
+		t.Error("fingerprinting not deterministic")
+	}
+}
+
+func TestFingerprintShort(t *testing.T) {
+	h := Fingerprint("ab", DefaultConfig())
+	if h.Total() != 1 {
+		t.Errorf("short doc total = %d, want 1", h.Total())
+	}
+}
+
+func TestFingerprintEmpty(t *testing.T) {
+	h := Fingerprint("", DefaultConfig())
+	if h.Total() != 1 {
+		t.Errorf("empty doc total = %d, want 1 (whole-text hash)", h.Total())
+	}
+}
+
+func TestFingerprintZeroConfigDefaults(t *testing.T) {
+	text := strings.Repeat("function detect() { return navigator.plugins; } ", 10)
+	a := Fingerprint(text, Config{})
+	b := Fingerprint(text, DefaultConfig())
+	if Overlap(a, b) != 1 {
+		t.Error("zero config must fall back to defaults")
+	}
+}
+
+func TestOverlapIdentical(t *testing.T) {
+	text := strings.Repeat("try { new ActiveXObject('PDF.PdfCtrl'); } catch (e) {} ", 20)
+	h := Fingerprint(text, DefaultConfig())
+	if got := Overlap(h, h); got != 1 {
+		t.Errorf("self overlap = %v, want 1", got)
+	}
+}
+
+func TestOverlapDisjoint(t *testing.T) {
+	a := Fingerprint(strings.Repeat("aaaaaaaaaabbbbbbbbbb", 10), DefaultConfig())
+	b := Fingerprint(strings.Repeat("0123456789!@#$%^&*()", 10), DefaultConfig())
+	if got := Overlap(a, b); got > 0.05 {
+		t.Errorf("disjoint overlap = %v, want ~0", got)
+	}
+}
+
+func TestOverlapEmpty(t *testing.T) {
+	a := Fingerprint("some text here that is long enough", DefaultConfig())
+	if got := Overlap(a, Histogram{}); got != 0 {
+		t.Errorf("overlap with empty = %v, want 0", got)
+	}
+	if got := Overlap(Histogram{}, Histogram{}); got != 0 {
+		t.Errorf("overlap of empties = %v, want 0", got)
+	}
+}
+
+// TestOverlapDetectsSharedCore models the paper's key observation: a sample
+// whose inner payload is reused (with a changed outer wrapper) must retain
+// high winnow overlap with the original.
+func TestOverlapDetectsSharedCore(t *testing.T) {
+	core := strings.Repeat("if (pdf) { exploit_cve_2013_2551(target); spray(heap); } ", 30)
+	v1 := "var a1 = 'xyz';" + core + "a1();"
+	v2 := "window.q9 = function(){};" + core + "q9();"
+	got := Overlap(Fingerprint(v1, DefaultConfig()), Fingerprint(v2, DefaultConfig()))
+	if got < 0.85 {
+		t.Errorf("shared-core overlap = %v, want >= 0.85", got)
+	}
+}
+
+// TestOverlapDropsWithChange verifies overlap decreases monotonically-ish
+// with the fraction of replaced content (RIG's URL churn behaviour,
+// Figure 11d).
+func TestOverlapDropsWithChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	base := randomText(rng, 2000)
+	prev := 1.0
+	h0 := Fingerprint(base, DefaultConfig())
+	for _, frac := range []float64{0.1, 0.3, 0.6, 0.9} {
+		mutated := mutate(rng, base, frac)
+		got := Overlap(h0, Fingerprint(mutated, DefaultConfig()))
+		if got > prev+0.15 {
+			t.Errorf("overlap at %.0f%% churn = %v, previous %v: not decreasing", frac*100, got, prev)
+		}
+		prev = got
+	}
+	if prev > 0.3 {
+		t.Errorf("overlap at 90%% churn = %v, want < 0.3", prev)
+	}
+}
+
+// TestWinnowGuarantee checks the winnowing guarantee: any match of length
+// >= Window + K - 1 shares at least one fingerprint.
+func TestWinnowGuarantee(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(21))
+	shared := randomText(rng, cfg.Window+cfg.K-1)
+	for i := 0; i < 50; i++ {
+		a := randomText(rng, 200) + shared + randomText(rng, 200)
+		b := randomText(rng, 150) + shared + randomText(rng, 250)
+		ha, hb := Fingerprint(a, cfg), Fingerprint(b, cfg)
+		common := false
+		for k := range ha {
+			if _, ok := hb[k]; ok {
+				common = true
+				break
+			}
+		}
+		if !common {
+			t.Fatalf("iteration %d: winnowing guarantee violated for shared substring %q", i, shared)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := Histogram{1: 2, 2: 1}
+	a.Merge(Histogram{2: 3, 5: 1})
+	if a[1] != 2 || a[2] != 4 || a[5] != 1 {
+		t.Errorf("merge result = %v", a)
+	}
+	if a.Total() != 7 {
+		t.Errorf("total = %d, want 7", a.Total())
+	}
+}
+
+// Property: overlap is symmetric and within [0,1].
+func TestOverlapProperties(t *testing.T) {
+	f := func(x, y string) bool {
+		a := Fingerprint(x, DefaultConfig())
+		b := Fingerprint(y, DefaultConfig())
+		o1, o2 := Overlap(a, b), Overlap(b, a)
+		return o1 == o2 && o1 >= 0 && o1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomText(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz(){};=+."
+	var sb strings.Builder
+	sb.Grow(n)
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+	}
+	return sb.String()
+}
+
+func mutate(rng *rand.Rand, s string, frac float64) string {
+	b := []byte(s)
+	for i := range b {
+		if rng.Float64() < frac {
+			b[i] = byte('A' + rng.Intn(26))
+		}
+	}
+	return string(b)
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	text := strings.Repeat("var payload = decode(buffer.split(delim)); eval(payload); ", 200)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Fingerprint(text, DefaultConfig())
+	}
+}
+
+func BenchmarkOverlap(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := Fingerprint(randomText(rng, 10000), DefaultConfig())
+	y := Fingerprint(randomText(rng, 10000), DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Overlap(x, y)
+	}
+}

@@ -1,0 +1,283 @@
+// Package kizzle is a signature compiler for detecting exploit kits,
+// reproducing the system described in "Kizzle: A Signature Compiler for
+// Detecting Exploit Kits" (Stock, Livshits, Zorn — DSN 2016).
+//
+// Kizzle ingests batches of "grayware" JavaScript/HTML samples, clusters
+// them by tokenized structure (DBSCAN over normalized token edit distance),
+// labels malicious clusters by unpacking a prototype and winnow-matching it
+// against a corpus of known unpacked exploit-kit payloads, and compiles a
+// structural regex signature for every malicious cluster. Signatures can be
+// deployed with a Matcher (in a browser, on the desktop, or server-side).
+//
+// Basic usage:
+//
+//	c := kizzle.New()
+//	c.AddKnown("Nuclear", unpackedNuclearPayload)
+//	res, err := c.Process(samples)
+//	// res.Signatures → deploy:
+//	m, err := kizzle.NewMatcher(res.Signatures)
+//	if m.Detects(incomingDocument) { block() }
+package kizzle
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"kizzle/internal/pipeline"
+	"kizzle/internal/siggen"
+	"kizzle/internal/sigmatch"
+)
+
+// Sample is one input document.
+type Sample struct {
+	// ID identifies the sample in results.
+	ID string
+	// Content is a full HTML document (inline scripts are extracted) or
+	// raw JavaScript.
+	Content string
+}
+
+// Option configures a Compiler.
+type Option func(*pipeline.Config)
+
+// WithWorkers sets clustering parallelism (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *pipeline.Config) { c.Workers = n }
+}
+
+// WithEps sets the normalized token-edit-distance clustering threshold
+// (default 0.10, the paper's empirically determined value).
+func WithEps(eps float64) Option {
+	return func(c *pipeline.Config) { c.Eps = eps }
+}
+
+// WithMinPts sets DBSCAN's minimum (weighted) neighborhood size.
+func WithMinPts(n int) Option {
+	return func(c *pipeline.Config) { c.MinPts = n }
+}
+
+// WithThreshold sets the family-specific labeling threshold: the minimum
+// winnow overlap between a cluster's unpacked prototype and the known
+// corpus required to label the cluster with that family.
+func WithThreshold(family string, threshold float64) Option {
+	return func(c *pipeline.Config) {
+		if c.Thresholds == nil {
+			c.Thresholds = make(map[string]float64)
+		}
+		c.Thresholds[family] = threshold
+	}
+}
+
+// WithDefaultThreshold sets the labeling threshold for families without a
+// family-specific one.
+func WithDefaultThreshold(threshold float64) Option {
+	return func(c *pipeline.Config) { c.DefaultThreshold = threshold }
+}
+
+// WithSignatureTokens bounds the common-token-run search: signatures
+// shorter than min tokens are discarded, and the search is capped at max
+// tokens (the paper caps at 200).
+func WithSignatureTokens(min, max int) Option {
+	return func(c *pipeline.Config) {
+		c.Signature.MinTokens = min
+		c.Signature.MaxTokens = max
+	}
+}
+
+// WithSignatureSlack widens inferred class length bounds by n characters
+// each way. The paper's algorithm uses the exactly observed lengths
+// (slack 0) and relies on daily regeneration; positive slack makes
+// signatures more robust across days at a small precision cost.
+func WithSignatureSlack(n int) Option {
+	return func(c *pipeline.Config) { c.Signature.LengthSlack = n }
+}
+
+// WithPartitionSize sets the target number of unique token sequences per
+// clustering partition.
+func WithPartitionSize(n int) Option {
+	return func(c *pipeline.Config) { c.PartitionSize = n }
+}
+
+// Compiler is the Kizzle signature compiler.
+type Compiler struct {
+	cfg    pipeline.Config
+	corpus *pipeline.Corpus
+}
+
+// New builds a Compiler with the paper's default parameters.
+func New(opts ...Option) *Compiler {
+	cfg := pipeline.DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Compiler{
+		cfg:    cfg,
+		corpus: pipeline.NewCorpus(cfg.Winnow, 64),
+	}
+}
+
+// AddKnown seeds the known-malware corpus with a labeled unpacked payload.
+// Kizzle must be seeded with at least one sample per kit it should track.
+func (c *Compiler) AddKnown(family, unpackedPayload string) {
+	c.corpus.Add(family, unpackedPayload)
+}
+
+// KnownFamilies lists the seeded family labels.
+func (c *Compiler) KnownFamilies() []string { return c.corpus.Families() }
+
+// Cluster is one cluster of structurally similar samples.
+type Cluster struct {
+	// SampleIDs are the IDs of the samples in the cluster.
+	SampleIDs []string
+	// Family is the kit label, or "" if the cluster is benign.
+	Family string
+	// Overlap is the winnow overlap behind the label.
+	Overlap float64
+	// Unpacked is the decoded payload of the cluster prototype.
+	Unpacked string
+	// SignatureIndex points into Result.Signatures (-1 if none).
+	SignatureIndex int
+}
+
+// Signature is a compiled structural signature.
+type Signature struct {
+	inner siggen.Signature
+}
+
+// Family returns the kit the signature detects.
+func (s Signature) Family() string { return s.inner.Family }
+
+// Regex renders the signature in the AV-deployable dialect of Figure 10
+// (named groups and back-references included).
+func (s Signature) Regex() string { return s.inner.Regex() }
+
+// TokenLength is the signature length in tokens.
+func (s Signature) TokenLength() int { return s.inner.TokenLength() }
+
+// Length is the signature length in characters of the rendered regex (the
+// quantity plotted in Figure 12).
+func (s Signature) Length() int { return s.inner.Length() }
+
+// MarshalJSON serializes the signature in its structural form, so stored
+// signature databases survive round trips (the regex rendering alone would
+// lose the back-reference semantics for Go consumers).
+func (s Signature) MarshalJSON() ([]byte, error) { return json.Marshal(s.inner) }
+
+// UnmarshalJSON restores a serialized signature; validity is checked when
+// it is compiled into a Matcher.
+func (s *Signature) UnmarshalJSON(data []byte) error { return json.Unmarshal(data, &s.inner) }
+
+// Result is the output of Process.
+type Result struct {
+	// Clusters are all clusters found, benign ones included.
+	Clusters []Cluster
+	// Signatures are the compiled signatures for malicious clusters.
+	Signatures []Signature
+	// Stats carries per-stage processing statistics.
+	Stats Stats
+}
+
+// Stats summarizes one Process run.
+type Stats struct {
+	Samples           int
+	UniqueSequences   int
+	Partitions        int
+	Clusters          int
+	MaliciousClusters int
+}
+
+// Process clusters, labels, and signs one batch of samples.
+func (c *Compiler) Process(samples []Sample) (*Result, error) {
+	inputs := make([]pipeline.Input, len(samples))
+	for i, s := range samples {
+		inputs[i] = pipeline.Input{ID: s.ID, Content: s.Content}
+	}
+	pres, err := pipeline.Process(inputs, c.corpus, c.cfg)
+	if err != nil {
+		if errors.Is(err, pipeline.ErrNoInputs) {
+			return nil, fmt.Errorf("kizzle: %w", err)
+		}
+		return nil, fmt.Errorf("kizzle: process: %w", err)
+	}
+
+	out := &Result{
+		Stats: Stats{
+			Samples:           pres.Stats.Samples,
+			UniqueSequences:   pres.Stats.UniqueSequences,
+			Partitions:        pres.Stats.Partitions,
+			Clusters:          pres.Stats.Clusters,
+			MaliciousClusters: pres.Stats.Malicious,
+		},
+	}
+	out.Signatures = make([]Signature, len(pres.Signatures))
+	for i, sig := range pres.Signatures {
+		out.Signatures[i] = Signature{inner: sig}
+	}
+	out.Clusters = make([]Cluster, len(pres.Clusters))
+	for i, cl := range pres.Clusters {
+		ids := make([]string, len(cl.Samples))
+		for j, si := range cl.Samples {
+			ids[j] = samples[si].ID
+		}
+		out.Clusters[i] = Cluster{
+			SampleIDs:      ids,
+			Family:         cl.Label,
+			Overlap:        cl.Overlap,
+			Unpacked:       cl.Unpacked,
+			SignatureIndex: cl.SignatureIndex,
+		}
+	}
+	return out, nil
+}
+
+// Match is one signature hit.
+type Match struct {
+	// Family is the detected kit.
+	Family string
+	// TokenOffset is the match position in the token stream.
+	TokenOffset int
+}
+
+// Matcher is a deployed signature set — the consumer side of the AV
+// distribution channel.
+type Matcher struct {
+	scanner *sigmatch.Scanner
+}
+
+// NewMatcher compiles signatures for scanning.
+func NewMatcher(sigs []Signature) (*Matcher, error) {
+	inner := make([]siggen.Signature, len(sigs))
+	for i, s := range sigs {
+		inner[i] = s.inner
+	}
+	scanner, err := sigmatch.NewScanner(inner)
+	if err != nil {
+		return nil, fmt.Errorf("kizzle: compile signatures: %w", err)
+	}
+	return &Matcher{scanner: scanner}, nil
+}
+
+// Add deploys one more signature.
+func (m *Matcher) Add(sig Signature) error {
+	if err := m.scanner.Add(sig.inner); err != nil {
+		return fmt.Errorf("kizzle: add signature: %w", err)
+	}
+	return nil
+}
+
+// Len reports the number of deployed signatures.
+func (m *Matcher) Len() int { return m.scanner.Len() }
+
+// Scan returns all signature matches in a document.
+func (m *Matcher) Scan(doc string) []Match {
+	hits := m.scanner.Scan(doc)
+	out := make([]Match, len(hits))
+	for i, h := range hits {
+		out[i] = Match{Family: h.Family, TokenOffset: h.TokenOffset}
+	}
+	return out
+}
+
+// Detects reports whether any signature matches the document.
+func (m *Matcher) Detects(doc string) bool { return m.scanner.Detects(doc) }

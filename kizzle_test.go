@@ -1,0 +1,347 @@
+package kizzle_test
+
+import (
+	"strings"
+	"testing"
+
+	"kizzle"
+	"kizzle/synth"
+)
+
+func august(day int) int { return synth.Date(8, day) }
+
+func newSeededCompiler(t *testing.T, day int, opts ...kizzle.Option) *kizzle.Compiler {
+	t.Helper()
+	c := kizzle.New(opts...)
+	for _, fam := range synth.Kits() {
+		c.AddKnown(fam.String(), synth.Payload(fam, day-1))
+		c.AddKnown(fam.String(), synth.Payload(fam, day-2))
+	}
+	return c
+}
+
+func daySamples(t *testing.T, day, benign int) []kizzle.Sample {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = benign
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []kizzle.Sample
+	for _, s := range stream.Day(day) {
+		out = append(out, kizzle.Sample{ID: s.ID, Content: s.Content})
+	}
+	return out
+}
+
+// TestEndToEnd drives the full public API: seed, process a day, deploy the
+// signatures, detect a next-day variant.
+func TestEndToEnd(t *testing.T) {
+	day := august(5)
+	c := newSeededCompiler(t, day)
+	res, err := c.Process(daySamples(t, day, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Signatures) == 0 {
+		t.Fatal("no signatures generated")
+	}
+	families := make(map[string]bool)
+	for _, sig := range res.Signatures {
+		families[sig.Family()] = true
+		if sig.Length() == 0 || sig.TokenLength() == 0 {
+			t.Errorf("degenerate signature for %s", sig.Family())
+		}
+		if sig.Regex() == "" {
+			t.Errorf("empty regex for %s", sig.Family())
+		}
+	}
+	for _, want := range []string{"Angler", "Sweet Orange", "Nuclear"} {
+		if !families[want] {
+			t.Errorf("no signature for %s (got %v)", want, families)
+		}
+	}
+
+	m, err := kizzle.NewMatcher(res.Signatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != len(res.Signatures) {
+		t.Errorf("Len = %d, want %d", m.Len(), len(res.Signatures))
+	}
+	// Next-day traffic of the same kit versions must be detected.
+	detected, total := 0, 0
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 0
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stream.Day(day + 1) {
+		if s.Family == synth.RIG {
+			continue // RIG churns daily; covered in the harness tests
+		}
+		total++
+		if m.Detects(s.Content) {
+			detected++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no malicious next-day samples")
+	}
+	// Paper-faithful signatures use exactly observed class lengths, so
+	// small clusters generalize imperfectly across days; Kizzle
+	// compensates by regenerating daily (see the evaluation harness).
+	if detected < total*3/4 {
+		t.Errorf("next-day detection %d/%d, want >= 75%%", detected, total)
+	}
+}
+
+func TestProcessEmpty(t *testing.T) {
+	c := kizzle.New()
+	if _, err := c.Process(nil); err == nil {
+		t.Error("expected error for empty batch")
+	}
+}
+
+func TestMatcherRejectsInvalid(t *testing.T) {
+	var bad kizzle.Signature // zero value: no elements
+	if _, err := kizzle.NewMatcher([]kizzle.Signature{bad}); err == nil {
+		t.Error("expected compile error for zero-value signature")
+	}
+	m, err := kizzle.NewMatcher(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(bad); err == nil {
+		t.Error("expected Add error for zero-value signature")
+	}
+}
+
+func TestKnownFamilies(t *testing.T) {
+	c := kizzle.New()
+	if got := c.KnownFamilies(); len(got) != 0 {
+		t.Errorf("fresh compiler KnownFamilies = %v", got)
+	}
+	c.AddKnown("Nuclear", "payload text")
+	if got := c.KnownFamilies(); len(got) != 1 || got[0] != "Nuclear" {
+		t.Errorf("KnownFamilies = %v", got)
+	}
+}
+
+func TestOptions(t *testing.T) {
+	day := august(6)
+	// An absurdly high default threshold suppresses all labels.
+	c := newSeededCompiler(t, day,
+		kizzle.WithDefaultThreshold(1.01),
+		kizzle.WithThreshold("Nuclear", 1.01),
+		kizzle.WithThreshold("RIG", 1.01),
+		kizzle.WithThreshold("Sweet Orange", 1.01),
+		kizzle.WithThreshold("Angler", 1.01),
+	)
+	res, err := c.Process(daySamples(t, day, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Signatures) != 0 {
+		t.Errorf("threshold 1.01 still produced %d signatures", len(res.Signatures))
+	}
+
+	// Tiny eps shatters clusters; the run must still succeed.
+	c2 := newSeededCompiler(t, day, kizzle.WithEps(0.0001), kizzle.WithMinPts(2), kizzle.WithWorkers(2))
+	if _, err := c2.Process(daySamples(t, day, 40)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterSampleIDs(t *testing.T) {
+	day := august(7)
+	c := newSeededCompiler(t, day)
+	samples := daySamples(t, day, 80)
+	res, err := c.Process(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := make(map[string]bool, len(samples))
+	for _, s := range samples {
+		valid[s.ID] = true
+	}
+	seen := 0
+	for _, cl := range res.Clusters {
+		for _, id := range cl.SampleIDs {
+			if !valid[id] {
+				t.Fatalf("cluster references unknown sample %q", id)
+			}
+			seen++
+		}
+		if cl.Family != "" && !strings.Contains(cl.Unpacked, "function") {
+			t.Errorf("malicious cluster %s unpacked to non-code", cl.Family)
+		}
+	}
+	if seen == 0 {
+		t.Error("no samples clustered")
+	}
+}
+
+func TestSynthUnpack(t *testing.T) {
+	day := august(5)
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 0
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stream.MaliciousDay(day) {
+		payload, uerr := synth.Unpack(s.Content)
+		if uerr != nil {
+			t.Fatalf("%s: %v", s.ID, uerr)
+		}
+		if payload != synth.Payload(s.Family, day) {
+			t.Fatalf("%s: unpack mismatch", s.ID)
+		}
+	}
+	if _, err := synth.Unpack("var benign = 1;"); err == nil {
+		t.Error("expected error unpacking benign content")
+	}
+}
+
+func TestSynthCalendar(t *testing.T) {
+	if synth.Label(synth.Date(8, 13)) != "8/13" {
+		t.Error("calendar mismatch")
+	}
+	if len(synth.AugustDays()) != 31 {
+		t.Error("August must have 31 days")
+	}
+}
+
+// TestSignatureSlackImprovesNextDayDetection is the generalization-slack
+// ablation at unit scale: with slack, next-day coverage must not decrease.
+func TestSignatureSlackImprovesNextDayDetection(t *testing.T) {
+	day := august(5)
+	detect := func(opts ...kizzle.Option) (detected, total int) {
+		c := newSeededCompiler(t, day, opts...)
+		res, err := c.Process(daySamples(t, day, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := kizzle.NewMatcher(res.Signatures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := synth.DefaultConfig()
+		cfg.BenignPerDay = 0
+		stream, err := synth.NewStream(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range stream.Day(day + 1) {
+			if s.Family == synth.RIG {
+				continue
+			}
+			total++
+			if m.Detects(s.Content) {
+				detected++
+			}
+		}
+		return detected, total
+	}
+	exact, total := detect()
+	slack, _ := detect(kizzle.WithSignatureSlack(6))
+	if slack < exact {
+		t.Errorf("slack detection %d/%d below exact %d/%d", slack, total, exact, total)
+	}
+	if slack < total*95/100 {
+		t.Errorf("slack detection %d/%d, want >= 95%%", slack, total)
+	}
+}
+
+// TestRemainingAPISurface exercises options and accessors not covered by
+// the scenario tests.
+func TestRemainingAPISurface(t *testing.T) {
+	day := august(6)
+	c := newSeededCompiler(t, day,
+		kizzle.WithSignatureTokens(8, 150),
+		kizzle.WithPartitionSize(50),
+		kizzle.WithWorkers(2),
+	)
+	res, err := c.Process(daySamples(t, day, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sig := range res.Signatures {
+		if sig.TokenLength() > 150 {
+			t.Errorf("%s signature %d tokens exceeds configured cap", sig.Family(), sig.TokenLength())
+		}
+	}
+	m, err := kizzle.NewMatcher(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sig := range res.Signatures {
+		if err := m.Add(sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 0
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scans := 0
+	for _, s := range stream.Day(day) {
+		for _, match := range m.Scan(s.Content) {
+			if match.Family == "" {
+				t.Error("match without family")
+			}
+			scans++
+		}
+	}
+	if scans == 0 {
+		t.Error("Scan never matched same-day kit traffic")
+	}
+}
+
+// TestMultiMatcherScanAndOptions covers the multi-signature option surface.
+func TestMultiMatcherScanAndOptions(t *testing.T) {
+	day := august(6)
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 0
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []string
+	for _, s := range stream.Day(day) {
+		if s.Family == synth.SweetOrange {
+			docs = append(docs, s.Content)
+		}
+	}
+	multi, err := kizzle.GenerateMulti("Sweet Orange", docs,
+		kizzle.WithMaxParts(4),
+		kizzle.WithPartTokens(6, 120),
+		kizzle.WithQuorum(1, 2),
+		kizzle.WithMultiSlack(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Parts() > 4 {
+		t.Errorf("parts = %d, exceeds WithMaxParts", multi.Parts())
+	}
+	if multi.TokenLength() == 0 {
+		t.Error("zero token length")
+	}
+	mm, err := kizzle.NewMultiMatcher([]kizzle.MultiSignature{multi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := mm.Scan(docs[0])
+	if len(fams) != 1 || fams[0] != "Sweet Orange" {
+		t.Errorf("Scan = %v", fams)
+	}
+	if fams := mm.Scan("var x = 1;"); len(fams) != 0 {
+		t.Errorf("benign Scan = %v", fams)
+	}
+}

@@ -1,0 +1,135 @@
+package kizzle
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"kizzle/internal/jstoken"
+	"kizzle/internal/siggen"
+	"kizzle/internal/sigmatch"
+)
+
+// MultiSignature is the §V extension to plain signatures: several shorter
+// ordered token runs with flexible gaps and a matching quorum, robust
+// against attackers who spray superfluous statements between the packer's
+// real operations to break any single long run.
+type MultiSignature struct {
+	inner siggen.MultiSignature
+}
+
+// Family returns the kit the signature detects.
+func (m MultiSignature) Family() string { return m.inner.Family }
+
+// Parts returns the number of runs.
+func (m MultiSignature) Parts() int { return len(m.inner.Parts) }
+
+// MinParts returns the matching quorum (0 = all parts).
+func (m MultiSignature) MinParts() int { return m.inner.MinParts }
+
+// TokenLength is the summed token length of all parts.
+func (m MultiSignature) TokenLength() int { return m.inner.TokenLength() }
+
+// Regex renders the signature with non-greedy gaps between parts.
+func (m MultiSignature) Regex() string { return m.inner.Regex() }
+
+// MarshalJSON serializes the signature for storage/distribution.
+func (m MultiSignature) MarshalJSON() ([]byte, error) { return json.Marshal(m.inner) }
+
+// UnmarshalJSON restores a serialized signature; validity is checked when
+// it is compiled into a matcher.
+func (m *MultiSignature) UnmarshalJSON(data []byte) error {
+	return json.Unmarshal(data, &m.inner)
+}
+
+// MultiOption configures GenerateMulti.
+type MultiOption func(*siggen.MultiConfig)
+
+// WithMaxParts caps the number of runs collected (default 6).
+func WithMaxParts(n int) MultiOption {
+	return func(c *siggen.MultiConfig) { c.MaxParts = n }
+}
+
+// WithPartTokens sets the per-part minimum and overall maximum run length.
+func WithPartTokens(min, max int) MultiOption {
+	return func(c *siggen.MultiConfig) { c.MinTokens = min; c.MaxTokens = max }
+}
+
+// WithQuorum sets the matching quorum as a fraction num/den of the
+// collected parts (default 2/3).
+func WithQuorum(num, den int) MultiOption {
+	return func(c *siggen.MultiConfig) { c.QuorumNum, c.QuorumDen = num, den }
+}
+
+// WithMultiSlack widens class length bounds like WithSignatureSlack.
+func WithMultiSlack(n int) MultiOption {
+	return func(c *siggen.MultiConfig) { c.LengthSlack = n }
+}
+
+// ErrNoMultiSignature is returned when no qualifying part set exists.
+var ErrNoMultiSignature = errors.New("kizzle: no multi-sequence signature found")
+
+// GenerateMulti builds a multi-sequence signature directly from the
+// documents of one malicious cluster (obtained e.g. from
+// Result.Clusters[i].SampleIDs).
+func GenerateMulti(family string, docs []string, opts ...MultiOption) (MultiSignature, error) {
+	cfg := siggen.DefaultMultiConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	samples := make([][]jstoken.Token, len(docs))
+	for i, d := range docs {
+		samples[i] = jstoken.LexDocument(d)
+	}
+	inner, err := siggen.GenerateMulti(family, samples, cfg)
+	if err != nil {
+		if errors.Is(err, siggen.ErrNoCommonRun) || errors.Is(err, siggen.ErrNoSamples) {
+			return MultiSignature{}, ErrNoMultiSignature
+		}
+		return MultiSignature{}, fmt.Errorf("kizzle: generate multi: %w", err)
+	}
+	return MultiSignature{inner: inner}, nil
+}
+
+// MultiMatcher is a deployed set of multi-sequence signatures.
+type MultiMatcher struct {
+	sigs []*sigmatch.CompiledMulti
+}
+
+// NewMultiMatcher compiles the signatures for scanning.
+func NewMultiMatcher(sigs []MultiSignature) (*MultiMatcher, error) {
+	m := &MultiMatcher{sigs: make([]*sigmatch.CompiledMulti, 0, len(sigs))}
+	for i, s := range sigs {
+		c, err := sigmatch.CompileMulti(s.inner)
+		if err != nil {
+			return nil, fmt.Errorf("kizzle: multi-signature %d: %w", i, err)
+		}
+		m.sigs = append(m.sigs, c)
+	}
+	return m, nil
+}
+
+// Scan returns the families of all matching signatures.
+func (m *MultiMatcher) Scan(doc string) []string {
+	tokens := jstoken.LexDocument(doc)
+	var out []string
+	seen := make(map[string]bool)
+	for _, c := range m.sigs {
+		if _, ok := c.MatchTokens(tokens); ok && !seen[c.Family()] {
+			seen[c.Family()] = true
+			out = append(out, c.Family())
+		}
+	}
+	return out
+}
+
+// Detects reports whether any signature matches.
+func (m *MultiMatcher) Detects(doc string) bool {
+	tokens := jstoken.LexDocument(doc)
+	for _, c := range m.sigs {
+		if _, ok := c.MatchTokens(tokens); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,71 @@
+package kizzle
+
+import (
+	"kizzle/internal/jstoken"
+	"kizzle/internal/pipeline"
+	"kizzle/internal/unpack"
+)
+
+// Oracle implements the paper's §V counter-evasion proposal: "hidden
+// signatures on the server side ... As they never leave the server, the
+// adversary has no means of learning what they match on and, thus, is not
+// able to circumvent detection."
+//
+// Instead of matching the packed form, the Oracle unpacks a sample and
+// winnow-matches the *inner* payload against the known corpus. An attacker
+// who replaces the packer wholesale — or borrows a rival kit's packer —
+// defeats every deployed structural signature, but the slow-moving core
+// still gives the kit away; and because the decision runs server-side, the
+// attacker cannot iterate against it the way they iterate against AV.
+type Oracle struct {
+	corpus *pipeline.Corpus
+	cfg    pipeline.Config
+}
+
+// NewOracle builds an oracle; the labeling thresholds from the options
+// (WithThreshold etc.) govern its decisions just like the pipeline's
+// cluster labeling.
+func NewOracle(opts ...Option) *Oracle {
+	cfg := pipeline.DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Oracle{cfg: cfg, corpus: pipeline.NewCorpus(cfg.Winnow, 64)}
+}
+
+// AddKnown seeds the oracle's hidden corpus with a labeled unpacked payload.
+func (o *Oracle) AddKnown(family, unpackedPayload string) {
+	o.corpus.Add(family, unpackedPayload)
+}
+
+// Verdict is the oracle's decision for one sample.
+type Verdict struct {
+	// Detected reports whether the sample matched a known family above
+	// its threshold.
+	Detected bool
+	// Family is the best-matching family (set even below threshold).
+	Family string
+	// Overlap is the winnow overlap with that family's corpus.
+	Overlap float64
+	// Unpacked reports whether a known packer structure was decoded
+	// (the comparison otherwise ran on the raw script text).
+	Unpacked bool
+}
+
+// Inspect unpacks the document (if a known packer structure is present)
+// and compares the inner payload against the hidden corpus.
+func (o *Oracle) Inspect(doc string) Verdict {
+	var v Verdict
+	payload := ""
+	if res, err := unpack.Unpack(doc); err == nil {
+		payload = res.Payload
+		v.Unpacked = true
+	} else {
+		payload = jstoken.ExtractScripts(doc)
+	}
+	v.Family, v.Overlap = o.corpus.BestMatch(payload)
+	if v.Family != "" && v.Overlap >= o.cfg.Threshold(v.Family) {
+		v.Detected = true
+	}
+	return v
+}

@@ -1,0 +1,245 @@
+package kizzle_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"kizzle"
+	"kizzle/internal/ekit"
+	"kizzle/synth"
+)
+
+func newSeededOracle(day int) *kizzle.Oracle {
+	o := kizzle.NewOracle()
+	for _, fam := range synth.Kits() {
+		o.AddKnown(fam.String(), synth.Payload(fam, day-1))
+	}
+	return o
+}
+
+func TestOracleDetectsKits(t *testing.T) {
+	day := august(10)
+	o := newSeededOracle(day)
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 0
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stream.Day(day) {
+		v := o.Inspect(s.Content)
+		if !v.Detected {
+			t.Errorf("%s (%v): oracle missed, best %q at %.2f", s.ID, s.Family, v.Family, v.Overlap)
+			continue
+		}
+		if v.Family != s.Family.String() {
+			t.Errorf("%s: oracle labeled %q, truth %v", s.ID, v.Family, s.Family)
+		}
+		if !v.Unpacked {
+			t.Errorf("%s: oracle should have unpacked a kit sample", s.ID)
+		}
+	}
+}
+
+func TestOraclePassesBenign(t *testing.T) {
+	day := august(10)
+	o := newSeededOracle(day)
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 120
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := 0
+	total := 0
+	for _, s := range stream.Day(day) {
+		if s.Family != synth.Benign {
+			continue
+		}
+		total++
+		if o.Inspect(s.Content).Detected {
+			fp++
+		}
+	}
+	if fp > total/50 {
+		t.Errorf("oracle flagged %d/%d benign samples", fp, total)
+	}
+}
+
+// TestOracleSurvivesPackerSwap is the point of the extension: an attacker
+// who borrows a rival kit's packer (code borrowing, §II-B) defeats every
+// structural signature trained on the old packed form, but the oracle
+// still recognizes the inner payload.
+func TestOracleSurvivesPackerSwap(t *testing.T) {
+	day := august(10)
+
+	// Train packed-form signatures on normal Nuclear traffic.
+	c := newSeededCompiler(t, day)
+	res, err := c.Process(daySamples(t, day, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nuclearSigs []kizzle.Signature
+	for _, sig := range res.Signatures {
+		if sig.Family() == "Nuclear" {
+			nuclearSigs = append(nuclearSigs, sig)
+		}
+	}
+	if len(nuclearSigs) == 0 {
+		t.Fatal("no Nuclear signatures")
+	}
+	m, err := kizzle.NewMatcher(nuclearSigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The attacker re-wraps tomorrow's Nuclear payload in RIG's packer.
+	payload := ekit.Payload(ekit.FamilyNuclear, day+1)
+	swapped := ekit.PackRIG(payload, day+1, 0)
+
+	if m.Detects(swapped) {
+		t.Fatal("structural Nuclear signatures should not survive a packer swap")
+	}
+	v := newSeededOracle(day + 1).Inspect(swapped)
+	if !v.Detected || v.Family != "Nuclear" {
+		t.Errorf("oracle verdict = %+v, want Nuclear detection through the borrowed packer", v)
+	}
+}
+
+func TestOracleUnseeded(t *testing.T) {
+	o := kizzle.NewOracle()
+	v := o.Inspect("var x = 1;")
+	if v.Detected || v.Family != "" {
+		t.Errorf("unseeded oracle verdict = %+v", v)
+	}
+}
+
+func TestSignatureJSONRoundTrip(t *testing.T) {
+	day := august(5)
+	c := newSeededCompiler(t, day)
+	res, err := c.Process(daySamples(t, day, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Signatures) == 0 {
+		t.Fatal("no signatures")
+	}
+	data, err := json.Marshal(res.Signatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored []kizzle.Signature
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != len(res.Signatures) {
+		t.Fatalf("restored %d signatures, want %d", len(restored), len(res.Signatures))
+	}
+	for i := range restored {
+		if restored[i].Regex() != res.Signatures[i].Regex() {
+			t.Errorf("signature %d regex changed across round trip", i)
+		}
+	}
+	// The restored set must compile and behave identically.
+	m1, err := kizzle.NewMatcher(res.Signatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := kizzle.NewMatcher(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 20
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stream.Day(day + 1) {
+		if m1.Detects(s.Content) != m2.Detects(s.Content) {
+			t.Fatalf("restored matcher disagrees on %s", s.ID)
+		}
+	}
+}
+
+func TestGenerateMultiPublicAPI(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 0
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []string
+	for _, s := range stream.Day(day) {
+		if s.Family == synth.Angler {
+			docs = append(docs, s.Content)
+		}
+	}
+	if len(docs) < 3 {
+		t.Fatal("not enough Angler samples")
+	}
+	multi, err := kizzle.GenerateMulti("Angler", docs, kizzle.WithQuorum(2, 3), kizzle.WithMultiSlack(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Parts() < 1 || multi.Family() != "Angler" {
+		t.Fatalf("multi = %d parts family %q", multi.Parts(), multi.Family())
+	}
+	if multi.MinParts() > multi.Parts() {
+		t.Errorf("quorum %d exceeds parts %d", multi.MinParts(), multi.Parts())
+	}
+
+	mm, err := kizzle.NewMultiMatcher([]kizzle.MultiSignature{multi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := 0
+	var next []string
+	for _, s := range stream.Day(day + 1) {
+		if s.Family == synth.Angler {
+			next = append(next, s.Content)
+		}
+	}
+	for _, d := range next {
+		if mm.Detects(d) {
+			hit++
+		}
+	}
+	if hit < len(next)*3/4 {
+		t.Errorf("multi matcher hit %d/%d next-day Angler", hit, len(next))
+	}
+	if mm.Detects(`var benign = document.title;`) {
+		t.Error("multi matcher flagged benign")
+	}
+
+	// JSON round trip for multi-signatures.
+	data, err := json.Marshal(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored kizzle.MultiSignature
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Regex() != multi.Regex() || restored.MinParts() != multi.MinParts() {
+		t.Error("multi-signature JSON round trip changed the signature")
+	}
+	if _, err := kizzle.NewMultiMatcher([]kizzle.MultiSignature{restored}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateMultiErrors(t *testing.T) {
+	if _, err := kizzle.GenerateMulti("X", nil); err == nil {
+		t.Error("expected error for empty docs")
+	}
+	if _, err := kizzle.GenerateMulti("X", []string{"a;", "function f(){}"}); err == nil {
+		t.Error("expected error for structurally disjoint docs")
+	}
+	var bad kizzle.MultiSignature
+	if _, err := kizzle.NewMultiMatcher([]kizzle.MultiSignature{bad}); err == nil {
+		t.Error("expected compile error for zero-value multi-signature")
+	}
+}

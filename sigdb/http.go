@@ -1,0 +1,119 @@
+package sigdb
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler serves the store over HTTP:
+//
+//	GET <path>?since=<version>
+//
+// responds 304 when the client is current, otherwise 200 with the full
+// Snapshot as JSON. Full snapshots (rather than deltas) keep consumers
+// correct through any missed update.
+func (s *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		since := int64(-1)
+		if q := r.URL.Query().Get("since"); q != "" {
+			v, err := strconv.ParseInt(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since parameter", http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		snap := s.Snapshot()
+		if since >= snap.Version {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(snap); err != nil {
+			// Headers already sent; nothing more to do.
+			return
+		}
+	})
+}
+
+// Client polls a signature server and applies updates.
+type Client struct {
+	// URL is the update endpoint (the path Handler is mounted at).
+	URL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+
+	version int64
+}
+
+// Fetch asks the server for anything newer than the client's last applied
+// version. It returns (snapshot, true) on an update and (zero, false) when
+// already current.
+func (c *Client) Fetch(ctx context.Context) (Snapshot, bool, error) {
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s?since=%d", c.URL, c.version), nil)
+	if err != nil {
+		return Snapshot{}, false, fmt.Errorf("sigdb: build request: %w", err)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return Snapshot{}, false, fmt.Errorf("sigdb: fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return Snapshot{}, false, nil
+	case http.StatusOK:
+	default:
+		return Snapshot{}, false, fmt.Errorf("sigdb: server returned %s", resp.Status)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return Snapshot{}, false, fmt.Errorf("sigdb: decode update: %w", err)
+	}
+	// Never deploy an update that does not compile.
+	if _, _, err := snap.Matcher(); err != nil {
+		return Snapshot{}, false, err
+	}
+	c.version = snap.Version
+	return snap, true, nil
+}
+
+// Poll fetches on the given interval and hands each new snapshot to apply,
+// until ctx is cancelled. Transient fetch errors are reported to onError
+// (which may be nil) and polling continues — one failed request must not
+// kill the update loop.
+func (c *Client) Poll(ctx context.Context, interval time.Duration, apply func(Snapshot), onError func(error)) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		snap, updated, err := c.Fetch(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if onError != nil {
+				onError(err)
+			}
+		} else if updated {
+			apply(snap)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package sigdb is the distribution side of the paper's chosen deployment
+// format: "AV signatures enjoy a well-established deployment channel with
+// frequent, automatic updates for signature consumers." It provides a
+// versioned, optionally file-backed signature store, an HTTP handler that
+// serves incremental updates, and a polling client that keeps a consumer's
+// matcher current — the loop that lets Kizzle push a new signature to
+// endpoints within hours of a kit mutation.
+package sigdb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"kizzle"
+)
+
+// Snapshot is one immutable version of the signature set.
+type Snapshot struct {
+	// Version increases monotonically with every Replace.
+	Version int64 `json:"version"`
+	// Signatures are the deployed single-run signatures.
+	Signatures []kizzle.Signature `json:"signatures"`
+	// Multi are the deployed multi-sequence signatures.
+	Multi []kizzle.MultiSignature `json:"multi,omitempty"`
+}
+
+// Matcher compiles the snapshot for scanning.
+func (s Snapshot) Matcher() (*kizzle.Matcher, *kizzle.MultiMatcher, error) {
+	m, err := kizzle.NewMatcher(s.Signatures)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sigdb: compile snapshot v%d: %w", s.Version, err)
+	}
+	mm, err := kizzle.NewMultiMatcher(s.Multi)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sigdb: compile snapshot v%d: %w", s.Version, err)
+	}
+	return m, mm, nil
+}
+
+// Store holds the current signature set. The zero value is unusable; use
+// Open (file-backed) or New (in-memory).
+type Store struct {
+	mu   sync.RWMutex
+	path string
+	snap Snapshot
+}
+
+// New creates an in-memory store at version 0.
+func New() *Store { return &Store{} }
+
+// Open loads a file-backed store; a missing file starts empty at version 0
+// and is created on the first Replace.
+func Open(path string) (*Store, error) {
+	s := &Store{path: path}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sigdb: open: %w", err)
+	}
+	if err := json.Unmarshal(data, &s.snap); err != nil {
+		return nil, fmt.Errorf("sigdb: parse %s: %w", path, err)
+	}
+	// Validate by compiling once; a corrupt store must not deploy.
+	if _, _, err := s.snap.Matcher(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Version returns the current version.
+func (s *Store) Version() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap.Version
+}
+
+// Snapshot returns the current signature set.
+func (s *Store) Snapshot() Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Snapshot{
+		Version:    s.snap.Version,
+		Signatures: append([]kizzle.Signature(nil), s.snap.Signatures...),
+		Multi:      append([]kizzle.MultiSignature(nil), s.snap.Multi...),
+	}
+}
+
+// Replace installs a new signature set, bumps the version, and (for
+// file-backed stores) persists atomically via rename. The new set is
+// compiled first: invalid signatures never reach the store.
+func (s *Store) Replace(sigs []kizzle.Signature, multi []kizzle.MultiSignature) (int64, error) {
+	candidate := Snapshot{
+		Signatures: append([]kizzle.Signature(nil), sigs...),
+		Multi:      append([]kizzle.MultiSignature(nil), multi...),
+	}
+	if _, _, err := candidate.Matcher(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	candidate.Version = s.snap.Version + 1
+	if s.path != "" {
+		data, err := json.MarshalIndent(candidate, "", "  ")
+		if err != nil {
+			return 0, fmt.Errorf("sigdb: marshal: %w", err)
+		}
+		tmp := s.path + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return 0, fmt.Errorf("sigdb: write: %w", err)
+		}
+		if err := os.Rename(tmp, s.path); err != nil {
+			return 0, fmt.Errorf("sigdb: rename: %w", err)
+		}
+	}
+	s.snap = candidate
+	return candidate.Version, nil
+}

@@ -1,0 +1,282 @@
+package sigdb
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"kizzle"
+	"kizzle/synth"
+)
+
+// trainSignatures produces a real signature set from the synthetic stream.
+func trainSignatures(t *testing.T, day int) []kizzle.Signature {
+	t.Helper()
+	c := kizzle.New(kizzle.WithSignatureSlack(2))
+	for _, fam := range synth.Kits() {
+		c.AddKnown(fam.String(), synth.Payload(fam, day-1))
+	}
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 40
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []kizzle.Sample
+	for _, s := range stream.Day(day) {
+		batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+	}
+	res, err := c.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Signatures) == 0 {
+		t.Fatal("no signatures trained")
+	}
+	return res.Signatures
+}
+
+func TestStoreReplaceBumpsVersion(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	s := New()
+	if s.Version() != 0 {
+		t.Fatalf("fresh store version = %d", s.Version())
+	}
+	sigs := trainSignatures(t, day)
+	v, err := s.Replace(sigs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 || s.Version() != 1 {
+		t.Errorf("version = %d/%d, want 1", v, s.Version())
+	}
+	if _, err := s.Replace(sigs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 2 {
+		t.Errorf("version = %d, want 2", s.Version())
+	}
+	snap := s.Snapshot()
+	if len(snap.Signatures) != len(sigs) {
+		t.Errorf("snapshot has %d signatures, want %d", len(snap.Signatures), len(sigs))
+	}
+}
+
+func TestStoreRejectsInvalid(t *testing.T) {
+	s := New()
+	var bad kizzle.Signature
+	if _, err := s.Replace([]kizzle.Signature{bad}, nil); err == nil {
+		t.Error("invalid signature must be rejected")
+	}
+	if s.Version() != 0 {
+		t.Error("failed replace must not bump the version")
+	}
+}
+
+func TestStorePersistence(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	path := filepath.Join(t.TempDir(), "sigs.json")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := trainSignatures(t, day)
+	if _, err := s.Replace(sigs, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Version() != 1 {
+		t.Errorf("reopened version = %d, want 1", reopened.Version())
+	}
+	snap := reopened.Snapshot()
+	m, _, err := snap.Matcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded matcher must behave like the original.
+	orig, err := kizzle.NewMatcher(sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 10
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, smp := range stream.Day(day + 1) {
+		if m.Detects(smp.Content) != orig.Detects(smp.Content) {
+			t.Fatalf("reloaded matcher disagrees on %s", smp.ID)
+		}
+	}
+}
+
+func TestOpenMissingFileStartsEmpty(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 0 {
+		t.Errorf("version = %d", s.Version())
+	}
+}
+
+func TestOpenCorruptFileFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("corrupt store must fail to open")
+	}
+}
+
+func TestHTTPDistribution(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	store := New()
+	srv := httptest.NewServer(store.Handler())
+	defer srv.Close()
+	client := &Client{URL: srv.URL}
+	ctx := context.Background()
+
+	// Nothing published yet: the client at version 0 is current.
+	if _, updated, err := client.Fetch(ctx); err != nil || updated {
+		t.Fatalf("fetch on empty store: updated=%v err=%v", updated, err)
+	}
+
+	sigs := trainSignatures(t, day)
+	if _, err := store.Replace(sigs, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap, updated, err := client.Fetch(ctx)
+	if err != nil || !updated {
+		t.Fatalf("fetch after publish: updated=%v err=%v", updated, err)
+	}
+	if snap.Version != 1 || len(snap.Signatures) != len(sigs) {
+		t.Errorf("snapshot v%d with %d signatures", snap.Version, len(snap.Signatures))
+	}
+	// Now current again.
+	if _, updated, err := client.Fetch(ctx); err != nil || updated {
+		t.Fatalf("second fetch: updated=%v err=%v", updated, err)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	store := New()
+	srv := httptest.NewServer(store.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "?since=notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad since: status %d", resp.StatusCode)
+	}
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Errorf("POST: status %d", post.StatusCode)
+	}
+}
+
+func TestPollAppliesUpdatesAndStops(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	store := New()
+	srv := httptest.NewServer(store.Handler())
+	defer srv.Close()
+
+	sigs := trainSignatures(t, day)
+	if _, err := store.Replace(sigs, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got []int64
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	client := &Client{URL: srv.URL}
+	go func() {
+		defer close(done)
+		client.Poll(ctx, 5*time.Millisecond, func(s Snapshot) {
+			mu.Lock()
+			got = append(got, s.Version)
+			mu.Unlock()
+		}, nil)
+	}()
+
+	// Wait for the first application, publish again, wait for the second.
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("poller never applied the first update")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if _, err := store.Replace(sigs, nil); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("poller never applied the second update")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("poller did not stop on cancel")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0] != 1 || got[1] != 2 {
+		t.Errorf("applied versions %v, want [1 2 ...]", got)
+	}
+}
+
+func TestPollSurvivesServerErrors(t *testing.T) {
+	// Point the client at a dead server: Poll must keep running and
+	// reporting errors until cancelled.
+	client := &Client{URL: "http://127.0.0.1:1/nothing"}
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		client.Poll(ctx, time.Millisecond, func(Snapshot) {
+			t.Error("no update possible from dead server")
+		}, func(error) { errs++ })
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	<-done
+	if errs == 0 {
+		t.Error("expected transient errors to be reported")
+	}
+}

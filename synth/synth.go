@@ -1,0 +1,97 @@
+// Package synth exposes the synthetic exploit-kit grayware generator used
+// throughout the evaluation: deterministic daily streams of benign traffic
+// plus the four studied kits (RIG, Nuclear, Angler, Sweet Orange), with the
+// paper's August 2014 mutation timelines. Use it to seed and exercise the
+// kizzle compiler when you have no telemetry feed of your own.
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"kizzle/internal/ekit"
+	"kizzle/internal/unpack"
+)
+
+// Family identifies a sample's ground-truth origin.
+type Family = ekit.Family
+
+// Families and the benign zero value.
+const (
+	Benign      = ekit.FamilyBenign
+	RIG         = ekit.FamilyRIG
+	Nuclear     = ekit.FamilyNuclear
+	Angler      = ekit.FamilyAngler
+	SweetOrange = ekit.FamilySweetOrange
+)
+
+// Kits lists the four malicious families.
+func Kits() []Family { return append([]Family(nil), ekit.Families...) }
+
+// Sample is one generated document with ground truth attached.
+type Sample = ekit.Sample
+
+// Config scales the stream; see DefaultConfig.
+type Config = ekit.StreamConfig
+
+// DefaultConfig is the evaluation-scale stream (a ~1:30 scale model of the
+// paper's daily volumes).
+func DefaultConfig() Config { return ekit.DefaultStreamConfig() }
+
+// Stream generates deterministic daily grayware.
+type Stream struct {
+	inner *ekit.Stream
+}
+
+// NewStream validates cfg and builds a stream.
+func NewStream(cfg Config) (*Stream, error) {
+	s, err := ekit.NewStream(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	return &Stream{inner: s}, nil
+}
+
+// Day returns the full sample set for a simulation day (see Day helpers).
+func (s *Stream) Day(day int) []Sample { return s.inner.Day(day) }
+
+// MaliciousDay returns only the kit traffic of a day.
+func (s *Stream) MaliciousDay(day int) []Sample { return s.inner.MaliciousDay(day) }
+
+// Day helpers: the simulation calendar counts days from 2014-06-01.
+
+// Date converts a 2014 month/day pair to a simulation day (e.g.
+// Date(time.August, 13) is the Angler variant flip).
+func Date(month time.Month, day int) int { return ekit.Date(month, day) }
+
+// Label renders a day as "8/13".
+func Label(day int) string { return ekit.Label(day) }
+
+// AugustDays returns the paper's 31-day evaluation window.
+func AugustDays() []int { return ekit.AugustDays() }
+
+// Payload returns a kit's unpacked inner payload on a day — use it to seed
+// kizzle.Compiler.AddKnown.
+func Payload(family Family, day int) string { return ekit.Payload(family, day) }
+
+// Unpack statically decodes a packed kit sample (any of the four packer
+// formats) and returns the inner payload, or an error when the document is
+// not recognizably packed.
+func Unpack(doc string) (string, error) {
+	res, err := unpack.Unpack(doc)
+	if err != nil {
+		return "", fmt.Errorf("synth: %w", err)
+	}
+	return res.Payload, nil
+}
+
+// RepackAs simulates the cross-kit code borrowing of §II-B as an evasion:
+// it wraps payloadOf's inner payload of the given day in packerOf's packer.
+// Structural signatures trained on payloadOf's usual packed form will not
+// match the result; the unpacked core is unchanged.
+func RepackAs(payloadOf, packerOf Family, day int) (string, error) {
+	if !payloadOf.Malicious() || !packerOf.Malicious() {
+		return "", fmt.Errorf("synth: RepackAs needs two kit families, got %v/%v", payloadOf, packerOf)
+	}
+	return ekit.Pack(packerOf, ekit.Payload(payloadOf, day), day, 0), nil
+}
