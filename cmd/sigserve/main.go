@@ -12,6 +12,8 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +22,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"kizzle"
@@ -67,6 +70,7 @@ func run(args []string, ready chan<- http.Handler) error {
 
 	mux := http.NewServeMux()
 	mux.Handle("/signatures", store.Handler())
+	mux.Handle("/scan", &scanHandler{store: store})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok v%d\n", store.Version())
 	})
@@ -107,6 +111,104 @@ func run(args []string, ready chan<- http.Handler) error {
 	cancel()
 	<-loopDone
 	return err
+}
+
+// scanHandler serves POST /scan: consumers submit a batch of documents and
+// get per-document verdicts from the currently published signature set.
+// The compiled matcher is cached and only rebuilt when the store version
+// moves, so steady-state requests pay batch scanning only — the publisher
+// doubles as the bulk scanning service of the deployment channel.
+type scanHandler struct {
+	store *sigdb.Store
+
+	mu      sync.Mutex
+	version int64
+	matcher *kizzle.Matcher
+
+	// scanSem bounds concurrent batch scans: each ScanAll call spins up
+	// its own GOMAXPROCS-sized worker pool, so unbounded concurrent
+	// requests would oversubscribe the CPU and starve /signatures and
+	// /healthz on the same publisher. Excess requests queue here.
+	scanSemOnce sync.Once
+	scanSem     chan struct{}
+}
+
+// maxScanRequestBytes caps one /scan request body (64 MiB: a day-scale
+// batch of 4 MiB documents without letting a single client OOM the
+// publisher).
+const maxScanRequestBytes = 64 << 20
+
+// scanRequest is the /scan request body.
+type scanRequest struct {
+	Documents []string `json:"documents"`
+}
+
+// scanVerdict is one per-document result.
+type scanVerdict struct {
+	Blocked bool   `json:"blocked"`
+	Family  string `json:"family,omitempty"`
+}
+
+// scanResponse is the /scan response body.
+type scanResponse struct {
+	Version  int64         `json:"version"`
+	Verdicts []scanVerdict `json:"verdicts"`
+}
+
+// current returns the matcher for the store's live version, recompiling
+// only on version changes.
+func (h *scanHandler) current() (*kizzle.Matcher, int64, error) {
+	snap := h.store.Snapshot()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.matcher != nil && snap.Version == h.version {
+		return h.matcher, h.version, nil
+	}
+	m, _, err := snap.Matcher()
+	if err != nil {
+		return nil, 0, err
+	}
+	h.matcher, h.version = m, snap.Version
+	return m, h.version, nil
+}
+
+func (h *scanHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	// Bound the request so one oversized batch cannot take down the
+	// publisher the whole distribution channel depends on (mirrors the
+	// proxy's MaxScanBytes per-document cap).
+	r.Body = http.MaxBytesReader(w, r.Body, maxScanRequestBytes)
+	var req scanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, "bad request: "+err.Error(), status)
+		return
+	}
+	m, version, err := h.current()
+	if err != nil {
+		http.Error(w, "signature set unavailable: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	h.scanSemOnce.Do(func() { h.scanSem = make(chan struct{}, 2) })
+	h.scanSem <- struct{}{}
+	defer func() { <-h.scanSem }()
+	resp := scanResponse{Version: version, Verdicts: make([]scanVerdict, len(req.Documents))}
+	for i, matches := range m.ScanAll(req.Documents) {
+		if len(matches) > 0 {
+			resp.Verdicts[i] = scanVerdict{Blocked: true, Family: matches[0].Family}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("scan: encode response: %v", err)
+	}
 }
 
 // compileInto runs the compiler over the samples directory and publishes

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -116,5 +117,91 @@ func TestServeEndToEnd(t *testing.T) {
 	// The store file was persisted for restarts.
 	if _, err := os.Stat(storePath); err != nil {
 		t.Errorf("store not persisted: %v", err)
+	}
+}
+
+// TestScanEndpoint: the publisher's bulk /scan endpoint vets a batch of
+// documents against the currently published set.
+func TestScanEndpoint(t *testing.T) {
+	samplesDir, knownDir := writeCorpus(t)
+	storePath := filepath.Join(t.TempDir(), "sigs.json")
+
+	ready := make(chan http.Handler, 1)
+	go func() {
+		if err := run([]string{
+			"-store", storePath, "-samples", samplesDir, "-known", knownDir,
+		}, ready); err != nil {
+			t.Error(err)
+		}
+	}()
+	var handler http.Handler
+	select {
+	case handler = <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	day := synth.Date(time.August, 5)
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 0
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []string{`<html><body>hello benign world</body></html>`}
+	for _, s := range stream.Day(day) {
+		if len(docs) >= 9 {
+			break
+		}
+		docs = append(docs, s.Content)
+	}
+	body, err := json.Marshal(scanRequest{Documents: docs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/scan", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got scanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 1 {
+		t.Errorf("version = %d, want 1", got.Version)
+	}
+	if len(got.Verdicts) != len(docs) {
+		t.Fatalf("verdicts = %d, want %d", len(got.Verdicts), len(docs))
+	}
+	if got.Verdicts[0].Blocked {
+		t.Error("benign document blocked")
+	}
+	blocked := 0
+	for _, v := range got.Verdicts[1:] {
+		if v.Blocked {
+			blocked++
+			if v.Family == "" {
+				t.Error("blocked verdict without family")
+			}
+		}
+	}
+	if blocked < (len(docs)-1)*3/4 {
+		t.Errorf("blocked %d/%d kit documents", blocked, len(docs)-1)
+	}
+
+	// GET is rejected.
+	getResp, err := http.Get(srv.URL + "/scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /scan status = %d", getResp.StatusCode)
 	}
 }

@@ -35,6 +35,14 @@ type Scanner interface {
 	Scan(doc string) []kizzle.Match
 }
 
+// BatchScanner is optionally implemented by signature sets that can scan
+// documents in bulk across a worker pool (*kizzle.Matcher does). VetAll
+// uses it when available.
+type BatchScanner interface {
+	Scanner
+	ScanAll(docs []string) [][]kizzle.Match
+}
+
 // multiAdapter lifts a MultiMatcher to the Scanner interface.
 type multiAdapter struct{ m *kizzle.MultiMatcher }
 
@@ -87,6 +95,37 @@ func (v *Vetter) Vet(doc string) Decision {
 	}
 	v.blocked.Add(1)
 	return Decision{Blocked: true, Family: matches[0].Family}
+}
+
+// VetAll scans a batch of documents and returns per-document decisions
+// aligned with the input. When the deployed signature set supports batch
+// scanning the whole batch fans out across one worker pool; otherwise the
+// documents are scanned serially.
+func (v *Vetter) VetAll(docs []string) []Decision {
+	v.mu.RLock()
+	scanner := v.scanner
+	v.mu.RUnlock()
+	v.scanned.Add(int64(len(docs)))
+	out := make([]Decision, len(docs))
+	if scanner == nil || len(docs) == 0 {
+		return out
+	}
+	if bs, ok := scanner.(BatchScanner); ok {
+		for i, matches := range bs.ScanAll(docs) {
+			if len(matches) > 0 {
+				out[i] = Decision{Blocked: true, Family: matches[0].Family}
+				v.blocked.Add(1)
+			}
+		}
+		return out
+	}
+	for i, doc := range docs {
+		if matches := scanner.Scan(doc); len(matches) > 0 {
+			out[i] = Decision{Blocked: true, Family: matches[0].Family}
+			v.blocked.Add(1)
+		}
+	}
+	return out
 }
 
 // Stats reports how many documents were scanned and blocked.

@@ -261,3 +261,66 @@ func TestScannable(t *testing.T) {
 		}
 	}
 }
+
+// TestVetAllMatchesVet: batch vetting must agree document-for-document
+// with serial vetting, for batch-capable and plain scanners alike.
+func TestVetAllMatchesVet(t *testing.T) {
+	day := synth.Date(time.August, 6)
+	m := buildMatcher(t, day)
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 10
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []string
+	for _, s := range stream.Day(day) {
+		docs = append(docs, s.Content)
+	}
+
+	batch := NewVetter(m).VetAll(docs)
+	serialVetter := NewVetter(m)
+	for i, doc := range docs {
+		want := serialVetter.Vet(doc)
+		if batch[i] != want {
+			t.Fatalf("doc %d: batch %+v vs serial %+v", i, batch[i], want)
+		}
+	}
+
+	// A scanner without batch support takes the fallback path and must
+	// still agree.
+	v := NewVetter(plainScanner{m})
+	fallback := v.VetAll(docs)
+	for i := range docs {
+		if fallback[i] != batch[i] {
+			t.Fatalf("doc %d: fallback %+v vs batch %+v", i, fallback[i], batch[i])
+		}
+	}
+	scanned, blocked := v.Stats()
+	if scanned != int64(len(docs)) {
+		t.Errorf("scanned = %d, want %d", scanned, len(docs))
+	}
+	wantBlocked := int64(0)
+	for _, d := range batch {
+		if d.Blocked {
+			wantBlocked++
+		}
+	}
+	if blocked != wantBlocked {
+		t.Errorf("blocked = %d, want %d", blocked, wantBlocked)
+	}
+}
+
+// plainScanner hides the ScanAll method, forcing VetAll's serial fallback.
+type plainScanner struct{ m *kizzle.Matcher }
+
+func (p plainScanner) Scan(doc string) []kizzle.Match { return p.m.Scan(doc) }
+
+func TestVetAllNilScanner(t *testing.T) {
+	v := NewVetter(nil)
+	for _, d := range v.VetAll([]string{"a", "b"}) {
+		if d.Blocked {
+			t.Error("nil scanner blocked a document")
+		}
+	}
+}

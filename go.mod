@@ -1,0 +1,3 @@
+module kizzle
+
+go 1.24

@@ -6,6 +6,12 @@
 // core points, direct density reachability, and noise.
 package dbscan
 
+import (
+	"sort"
+
+	"kizzle/internal/parallel"
+)
+
 // Neighborer answers region queries for the data set being clustered.
 // Implementations typically wrap an eps-thresholded distance oracle (for
 // Kizzle: normalized token edit distance <= eps).
@@ -37,12 +43,6 @@ func ClusterWeighted(data Neighborer, weights []int, minPts int) []int {
 	for i := range ids {
 		ids[i] = Noise
 	}
-	w := func(i int) int {
-		if weights == nil {
-			return 1
-		}
-		return weights[i]
-	}
 	visited := make([]bool, n)
 	next := 0
 	for i := 0; i < n; i++ {
@@ -51,41 +51,62 @@ func ClusterWeighted(data Neighborer, weights []int, minPts int) []int {
 		}
 		visited[i] = true
 		neighbors := data.Neighbors(i)
-		if weightSum(neighbors, w)+w(i) < minPts {
+		if neighborhoodWeight(i, neighbors, weights) < minPts {
 			continue // not a core point; stays noise unless adopted later
 		}
-		expand(data, i, neighbors, next, minPts, ids, visited, w)
+		expand(data, i, neighbors, next, minPts, ids, visited, weights)
 		next++
 	}
 	return ids
 }
 
-func weightSum(idx []int, w func(int) int) int {
-	total := 0
-	for _, i := range idx {
-		total += w(i)
+// neighborhoodWeight is the weighted size of a point's eps-neighborhood,
+// the point itself included. nil weights mean unit weights, in which case
+// no per-point lookups happen at all — this sits inside DBSCAN's innermost
+// loop.
+func neighborhoodWeight(i int, neighbors []int, weights []int) int {
+	if weights == nil {
+		return len(neighbors) + 1
+	}
+	total := weights[i]
+	for _, j := range neighbors {
+		total += weights[j]
 	}
 	return total
 }
 
 // expand grows cluster id from core point seed over all density-reachable
 // points, iteratively (the recursive formulation overflows on the large
-// tight clusters grayware streams produce).
-func expand(data Neighborer, seed int, neighbors []int, id, minPts int, ids []int, visited []bool, w func(int) int) {
+// tight clusters grayware streams produce). Reachable points are claimed
+// for the cluster at enqueue time, which keeps every point in the queue at
+// most once: on the tight clusters grayware streams produce, the naive
+// queue holds one entry per edge of the neighborhood graph, orders of
+// magnitude more than the one-per-point it needs.
+func expand(data Neighborer, seed int, neighbors []int, id, minPts int, ids []int, visited []bool, weights []int) {
 	ids[seed] = id
-	queue := append([]int(nil), neighbors...)
+	var queue []int
+	absorb := func(candidates []int) {
+		for _, q := range candidates {
+			if ids[q] == id {
+				continue // already claimed by this expansion
+			}
+			if visited[q] {
+				if ids[q] == Noise {
+					ids[q] = id // border point adoption
+				}
+				continue
+			}
+			ids[q] = id
+			queue = append(queue, q)
+		}
+	}
+	absorb(neighbors)
 	for head := 0; head < len(queue); head++ {
 		p := queue[head]
-		if ids[p] == Noise {
-			ids[p] = id // border or previously-noise point joins the cluster
-		}
-		if visited[p] {
-			continue
-		}
 		visited[p] = true
 		pn := data.Neighbors(p)
-		if weightSum(pn, w)+w(p) >= minPts {
-			queue = append(queue, pn...)
+		if neighborhoodWeight(p, pn, weights) >= minPts {
+			absorb(pn)
 		}
 	}
 }
@@ -134,10 +155,12 @@ func (f *FuncNeighborer) Neighbors(i int) []int {
 // CachedNeighborer wraps a Neighborer and memoizes region queries. DBSCAN
 // issues the same region query at most twice per point (once when visiting,
 // once when expanding); caching halves distance computations, the dominant
-// cost in Kizzle's clustering stage.
+// cost in Kizzle's clustering stage. The cache is slice-backed — point
+// indices are dense, so a map buys nothing but hashing overhead.
 type CachedNeighborer struct {
-	Inner Neighborer
-	cache map[int][]int
+	Inner  Neighborer
+	cache  [][]int
+	filled []bool
 }
 
 var _ Neighborer = (*CachedNeighborer)(nil)
@@ -148,12 +171,129 @@ func (c *CachedNeighborer) Len() int { return c.Inner.Len() }
 // Neighbors implements Neighborer.
 func (c *CachedNeighborer) Neighbors(i int) []int {
 	if c.cache == nil {
-		c.cache = make(map[int][]int)
+		n := c.Inner.Len()
+		c.cache = make([][]int, n)
+		c.filled = make([]bool, n)
 	}
-	if got, ok := c.cache[i]; ok {
-		return got
+	if c.filled[i] {
+		return c.cache[i]
 	}
 	got := c.Inner.Neighbors(i)
 	c.cache[i] = got
+	c.filled[i] = true
 	return got
+}
+
+// StaticNeighborer serves region queries from precomputed adjacency lists,
+// the output of PrecomputeNeighbors.
+type StaticNeighborer [][]int
+
+var _ Neighborer = (StaticNeighborer)(nil)
+
+// Len implements Neighborer.
+func (s StaticNeighborer) Len() int { return len(s) }
+
+// Neighbors implements Neighborer.
+func (s StaticNeighborer) Neighbors(i int) []int { return s[i] }
+
+// PrecomputeNeighbors evaluates the full region-query graph in parallel and
+// returns it as adjacency lists. Every unordered pair is tested at most
+// once (rows only test j > i; reverse edges are merged afterwards), so the
+// total distance work matches a serial cached run while the wall-clock
+// divides across workers. within receives the worker index so callers can
+// give each worker its own scratch state. Neighbor lists come back in
+// ascending order — the same order a serial linear scan produces — so
+// DBSCAN results are identical to the unparallelized run.
+func PrecomputeNeighbors(n, workers int, candidates func(i int) []int, within func(worker, i, j int) bool) StaticNeighborer {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Each worker accumulates hits in a reusable buffer, then copies the
+	// row out exactly sized — append growth inside the hot loop was a
+	// measurable share of the clustering stage.
+	// Rows are handed out in blocks to keep cache locality without
+	// letting the triangular workload skew (row 0 tests n-1 pairs, the
+	// last row none).
+	fwd := make([][]int, n)
+	scratch := make([][]int, workers)
+	arenas := make([]edgeArena, workers)
+	parallel.ForEach(n, workers, 8, func(worker, i int) {
+		hits := scratch[worker][:0]
+		if candidates != nil {
+			for _, j := range candidates(i) {
+				if j > i && within(worker, i, j) {
+					hits = append(hits, j)
+				}
+			}
+			// Candidate hooks hand out points in index-arbitrary order
+			// (e.g. sorted by sequence length); rows must stay ascending
+			// for result parity with the serial linear scan.
+			sort.Ints(hits)
+		} else {
+			for j := i + 1; j < n; j++ {
+				if within(worker, i, j) {
+					hits = append(hits, j)
+				}
+			}
+		}
+		scratch[worker] = hits
+		fwd[i] = arenas[worker].save(hits)
+	})
+	// Merge reverse edges into one flat arena: adj[j] is [ascending i<j]
+	// followed by [ascending j'>j], exactly the order a serial linear
+	// region query produces, so DBSCAN over the result is bit-identical.
+	deg := make([]int, n)
+	total := 0
+	for i, hits := range fwd {
+		deg[i] += len(hits)
+		total += 2 * len(hits)
+		for _, j := range hits {
+			deg[j]++
+		}
+	}
+	flat := make([]int, total)
+	adj := make(StaticNeighborer, n)
+	pos := make([]int, n)
+	offset := 0
+	for i := range adj {
+		adj[i] = flat[offset : offset : offset+deg[i]]
+		pos[i] = offset
+		offset += deg[i]
+	}
+	for i, hits := range fwd {
+		for _, j := range hits {
+			flat[pos[j]] = i
+			pos[j]++
+		}
+	}
+	for i, hits := range fwd {
+		adj[i] = adj[i][:deg[i]]
+		copy(adj[i][deg[i]-len(hits):], hits)
+	}
+	return adj
+}
+
+// edgeArena block-allocates immutable row copies. Earlier blocks stay
+// valid when a new one is opened, so saved rows never move.
+type edgeArena struct {
+	buf []int
+}
+
+func (a *edgeArena) save(hits []int) []int {
+	if len(hits) == 0 {
+		return nil
+	}
+	if cap(a.buf)-len(a.buf) < len(hits) {
+		size := 4096
+		if len(hits) > size {
+			size = len(hits)
+		}
+		a.buf = make([]int, 0, size)
+	}
+	start := len(a.buf)
+	a.buf = append(a.buf, hits...)
+	return a.buf[start:len(a.buf):len(a.buf)]
 }

@@ -3,6 +3,7 @@ package dbscan
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 )
@@ -187,7 +188,54 @@ func TestClusterInvariants(t *testing.T) {
 	}
 }
 
+// BenchmarkCluster1000 clusters 1000 gaussian points through the full
+// kernel: a sorted candidate index prunes region queries to the eps
+// window, the pruned pairs are evaluated once each by the parallel
+// precompute, and DBSCAN runs over the static adjacency. This is the same
+// shape the pipeline uses (with sequence length as the sort key).
 func BenchmarkCluster1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]float64, 1000)
+	for i := range pts {
+		pts[i] = rng.NormFloat64() * 10
+	}
+	workers := runtime.GOMAXPROCS(0)
+	want := Cluster(&CachedNeighborer{Inner: &pointSet{pts: pts, eps: 0.5}}, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		order := make([]int, len(pts))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return pts[order[a]] < pts[order[b]] })
+		vals := make([]float64, len(pts))
+		for k, i := range order {
+			vals[k] = pts[i]
+		}
+		candidates := func(i int) []int {
+			lo := sort.SearchFloat64s(vals, pts[i]-0.5)
+			hi := sort.SearchFloat64s(vals, pts[i]+0.5)
+			for hi < len(vals) && vals[hi] <= pts[i]+0.5 {
+				hi++
+			}
+			return order[lo:hi]
+		}
+		adj := PrecomputeNeighbors(len(pts), workers, candidates, func(_, i, j int) bool {
+			return math.Abs(pts[i]-pts[j]) <= 0.5
+		})
+		ids := Cluster(adj, 4)
+		for i := range ids {
+			if ids[i] != want[i] {
+				b.Fatalf("point %d: got cluster %d, want %d", i, ids[i], want[i])
+			}
+		}
+	}
+}
+
+// BenchmarkCluster1000Serial is the pre-kernel baseline path (cached
+// serial region queries) kept for comparison.
+func BenchmarkCluster1000Serial(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	pts := make([]float64, 1000)
 	for i := range pts {
@@ -196,6 +244,122 @@ func BenchmarkCluster1000(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Cluster(&CachedNeighborer{Inner: &pointSet{pts: pts, eps: 0.5}}, 4)
+	}
+}
+
+// TestPrecomputeMatchesSerial: the parallel precomputed graph must cluster
+// identically to the serial cached path, for any worker count.
+func TestPrecomputeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 20; iter++ {
+		pts := make([]float64, 3+rng.Intn(120))
+		for i := range pts {
+			pts[i] = rng.Float64() * 15
+		}
+		set := &pointSet{pts: pts, eps: 0.6}
+		want := Cluster(&CachedNeighborer{Inner: set}, 3)
+		for _, workers := range []int{1, 2, 7} {
+			adj := PrecomputeNeighbors(len(pts), workers, nil, func(_, i, j int) bool {
+				return math.Abs(pts[i]-pts[j]) <= set.eps
+			})
+			got := Cluster(adj, 3)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d point %d: got cluster %d, want %d", workers, i, got[i], want[i])
+				}
+			}
+			// Adjacency must match the serial linear scan exactly,
+			// including order.
+			for i := range pts {
+				serial := set.Neighbors(i)
+				if len(serial) != len(adj[i]) {
+					t.Fatalf("workers=%d point %d: %v vs %v", workers, i, adj[i], serial)
+				}
+				for k := range serial {
+					if serial[k] != adj[i][k] {
+						t.Fatalf("workers=%d point %d: %v vs %v", workers, i, adj[i], serial)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrecomputePairEvaluations: the precompute kernel evaluates each
+// unordered pair at most once, and a candidate hook restricts which pairs
+// are ever evaluated.
+func TestPrecomputePairEvaluations(t *testing.T) {
+	pts := []float64{0, 0.2, 0.4, 3, 3.1, 9}
+	calls := make(map[[2]int]int)
+	adj := PrecomputeNeighbors(len(pts), 1, nil, func(_, i, j int) bool {
+		key := [2]int{i, j}
+		if i > j {
+			key = [2]int{j, i}
+		}
+		calls[key]++
+		return math.Abs(pts[i]-pts[j]) <= 0.5
+	})
+	plain := &pointSet{pts: pts, eps: 0.5}
+	for i := range pts {
+		got := adj.Neighbors(i)
+		want := plain.Neighbors(i)
+		if len(got) != len(want) {
+			t.Fatalf("point %d: %v vs %v", i, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("point %d: %v vs %v", i, got, want)
+			}
+		}
+	}
+	total := len(pts) * (len(pts) - 1) / 2
+	if len(calls) != total {
+		t.Errorf("evaluated %d distinct pairs, want %d", len(calls), total)
+	}
+	for pair, n := range calls {
+		if n > 1 {
+			t.Errorf("pair %v evaluated %d times", pair, n)
+		}
+	}
+
+	// With a coarse candidate prefilter, distant pairs are never tested
+	// (workers=1 so the plain counter is race-free).
+	evaluated := 0
+	adj = PrecomputeNeighbors(len(pts), 1, func(i int) []int {
+		var out []int
+		for j := range pts {
+			if math.Abs(pts[i]-pts[j]) <= 1 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}, func(_, i, j int) bool {
+		evaluated++
+		return math.Abs(pts[i]-pts[j]) <= 0.5
+	})
+	ids := Cluster(adj, 2)
+	if ids[0] == Noise || ids[0] != ids[1] || ids[1] != ids[2] {
+		t.Errorf("first blob not clustered: %v", ids)
+	}
+	if ids[3] == Noise || ids[3] != ids[4] || ids[0] == ids[3] {
+		t.Errorf("second blob wrong: %v", ids)
+	}
+	if ids[5] != Noise {
+		t.Errorf("outlier clustered: %v", ids)
+	}
+	if evaluated >= total {
+		t.Errorf("candidate pruning did not reduce evaluations: %d", evaluated)
+	}
+}
+
+func TestStaticNeighborer(t *testing.T) {
+	s := StaticNeighborer{{1}, {0, 2}, {1}}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got := s.Neighbors(1)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Neighbors(1) = %v", got)
 	}
 }
 

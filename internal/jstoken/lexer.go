@@ -1,16 +1,15 @@
 package jstoken
 
-import (
-	"strings"
-)
-
 // Lex tokenizes JavaScript source. The lexer is deliberately forgiving:
 // grayware streams contain truncated and syntactically broken scripts, and
 // Kizzle must still produce a stable token stream for them. Unterminated
 // strings and comments consume to end of input; bytes that fit no token are
 // skipped.
 func Lex(src string) []Token {
-	l := lexer{src: src, tokens: make([]Token, 0, len(src)/6+8)}
+	// Packed exploit-kit payloads run around 3 bytes per token; sizing for
+	// that keeps the append growth to at most one reallocation on the
+	// dense inputs the scanner sees in production.
+	l := lexer{src: src, tokens: make([]Token, 0, len(src)/3+8)}
 	l.run()
 	return l.tokens
 }
@@ -56,8 +55,8 @@ func (l *lexer) peek(off int) byte {
 	return 0
 }
 
-func (l *lexer) emit(class Class, start int) {
-	l.tokens = append(l.tokens, Token{Class: class, Text: l.src[start:l.pos], Pos: start})
+func (l *lexer) emit(class Class, start int, sym Symbol) {
+	l.tokens = append(l.tokens, Token{Class: class, Text: l.src[start:l.pos], Pos: start, sym: sym})
 }
 
 func (l *lexer) skipLineComment() {
@@ -96,7 +95,7 @@ func (l *lexer) lexString(quote byte) {
 		}
 		l.pos++
 	}
-	l.emit(ClassString, start)
+	l.emit(ClassString, start, SymString)
 }
 
 func (l *lexer) lexNumber() {
@@ -106,7 +105,7 @@ func (l *lexer) lexNumber() {
 		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
 			l.pos++
 		}
-		l.emit(ClassNumber, start)
+		l.emit(ClassNumber, start, SymNumber)
 		return
 	}
 	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
@@ -130,20 +129,38 @@ func (l *lexer) lexNumber() {
 			}
 		}
 	}
-	l.emit(ClassNumber, start)
+	l.emit(ClassNumber, start, SymNumber)
 }
 
 func (l *lexer) lexIdentifier() {
 	start := l.pos
-	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+	for l.pos < len(l.src) && identPart[l.src[l.pos]] {
 		l.pos++
 	}
 	word := l.src[start:l.pos]
-	if IsKeyword(word) {
-		l.emit(ClassKeyword, start)
+	// The compiled string switch rejects the overwhelmingly common
+	// non-keyword identifiers without hashing; only actual keywords pay
+	// the map lookup for their symbol.
+	if isKeywordSwitch(word) {
+		l.emit(ClassKeyword, start, symbolBase+Symbol(keywordIndex[word]))
 	} else {
-		l.emit(ClassIdentifier, start)
+		l.emit(ClassIdentifier, start, SymIdentifier)
 	}
+}
+
+// isKeywordSwitch mirrors the keywords list as a string switch. A test
+// pins it against keywordIndex so the two cannot drift.
+func isKeywordSwitch(word string) bool {
+	switch word {
+	case "break", "case", "catch", "continue", "debugger", "default",
+		"delete", "do", "else", "finally", "for", "function", "if", "in",
+		"instanceof", "new", "return", "switch", "this", "throw", "try",
+		"typeof", "var", "void", "while", "with", "true", "false", "null",
+		"undefined", "let", "const", "class", "extends", "super", "yield",
+		"import", "export":
+		return true
+	}
+	return false
 }
 
 // regexAllowed applies the standard heuristic for the / ambiguity: a regex
@@ -203,26 +220,57 @@ func (l *lexer) lexRegex() {
 	if !terminated {
 		// Not a regex after all (e.g. stray slash); emit as punctuator.
 		l.pos = start + 1
-		l.emit(ClassPunct, start)
+		l.emit(ClassPunct, start, punctSymbol("/"))
 		return
 	}
 	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
 		l.pos++ // flags
 	}
-	l.emit(ClassRegex, start)
+	l.emit(ClassRegex, start, SymRegex)
 }
 
-func (l *lexer) lexPunct() bool {
-	rest := l.src[l.pos:]
+// punctEntry pairs a punctuator with its precomputed abstraction symbol.
+type punctEntry struct {
+	text string
+	sym  Symbol
+}
+
+// punctSymbol is the abstraction symbol of punctuator p.
+func punctSymbol(p string) Symbol {
+	return symbolBase + Symbol(len(keywords)) + Symbol(punctIndex[p])
+}
+
+// punctByFirst buckets the punctuators by first byte, preserving the
+// longest-first order within each bucket. Dispatching on the first byte
+// replaces the linear scan over all punctuators — the single hottest
+// operation when lexing minified or packed JavaScript, where roughly every
+// third token is a punctuator.
+var punctByFirst = func() (table [256][]punctEntry) {
 	for _, p := range puncts {
-		if strings.HasPrefix(rest, p) {
+		table[p[0]] = append(table[p[0]], punctEntry{text: p, sym: punctSymbol(p)})
+	}
+	return table
+}()
+
+func (l *lexer) lexPunct() bool {
+	for _, e := range punctByFirst[l.src[l.pos]] {
+		if len(e.text) == 1 || matchesAt(l.src, l.pos, e.text) {
 			start := l.pos
-			l.pos += len(p)
-			l.emit(ClassPunct, start)
+			l.pos += len(e.text)
+			l.emit(ClassPunct, start, e.sym)
 			return true
 		}
 	}
 	return false
+}
+
+// matchesAt reports whether src[pos:] begins with p; the first byte is
+// already known to match.
+func matchesAt(src string, pos int, p string) bool {
+	if pos+len(p) > len(src) {
+		return false
+	}
+	return src[pos:pos+len(p)] == p
 }
 
 func isDigit(c byte) bool    { return c >= '0' && c <= '9' }
@@ -233,3 +281,12 @@ func isIdentStart(c byte) bool {
 }
 
 func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// identPart tabulates isIdentPart: identifier bytes dominate JavaScript
+// source, and one table load beats the five-way comparison chain.
+var identPart = func() (t [256]bool) {
+	for c := 0; c < 256; c++ {
+		t[c] = isIdentPart(byte(c))
+	}
+	return t
+}()

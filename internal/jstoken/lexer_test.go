@@ -322,3 +322,33 @@ func BenchmarkLex(b *testing.B) {
 		Lex(src)
 	}
 }
+
+// TestKeywordSwitchMatchesIndex pins the compiled keyword switch to the
+// keywords list, so the two representations cannot drift.
+func TestKeywordSwitchMatchesIndex(t *testing.T) {
+	for _, kw := range keywords {
+		if !isKeywordSwitch(kw) {
+			t.Errorf("isKeywordSwitch(%q) = false, keywords list disagrees", kw)
+		}
+	}
+	for _, w := range []string{"", "x", "Var", "vars", "functio", "functions", "exports", "brea"} {
+		if isKeywordSwitch(w) {
+			t.Errorf("isKeywordSwitch(%q) = true for a non-keyword", w)
+		}
+		if IsKeyword(w) {
+			t.Errorf("IsKeyword(%q) = true for a non-keyword", w)
+		}
+	}
+}
+
+// TestLexedSymbolsMatchOnDemand: symbols cached by the lexer must equal
+// the map-derived ones computed for hand-built tokens.
+func TestLexedSymbolsMatchOnDemand(t *testing.T) {
+	src := `var x1 = this["k"](0x1f, 'str', /re/g); if (x1 !== y.z) { throw new Error("e"); }`
+	for _, tok := range Lex(src) {
+		bare := Token{Class: tok.Class, Text: tok.Text, Pos: tok.Pos}
+		if got, want := tok.Symbol(), bare.Symbol(); got != want {
+			t.Errorf("token %q: lexed symbol %d, on-demand %d", tok.Text, got, want)
+		}
+	}
+}

@@ -10,8 +10,10 @@ package jstoken
 
 import "strconv"
 
-// Class is the abstract class of a lexical token.
-type Class int
+// Class is the abstract class of a lexical token. It is an int32 so a
+// Token (class + cached symbol + text + position) packs into 32 bytes;
+// token slices are the scanner's dominant memory traffic.
+type Class int32
 
 // Token classes, mirroring the paper's abstraction alphabet.
 const (
@@ -46,6 +48,10 @@ func (c Class) String() string {
 // Token is one lexical token with its concrete source text.
 type Token struct {
 	Class Class
+	// sym caches the abstraction symbol, filled in by the lexer so
+	// Abstract never has to hash keyword or punctuator text. Zero means
+	// "compute on demand" (hand-built tokens).
+	sym Symbol
 	// Text is the raw source text of the token, including string quotes.
 	Text string
 	// Pos is the byte offset of the token in the input.
@@ -86,14 +92,21 @@ const (
 // Abstract maps tokens to their abstraction symbols.
 func Abstract(tokens []Token) []Symbol {
 	out := make([]Symbol, len(tokens))
-	for i, t := range tokens {
-		out[i] = t.Symbol()
+	for i := range tokens {
+		if s := tokens[i].sym; s != 0 {
+			out[i] = s
+			continue
+		}
+		out[i] = tokens[i].Symbol()
 	}
 	return out
 }
 
 // Symbol returns the abstraction symbol for a single token.
 func (t Token) Symbol() Symbol {
+	if t.sym != 0 {
+		return t.sym
+	}
 	switch t.Class {
 	case ClassIdentifier:
 		return SymIdentifier

@@ -1,0 +1,55 @@
+// Package parallel provides the one worker-pool shape Kizzle's hot paths
+// share: N independent index-addressed tasks fanned out across a bounded
+// set of workers, handed out in blocks from an atomic counter.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(worker, i) for every i in [0, n), fanning out across at
+// most workers goroutines. block controls how many consecutive indices one
+// handout covers: 1 balances coarse, variable-cost tasks (scanning whole
+// documents); larger blocks keep cache locality for fine-grained rows
+// (pairwise distance sweeps). fn receives the worker's index so callers
+// can give each worker private scratch state.
+func ForEach(n, workers, block int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if block < 1 {
+		block = 1
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(block))) - block
+				if start >= n {
+					return
+				}
+				end := start + block
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(worker, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,60 @@
+package pipeline
+
+import (
+	"sort"
+
+	"kizzle/internal/dbscan"
+	"kizzle/internal/jstoken"
+	"kizzle/internal/textdist"
+)
+
+// neighborGraph precomputes the eps region-query graph for the unique
+// sequences selected by idx (indices into seqs), combining the three
+// clustering-kernel optimizations:
+//
+//   - a length-sorted candidate index so a region query only tests
+//     sequences whose length difference can still be within eps·max-len
+//     (the length gap alone is a lower bound on edit distance);
+//   - symmetric evaluation — each unordered pair is tested at most once;
+//   - parallel evaluation across workers, each with its own reusable
+//     textdist.Scratch, so the distance stage does not allocate and large
+//     partitions no longer serialize on one goroutine.
+//
+// The resulting adjacency lists are in ascending order, making DBSCAN over
+// them identical to the serial linear-scan implementation.
+func neighborGraph(seqs [][]jstoken.Symbol, idx []int, eps float64, workers int) dbscan.StaticNeighborer {
+	n := len(idx)
+	if workers < 1 {
+		workers = 1
+	}
+	lens := make([]int, n)
+	for k, ui := range idx {
+		lens[k] = len(seqs[ui])
+	}
+	// Length-sorted view: order[k] is a local index, sortedLens[k] its
+	// sequence length.
+	order := make([]int, n)
+	for k := range order {
+		order[k] = k
+	}
+	sort.Slice(order, func(a, b int) bool { return lens[order[a]] < lens[order[b]] })
+	sortedLens := make([]int, n)
+	for k, local := range order {
+		sortedLens[k] = lens[local]
+	}
+	candidates := func(i int) []int {
+		lo := sort.SearchInts(sortedLens, textdist.MinCandidateLen(lens[i], eps))
+		hi := n
+		// MaxCandidateLen saturates at MaxInt for eps >= 1 (everything is
+		// a candidate); +1 would wrap negative and empty the window.
+		if maxLen := textdist.MaxCandidateLen(lens[i], eps); maxLen < sortedLens[n-1] {
+			hi = sort.SearchInts(sortedLens, maxLen+1)
+		}
+		return order[lo:hi]
+	}
+	scratches := make([]textdist.Scratch, workers)
+	within := func(worker, a, b int) bool {
+		return scratches[worker].WithinNormalized(seqs[idx[a]], seqs[idx[b]], eps)
+	}
+	return dbscan.PrecomputeNeighbors(n, workers, candidates, within)
+}

@@ -1,0 +1,92 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"kizzle/internal/dbscan"
+	"kizzle/internal/jstoken"
+	"kizzle/internal/textdist"
+)
+
+// randSymbols builds a random abstract sequence; drawing lengths from a
+// few bands exercises the length-window pruning at its boundaries.
+func randSymbols(rng *rand.Rand, band int) []jstoken.Symbol {
+	base := []int{5, 30, 60, 200}[band%4]
+	n := base + rng.Intn(base)
+	out := make([]jstoken.Symbol, n)
+	for i := range out {
+		out[i] = jstoken.Symbol(1 + rng.Intn(6))
+	}
+	return out
+}
+
+// TestNeighborGraphMatchesLinearScan: the length-pruned, symmetric,
+// parallel region-query graph must equal the naive per-point linear scan —
+// same neighbor sets, same order — so DBSCAN results are unchanged.
+func TestNeighborGraphMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 10; iter++ {
+		seqs := make([][]jstoken.Symbol, 60+rng.Intn(60))
+		idx := make([]int, len(seqs))
+		for i := range seqs {
+			seqs[i] = randSymbols(rng, rng.Intn(4))
+			idx[i] = i
+		}
+		eps := []float64{0.05, 0.10, 0.30}[iter%3]
+		for _, workers := range []int{1, 4} {
+			adj := neighborGraph(seqs, idx, eps, workers)
+			ref := &dbscan.FuncNeighborer{N: len(seqs), Within: func(i, j int) bool {
+				return textdist.WithinNormalized(seqs[i], seqs[j], eps)
+			}}
+			for i := range seqs {
+				want := ref.Neighbors(i)
+				got := adj.Neighbors(i)
+				if len(got) != len(want) {
+					t.Fatalf("eps=%.2f workers=%d point %d: got %v, want %v", eps, workers, i, got, want)
+				}
+				for k := range want {
+					if got[k] != want[k] {
+						t.Fatalf("eps=%.2f workers=%d point %d: got %v, want %v", eps, workers, i, got, want)
+					}
+				}
+			}
+			// And the clustering built on top must agree with the
+			// pre-kernel serial path.
+			want := dbscan.ClusterWeighted(&dbscan.CachedNeighborer{Inner: ref}, nil, 3)
+			got := dbscan.ClusterWeighted(adj, nil, 3)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("cluster mismatch at %d: %d vs %d", i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNeighborGraphSubsetIndices: the graph over a partition (a subset of
+// unique indices) must match the linear scan over that same subset.
+func TestNeighborGraphSubsetIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	seqs := make([][]jstoken.Symbol, 100)
+	for i := range seqs {
+		seqs[i] = randSymbols(rng, rng.Intn(4))
+	}
+	part := rng.Perm(100)[:37]
+	adj := neighborGraph(seqs, part, 0.10, 3)
+	ref := &dbscan.FuncNeighborer{N: len(part), Within: func(i, j int) bool {
+		return textdist.WithinNormalized(seqs[part[i]], seqs[part[j]], 0.10)
+	}}
+	for i := range part {
+		want := ref.Neighbors(i)
+		got := adj.Neighbors(i)
+		if len(got) != len(want) {
+			t.Fatalf("point %d: got %v, want %v", i, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("point %d: got %v, want %v", i, got, want)
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"kizzle/internal/dbscan"
 	"kizzle/internal/jstoken"
+	"kizzle/internal/parallel"
 	"kizzle/internal/siggen"
 	"kizzle/internal/textdist"
 	"kizzle/internal/unpack"
@@ -352,13 +353,8 @@ func clusterOne(u uniqueSet, part []int, cfg Config) (out struct {
 	for i, ui := range part {
 		weights[i] = len(u.members[ui])
 	}
-	neigh := &dbscan.CachedNeighborer{Inner: &dbscan.FuncNeighborer{
-		N: len(part),
-		Within: func(i, j int) bool {
-			return textdist.WithinNormalized(u.seqs[part[i]], u.seqs[part[j]], cfg.Eps)
-		},
-	}}
-	ids := dbscan.ClusterWeighted(neigh, weights, cfg.MinPts)
+	adj := neighborGraph(u.seqs, part, cfg.Eps, cfg.Workers)
+	ids := dbscan.ClusterWeighted(adj, weights, cfg.MinPts)
 	for gi, group := range dbscan.Groups(ids) {
 		_ = gi
 		pc := make(partCluster, len(group))
@@ -398,12 +394,15 @@ func reduceClusters(u uniqueSet, clusters []partCluster, noise []int, cfg Config
 		return x
 	}
 	union := func(a, b int) { parent[find(a)] = find(b) }
-	for i := 0; i < len(clusters); i++ {
-		for j := i + 1; j < len(clusters); j++ {
-			if find(i) == find(j) {
-				continue
-			}
-			if textdist.WithinNormalized(u.seqs[reps[i]], u.seqs[reps[j]], cfg.Eps) {
+	// The rep-vs-rep eps graph is computed with the same parallel
+	// length-pruned kernel as partition clustering (the paper flags this
+	// reduce reconciliation as the serial bottleneck). Unions are applied
+	// in the same (i, j) ascending order the pairwise loop used, so the
+	// merged-cluster ordering is unchanged.
+	repAdj := neighborGraph(u.seqs, reps, cfg.Eps, cfg.Workers)
+	for i := range repAdj {
+		for _, j := range repAdj[i] {
+			if j > i {
 				union(i, j)
 			}
 		}
@@ -427,13 +426,8 @@ func reduceClusters(u uniqueSet, clusters []partCluster, noise []int, cfg Config
 		for i, ui := range noise {
 			weights[i] = len(u.members[ui])
 		}
-		neigh := &dbscan.CachedNeighborer{Inner: &dbscan.FuncNeighborer{
-			N: len(noise),
-			Within: func(i, j int) bool {
-				return textdist.WithinNormalized(u.seqs[noise[i]], u.seqs[noise[j]], cfg.Eps)
-			},
-		}}
-		ids := dbscan.ClusterWeighted(neigh, weights, cfg.MinPts)
+		adj := neighborGraph(u.seqs, noise, cfg.Eps, cfg.Workers)
+		ids := dbscan.ClusterWeighted(adj, weights, cfg.MinPts)
 		for _, group := range dbscan.Groups(ids) {
 			nc := make([]int, len(group))
 			for k, local := range group {
@@ -450,14 +444,26 @@ func reduceClusters(u uniqueSet, clusters []partCluster, noise []int, cfg Config
 		noise = rest
 	}
 
-	// Adopt stragglers into existing clusters.
+	// Adopt stragglers into existing clusters. Each merged cluster's
+	// representative is tracked incrementally (an adopted unique covering
+	// more samples than the current rep becomes the new rep, exactly as
+	// recomputing repOf after each append would decide), and one Scratch
+	// serves every distance test.
 	var remaining []int
+	var scratch textdist.Scratch
+	mergedReps := make([]int, len(merged))
+	for mi := range merged {
+		mergedReps[mi] = repOf(u, merged[mi])
+	}
 	for _, ui := range noise {
 		adopted := false
 		for mi := range merged {
-			rep := repOf(u, merged[mi])
-			if textdist.WithinNormalized(u.seqs[ui], u.seqs[rep], cfg.Eps) {
+			rep := mergedReps[mi]
+			if scratch.WithinNormalized(u.seqs[ui], u.seqs[rep], cfg.Eps) {
 				merged[mi] = append(merged[mi], ui)
+				if len(u.members[ui]) > len(u.members[rep]) {
+					mergedReps[mi] = ui
+				}
 				adopted = true
 				break
 			}
@@ -482,10 +488,13 @@ func repOf(u uniqueSet, cluster []int) int {
 }
 
 // labelClusters unpacks each merged cluster's prototype and labels it by
-// best winnow overlap against the corpus.
+// best winnow overlap against the corpus. Clusters are independent, so
+// labeling fans out across the worker pool; results land by index, keeping
+// the output order identical to the serial loop.
 func labelClusters(inputs []Input, u uniqueSet, merged [][]int, corpus *Corpus, cfg Config) []Cluster {
-	out := make([]Cluster, 0, len(merged))
-	for _, uniques := range merged {
+	out := make([]Cluster, len(merged))
+	parallel.ForEach(len(merged), max(cfg.Workers, 1), 1, func(_, mi int) {
+		uniques := merged[mi]
 		rep := repOf(u, uniques)
 		var samples []int
 		for _, ui := range uniques {
@@ -506,8 +515,8 @@ func labelClusters(inputs []Input, u uniqueSet, merged [][]int, corpus *Corpus, 
 				cl.Label = family
 			}
 		}
-		out = append(out, cl)
-	}
+		out[mi] = cl
+	})
 	return out
 }
 

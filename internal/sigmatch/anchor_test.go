@@ -1,0 +1,236 @@
+package sigmatch
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"kizzle/internal/ekit"
+	"kizzle/internal/jstoken"
+	"kizzle/internal/siggen"
+)
+
+// naiveScanTokens is the pre-anchor-index reference: every signature runs
+// its own sliding scan over the whole token stream.
+func naiveScanTokens(s *Scanner, tokens []jstoken.Token) []Match {
+	var out []Match
+	for i, c := range s.sigs {
+		if off, ok := c.MatchTokens(tokens); ok {
+			out = append(out, Match{Family: c.Family(), SignatureIndex: i, TokenOffset: off})
+		}
+	}
+	return out
+}
+
+// ekitScanner compiles one signature per kit family from a day of samples
+// and returns it alongside a mixed malicious+benign document corpus from
+// the surrounding days.
+func ekitScanner(t testing.TB, sigDay int) (*Scanner, []string) {
+	t.Helper()
+	cfg := ekit.DefaultStreamConfig()
+	cfg.BenignPerDay = 40
+	stream, err := ekit.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFamily := make(map[string][][]jstoken.Token)
+	for _, s := range stream.Day(sigDay) {
+		if s.Family == ekit.FamilyBenign {
+			continue
+		}
+		fam := s.Family.String()
+		if len(byFamily[fam]) < 8 {
+			byFamily[fam] = append(byFamily[fam], jstoken.LexDocument(s.Content))
+		}
+	}
+	scanner, err := NewScanner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range ekit.Families {
+		samples := byFamily[fam.String()]
+		if len(samples) < 2 {
+			continue
+		}
+		sig, err := siggen.Generate(fam.String(), samples, siggen.Config{MinTokens: 8, MaxTokens: 200, MaxLiteral: 64})
+		if err != nil {
+			continue // some families may lack a common run on some days
+		}
+		if err := scanner.Add(sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if scanner.Len() < 2 {
+		t.Fatalf("only %d signatures generated", scanner.Len())
+	}
+	var docs []string
+	for day := sigDay; day <= sigDay+1; day++ {
+		for _, s := range stream.Day(day) {
+			docs = append(docs, s.Content)
+		}
+	}
+	return scanner, docs
+}
+
+// TestAnchorScanMatchesNaive: the anchor-indexed single-pass scan must
+// produce exactly the matches of the per-signature sliding scan over a
+// randomized kit+benign corpus.
+func TestAnchorScanMatchesNaive(t *testing.T) {
+	scanner, docs := ekitScanner(t, ekit.Date(8, 5))
+	matchedDocs, totalMatches := 0, 0
+	for di, doc := range docs {
+		tokens := jstoken.LexDocument(doc)
+		got := scanner.ScanTokens(tokens)
+		want := naiveScanTokens(scanner, tokens)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("doc %d: anchored %v, naive %v", di, got, want)
+		}
+		if det := scanner.DetectsTokens(tokens); det != (len(want) > 0) {
+			t.Fatalf("doc %d: Detects %v with %d naive matches", di, det, len(want))
+		}
+		if len(got) > 0 {
+			matchedDocs++
+			totalMatches += len(got)
+		}
+	}
+	if matchedDocs == 0 {
+		t.Fatal("corpus produced no matches; differential test vacuous")
+	}
+	t.Logf("%d/%d docs matched (%d matches)", matchedDocs, len(docs), totalMatches)
+}
+
+// TestAnchorFallbackUnanchored: a signature with no literal element (all
+// classes) must still match via the sliding fallback.
+func TestAnchorFallbackUnanchored(t *testing.T) {
+	sig := siggen.Signature{Family: "X", Elements: []siggen.Element{
+		{Kind: siggen.KindClass, Class: "[a-z]", MinLen: 3, MaxLen: 5, Group: 0},
+		{Kind: siggen.KindClass, Class: "[0-9]", MinLen: 2, MaxLen: 2, Group: -1},
+		{Kind: siggen.KindBackref, Group: 0},
+	}}
+	s, err := NewScanner([]siggen.Signature{sig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.unanchored) != 1 {
+		t.Fatalf("unanchored = %v, want one entry", s.unanchored)
+	}
+	tokens := jstoken.Lex(`foo 42 foo`)
+	matches := s.ScanTokens(tokens)
+	if len(matches) != 1 {
+		t.Fatalf("matches = %v", matches)
+	}
+	if !s.DetectsTokens(tokens) {
+		t.Error("DetectsTokens missed the unanchored signature")
+	}
+	if s.DetectsTokens(jstoken.Lex(`foo 42 bar`)) {
+		t.Error("back-reference violated")
+	}
+}
+
+// TestScanAllMatchesScanTokens: the batched worker-pool entry point must
+// agree sample-for-sample with serial scans.
+func TestScanAllMatchesScanTokens(t *testing.T) {
+	scanner, docs := ekitScanner(t, ekit.Date(8, 12))
+	streams := make([][]jstoken.Token, len(docs))
+	for i, doc := range docs {
+		streams[i] = jstoken.LexDocument(doc)
+	}
+	batch := scanner.ScanAll(streams)
+	if len(batch) != len(streams) {
+		t.Fatalf("batch results = %d, want %d", len(batch), len(streams))
+	}
+	for i := range streams {
+		want := scanner.ScanTokens(streams[i])
+		if fmt.Sprint(batch[i]) != fmt.Sprint(want) {
+			t.Fatalf("doc %d: batch %v, serial %v", i, batch[i], want)
+		}
+	}
+	byDoc := scanner.ScanDocuments(docs)
+	for i := range docs {
+		if fmt.Sprint(byDoc[i]) != fmt.Sprint(batch[i]) {
+			t.Fatalf("doc %d: ScanDocuments %v, ScanAll %v", i, byDoc[i], batch[i])
+		}
+	}
+}
+
+// TestGroupsGrownByBackref: groups derivation must be uniform across
+// element kinds — a back-reference alone grows the capture space, so a
+// signature whose backref group is the maximum does not index out of
+// bounds even if validation rules change.
+func TestGroupsGrownByBackref(t *testing.T) {
+	sig := siggen.Signature{Family: "X", Elements: []siggen.Element{
+		{Kind: siggen.KindClass, Class: "[a-z]", MinLen: 1, MaxLen: 8, Group: 1},
+		{Kind: siggen.KindLiteral, Literal: ";", Group: -1},
+		{Kind: siggen.KindBackref, Group: 1},
+	}}
+	c, err := Compile(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Groups() != 2 {
+		t.Errorf("Groups() = %d, want 2", c.Groups())
+	}
+	if _, ok := c.MatchTokens(jstoken.Lex(`ab ; ab`)); !ok {
+		t.Error("signature must match consistent reuse")
+	}
+	if _, ok := c.MatchTokens(jstoken.Lex(`ab ; cd`)); ok {
+		t.Error("signature must reject inconsistent reuse")
+	}
+}
+
+// BenchmarkScanManySignatures deploys a realistic multi-signature set; the
+// anchor index keeps per-token cost flat in the number of signatures where
+// the naive scan pays sigs × offsets.
+func BenchmarkScanManySignatures(b *testing.B) {
+	scanner, _ := ekitScanner(b, ekit.Date(8, 5))
+	// Pad the set with structural variants anchored on distinct literals.
+	for i := 0; scanner.Len() < 40; i++ {
+		marker := fmt.Sprintf("kit_%d_entry", i)
+		sig := siggen.Signature{Family: "Pad", Elements: []siggen.Element{
+			{Kind: siggen.KindLiteral, Literal: marker, Group: -1},
+			{Kind: siggen.KindLiteral, Literal: "=", Group: -1},
+			{Kind: siggen.KindClass, Class: "[0-9a-zA-Z]", MinLen: 4, MaxLen: 12, Group: 0},
+			{Kind: siggen.KindLiteral, Literal: ";", Group: -1},
+			{Kind: siggen.KindBackref, Group: 0},
+		}}
+		if err := scanner.Add(sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+	doc := strings.Repeat(`var filler = compute(1, "x"); `, 300) + `kit_7_entry = abc123; abc123`
+	tokens := jstoken.LexDocument(doc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(scanner.ScanTokens(tokens)) == 0 {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkScanManyNaive is the sliding-scan reference for the same set.
+func BenchmarkScanManyNaive(b *testing.B) {
+	scanner, _ := ekitScanner(b, ekit.Date(8, 5))
+	for i := 0; scanner.Len() < 40; i++ {
+		marker := fmt.Sprintf("kit_%d_entry", i)
+		sig := siggen.Signature{Family: "Pad", Elements: []siggen.Element{
+			{Kind: siggen.KindLiteral, Literal: marker, Group: -1},
+			{Kind: siggen.KindLiteral, Literal: "=", Group: -1},
+			{Kind: siggen.KindClass, Class: "[0-9a-zA-Z]", MinLen: 4, MaxLen: 12, Group: 0},
+			{Kind: siggen.KindLiteral, Literal: ";", Group: -1},
+			{Kind: siggen.KindBackref, Group: 0},
+		}}
+		if err := scanner.Add(sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+	doc := strings.Repeat(`var filler = compute(1, "x"); `, 300) + `kit_7_entry = abc123; abc123`
+	tokens := jstoken.LexDocument(doc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(naiveScanTokens(scanner, tokens)) == 0 {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -5,19 +5,41 @@
 // the back-references Kizzle emits — Go's RE2 regexp engine deliberately
 // has none — and runs in linear time per start offset without regex
 // backtracking pathologies.
+//
+// Deployment-side scanning is anchor-indexed: at compile time the scanner
+// picks each signature's rarest literal element as an anchor and builds an
+// index from token value to candidate (signature, anchor offset)
+// alignments. A scan then walks the token stream once and runs full
+// verification only at candidate alignments, so cost scales with anchor
+// hits instead of signatures × offsets. Signatures without a literal
+// element fall back to the sliding scan.
 package sigmatch
 
 import (
 	"fmt"
+	"runtime"
 
 	"kizzle/internal/jstoken"
+	"kizzle/internal/parallel"
 	"kizzle/internal/siggen"
 )
+
+// classTable is a byte-indexed acceptance table for one character class;
+// table form keeps the verification inner loop free of indirect calls.
+type classTable [256]bool
+
+func buildClassTable(match func(byte) bool) *classTable {
+	var t classTable
+	for b := 0; b < 256; b++ {
+		t[b] = match(byte(b))
+	}
+	return &t
+}
 
 // Compiled is one signature prepared for scanning.
 type Compiled struct {
 	sig     siggen.Signature
-	classes []func(byte) bool // nil for non-class elements
+	classes []*classTable // nil for non-class elements
 	groups  int
 }
 
@@ -26,7 +48,7 @@ func Compile(sig siggen.Signature) (*Compiled, error) {
 	if len(sig.Elements) == 0 {
 		return nil, fmt.Errorf("sigmatch: empty signature for family %q", sig.Family)
 	}
-	c := &Compiled{sig: sig, classes: make([]func(byte) bool, len(sig.Elements))}
+	c := &Compiled{sig: sig, classes: make([]*classTable, len(sig.Elements))}
 	for i, e := range sig.Elements {
 		switch e.Kind {
 		case siggen.KindLiteral:
@@ -35,7 +57,7 @@ func Compile(sig siggen.Signature) (*Compiled, error) {
 			if !ok {
 				return nil, fmt.Errorf("sigmatch: element %d: unknown class %q", i, e.Class)
 			}
-			c.classes[i] = cls.Match
+			c.classes[i] = buildClassTable(cls.Match)
 			// Group < 0 marks an uncaptured class (abstracted long
 			// constants); only captured classes allocate a slot.
 			if e.Group >= c.groups {
@@ -44,6 +66,12 @@ func Compile(sig siggen.Signature) (*Compiled, error) {
 		case siggen.KindBackref:
 			if e.Group < 0 {
 				return nil, fmt.Errorf("sigmatch: element %d: back-reference without group", i)
+			}
+			// Grow the capture space from back-references too, so groups
+			// derivation does not silently depend on the capturing class
+			// appearing in the same signature revision.
+			if e.Group >= c.groups {
+				c.groups = e.Group + 1
 			}
 		default:
 			return nil, fmt.Errorf("sigmatch: element %d: unknown kind %d", i, e.Kind)
@@ -72,8 +100,12 @@ func (c *Compiled) Family() string { return c.sig.Family }
 // Signature returns the underlying signature.
 func (c *Compiled) Signature() siggen.Signature { return c.sig }
 
+// Groups returns the number of capture slots the signature needs.
+func (c *Compiled) Groups() int { return c.groups }
+
 // MatchTokens reports whether the signature matches anywhere in the token
-// stream, and the token offset of the first match.
+// stream, and the token offset of the first match. This is the reference
+// sliding scan; Scanner uses it only for signatures without an anchor.
 func (c *Compiled) MatchTokens(tokens []jstoken.Token) (int, bool) {
 	n := len(c.sig.Elements)
 	if n > len(tokens) {
@@ -100,9 +132,9 @@ func (c *Compiled) matchAt(tokens []jstoken.Token, start int, captures []string)
 			if len(v) < e.MinLen || len(v) > e.MaxLen {
 				return false
 			}
-			match := c.classes[i]
+			table := c.classes[i]
 			for b := 0; b < len(v); b++ {
-				if !match(v[b]) {
+				if !table[v[b]] {
 					return false
 				}
 			}
@@ -128,10 +160,35 @@ type Match struct {
 	TokenOffset int
 }
 
+// anchorRef is one candidate alignment in the anchor index: if a token
+// equals the anchor literal at stream position p, signature sig can only
+// match starting at p-elem.
+type anchorRef struct {
+	sig  int
+	elem int
+}
+
 // Scanner holds a deployed signature set, like an AV engine's definition
-// database.
+// database. Scans are safe for concurrent use; Add is not (swap whole
+// scanners to update live deployments, as gateway.Vetter does).
 type Scanner struct {
 	sigs []*Compiled
+
+	// index maps an anchor literal's normalized value to all candidate
+	// alignments sharing it.
+	index map[string][]anchorRef
+	// unanchored lists signatures with no usable literal element; they
+	// keep the sliding scan.
+	unanchored []int
+	// anchorByte prefilters index lookups: a token can only be an anchor
+	// if anchorByte[v[0]] is set and len(v) is within the global bounds.
+	// This keeps the per-token cost of a scan to a couple of array reads
+	// for the overwhelmingly common non-anchor tokens.
+	anchorByte    [256]bool
+	minAnchorLen  int
+	maxAnchorLen  int
+	maxGroups     int
+	anchoredCount int
 }
 
 // NewScanner compiles all signatures. It fails on the first invalid one.
@@ -144,18 +201,79 @@ func NewScanner(sigs []siggen.Signature) (*Scanner, error) {
 		}
 		s.sigs = append(s.sigs, c)
 	}
+	s.rebuildIndex()
 	return s, nil
 }
 
 // Add compiles and deploys one more signature (signature updates during the
-// month-long evaluation).
+// month-long evaluation). The anchor index is rebuilt: anchor choice
+// depends on literal rarity across the whole deployed set.
 func (s *Scanner) Add(sig siggen.Signature) error {
 	c, err := Compile(sig)
 	if err != nil {
 		return err
 	}
 	s.sigs = append(s.sigs, c)
+	s.rebuildIndex()
 	return nil
+}
+
+// rebuildIndex picks each signature's anchor and rebuilds the token-value
+// index. The anchor is the signature's rarest literal, where rarity is the
+// literal's frequency across all deployed signatures (a literal shared by
+// many signatures, like ";" or "=", generates candidate verifications on
+// every occurrence; a kit-specific literal almost never fires). Ties break
+// toward the longer literal, which is the more selective token.
+func (s *Scanner) rebuildIndex() {
+	freq := make(map[string]int)
+	for _, c := range s.sigs {
+		for _, e := range c.sig.Elements {
+			if e.Kind == siggen.KindLiteral && e.Literal != "" {
+				freq[e.Literal]++
+			}
+		}
+	}
+	s.index = make(map[string][]anchorRef)
+	s.unanchored = s.unanchored[:0]
+	s.anchorByte = [256]bool{}
+	s.minAnchorLen = 0
+	s.maxAnchorLen = 0
+	s.maxGroups = 0
+	s.anchoredCount = 0
+	for i, c := range s.sigs {
+		if c.groups > s.maxGroups {
+			s.maxGroups = c.groups
+		}
+		best := -1
+		for ei, e := range c.sig.Elements {
+			if e.Kind != siggen.KindLiteral || e.Literal == "" {
+				continue
+			}
+			if best < 0 {
+				best = ei
+				continue
+			}
+			bl := c.sig.Elements[best].Literal
+			if freq[e.Literal] < freq[bl] ||
+				(freq[e.Literal] == freq[bl] && len(e.Literal) > len(bl)) {
+				best = ei
+			}
+		}
+		if best < 0 {
+			s.unanchored = append(s.unanchored, i)
+			continue
+		}
+		s.anchoredCount++
+		v := c.sig.Elements[best].Literal
+		s.index[v] = append(s.index[v], anchorRef{sig: i, elem: best})
+		s.anchorByte[v[0]] = true
+		if s.minAnchorLen == 0 || len(v) < s.minAnchorLen {
+			s.minAnchorLen = len(v)
+		}
+		if len(v) > s.maxAnchorLen {
+			s.maxAnchorLen = len(v)
+		}
+	}
 }
 
 // Len returns the number of deployed signatures.
@@ -167,24 +285,123 @@ func (s *Scanner) Scan(doc string) []Match {
 	return s.ScanTokens(jstoken.LexDocument(doc))
 }
 
-// ScanTokens matches all signatures against a pre-tokenized sample.
+// ScanTokens matches all signatures against a pre-tokenized sample. The
+// result lists at most one match per signature (its first offset), ordered
+// by signature index — identical to running every signature's sliding scan.
 func (s *Scanner) ScanTokens(tokens []jstoken.Token) []Match {
 	var out []Match
-	for i, c := range s.sigs {
-		if off, ok := c.MatchTokens(tokens); ok {
-			out = append(out, Match{Family: c.Family(), SignatureIndex: i, TokenOffset: off})
+	offsets, found := s.scanAnchored(tokens, nil)
+	for _, i := range s.unanchored {
+		if off, ok := s.sigs[i].MatchTokens(tokens); ok {
+			if found == nil {
+				found = make([]bool, len(s.sigs))
+				offsets = make([]int, len(s.sigs))
+			}
+			found[i], offsets[i] = true, off
+		}
+	}
+	for i := range s.sigs {
+		if found != nil && found[i] {
+			out = append(out, Match{Family: s.sigs[i].Family(), SignatureIndex: i, TokenOffset: offsets[i]})
 		}
 	}
 	return out
 }
 
+// scanAnchored runs the single-pass anchor scan. One capture buffer is
+// reused across all candidate verifications (each verification writes a
+// group before any back-reference reads it, so no clearing is needed).
+// When stop is non-nil, the scan aborts as soon as *stop is set by a
+// successful verification — the Detects fast path.
+func (s *Scanner) scanAnchored(tokens []jstoken.Token, stop *bool) (offsets []int, found []bool) {
+	if s.anchoredCount == 0 {
+		return nil, nil
+	}
+	var captures []string
+	if s.maxGroups > 0 {
+		captures = make([]string, s.maxGroups)
+	}
+	remaining := s.anchoredCount
+	for pos := range tokens {
+		v := tokens[pos].Value()
+		// Cheap prefilter before the map lookup: almost every token of a
+		// benign document fails the first-byte or length test.
+		if len(v) < s.minAnchorLen || len(v) > s.maxAnchorLen || !s.anchorByte[v[0]] {
+			continue
+		}
+		cands, ok := s.index[v]
+		if !ok {
+			continue
+		}
+		for _, cand := range cands {
+			if found != nil && found[cand.sig] {
+				continue
+			}
+			start := pos - cand.elem
+			c := s.sigs[cand.sig]
+			if start < 0 || start+len(c.sig.Elements) > len(tokens) {
+				continue
+			}
+			if !c.matchAt(tokens, start, captures) {
+				continue
+			}
+			if found == nil {
+				found = make([]bool, len(s.sigs))
+				offsets = make([]int, len(s.sigs))
+			}
+			found[cand.sig], offsets[cand.sig] = true, start
+			if stop != nil {
+				*stop = true
+				return offsets, found
+			}
+			remaining--
+			if remaining == 0 {
+				return offsets, found
+			}
+		}
+	}
+	return offsets, found
+}
+
 // Detects reports whether any deployed signature matches the document.
 func (s *Scanner) Detects(doc string) bool {
-	tokens := jstoken.LexDocument(doc)
-	for _, c := range s.sigs {
-		if _, ok := c.MatchTokens(tokens); ok {
+	return s.DetectsTokens(jstoken.LexDocument(doc))
+}
+
+// DetectsTokens reports whether any deployed signature matches the
+// pre-tokenized sample, stopping at the first hit.
+func (s *Scanner) DetectsTokens(tokens []jstoken.Token) bool {
+	var hit bool
+	s.scanAnchored(tokens, &hit)
+	if hit {
+		return true
+	}
+	for _, i := range s.unanchored {
+		if _, ok := s.sigs[i].MatchTokens(tokens); ok {
 			return true
 		}
 	}
 	return false
+}
+
+// ScanAll scans many pre-tokenized samples concurrently with a worker pool
+// and returns per-sample matches, aligned with the input. This is the
+// batched entry point for deployment channels that vet documents in bulk
+// (CDN admission queues, signature-server scan APIs).
+func (s *Scanner) ScanAll(streams [][]jstoken.Token) [][]Match {
+	out := make([][]Match, len(streams))
+	parallel.ForEach(len(streams), runtime.GOMAXPROCS(0), 1, func(_, i int) {
+		out[i] = s.ScanTokens(streams[i])
+	})
+	return out
+}
+
+// ScanDocuments tokenizes and scans raw documents concurrently; lexing —
+// the dominant per-document cost — runs inside the pool too.
+func (s *Scanner) ScanDocuments(docs []string) [][]Match {
+	out := make([][]Match, len(docs))
+	parallel.ForEach(len(docs), runtime.GOMAXPROCS(0), 1, func(_, i int) {
+		out[i] = s.Scan(docs[i])
+	})
+	return out
 }

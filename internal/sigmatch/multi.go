@@ -55,6 +55,11 @@ func CompileMulti(sig siggen.MultiSignature) (*CompiledMulti, error) {
 				if e.Group < 0 || !seen[e.Group] {
 					return nil, fmt.Errorf("sigmatch: part %d element %d: back-reference to uncaptured group %d", pi, i, e.Group)
 				}
+				// Uniform groups derivation: the capture space covers
+				// back-references too, matching Compile.
+				if e.Group >= c.groups {
+					c.groups = e.Group + 1
+				}
 			default:
 				return nil, fmt.Errorf("sigmatch: part %d element %d: unknown kind %d", pi, i, e.Kind)
 			}

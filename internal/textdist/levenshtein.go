@@ -8,13 +8,35 @@
 // banded variant that abandons early once the distance provably exceeds a
 // caller-supplied bound. DBSCAN only needs to know whether two samples are
 // within eps of each other, so the banded variant is the hot path.
+//
+// Both are available as package functions (which allocate their DP rows
+// per call) and as methods on a reusable Scratch. Clustering issues
+// millions of region queries per batch; a per-worker Scratch makes the
+// whole distance stage allocation-free after warm-up.
 package textdist
 
 import "kizzle/internal/jstoken"
 
+// Scratch holds reusable dynamic-programming rows for distance
+// computations. The zero value is ready to use. A Scratch is not safe for
+// concurrent use; give each worker goroutine its own.
+type Scratch struct {
+	prev, curr []int
+}
+
+// rows returns the two DP rows, each with capacity at least n, without
+// clearing them (every algorithm below initializes the cells it reads).
+func (s *Scratch) rows(n int) (prev, curr []int) {
+	if cap(s.prev) < n {
+		s.prev = make([]int, n)
+		s.curr = make([]int, n)
+	}
+	return s.prev[:n], s.curr[:n]
+}
+
 // Distance computes the Levenshtein edit distance (unit insert, delete and
 // substitute costs) between two symbol sequences using two rolling rows.
-func Distance(a, b []jstoken.Symbol) int {
+func (s *Scratch) Distance(a, b []jstoken.Symbol) int {
 	if len(a) == 0 {
 		return len(b)
 	}
@@ -25,8 +47,7 @@ func Distance(a, b []jstoken.Symbol) int {
 	if len(b) > len(a) {
 		a, b = b, a
 	}
-	prev := make([]int, len(b)+1)
-	curr := make([]int, len(b)+1)
+	prev, curr := s.rows(len(b) + 1)
 	for j := range prev {
 		prev[j] = j
 	}
@@ -42,6 +63,7 @@ func Distance(a, b []jstoken.Symbol) int {
 		}
 		prev, curr = curr, prev
 	}
+	s.prev, s.curr = prev[:cap(prev)], curr[:cap(curr)]
 	return prev[len(b)]
 }
 
@@ -50,7 +72,7 @@ func Distance(a, b []jstoken.Symbol) int {
 // If the true distance exceeds maxDist it returns (0, false). This runs in
 // O(maxDist · max(len)) time, which is what makes DBSCAN over thousands of
 // samples per partition tractable.
-func DistanceWithin(a, b []jstoken.Symbol, maxDist int) (int, bool) {
+func (s *Scratch) DistanceWithin(a, b []jstoken.Symbol, maxDist int) (int, bool) {
 	if maxDist < 0 {
 		return 0, false
 	}
@@ -67,8 +89,7 @@ func DistanceWithin(a, b []jstoken.Symbol, maxDist int) (int, bool) {
 
 	const inf = int(^uint(0) >> 1)
 	width := 2*maxDist + 1
-	prev := make([]int, width)
-	curr := make([]int, width)
+	prev, curr := s.rows(width)
 	// Row i stores cells j in [i-maxDist, i+maxDist]; index k maps to
 	// j = i - maxDist + k.
 	for k := 0; k < width; k++ {
@@ -118,6 +139,7 @@ func DistanceWithin(a, b []jstoken.Symbol, maxDist int) (int, bool) {
 		}
 		prev, curr = curr, prev
 	}
+	s.prev, s.curr = prev[:cap(prev)], curr[:cap(curr)]
 	k := len(b) - len(a) + maxDist
 	if k < 0 || k >= width || prev[k] == inf || prev[k] > maxDist {
 		return 0, false
@@ -128,24 +150,71 @@ func DistanceWithin(a, b []jstoken.Symbol, maxDist int) (int, bool) {
 // Normalized returns the edit distance between a and b divided by the
 // length of the longer sequence, the quantity the paper thresholds at 0.10.
 // Two empty sequences have distance 0.
-func Normalized(a, b []jstoken.Symbol) float64 {
+func (s *Scratch) Normalized(a, b []jstoken.Symbol) float64 {
 	n := max2(len(a), len(b))
 	if n == 0 {
 		return 0
 	}
-	return float64(Distance(a, b)) / float64(n)
+	return float64(s.Distance(a, b)) / float64(n)
 }
 
 // WithinNormalized reports whether the normalized edit distance between a
 // and b is at most eps, using the banded early-abandon computation.
-func WithinNormalized(a, b []jstoken.Symbol, eps float64) bool {
+func (s *Scratch) WithinNormalized(a, b []jstoken.Symbol, eps float64) bool {
 	n := max2(len(a), len(b))
 	if n == 0 {
 		return true
 	}
 	maxDist := int(eps * float64(n))
-	_, ok := DistanceWithin(a, b, maxDist)
+	_, ok := s.DistanceWithin(a, b, maxDist)
 	return ok
+}
+
+// MaxCandidateLen returns the largest sequence length that can still be
+// within normalized distance eps of a sequence of length n, i.e. the upper
+// edge of the length window the clustering index prunes with. The bound is
+// conservative (it may admit a length the exact check then rejects, never
+// the reverse).
+func MaxCandidateLen(n int, eps float64) int {
+	if eps >= 1 {
+		return int(^uint(0) >> 1)
+	}
+	return int(float64(n)/(1-eps)) + 1
+}
+
+// MinCandidateLen is the lower edge of the eps length window for a
+// sequence of length n, conservative in the same direction.
+func MinCandidateLen(n int, eps float64) int {
+	m := n - int(eps*float64(n)) - 1
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// Distance computes the Levenshtein edit distance with freshly allocated
+// rows. Hot paths should use a per-worker Scratch instead.
+func Distance(a, b []jstoken.Symbol) int {
+	var s Scratch
+	return s.Distance(a, b)
+}
+
+// DistanceWithin is the allocating form of Scratch.DistanceWithin.
+func DistanceWithin(a, b []jstoken.Symbol, maxDist int) (int, bool) {
+	var s Scratch
+	return s.DistanceWithin(a, b, maxDist)
+}
+
+// Normalized is the allocating form of Scratch.Normalized.
+func Normalized(a, b []jstoken.Symbol) float64 {
+	var s Scratch
+	return s.Normalized(a, b)
+}
+
+// WithinNormalized is the allocating form of Scratch.WithinNormalized.
+func WithinNormalized(a, b []jstoken.Symbol, eps float64) bool {
+	var s Scratch
+	return s.WithinNormalized(a, b, eps)
 }
 
 func min2(a, b int) int {

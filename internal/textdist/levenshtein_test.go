@@ -208,3 +208,105 @@ func BenchmarkDistanceBanded(b *testing.B) {
 		DistanceWithin(x, y, 50)
 	}
 }
+
+// TestDistanceWithinMatchesDistance: for random pairs and bounds, the
+// banded computation must agree exactly with the full DP — same distance
+// when within, and a rejection exactly when the true distance exceeds the
+// bound.
+func TestDistanceWithinMatchesDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var scratch Scratch
+	for iter := 0; iter < 2000; iter++ {
+		a := randSeq(rng, rng.Intn(80))
+		b := append([]jstoken.Symbol(nil), a...)
+		// Mutate b: random edits so distances cover the whole range.
+		for k := rng.Intn(20); k > 0 && len(b) > 0; k-- {
+			switch rng.Intn(3) {
+			case 0:
+				b[rng.Intn(len(b))] = jstoken.Symbol(1 + rng.Intn(12))
+			case 1:
+				i := rng.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			case 2:
+				i := rng.Intn(len(b) + 1)
+				b = append(b[:i], append([]jstoken.Symbol{jstoken.Symbol(1 + rng.Intn(12))}, b[i:]...)...)
+			}
+		}
+		want := Distance(a, b)
+		maxDist := rng.Intn(30)
+		got, ok := DistanceWithin(a, b, maxDist)
+		if want <= maxDist {
+			if !ok || got != want {
+				t.Fatalf("DistanceWithin(%d) = (%d,%v), want (%d,true)", maxDist, got, ok, want)
+			}
+		} else if ok {
+			t.Fatalf("DistanceWithin(%d) = (%d,true), true distance %d", maxDist, got, want)
+		}
+		// The reusable scratch must agree with the allocating forms even
+		// when reused across differently-sized computations.
+		if sd := scratch.Distance(a, b); sd != want {
+			t.Fatalf("Scratch.Distance = %d, want %d", sd, want)
+		}
+		sg, sok := scratch.DistanceWithin(a, b, maxDist)
+		if sg != got || sok != ok {
+			t.Fatalf("Scratch.DistanceWithin = (%d,%v), want (%d,%v)", sg, sok, got, ok)
+		}
+		eps := rng.Float64() * 0.3
+		if w1, w2 := WithinNormalized(a, b, eps), scratch.WithinNormalized(a, b, eps); w1 != w2 {
+			t.Fatalf("WithinNormalized disagreement: %v vs %v", w1, w2)
+		}
+	}
+}
+
+// TestCandidateLenBoundsConservative: the length window used by the
+// clustering index must never exclude a pair the exact predicate accepts.
+func TestCandidateLenBoundsConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var scratch Scratch
+	for iter := 0; iter < 3000; iter++ {
+		a := randSeq(rng, 1+rng.Intn(120))
+		b := randSeq(rng, 1+rng.Intn(120))
+		eps := []float64{0.05, 0.10, 0.25}[rng.Intn(3)]
+		if scratch.WithinNormalized(a, b, eps) {
+			if len(b) < MinCandidateLen(len(a), eps) || len(b) > MaxCandidateLen(len(a), eps) {
+				t.Fatalf("len(a)=%d len(b)=%d eps=%.2f within eps but outside window [%d,%d]",
+					len(a), len(b), eps, MinCandidateLen(len(a), eps), MaxCandidateLen(len(a), eps))
+			}
+		}
+	}
+}
+
+// TestScratchAllocFree: after warm-up, Scratch methods must not allocate.
+func TestScratchAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b := randSeq(rng, 200), randSeq(rng, 210)
+	var scratch Scratch
+	scratch.Distance(a, b) // warm up rows
+	if allocs := testing.AllocsPerRun(50, func() {
+		scratch.Distance(a, b)
+		scratch.DistanceWithin(a, b, 30)
+		scratch.WithinNormalized(a, b, 0.1)
+	}); allocs != 0 {
+		t.Errorf("Scratch path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// BenchmarkDistanceWithin contrasts the allocating and scratch-reusing
+// forms of the clustering hot path.
+func BenchmarkDistanceWithin(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x, y := randSeq(rng, 400), randSeq(rng, 405)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			DistanceWithin(x, y, 40)
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		var s Scratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.DistanceWithin(x, y, 40)
+		}
+	})
+}

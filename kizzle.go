@@ -279,5 +279,25 @@ func (m *Matcher) Scan(doc string) []Match {
 	return out
 }
 
+// ScanAll scans a batch of documents concurrently (tokenization included)
+// and returns per-document matches aligned with the input. This is the
+// entry point for bulk deployment channels — CDN admission queues, scan
+// APIs — where per-document goroutine handoff would dominate.
+func (m *Matcher) ScanAll(docs []string) [][]Match {
+	raw := m.scanner.ScanDocuments(docs)
+	out := make([][]Match, len(raw))
+	for i, hits := range raw {
+		if len(hits) == 0 {
+			continue
+		}
+		converted := make([]Match, len(hits))
+		for j, h := range hits {
+			converted[j] = Match{Family: h.Family, TokenOffset: h.TokenOffset}
+		}
+		out[i] = converted
+	}
+	return out
+}
+
 // Detects reports whether any signature matches the document.
 func (m *Matcher) Detects(doc string) bool { return m.scanner.Detects(doc) }
