@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"kizzle"
+	"kizzle/internal/contentcache"
 	"kizzle/internal/ekit"
 	"kizzle/internal/evalharness"
 	"kizzle/internal/jstoken"
@@ -244,6 +245,189 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(inputs)), "samples/run")
+}
+
+// BenchmarkTokenize measures the tokenization stage over one day of
+// documents: the classic lex-then-abstract composition against the
+// streaming symbol-only path the pipeline now uses.
+func BenchmarkTokenize(b *testing.B) {
+	cfg := ekit.DefaultStreamConfig()
+	cfg.BenignPerDay = 300
+	stream, err := ekit.NewStream(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := stream.Day(ekit.Date(8, 7))
+	var bytes int64
+	for _, s := range samples {
+		bytes += int64(len(s.Content))
+	}
+	b.Run("batch", func(b *testing.B) {
+		b.SetBytes(bytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range samples {
+				jstoken.Abstract(jstoken.LexDocument(s.Content))
+			}
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		var scratch jstoken.Scratch
+		b.SetBytes(bytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range samples {
+				scratch.LexDocumentSymbols(s.Content)
+			}
+		}
+	})
+	b.ReportMetric(float64(len(samples)), "docs/run")
+}
+
+// BenchmarkLabelClusters isolates the cluster-labeling stage (unpack +
+// winnow fingerprint + corpus sweep) by running the full pipeline and
+// reporting the label stage's share.
+func BenchmarkLabelClusters(b *testing.B) {
+	cfg := ekit.DefaultStreamConfig()
+	cfg.BenignPerDay = 300
+	stream, err := ekit.NewStream(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	day := ekit.Date(8, 7)
+	samples := stream.Day(day)
+	inputs := make([]pipeline.Input, len(samples))
+	for i, s := range samples {
+		inputs[i] = pipeline.Input{ID: s.ID, Content: s.Content}
+	}
+	corpus := pipeline.NewCorpus(winnow.DefaultConfig(), 16)
+	for _, fam := range ekit.Families {
+		for d := day - 4; d < day; d++ {
+			corpus.Add(fam.String(), ekit.Payload(fam, d))
+		}
+	}
+	pcfg := pipeline.DefaultConfig()
+	b.ReportAllocs()
+	var labelUS, clusters float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pipeline.Process(inputs, corpus, pcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		labelUS = float64(res.Stats.Label.Microseconds())
+		clusters = float64(res.Stats.Clusters)
+	}
+	b.ReportMetric(labelUS, "label-us")
+	b.ReportMetric(clusters, "clusters")
+}
+
+// distinctDay returns one pipeline input per distinct document of a
+// stream day.
+func distinctDay(b *testing.B, day, benign int) []pipeline.Input {
+	b.Helper()
+	cfg := ekit.DefaultStreamConfig()
+	cfg.BenignPerDay = benign
+	stream, err := ekit.NewStream(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := stream.Day(day)
+	inputs := make([]pipeline.Input, len(samples))
+	for i, s := range samples {
+		inputs[i] = pipeline.Input{ID: s.ID, Content: s.Content}
+	}
+	return inputs
+}
+
+// replicate models observation multiplicity — many users fetch the same
+// page, so the provider ingests each distinct document several times.
+func replicate(distinct []pipeline.Input, dupFactor int) []pipeline.Input {
+	out := make([]pipeline.Input, 0, len(distinct)*dupFactor)
+	for r := 0; r < dupFactor; r++ {
+		for _, in := range distinct {
+			out = append(out, pipeline.Input{
+				ID:      fmt.Sprintf("%s#%d", in.ID, r),
+				Content: in.Content,
+			})
+		}
+	}
+	return out
+}
+
+// BenchmarkPipelineDayOverDay measures the content cache's economics: the
+// cold run processes day N with an empty cache; the warm run processes a
+// day N+1 whose content overlaps day N's by ~85% (the Figure 11 regime —
+// RIG aside, kit bodies churn slowly, and benign content barely moves)
+// against a cache primed with day N. The warm day pays tokenization,
+// unpacking, and fingerprinting only for its novel 15%.
+func BenchmarkPipelineDayOverDay(b *testing.B) {
+	const (
+		benign    = 150
+		dupFactor = 3
+		overlap   = 0.85
+	)
+	day := ekit.Date(8, 9)
+	day1d := distinctDay(b, day, benign)
+	nextd := distinctDay(b, day+1, benign)
+	// Day N+1: ~85% of day N's distinct content is re-observed, the rest
+	// is novel content drawn from the next stream day. Both days carry
+	// the same observation multiplicity over same-sized distinct sets.
+	carried := int(float64(len(day1d)) * overlap)
+	novel := len(day1d) - carried
+	if novel > len(nextd) {
+		b.Fatalf("next day has %d distinct docs, need %d novel", len(nextd), novel)
+	}
+	day2d := append(append([]pipeline.Input(nil), day1d[:carried]...), nextd[:novel]...)
+	day1 := replicate(day1d, dupFactor)
+	day2 := replicate(day2d, dupFactor)
+
+	corpus := pipeline.NewCorpus(winnow.DefaultConfig(), 16)
+	for _, fam := range ekit.Families {
+		corpus.Add(fam.String(), ekit.Payload(fam, day-1))
+	}
+	var bytes int64
+	for _, in := range day1 {
+		bytes += int64(len(in.Content))
+	}
+
+	run := func(b *testing.B, inputs []pipeline.Input, cache *contentcache.Cache) pipeline.Stats {
+		cfg := pipeline.DefaultConfig()
+		cfg.Cache = cache
+		res, err := pipeline.Process(inputs, corpus, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Stats
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		var stats pipeline.Stats
+		b.SetBytes(bytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			stats = run(b, day1, contentcache.New(0))
+		}
+		b.ReportMetric(float64(stats.UniqueDocuments), "unique-docs")
+	})
+	b.Run("warm", func(b *testing.B) {
+		var stats pipeline.Stats
+		b.SetBytes(bytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache := contentcache.New(0)
+			run(b, day1, cache) // yesterday primes the cache
+			b.StartTimer()
+			stats = run(b, day2, cache) // today pays only for new content
+		}
+		hitRate := 0.0
+		if l := stats.CacheHits + stats.CacheMisses; l > 0 {
+			hitRate = 100 * float64(stats.CacheHits) / float64(l)
+		}
+		b.ReportMetric(hitRate, "cache-hit-%")
+		b.ReportMetric(float64(stats.UniqueDocuments), "unique-docs")
+	})
 }
 
 // BenchmarkClusterVsReduce quantifies the paper's observation that

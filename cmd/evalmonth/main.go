@@ -32,6 +32,7 @@ func run(args []string) error {
 	days := fs.Int("days", 31, "number of August days to evaluate (1-31)")
 	fig := fs.String("fig", "all", "which figure to print: all, 2, 5, 6, 11, 12, 13, 14, perf")
 	slack := fs.Int("slack", 0, "signature length slack (0 = paper-faithful)")
+	cacheMB := fs.Int("cachemb", 64, "content cache budget in MiB shared across the month (0 disables)")
 	sweep := fs.String("sweep", "", "sweep the labeling threshold for this family instead of running figures")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +62,11 @@ func run(args []string) error {
 	cfg.Stream.BenignPerDay = *benign
 	cfg.Pipeline.Signature.LengthSlack = *slack
 	cfg.Days = ekit.AugustDays()[:*days]
+	if *cacheMB <= 0 {
+		cfg.CacheBytes = -1 // disabled
+	} else {
+		cfg.CacheBytes = *cacheMB << 20
+	}
 
 	fmt.Fprintf(os.Stderr, "running %d days at %d benign samples/day...\n", *days, *benign)
 	res, err := evalharness.Run(cfg)

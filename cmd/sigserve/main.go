@@ -116,14 +116,17 @@ func run(args []string, ready chan<- http.Handler) error {
 // scanHandler serves POST /scan: consumers submit a batch of documents and
 // get per-document verdicts from the currently published signature set.
 // The compiled matcher is cached and only rebuilt when the store version
-// moves, so steady-state requests pay batch scanning only — the publisher
+// moves; the rebuild itself is incremental per family (kizzle.MatcherCache),
+// so a /signatures update that changes one family's signatures recompiles
+// only that family instead of the whole deployed set — the publisher
 // doubles as the bulk scanning service of the deployment channel.
 type scanHandler struct {
 	store *sigdb.Store
 
-	mu      sync.Mutex
-	version int64
-	matcher *kizzle.Matcher
+	mu       sync.Mutex
+	version  int64
+	matcher  *kizzle.Matcher
+	compiled kizzle.MatcherCache
 
 	// scanSem bounds concurrent batch scans: each ScanAll call spins up
 	// its own GOMAXPROCS-sized worker pool, so unbounded concurrent
@@ -156,7 +159,8 @@ type scanResponse struct {
 }
 
 // current returns the matcher for the store's live version, recompiling
-// only on version changes.
+// only on version changes — and then only the families whose signatures
+// actually changed.
 func (h *scanHandler) current() (*kizzle.Matcher, int64, error) {
 	snap := h.store.Snapshot()
 	h.mu.Lock()
@@ -164,9 +168,14 @@ func (h *scanHandler) current() (*kizzle.Matcher, int64, error) {
 	if h.matcher != nil && snap.Version == h.version {
 		return h.matcher, h.version, nil
 	}
-	m, _, err := snap.Matcher()
+	m, stats, err := h.compiled.Build(snap.Signatures)
 	if err != nil {
 		return nil, 0, err
+	}
+	if stats.FamiliesRecompiled > 0 || stats.FamiliesReused > 0 {
+		log.Printf("matcher v%d: %d signatures compiled (%d families), %d reused (%d families)",
+			snap.Version, stats.SignaturesCompiled, stats.FamiliesRecompiled,
+			stats.SignaturesReused, stats.FamiliesReused)
 	}
 	h.matcher, h.version = m, snap.Version
 	return m, h.version, nil

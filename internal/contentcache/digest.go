@@ -1,0 +1,84 @@
+package contentcache
+
+// xxhash-style 64-bit digest (XXH64, seed 0). Implemented locally so the
+// cache has no external dependency; the algorithm is the public-domain
+// XXH64 round structure, processing 32 bytes per lane step, which digests
+// a document one to two orders of magnitude faster than lexing it — the
+// property that makes content-addressed short-circuiting profitable.
+
+const (
+	prime1 uint64 = 11400714785074694791
+	prime2 uint64 = 14029467366897019727
+	prime3 uint64 = 1609587929392839161
+	prime4 uint64 = 9650029242287828579
+	prime5 uint64 = 2870177450012600261
+)
+
+// Digest returns the 64-bit content digest of s.
+func Digest(s string) uint64 {
+	n := len(s)
+	var h uint64
+	i := 0
+	if n >= 32 {
+		var v1, v2, v3, v4 uint64 = prime1, prime2, 0, 0
+		v1 += prime2
+		v4 -= prime1
+		for ; i+32 <= n; i += 32 {
+			v1 = round(v1, u64(s, i))
+			v2 = round(v2, u64(s, i+8))
+			v3 = round(v3, u64(s, i+16))
+			v4 = round(v4, u64(s, i+24))
+		}
+		h = rol(v1, 1) + rol(v2, 7) + rol(v3, 12) + rol(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = prime5
+	}
+	h += uint64(n)
+	for ; i+8 <= n; i += 8 {
+		h ^= round(0, u64(s, i))
+		h = rol(h, 27)*prime1 + prime4
+	}
+	for ; i+4 <= n; i += 4 {
+		h ^= uint64(u32(s, i)) * prime1
+		h = rol(h, 23)*prime2 + prime3
+	}
+	for ; i < n; i++ {
+		h ^= uint64(s[i]) * prime5
+		h = rol(h, 11) * prime1
+	}
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	return rol(acc, 31) * prime1
+}
+
+func mergeRound(h, v uint64) uint64 {
+	h ^= round(0, v)
+	return h*prime1 + prime4
+}
+
+func rol(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }
+
+// u64 reads 8 little-endian bytes; the byte-or form compiles to a single
+// load on little-endian targets.
+func u64(s string, i int) uint64 {
+	_ = s[i+7]
+	return uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+		uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+}
+
+func u32(s string, i int) uint32 {
+	_ = s[i+3]
+	return uint32(s[i]) | uint32(s[i+1])<<8 | uint32(s[i+2])<<16 | uint32(s[i+3])<<24
+}

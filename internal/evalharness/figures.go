@@ -156,13 +156,16 @@ func (r *MonthResult) FormatFig14() string {
 }
 
 // FormatPerf renders the cluster-based processing performance summary
-// (cluster counts per day, per-stage durations, reduce bottleneck).
+// (cluster counts per day, per-stage durations, reduce bottleneck) plus
+// the day-over-day content-cache hit rate — the quantity behind "day N+1
+// only pays for new content".
 func (r *MonthResult) FormatPerf() string {
 	var sb strings.Builder
 	sb.WriteString("Processing performance (per §IV: clustering dominates; reduce is the serial bottleneck)\n")
-	fmt.Fprintf(&sb, "%-6s %8s %8s %9s %10s %9s %9s %9s %9s\n",
-		"day", "samples", "uniques", "clusters", "malicious", "tokenize", "cluster", "reduce", "label")
+	fmt.Fprintf(&sb, "%-6s %8s %8s %9s %10s %9s %9s %9s %9s %7s\n",
+		"day", "samples", "uniques", "clusters", "malicious", "tokenize", "cluster", "reduce", "label", "cache%")
 	var minClusters, maxClusters int
+	var hits, lookups int64
 	for i, d := range r.Days {
 		if i == 0 || d.Clusters < minClusters {
 			minClusters = d.Clusters
@@ -170,12 +173,26 @@ func (r *MonthResult) FormatPerf() string {
 		if d.Clusters > maxClusters {
 			maxClusters = d.Clusters
 		}
-		fmt.Fprintf(&sb, "%-6s %8d %8d %9d %10d %9s %9s %9s %9s\n",
+		rate := "-"
+		if l := d.Pipeline.CacheHits + d.Pipeline.CacheMisses; l > 0 {
+			rate = fmt.Sprintf("%.1f", 100*float64(d.Pipeline.CacheHits)/float64(l))
+			hits += d.Pipeline.CacheHits
+			lookups += l
+		}
+		fmt.Fprintf(&sb, "%-6s %8d %8d %9d %10d %9s %9s %9s %9s %7s\n",
 			ekit.Label(d.Day), d.Samples, d.UniqueSequences, d.Clusters, d.MaliciousClusters,
 			d.Pipeline.Tokenize.Round(1e6).String(), d.Pipeline.Cluster.Round(1e6).String(),
-			d.Pipeline.Reduce.Round(1e6).String(), d.Pipeline.Label.Round(1e6).String())
+			d.Pipeline.Reduce.Round(1e6).String(), d.Pipeline.Label.Round(1e6).String(), rate)
 	}
 	fmt.Fprintf(&sb, "Clusters per day: %d–%d (paper: 280–1,200 at ~30x our stream scale)\n", minClusters, maxClusters)
+	if lookups > 0 {
+		scope := "per-run transient caches"
+		if r.MonthCache {
+			scope = "month-long cache"
+		}
+		fmt.Fprintf(&sb, "Content cache: %.1f%% hit rate over %d lookups (%s)\n",
+			100*float64(hits)/float64(lookups), lookups, scope)
+	}
 	return sb.String()
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"kizzle/internal/avsim"
+	"kizzle/internal/contentcache"
 	"kizzle/internal/ekit"
 	"kizzle/internal/jstoken"
 	"kizzle/internal/pipeline"
@@ -42,6 +43,12 @@ type Config struct {
 	// this strong. Borderline clusters still get signatures, but do not
 	// redefine what the family looks like.
 	ReinforceThreshold float64
+	// CacheBytes bounds the content-addressed cache threaded across the
+	// whole month, so day N+1 re-tokenizes, re-unpacks, and
+	// re-fingerprints only content it has not seen on earlier days
+	// (Figure 11's observation is that most kit bodies churn slowly).
+	// 0 selects the 64 MiB default; negative disables the cache.
+	CacheBytes int
 }
 
 // DefaultConfig returns the evaluation-scale configuration.
@@ -105,6 +112,9 @@ func sumMap(m map[string]int) int {
 // MonthResult aggregates a full harness run.
 type MonthResult struct {
 	Days []DayStats
+	// MonthCache records whether one content cache spanned all days (the
+	// per-day hit numbers are otherwise from per-run transient caches).
+	MonthCache bool
 }
 
 // deployedSig tracks one Kizzle signature in the rolling database.
@@ -131,6 +141,12 @@ func Run(cfg Config) (*MonthResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
+	// One content cache spans the month: the pipeline and the Figure 11
+	// bookkeeping below share it, so every stage pays only for novel
+	// content.
+	if cfg.CacheBytes >= 0 && cfg.Pipeline.Cache == nil {
+		cfg.Pipeline.Cache = contentcache.New(cfg.CacheBytes)
+	}
 
 	// Seed the corpus with known unpacked kit payloads ("Kizzle needs to
 	// be seeded with exploit kits").
@@ -154,7 +170,10 @@ func Run(cfg Config) (*MonthResult, error) {
 		}
 	}
 
-	res := &MonthResult{Days: make([]DayStats, 0, len(cfg.Days))}
+	res := &MonthResult{
+		Days:       make([]DayStats, 0, len(cfg.Days)),
+		MonthCache: cfg.Pipeline.Cache != nil,
+	}
 	for _, day := range cfg.Days {
 		ds, err := runDay(day, stream, corpus, av, sigDB, centroids, cfg)
 		if err != nil {
@@ -207,12 +226,15 @@ func runDay(day int, stream *ekit.Stream, corpus *pipeline.Corpus, av *avsim.Eng
 
 	// Figure 11 similarity: compare today's malicious centroids against
 	// the best previous-day match, then feed today's centroids forward.
+	// Fingerprints come from the shared content cache — the pipeline's
+	// labeling stage has already fingerprinted every unpacked prototype,
+	// so these lookups are hits.
 	seenToday := make(map[string]bool)
 	for _, cl := range result.Clusters {
 		if cl.Label == "" {
 			continue
 		}
-		hist := winnow.Fingerprint(cl.Unpacked, cfg.Pipeline.Winnow)
+		hist := pipeline.FingerprintCached(cfg.Pipeline.Cache, nil, cl.Unpacked, cfg.Pipeline.Winnow)
 		best := 0.0
 		for _, prev := range centroids[cl.Label] {
 			if o := winnow.Overlap(hist, prev); o > best {
@@ -229,7 +251,7 @@ func runDay(day int, stream *ekit.Stream, corpus *pipeline.Corpus, av *avsim.Eng
 			continue
 		}
 		centroids[cl.Label] = append(centroids[cl.Label],
-			winnow.Fingerprint(cl.Unpacked, cfg.Pipeline.Winnow))
+			pipeline.FingerprintCached(cfg.Pipeline.Cache, nil, cl.Unpacked, cfg.Pipeline.Winnow))
 		// Anti-poisoning gate on the corpus feedback loop.
 		if cl.UnpackMethod != "" && cl.Overlap >= cfg.ReinforceThreshold {
 			corpus.Add(cl.Label, cl.Unpacked)
@@ -260,9 +282,11 @@ func runDay(day int, stream *ekit.Stream, corpus *pipeline.Corpus, av *avsim.Eng
 		}
 	}
 
-	// Scan the day's traffic with both engines.
+	// Scan the day's traffic with both engines. One lexing scratch serves
+	// the whole day: scanners read the token stream only during the call.
+	var lexScratch jstoken.Scratch
 	for _, s := range samples {
-		tokens := jstoken.LexDocument(s.Content)
+		tokens := lexScratch.LexDocumentInto(s.Content)
 		scanner := after
 		if s.Family.Malicious() && ekit.IsVersionFlipDay(s.Family, day) &&
 			s.Variant == ekit.VersionIndex(s.Family, day) {

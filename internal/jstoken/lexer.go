@@ -1,5 +1,7 @@
 package jstoken
 
+import "strings"
+
 // Lex tokenizes JavaScript source. The lexer is deliberately forgiving:
 // grayware streams contain truncated and syntactically broken scripts, and
 // Kizzle must still produce a stable token stream for them. Unterminated
@@ -18,28 +20,82 @@ type lexer struct {
 	src    string
 	pos    int
 	tokens []Token
+	// syms receives the abstraction symbol stream when symsOnly is set; in
+	// that mode no Token values are materialized at all — the dominant
+	// memory traffic of batch tokenization (32 bytes per token) vanishes
+	// for callers that only cluster on the abstract sequence.
+	syms     []Symbol
+	symsOnly bool
+	// prevClass/prevSym track the last emitted token for the regex /
+	// division disambiguation, replacing the lookback into the token
+	// slice so the symbol-only mode shares the exact same decision.
+	prevClass Class
+	prevSym   Symbol
 }
+
+// Lead-byte kinds for the dispatch table: the per-byte cascade of range
+// and equality tests is the hottest comparison chain in the scanner, so
+// the first byte of every token resolves through one table load and a
+// dense switch the compiler lowers to a jump table.
+const (
+	leadOther byte = iota
+	leadSpace
+	leadSlash
+	leadQuote
+	leadDigit
+	leadDot
+	leadIdent
+)
+
+var leadKind = func() (t [256]byte) {
+	for _, c := range []byte{' ', '\t', '\n', '\r', '\f', '\v'} {
+		t[c] = leadSpace
+	}
+	t['/'] = leadSlash
+	t['"'], t['\''], t['`'] = leadQuote, leadQuote, leadQuote
+	for c := byte('0'); c <= '9'; c++ {
+		t[c] = leadDigit
+	}
+	t['.'] = leadDot
+	for c := 0; c < 256; c++ {
+		if isIdentStart(byte(c)) {
+			t[c] = leadIdent
+		}
+	}
+	return t
+}()
 
 func (l *lexer) run() {
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
-		switch {
-		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v':
+		switch leadKind[c] {
+		case leadSpace:
 			l.pos++
-		case c == '/' && l.peek(1) == '/':
-			l.skipLineComment()
-		case c == '/' && l.peek(1) == '*':
-			l.skipBlockComment()
-		case c == '"' || c == '\'' || c == '`':
-			l.lexString(c)
-		case c >= '0' && c <= '9':
-			l.lexNumber()
-		case c == '.' && isDigit(l.peek(1)):
-			l.lexNumber()
-		case isIdentStart(c):
+		case leadIdent:
 			l.lexIdentifier()
-		case c == '/' && l.regexAllowed():
-			l.lexRegex()
+		case leadQuote:
+			l.lexString(c)
+		case leadDigit:
+			l.lexNumber()
+		case leadDot:
+			if isDigit(l.peek(1)) {
+				l.lexNumber()
+			} else if !l.lexPunct() {
+				l.pos++
+			}
+		case leadSlash:
+			switch l.peek(1) {
+			case '/':
+				l.skipLineComment()
+			case '*':
+				l.skipBlockComment()
+			default:
+				if l.regexAllowed() {
+					l.lexRegex()
+				} else if !l.lexPunct() {
+					l.pos++
+				}
+			}
 		default:
 			if !l.lexPunct() {
 				l.pos++ // unknown byte: skip
@@ -56,6 +112,11 @@ func (l *lexer) peek(off int) byte {
 }
 
 func (l *lexer) emit(class Class, start int, sym Symbol) {
+	l.prevClass, l.prevSym = class, sym
+	if l.symsOnly {
+		l.syms = append(l.syms, sym)
+		return
+	}
 	l.tokens = append(l.tokens, Token{Class: class, Text: l.src[start:l.pos], Pos: start, sym: sym})
 }
 
@@ -76,24 +137,58 @@ func (l *lexer) skipBlockComment() {
 	}
 }
 
+// lexString scans a string literal by jumping between interesting bytes
+// with the vectorized IndexByte instead of walking byte by byte: packed
+// exploit-kit payloads are carried in string literals hundreds of
+// kilobytes long, which makes string scanning the single largest byte
+// consumer in the lexer.
 func (l *lexer) lexString(quote byte) {
 	start := l.pos
 	l.pos++
 	for l.pos < len(l.src) {
-		c := l.src[l.pos]
-		if c == '\\' && l.pos+1 < len(l.src) {
-			l.pos += 2
+		rest := l.src[l.pos:]
+		q := strings.IndexByte(rest, quote)
+		if q < 0 {
+			q = len(rest) // unterminated: consumes to end of input
+		}
+		// Anything before the closing quote that changes the scan — an
+		// escape, or a line break for single-line strings?
+		seg := rest[:q]
+		b := strings.IndexByte(seg, '\\')
+		if quote != '`' {
+			// Plain strings do not span lines; unterminated ones end there.
+			if n := strings.IndexByte(seg, '\n'); n >= 0 && (b < 0 || n < b) {
+				if r := strings.IndexByte(seg[:n], '\r'); r >= 0 && (b < 0 || r < b) {
+					n = r
+				}
+				l.pos += n
+				l.emit(ClassString, start, SymString)
+				return
+			}
+			if r := strings.IndexByte(seg, '\r'); r >= 0 && (b < 0 || r < b) {
+				l.pos += r
+				l.emit(ClassString, start, SymString)
+				return
+			}
+		}
+		if b >= 0 {
+			// Skip the escape pair and rescan from there. A backslash as
+			// the last input byte consumes just itself, matching the
+			// byte-walk semantics.
+			if l.pos+b+1 < len(l.src) {
+				l.pos += b + 2
+			} else {
+				l.pos += b + 1
+			}
 			continue
 		}
-		if c == quote {
-			l.pos++
-			break
+		if q < len(rest) {
+			l.pos += q + 1 // include closing quote
+		} else {
+			l.pos = len(l.src)
 		}
-		// Plain strings do not span lines; unterminated ones end there.
-		if quote != '`' && (c == '\n' || c == '\r') {
-			break
-		}
-		l.pos++
+		l.emit(ClassString, start, SymString)
+		return
 	}
 	l.emit(ClassString, start, SymString)
 }
@@ -165,32 +260,35 @@ func isKeywordSwitch(word string) bool {
 
 // regexAllowed applies the standard heuristic for the / ambiguity: a regex
 // literal may start only where an expression may start, i.e. after an
-// operator, opening bracket, keyword, or at the beginning of input.
+// operator, opening bracket, keyword, or at the beginning of input. The
+// previous token is consulted through its cached class and symbol so the
+// check costs one table load and works identically in symbol-only mode.
 func (l *lexer) regexAllowed() bool {
-	if len(l.tokens) == 0 {
-		return true
-	}
-	prev := l.tokens[len(l.tokens)-1]
-	switch prev.Class {
+	switch l.prevClass {
+	case 0:
+		return true // start of input
 	case ClassIdentifier, ClassString, ClassNumber, ClassRegex:
 		return false
-	case ClassKeyword:
-		// `this`, `true` etc. are value keywords; division follows them.
-		switch prev.Text {
-		case "this", "true", "false", "null", "undefined", "super":
-			return false
-		}
-		return true
-	case ClassPunct:
-		switch prev.Text {
-		case ")", "]", "}", "++", "--":
-			return false
-		}
-		return true
+	case ClassKeyword, ClassPunct:
+		return !noRegexAfterSym[l.prevSym]
 	default:
 		return true
 	}
 }
+
+// noRegexAfterSym marks the keyword and punctuator symbols after which a
+// slash is division, not a regex: value keywords (`this`, `true`, …) and
+// the closing/postfix punctuators.
+var noRegexAfterSym = func() []bool {
+	t := make([]bool, int(symbolBase)+len(keywords)+len(puncts))
+	for _, kw := range []string{"this", "true", "false", "null", "undefined", "super"} {
+		t[int(symbolBase)+keywordIndex[kw]] = true
+	}
+	for _, p := range []string{")", "]", "}", "++", "--"} {
+		t[punctSymbol(p)] = true
+	}
+	return t
+}()
 
 func (l *lexer) lexRegex() {
 	start := l.pos

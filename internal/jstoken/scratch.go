@@ -1,0 +1,90 @@
+package jstoken
+
+// Scratch holds reusable lexing arenas: a token buffer and a symbol buffer
+// that are recycled across documents, mirroring textdist.Scratch. The
+// pipeline tokenizes every incoming sample every day; per-worker scratches
+// make that stage free of per-document slice allocations. The zero value
+// is ready to use. A Scratch is not safe for concurrent use; give each
+// worker goroutine its own.
+//
+// Slices returned by the *Into methods are owned by the Scratch and are
+// valid only until its next call. Callers that retain a result must copy
+// it (see AppendSymbols for the retained-copy idiom).
+type Scratch struct {
+	tokens []Token
+	syms   []Symbol
+}
+
+// grow returns a zero-length token buffer with capacity for src.
+func (s *Scratch) growTokens(n int) []Token {
+	need := n/3 + 8
+	if cap(s.tokens) < need {
+		s.tokens = make([]Token, 0, need)
+	}
+	return s.tokens[:0]
+}
+
+func (s *Scratch) growSyms(n int) []Symbol {
+	if cap(s.syms) < n {
+		s.syms = make([]Symbol, 0, n)
+	}
+	return s.syms[:0]
+}
+
+// LexInto tokenizes src into the scratch's reusable token buffer and
+// returns it. The result is identical, token for token, to Lex(src).
+func (s *Scratch) LexInto(src string) []Token {
+	l := lexer{src: src, tokens: s.growTokens(len(src))}
+	l.run()
+	s.tokens = l.tokens
+	return l.tokens
+}
+
+// LexDocumentInto extracts inline scripts (HTML inputs) and tokenizes the
+// result into the scratch buffer; equivalent to LexDocument(doc).
+func (s *Scratch) LexDocumentInto(doc string) []Token {
+	return s.LexInto(ExtractScripts(doc))
+}
+
+// AbstractInto maps tokens to their abstraction symbols using the
+// scratch's reusable symbol buffer; equivalent to Abstract(tokens).
+func (s *Scratch) AbstractInto(tokens []Token) []Symbol {
+	out := s.growSyms(len(tokens))
+	for i := range tokens {
+		if sym := tokens[i].sym; sym != 0 {
+			out = append(out, sym)
+		} else {
+			out = append(out, tokens[i].Symbol())
+		}
+	}
+	s.syms = out
+	return out
+}
+
+// LexSymbols lexes src directly to its abstract symbol sequence without
+// materializing Token values — the streaming fast path for clustering,
+// where only the symbol alphabet matters. The result equals
+// Abstract(Lex(src)) and is owned by the Scratch.
+func (s *Scratch) LexSymbols(src string) []Symbol {
+	l := lexer{src: src, syms: s.growSyms(len(src)/3 + 8), symsOnly: true}
+	l.run()
+	s.syms = l.syms
+	return l.syms
+}
+
+// LexDocumentSymbols extracts inline scripts and lexes straight to
+// symbols; equals Abstract(LexDocument(doc)).
+func (s *Scratch) LexDocumentSymbols(doc string) []Symbol {
+	return s.LexSymbols(ExtractScripts(doc))
+}
+
+// AppendSymbols appends the abstract symbol sequence of doc to dst and
+// returns it — the retained-copy idiom: one exact-size allocation when dst
+// is nil, none when dst has capacity, while all lexing scratch is reused.
+func (s *Scratch) AppendSymbols(dst []Symbol, doc string) []Symbol {
+	syms := s.LexDocumentSymbols(doc)
+	if dst == nil {
+		dst = make([]Symbol, 0, len(syms))
+	}
+	return append(dst, syms...)
+}

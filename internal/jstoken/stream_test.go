@@ -1,0 +1,198 @@
+package jstoken
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// lexCases are sources chosen to exercise every lexer state, including the
+// regex/division ambiguity the streaming path re-derives from cached
+// class+symbol state instead of the token slice.
+var lexCases = []string{
+	"",
+	" \t\n",
+	`var Euur1V = this["l9D"]("ev#333399al");`,
+	"a = b / c / d;",
+	"x = /abc/gi.test(y) ? 1 : 0;",
+	"this /x/ y", // division after value keyword
+	"true /x/ y",
+	"if (x) /re/.exec(s);", // regex after non-value keyword punct
+	"a++ /2/ b",            // division after postfix
+	"return /re/;",         // regex after return
+	"f()/g()/h()",
+	"x = `template ${a+b} string`;",
+	"s = 'unterminated",
+	"t = \"broken\nnext();",
+	"/* block comment */ code(); // line\nmore();",
+	"n = 0x1F + 12.5e-3 + .25;",
+	"obj?.prop ?? fallback; a >>>= 2; b **= 3;",
+	"weird \x00 bytes \xff here",
+	"/stray-slash-at-eof",
+	"[1,2,3]/x/g", // division after ]
+	"{}/x/g",      // regex after } (statement position heuristic)
+}
+
+func tokensEqual(a, b []Token) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func symbolsEqual(a, b []Symbol) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLexIntoMatchesLex pins the streaming lexer against the batch lexer
+// token for token, reusing one Scratch across all cases so stale-buffer
+// bugs surface.
+func TestLexIntoMatchesLex(t *testing.T) {
+	var s Scratch
+	for _, src := range lexCases {
+		want := Lex(src)
+		got := s.LexInto(src)
+		if !tokensEqual(want, got) {
+			t.Errorf("LexInto(%q) diverged from Lex", src)
+		}
+	}
+}
+
+// TestLexSymbolsMatchesAbstract pins the symbol-only path against
+// Abstract(Lex(src)) across the hand-built cases, random JavaScript-ish
+// soup, and quick-generated strings.
+func TestLexSymbolsMatchesAbstract(t *testing.T) {
+	var s Scratch
+	for _, src := range lexCases {
+		want := Abstract(Lex(src))
+		got := s.LexSymbols(src)
+		if !symbolsEqual(want, got) {
+			t.Errorf("LexSymbols(%q) diverged from Abstract(Lex())", src)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	pieces := []string{"var ", "x", "1", "/", "/re/g", "'s'", "\"q\"", "(", ")",
+		"[", "]", "{", "}", ";", "++", "this", "return", "==", "`t`", "\n", " ", "."}
+	for trial := 0; trial < 500; trial++ {
+		var sb strings.Builder
+		for i := 0; i < rng.Intn(40); i++ {
+			sb.WriteString(pieces[rng.Intn(len(pieces))])
+		}
+		src := sb.String()
+		if !symbolsEqual(Abstract(Lex(src)), s.LexSymbols(src)) {
+			t.Fatalf("diverged on %q", src)
+		}
+	}
+	f := func(src string) bool {
+		return symbolsEqual(Abstract(Lex(src)), s.LexSymbols(src))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAbstractIntoMatchesAbstract covers hand-built tokens (sym == 0) and
+// lexer-built ones.
+func TestAbstractIntoMatchesAbstract(t *testing.T) {
+	var s Scratch
+	handmade := []Token{
+		{Class: ClassKeyword, Text: "var"},
+		{Class: ClassIdentifier, Text: "x"},
+		{Class: ClassPunct, Text: "="},
+		{Class: ClassNumber, Text: "1"},
+	}
+	if !symbolsEqual(Abstract(handmade), s.AbstractInto(handmade)) {
+		t.Error("AbstractInto diverged on hand-built tokens")
+	}
+	lexed := Lex(`function f(a) { return a / 2; }`)
+	if !symbolsEqual(Abstract(lexed), s.AbstractInto(lexed)) {
+		t.Error("AbstractInto diverged on lexed tokens")
+	}
+}
+
+// TestLexDocumentSymbolsMatchesBatch checks the HTML-extraction + lexing
+// composition.
+func TestLexDocumentSymbolsMatchesBatch(t *testing.T) {
+	var s Scratch
+	docs := []string{
+		"plain javascript; var x = 1;",
+		"<html><script>var a=1;</script><p>text</p><SCRIPT>b=2;</SCRIPT></html>",
+		"<script>unterminated",
+	}
+	for _, doc := range docs {
+		want := Abstract(LexDocument(doc))
+		if !symbolsEqual(want, s.LexDocumentSymbols(doc)) {
+			t.Errorf("LexDocumentSymbols(%q) diverged", doc)
+		}
+		if !tokensEqual(LexDocument(doc), s.LexDocumentInto(doc)) {
+			t.Errorf("LexDocumentInto(%q) diverged", doc)
+		}
+	}
+}
+
+// TestAppendSymbols checks the retained-copy helper allocates exactly and
+// does not alias scratch state.
+func TestAppendSymbols(t *testing.T) {
+	var s Scratch
+	doc := "var a = 1; var b = 2;"
+	got := s.AppendSymbols(nil, doc)
+	want := Abstract(LexDocument(doc))
+	if !symbolsEqual(want, got) {
+		t.Fatal("AppendSymbols diverged")
+	}
+	// Lexing another document must not mutate the retained copy.
+	s.LexSymbols("completely.different(tokens) + 99;")
+	if !symbolsEqual(want, got) {
+		t.Fatal("retained copy aliases scratch buffer")
+	}
+}
+
+// TestScratchSteadyStateAllocs verifies the arena actually amortizes: after
+// warm-up, lexing to symbols allocates nothing.
+func TestScratchSteadyStateAllocs(t *testing.T) {
+	var s Scratch
+	src := strings.Repeat("var x = f(a, 'lit', 0x33) / 2; ", 200)
+	s.LexSymbols(src)
+	if allocs := testing.AllocsPerRun(20, func() { s.LexSymbols(src) }); allocs != 0 {
+		t.Errorf("LexSymbols steady-state allocs/op = %v, want 0", allocs)
+	}
+	s.LexInto(src)
+	if allocs := testing.AllocsPerRun(20, func() { s.LexInto(src) }); allocs != 0 {
+		t.Errorf("LexInto steady-state allocs/op = %v, want 0", allocs)
+	}
+}
+
+// BenchmarkLexSymbols compares the symbol-only streaming path against the
+// classic lex-then-abstract composition on packed-JS-density input.
+func BenchmarkLexSymbols(b *testing.B) {
+	src := strings.Repeat("var x=f(a,'lit',0x33)/2;g[i]=h?'y':\"n\";", 500)
+	b.Run("batch", func(b *testing.B) {
+		b.SetBytes(int64(len(src)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Abstract(Lex(src))
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		var s Scratch
+		b.SetBytes(int64(len(src)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.LexSymbols(src)
+		}
+	})
+}

@@ -163,3 +163,8 @@ func IsKeyword(word string) bool {
 	_, ok := keywordIndex[word]
 	return ok
 }
+
+// SymbolSpace returns the exclusive upper bound of the abstraction
+// alphabet: every Symbol the lexer emits is < SymbolSpace(). Callers use
+// it to size per-symbol frequency tables.
+func SymbolSpace() int { return int(symbolBase) + len(keywords) + len(puncts) }

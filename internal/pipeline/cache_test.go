@@ -1,0 +1,173 @@
+package pipeline
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"kizzle/internal/contentcache"
+	"kizzle/internal/ekit"
+	"kizzle/internal/winnow"
+)
+
+func dayInputs(t testing.TB, day, benign int) []Input {
+	t.Helper()
+	scfg := ekit.DefaultStreamConfig()
+	scfg.BenignPerDay = benign
+	stream, err := ekit.NewStream(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := stream.Day(day)
+	inputs := make([]Input, len(samples))
+	for i, s := range samples {
+		inputs[i] = Input{ID: s.ID, Content: s.Content}
+	}
+	return inputs
+}
+
+func seededCorpus(day int) *Corpus {
+	corpus := NewCorpus(winnow.DefaultConfig(), 16)
+	for _, fam := range ekit.Families {
+		corpus.Add(fam.String(), ekit.Payload(fam, day-1))
+	}
+	return corpus
+}
+
+// stripTimings zeroes the run-dependent stats so results compare by value.
+func stripTimings(r *Result) {
+	r.Stats.Tokenize, r.Stats.Cluster, r.Stats.Reduce = 0, 0, 0
+	r.Stats.Label, r.Stats.Signature = 0, 0
+	r.Stats.CacheHits, r.Stats.CacheMisses = 0, 0
+}
+
+// TestProcessCachedMatchesUncached pins the tentpole's correctness
+// property: a content cache must never change pipeline output — not on a
+// cold run, not on a warm re-run, and not on a subsequent day that
+// partially overlaps cached content.
+func TestProcessCachedMatchesUncached(t *testing.T) {
+	day := ekit.Date(8, 5)
+	inputs := dayInputs(t, day, 120)
+	// Duplicate a slice of the batch, as provider telemetry would.
+	inputs = append(inputs, inputs[:40]...)
+	cfg := DefaultConfig()
+
+	ref, err := Process(inputs, seededCorpus(day), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := contentcache.New(32 << 20)
+	cfgCached := cfg
+	cfgCached.Cache = cache
+	for run := 0; run < 3; run++ {
+		// A fresh corpus per run: the corpus is stateless across Process
+		// calls here, so outputs must be identical run over run.
+		got, err := Process(inputs, seededCorpus(day), cfgCached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripTimings(&got)
+		refCopy := ref
+		stripTimings(&refCopy)
+		if !reflect.DeepEqual(refCopy.Clusters, got.Clusters) {
+			t.Fatalf("run %d: cached clusters diverged from uncached", run)
+		}
+		if !reflect.DeepEqual(refCopy.Signatures, got.Signatures) {
+			t.Fatalf("run %d: cached signatures diverged from uncached", run)
+		}
+		if got.Stats.UniqueDocuments >= got.Stats.Samples {
+			t.Fatalf("run %d: pre-dedup found no duplicates in a batch with 40", run)
+		}
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatal("warm runs produced no cache hits")
+	}
+
+	// Day N+1 with the same warm cache must equal an uncached day N+1.
+	day2 := day + 1
+	inputs2 := dayInputs(t, day2, 120)
+	want2, err := Process(inputs2, seededCorpus(day2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Process(inputs2, seededCorpus(day2), cfgCached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTimings(&want2)
+	stripTimings(&got2)
+	if !reflect.DeepEqual(want2, got2) {
+		t.Fatal("day N+1 with warm cache diverged from uncached run")
+	}
+}
+
+// TestTokenizeAllDedup exercises the digest pre-dedup directly: duplicates
+// share one symbol slice, distinct documents do not collapse.
+func TestTokenizeAllDedup(t *testing.T) {
+	inputs := []Input{
+		{ID: "a", Content: "var x = 1;"},
+		{ID: "b", Content: "var y = 2;"},
+		{ID: "c", Content: "var x = 1;"}, // dup of a
+		{ID: "d", Content: ""},
+		{ID: "e", Content: "var x = 1;"}, // dup of a
+	}
+	symbols, uniq := tokenizeAll(inputs, nil, 2)
+	if uniq != 3 {
+		t.Fatalf("unique documents = %d, want 3", uniq)
+	}
+	if &symbols[0][0] != &symbols[2][0] || &symbols[0][0] != &symbols[4][0] {
+		t.Error("duplicate documents do not share one symbol slice")
+	}
+	// "var x = 1;" and "var y = 2;" abstract to the same symbol sequence,
+	// but as distinct raw documents they must not share a backing slice —
+	// raw pre-dedup groups by bytes, not by abstraction.
+	if &symbols[0][0] == &symbols[1][0] {
+		t.Error("distinct raw documents share a symbol slice")
+	}
+	for i, in := range inputs {
+		want, _ := tokenizeAll([]Input{in}, nil, 1)
+		if !symbolsEqual(want[0], symbols[i]) {
+			t.Errorf("input %d: batched symbols diverge from solo lexing", i)
+		}
+	}
+}
+
+// TestTokenizeAllCacheReuse checks that a second batch reuses cached
+// symbol sequences rather than re-lexing.
+func TestTokenizeAllCacheReuse(t *testing.T) {
+	cache := contentcache.New(1 << 20)
+	inputs := make([]Input, 20)
+	for i := range inputs {
+		inputs[i] = Input{ID: fmt.Sprint(i), Content: fmt.Sprintf("var v%d = %d;", i%7, i%7)}
+	}
+	first, _ := tokenizeAll(inputs, cache, 4)
+	second, _ := tokenizeAll(inputs, cache, 4)
+	for i := range first {
+		if &first[i][0] != &second[i][0] {
+			t.Fatalf("input %d re-lexed despite warm cache", i)
+		}
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatal("no cache hits on identical second batch")
+	}
+}
+
+// TestFingerprintCachedConfigMismatch ensures a cached histogram under one
+// winnow configuration is not returned for another.
+func TestFingerprintCachedConfigMismatch(t *testing.T) {
+	cache := contentcache.New(1 << 20)
+	text := "var buffer = ''; buffer += chunk; document.body.appendChild(el);"
+	a := FingerprintCached(cache, nil, text, winnow.Config{K: 5, Window: 8})
+	b := FingerprintCached(cache, nil, text, winnow.Config{K: 3, Window: 4})
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different winnow configs returned the same cached histogram")
+	}
+	c := FingerprintCached(cache, nil, text, winnow.Config{K: 3, Window: 4})
+	if !reflect.DeepEqual(b, c) {
+		t.Fatal("same config did not reuse the cached histogram")
+	}
+	if !reflect.DeepEqual(winnow.Fingerprint(text, winnow.Config{K: 3, Window: 4}), c) {
+		t.Fatal("cached histogram diverges from direct fingerprint")
+	}
+}

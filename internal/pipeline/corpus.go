@@ -18,11 +18,15 @@ type Corpus struct {
 	cfg          winnow.Config
 	maxPerFamily int
 	entries      map[string][]corpusEntry
+	// version increases with every mutation; cached best-match results are
+	// valid only for the version they were computed against.
+	version uint64
 }
 
 type corpusEntry struct {
-	hist winnow.Histogram
-	text string
+	hist    winnow.Histogram
+	compact winnow.Compact
+	text    string
 }
 
 // NewCorpus builds an empty corpus. maxPerFamily bounds memory: when a
@@ -44,11 +48,19 @@ func (c *Corpus) Add(family, text string) {
 	hist := winnow.Fingerprint(text, c.cfg)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	list := append(c.entries[family], corpusEntry{hist: hist, text: text})
+	list := append(c.entries[family], corpusEntry{hist: hist, compact: hist.Compact(), text: text})
 	if len(list) > c.maxPerFamily {
 		list = list[len(list)-c.maxPerFamily:]
 	}
 	c.entries[family] = list
+	c.version++
+}
+
+// Version identifies the current corpus contents; it changes on every Add.
+func (c *Corpus) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
 }
 
 // Families returns the known family labels in sorted order.
@@ -70,11 +82,24 @@ func (c *Corpus) Size(family string) int {
 	return len(c.entries[family])
 }
 
+// Config returns the winnow configuration corpus entries are
+// fingerprinted with; callers producing histograms for BestMatchHist must
+// use the same configuration.
+func (c *Corpus) Config() winnow.Config { return c.cfg }
+
 // BestMatch returns the family with the highest winnow overlap against the
 // given unpacked text and that overlap. A corpus with no entries returns
 // ("", 0).
 func (c *Corpus) BestMatch(text string) (string, float64) {
-	hist := winnow.Fingerprint(text, c.cfg)
+	return c.BestMatchHist(winnow.Fingerprint(text, c.cfg))
+}
+
+// BestMatchHist is BestMatch over a pre-computed (possibly cached)
+// histogram; hist is read, never mutated, so shared cached histograms are
+// safe to pass concurrently. The probe is compacted once and swept against
+// the corpus entries' pre-compacted forms with a merge walk.
+func (c *Corpus) BestMatchHist(hist winnow.Histogram) (string, float64) {
+	probe := hist.Compact()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	bestFamily, bestOverlap := "", 0.0
@@ -85,7 +110,7 @@ func (c *Corpus) BestMatch(text string) (string, float64) {
 	sort.Strings(families) // deterministic tie-break
 	for _, f := range families {
 		for _, e := range c.entries[f] {
-			if o := winnow.Overlap(hist, e.hist); o > bestOverlap {
+			if o := winnow.OverlapCompact(probe, e.compact); o > bestOverlap {
 				bestFamily, bestOverlap = f, o
 			}
 		}

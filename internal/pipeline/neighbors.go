@@ -2,7 +2,9 @@ package pipeline
 
 import (
 	"sort"
+	"strconv"
 
+	"kizzle/internal/contentcache"
 	"kizzle/internal/dbscan"
 	"kizzle/internal/jstoken"
 	"kizzle/internal/textdist"
@@ -15,14 +17,27 @@ import (
 //   - a length-sorted candidate index so a region query only tests
 //     sequences whose length difference can still be within eps·max-len
 //     (the length gap alone is a lower bound on edit distance);
+//   - a symbol-frequency lower bound: one edit operation moves the
+//     per-symbol histograms by at most an L1 mass of 2, so a pair whose
+//     histogram L1 distance exceeds 2·maxDist cannot be within eps — an
+//     O(alphabet) test that spares the O(band·len) dynamic program for
+//     most cross-shape pairs;
 //   - symmetric evaluation — each unordered pair is tested at most once;
 //   - parallel evaluation across workers, each with its own reusable
 //     textdist.Scratch, so the distance stage does not allocate and large
 //     partitions no longer serialize on one goroutine.
 //
+//   - a cross-run verdict cache: each within-eps decision is
+//     content-addressed by the pair's sequence identities (two
+//     independent 64-bit hashes plus length, each side), so a day whose
+//     unique sequences mostly recur re-reads yesterday's verdicts
+//     instead of re-running the dynamic program. ids and cache may be nil
+//     to disable.
+//
 // The resulting adjacency lists are in ascending order, making DBSCAN over
 // them identical to the serial linear-scan implementation.
-func neighborGraph(seqs [][]jstoken.Symbol, idx []int, eps float64, workers int) dbscan.StaticNeighborer {
+func neighborGraph(seqs [][]jstoken.Symbol, ids []seqID, cache *contentcache.Cache,
+	idx []int, eps float64, workers int) dbscan.StaticNeighborer {
 	n := len(idx)
 	if workers < 1 {
 		workers = 1
@@ -30,6 +45,30 @@ func neighborGraph(seqs [][]jstoken.Symbol, idx []int, eps float64, workers int)
 	lens := make([]int, n)
 	for k, ui := range idx {
 		lens[k] = len(seqs[ui])
+	}
+	// Per-sequence symbol histograms plus hashed 2-gram histograms, in
+	// flat arenas. The 2-gram profile is far more discriminative on token
+	// streams (all JavaScript shares one symbol alphabet, but structure
+	// differs), at a weaker per-edit bound: one edit disturbs at most two
+	// 2-grams, so distance ≥ L1/4.
+	const bigrams = 256
+	alpha := jstoken.SymbolSpace()
+	arena := make([]int32, n*alpha)
+	bgArena := make([]int32, n*bigrams)
+	freqs := make([][]int32, n)
+	bgFreqs := make([][]int32, n)
+	for k, ui := range idx {
+		f := arena[k*alpha : (k+1)*alpha : (k+1)*alpha]
+		g := bgArena[k*bigrams : (k+1)*bigrams : (k+1)*bigrams]
+		seq := seqs[ui]
+		for i, sym := range seq {
+			f[sym]++
+			if i > 0 {
+				g[(uint32(seq[i-1])*31+uint32(sym))&(bigrams-1)]++
+			}
+		}
+		freqs[k] = f
+		bgFreqs[k] = g
 	}
 	// Length-sorted view: order[k] is a local index, sortedLens[k] its
 	// sequence length.
@@ -54,7 +93,72 @@ func neighborGraph(seqs [][]jstoken.Symbol, idx []int, eps float64, workers int)
 	}
 	scratches := make([]textdist.Scratch, workers)
 	within := func(worker, a, b int) bool {
-		return scratches[worker].WithinNormalized(seqs[idx[a]], seqs[idx[b]], eps)
+		// Mirror WithinNormalized's maxDist derivation exactly so the
+		// lower bound is conservative with respect to the final check.
+		ml := lens[a]
+		if lens[b] > ml {
+			ml = lens[b]
+		}
+		if ml == 0 {
+			return true
+		}
+		maxDist := int(eps * float64(ml))
+		if l1Diff(freqs[a], freqs[b]) > 2*maxDist {
+			return false
+		}
+		if l1Diff(bgFreqs[a], bgFreqs[b]) > 4*maxDist {
+			return false
+		}
+		var pairKey string
+		var key contentcache.Key
+		if ids != nil && cache != nil {
+			pairKey = pairVerdictKey(ids[idx[a]], ids[idx[b]], eps)
+			key = contentcache.KeyOf(kindPairVerdict, pairKey)
+			if v, ok := cache.Get(key, pairKey); ok {
+				return v.(bool)
+			}
+		}
+		ok := scratches[worker].WithinNormalized(seqs[idx[a]], seqs[idx[b]], eps)
+		if pairKey != "" {
+			cache.Put(key, pairKey, ok)
+		}
+		return ok
 	}
 	return dbscan.PrecomputeNeighbors(n, workers, candidates, within)
+}
+
+// pairVerdictKey canonicalizes an unordered sequence pair plus the eps
+// threshold into a cache key string.
+func pairVerdictKey(a, b seqID, eps float64) string {
+	if b.h1 < a.h1 || (b.h1 == a.h1 && (b.h2 < a.h2 || (b.h2 == a.h2 && b.n < a.n))) {
+		a, b = b, a
+	}
+	buf := make([]byte, 0, 96)
+	buf = strconv.AppendUint(buf, a.h1, 16)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, a.h2, 16)
+	buf = append(buf, '.')
+	buf = strconv.AppendInt(buf, int64(a.n), 16)
+	buf = append(buf, '|')
+	buf = strconv.AppendUint(buf, b.h1, 16)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, b.h2, 16)
+	buf = append(buf, '.')
+	buf = strconv.AppendInt(buf, int64(b.n), 16)
+	buf = append(buf, '@')
+	buf = strconv.AppendFloat(buf, eps, 'g', -1, 64)
+	return string(buf)
+}
+
+// l1Diff returns the L1 distance between two equal-length histograms.
+func l1Diff(a, b []int32) int {
+	var sum int32
+	for i, av := range a {
+		d := av - b[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return int(sum)
 }

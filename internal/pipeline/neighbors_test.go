@@ -35,7 +35,7 @@ func TestNeighborGraphMatchesLinearScan(t *testing.T) {
 		}
 		eps := []float64{0.05, 0.10, 0.30}[iter%3]
 		for _, workers := range []int{1, 4} {
-			adj := neighborGraph(seqs, idx, eps, workers)
+			adj := neighborGraph(seqs, nil, nil, idx, eps, workers)
 			ref := &dbscan.FuncNeighborer{N: len(seqs), Within: func(i, j int) bool {
 				return textdist.WithinNormalized(seqs[i], seqs[j], eps)
 			}}
@@ -73,7 +73,7 @@ func TestNeighborGraphSubsetIndices(t *testing.T) {
 		seqs[i] = randSymbols(rng, rng.Intn(4))
 	}
 	part := rng.Perm(100)[:37]
-	adj := neighborGraph(seqs, part, 0.10, 3)
+	adj := neighborGraph(seqs, nil, nil, part, 0.10, 3)
 	ref := &dbscan.FuncNeighborer{N: len(part), Within: func(i, j int) bool {
 		return textdist.WithinNormalized(seqs[part[i]], seqs[part[j]], 0.10)
 	}}

@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
+	"kizzle/internal/contentcache"
 	"kizzle/internal/dbscan"
 	"kizzle/internal/jstoken"
 	"kizzle/internal/parallel"
@@ -21,6 +23,19 @@ import (
 	"kizzle/internal/textdist"
 	"kizzle/internal/unpack"
 	"kizzle/internal/winnow"
+)
+
+// Cache-entry kinds for the content-addressed cache the pipeline threads
+// through its hot stages: raw document → abstract symbol sequence, raw
+// prototype → unpack result, unpacked payload → winnow fingerprint.
+const (
+	kindRawSymbols contentcache.Kind = iota + 1
+	kindUnpack
+	kindFingerprint
+	kindLabel
+	kindTokens
+	kindSignature
+	kindPairVerdict
 )
 
 // Input is one grayware sample handed to the pipeline.
@@ -60,6 +75,14 @@ type Config struct {
 	// MaxSignatureSamples caps how many cluster samples feed signature
 	// generalization.
 	MaxSignatureSamples int
+	// Cache is an optional content-addressed cache shared across Process
+	// calls (and, at the harness level, across days). Identical raw
+	// documents skip tokenization, previously seen prototypes skip
+	// unpacking, and previously seen unpacked payloads reuse their winnow
+	// fingerprints — day N+1 pays only for content it has not seen. A nil
+	// cache disables cross-run reuse; in-run duplicate collapsing still
+	// happens.
+	Cache *contentcache.Cache
 }
 
 // DefaultConfig returns the parameters used throughout the evaluation.
@@ -124,6 +147,14 @@ type Stats struct {
 	Malicious       int
 	NoisePoints     int
 
+	// UniqueDocuments counts distinct raw documents after content-digest
+	// pre-deduplication; Samples-UniqueDocuments were never tokenized.
+	UniqueDocuments int
+	// CacheHits / CacheMisses are this run's content-cache lookups (zero
+	// without a configured cache).
+	CacheHits   int64
+	CacheMisses int64
+
 	Tokenize  time.Duration
 	Cluster   time.Duration
 	Reduce    time.Duration
@@ -159,13 +190,28 @@ func Process(inputs []Input, corpus *Corpus, cfg Config) (Result, error) {
 		cfg.MinPts = 2
 	}
 
+	if cfg.Cache == nil {
+		// A transient per-run cache still pays for itself: clusters of one
+		// family frequently unpack to the same payload, so unpack results,
+		// fingerprints, and label verdicts are shared across clusters even
+		// within a single batch. Cross-run reuse needs a caller-provided
+		// cache.
+		cfg.Cache = contentcache.New(16 << 20)
+	}
+
 	var res Result
 	res.Stats.Samples = len(inputs)
+	preCache := cfg.Cache.Stats()
 
-	// Stage 1: tokenize + abstract, in parallel.
+	// Stage 1: content-digest pre-dedup, then tokenize straight to
+	// abstract symbols (token values are never materialized here; the
+	// signature stage re-lexes the few samples it needs). Identical raw
+	// documents are lexed once per batch, and once per cache lifetime
+	// when a cache is configured.
 	start := time.Now()
-	tokens, symbols := tokenizeAll(inputs, cfg.Workers)
+	symbols, uniqueDocs := tokenizeAll(inputs, cfg.Cache, cfg.Workers)
 	res.Stats.Tokenize = time.Since(start)
+	res.Stats.UniqueDocuments = uniqueDocs
 
 	// Stage 2: deduplicate identical symbol sequences. Exploit-kit
 	// randomization leaves the abstract sequence intact, so dedup often
@@ -195,56 +241,108 @@ func Process(inputs []Input, corpus *Corpus, cfg Config) (Result, error) {
 	res.Stats.Label = time.Since(start)
 	res.Stats.Clusters = len(res.Clusters)
 
-	// Stage 6: signatures for malicious clusters.
+	// Stage 6: signatures for malicious clusters, generated in parallel
+	// and assembled in cluster order so the output is identical to the
+	// serial loop.
 	start = time.Now()
+	type sigResult struct {
+		sig siggen.Signature
+		ok  bool
+	}
+	sigResults := make([]sigResult, len(res.Clusters))
+	var malicious []int
 	for ci := range res.Clusters {
-		cl := &res.Clusters[ci]
-		cl.SignatureIndex = -1
-		if cl.Label == "" {
-			continue
+		res.Clusters[ci].SignatureIndex = -1
+		if res.Clusters[ci].Label != "" {
+			malicious = append(malicious, ci)
 		}
-		res.Stats.Malicious++
-		sig, err := generateSignature(cl, tokens, cfg)
-		if err != nil {
-			// Short common runs are expected occasionally; the
-			// cluster stays labeled but unsignatured.
-			continue
+	}
+	res.Stats.Malicious = len(malicious)
+	parallel.ForEach(len(malicious), cfg.Workers, 1, func(_, k int) {
+		ci := malicious[k]
+		sig, err := generateSignature(&res.Clusters[ci], inputs, cfg)
+		// A failed generation (short common runs happen occasionally)
+		// leaves the cluster labeled but unsignatured.
+		sigResults[ci] = sigResult{sig: sig, ok: err == nil}
+	})
+	for ci := range res.Clusters {
+		if sigResults[ci].ok {
+			res.Clusters[ci].SignatureIndex = len(res.Signatures)
+			res.Signatures = append(res.Signatures, sigResults[ci].sig)
 		}
-		cl.SignatureIndex = len(res.Signatures)
-		res.Signatures = append(res.Signatures, sig)
 	}
 	res.Stats.Signature = time.Since(start)
+	postCache := cfg.Cache.Stats()
+	res.Stats.CacheHits = postCache.Hits - preCache.Hits
+	res.Stats.CacheMisses = postCache.Misses - preCache.Misses
 	return res, nil
 }
 
-// tokenizeAll lexes and abstracts all inputs with a worker pool.
-func tokenizeAll(inputs []Input, workers int) ([][]jstoken.Token, [][]jstoken.Symbol) {
-	tokens := make([][]jstoken.Token, len(inputs))
-	symbols := make([][]jstoken.Symbol, len(inputs))
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				tokens[i] = jstoken.LexDocument(inputs[i].Content)
-				symbols[i] = jstoken.Abstract(tokens[i])
+// tokenizeAll produces every input's abstract symbol sequence. Inputs are
+// first grouped by content digest (verified byte-for-byte within a digest
+// bucket) so identical raw documents — the bulk of provider telemetry —
+// are lexed once and share one symbol slice; each group representative is
+// then lexed by the symbol-only streaming path through per-worker
+// scratches, consulting the content cache so repeated content across
+// batches is never lexed twice. Returns the per-input symbol sequences and
+// the number of distinct raw documents.
+func tokenizeAll(inputs []Input, cache *contentcache.Cache, workers int) ([][]jstoken.Symbol, int) {
+	n := len(inputs)
+	symbols := make([][]jstoken.Symbol, n)
+
+	// Digest every document in parallel: ~30× faster than lexing, so this
+	// pass is profitable whenever a batch repeats any content at all.
+	keys := make([]contentcache.Key, n)
+	parallel.ForEach(n, workers, 8, func(_, i int) {
+		keys[i] = contentcache.KeyOf(kindRawSymbols, inputs[i].Content)
+	})
+
+	// Group identical documents. A digest bucket may (in principle) mix
+	// distinct contents; members are verified against their group
+	// representative, so a collision costs a second group, never a wrong
+	// assignment.
+	groups := make([][]int, 0, n)
+	index := make(map[contentcache.Key][]int, n)
+	for i := 0; i < n; i++ {
+		found := -1
+		for _, g := range index[keys[i]] {
+			if inputs[groups[g][0]].Content == inputs[i].Content {
+				found = g
+				break
 			}
-		}()
+		}
+		if found < 0 {
+			found = len(groups)
+			groups = append(groups, nil)
+			index[keys[i]] = append(index[keys[i]], found)
+		}
+		groups[found] = append(groups[found], i)
 	}
-	for i := range inputs {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
-	return tokens, symbols
+
+	// Lex one representative per group.
+	scratches := make([]jstoken.Scratch, workers)
+	parallel.ForEach(len(groups), workers, 1, func(worker, g int) {
+		rep := groups[g][0]
+		content := inputs[rep].Content
+		var syms []jstoken.Symbol
+		if v, ok := cache.Get(keys[rep], content); ok {
+			syms = v.([]jstoken.Symbol)
+		} else {
+			syms = scratches[worker].AppendSymbols(nil, content)
+			cache.PutSized(keys[rep], content, syms, 2*len(syms))
+		}
+		for _, i := range groups[g] {
+			symbols[i] = syms
+		}
+	})
+	return symbols, len(groups)
 }
 
 // uniqueSet groups samples with identical abstract sequences.
 type uniqueSet struct {
 	seqs    [][]jstoken.Symbol
 	members [][]int // members[u] = input indices sharing seqs[u]
+	ids     []seqID // cache identities, aligned with seqs
 }
 
 func dedupe(symbols [][]jstoken.Symbol) uniqueSet {
@@ -253,8 +351,20 @@ func dedupe(symbols [][]jstoken.Symbol) uniqueSet {
 	}
 	var u uniqueSet
 	index := make(map[uint64][]bucket)
+	// Raw pre-dedup makes duplicate documents share one backing slice, so
+	// the sequence hash is memoized by slice identity — a telemetry batch
+	// with heavy duplication hashes each distinct document once.
+	hashMemo := make(map[*jstoken.Symbol]uint64)
 	for i, seq := range symbols {
-		h := hashSeq(seq)
+		var h uint64
+		if len(seq) == 0 {
+			h = hashSeq(seq)
+		} else if v, ok := hashMemo[&seq[0]]; ok {
+			h = v
+		} else {
+			h = hashSeq(seq)
+			hashMemo[&seq[0]] = h
+		}
 		found := -1
 		for _, b := range index[h] {
 			if symbolsEqual(u.seqs[b.unique], seq) {
@@ -266,6 +376,7 @@ func dedupe(symbols [][]jstoken.Symbol) uniqueSet {
 			found = len(u.seqs)
 			u.seqs = append(u.seqs, seq)
 			u.members = append(u.members, nil)
+			u.ids = append(u.ids, seqID{h1: h, h2: altHashSeq(seq), n: len(seq)})
 			index[h] = append(index[h], bucket{unique: found})
 		}
 		u.members[found] = append(u.members[found], i)
@@ -283,9 +394,38 @@ func hashSeq(s []jstoken.Symbol) uint64 {
 	return h
 }
 
+// seqID identifies a symbol sequence for cross-run caching: two
+// independent 64-bit hashes plus the length. The eps-verdict cache keys
+// pairs of these; a wrong hit needs a simultaneous collision of both
+// hashes and the length, which is the same identity strength the
+// content-addressed store provides elsewhere.
+type seqID struct {
+	h1, h2 uint64
+	n      int
+}
+
+// altHashSeq is a second, independently mixed sequence hash.
+func altHashSeq(s []jstoken.Symbol) uint64 {
+	const (
+		p1 = 11400714785074694791
+		p2 = 14029467366897019727
+	)
+	h := uint64(2870177450012600261) ^ (uint64(len(s)) * p1)
+	for _, x := range s {
+		h = (h ^ uint64(x)) * p2
+		h = h<<29 | h>>35
+	}
+	return h
+}
+
+
 func symbolsEqual(a, b []jstoken.Symbol) bool {
 	if len(a) != len(b) {
 		return false
+	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		// Shared backing slice (raw pre-dedup aliases duplicates).
+		return true
 	}
 	for i := range a {
 		if a[i] != b[i] {
@@ -353,7 +493,7 @@ func clusterOne(u uniqueSet, part []int, cfg Config) (out struct {
 	for i, ui := range part {
 		weights[i] = len(u.members[ui])
 	}
-	adj := neighborGraph(u.seqs, part, cfg.Eps, cfg.Workers)
+	adj := neighborGraph(u.seqs, u.ids, cfg.Cache, part, cfg.Eps, cfg.Workers)
 	ids := dbscan.ClusterWeighted(adj, weights, cfg.MinPts)
 	for gi, group := range dbscan.Groups(ids) {
 		_ = gi
@@ -399,7 +539,7 @@ func reduceClusters(u uniqueSet, clusters []partCluster, noise []int, cfg Config
 	// reduce reconciliation as the serial bottleneck). Unions are applied
 	// in the same (i, j) ascending order the pairwise loop used, so the
 	// merged-cluster ordering is unchanged.
-	repAdj := neighborGraph(u.seqs, reps, cfg.Eps, cfg.Workers)
+	repAdj := neighborGraph(u.seqs, u.ids, cfg.Cache, reps, cfg.Eps, cfg.Workers)
 	for i := range repAdj {
 		for _, j := range repAdj[i] {
 			if j > i {
@@ -426,7 +566,7 @@ func reduceClusters(u uniqueSet, clusters []partCluster, noise []int, cfg Config
 		for i, ui := range noise {
 			weights[i] = len(u.members[ui])
 		}
-		adj := neighborGraph(u.seqs, noise, cfg.Eps, cfg.Workers)
+		adj := neighborGraph(u.seqs, u.ids, cfg.Cache, noise, cfg.Eps, cfg.Workers)
 		ids := dbscan.ClusterWeighted(adj, weights, cfg.MinPts)
 		for _, group := range dbscan.Groups(ids) {
 			nc := make([]int, len(group))
@@ -487,13 +627,85 @@ func repOf(u uniqueSet, cluster []int) int {
 	return best
 }
 
+// unpackEntry is the cached outcome of unpacking one raw prototype: the
+// decoded payload (or the prototype's own script text when not packed) and
+// the unpacker that fired ("" if none).
+type unpackEntry struct {
+	payload string
+	method  string
+}
+
+// unpackCached unpacks content through the cache: a prototype seen on any
+// previous day is never re-unpacked.
+func unpackCached(cache *contentcache.Cache, content string) unpackEntry {
+	key := contentcache.KeyOf(kindUnpack, content)
+	if v, ok := cache.Get(key, content); ok {
+		return v.(unpackEntry)
+	}
+	var e unpackEntry
+	if res, err := unpack.Unpack(content); err == nil {
+		e = unpackEntry{payload: res.Payload, method: res.Method}
+	} else {
+		e = unpackEntry{payload: jstoken.ExtractScripts(content)}
+	}
+	cache.PutSized(key, content, e, len(e.payload))
+	return e
+}
+
+// fingerprintEntry pairs a cached histogram with the winnow configuration
+// that produced it; a hit under a different configuration is a miss.
+type fingerprintEntry struct {
+	cfg  winnow.Config
+	hist winnow.Histogram
+}
+
+// FingerprintCached computes (or retrieves) the winnow histogram of text.
+// Cached histograms are shared read-only — Overlap never mutates its
+// arguments — so previously seen unpacked payloads cost one digest instead
+// of a full fingerprint pass. scratch may be nil for one-off calls.
+func FingerprintCached(cache *contentcache.Cache, scratch *winnow.Scratch, text string, cfg winnow.Config) winnow.Histogram {
+	key := contentcache.KeyOf(kindFingerprint, text)
+	if v, ok := cache.Get(key, text); ok {
+		if e := v.(fingerprintEntry); e.cfg == cfg {
+			return e.hist
+		}
+	}
+	if scratch == nil {
+		scratch = new(winnow.Scratch)
+	}
+	hist := scratch.Fingerprint(text, cfg)
+	// ~48 bytes per map entry (key, value, bucket overhead).
+	cache.PutSized(key, text, fingerprintEntry{cfg: cfg, hist: hist}, 48*len(hist))
+	return hist
+}
+
+// tokensCached lexes a document to its full token stream through the
+// cache. Only signature-stage sample documents take this path (a bounded
+// set per batch), so the retained token slices stay small relative to the
+// content budget; siggen reads streams without mutating them, so sharing
+// one slice across clusters and runs is safe.
+func tokensCached(cache *contentcache.Cache, content string) []jstoken.Token {
+	key := contentcache.KeyOf(kindTokens, content)
+	if v, ok := cache.Get(key, content); ok {
+		return v.([]jstoken.Token)
+	}
+	tokens := jstoken.LexDocument(content)
+	// A Token is 32 bytes — the stream dwarfs its key content.
+	cache.PutSized(key, content, tokens, 32*len(tokens))
+	return tokens
+}
+
 // labelClusters unpacks each merged cluster's prototype and labels it by
 // best winnow overlap against the corpus. Clusters are independent, so
-// labeling fans out across the worker pool; results land by index, keeping
-// the output order identical to the serial loop.
+// labeling fans out across the worker pool with per-worker winnow
+// scratches; results land by index, keeping the output order identical to
+// the serial loop. Unpack results and fingerprints are content-cached, so
+// a day dominated by previously seen payloads labels almost for free.
 func labelClusters(inputs []Input, u uniqueSet, merged [][]int, corpus *Corpus, cfg Config) []Cluster {
 	out := make([]Cluster, len(merged))
-	parallel.ForEach(len(merged), max(cfg.Workers, 1), 1, func(_, mi int) {
+	workers := max(cfg.Workers, 1)
+	scratches := make([]winnow.Scratch, workers)
+	parallel.ForEach(len(merged), workers, 1, func(worker, mi int) {
 		uniques := merged[mi]
 		rep := repOf(u, uniques)
 		var samples []int
@@ -502,14 +714,11 @@ func labelClusters(inputs []Input, u uniqueSet, merged [][]int, corpus *Corpus, 
 		}
 		proto := u.members[rep][0]
 		cl := Cluster{Samples: samples, Prototype: proto, SignatureIndex: -1}
-		if res, err := unpack.Unpack(inputs[proto].Content); err == nil {
-			cl.Unpacked = res.Payload
-			cl.UnpackMethod = res.Method
-		} else {
-			cl.Unpacked = jstoken.ExtractScripts(inputs[proto].Content)
-		}
+		unp := unpackCached(cfg.Cache, inputs[proto].Content)
+		cl.Unpacked = unp.payload
+		cl.UnpackMethod = unp.method
 		if corpus != nil {
-			family, overlap := corpus.BestMatch(cl.Unpacked)
+			family, overlap := bestMatchCached(cfg.Cache, &scratches[worker], corpus, cl.Unpacked)
 			cl.Overlap = overlap
 			if family != "" && overlap >= cfg.Threshold(family) {
 				cl.Label = family
@@ -520,9 +729,46 @@ func labelClusters(inputs []Input, u uniqueSet, merged [][]int, corpus *Corpus, 
 	return out
 }
 
+// labelEntry caches a corpus best-match verdict for one unpacked payload.
+// The verdict is only valid for the exact corpus contents (version) and
+// winnow configuration it was computed against; the labeling threshold is
+// deliberately NOT part of the entry — thresholds are applied by the
+// caller per run, so threshold changes never read stale decisions.
+type labelEntry struct {
+	corpusVersion uint64
+	cfg           winnow.Config
+	family        string
+	overlap       float64
+}
+
+// bestMatchCached resolves corpus.BestMatch through the cache: a payload
+// seen while the corpus is unchanged skips both the fingerprint pass and
+// the overlap sweep.
+func bestMatchCached(cache *contentcache.Cache, scratch *winnow.Scratch, corpus *Corpus, text string) (string, float64) {
+	version := corpus.Version()
+	wcfg := corpus.Config()
+	key := contentcache.KeyOf(kindLabel, text)
+	if v, ok := cache.Get(key, text); ok {
+		if e := v.(labelEntry); e.corpusVersion == version && e.cfg == wcfg {
+			return e.family, e.overlap
+		}
+	}
+	hist := FingerprintCached(cache, scratch, text, wcfg)
+	family, overlap := corpus.BestMatchHist(hist)
+	// Only cache if the corpus did not move underneath the computation —
+	// otherwise a verdict from the newer corpus would be tagged with the
+	// older version and serve stale answers to it.
+	if corpus.Version() == version {
+		cache.Put(key, text, labelEntry{corpusVersion: version, cfg: wcfg, family: family, overlap: overlap})
+	}
+	return family, overlap
+}
+
 // generateSignature runs siggen over (a capped number of) the cluster's
-// packed token streams.
-func generateSignature(cl *Cluster, tokens [][]jstoken.Token, cfg Config) (siggen.Signature, error) {
+// packed token streams. Token values are materialized here, on demand, for
+// just the sampled documents — the tokenize stage no longer retains any
+// token slices.
+func generateSignature(cl *Cluster, inputs []Input, cfg Config) (siggen.Signature, error) {
 	limit := cfg.MaxSignatureSamples
 	if limit <= 0 {
 		limit = 24
@@ -537,13 +783,39 @@ func generateSignature(cl *Cluster, tokens [][]jstoken.Token, cfg Config) (sigge
 		}
 		pick = spaced
 	}
+	// Signature generation is deterministic in (label, picked contents,
+	// config), so the result is content-addressed too: a cluster whose
+	// sampled documents all recur from a previous day reuses its
+	// signature outright. The key lists each picked document's
+	// (digest, length) in order — identity at the same strength as the
+	// content-addressed store itself.
+	var kb strings.Builder
+	kb.WriteString(cl.Label)
+	for _, si := range pick {
+		fmt.Fprintf(&kb, "\x00%016x:%x", contentcache.Digest(inputs[si].Content), len(inputs[si].Content))
+	}
+	keyContent := kb.String()
+	key := contentcache.KeyOf(kindSignature, keyContent)
+	if v, ok := cfg.Cache.Get(key, keyContent); ok {
+		if e := v.(signatureEntry); e.cfg == cfg.Signature {
+			return e.sig, nil
+		}
+	}
 	streams := make([][]jstoken.Token, 0, len(pick))
 	for _, si := range pick {
-		streams = append(streams, tokens[si])
+		streams = append(streams, tokensCached(cfg.Cache, inputs[si].Content))
 	}
 	sig, err := siggen.Generate(cl.Label, streams, cfg.Signature)
 	if err != nil {
 		return siggen.Signature{}, fmt.Errorf("cluster with %d samples: %w", len(cl.Samples), err)
 	}
+	cfg.Cache.Put(key, keyContent, signatureEntry{cfg: cfg.Signature, sig: sig})
 	return sig, nil
+}
+
+// signatureEntry caches one generated signature with the configuration
+// that produced it.
+type signatureEntry struct {
+	cfg siggen.Config
+	sig siggen.Signature
 }

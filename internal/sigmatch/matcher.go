@@ -205,6 +205,19 @@ func NewScanner(sigs []siggen.Signature) (*Scanner, error) {
 	return s, nil
 }
 
+// NewScannerFromCompiled assembles a scanner from already-compiled
+// signatures, rebuilding only the (cheap, whole-set) anchor index. A
+// Compiled is immutable after Compile, so the same values may be shared by
+// any number of scanners — this is what makes per-family incremental
+// recompilation possible: publishers keep compiled signatures per family
+// and reassemble a scanner from cached parts when only one family's
+// signatures changed. The slice is copied; the Compiled values are not.
+func NewScannerFromCompiled(sigs []*Compiled) *Scanner {
+	s := &Scanner{sigs: append([]*Compiled(nil), sigs...)}
+	s.rebuildIndex()
+	return s
+}
+
 // Add compiles and deploys one more signature (signature updates during the
 // month-long evaluation). The anchor index is rebuilt: anchor choice
 // depends on literal rarity across the whole deployed set.

@@ -24,6 +24,32 @@ type Scratch struct {
 	prev, curr []int
 }
 
+// trimCommon strips the shared prefix and suffix of a and b. The
+// Levenshtein distance is invariant under both trims, and the sequences
+// DBSCAN compares are near-duplicates of one another (that is what a
+// cluster is), so a linear scan routinely removes most of the O(d·n)
+// dynamic program.
+func trimCommon(a, b []jstoken.Symbol) ([]jstoken.Symbol, []jstoken.Symbol) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	p := 0
+	for p < n && a[p] == b[p] {
+		p++
+	}
+	a, b = a[p:], b[p:]
+	n = len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0
+	for s < n && a[len(a)-1-s] == b[len(b)-1-s] {
+		s++
+	}
+	return a[:len(a)-s], b[:len(b)-s]
+}
+
 // rows returns the two DP rows, each with capacity at least n, without
 // clearing them (every algorithm below initializes the cells it reads).
 func (s *Scratch) rows(n int) (prev, curr []int) {
@@ -37,6 +63,7 @@ func (s *Scratch) rows(n int) (prev, curr []int) {
 // Distance computes the Levenshtein edit distance (unit insert, delete and
 // substitute costs) between two symbol sequences using two rolling rows.
 func (s *Scratch) Distance(a, b []jstoken.Symbol) int {
+	a, b = trimCommon(a, b)
 	if len(a) == 0 {
 		return len(b)
 	}
@@ -83,6 +110,10 @@ func (s *Scratch) DistanceWithin(a, b []jstoken.Symbol, maxDist int) (int, bool)
 	if len(b)-len(a) > maxDist {
 		return 0, false
 	}
+	// Both trims drop the same count from each side, so a stays the
+	// shorter sequence and the length difference (≤ maxDist, just
+	// checked) is preserved.
+	a, b = trimCommon(a, b)
 	if len(a) == 0 {
 		return len(b), true
 	}
@@ -103,36 +134,59 @@ func (s *Scratch) DistanceWithin(a, b []jstoken.Symbol, maxDist int) (int, bool)
 	for i := 1; i <= len(a); i++ {
 		rowMin := inf
 		ai := a[i-1]
-		for k := 0; k < width; k++ {
-			j := i - maxDist + k
-			if j < 0 || j > len(b) {
-				curr[k] = inf
-				continue
-			}
-			if j == 0 {
-				curr[k] = i
-				rowMin = min2(rowMin, i)
-				continue
-			}
+		// Active cells of this row: k with 0 <= j <= len(b). Cells outside
+		// are never read by later rows except the two adjacent to the
+		// active range, which are set to inf explicitly below.
+		kLo := 0
+		if maxDist > i {
+			kLo = maxDist - i // j >= 0
+		}
+		kHi := width
+		if over := i + maxDist - len(b); over > 0 {
+			kHi = width - over // j <= len(b)
+		}
+		left := inf // curr[k-1] of the previous active iteration
+		k := kLo
+		if kLo > 0 {
+			curr[kLo-1] = inf
+		}
+		if i <= maxDist {
+			// j == 0 boundary cell, present at kLo while i <= maxDist.
+			curr[kLo] = i
+			rowMin = i
+			left = i
+			k = kLo + 1
+		}
+		// off maps k to the b index j-1 = i - maxDist + k - 1.
+		off := i - maxDist - 1
+		for ; k < kHi; k++ {
 			best := inf
 			// Substitution / match: prev row, same k.
-			if prev[k] != inf {
-				cost := 1
-				if ai == b[j-1] {
-					cost = 0
+			if pk := prev[k]; pk != inf {
+				if ai == b[off+k] {
+					best = pk
+				} else {
+					best = pk + 1
 				}
-				best = prev[k] + cost
 			}
 			// Deletion from a: prev row, k+1 (same j).
-			if k+1 < width && prev[k+1] != inf && prev[k+1]+1 < best {
-				best = prev[k+1] + 1
+			if k+1 < width {
+				if p1 := prev[k+1]; p1 != inf && p1+1 < best {
+					best = p1 + 1
+				}
 			}
 			// Insertion into a: current row, k-1 (j-1).
-			if k-1 >= 0 && curr[k-1] != inf && curr[k-1]+1 < best {
-				best = curr[k-1] + 1
+			if left != inf && left+1 < best {
+				best = left + 1
 			}
 			curr[k] = best
-			rowMin = min2(rowMin, best)
+			left = best
+			if best < rowMin {
+				rowMin = best
+			}
+		}
+		if kHi < width {
+			curr[kHi] = inf
 		}
 		if rowMin > maxDist {
 			return 0, false

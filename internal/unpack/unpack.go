@@ -11,9 +11,17 @@ import (
 	"errors"
 	"strconv"
 	"strings"
+	"sync"
 
 	"kizzle/internal/jstoken"
 )
+
+// lexPool recycles token arenas across Unpack calls: each call lexes the
+// sample up to four times (layered packing), and cluster labeling unpacks
+// every prototype of every day. No unpacker retains the token slice beyond
+// its call — payloads are built from token text, which is immutable — so
+// pooled reuse is safe.
+var lexPool = sync.Pool{New: func() any { return new(jstoken.Scratch) }}
 
 // ErrNotPacked is returned when no unpacker recognizes the sample.
 var ErrNotPacked = errors.New("unpack: no known packer structure recognized")
@@ -49,12 +57,14 @@ func unpackers() []unpacker {
 // times, to get to the ultimate payload".
 func Unpack(doc string) (Result, error) {
 	script := jstoken.ExtractScripts(doc)
+	sc := lexPool.Get().(*jstoken.Scratch)
+	defer lexPool.Put(sc)
 	var (
 		res   Result
 		found bool
 	)
 	for depth := 0; depth < 4; depth++ {
-		tokens := jstoken.Lex(script)
+		tokens := sc.LexInto(script)
 		matched := false
 		for _, u := range unpackers() {
 			if payload, ok := u.fn(tokens); ok {

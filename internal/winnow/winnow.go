@@ -4,7 +4,17 @@
 // unpacked cluster prototype is compared against histograms of known
 // unpacked exploit-kit corpora, and sufficient overlap labels the cluster
 // with that kit's family.
+//
+// Fingerprinting is a single streaming pass: each k-gram hash is fed to a
+// monotonic deque that maintains the window minimum in amortized O(1), so a
+// document of n bytes costs O(n·k) hashing (k is a small constant) and O(n)
+// selection, with zero allocations beyond the result histogram when a
+// reusable Scratch is provided. The selection is identical, position for
+// position, to materializing all gram hashes and scanning every window —
+// the reference implementation the differential tests pin against.
 package winnow
+
+import "slices"
 
 // Config holds the two winnowing parameters. With k-gram size k and window
 // size w, winnowing guarantees that any shared substring of length at least
@@ -25,51 +35,138 @@ func DefaultConfig() Config { return Config{K: 5, Window: 8} }
 // Histogram is a multiset of selected fingerprint hashes.
 type Histogram map[uint64]int
 
-// Fingerprint computes the winnow histogram of text. Documents shorter than
-// one k-gram yield a single hash of the whole text so that tiny payload
-// fragments still compare non-trivially.
-func Fingerprint(text string, cfg Config) Histogram {
+// Reset clears the histogram in place, keeping its buckets allocated so a
+// reused map reaches a steady state of zero allocations per fingerprint.
+func (h Histogram) Reset() { clear(h) }
+
+// Scratch holds the reusable deque state for streaming fingerprint
+// computation. The zero value is ready to use. A Scratch is not safe for
+// concurrent use; give each worker goroutine its own.
+type Scratch struct {
+	// pos and val back the monotonic deque as a ring buffer: pos holds
+	// gram indices in increasing order, val their hashes in increasing
+	// order. The front is the rightmost minimum of the current window.
+	pos []int
+	val []uint64
+}
+
+// ring ensures deque capacity for a window of w entries and returns the
+// backing arrays. The deque transiently holds w+1 entries (a new hash is
+// pushed before the stale front is evicted), hence the +1. Capacity is
+// rounded up to a power of two so ring indices reduce with a mask instead
+// of a modulo.
+func (s *Scratch) ring(w int) ([]int, []uint64) {
+	n := 1
+	for n < w+1 {
+		n <<= 1
+	}
+	if cap(s.pos) < n {
+		s.pos = make([]int, n)
+		s.val = make([]uint64, n)
+	}
+	return s.pos[:n], s.val[:n]
+}
+
+// Fingerprint computes the winnow histogram of text into a freshly
+// allocated Histogram.
+func (s *Scratch) Fingerprint(text string, cfg Config) Histogram {
+	return s.AppendFingerprint(make(Histogram), text, cfg)
+}
+
+// AppendFingerprint adds the winnow fingerprints of text into h (allocating
+// it when nil) and returns it. Documents shorter than one k-gram yield a
+// single hash of the whole text so that tiny payload fragments still
+// compare non-trivially. With a warm Scratch and a Reset histogram whose
+// buckets have stabilized, the call performs no allocations.
+func (s *Scratch) AppendFingerprint(h Histogram, text string, cfg Config) Histogram {
 	if cfg.K <= 0 {
 		cfg.K = DefaultConfig().K
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = DefaultConfig().Window
 	}
-	h := make(Histogram)
-	if len(text) < cfg.K {
+	if h == nil {
+		h = make(Histogram)
+	}
+	k, w := cfg.K, cfg.Window
+	if len(text) < k {
 		h[hashBytes(text)]++
 		return h
 	}
-	hashes := gramHashes(text, cfg.K)
-	if len(hashes) <= cfg.Window {
-		minIdx := argmin(hashes)
-		h[hashes[minIdx]]++
+	n := len(text) - k + 1
+	if n <= w {
+		// Degenerate single window: the leftmost minimum (matching the
+		// reference argmin tie-break).
+		best := hashBytes(text[:k])
+		for i := 1; i < n; i++ {
+			if g := hashBytes(text[i : i+k]); g < best {
+				best = g
+			}
+		}
+		h[best]++
 		return h
 	}
-	// Robust winnowing: in each window select the minimum hash; if the
-	// previous minimum is still in the window, keep it (record each
-	// selected position once).
+
+	// Robust winnowing over a sliding window of w gram hashes. The deque
+	// keeps candidate minima in increasing hash order; pushing a new hash
+	// evicts every older entry with an equal-or-larger hash, so the front
+	// is always the window minimum with ties broken toward the rightmost
+	// occurrence — exactly argminRightmost over the materialized window.
+	pos, val := s.ring(w)
+	mask := len(pos) - 1
+	head, size := 0, 0 // deque front index and entry count
 	prevSel := -1
-	for start := 0; start+cfg.Window <= len(hashes); start++ {
-		window := hashes[start : start+cfg.Window]
-		rel := argminRightmost(window)
-		abs := start + rel
-		if abs != prevSel {
-			h[hashes[abs]]++
-			prevSel = abs
+	fixed5 := k == 5 // DefaultConfig's gram size, unrolled below
+	for i := 0; i < n; i++ {
+		var g uint64
+		if fixed5 {
+			g = hash5(text[i], text[i+1], text[i+2], text[i+3], text[i+4])
+		} else {
+			g = hashBytes(text[i : i+k])
+		}
+		for size > 0 && val[(head+size-1)&mask] >= g {
+			size--
+		}
+		tail := (head + size) & mask
+		pos[tail], val[tail] = i, g
+		size++
+		start := i - w + 1
+		if start < 0 {
+			continue
+		}
+		if pos[head] < start {
+			head = (head + 1) & mask
+			size--
+		}
+		// Record each selected position once (robust winnowing: keep the
+		// previous selection while it remains the window minimum).
+		if sel := pos[head]; sel != prevSel {
+			h[val[head]]++
+			prevSel = sel
 		}
 	}
 	return h
 }
 
-// gramHashes returns the rolling FNV-style hash of every k-gram.
-func gramHashes(text string, k int) []uint64 {
-	n := len(text) - k + 1
-	out := make([]uint64, n)
-	for i := 0; i < n; i++ {
-		out[i] = hashBytes(text[i : i+k])
-	}
-	return out
+// Fingerprint computes the winnow histogram of text with transient scratch
+// state. Hot paths should reuse a Scratch (and a Reset histogram) instead.
+func Fingerprint(text string, cfg Config) Histogram {
+	var s Scratch
+	return s.Fingerprint(text, cfg)
+}
+
+// hash5 is hashBytes unrolled for the default 5-byte gram — identical
+// output, no slice header or loop per gram.
+func hash5(b0, b1, b2, b3, b4 byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := (uint64(offset) ^ uint64(b0)) * prime
+	h = (h ^ uint64(b1)) * prime
+	h = (h ^ uint64(b2)) * prime
+	h = (h ^ uint64(b3)) * prime
+	return (h ^ uint64(b4)) * prime
 }
 
 // hashBytes is 64-bit FNV-1a.
@@ -84,29 +181,6 @@ func hashBytes(s string) uint64 {
 		h *= prime
 	}
 	return h
-}
-
-func argmin(xs []uint64) int {
-	best := 0
-	for i, x := range xs {
-		if x < xs[best] {
-			best = i
-		}
-	}
-	return best
-}
-
-// argminRightmost returns the index of the minimum, breaking ties toward
-// the rightmost occurrence (the standard winnowing tie-break, which
-// minimizes re-selection).
-func argminRightmost(xs []uint64) int {
-	best := 0
-	for i, x := range xs {
-		if x <= xs[best] {
-			best = i
-		}
-	}
-	return best
 }
 
 // Total returns the histogram mass.
@@ -150,4 +224,68 @@ func (h Histogram) Merge(other Histogram) {
 	for k, c := range other {
 		h[k] += c
 	}
+}
+
+// Compact is a histogram in hash-sorted slice form. Overlap between two
+// Compacts is a cache-friendly merge walk instead of a map iteration with
+// per-key lookups — the corpus sweep in cluster labeling compares one
+// prototype histogram against every stored corpus entry, which makes that
+// walk the hot loop.
+type Compact struct {
+	hashes []uint64
+	counts []int32
+	total  int
+}
+
+// Compact converts the histogram to its sorted form.
+func (h Histogram) Compact() Compact {
+	c := Compact{
+		hashes: make([]uint64, 0, len(h)),
+		counts: make([]int32, len(h)),
+	}
+	for k := range h {
+		c.hashes = append(c.hashes, k)
+	}
+	slices.Sort(c.hashes)
+	for i, k := range c.hashes {
+		n := h[k]
+		c.counts[i] = int32(n)
+		c.total += n
+	}
+	return c
+}
+
+// Total returns the compact histogram's mass.
+func (c Compact) Total() int { return c.total }
+
+// OverlapCompact computes the same containment coefficient as Overlap on
+// the sorted forms.
+func OverlapCompact(a, b Compact) float64 {
+	if a.total == 0 || b.total == 0 {
+		return 0
+	}
+	smaller := a.total
+	if b.total < smaller {
+		smaller = b.total
+	}
+	shared := 0
+	i, j := 0, 0
+	for i < len(a.hashes) && j < len(b.hashes) {
+		ah, bh := a.hashes[i], b.hashes[j]
+		switch {
+		case ah == bh:
+			ca, cb := a.counts[i], b.counts[j]
+			if cb < ca {
+				ca = cb
+			}
+			shared += int(ca)
+			i++
+			j++
+		case ah < bh:
+			i++
+		default:
+			j++
+		}
+	}
+	return float64(shared) / float64(smaller)
 }

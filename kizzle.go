@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 
+	"kizzle/internal/contentcache"
 	"kizzle/internal/pipeline"
 	"kizzle/internal/siggen"
 	"kizzle/internal/sigmatch"
@@ -99,15 +100,33 @@ func WithPartitionSize(n int) Option {
 	return func(c *pipeline.Config) { c.PartitionSize = n }
 }
 
+// WithCacheBytes bounds the compiler's content-addressed cache, which
+// persists across Process calls so a day's batch pays only for content not
+// seen on previous days (tokenization, unpacking, and fingerprinting are
+// all content-keyed). 0 keeps the 64 MiB default; negative disables the
+// persistent cache (each batch then uses a transient one).
+func WithCacheBytes(n int) Option {
+	return func(c *pipeline.Config) {
+		if n < 0 {
+			c.Cache = nil
+			return
+		}
+		c.Cache = contentcache.New(n)
+	}
+}
+
 // Compiler is the Kizzle signature compiler.
 type Compiler struct {
 	cfg    pipeline.Config
 	corpus *pipeline.Corpus
 }
 
-// New builds a Compiler with the paper's default parameters.
+// New builds a Compiler with the paper's default parameters. The compiler
+// carries a content-addressed cache across Process calls (see
+// WithCacheBytes), so consecutive daily batches only pay for new content.
 func New(opts ...Option) *Compiler {
 	cfg := pipeline.DefaultConfig()
+	cfg.Cache = contentcache.New(0)
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -301,3 +320,109 @@ func (m *Matcher) ScanAll(docs []string) [][]Match {
 
 // Detects reports whether any signature matches the document.
 func (m *Matcher) Detects(doc string) bool { return m.scanner.Detects(doc) }
+
+// MatcherCache builds Matchers incrementally: compiled signatures are kept
+// per family and reused across builds, so republishing a signature set
+// where only one family changed recompiles only that family. Signature
+// publishers recompile on every update (sigserve's /signatures POST and
+// its periodic recompilation loop); with dozens of tracked families the
+// full rebuild is almost entirely redundant work. The zero value is ready
+// to use. A MatcherCache is not safe for concurrent use; callers serialize
+// Build (sigserve holds its handler mutex).
+type MatcherCache struct {
+	families map[string]*familyCompiled
+}
+
+type familyCompiled struct {
+	// sigs is the family's ordered signature list; reuse requires exact
+	// structural equality, so a cache hit can never hand back the wrong
+	// compilation.
+	sigs     []siggen.Signature
+	compiled []*sigmatch.Compiled
+}
+
+// sameSignatures reports structural equality of an ordered signature list
+// against the family's cached one.
+func (fc *familyCompiled) sameSignatures(sigs []Signature, idxs []int) bool {
+	if len(fc.sigs) != len(idxs) {
+		return false
+	}
+	for k, i := range idxs {
+		a, b := fc.sigs[k], sigs[i].inner
+		if a.Family != b.Family || a.Samples != b.Samples || len(a.Elements) != len(b.Elements) {
+			return false
+		}
+		for e := range a.Elements {
+			if a.Elements[e] != b.Elements[e] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BuildStats reports what a MatcherCache.Build reused versus recompiled.
+type BuildStats struct {
+	FamiliesReused     int
+	FamiliesRecompiled int
+	SignaturesReused   int
+	SignaturesCompiled int
+}
+
+// Build compiles sigs into a Matcher, reusing the compiled form of every
+// family whose (ordered) signature list is unchanged since the previous
+// Build. The resulting Matcher is identical to NewMatcher(sigs): scan
+// results, signature indices, and anchor selection do not depend on what
+// was cached.
+func (mc *MatcherCache) Build(sigs []Signature) (*Matcher, BuildStats, error) {
+	var stats BuildStats
+	if mc.families == nil {
+		mc.families = make(map[string]*familyCompiled)
+	}
+
+	// Group signature indices by family, preserving order.
+	byFamily := make(map[string][]int)
+	var order []string
+	for i, s := range sigs {
+		fam := s.inner.Family
+		if _, seen := byFamily[fam]; !seen {
+			order = append(order, fam)
+		}
+		byFamily[fam] = append(byFamily[fam], i)
+	}
+
+	compiled := make([]*sigmatch.Compiled, len(sigs))
+	next := make(map[string]*familyCompiled, len(byFamily))
+	for _, fam := range order {
+		idxs := byFamily[fam]
+		if prev, ok := mc.families[fam]; ok && prev.sameSignatures(sigs, idxs) {
+			for k, i := range idxs {
+				compiled[i] = prev.compiled[k]
+			}
+			next[fam] = prev
+			stats.FamiliesReused++
+			stats.SignaturesReused += len(idxs)
+			continue
+		}
+		fc := &familyCompiled{
+			sigs:     make([]siggen.Signature, len(idxs)),
+			compiled: make([]*sigmatch.Compiled, len(idxs)),
+		}
+		for k, i := range idxs {
+			c, err := sigmatch.Compile(sigs[i].inner)
+			if err != nil {
+				return nil, stats, fmt.Errorf("kizzle: compile signature %d: %w", i, err)
+			}
+			fc.sigs[k] = sigs[i].inner
+			fc.compiled[k] = c
+			compiled[i] = c
+		}
+		next[fam] = fc
+		stats.FamiliesRecompiled++
+		stats.SignaturesCompiled += len(idxs)
+	}
+	// Families absent from this build are dropped from the cache.
+	mc.families = next
+	return &Matcher{scanner: sigmatch.NewScannerFromCompiled(compiled)}, stats, nil
+}
+

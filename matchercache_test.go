@@ -1,0 +1,159 @@
+package kizzle_test
+
+import (
+	"reflect"
+	"testing"
+
+	"kizzle"
+	"kizzle/synth"
+)
+
+// buildSignatureSet compiles one day of synthetic traffic into signatures
+// spanning several families.
+func buildSignatureSet(t testing.TB, day int) []kizzle.Signature {
+	t.Helper()
+	c := kizzle.New()
+	for _, fam := range synth.Kits() {
+		c.AddKnown(fam.String(), synth.Payload(fam, day-1))
+	}
+	scfg := synth.DefaultConfig()
+	scfg.BenignPerDay = 40
+	stream, err := synth.NewStream(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []kizzle.Sample
+	for _, s := range stream.Day(day) {
+		batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+	}
+	res, err := c.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Signatures) < 2 {
+		t.Fatalf("need >= 2 signatures for the incremental test, got %d", len(res.Signatures))
+	}
+	return res.Signatures
+}
+
+// scanResults collects per-document matches over a probe set.
+func scanResults(m *kizzle.Matcher, docs []string) [][]kizzle.Match {
+	out := make([][]kizzle.Match, len(docs))
+	for i, d := range docs {
+		out[i] = m.Scan(d)
+	}
+	return out
+}
+
+// TestMatcherCacheIncremental pins the satellite requirement: rebuilding
+// with one family changed recompiles only that family, and the assembled
+// matcher is indistinguishable from a full NewMatcher build.
+func TestMatcherCacheIncremental(t *testing.T) {
+	day := synth.Date(8, 6)
+	sigs := buildSignatureSet(t, day)
+
+	var probes []string
+	scfg := synth.DefaultConfig()
+	scfg.BenignPerDay = 10
+	stream, err := synth.NewStream(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stream.Day(day + 1) {
+		probes = append(probes, s.Content)
+	}
+
+	var mc kizzle.MatcherCache
+	m1, stats1, err := mc.Build(sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.FamiliesReused != 0 || stats1.SignaturesCompiled != len(sigs) {
+		t.Fatalf("cold build stats = %+v, want all %d compiled", stats1, len(sigs))
+	}
+	full, err := kizzle.NewMatcher(sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scanResults(full, probes), scanResults(m1, probes)) {
+		t.Fatal("cached build scans differently from NewMatcher")
+	}
+
+	// Identical republish: nothing recompiles.
+	m2, stats2, err := mc.Build(sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.SignaturesCompiled != 0 || stats2.SignaturesReused != len(sigs) {
+		t.Fatalf("identical republish stats = %+v, want all reused", stats2)
+	}
+	if !reflect.DeepEqual(scanResults(m1, probes), scanResults(m2, probes)) {
+		t.Fatal("republish changed scan results")
+	}
+
+	// Drop one family's signatures: only that family's absence changes the
+	// set, every other family must be reused.
+	dropped := sigs[0].Family()
+	var rest []kizzle.Signature
+	families := make(map[string]bool)
+	for _, s := range sigs {
+		if s.Family() != dropped {
+			rest = append(rest, s)
+			families[s.Family()] = true
+		}
+	}
+	m3, stats3, err := mc.Build(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats3.SignaturesCompiled != 0 {
+		t.Fatalf("dropping a family recompiled %d signatures", stats3.SignaturesCompiled)
+	}
+	if stats3.FamiliesReused != len(families) {
+		t.Fatalf("reused %d families, want %d", stats3.FamiliesReused, len(families))
+	}
+	fullRest, err := kizzle.NewMatcher(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scanResults(fullRest, probes), scanResults(m3, probes)) {
+		t.Fatal("incremental build after family drop scans differently")
+	}
+
+	// Re-adding the dropped family recompiles exactly it (the cache
+	// evicted it on the previous build).
+	_, stats4, err := mc.Build(sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats4.FamiliesRecompiled != 1 {
+		t.Fatalf("re-adding one family recompiled %d families", stats4.FamiliesRecompiled)
+	}
+}
+
+// BenchmarkMatcherRebuild compares a full recompilation against the
+// incremental rebuild when no family changed — sigserve's steady state.
+func BenchmarkMatcherRebuild(b *testing.B) {
+	sigs := buildSignatureSet(b, synth.Date(8, 6))
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := kizzle.NewMatcher(sigs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		var mc kizzle.MatcherCache
+		if _, _, err := mc.Build(sigs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := mc.Build(sigs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

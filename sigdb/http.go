@@ -3,22 +3,39 @@ package sigdb
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"time"
+
+	"kizzle"
 )
+
+// maxUpdateBytes caps one POSTed signature set (4 MiB holds thousands of
+// signatures; Figure 12 sizes run to ~2 KB each).
+const maxUpdateBytes = 4 << 20
 
 // Handler serves the store over HTTP:
 //
-//	GET <path>?since=<version>
+//	GET  <path>?since=<version>
+//	POST <path>
 //
-// responds 304 when the client is current, otherwise 200 with the full
+// GET responds 304 when the client is current, otherwise 200 with the full
 // Snapshot as JSON. Full snapshots (rather than deltas) keep consumers
-// correct through any missed update.
+// correct through any missed update. POST replaces the published set with
+// the {"signatures": [...], "multi": [...]} body — the push side of the
+// distribution channel, used by compiler pipelines that publish signatures
+// the moment a day's batch finishes — and responds with the new version.
+// Invalid signature sets are rejected before they can reach any consumer.
 func (s *Store) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
+		switch r.Method {
+		case http.MethodGet:
+		case http.MethodPost:
+			s.handleUpdate(w, r)
+			return
+		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
@@ -42,6 +59,35 @@ func (s *Store) Handler() http.Handler {
 			return
 		}
 	})
+}
+
+// update is the POST body: a signature set without version (the store
+// assigns the next version on Replace).
+type update struct {
+	Signatures []kizzle.Signature      `json:"signatures"`
+	Multi      []kizzle.MultiSignature `json:"multi,omitempty"`
+}
+
+func (s *Store) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxUpdateBytes)
+	var u update
+	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, "bad update: "+err.Error(), status)
+		return
+	}
+	version, err := s.Replace(u.Signatures, u.Multi)
+	if err != nil {
+		// Replace validates by compiling; a bad set never deploys.
+		http.Error(w, "rejected: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"version\":%d}\n", version)
 }
 
 // Client polls a signature server and applies updates.

@@ -1,10 +1,14 @@
 package sigdb
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -181,13 +185,76 @@ func TestHTTPBadRequests(t *testing.T) {
 	if resp.StatusCode != 400 {
 		t.Errorf("bad since: status %d", resp.StatusCode)
 	}
-	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	post, err := srv.Client().Post(srv.URL, "application/json", strings.NewReader("{not json"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	post.Body.Close()
-	if post.StatusCode != 405 {
-		t.Errorf("POST: status %d", post.StatusCode)
+	if post.StatusCode != 400 {
+		t.Errorf("malformed POST: status %d", post.StatusCode)
+	}
+	del, err := http.NewRequest(http.MethodDelete, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = srv.Client().Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("DELETE: status %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPPostUpdate round-trips a signature set through the push side of
+// the distribution channel: POST replaces the published set, bumps the
+// version, and pollers pick the new set up.
+func TestHTTPPostUpdate(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	store := New()
+	srv := httptest.NewServer(store.Handler())
+	defer srv.Close()
+
+	sigs := trainSignatures(t, day)
+	body, err := json.Marshal(map[string]any{"signatures": sigs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST: status %d", resp.StatusCode)
+	}
+	var v struct {
+		Version int64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Version != 1 || store.Version() != 1 {
+		t.Fatalf("POST version = %d (store %d), want 1", v.Version, store.Version())
+	}
+	snap := store.Snapshot()
+	if len(snap.Signatures) != len(sigs) {
+		t.Fatalf("published %d signatures, want %d", len(snap.Signatures), len(sigs))
+	}
+
+	// An invalid set must be rejected without touching the store.
+	bad, err := srv.Client().Post(srv.URL, "application/json",
+		strings.NewReader(`{"signatures": [{"family":"X","elements":[{"kind":2,"group":0}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != 422 {
+		t.Errorf("invalid set: status %d, want 422", bad.StatusCode)
+	}
+	if store.Version() != 1 {
+		t.Errorf("invalid set bumped version to %d", store.Version())
 	}
 }
 
