@@ -1,9 +1,30 @@
 package kizzle_test
 
-import "math/rand"
+import (
+	"math/rand"
+	"strings"
+)
 
-// newJunkRand and junkStatement support the junk-insertion ablation.
+// newJunkRand and junkStatement support the junk-insertion ablation and
+// the sharded-clustering benchmark's workload generator.
 func newJunkRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// junkVariant sprays random statements between a document's statements
+// with probability rate per boundary, yielding structurally distinct (yet
+// related) token sequences — the attacker mutation of §V, reused as a
+// generator of clustering-heavy workloads.
+func junkVariant(doc string, seed int64, rate float64) string {
+	rng := newJunkRand(seed)
+	stmts := strings.SplitAfter(doc, ";")
+	var sb strings.Builder
+	for _, s := range stmts {
+		sb.WriteString(s)
+		if rng.Float64() < rate {
+			sb.WriteString(junkStatement(rng))
+		}
+	}
+	return sb.String()
+}
 
 func junkStatement(rng *rand.Rand) string {
 	ident := func() string {

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunStaticFigures(t *testing.T) {
 	for _, fig := range []string{"2", "5"} {
@@ -22,5 +26,47 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run([]string{"-days", "2", "-benign", "30", "-fig", "bogus"}); err == nil {
 		t.Error("unknown figure must fail")
+	}
+	if err := run([]string{"-days", "1", "-shards", "-1"}); err == nil {
+		t.Error("negative shards must fail")
+	}
+	if err := run([]string{"-days", "1", "-cachemb", "0", "-cachedir", t.TempDir()}); err == nil {
+		t.Error("-cachedir without a cache must fail")
+	}
+}
+
+func TestRunSharded(t *testing.T) {
+	if err := run([]string{"-days", "2", "-benign", "40", "-shards", "3", "-fig", "perf"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPersistentCache(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-days", "1", "-benign", "40", "-fig", "perf", "-cachedir", dir}
+	// First run cold, second run restores the snapshot.
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunShardedPersistentCache(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-days", "1", "-benign", "40", "-fig", "perf", "-shards", "2", "-cachedir", dir}
+	// Both the coordinator cache and each shard's verdict cache must
+	// survive the save/load cycle.
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"shard-0", "shard-1"} {
+		if _, err := os.Stat(filepath.Join(dir, sub)); err != nil {
+			t.Fatalf("worker cache dir %s missing after run: %v", sub, err)
+		}
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,14 @@
+// Package gateway implements the paper's deployment channels as a working
+// HTTP component: "Kizzle signatures may be deployed within a browser ...
+// to scan all or some of the incoming JavaScript code" and "server-side,
+// for instance, a CDN administrator may decide which JavaScript files to
+// host". The Proxy is a reverse proxy that scans HTML/JavaScript responses
+// with a deployed signature set and blocks exploit-kit landings; the
+// Vetter is the CDN-side admission check for uploads.
+//
+// Both components scan through a shared BatchScanner: Vetter.VetAll
+// admits a whole upload batch in one pass across the matcher's worker
+// pool, which is the shape CDN admission queues and scan APIs call with.
+// Signature updates arrive through sigdb's polling client, so a running
+// proxy converges on a new published set without restarting.
+package gateway

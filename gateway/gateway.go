@@ -1,10 +1,3 @@
-// Package gateway implements the paper's deployment channels as a working
-// HTTP component: "Kizzle signatures may be deployed within a browser ...
-// to scan all or some of the incoming JavaScript code" and "server-side,
-// for instance, a CDN administrator may decide which JavaScript files to
-// host". The Proxy is a reverse proxy that scans HTML/JavaScript responses
-// with a deployed signature set and blocks exploit-kit landings; the
-// Vetter is the CDN-side admission check for uploads.
 package gateway
 
 import (

@@ -1,9 +1,3 @@
-// Package avsim models the anonymized commercial anti-virus engine Kizzle
-// is compared against. The engine matches literal byte signatures over the
-// raw document — the classic AV approach — and its signature set evolves on
-// an analyst timetable: when a kit mutates past the current signatures, a
-// human writes a new one and it ships days later (the adversarial cycle of
-// Figure 1 and the window of vulnerability of Figure 6).
 package avsim
 
 import (

@@ -1,20 +1,3 @@
-// Package contentcache provides the content-addressed day-over-day cache
-// behind Kizzle's streaming pipeline. The paper's economic argument is that
-// provider-scale telemetry re-observes most content daily (Figure 11: RIG
-// aside, families reuse most of their body day over day); keying derived
-// artifacts — abstract token sequences, unpack results, winnow fingerprints
-// — by a digest of the content that produced them lets day N+1 pay only
-// for content it has not seen before.
-//
-// Entries are verified: every hit compares the stored content against the
-// probe before returning, so a 64-bit digest collision degrades to a miss,
-// never to a wrong answer. (Callers that key by a composite hash identity
-// instead of real content — the pipeline's signature and pair-verdict
-// stages — get identity at the strength of the hashes in that key, not
-// byte verification; they document that trade at the call site.) The
-// cache is sharded for concurrent access from pipeline workers and
-// bounded by a byte budget with FIFO eviction (oldest content first —
-// recent variants matter most for tracking drift).
 package contentcache
 
 import (
@@ -79,6 +62,15 @@ func New(maxBytes int) *Cache {
 		c.shards[i].m = make(map[Key]entry)
 	}
 	return c
+}
+
+// MaxBytes reports the cache's approximate byte budget (the value New was
+// built with, rounded down to a multiple of the shard count).
+func (c *Cache) MaxBytes() int {
+	if c == nil {
+		return 0
+	}
+	return c.maxShardSize * shardCount
 }
 
 func (c *Cache) shard(k Key) *shard {

@@ -1,0 +1,319 @@
+package contentcache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// This file implements the disk-backed persistent store: a cache snapshot
+// is written as a directory of checksummed segment files and reloaded on
+// the next start, so a restarted pipeline keeps its warm-day economics
+// (the paper's day N+1 only pays for novel content — but only if the
+// day-N artifacts survive the process).
+//
+// Layout: dir/seg-NNNN.kcc, each segment holding
+//
+//	magic "KZC1" | entry* | xxh64(entry bytes)
+//
+// and each entry
+//
+//	kind (1B) | key digest (8B LE) | key len (uvarint) |
+//	value-cost estimate (uvarint) | content len (uvarint) | content |
+//	value len (uvarint) | encoded value
+//
+// Every layer re-verifies on load: a segment whose checksum does not match
+// is skipped whole (a torn write loses one segment, not the store), and an
+// entry whose content no longer digests to its key is skipped individually.
+// Values are encoded through per-Kind Codecs supplied by the caller — the
+// cache itself stores opaque `any` values and cannot serialize them; the
+// pipeline package owns the codecs for its artifact kinds.
+
+// Codec serializes one Kind's values for the disk store. An Encode error
+// excludes that value from persistence without failing the save (it is
+// counted in SaveStats.Skipped).
+type Codec interface {
+	Encode(value any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+// Codecs maps each persistable Kind to its value codec. Kinds absent from
+// the map are silently skipped on save and on load, so callers persist
+// exactly the artifact types they know how to rebuild.
+type Codecs map[Kind]Codec
+
+const (
+	segMagic       = "KZC1"
+	segTargetBytes = 4 << 20 // split segments so corruption loses at most ~4 MiB
+	segPattern     = "seg-*.kcc"
+)
+
+// SaveStats reports what a Save wrote.
+type SaveStats struct {
+	// Entries is the number of entries persisted.
+	Entries int
+	// Skipped counts entries without a codec for their kind (or whose
+	// codec declined them).
+	Skipped int
+	// Segments is the number of segment files written.
+	Segments int
+	// Bytes is the total size of the written segments.
+	Bytes int64
+}
+
+// LoadStats reports what a Load recovered.
+type LoadStats struct {
+	// Entries is the number of entries restored into the cache.
+	Entries int
+	// Segments is the number of segment files read successfully.
+	Segments int
+	// CorruptSegments counts segments skipped for checksum mismatch or
+	// truncation.
+	CorruptSegments int
+	// SkippedEntries counts entries dropped individually: no codec for
+	// the kind, codec decode failure, or content that no longer matches
+	// its key digest.
+	SkippedEntries int
+}
+
+// Save snapshots the cache's current entries into dir as checksummed
+// segment files, replacing any previous snapshot atomically enough for a
+// crash at any point to leave a readable store: segments are written to
+// temporary names, renamed over their predecessors (an atomic per-file
+// replace), and only then are stale extra segments removed — a crash
+// mid-commit can mix generations, which the per-segment checksums and
+// per-entry verification make safe, merely staler. Only kinds present in
+// codecs are persisted.
+func (c *Cache) Save(dir string, codecs Codecs) (SaveStats, error) {
+	var stats SaveStats
+	if c == nil {
+		return stats, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return stats, fmt.Errorf("contentcache: save: %w", err)
+	}
+	// Sweep temporaries a previously aborted Save may have left behind.
+	if stale, err := filepath.Glob(filepath.Join(dir, segPattern+".tmp")); err == nil {
+		for _, f := range stale {
+			os.Remove(f)
+		}
+	}
+
+	var (
+		tmpFiles []string
+		buf      []byte
+		segIdx   int
+	)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		name := filepath.Join(dir, fmt.Sprintf("seg-%04d.kcc.tmp", segIdx))
+		segIdx++
+		var out []byte
+		out = append(out, segMagic...)
+		out = append(out, buf...)
+		out = binary.LittleEndian.AppendUint64(out, Digest(string(buf)))
+		if err := os.WriteFile(name, out, 0o644); err != nil {
+			return err
+		}
+		tmpFiles = append(tmpFiles, name)
+		stats.Segments++
+		stats.Bytes += int64(len(out))
+		buf = buf[:0]
+		return nil
+	}
+
+	// Walk shards in index order and each shard in FIFO order, so the
+	// reload preserves eviction age ordering.
+	for si := range c.shards {
+		s := &c.shards[si]
+		s.mu.Lock()
+		type snap struct {
+			key Key
+			e   entry
+		}
+		entries := make([]snap, 0, len(s.order))
+		for _, k := range s.order {
+			if e, ok := s.m[k]; ok {
+				entries = append(entries, snap{key: k, e: e})
+			}
+		}
+		s.mu.Unlock()
+		for _, sn := range entries {
+			codec, ok := codecs[sn.key.Kind]
+			if !ok {
+				stats.Skipped++
+				continue
+			}
+			encoded, err := codec.Encode(sn.e.value)
+			if err != nil {
+				stats.Skipped++
+				continue
+			}
+			buf = append(buf, byte(sn.key.Kind))
+			buf = binary.LittleEndian.AppendUint64(buf, sn.key.Digest)
+			buf = binary.AppendUvarint(buf, uint64(sn.key.Len))
+			valueCost := sn.e.cost - len(sn.e.content)
+			if valueCost < 0 {
+				valueCost = 0
+			}
+			buf = binary.AppendUvarint(buf, uint64(valueCost))
+			buf = binary.AppendUvarint(buf, uint64(len(sn.e.content)))
+			buf = append(buf, sn.e.content...)
+			buf = binary.AppendUvarint(buf, uint64(len(encoded)))
+			buf = append(buf, encoded...)
+			stats.Entries++
+			if len(buf) >= segTargetBytes {
+				if err := flush(); err != nil {
+					return stats, fmt.Errorf("contentcache: save: %w", err)
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return stats, fmt.Errorf("contentcache: save: %w", err)
+	}
+
+	// Commit: rename the new segments into place first — os.Rename
+	// atomically replaces an old segment of the same index, so at every
+	// instant each seg-NNNN.kcc is either the complete old or the
+	// complete new generation — then drop old segments beyond the new
+	// count. A crash mid-commit leaves a readable store (possibly mixing
+	// generations; per-segment checksums and per-entry verification make
+	// a mixed read safe, merely staler).
+	old, err := filepath.Glob(filepath.Join(dir, segPattern))
+	if err != nil {
+		return stats, fmt.Errorf("contentcache: save: %w", err)
+	}
+	committed := make(map[string]bool, len(tmpFiles))
+	for _, tmp := range tmpFiles {
+		final := tmp[:len(tmp)-len(".tmp")]
+		if err := os.Rename(tmp, final); err != nil {
+			return stats, fmt.Errorf("contentcache: save: %w", err)
+		}
+		committed[final] = true
+	}
+	for _, f := range old {
+		if committed[f] {
+			continue
+		}
+		if err := os.Remove(f); err != nil {
+			return stats, fmt.Errorf("contentcache: save: %w", err)
+		}
+	}
+	return stats, nil
+}
+
+// Load builds a cache bounded by maxBytes (0 selects the default budget,
+// as in New) and restores a snapshot previously written by Save into it.
+// Corrupt segments and stale entries are skipped, never fatal: a store
+// that fails verification degrades to a cold cache, exactly as if the
+// snapshot had not existed. A missing directory is an empty snapshot.
+func Load(dir string, codecs Codecs, maxBytes int) (*Cache, LoadStats, error) {
+	c := New(maxBytes)
+	stats, err := LoadInto(c, dir, codecs)
+	return c, stats, err
+}
+
+// LoadInto restores a snapshot into an existing cache. Entries are applied
+// in their saved order through the normal PutSized path, so the byte
+// budget holds: a snapshot larger than the budget loads with oldest
+// entries evicted, the same decision a live cache would have made.
+func LoadInto(c *Cache, dir string, codecs Codecs) (LoadStats, error) {
+	var stats LoadStats
+	files, err := filepath.Glob(filepath.Join(dir, segPattern))
+	if err != nil {
+		return stats, fmt.Errorf("contentcache: load: %w", err)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			stats.CorruptSegments++
+			continue
+		}
+		if !validSegment(raw) {
+			stats.CorruptSegments++
+			continue
+		}
+		stats.Segments++
+		loadSegment(c, raw[len(segMagic):len(raw)-8], codecs, &stats)
+	}
+	return stats, nil
+}
+
+// validSegment checks magic, minimum size, and the trailing checksum.
+func validSegment(raw []byte) bool {
+	if len(raw) < len(segMagic)+8 || string(raw[:len(segMagic)]) != segMagic {
+		return false
+	}
+	payload := raw[len(segMagic) : len(raw)-8]
+	want := binary.LittleEndian.Uint64(raw[len(raw)-8:])
+	return Digest(string(payload)) == want
+}
+
+// loadSegment decodes one verified segment payload. Individual entries can
+// still be skipped (unknown kind, codec failure, digest mismatch); a
+// malformed entry ends the segment early, since entry boundaries cannot be
+// recovered past it. The segment checksum makes that case unreachable
+// outside memory corruption, but the parser stays defensive.
+func loadSegment(c *Cache, payload []byte, codecs Codecs, stats *LoadStats) {
+	for len(payload) > 0 {
+		if len(payload) < 9 {
+			stats.SkippedEntries++
+			return
+		}
+		kind := Kind(payload[0])
+		digest := binary.LittleEndian.Uint64(payload[1:9])
+		payload = payload[9:]
+		keyLen, n := binary.Uvarint(payload)
+		if n <= 0 {
+			stats.SkippedEntries++
+			return
+		}
+		payload = payload[n:]
+		valueCost, n := binary.Uvarint(payload)
+		if n <= 0 {
+			stats.SkippedEntries++
+			return
+		}
+		payload = payload[n:]
+		contentLen, n := binary.Uvarint(payload)
+		if n <= 0 || uint64(len(payload)-n) < contentLen {
+			stats.SkippedEntries++
+			return
+		}
+		content := string(payload[n : n+int(contentLen)])
+		payload = payload[n+int(contentLen):]
+		valueLen, n := binary.Uvarint(payload)
+		if n <= 0 || uint64(len(payload)-n) < valueLen {
+			stats.SkippedEntries++
+			return
+		}
+		encoded := payload[n : n+int(valueLen)]
+		payload = payload[n+int(valueLen):]
+
+		codec, ok := codecs[kind]
+		if !ok {
+			stats.SkippedEntries++
+			continue
+		}
+		// Re-verify the key against the content: an entry from a snapshot
+		// written by a different digest implementation (or flipped bits
+		// that survived the checksum) must not poison the cache.
+		if uint64(len(content)) != keyLen || Digest(content) != digest {
+			stats.SkippedEntries++
+			continue
+		}
+		value, err := codec.Decode(encoded)
+		if err != nil {
+			stats.SkippedEntries++
+			continue
+		}
+		c.PutSized(Key{Kind: kind, Digest: digest, Len: int(keyLen)}, content, value, int(valueCost))
+		stats.Entries++
+	}
+}

@@ -1,0 +1,261 @@
+package contentcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stringCodec persists plain string values — enough to exercise the store
+// machinery without pipeline types (the pipeline package owns and tests
+// the real artifact codecs).
+type stringCodec struct{}
+
+func (stringCodec) Encode(value any) ([]byte, error) {
+	s, ok := value.(string)
+	if !ok {
+		return nil, fmt.Errorf("not a string: %T", value)
+	}
+	return []byte(s), nil
+}
+
+func (stringCodec) Decode(data []byte) (any, error) { return string(data), nil }
+
+const testKind Kind = 1
+
+func testCodecs() Codecs { return Codecs{testKind: stringCodec{}} }
+
+func fill(c *Cache, n int, prefix string) {
+	for i := 0; i < n; i++ {
+		content := fmt.Sprintf("%s-content-%04d", prefix, i)
+		c.PutSized(KeyOf(testKind, content), content, "value-of-"+content, 16)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := New(1 << 20)
+	fill(c, 100, "rt")
+
+	saved, err := c.Save(dir, testCodecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.Entries != 100 || saved.Skipped != 0 || saved.Segments == 0 {
+		t.Fatalf("save stats: %+v", saved)
+	}
+
+	loaded, stats, err := Load(dir, testCodecs(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 100 || stats.CorruptSegments != 0 || stats.SkippedEntries != 0 {
+		t.Fatalf("load stats: %+v", stats)
+	}
+	for i := 0; i < 100; i++ {
+		content := fmt.Sprintf("rt-content-%04d", i)
+		v, ok := loaded.Get(KeyOf(testKind, content), content)
+		if !ok {
+			t.Fatalf("entry %d missing after reload", i)
+		}
+		if v.(string) != "value-of-"+content {
+			t.Fatalf("entry %d: wrong value %q", i, v)
+		}
+	}
+	// Cost accounting survives the round trip (content + 16 per entry).
+	if got, want := loaded.Stats().Bytes, c.Stats().Bytes; got != want {
+		t.Fatalf("reloaded accounting %d bytes, saved cache had %d", got, want)
+	}
+}
+
+// TestDiskKindsWithoutCodec pins that unknown kinds are skipped — not
+// persisted, and not fatal when a snapshot carries kinds the loader no
+// longer knows.
+func TestDiskKindsWithoutCodec(t *testing.T) {
+	dir := t.TempDir()
+	c := New(1 << 20)
+	fill(c, 10, "known")
+	const otherKind Kind = 9
+	c.Put(KeyOf(otherKind, "mystery"), "mystery", "opaque")
+
+	saved, err := c.Save(dir, testCodecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.Entries != 10 || saved.Skipped != 1 {
+		t.Fatalf("save stats: %+v", saved)
+	}
+
+	// A loader with no codecs at all skips everything, harmlessly.
+	empty, stats, err := Load(dir, Codecs{}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 0 || stats.SkippedEntries != 10 {
+		t.Fatalf("codec-less load stats: %+v", stats)
+	}
+	if st := empty.Stats(); st.Entries != 0 {
+		t.Fatalf("codec-less load populated %d entries", st.Entries)
+	}
+}
+
+// TestDiskCorruptSegmentRecovery flips bytes in one segment and truncates
+// another: both must be skipped whole while intact segments still load.
+func TestDiskCorruptSegmentRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c := New(64 << 20)
+	// Big values force several segments: ~1 MiB per entry, 4 MiB target.
+	big := strings.Repeat("x", 1<<20)
+	const entries = 12
+	for i := 0; i < entries; i++ {
+		content := fmt.Sprintf("corrupt-%02d", i)
+		c.PutSized(KeyOf(testKind, content), content, big, 0)
+	}
+	saved, err := c.Save(dir, testCodecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.Segments < 3 {
+		t.Fatalf("need ≥3 segments to corrupt two, got %d", saved.Segments)
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "seg-*.kcc"))
+	if err != nil || len(files) != saved.Segments {
+		t.Fatalf("glob: %v, %d files", err, len(files))
+	}
+	// Flip one byte mid-payload in the first segment.
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(files[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the second (torn write).
+	raw2, err := os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[1], raw2[:len(raw2)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, stats, err := Load(dir, testCodecs(), 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CorruptSegments != 2 {
+		t.Fatalf("corrupt segments = %d, want 2", stats.CorruptSegments)
+	}
+	if stats.Segments != saved.Segments-2 {
+		t.Fatalf("intact segments = %d, want %d", stats.Segments, saved.Segments-2)
+	}
+	if stats.Entries == 0 {
+		t.Fatal("no entries recovered from intact segments")
+	}
+	if stats.Entries+stats.SkippedEntries > entries {
+		t.Fatalf("recovered %d + skipped %d > %d saved", stats.Entries, stats.SkippedEntries, entries)
+	}
+	// Every recovered entry must verify: content matches its key.
+	hits := 0
+	for i := 0; i < entries; i++ {
+		content := fmt.Sprintf("corrupt-%02d", i)
+		if v, ok := loaded.Get(KeyOf(testKind, content), content); ok {
+			hits++
+			if v.(string) != big {
+				t.Fatalf("entry %d: corrupted value survived verification", i)
+			}
+		}
+	}
+	if hits != stats.Entries {
+		t.Fatalf("probe hits %d != loaded entries %d", hits, stats.Entries)
+	}
+}
+
+// TestDiskBudgetEvictionOnLoad loads a large snapshot into a small cache:
+// the budget must hold, with older entries evicted in favor of newer ones
+// (the same FIFO decision a live cache makes).
+func TestDiskBudgetEvictionOnLoad(t *testing.T) {
+	dir := t.TempDir()
+	big := New(8 << 20)
+	const entries = 512
+	val := strings.Repeat("v", 8<<10)
+	for i := 0; i < entries; i++ {
+		content := fmt.Sprintf("budget-%04d", i)
+		big.PutSized(KeyOf(testKind, content), content, val, len(val))
+	}
+	if _, err := big.Save(dir, testCodecs()); err != nil {
+		t.Fatal(err)
+	}
+
+	const budget = 1 << 20
+	small, stats, err := Load(dir, testCodecs(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != entries {
+		t.Fatalf("applied %d entries, want %d (eviction happens inside the cache)", stats.Entries, entries)
+	}
+	st := small.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("loaded cache holds %d bytes over the %d budget", st.Bytes, budget)
+	}
+	if st.Entries == 0 || st.Entries >= entries {
+		t.Fatalf("loaded cache holds %d entries, want a strict subset of %d", st.Entries, entries)
+	}
+}
+
+// TestDiskSaveReplacesSnapshot pins that a second, smaller save removes
+// the first save's extra segments — a reload must never mix generations.
+func TestDiskSaveReplacesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	big := New(64 << 20)
+	filler := strings.Repeat("f", 1<<20)
+	for i := 0; i < 10; i++ {
+		content := fmt.Sprintf("gen1-%02d", i)
+		big.PutSized(KeyOf(testKind, content), content, filler, 0)
+	}
+	if _, err := big.Save(dir, testCodecs()); err != nil {
+		t.Fatal(err)
+	}
+
+	small := New(1 << 20)
+	fill(small, 5, "gen2")
+	saved, err := small.Save(dir, testCodecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	files, _ := filepath.Glob(filepath.Join(dir, "seg-*.kcc"))
+	if len(files) != saved.Segments {
+		t.Fatalf("%d segment files on disk after re-save, want %d", len(files), saved.Segments)
+	}
+	loaded, stats, err := Load(dir, testCodecs(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 5 {
+		t.Fatalf("reload found %d entries, want the 5 from generation 2", stats.Entries)
+	}
+	if _, ok := loaded.Get(KeyOf(testKind, "gen1-00"), "gen1-00"); ok {
+		t.Fatal("generation-1 entry survived a replacing save")
+	}
+}
+
+// TestDiskLoadMissingDir pins that a first start (no snapshot yet) is a
+// clean cold cache, not an error.
+func TestDiskLoadMissingDir(t *testing.T) {
+	c, stats, err := Load(filepath.Join(t.TempDir(), "never-created"), testCodecs(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 0 || stats.Segments != 0 || stats.CorruptSegments != 0 {
+		t.Fatalf("stats from missing dir: %+v", stats)
+	}
+	if c.Stats().Entries != 0 {
+		t.Fatal("cache not empty")
+	}
+}

@@ -1,0 +1,31 @@
+// Package contentcache provides the content-addressed day-over-day cache
+// behind Kizzle's streaming pipeline. The paper's economic argument is that
+// provider-scale telemetry re-observes most content daily (Figure 11: RIG
+// aside, families reuse most of their body day over day); keying derived
+// artifacts — abstract token sequences, unpack results, winnow fingerprints
+// — by a digest of the content that produced them lets day N+1 pay only
+// for content it has not seen before.
+//
+// Entries are verified: every hit compares the stored content against the
+// probe before returning, so a 64-bit digest collision degrades to a miss,
+// never to a wrong answer. (Callers that key by a composite hash identity
+// instead of real content — the pipeline's signature and pair-verdict
+// stages — get identity at the strength of the hashes in that key, not
+// byte verification; they document that trade at the call site.) The
+// cache is sharded for concurrent access from pipeline workers and
+// bounded by a byte budget with FIFO eviction (oldest content first —
+// recent variants matter most for tracking drift).
+//
+// # Persistence
+//
+// Save snapshots a cache into a directory of checksummed segment files;
+// Load (or LoadInto) restores one, so a restarted pipeline, shard worker,
+// or evaluation run keeps its warm-day hit rate instead of re-deriving a
+// day's worth of artifacts. Values are serialized through per-Kind Codecs
+// supplied by the owner of the artifact types (pipeline.CacheCodecs for
+// the pipeline's kinds). Every layer is re-verified on load — segment
+// checksums, per-entry digests — and anything that fails is skipped, not
+// fatal: a damaged snapshot degrades to a colder cache, never to wrong
+// answers. Loading applies entries through the normal budget accounting,
+// so a snapshot larger than the target cache simply evicts oldest-first.
+package contentcache

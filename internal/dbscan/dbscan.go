@@ -1,9 +1,3 @@
-// Package dbscan implements density-based spatial clustering (DBSCAN,
-// Ester et al. 1996), the off-the-shelf clustering strategy Kizzle uses to
-// group token streams. The paper deliberately uses a pre-existing algorithm
-// "to reduce the engineering cost and limit the fragility of the end-to-end
-// system"; this implementation follows the original paper's definitions of
-// core points, direct density reachability, and noise.
 package dbscan
 
 import (

@@ -1,16 +1,3 @@
-// Package ekit is the synthetic exploit-kit substrate: it reproduces, as a
-// deterministic generator, the grayware stream the paper collected through
-// browser telemetry in August 2014. Each of the four studied kits (RIG,
-// Nuclear, Angler, Sweet Orange) is modeled with the layered structure of
-// Figure 3 — a fast-mutating packer around a slowly-evolving payload — with
-// per-sample randomization (identifiers, delimiters, keys) and the
-// dated mutation events of Figure 5. Benign traffic comes from a parametric
-// family generator plus special-cased families (a PluginDetect-alike that
-// shares code with Nuclear, per Figure 15, and a charcode loader that is
-// structurally close to RIG's packer).
-//
-// Everything is keyed by (family, day, index), so streams are reproducible:
-// the same configuration always yields byte-identical corpora.
 package ekit
 
 import "fmt"

@@ -1,10 +1,3 @@
-// Package evalharness runs the paper's month-long evaluation (§IV): it
-// replays the August 2014 grayware stream day by day, runs the Kizzle
-// pipeline each day, deploys the generated signatures, scans the day's
-// traffic with both Kizzle and the simulated commercial AV engine, and
-// books false positives / negatives against the generator's ground truth.
-// Every table and figure of the evaluation section is derived from the
-// per-day statistics collected here.
 package evalharness
 
 import (

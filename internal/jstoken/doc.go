@@ -1,0 +1,19 @@
+// Package jstoken lexes JavaScript source into a stream of tokens and
+// abstracts them into the small token alphabet Kizzle clusters on
+// (Keyword, Identifier, Punctuation, String, Number, Regex).
+//
+// The abstraction (paper, Figure 8) is what makes clustering robust against
+// the identifier/delimiter randomization exploit-kit packers apply to every
+// response: two samples that differ only in variable names or string
+// contents abstract to the same symbol sequence.
+//
+// Two API tiers serve two cost profiles. The package functions (Lex,
+// LexDocument, Abstract) allocate per call and are fine for one-off use.
+// The hot paths go through a reusable Scratch, whose arenas make steady-
+// state lexing allocation-free: LexInto / LexDocumentInto recycle the
+// token buffer across documents, and LexSymbols / LexDocumentSymbols lex
+// straight to the abstract symbol alphabet without materializing tokens
+// at all — the pipeline's clustering stages only ever need symbols, so
+// the 32-byte-per-token memory traffic disappears. A Scratch is not safe
+// for concurrent use; give each worker goroutine its own.
+package jstoken

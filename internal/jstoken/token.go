@@ -1,11 +1,3 @@
-// Package jstoken lexes JavaScript source into a stream of tokens and
-// abstracts them into the small token alphabet Kizzle clusters on
-// (Keyword, Identifier, Punctuation, String, Number, Regex).
-//
-// The abstraction (paper, Figure 8) is what makes clustering robust against
-// the identifier/delimiter randomization exploit-kit packers apply to every
-// response: two samples that differ only in variable names or string
-// contents abstract to the same symbol sequence.
 package jstoken
 
 import "strconv"

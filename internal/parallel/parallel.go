@@ -1,6 +1,3 @@
-// Package parallel provides the one worker-pool shape Kizzle's hot paths
-// share: N independent index-addressed tasks fanned out across a bounded
-// set of workers, handed out in blocks from an atomic counter.
 package parallel
 
 import (

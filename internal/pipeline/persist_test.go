@@ -1,0 +1,179 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"kizzle/internal/contentcache"
+	"kizzle/internal/ekit"
+	"kizzle/internal/jstoken"
+	"kizzle/internal/siggen"
+	"kizzle/internal/winnow"
+)
+
+// TestCacheCodecsRoundTrip pins every pipeline codec: encode → decode must
+// reproduce the value exactly, and truncated encodings must fail rather
+// than produce garbage.
+func TestCacheCodecsRoundTrip(t *testing.T) {
+	codecs := CacheCodecs()
+	cases := []struct {
+		name  string
+		kind  contentcache.Kind
+		value any
+	}{
+		{"symbols", kindRawSymbols, []jstoken.Symbol{3, 1, 4, 1, 5, 9, 2, 6}},
+		{"symbols-empty", kindRawSymbols, []jstoken.Symbol{}},
+		{"unpack", kindUnpack, unpackEntry{payload: "var decoded = 1;", method: "eval-unescape"}},
+		{"unpack-unpacked", kindUnpack, unpackEntry{payload: "plain", method: ""}},
+		{"fingerprint", kindFingerprint, fingerprintEntry{
+			cfg:  winnow.Config{K: 5, Window: 8},
+			hist: winnow.Histogram{0xdeadbeef: 3, 1: 1, 1 << 60: 7},
+		}},
+		{"label", kindLabel, labelEntry{corpusVersion: 42, cfg: winnow.Config{K: 3, Window: 4}, family: "Nuclear", overlap: 0.875}},
+		{"label-benign", kindLabel, labelEntry{corpusVersion: 7, cfg: winnow.DefaultConfig(), family: "", overlap: 0.01}},
+		{"tokens", kindTokens, []jstoken.Token{
+			{Class: jstoken.ClassKeyword, Text: "var", Pos: 0},
+			{Class: jstoken.ClassIdentifier, Text: "x", Pos: 4},
+			{Class: jstoken.ClassString, Text: `"s"`, Pos: 8},
+		}},
+		{"signature", kindSignature, signatureEntry{
+			cfg: siggen.Config{MinTokens: 10, MaxTokens: 200, MaxLiteral: 64},
+			sig: siggen.Signature{
+				Family:  "Angler",
+				Samples: 12,
+				Elements: []siggen.Element{
+					{Kind: siggen.KindLiteral, Literal: "eval", Group: -1},
+					{Kind: 3, Class: "w", MinLen: 2, MaxLen: 9, Group: 1},
+				},
+			},
+		}},
+		{"verdict-true", kindPairVerdict, true},
+		{"verdict-false", kindPairVerdict, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			codec, ok := codecs[tc.kind]
+			if !ok {
+				t.Fatalf("no codec for kind %d", tc.kind)
+			}
+			data, err := codec.Encode(tc.value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := codec.Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(tc.value, got) {
+				t.Fatalf("round trip diverged:\n want %#v\n got  %#v", tc.value, got)
+			}
+			for cut := 0; cut < len(data); cut++ {
+				if _, err := codec.Decode(data[:cut]); err == nil {
+					t.Fatalf("decode accepted truncation at %d/%d bytes", cut, len(data))
+				}
+			}
+			if _, err := codec.Encode(struct{}{}); err == nil {
+				t.Fatal("encode accepted a foreign type")
+			}
+		})
+	}
+}
+
+// warmPair builds two overlapping days of inputs, the Figure 11 regime:
+// ~85% of day N's distinct content recurs on day N+1.
+func warmPair(t testing.TB) (day1, day2 []Input, corpus func() *Corpus) {
+	t.Helper()
+	day := ekit.Date(8, 9)
+	d1 := dayInputs(t, day, 120)
+	dn := dayInputs(t, day+1, 120)
+	carried := int(float64(len(d1)) * 0.85)
+	novel := len(d1) - carried
+	if novel > len(dn) {
+		t.Fatalf("not enough novel inputs: need %d, have %d", novel, len(dn))
+	}
+	d2 := append(append([]Input(nil), d1[:carried]...), dn[:novel]...)
+	return d1, d2, func() *Corpus { return seededCorpus(day) }
+}
+
+// TestPersistentCacheRestart is the tentpole's restart-economics test: a
+// cache saved to disk and reloaded must (a) leave pipeline output
+// untouched and (b) recover at least 80% of the warm-day hit rate an
+// uninterrupted in-memory cache achieves.
+func TestPersistentCacheRestart(t *testing.T) {
+	day1, day2, corpus := warmPair(t)
+	cfg := DefaultConfig()
+
+	// Reference: day 2 with no cache at all.
+	ref, err := Process(day2, corpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTimings(&ref)
+
+	runWarm := func(cache *contentcache.Cache) (Result, float64) {
+		t.Helper()
+		ccfg := cfg
+		ccfg.Cache = cache
+		cache.ResetStats()
+		res, err := Process(day2, corpus(), ccfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := cache.Stats()
+		rate := 0.0
+		if st.Hits+st.Misses > 0 {
+			rate = float64(st.Hits) / float64(st.Hits+st.Misses)
+		}
+		return res, rate
+	}
+
+	// Uninterrupted process: day 1 primes, day 2 runs warm.
+	mem := contentcache.New(32 << 20)
+	memCfg := cfg
+	memCfg.Cache = mem
+	if _, err := Process(day1, corpus(), memCfg); err != nil {
+		t.Fatal(err)
+	}
+	memRes, memRate := runWarm(mem)
+
+	// Restarted process: day 1 primes, snapshot to disk, reload, day 2.
+	dir := t.TempDir()
+	before := contentcache.New(32 << 20)
+	beforeCfg := cfg
+	beforeCfg.Cache = before
+	if _, err := Process(day1, corpus(), beforeCfg); err != nil {
+		t.Fatal(err)
+	}
+	saved, err := before.Save(dir, CacheCodecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.Skipped > 0 {
+		t.Fatalf("%d pipeline entries had no codec", saved.Skipped)
+	}
+	reloaded, lstats, err := contentcache.Load(dir, CacheCodecs(), 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lstats.Entries != saved.Entries || lstats.SkippedEntries > 0 || lstats.CorruptSegments > 0 {
+		t.Fatalf("lossy reload: saved %+v, loaded %+v", saved, lstats)
+	}
+	diskRes, diskRate := runWarm(reloaded)
+
+	stripTimings(&memRes)
+	stripTimings(&diskRes)
+	if !reflect.DeepEqual(ref.Clusters, memRes.Clusters) || !reflect.DeepEqual(ref.Signatures, memRes.Signatures) {
+		t.Fatal("in-memory warm run diverged from uncached run")
+	}
+	if !reflect.DeepEqual(ref.Clusters, diskRes.Clusters) || !reflect.DeepEqual(ref.Signatures, diskRes.Signatures) {
+		t.Fatal("restarted warm run diverged from uncached run")
+	}
+
+	t.Logf("warm-day hit rate: in-memory %.1f%%, after restart %.1f%%", 100*memRate, 100*diskRate)
+	if memRate == 0 {
+		t.Fatal("in-memory warm run had no cache hits; test premise broken")
+	}
+	if diskRate < 0.8*memRate {
+		t.Fatalf("restart kept %.1f%% hit rate, want ≥80%% of in-memory %.1f%%", 100*diskRate, 100*memRate)
+	}
+}

@@ -1,9 +1,3 @@
-// Package pipeline is Kizzle's main driver (paper Figure 7): partition the
-// day's samples across clustering workers, cluster each partition with
-// DBSCAN over normalized token edit distance, reconcile partition clusters
-// in a reduce step, label each merged cluster by unpacking its prototype
-// and winnow-matching it against the known-kit corpus, and generate a
-// structural signature for every malicious cluster.
 package pipeline
 
 import (
@@ -83,6 +77,13 @@ type Config struct {
 	// cache disables cross-run reuse; in-run duplicate collapsing still
 	// happens.
 	Cache *contentcache.Cache
+	// Clusterer, when non-nil, runs the partition-clustering stage through
+	// an external dispatcher — the paper's 50-machine layout. Partitions
+	// are handed out as ShardPartition work units and the results merged
+	// back before the reduce step; output is identical to in-process
+	// clustering (see internal/shardcoord for the HTTP coordinator/worker
+	// implementation). Nil clusters in-process across Workers goroutines.
+	Clusterer Clusterer
 }
 
 // DefaultConfig returns the parameters used throughout the evaluation.
@@ -219,11 +220,22 @@ func Process(inputs []Input, corpus *Corpus, cfg Config) (Result, error) {
 	uniq := dedupe(symbols)
 	res.Stats.UniqueSequences = len(uniq.seqs)
 
-	// Stage 3: partition and cluster.
+	// Stage 3: partition and cluster — in-process across cfg.Workers, or
+	// dispatched to shard workers when a Clusterer is configured.
 	start = time.Now()
 	parts := partition(len(uniq.seqs), cfg.PartitionSize)
 	res.Stats.Partitions = len(parts)
-	partClusters, noise := clusterPartitions(uniq, parts, cfg)
+	var partClusters []partCluster
+	var noise []int
+	if cfg.Clusterer != nil {
+		var err error
+		partClusters, noise, err = clusterViaClusterer(uniq, parts, cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("pipeline: %w", err)
+		}
+	} else {
+		partClusters, noise = clusterPartitions(uniq, parts, cfg)
+	}
 	res.Stats.Cluster = time.Since(start)
 
 	// Stage 4: reduce — merge partition clusters, re-cluster noise.

@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+
+	"kizzle/internal/dbscan"
+	"kizzle/internal/jstoken"
+)
+
+// This file is the pipeline's horizontal-scaling seam. The paper ran the
+// clustering stage on a 50-machine layout ("randomly partition the samples
+// across a cluster of machines"); here the stage is factored so a
+// coordinator can dispatch partitions to remote workers while the cheap
+// coordinator-side stages (tokenize/dedupe before, reduce/label/sign
+// after) stay inside Process. internal/shardcoord provides the
+// coordinator/worker implementation over HTTP plus an in-process loopback
+// for tests.
+
+// ShardPartition is one clustering work unit: the abstract symbol
+// sequences of a partition's unique shapes and the sample weight of each
+// (how many raw samples collapsed into that shape). Sequences — two bytes
+// per symbol — are what travels to a shard worker; raw documents never
+// leave the coordinator.
+type ShardPartition struct {
+	Seqs    [][]jstoken.Symbol `json:"seqs"`
+	Weights []int              `json:"weights"`
+}
+
+// ShardClusters is a worker's result for one partition: clusters and noise
+// in partition-local indices (positions into ShardPartition.Seqs).
+type ShardClusters struct {
+	Clusters [][]int `json:"clusters"`
+	Noise    []int   `json:"noise"`
+}
+
+// Clusterer abstracts the partition-clustering stage. ClusterPartitions
+// must return one ShardClusters per input partition, in order; the
+// pipeline's output is then bit-identical regardless of where partitions
+// were clustered, because partition clustering is deterministic in
+// (sequences, weights, eps, minPts) — see TestShardedMatchesSingleProcess.
+type Clusterer interface {
+	ClusterPartitions(parts []ShardPartition, cfg Config) ([]ShardClusters, error)
+}
+
+// ClusterPartition clusters one partition — the unit of work a shard
+// worker executes. It is exactly the per-partition computation the
+// in-process path runs: the eps neighbor graph over the partition's
+// sequences (length-pruned, frequency-bounded, parallel across
+// cfg.Workers) followed by weighted DBSCAN. cfg.Cache, when set, caches
+// pair verdicts across requests on the worker; caching never changes the
+// result.
+func ClusterPartition(p ShardPartition, cfg Config) ShardClusters {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Eps <= 0 {
+		cfg.Eps = 0.10
+	}
+	if cfg.MinPts <= 0 {
+		cfg.MinPts = 2
+	}
+	n := len(p.Seqs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var ids []seqID
+	if cfg.Cache != nil {
+		// Sequence identities for the cross-request pair-verdict cache;
+		// recomputed worker-side from the wire sequences.
+		ids = make([]seqID, n)
+		for i, seq := range p.Seqs {
+			ids[i] = seqID{h1: hashSeq(seq), h2: altHashSeq(seq), n: len(seq)}
+		}
+	}
+	adj := neighborGraph(p.Seqs, ids, cfg.Cache, idx, cfg.Eps, cfg.Workers)
+	clusterIDs := dbscan.ClusterWeighted(adj, p.Weights, cfg.MinPts)
+	var out ShardClusters
+	out.Clusters = dbscan.Groups(clusterIDs)
+	for local, id := range clusterIDs {
+		if id == dbscan.Noise {
+			out.Noise = append(out.Noise, local)
+		}
+	}
+	return out
+}
+
+// clusterViaClusterer runs the partition stage through cfg.Clusterer and
+// maps the partition-local results back to unique-sequence indices, in the
+// same (partition, cluster) order the in-process path produces.
+func clusterViaClusterer(u uniqueSet, parts [][]int, cfg Config) ([]partCluster, []int, error) {
+	shardParts := make([]ShardPartition, len(parts))
+	for pi, part := range parts {
+		sp := ShardPartition{
+			Seqs:    make([][]jstoken.Symbol, len(part)),
+			Weights: make([]int, len(part)),
+		}
+		for k, ui := range part {
+			sp.Seqs[k] = u.seqs[ui]
+			sp.Weights[k] = len(u.members[ui])
+		}
+		shardParts[pi] = sp
+	}
+	results, err := cfg.Clusterer.ClusterPartitions(shardParts, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster partitions: %w", err)
+	}
+	if len(results) != len(parts) {
+		return nil, nil, fmt.Errorf("cluster partitions: %d results for %d partitions", len(results), len(parts))
+	}
+	var clusters []partCluster
+	var noise []int
+	for pi, r := range results {
+		part := parts[pi]
+		for _, group := range r.Clusters {
+			pc := make(partCluster, len(group))
+			for k, local := range group {
+				if local < 0 || local >= len(part) {
+					return nil, nil, fmt.Errorf("cluster partitions: partition %d returned index %d outside [0,%d)", pi, local, len(part))
+				}
+				pc[k] = part[local]
+			}
+			clusters = append(clusters, pc)
+		}
+		for _, local := range r.Noise {
+			if local < 0 || local >= len(part) {
+				return nil, nil, fmt.Errorf("cluster partitions: partition %d returned noise index %d outside [0,%d)", pi, local, len(part))
+			}
+			noise = append(noise, part[local])
+		}
+	}
+	return clusters, noise, nil
+}

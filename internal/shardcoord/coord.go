@@ -1,0 +1,164 @@
+package shardcoord
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kizzle/internal/pipeline"
+)
+
+// Transport delivers one partition request to one shard. Implementations
+// must be safe for concurrent use across shards.
+type Transport interface {
+	// Shards reports how many shard workers are reachable.
+	Shards() int
+	// Partition executes req on the given shard (0 ≤ shard < Shards).
+	Partition(ctx context.Context, shard int, req *PartitionRequest) (*PartitionResponse, error)
+}
+
+// Coordinator implements pipeline.Clusterer over a Transport: shards pull
+// clustering partitions from a shared queue (one partition in flight per
+// shard — an idle machine immediately takes the next unit, so skewed
+// partition costs still balance), and results are reassembled in
+// partition order so the pipeline's downstream stages see exactly what
+// the in-process path would have produced.
+type Coordinator struct {
+	transport Transport
+	// retries is how many times a failed partition is retried on the
+	// next shard (round-robin) before the batch fails.
+	retries int
+	// sequential processes shard queues one after another (profiling
+	// mode) instead of concurrently.
+	sequential bool
+}
+
+// CoordinatorOption configures a Coordinator.
+type CoordinatorOption func(*Coordinator)
+
+// WithRetries sets how many alternative shards a failed partition request
+// is retried on before the whole batch errors (default 1: one failover).
+func WithRetries(n int) CoordinatorOption {
+	return func(c *Coordinator) { c.retries = n }
+}
+
+// WithSequentialDispatch dispatches one partition at a time, assigning
+// each to the shard with the least accumulated busy time — a faithful
+// serial simulation of the concurrent shared-queue schedule (a worker
+// pulls the next unit the moment it goes idle). This is a profiling mode:
+// per-shard busy times measured under sequential dispatch are undistorted
+// by CPU time-slicing among loopback workers, which is how
+// BenchmarkPipelineSharded computes the distributed critical path — the
+// wall-clock an N-machine fleet would see — on a host with fewer cores
+// than shards.
+func WithSequentialDispatch() CoordinatorOption {
+	return func(c *Coordinator) { c.sequential = true }
+}
+
+// NewCoordinator builds a coordinator over a transport.
+func NewCoordinator(t Transport, opts ...CoordinatorOption) *Coordinator {
+	c := &Coordinator{transport: t, retries: 1}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// ClusterPartitions dispatches every partition and collects the results,
+// ordered by partition index. The first unrecoverable failure cancels the
+// remaining work.
+func (c *Coordinator) ClusterPartitions(parts []pipeline.ShardPartition, cfg pipeline.Config) ([]pipeline.ShardClusters, error) {
+	shards := c.transport.Shards()
+	if shards < 1 {
+		return nil, fmt.Errorf("shardcoord: transport has no shards")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	results := make([]pipeline.ShardClusters, len(parts))
+	// The root cause is the FIRST recorded error: once it cancels ctx,
+	// the other shards' in-flight requests fail with context.Canceled,
+	// which must not mask it.
+	var errOnce sync.Once
+	var firstErr error
+	one := func(shard, pi int) bool {
+		req := &PartitionRequest{Eps: cfg.Eps, MinPts: cfg.MinPts, Partition: parts[pi]}
+		resp, err := c.dispatch(ctx, shard, req)
+		if err != nil {
+			errOnce.Do(func() {
+				firstErr = fmt.Errorf("partition %d on shard %d: %w", pi, shard, err)
+				cancel()
+			})
+			return false
+		}
+		results[pi] = resp.ShardClusters
+		return true
+	}
+	if c.sequential {
+		// Serial simulation of the shared-queue schedule: each partition
+		// goes to the shard that would be idle first.
+		busy := make([]time.Duration, shards)
+		for pi := range parts {
+			if ctx.Err() != nil {
+				break
+			}
+			shard := 0
+			for s := 1; s < shards; s++ {
+				if busy[s] < busy[shard] {
+					shard = s
+				}
+			}
+			start := time.Now()
+			if !one(shard, pi) {
+				break
+			}
+			busy[shard] += time.Since(start)
+		}
+	} else {
+		// Shared queue: each shard pulls the next partition the moment it
+		// finishes its current one, so skewed partition costs balance.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			wg.Add(1)
+			go func(shard int) {
+				defer wg.Done()
+				for {
+					pi := int(next.Add(1)) - 1
+					if pi >= len(parts) || ctx.Err() != nil {
+						return
+					}
+					if !one(shard, pi) {
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("shardcoord: %w", firstErr)
+	}
+	return results, nil
+}
+
+// dispatch sends one request, failing over to subsequent shards up to the
+// retry budget. A dead worker therefore slows the batch rather than
+// killing it.
+func (c *Coordinator) dispatch(ctx context.Context, shard int, req *PartitionRequest) (*PartitionResponse, error) {
+	shards := c.transport.Shards()
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		resp, err := c.transport.Partition(ctx, (shard+attempt)%shards, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,259 @@
+package shardcoord
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"kizzle/internal/contentcache"
+	"kizzle/internal/ekit"
+	"kizzle/internal/jstoken"
+	"kizzle/internal/pipeline"
+	"kizzle/internal/winnow"
+)
+
+// seqsOf turns byte strings into symbol sequences (one in-alphabet symbol
+// per byte), enough structure for transport-level tests.
+func seqsOf(texts ...string) [][]jstoken.Symbol {
+	space := jstoken.Symbol(jstoken.SymbolSpace())
+	out := make([][]jstoken.Symbol, len(texts))
+	for i, s := range texts {
+		seq := make([]jstoken.Symbol, len(s))
+		for j := 0; j < len(s); j++ {
+			seq[j] = jstoken.Symbol(s[j]) % space
+		}
+		out[i] = seq
+	}
+	return out
+}
+
+func dayInputs(t testing.TB, day, benign int) []pipeline.Input {
+	t.Helper()
+	scfg := ekit.DefaultStreamConfig()
+	scfg.BenignPerDay = benign
+	stream, err := ekit.NewStream(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := stream.Day(day)
+	inputs := make([]pipeline.Input, len(samples))
+	for i, s := range samples {
+		inputs[i] = pipeline.Input{ID: s.ID, Content: s.Content}
+	}
+	return inputs
+}
+
+func seededCorpus(day int) *pipeline.Corpus {
+	corpus := pipeline.NewCorpus(winnow.DefaultConfig(), 16)
+	for _, fam := range ekit.Families {
+		corpus.Add(fam.String(), ekit.Payload(fam, day-1))
+	}
+	return corpus
+}
+
+func stripTimings(r *pipeline.Result) {
+	r.Stats.Tokenize, r.Stats.Cluster, r.Stats.Reduce = 0, 0, 0
+	r.Stats.Label, r.Stats.Signature = 0, 0
+	r.Stats.CacheHits, r.Stats.CacheMisses = 0, 0
+}
+
+// loopbackWorkers builds n in-process workers, optionally each with its
+// own verdict cache.
+func loopbackWorkers(n int, withCache bool) []*Worker {
+	workers := make([]*Worker, n)
+	for i := range workers {
+		opts := []WorkerOption{WithWorkerParallelism(2)}
+		if withCache {
+			opts = append(opts, WithWorkerCache(contentcache.New(8<<20)))
+		}
+		workers[i] = NewWorker(opts...)
+	}
+	return workers
+}
+
+// TestShardedMatchesSingleProcess is the tentpole's differential test: the
+// distributed pipeline must produce identical clusters and identical
+// signatures to the single-process pipeline, at every shard count, with
+// small partitions so the batch actually fans out across many requests.
+func TestShardedMatchesSingleProcess(t *testing.T) {
+	day := ekit.Date(8, 6)
+	inputs := dayInputs(t, day, 120)
+	cfg := pipeline.DefaultConfig()
+	cfg.PartitionSize = 8 // force many partitions per batch
+
+	ref, err := pipeline.Process(inputs, seededCorpus(day), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTimings(&ref)
+
+	for _, shards := range []int{1, 2, 4} {
+		for _, withCache := range []bool{false, true} {
+			name := fmt.Sprintf("shards=%d,cache=%v", shards, withCache)
+			t.Run(name, func(t *testing.T) {
+				workers := loopbackWorkers(shards, withCache)
+				scfg := cfg
+				scfg.Clusterer = NewCoordinator(NewLoopback(workers))
+				// Two runs per setup: the second exercises warm worker
+				// verdict caches, which must not change anything either.
+				for run := 0; run < 2; run++ {
+					got, err := pipeline.Process(inputs, seededCorpus(day), scfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					stripTimings(&got)
+					if !reflect.DeepEqual(ref.Clusters, got.Clusters) {
+						t.Fatalf("run %d: sharded clusters diverge from single-process", run)
+					}
+					if !reflect.DeepEqual(ref.Signatures, got.Signatures) {
+						t.Fatalf("run %d: sharded signatures diverge from single-process", run)
+					}
+					if got.Stats.Partitions < shards {
+						t.Fatalf("run %d: only %d partitions for %d shards — batch too small to distribute",
+							run, got.Stats.Partitions, shards)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCoordinatorFailover kills one shard and expects the batch to
+// complete through retries on the surviving shard, with unchanged output.
+func TestCoordinatorFailover(t *testing.T) {
+	day := ekit.Date(8, 7)
+	inputs := dayInputs(t, day, 60)
+	cfg := pipeline.DefaultConfig()
+	cfg.PartitionSize = 30
+
+	ref, err := pipeline.Process(inputs, seededCorpus(day), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTimings(&ref)
+
+	// Sequential dispatch makes the dead shard's involvement
+	// deterministic: under the concurrent shared queue the live shard can
+	// drain every partition before the dead one is ever asked.
+	healthy := NewLoopback(loopbackWorkers(1, false))
+	flaky := &flakyTransport{inner: healthy, deadShard: 0, shards: 2}
+	scfg := cfg
+	scfg.Clusterer = NewCoordinator(flaky, WithSequentialDispatch())
+	got, err := pipeline.Process(inputs, seededCorpus(day), scfg)
+	if err != nil {
+		t.Fatalf("batch failed despite a surviving shard: %v", err)
+	}
+	stripTimings(&got)
+	if !reflect.DeepEqual(ref.Clusters, got.Clusters) || !reflect.DeepEqual(ref.Signatures, got.Signatures) {
+		t.Fatal("failover changed pipeline output")
+	}
+	if flaky.failed == 0 {
+		t.Fatal("dead shard was never exercised")
+	}
+
+	// With every shard dead the batch must fail, not hang or fabricate —
+	// via both dispatch modes.
+	allDead := &flakyTransport{inner: healthy, deadShard: -1, shards: 2}
+	scfg.Clusterer = NewCoordinator(allDead)
+	if _, err := pipeline.Process(inputs, seededCorpus(day), scfg); err == nil {
+		t.Fatal("batch succeeded with no live shards (concurrent dispatch)")
+	}
+	scfg.Clusterer = NewCoordinator(allDead, WithSequentialDispatch())
+	if _, err := pipeline.Process(inputs, seededCorpus(day), scfg); err == nil {
+		t.Fatal("batch succeeded with no live shards")
+	}
+}
+
+// flakyTransport reports `shards` shards but fails requests to deadShard
+// (-1 = all dead), routing the rest to a single healthy inner worker.
+type flakyTransport struct {
+	inner     Transport
+	shards    int
+	deadShard int
+	failed    int
+}
+
+func (f *flakyTransport) Shards() int { return f.shards }
+
+func (f *flakyTransport) Partition(ctx context.Context, shard int, req *PartitionRequest) (*PartitionResponse, error) {
+	if shard == f.deadShard || f.deadShard == -1 {
+		f.failed++
+		return nil, fmt.Errorf("shard %d is down", shard)
+	}
+	return f.inner.Partition(ctx, 0, req)
+}
+
+// TestWorkerHandlerHTTP exercises the worker's HTTP surface through the
+// loopback round trip: malformed bodies, wrong methods, mismatched
+// lengths, and health checks.
+func TestWorkerHandlerHTTP(t *testing.T) {
+	w := NewWorker(WithWorkerCache(contentcache.New(1 << 20)))
+	client := &http.Client{Transport: handlerRoundTripper{
+		handlers: map[string]http.Handler{"w.loopback": w.Handler()},
+	}}
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := client.Post("http://w.loopback/partition", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := post("{not json"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: got %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"eps":0.1,"minPts":2,"partition":{"seqs":[[1,2]],"weights":[1,2]}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched weights: got %d, want 400", resp.StatusCode)
+	}
+
+	resp, err := client.Get("http://w.loopback/partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /partition: got %d, want 405", resp.StatusCode)
+	}
+
+	hresp, err := client.Get("http://w.loopback/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: got %d", hresp.StatusCode)
+	}
+
+	// A well-formed request round-trips and matches the local computation:
+	// two identical short sequences cluster, the long outlier is noise.
+	body, _ := json.Marshal(&PartitionRequest{
+		Eps:    0.5,
+		MinPts: 2,
+		Partition: pipeline.ShardPartition{
+			Seqs:    seqsOf("ab", "ab", "zzzzzz"),
+			Weights: []int{1, 1, 1},
+		},
+	})
+	resp2, err := client.Post("http://w.loopback/partition", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("valid request: got %d", resp2.StatusCode)
+	}
+	var pr PartitionResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Clusters) != 1 || len(pr.Clusters[0]) != 2 || len(pr.Noise) != 1 {
+		t.Fatalf("unexpected clustering: clusters=%v noise=%v", pr.Clusters, pr.Noise)
+	}
+}

@@ -1,0 +1,29 @@
+// Package shardcoord distributes the pipeline's partition-clustering
+// stage across processes — the reproduction of the paper's 50-machine
+// layout (§IV: "randomly partition the samples across a cluster of
+// machines").
+//
+// The division of labor follows the paper's Figure 7: a Coordinator owns
+// the cheap, serial stages (tokenize → dedupe before clustering; reduce →
+// label → sign after) and implements pipeline.Clusterer by dispatching
+// each clustering partition — the O(n²)-ish DBSCAN work unit — to a shard
+// worker. A Worker executes pipeline.ClusterPartition behind a POST
+// /partition HTTP endpoint (cmd/kizzleshard is the standalone binary);
+// only two-byte-per-token abstract symbol sequences travel on the wire,
+// never raw documents.
+//
+// Transports:
+//
+//   - NewHTTPTransport dispatches to real worker processes by base URL.
+//   - NewLoopback runs the identical HTTP handler/JSON round trip against
+//     in-process workers with no sockets, so `go test` (and the
+//     BenchmarkPipelineSharded scaling benchmark) exercises the full
+//     distributed path deterministically.
+//
+// Partition clustering is deterministic in (sequences, weights, eps,
+// minPts), so a sharded run produces bit-identical clusters and signatures
+// to a single-process run — pinned by TestShardedMatchesSingleProcess for
+// 1, 2, and 4 shards. Workers may carry a contentcache.Cache (optionally
+// disk-backed, see WithWorkerCache) to reuse pair within-eps verdicts
+// across requests and restarts; caching never changes results.
+package shardcoord

@@ -1,0 +1,124 @@
+package shardcoord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTPTransport dispatches partition requests to shard workers over HTTP
+// (each URL is one worker's base address, e.g. "http://shard-3:9191").
+type HTTPTransport struct {
+	urls   []string
+	client *http.Client
+}
+
+// defaultPartitionTimeout bounds one partition request on the default
+// client. Without it a worker that accepts the connection but never
+// responds would block its shard queue forever — failover only triggers
+// on a returned error. Generous, because a large partition legitimately
+// takes a while on a loaded worker.
+const defaultPartitionTimeout = 5 * time.Minute
+
+// NewHTTPTransport builds a transport over worker base URLs. client may
+// be nil for a default client with a 5-minute per-request timeout (pass
+// an explicit client to change it; a zero-timeout client reintroduces
+// the hung-worker hazard).
+func NewHTTPTransport(urls []string, client *http.Client) *HTTPTransport {
+	if client == nil {
+		client = &http.Client{Timeout: defaultPartitionTimeout}
+	}
+	trimmed := make([]string, len(urls))
+	for i, u := range urls {
+		trimmed[i] = strings.TrimRight(u, "/")
+	}
+	return &HTTPTransport{urls: trimmed, client: client}
+}
+
+// Shards reports the number of configured workers.
+func (t *HTTPTransport) Shards() int { return len(t.urls) }
+
+// Partition POSTs the request to the shard's /partition endpoint.
+func (t *HTTPTransport) Partition(ctx context.Context, shard int, req *PartitionRequest) (*PartitionResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encode partition: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		t.urls[shard%len(t.urls)]+"/partition", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := t.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		return nil, fmt.Errorf("shard returned %s: %s", hresp.Status, strings.TrimSpace(string(msg)))
+	}
+	var resp PartitionResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("decode partition response: %w", err)
+	}
+	return &resp, nil
+}
+
+// NewLoopback builds a transport over in-process workers that still runs
+// the complete HTTP path — request marshalling, the worker's ServeHTTP
+// (body cap included), response unmarshalling — without opening sockets.
+// It is the `go test` / benchmark stand-in for a real worker fleet.
+func NewLoopback(workers []*Worker) *HTTPTransport {
+	handlers := make(map[string]http.Handler, len(workers))
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		host := fmt.Sprintf("shard-%d.loopback", i)
+		handlers[host] = w.Handler()
+		urls[i] = "http://" + host
+	}
+	return NewHTTPTransport(urls, &http.Client{Transport: handlerRoundTripper{handlers: handlers}})
+}
+
+// handlerRoundTripper serves http.Client requests directly from in-process
+// handlers, keyed by host.
+type handlerRoundTripper struct {
+	handlers map[string]http.Handler
+}
+
+func (rt handlerRoundTripper) RoundTrip(r *http.Request) (*http.Response, error) {
+	h, ok := rt.handlers[r.URL.Host]
+	if !ok {
+		return nil, fmt.Errorf("loopback: unknown host %q", r.URL.Host)
+	}
+	rec := &recordedResponse{header: make(http.Header), code: http.StatusOK}
+	h.ServeHTTP(rec, r)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", rec.code, http.StatusText(rec.code)),
+		StatusCode:    rec.code,
+		Proto:         r.Proto,
+		ProtoMajor:    r.ProtoMajor,
+		ProtoMinor:    r.ProtoMinor,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       r,
+	}, nil
+}
+
+// recordedResponse is a minimal in-memory http.ResponseWriter.
+type recordedResponse struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (r *recordedResponse) Header() http.Header         { return r.header }
+func (r *recordedResponse) WriteHeader(code int)        { r.code = code }
+func (r *recordedResponse) Write(p []byte) (int, error) { return r.body.Write(p) }

@@ -1,0 +1,143 @@
+package shardcoord
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+
+	"kizzle/internal/contentcache"
+	"kizzle/internal/jstoken"
+	"kizzle/internal/pipeline"
+)
+
+// maxPartitionRequestBytes caps one /partition request body. A partition
+// carries abstract symbol sequences only (two bytes per symbol before JSON
+// framing), so 64 MiB covers partitions far beyond the default 300-unique
+// target.
+const maxPartitionRequestBytes = 64 << 20
+
+// PartitionRequest is the wire form of one clustering work unit: the
+// partition plus the two DBSCAN parameters the coordinator resolved. The
+// worker contributes its own parallelism and cache.
+type PartitionRequest struct {
+	Eps       float64                 `json:"eps"`
+	MinPts    int                     `json:"minPts"`
+	Partition pipeline.ShardPartition `json:"partition"`
+}
+
+// PartitionResponse is the wire form of a partition's clustering result,
+// in partition-local indices.
+type PartitionResponse struct {
+	pipeline.ShardClusters
+}
+
+// Worker executes clustering partitions. It is safe for concurrent use;
+// each request clusters independently (the shared pair-verdict cache is
+// internally synchronized).
+type Worker struct {
+	workers int
+	cache   *contentcache.Cache
+}
+
+// WorkerOption configures a Worker.
+type WorkerOption func(*Worker)
+
+// WithWorkerParallelism sets how many goroutines one partition's distance
+// sweep fans out across (default GOMAXPROCS). Production shards on
+// dedicated machines keep the default; the loopback benchmark sets 1 so a
+// worker models one machine core.
+func WithWorkerParallelism(n int) WorkerOption {
+	return func(w *Worker) { w.workers = n }
+}
+
+// WithWorkerCache gives the worker a content-addressed cache for pair
+// within-eps verdicts, carried across requests — day N+1's recurring
+// shapes skip the banded DP entirely. Pair it with contentcache.Load /
+// Save (pipeline.CacheCodecs) to keep the warm verdicts across restarts.
+func WithWorkerCache(c *contentcache.Cache) WorkerOption {
+	return func(w *Worker) { w.cache = c }
+}
+
+// NewWorker builds a shard worker.
+func NewWorker(opts ...WorkerOption) *Worker {
+	w := &Worker{workers: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(w)
+	}
+	return w
+}
+
+// Cache returns the worker's verdict cache (nil when not configured), so
+// the owning process can persist it on shutdown.
+func (w *Worker) Cache() *contentcache.Cache { return w.cache }
+
+// Cluster executes one partition request locally — the computation behind
+// POST /partition.
+func (w *Worker) Cluster(req *PartitionRequest) (*PartitionResponse, error) {
+	if len(req.Partition.Seqs) != len(req.Partition.Weights) {
+		return nil, fmt.Errorf("shardcoord: %d sequences with %d weights",
+			len(req.Partition.Seqs), len(req.Partition.Weights))
+	}
+	// Wire data is untrusted: a symbol outside the abstraction alphabet
+	// would index past the clustering kernel's histogram arenas.
+	space := jstoken.Symbol(jstoken.SymbolSpace())
+	for i, seq := range req.Partition.Seqs {
+		for _, sym := range seq {
+			if sym >= space {
+				return nil, fmt.Errorf("shardcoord: sequence %d carries symbol %d outside the alphabet (%d)", i, sym, space)
+			}
+		}
+	}
+	cfg := pipeline.Config{
+		Eps:     req.Eps,
+		MinPts:  req.MinPts,
+		Workers: w.workers,
+		Cache:   w.cache,
+	}
+	return &PartitionResponse{ShardClusters: pipeline.ClusterPartition(req.Partition, cfg)}, nil
+}
+
+// Handler serves the worker over HTTP:
+//
+//	POST /partition — cluster one PartitionRequest, respond PartitionResponse
+//	GET  /healthz   — liveness plus cache occupancy
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/partition", w.servePartition)
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		st := w.cache.Stats()
+		fmt.Fprintf(rw, "ok cache-entries=%d cache-bytes=%d\n", st.Entries, st.Bytes)
+	})
+	return mux
+}
+
+func (w *Worker) servePartition(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	r.Body = http.MaxBytesReader(rw, r.Body, maxPartitionRequestBytes)
+	var req PartitionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(rw, "bad request: "+err.Error(), status)
+		return
+	}
+	resp, err := w.Cluster(&req)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(rw).Encode(resp); err != nil {
+		// Headers already sent; the coordinator sees a truncated body and
+		// retries on another shard.
+		return
+	}
+}

@@ -1,10 +1,3 @@
-// Package siggen implements Kizzle's signature creation algorithm
-// (paper §III-C): for a malicious cluster it finds the longest common token
-// substring (capped, unique in every sample), collects the distinct
-// concrete strings at every token offset, and compiles the result into a
-// structural regular-expression signature — literals where samples agree,
-// inferred character classes where they diverge, and back-references where
-// packers reuse templatized variable names (Figures 9 and 10).
 package siggen
 
 import (

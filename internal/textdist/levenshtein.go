@@ -1,18 +1,3 @@
-// Package textdist implements the edit-distance primitives Kizzle's
-// clustering stage uses to compare abstract token sequences. The paper
-// clusters samples with DBSCAN "using the edit distance between token
-// strings as a means of determining the distance between any two samples"
-// with a normalized threshold of 0.10.
-//
-// Two implementations are provided: a full O(n·m) dynamic program and a
-// banded variant that abandons early once the distance provably exceeds a
-// caller-supplied bound. DBSCAN only needs to know whether two samples are
-// within eps of each other, so the banded variant is the hot path.
-//
-// Both are available as package functions (which allocate their DP rows
-// per call) and as methods on a reusable Scratch. Clustering issues
-// millions of region queries per batch; a per-worker Scratch makes the
-// whole distance stage allocation-free after warm-up.
 package textdist
 
 import "kizzle/internal/jstoken"

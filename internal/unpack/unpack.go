@@ -1,10 +1,3 @@
-// Package unpack reverses the packers of the four studied exploit kits.
-// The paper unpacks cluster prototypes before labeling them; instead of
-// hooking a JavaScript engine's eval loop, the authors "implemented
-// unpackers for all kits under investigation" — exactly what this package
-// does. Each unpacker statically recognizes its kit's encoding in the token
-// stream and decodes the inner payload; all of them fail cleanly on
-// non-matching input.
 package unpack
 
 import (

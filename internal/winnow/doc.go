@@ -1,0 +1,15 @@
+// Package winnow implements document fingerprinting by winnowing
+// (Schleimer, Wilkerson, Aiken — SIGMOD 2003), the plagiarism-detection
+// technique Kizzle uses to label clusters: the winnow histogram of an
+// unpacked cluster prototype is compared against histograms of known
+// unpacked exploit-kit corpora, and sufficient overlap labels the cluster
+// with that kit's family.
+//
+// Fingerprinting is a single streaming pass: each k-gram hash is fed to a
+// monotonic deque that maintains the window minimum in amortized O(1), so a
+// document of n bytes costs O(n·k) hashing (k is a small constant) and O(n)
+// selection, with zero allocations beyond the result histogram when a
+// reusable Scratch is provided. The selection is identical, position for
+// position, to materializing all gram hashes and scanning every window —
+// the reference implementation the differential tests pin against.
+package winnow

@@ -1,22 +1,3 @@
-// Package kizzle is a signature compiler for detecting exploit kits,
-// reproducing the system described in "Kizzle: A Signature Compiler for
-// Detecting Exploit Kits" (Stock, Livshits, Zorn — DSN 2016).
-//
-// Kizzle ingests batches of "grayware" JavaScript/HTML samples, clusters
-// them by tokenized structure (DBSCAN over normalized token edit distance),
-// labels malicious clusters by unpacking a prototype and winnow-matching it
-// against a corpus of known unpacked exploit-kit payloads, and compiles a
-// structural regex signature for every malicious cluster. Signatures can be
-// deployed with a Matcher (in a browser, on the desktop, or server-side).
-//
-// Basic usage:
-//
-//	c := kizzle.New()
-//	c.AddKnown("Nuclear", unpackedNuclearPayload)
-//	res, err := c.Process(samples)
-//	// res.Signatures → deploy:
-//	m, err := kizzle.NewMatcher(res.Signatures)
-//	if m.Detects(incomingDocument) { block() }
 package kizzle
 
 import (
@@ -26,6 +7,7 @@ import (
 
 	"kizzle/internal/contentcache"
 	"kizzle/internal/pipeline"
+	"kizzle/internal/shardcoord"
 	"kizzle/internal/siggen"
 	"kizzle/internal/sigmatch"
 )
@@ -115,6 +97,23 @@ func WithCacheBytes(n int) Option {
 	}
 }
 
+// WithShardWorkers dispatches the clustering stage to remote shard
+// workers (cmd/kizzleshard processes) at the given base URLs — the
+// paper's 50-machine layout. The coordinator-side stages (tokenization,
+// dedup, reduce, labeling, signature generation) stay in this process;
+// only abstract symbol sequences travel to the workers, and the output is
+// identical to single-process operation. An empty URL list keeps
+// clustering in-process.
+func WithShardWorkers(urls ...string) Option {
+	return func(c *pipeline.Config) {
+		if len(urls) == 0 {
+			c.Clusterer = nil
+			return
+		}
+		c.Clusterer = shardcoord.NewCoordinator(shardcoord.NewHTTPTransport(urls, nil))
+	}
+}
+
 // Compiler is the Kizzle signature compiler.
 type Compiler struct {
 	cfg    pipeline.Config
@@ -134,6 +133,55 @@ func New(opts ...Option) *Compiler {
 		cfg:    cfg,
 		corpus: pipeline.NewCorpus(cfg.Winnow, 64),
 	}
+}
+
+// CachePersistStats summarizes a persistent-cache save or load.
+type CachePersistStats struct {
+	// Entries is the number of cache entries written or restored.
+	Entries int
+	// Segments is the number of snapshot segment files involved.
+	Segments int
+	// CorruptSegments counts snapshot segments skipped on load for
+	// checksum mismatch or truncation (always 0 on save).
+	CorruptSegments int
+	// SkippedEntries counts entries dropped individually (no codec,
+	// failed verification); a lossy load degrades to a colder cache,
+	// never to wrong answers.
+	SkippedEntries int
+}
+
+// ErrNoCache is returned by SaveCache / LoadCache when the compiler's
+// persistent cache was disabled via WithCacheBytes(-1).
+var ErrNoCache = errors.New("kizzle: compiler has no cache to persist")
+
+// SaveCache snapshots the compiler's content-addressed cache to dir, so a
+// restarted process (see LoadCache) keeps the day-over-day economics: a
+// day N+1 batch after a restart still pays only for content unseen on day
+// N. Safe to call between Process calls; the snapshot replaces any
+// previous one in dir.
+func (c *Compiler) SaveCache(dir string) (CachePersistStats, error) {
+	if c.cfg.Cache == nil {
+		return CachePersistStats{}, ErrNoCache
+	}
+	st, err := c.cfg.Cache.Save(dir, pipeline.CacheCodecs())
+	return CachePersistStats{Entries: st.Entries, Segments: st.Segments, SkippedEntries: st.Skipped}, err
+}
+
+// LoadCache restores a cache snapshot previously written by SaveCache
+// into the compiler's cache (within its configured byte budget). Corrupt
+// segments and stale entries are skipped, not fatal — a damaged snapshot
+// simply yields a colder cache.
+func (c *Compiler) LoadCache(dir string) (CachePersistStats, error) {
+	if c.cfg.Cache == nil {
+		return CachePersistStats{}, ErrNoCache
+	}
+	st, err := contentcache.LoadInto(c.cfg.Cache, dir, pipeline.CacheCodecs())
+	return CachePersistStats{
+		Entries:         st.Entries,
+		Segments:        st.Segments,
+		CorruptSegments: st.CorruptSegments,
+		SkippedEntries:  st.SkippedEntries,
+	}, err
 }
 
 // AddKnown seeds the known-malware corpus with a labeled unpacked payload.

@@ -1,0 +1,117 @@
+package kizzle_test
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"kizzle"
+	"kizzle/internal/ekit"
+	"kizzle/internal/shardcoord"
+)
+
+func streamBatch(t testing.TB, day, benign int) []kizzle.Sample {
+	t.Helper()
+	cfg := ekit.DefaultStreamConfig()
+	cfg.BenignPerDay = benign
+	stream, err := ekit.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []kizzle.Sample
+	for _, s := range stream.Day(day) {
+		batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+	}
+	return batch
+}
+
+func seededCompiler(day int, opts ...kizzle.Option) *kizzle.Compiler {
+	c := kizzle.New(opts...)
+	for _, fam := range ekit.Families {
+		c.AddKnown(fam.String(), ekit.Payload(fam, day-1))
+	}
+	return c
+}
+
+// TestCompilerCachePersistence drives the public persistence API: results
+// must be identical across a save/restart/load cycle, and the reloaded
+// compiler must be warm.
+func TestCompilerCachePersistence(t *testing.T) {
+	day := ekit.Date(8, 6)
+	batch := streamBatch(t, day, 80)
+	dir := t.TempDir()
+
+	first := seededCompiler(day)
+	want, err := first.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved, err := first.SaveCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.Entries == 0 || saved.SkippedEntries > 0 {
+		t.Fatalf("save stats: %+v", saved)
+	}
+
+	second := seededCompiler(day)
+	loaded, err := second.LoadCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Entries != saved.Entries || loaded.CorruptSegments > 0 {
+		t.Fatalf("load stats %+v after save stats %+v", loaded, saved)
+	}
+	got, err := second.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Clusters, got.Clusters) || !reflect.DeepEqual(want.Signatures, got.Signatures) {
+		t.Fatal("restarted compiler diverged from original")
+	}
+
+	// A compiler with the cache disabled refuses to persist.
+	if _, err := kizzle.New(kizzle.WithCacheBytes(-1)).SaveCache(dir); err == nil {
+		t.Fatal("SaveCache succeeded without a cache")
+	}
+}
+
+// TestWithShardWorkers runs the compiler against real kizzleshard worker
+// processes (httptest servers over the worker handler) and pins the
+// sharded results to the single-process ones.
+func TestWithShardWorkers(t *testing.T) {
+	day := ekit.Date(8, 7)
+	batch := streamBatch(t, day, 80)
+
+	want, err := seededCompiler(day, kizzle.WithPartitionSize(10)).Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var urls []string
+	for i := 0; i < 3; i++ {
+		srv := httptest.NewServer(shardcoord.NewWorker(shardcoord.WithWorkerParallelism(2)).Handler())
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+	}
+	sharded := seededCompiler(day, kizzle.WithPartitionSize(10), kizzle.WithShardWorkers(urls...))
+	got, err := sharded.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Clusters, got.Clusters) {
+		t.Fatal("sharded clusters diverge from single-process")
+	}
+	if !reflect.DeepEqual(want.Signatures, got.Signatures) {
+		t.Fatal("sharded signatures diverge from single-process")
+	}
+	if want.Stats.Partitions < 3 {
+		t.Fatalf("only %d partitions; batch too small to exercise 3 workers", want.Stats.Partitions)
+	}
+
+	// A fleet that is entirely unreachable must surface an error.
+	dead := seededCompiler(day, kizzle.WithShardWorkers("http://127.0.0.1:1/nope"))
+	if _, err := dead.Process(batch); err == nil {
+		t.Fatal("Process succeeded with unreachable shard workers")
+	}
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# checkdocs.sh fails when any package lacks a package comment, keeping
+# `go doc` useful for every package (ISSUE 3's documentation invariant).
+set -eu
+cd "$(dirname "$0")/.."
+missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)
+if [ -n "$missing" ]; then
+    echo "packages missing a package comment:" >&2
+    echo "$missing" >&2
+    exit 1
+fi
+echo "all packages have package comments"

@@ -1,0 +1,10 @@
+// Package sigdb is the distribution side of the paper's chosen deployment
+// format: "AV signatures enjoy a well-established deployment channel with
+// frequent, automatic updates for signature consumers." It provides a
+// versioned, optionally file-backed signature store, an HTTP handler that
+// serves incremental updates (GET ?since=version → 304 or a full
+// snapshot) and accepts pushed signature sets (POST, validated by
+// compilation before they can deploy), and a polling client that keeps a
+// consumer's matcher current — the loop that lets Kizzle push a new
+// signature to endpoints within hours of a kit mutation.
+package sigdb

@@ -1,10 +1,3 @@
-// Package sigdb is the distribution side of the paper's chosen deployment
-// format: "AV signatures enjoy a well-established deployment channel with
-// frequent, automatic updates for signature consumers." It provides a
-// versioned, optionally file-backed signature store, an HTTP handler that
-// serves incremental updates, and a polling client that keeps a consumer's
-// matcher current — the loop that lets Kizzle push a new signature to
-// endpoints within hours of a kit mutation.
 package sigdb
 
 import (

@@ -1,0 +1,6 @@
+// Package synth exposes the synthetic exploit-kit grayware generator used
+// throughout the evaluation: deterministic daily streams of benign traffic
+// plus the four studied kits (RIG, Nuclear, Angler, Sweet Orange), with the
+// paper's August 2014 mutation timelines. Use it to seed and exercise the
+// kizzle compiler when you have no telemetry feed of your own.
+package synth
