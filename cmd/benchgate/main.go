@@ -1,0 +1,111 @@
+// Command benchgate turns `go test -bench` output into committed JSON
+// snapshots and gates pull requests on them: medians of the current run
+// are compared against BENCH_BASELINE.json and the process exits nonzero
+// when any benchmark's median exceeds the baseline by more than the
+// tolerance (default 25%, sized to absorb CI-runner noise).
+//
+// Usage:
+//
+//	go test -bench=... -count=5 | benchgate [-baseline BENCH_BASELINE.json]
+//	          [-tolerance 0.25] [-write BENCH_CURRENT.json] [-note text]
+//
+// With only -write it records a snapshot (how `make bench-baseline`
+// refreshes the baseline); with -baseline it additionally gates. See
+// scripts/benchgate.sh for the bench set the CI gate runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"kizzle/internal/benchgate"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+var errRegressed = fmt.Errorf("bench regression against baseline")
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "", "baseline snapshot to gate against (empty: no gating)")
+	tolerance := fs.Float64("tolerance", 0.25, "allowed median slowdown before failing (0.25 = +25%)")
+	write := fs.String("write", "", "write this run's snapshot to the given file")
+	note := fs.String("note", "", "note recorded in the written snapshot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ms, err := benchgate.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(ms) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+	current := benchgate.Aggregate(ms)
+
+	if *write != "" {
+		snap := benchgate.Snapshot{
+			Note:       *note,
+			Go:         runtime.Version(),
+			CPU:        cpuModel(),
+			Benchmarks: current,
+		}
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*write, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: wrote %d benchmarks to %s\n", len(current), *write)
+	}
+
+	if *baselinePath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var baseline benchgate.Snapshot
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	verdicts, regressed := benchgate.Compare(current, baseline.Benchmarks, *tolerance)
+	fmt.Print(benchgate.Format(verdicts, *tolerance))
+	if baseline.CPU != "" && baseline.CPU != cpuModel() {
+		fmt.Fprintf(os.Stderr, "benchgate: note: baseline CPU %q != this host %q — absolute medians may not be comparable\n",
+			baseline.CPU, cpuModel())
+	}
+	if regressed {
+		return errRegressed
+	}
+	fmt.Println("benchgate: PASS")
+	return nil
+}
+
+// cpuModel best-effort identifies the benchmarking host's CPU (the
+// comparability key recorded in snapshots): the first "model name" line
+// of /proc/cpuinfo on Linux, else GOOS/GOARCH.
+func cpuModel() string {
+	if raw, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(raw), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				if _, v, ok := strings.Cut(name, ":"); ok {
+					return strings.TrimSpace(v)
+				}
+			}
+		}
+	}
+	return runtime.GOOS + "/" + runtime.GOARCH
+}

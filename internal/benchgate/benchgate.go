@@ -1,0 +1,190 @@
+// Package benchgate parses `go test -bench` output into per-benchmark
+// median snapshots and compares runs against a committed baseline — the
+// library behind cmd/benchgate and the CI bench-regression gate
+// (scripts/benchgate.sh). Medians across -count runs absorb scheduler
+// hiccups; the comparison tolerance absorbs runner-to-runner noise; an
+// over-tolerance median — or a baselined benchmark that vanished — fails
+// the gate.
+package benchgate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one parsed `go test -bench` result line.
+type Measurement struct {
+	// Name is the benchmark name with the trailing -GOMAXPROCS suffix
+	// stripped (sub-benchmark paths kept).
+	Name string
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64
+}
+
+// Parse extracts benchmark measurements from `go test -bench` output.
+// Unrecognized lines (headers, PASS/ok, metrics-only lines) are skipped.
+func Parse(r io.Reader) ([]Measurement, error) {
+	var out []Measurement
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then value/unit pairs; ns/op is the unit of
+		// the value preceding it.
+		ns := -1.0
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchgate: bad ns/op in %q", line)
+				}
+				ns = v
+				break
+			}
+		}
+		if ns < 0 || len(fields) < 3 {
+			continue
+		}
+		out = append(out, Measurement{Name: trimProcSuffix(fields[0]), NsPerOp: ns})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchgate: %w", err)
+	}
+	return out, nil
+}
+
+// trimProcSuffix strips the trailing -N GOMAXPROCS marker go test appends
+// to benchmark names, leaving sub-benchmark paths intact.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Entry is one benchmark's aggregated snapshot value.
+type Entry struct {
+	// NsPerOp is the median across samples — the median shrugs off the
+	// occasional scheduling hiccup a mean would absorb.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Samples is how many runs fed the median.
+	Samples int `json:"samples"`
+}
+
+// Snapshot is the serialized form of one bench run (BENCH_*.json).
+type Snapshot struct {
+	// Note describes the snapshot (e.g. which PR wrote it).
+	Note string `json:"note,omitempty"`
+	// Go is the toolchain version the run used.
+	Go string `json:"go,omitempty"`
+	// CPU is the benchmarking host's CPU line, for judging comparability.
+	CPU string `json:"cpu,omitempty"`
+	// Benchmarks maps benchmark name to its aggregated result.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Aggregate folds raw measurements into per-benchmark medians.
+func Aggregate(ms []Measurement) map[string]Entry {
+	byName := make(map[string][]float64)
+	for _, m := range ms {
+		byName[m.Name] = append(byName[m.Name], m.NsPerOp)
+	}
+	out := make(map[string]Entry, len(byName))
+	for name, vals := range byName {
+		sort.Float64s(vals)
+		var median float64
+		n := len(vals)
+		if n%2 == 1 {
+			median = vals[n/2]
+		} else {
+			median = (vals[n/2-1] + vals[n/2]) / 2
+		}
+		out[name] = Entry{NsPerOp: median, Samples: n}
+	}
+	return out
+}
+
+// Verdict is one benchmark's gate outcome.
+type Verdict struct {
+	Name     string
+	Baseline float64 // ns/op in the baseline (0 when missing)
+	Current  float64 // ns/op in this run (0 when missing)
+	// Ratio is Current/Baseline (how many times slower than baseline).
+	Ratio float64
+	// Regressed marks the benchmark as outside tolerance (or missing
+	// from the current run while present in the baseline).
+	Regressed bool
+}
+
+// Compare gates the current run against a baseline: a benchmark
+// regresses when its median exceeds baseline·(1+tolerance), or when a
+// baselined benchmark vanished from the run (a silently dropped
+// benchmark would otherwise blind the gate; refresh the baseline when
+// renaming). Benchmarks new in the current run pass with Baseline 0.
+// Results are sorted by descending ratio, regressions first.
+func Compare(current, baseline map[string]Entry, tolerance float64) (verdicts []Verdict, regressed bool) {
+	names := make(map[string]bool, len(current)+len(baseline))
+	for n := range current {
+		names[n] = true
+	}
+	for n := range baseline {
+		names[n] = true
+	}
+	for name := range names {
+		cur, haveCur := current[name]
+		base, haveBase := baseline[name]
+		v := Verdict{Name: name, Baseline: base.NsPerOp, Current: cur.NsPerOp}
+		switch {
+		case haveBase && !haveCur:
+			v.Regressed = true
+		case haveBase && base.NsPerOp > 0:
+			v.Ratio = cur.NsPerOp / base.NsPerOp
+			v.Regressed = v.Ratio > 1+tolerance
+		}
+		if v.Regressed {
+			regressed = true
+		}
+		verdicts = append(verdicts, v)
+	}
+	sort.Slice(verdicts, func(a, b int) bool {
+		if verdicts[a].Regressed != verdicts[b].Regressed {
+			return verdicts[a].Regressed
+		}
+		if verdicts[a].Ratio != verdicts[b].Ratio {
+			return verdicts[a].Ratio > verdicts[b].Ratio
+		}
+		return verdicts[a].Name < verdicts[b].Name
+	})
+	return verdicts, regressed
+}
+
+// Format renders verdicts as an aligned report.
+func Format(verdicts []Verdict, tolerance float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-60s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	for _, v := range verdicts {
+		mark := "  "
+		if v.Regressed {
+			mark = "!!"
+		}
+		ratio := "-"
+		if v.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2fx", v.Ratio)
+		}
+		fmt.Fprintf(&sb, "%-60s %14.0f %14.0f %8s %s\n", v.Name, v.Baseline, v.Current, ratio, mark)
+	}
+	fmt.Fprintf(&sb, "tolerance: +%.0f%%\n", tolerance*100)
+	return sb.String()
+}

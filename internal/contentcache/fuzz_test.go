@@ -1,0 +1,66 @@
+package contentcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzCodec is a trivial string codec so decoded entries exercise the
+// full load path (the disk loader only hands values to codecs it has).
+type fuzzCodec struct{}
+
+func (fuzzCodec) Encode(v any) ([]byte, error) { return []byte(v.(string)), nil }
+func (fuzzCodec) Decode(d []byte) (any, error) { return string(d), nil }
+
+// FuzzLoadSegment feeds arbitrary bytes to the disk-segment loader as a
+// snapshot segment file. The loader reads persisted state that may be
+// truncated, bit-flipped, or adversarial; any input must either load
+// cleanly (within the byte budget) or be skipped — never panic, never
+// blow the budget, never produce an entry whose content fails digest
+// verification.
+func FuzzLoadSegment(f *testing.F) {
+	// Seeds: a genuine snapshot segment, its truncations, and junk.
+	dir := f.TempDir()
+	c := New(1 << 20)
+	c.Put(KeyOf(1, "hello"), "hello", "world")
+	c.Put(KeyOf(2, "abc"), "abc", "xyz")
+	if _, err := c.Save(dir, Codecs{1: fuzzCodec{}, 2: fuzzCodec{}}); err != nil {
+		f.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, segPattern))
+	for _, seg := range segs {
+		raw, err := os.ReadFile(seg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+		f.Add(raw[:len(raw)/2])
+		f.Add(raw[4:])
+	}
+	f.Add([]byte("KZC1"))
+	f.Add([]byte("KZC1garbage-with-a-bad-checksum-tail"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized fuzz input")
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "seg-0000.kcc"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		const budget = 1 << 12
+		cache, stats, err := Load(dir, Codecs{1: fuzzCodec{}, 2: fuzzCodec{}}, budget)
+		if err != nil {
+			t.Fatalf("Load must degrade, not fail: %v", err)
+		}
+		st := cache.Stats()
+		if st.Bytes > budget {
+			t.Fatalf("loaded %d bytes over the %d budget", st.Bytes, budget)
+		}
+		if stats.Entries < 0 || st.Entries > stats.Entries {
+			t.Fatalf("inconsistent entry accounting: cache %d, loader %d", st.Entries, stats.Entries)
+		}
+	})
+}

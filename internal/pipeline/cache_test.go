@@ -7,6 +7,8 @@ import (
 
 	"kizzle/internal/contentcache"
 	"kizzle/internal/ekit"
+	"kizzle/internal/jstoken"
+	"kizzle/internal/parallel"
 	"kizzle/internal/winnow"
 )
 
@@ -100,6 +102,42 @@ func TestProcessCachedMatchesUncached(t *testing.T) {
 	if !reflect.DeepEqual(want2, got2) {
 		t.Fatal("day N+1 with warm cache diverged from uncached run")
 	}
+}
+
+// tokenizeAll reconstructs the pre-streaming tokenize stage from the
+// fused stage's building blocks, for direct unit testing: digest-group
+// the batch, lex one representative per group, assign shared slices.
+func tokenizeAll(inputs []Input, cache *contentcache.Cache, workers int) ([][]jstoken.Symbol, int) {
+	if cache == nil {
+		cache = contentcache.New(1 << 20)
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cfg.Cache = cache
+	groups, groupOf := digestGroups(inputs, workers)
+	groupSyms := lexGroupsForTest(inputs, groups, cfg)
+	symbols := make([][]jstoken.Symbol, len(inputs))
+	for i := range inputs {
+		symbols[i] = groupSyms[groupOf[i]]
+	}
+	return symbols, len(groups)
+}
+
+func lexGroupsForTest(inputs []Input, groups [][]int, cfg Config) [][]jstoken.Symbol {
+	groupSyms := make([][]jstoken.Symbol, len(groups))
+	scratches := make([]jstoken.Scratch, cfg.Workers)
+	parallel.ForEach(len(groups), cfg.Workers, 1, func(worker, g int) {
+		content := inputs[groups[g][0]].Content
+		key := contentcache.KeyOf(kindRawSymbols, content)
+		if v, ok := cfg.Cache.Get(key, content); ok {
+			groupSyms[g] = v.([]jstoken.Symbol)
+			return
+		}
+		syms := scratches[worker].AppendSymbols(nil, content)
+		cfg.Cache.PutSized(key, content, syms, 2*len(syms))
+		groupSyms[g] = syms
+	})
+	return groupSyms
 }
 
 // TestTokenizeAllDedup exercises the digest pre-dedup directly: duplicates

@@ -1,26 +1,35 @@
-// Package pipeline is Kizzle's main driver (paper Figure 7): partition the
-// day's samples across clustering workers, cluster each partition with
-// DBSCAN over normalized token edit distance, reconcile partition clusters
-// in a reduce step, label each merged cluster by unpacking its prototype
-// and winnow-matching it against the known-kit corpus, and generate a
-// structural signature for every malicious cluster.
+// Package pipeline is Kizzle's main driver (paper Figure 7): stream the
+// day's samples into clustering partitions, cluster each partition with
+// DBSCAN over normalized token edit distance, reconcile the pre-reduced
+// partition summaries in a hierarchical reduce, label each merged cluster
+// by unpacking its prototype and winnow-matching it against the known-kit
+// corpus, and generate a structural signature for every malicious
+// cluster.
 //
-// The stages (tokenize → dedupe → partition → cluster → reduce → label →
-// sign), and where each one's cost goes:
+// The stages, and where each one's cost goes:
 //
-//   - tokenize: digest pre-dedup, then streaming symbol-only lexing
-//     (jstoken.Scratch) — identical raw documents are lexed once per
-//     cache lifetime;
-//   - dedupe: identical abstract sequences collapse to one weighted
-//     point, which shrinks a kit's whole day to a handful of shapes;
-//   - cluster: weighted DBSCAN per partition over the allocation-free
-//     banded edit-distance kernel (textdist.Scratch + frequency lower
-//     bounds). This is the dominant cold-path cost and the stage that
-//     scales horizontally: Config.Clusterer dispatches partitions to
-//     shard workers (internal/shardcoord), bit-identically;
-//   - reduce: union-find merge of partition clusters, noise re-cluster,
-//     straggler adoption — the step the paper calls the serial
-//     bottleneck;
+//   - tokenize + dedupe + emit (fused, streaming): digest pre-dedup, then
+//     streaming symbol-only lexing (jstoken.Scratch) one chunk ahead of
+//     the dedup cursor — identical raw documents are lexed once per cache
+//     lifetime. Identical abstract sequences collapse to one weighted
+//     point; new uniques scatter round-robin across Config.PartitionFanout
+//     open partitions (the streaming stand-in for the paper's random
+//     partitioning), and each partition is dispatched the moment it
+//     fills — a shard fleet clusters while the host still lexes the tail;
+//   - cluster + pre-reduce: weighted DBSCAN per partition over the
+//     allocation-free banded edit-distance kernel (textdist.Scratch +
+//     frequency lower bounds), then PreReducePartition compacts the
+//     result (representative merge + local noise fold). The dominant
+//     cold-path cost and the stage that scales horizontally:
+//     Config.Clusterer dispatches work units to shard workers
+//     (internal/shardcoord), bit-identically;
+//   - hierarchical reduce: union-find merge over the summaries'
+//     representatives, noise re-cluster, straggler adoption — the step
+//     the paper calls the serial bottleneck. Its three distance sweeps
+//     run through the same seam as clustering: in-process by default,
+//     fanned out to the fleet as EdgeJob work units under a
+//     StreamClusterer, leaving the coordinator only union-find and
+//     bookkeeping;
 //   - label: unpack the prototype, winnow-fingerprint it, sweep the
 //     known-kit corpus;
 //   - sign: generalize a structural signature per malicious cluster.
@@ -28,6 +37,7 @@
 // Config.Cache threads a contentcache.Cache through every stage so a day
 // N+1 batch pays only for novel content; CacheCodecs supplies the disk
 // codecs that make that cache survive restarts (contentcache.Save/Load).
-// Both caching and sharding are pinned by differential tests to never
-// change pipeline output.
+// Caching, sharding, and dispatch mode (streaming vs Config.BatchDispatch,
+// shard-side vs Config.DisableShardPreReduce pre-reduce) are pinned by
+// differential tests to never change pipeline output.
 package pipeline

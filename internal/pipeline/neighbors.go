@@ -7,6 +7,7 @@ import (
 	"kizzle/internal/contentcache"
 	"kizzle/internal/dbscan"
 	"kizzle/internal/jstoken"
+	"kizzle/internal/parallel"
 	"kizzle/internal/textdist"
 )
 
@@ -17,12 +18,15 @@ import (
 //   - a length-sorted candidate index so a region query only tests
 //     sequences whose length difference can still be within eps·max-len
 //     (the length gap alone is a lower bound on edit distance);
+//
 //   - a symbol-frequency lower bound: one edit operation moves the
 //     per-symbol histograms by at most an L1 mass of 2, so a pair whose
 //     histogram L1 distance exceeds 2·maxDist cannot be within eps — an
 //     O(alphabet) test that spares the O(band·len) dynamic program for
 //     most cross-shape pairs;
+//
 //   - symmetric evaluation — each unordered pair is tested at most once;
+//
 //   - parallel evaluation across workers, each with its own reusable
 //     textdist.Scratch, so the distance stage does not allocate and large
 //     partitions no longer serialize on one goroutine.
@@ -51,25 +55,7 @@ func neighborGraph(seqs [][]jstoken.Symbol, ids []seqID, cache *contentcache.Cac
 	// streams (all JavaScript shares one symbol alphabet, but structure
 	// differs), at a weaker per-edit bound: one edit disturbs at most two
 	// 2-grams, so distance ≥ L1/4.
-	const bigrams = 256
-	alpha := jstoken.SymbolSpace()
-	arena := make([]int32, n*alpha)
-	bgArena := make([]int32, n*bigrams)
-	freqs := make([][]int32, n)
-	bgFreqs := make([][]int32, n)
-	for k, ui := range idx {
-		f := arena[k*alpha : (k+1)*alpha : (k+1)*alpha]
-		g := bgArena[k*bigrams : (k+1)*bigrams : (k+1)*bigrams]
-		seq := seqs[ui]
-		for i, sym := range seq {
-			f[sym]++
-			if i > 0 {
-				g[(uint32(seq[i-1])*31+uint32(sym))&(bigrams-1)]++
-			}
-		}
-		freqs[k] = f
-		bgFreqs[k] = g
-	}
+	h := newHistArena(seqs, idx)
 	// Length-sorted view: order[k] is a local index, sortedLens[k] its
 	// sequence length.
 	order := make([]int, n)
@@ -93,38 +79,173 @@ func neighborGraph(seqs [][]jstoken.Symbol, ids []seqID, cache *contentcache.Cac
 	}
 	scratches := make([]textdist.Scratch, workers)
 	within := func(worker, a, b int) bool {
-		// Mirror WithinNormalized's maxDist derivation exactly so the
-		// lower bound is conservative with respect to the final check.
-		ml := lens[a]
-		if lens[b] > ml {
-			ml = lens[b]
-		}
-		if ml == 0 {
-			return true
-		}
-		maxDist := int(eps * float64(ml))
-		if l1Diff(freqs[a], freqs[b]) > 2*maxDist {
-			return false
-		}
-		if l1Diff(bgFreqs[a], bgFreqs[b]) > 4*maxDist {
-			return false
-		}
-		var pairKey string
-		var key contentcache.Key
-		if ids != nil && cache != nil {
-			pairKey = pairVerdictKey(ids[idx[a]], ids[idx[b]], eps)
-			key = contentcache.KeyOf(kindPairVerdict, pairKey)
-			if v, ok := cache.Get(key, pairKey); ok {
-				return v.(bool)
-			}
-		}
-		ok := scratches[worker].WithinNormalized(seqs[idx[a]], seqs[idx[b]], eps)
-		if pairKey != "" {
-			cache.Put(key, pairKey, ok)
-		}
-		return ok
+		return pairWithin(seqs, ids, cache, idx[a], idx[b], h.at(a), h.at(b), eps, &scratches[worker])
 	}
 	return dbscan.PrecomputeNeighbors(n, workers, candidates, within)
+}
+
+// sweepPairs evaluates within-eps pair tests with the same pruning kernel
+// as neighborGraph — length windows, symbol/2-gram histogram lower bounds,
+// the cross-run verdict cache — but over an explicit pair set, which is
+// what the distributed reduce ships to shards as edge jobs:
+//
+//   - cols nil: triangular — every unordered pair of rows, reported as
+//     ascending (i, j) positions into rows;
+//   - cols non-nil: bipartite — every (row, col) pair, reported as
+//     (row position, col position).
+//
+// rows and cols index into seqs; ids (aligned with seqs) and cache may be
+// nil to disable verdict caching. The pair list is ascending row-major —
+// fully deterministic — and rows are swept in parallel across workers.
+func sweepPairs(seqs [][]jstoken.Symbol, ids []seqID, cache *contentcache.Cache,
+	rows, cols []int, eps float64, workers int) [][2]int {
+	if workers < 1 {
+		workers = 1
+	}
+	triangular := cols == nil
+	targets := cols
+	if triangular {
+		targets = rows
+	}
+	if len(rows) == 0 || len(targets) == 0 {
+		return nil
+	}
+
+	// Histograms for every involved sequence, keyed by position in the
+	// concatenated (rows, targets) view.
+	view := make([]int, 0, len(rows)+len(targets))
+	view = append(view, rows...)
+	if !triangular {
+		view = append(view, targets...)
+	}
+	h := newHistArena(seqs, view)
+	rowHist := func(i int) histRef { return h.at(i) }
+	targetHist := func(j int) histRef {
+		if triangular {
+			return h.at(j)
+		}
+		return h.at(len(rows) + j)
+	}
+
+	// Length-sorted view over target positions for the candidate window.
+	order := make([]int, len(targets))
+	for k := range order {
+		order[k] = k
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(seqs[targets[order[a]]]) < len(seqs[targets[order[b]]])
+	})
+	sortedLens := make([]int, len(order))
+	for k, pos := range order {
+		sortedLens[k] = len(seqs[targets[pos]])
+	}
+
+	scratches := make([]textdist.Scratch, workers)
+	perRow := make([][][2]int, len(rows))
+	parallel.ForEach(len(rows), workers, 1, func(worker, ri int) {
+		rowSeq := seqs[rows[ri]]
+		lo := sort.SearchInts(sortedLens, textdist.MinCandidateLen(len(rowSeq), eps))
+		hi := len(order)
+		if maxLen := textdist.MaxCandidateLen(len(rowSeq), eps); maxLen < sortedLens[len(sortedLens)-1] {
+			hi = sort.SearchInts(sortedLens, maxLen+1)
+		}
+		var hits [][2]int
+		for _, tj := range order[lo:hi] {
+			if triangular && tj <= ri {
+				continue
+			}
+			if !pairWithin(seqs, ids, cache, rows[ri], targets[tj],
+				rowHist(ri), targetHist(tj), eps, &scratches[worker]) {
+				continue
+			}
+			hits = append(hits, [2]int{ri, tj})
+		}
+		sort.Slice(hits, func(a, b int) bool { return hits[a][1] < hits[b][1] })
+		perRow[ri] = hits
+	})
+	var out [][2]int
+	for _, hits := range perRow {
+		out = append(out, hits...)
+	}
+	return out
+}
+
+// histArena holds per-sequence symbol and hashed-2-gram histograms in flat
+// arenas (the sweepPairs counterpart of neighborGraph's inline arenas).
+type histArena struct {
+	alpha   int
+	freqs   []int32
+	bgFreqs []int32
+}
+
+type histRef struct {
+	freq, bg []int32
+}
+
+const bigramBuckets = 256
+
+func newHistArena(seqs [][]jstoken.Symbol, view []int) *histArena {
+	alpha := jstoken.SymbolSpace()
+	h := &histArena{
+		alpha:   alpha,
+		freqs:   make([]int32, len(view)*alpha),
+		bgFreqs: make([]int32, len(view)*bigramBuckets),
+	}
+	for k, si := range view {
+		f := h.freqs[k*alpha : (k+1)*alpha]
+		g := h.bgFreqs[k*bigramBuckets : (k+1)*bigramBuckets]
+		seq := seqs[si]
+		for i, sym := range seq {
+			f[sym]++
+			if i > 0 {
+				g[(uint32(seq[i-1])*31+uint32(sym))&(bigramBuckets-1)]++
+			}
+		}
+	}
+	return h
+}
+
+func (h *histArena) at(k int) histRef {
+	return histRef{
+		freq: h.freqs[k*h.alpha : (k+1)*h.alpha],
+		bg:   h.bgFreqs[k*bigramBuckets : (k+1)*bigramBuckets],
+	}
+}
+
+// pairWithin runs the shared within-eps decision for one (a, b) sequence
+// pair: histogram lower bounds, then the cached verdict, then the banded
+// dynamic program. It mirrors neighborGraph's inline `within` exactly, so
+// sweepPairs and neighborGraph agree on every pair.
+func pairWithin(seqs [][]jstoken.Symbol, ids []seqID, cache *contentcache.Cache,
+	a, b int, ha, hb histRef, eps float64, scratch *textdist.Scratch) bool {
+	ml := len(seqs[a])
+	if len(seqs[b]) > ml {
+		ml = len(seqs[b])
+	}
+	if ml == 0 {
+		return true
+	}
+	maxDist := int(eps * float64(ml))
+	if l1Diff(ha.freq, hb.freq) > 2*maxDist {
+		return false
+	}
+	if l1Diff(ha.bg, hb.bg) > 4*maxDist {
+		return false
+	}
+	var pairKey string
+	var key contentcache.Key
+	if ids != nil && cache != nil {
+		pairKey = pairVerdictKey(ids[a], ids[b], eps)
+		key = contentcache.KeyOf(kindPairVerdict, pairKey)
+		if v, ok := cache.Get(key, pairKey); ok {
+			return v.(bool)
+		}
+	}
+	ok := scratch.WithinNormalized(seqs[a], seqs[b], eps)
+	if pairKey != "" {
+		cache.Put(key, pairKey, ok)
+	}
+	return ok
 }
 
 // pairVerdictKey canonicalizes an unordered sequence pair plus the eps

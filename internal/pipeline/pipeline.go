@@ -3,18 +3,14 @@ package pipeline
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"kizzle/internal/contentcache"
-	"kizzle/internal/dbscan"
 	"kizzle/internal/jstoken"
 	"kizzle/internal/parallel"
 	"kizzle/internal/siggen"
-	"kizzle/internal/textdist"
 	"kizzle/internal/unpack"
 	"kizzle/internal/winnow"
 )
@@ -32,6 +28,12 @@ const (
 	kindPairVerdict
 )
 
+// DefaultEps is the paper's empirically determined DBSCAN threshold on
+// normalized token edit distance (§V "Tuning the ML"); every eps
+// defaulting site shares it so the clustering and pre-reduce kernels can
+// never drift apart.
+const DefaultEps = 0.10
+
 // Input is one grayware sample handed to the pipeline.
 type Input struct {
 	// ID identifies the sample in results.
@@ -48,6 +50,12 @@ type Config struct {
 	// PartitionSize is the target number of unique token sequences per
 	// partition.
 	PartitionSize int
+	// PartitionFanout is how many partitions fill concurrently during
+	// streaming dedup: new unique sequences are scattered round-robin
+	// across this many open buffers (the streaming stand-in for the
+	// paper's random partitioning), so one family's consecutive variants
+	// spread across partitions instead of piling into one. Defaults to 8.
+	PartitionFanout int
 	// Eps is the normalized edit-distance threshold for DBSCAN; the
 	// paper determined 0.10 experimentally.
 	Eps float64
@@ -82,8 +90,21 @@ type Config struct {
 	// are handed out as ShardPartition work units and the results merged
 	// back before the reduce step; output is identical to in-process
 	// clustering (see internal/shardcoord for the HTTP coordinator/worker
-	// implementation). Nil clusters in-process across Workers goroutines.
+	// implementation). Dispatchers that also implement StreamClusterer
+	// receive partitions while dedup is still running and host the reduce
+	// step's distance sweeps as edge jobs. Nil clusters in-process across
+	// Workers goroutines.
 	Clusterer Clusterer
+	// BatchDispatch disables streaming: partitions are collected and
+	// dispatched in one batch after dedup completes, and the reduce
+	// sweeps stay on the coordinator — the pre-streaming cost model,
+	// kept for profiling A/B runs and protocol-v1 fleets. Output is
+	// identical either way.
+	BatchDispatch bool
+	// DisableShardPreReduce keeps the per-partition pre-reduce on the
+	// coordinator instead of asking shard workers for it (protocol v2).
+	// Output is identical; the knob only shifts where the work runs.
+	DisableShardPreReduce bool
 }
 
 // DefaultConfig returns the parameters used throughout the evaluation.
@@ -91,7 +112,7 @@ func DefaultConfig() Config {
 	return Config{
 		Workers:       runtime.GOMAXPROCS(0),
 		PartitionSize: 300,
-		Eps:           0.10,
+		Eps:           DefaultEps,
 		MinPts:        2,
 		Winnow:        winnow.DefaultConfig(),
 		Signature:     siggen.DefaultConfig(),
@@ -151,16 +172,34 @@ type Stats struct {
 	// UniqueDocuments counts distinct raw documents after content-digest
 	// pre-deduplication; Samples-UniqueDocuments were never tokenized.
 	UniqueDocuments int
+	// EdgeJobs counts the reduce-step distance sweeps dispatched to shard
+	// workers as edge work units (zero for in-process and batch runs).
+	EdgeJobs int
 	// CacheHits / CacheMisses are this run's content-cache lookups (zero
 	// without a configured cache).
 	CacheHits   int64
 	CacheMisses int64
 
+	// Stage wall-clock times. Under streaming dispatch the stages overlap:
+	// Tokenize covers the fused lex+dedup+emit loop (during which the
+	// fleet is already clustering), Cluster the residual wait for the last
+	// partition result, and Reduce the summary merge including its
+	// (possibly dispatched) distance sweeps.
 	Tokenize  time.Duration
 	Cluster   time.Duration
 	Reduce    time.Duration
 	Label     time.Duration
 	Signature time.Duration
+	// ReduceDispatch is the part of Reduce spent blocked on distance
+	// sweeps dispatched to the fleet (zero for in-process and batch runs);
+	// Reduce minus ReduceDispatch is the coordinator's serial residue.
+	ReduceDispatch time.Duration
+	// CoordPreReduce is the part of Cluster the coordinator spent
+	// serially pre-reducing partition results — nonzero only under batch
+	// (protocol v1) dispatch through a Clusterer, where that work cannot
+	// run shard-side. Fleet cost models must count it as coordinator
+	// serial time.
+	CoordPreReduce time.Duration
 }
 
 // Result is the output of one pipeline run.
@@ -185,7 +224,7 @@ func Process(inputs []Input, corpus *Corpus, cfg Config) (Result, error) {
 		cfg.PartitionSize = 300
 	}
 	if cfg.Eps <= 0 {
-		cfg.Eps = 0.10
+		cfg.Eps = DefaultEps
 	}
 	if cfg.MinPts <= 0 {
 		cfg.MinPts = 2
@@ -204,44 +243,46 @@ func Process(inputs []Input, corpus *Corpus, cfg Config) (Result, error) {
 	res.Stats.Samples = len(inputs)
 	preCache := cfg.Cache.Stats()
 
-	// Stage 1: content-digest pre-dedup, then tokenize straight to
-	// abstract symbols (token values are never materialized here; the
-	// signature stage re-lexes the few samples it needs). Identical raw
-	// documents are lexed once per batch, and once per cache lifetime
-	// when a cache is configured.
+	// Stages 1–3, fused and streamed: content-digest pre-dedup, chunked
+	// look-ahead tokenization straight to abstract symbols (token values
+	// are never materialized here; the signature stage re-lexes the few
+	// samples it needs), sequence dedup, and partition emission — each
+	// partition dispatched to the cluster session the moment it fills, so
+	// a shard fleet clusters while the host still lexes the tail. Exploit-
+	// kit randomization leaves the abstract sequence intact, so dedup
+	// often collapses a family's whole day into a handful of points.
+	sess := openClusterSession(cfg)
+	defer sess.close()
 	start := time.Now()
-	symbols, uniqueDocs := tokenizeAll(inputs, cfg.Cache, cfg.Workers)
+	outcome := runClusterStage(inputs, cfg, sess)
 	res.Stats.Tokenize = time.Since(start)
-	res.Stats.UniqueDocuments = uniqueDocs
-
-	// Stage 2: deduplicate identical symbol sequences. Exploit-kit
-	// randomization leaves the abstract sequence intact, so dedup often
-	// collapses a family's whole day into a handful of points.
-	uniq := dedupe(symbols)
+	res.Stats.UniqueDocuments = outcome.uniqueDocs
+	uniq := outcome.u
 	res.Stats.UniqueSequences = len(uniq.seqs)
+	res.Stats.Partitions = outcome.partitions
 
-	// Stage 3: partition and cluster — in-process across cfg.Workers, or
-	// dispatched to shard workers when a Clusterer is configured.
+	// Residual clustering wait: partitions still in flight when the host
+	// finished its serial work.
 	start = time.Now()
-	parts := partition(len(uniq.seqs), cfg.PartitionSize)
-	res.Stats.Partitions = len(parts)
-	var partClusters []partCluster
-	var noise []int
-	if cfg.Clusterer != nil {
-		var err error
-		partClusters, noise, err = clusterViaClusterer(uniq, parts, cfg)
-		if err != nil {
-			return Result{}, fmt.Errorf("pipeline: %w", err)
-		}
-	} else {
-		partClusters, noise = clusterPartitions(uniq, parts, cfg)
+	sums, err := sess.collect(&uniq)
+	if err != nil {
+		return Result{}, fmt.Errorf("pipeline: %w", err)
 	}
 	res.Stats.Cluster = time.Since(start)
 
-	// Stage 4: reduce — merge partition clusters, re-cluster noise.
+	// Stage 4: hierarchical reduce over the pre-reduced partition
+	// summaries — representative merge, noise re-clustering, straggler
+	// adoption — with the distance sweeps running through the session
+	// (in-process, or fanned out to the fleet as edge jobs).
 	start = time.Now()
-	merged, remaining := reduceClusters(uniq, partClusters, noise, cfg)
+	weightOf := func(ui int) int { return outcome.emitWeight[ui] }
+	merged, remaining, err := reduceSummaries(sums, weightOf, cfg, sess.edges)
+	if err != nil {
+		return Result{}, fmt.Errorf("pipeline: reduce: %w", err)
+	}
 	res.Stats.Reduce = time.Since(start)
+	res.Stats.EdgeJobs, res.Stats.ReduceDispatch = sess.edgeStats()
+	res.Stats.CoordPreReduce = sess.preReduceTime()
 	res.Stats.NoisePoints = 0
 	for _, u := range remaining {
 		res.Stats.NoisePoints += len(uniq.members[u])
@@ -290,110 +331,11 @@ func Process(inputs []Input, corpus *Corpus, cfg Config) (Result, error) {
 	return res, nil
 }
 
-// tokenizeAll produces every input's abstract symbol sequence. Inputs are
-// first grouped by content digest (verified byte-for-byte within a digest
-// bucket) so identical raw documents — the bulk of provider telemetry —
-// are lexed once and share one symbol slice; each group representative is
-// then lexed by the symbol-only streaming path through per-worker
-// scratches, consulting the content cache so repeated content across
-// batches is never lexed twice. Returns the per-input symbol sequences and
-// the number of distinct raw documents.
-func tokenizeAll(inputs []Input, cache *contentcache.Cache, workers int) ([][]jstoken.Symbol, int) {
-	n := len(inputs)
-	symbols := make([][]jstoken.Symbol, n)
-
-	// Digest every document in parallel: ~30× faster than lexing, so this
-	// pass is profitable whenever a batch repeats any content at all.
-	keys := make([]contentcache.Key, n)
-	parallel.ForEach(n, workers, 8, func(_, i int) {
-		keys[i] = contentcache.KeyOf(kindRawSymbols, inputs[i].Content)
-	})
-
-	// Group identical documents. A digest bucket may (in principle) mix
-	// distinct contents; members are verified against their group
-	// representative, so a collision costs a second group, never a wrong
-	// assignment.
-	groups := make([][]int, 0, n)
-	index := make(map[contentcache.Key][]int, n)
-	for i := 0; i < n; i++ {
-		found := -1
-		for _, g := range index[keys[i]] {
-			if inputs[groups[g][0]].Content == inputs[i].Content {
-				found = g
-				break
-			}
-		}
-		if found < 0 {
-			found = len(groups)
-			groups = append(groups, nil)
-			index[keys[i]] = append(index[keys[i]], found)
-		}
-		groups[found] = append(groups[found], i)
-	}
-
-	// Lex one representative per group.
-	scratches := make([]jstoken.Scratch, workers)
-	parallel.ForEach(len(groups), workers, 1, func(worker, g int) {
-		rep := groups[g][0]
-		content := inputs[rep].Content
-		var syms []jstoken.Symbol
-		if v, ok := cache.Get(keys[rep], content); ok {
-			syms = v.([]jstoken.Symbol)
-		} else {
-			syms = scratches[worker].AppendSymbols(nil, content)
-			cache.PutSized(keys[rep], content, syms, 2*len(syms))
-		}
-		for _, i := range groups[g] {
-			symbols[i] = syms
-		}
-	})
-	return symbols, len(groups)
-}
-
 // uniqueSet groups samples with identical abstract sequences.
 type uniqueSet struct {
 	seqs    [][]jstoken.Symbol
 	members [][]int // members[u] = input indices sharing seqs[u]
 	ids     []seqID // cache identities, aligned with seqs
-}
-
-func dedupe(symbols [][]jstoken.Symbol) uniqueSet {
-	type bucket struct {
-		unique int
-	}
-	var u uniqueSet
-	index := make(map[uint64][]bucket)
-	// Raw pre-dedup makes duplicate documents share one backing slice, so
-	// the sequence hash is memoized by slice identity — a telemetry batch
-	// with heavy duplication hashes each distinct document once.
-	hashMemo := make(map[*jstoken.Symbol]uint64)
-	for i, seq := range symbols {
-		var h uint64
-		if len(seq) == 0 {
-			h = hashSeq(seq)
-		} else if v, ok := hashMemo[&seq[0]]; ok {
-			h = v
-		} else {
-			h = hashSeq(seq)
-			hashMemo[&seq[0]] = h
-		}
-		found := -1
-		for _, b := range index[h] {
-			if symbolsEqual(u.seqs[b.unique], seq) {
-				found = b.unique
-				break
-			}
-		}
-		if found < 0 {
-			found = len(u.seqs)
-			u.seqs = append(u.seqs, seq)
-			u.members = append(u.members, nil)
-			u.ids = append(u.ids, seqID{h1: h, h2: altHashSeq(seq), n: len(seq)})
-			index[h] = append(index[h], bucket{unique: found})
-		}
-		u.members[found] = append(u.members[found], i)
-	}
-	return u
 }
 
 func hashSeq(s []jstoken.Symbol) uint64 {
@@ -430,7 +372,6 @@ func altHashSeq(s []jstoken.Symbol) uint64 {
 	return h
 }
 
-
 func symbolsEqual(a, b []jstoken.Symbol) bool {
 	if len(a) != len(b) {
 		return false
@@ -447,196 +388,10 @@ func symbolsEqual(a, b []jstoken.Symbol) bool {
 	return true
 }
 
-// partition assigns unique-sequence indices to partitions of roughly
-// targetSize, using a deterministic shuffle ("randomly partition the
-// samples across a cluster of machines").
-func partition(n, targetSize int) [][]int {
-	parts := (n + targetSize - 1) / targetSize
-	if parts < 1 {
-		parts = 1
-	}
-	order := rand.New(rand.NewSource(int64(n)*2654435761 + 1)).Perm(n)
-	out := make([][]int, parts)
-	for pos, idx := range order {
-		p := pos % parts
-		out[p] = append(out[p], idx)
-	}
-	return out
-}
-
-// partCluster is one cluster local to a partition, by unique indices.
-type partCluster []int
-
-// clusterPartitions runs weighted DBSCAN per partition in parallel and
-// returns the per-partition clusters plus all noise uniques.
-func clusterPartitions(u uniqueSet, parts [][]int, cfg Config) ([]partCluster, []int) {
-	type partResult struct {
-		clusters []partCluster
-		noise    []int
-	}
-	results := make([]partResult, len(parts))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for pi, part := range parts {
-		wg.Add(1)
-		go func(pi int, part []int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[pi] = clusterOne(u, part, cfg)
-		}(pi, part)
-	}
-	wg.Wait()
-
-	var clusters []partCluster
-	var noise []int
-	for _, r := range results {
-		clusters = append(clusters, r.clusters...)
-		noise = append(noise, r.noise...)
-	}
-	return clusters, noise
-}
-
-func clusterOne(u uniqueSet, part []int, cfg Config) (out struct {
-	clusters []partCluster
-	noise    []int
-}) {
-	weights := make([]int, len(part))
-	for i, ui := range part {
-		weights[i] = len(u.members[ui])
-	}
-	adj := neighborGraph(u.seqs, u.ids, cfg.Cache, part, cfg.Eps, cfg.Workers)
-	ids := dbscan.ClusterWeighted(adj, weights, cfg.MinPts)
-	for gi, group := range dbscan.Groups(ids) {
-		_ = gi
-		pc := make(partCluster, len(group))
-		for k, local := range group {
-			pc[k] = part[local]
-		}
-		out.clusters = append(out.clusters, pc)
-	}
-	for local, id := range ids {
-		if id == dbscan.Noise {
-			out.noise = append(out.noise, part[local])
-		}
-	}
-	return out
-}
-
-// reduceClusters merges partition clusters whose representatives are within
-// eps (union-find), re-clusters the pooled noise globally, and adopts any
-// remaining noise point that sits within eps of a merged representative.
-// This reconciliation is the step the paper identifies as the bottleneck.
-func reduceClusters(u uniqueSet, clusters []partCluster, noise []int, cfg Config) ([][]int, []int) {
-	// Union-find over partition clusters by representative distance.
-	reps := make([]int, len(clusters))
-	for i, c := range clusters {
-		reps[i] = repOf(u, c)
-	}
-	parent := make([]int, len(clusters))
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
-	// The rep-vs-rep eps graph is computed with the same parallel
-	// length-pruned kernel as partition clustering (the paper flags this
-	// reduce reconciliation as the serial bottleneck). Unions are applied
-	// in the same (i, j) ascending order the pairwise loop used, so the
-	// merged-cluster ordering is unchanged.
-	repAdj := neighborGraph(u.seqs, u.ids, cfg.Cache, reps, cfg.Eps, cfg.Workers)
-	for i := range repAdj {
-		for _, j := range repAdj[i] {
-			if j > i {
-				union(i, j)
-			}
-		}
-	}
-	mergedBy := make(map[int][]int)
-	for i, c := range clusters {
-		root := find(i)
-		mergedBy[root] = append(mergedBy[root], c...)
-	}
-	var merged [][]int
-	for i := 0; i < len(clusters); i++ {
-		if find(i) == i {
-			merged = append(merged, mergedBy[i])
-		}
-	}
-
-	// Re-cluster pooled noise: uniques whose family was split across
-	// partitions below MinPts per partition still deserve a cluster.
-	if len(noise) > 0 && (cfg.MaxNoiseRecluster == 0 || len(noise) <= cfg.MaxNoiseRecluster) {
-		weights := make([]int, len(noise))
-		for i, ui := range noise {
-			weights[i] = len(u.members[ui])
-		}
-		adj := neighborGraph(u.seqs, u.ids, cfg.Cache, noise, cfg.Eps, cfg.Workers)
-		ids := dbscan.ClusterWeighted(adj, weights, cfg.MinPts)
-		for _, group := range dbscan.Groups(ids) {
-			nc := make([]int, len(group))
-			for k, local := range group {
-				nc[k] = noise[local]
-			}
-			merged = append(merged, nc)
-		}
-		var rest []int
-		for local, id := range ids {
-			if id == dbscan.Noise {
-				rest = append(rest, noise[local])
-			}
-		}
-		noise = rest
-	}
-
-	// Adopt stragglers into existing clusters. Each merged cluster's
-	// representative is tracked incrementally (an adopted unique covering
-	// more samples than the current rep becomes the new rep, exactly as
-	// recomputing repOf after each append would decide), and one Scratch
-	// serves every distance test.
-	var remaining []int
-	var scratch textdist.Scratch
-	mergedReps := make([]int, len(merged))
-	for mi := range merged {
-		mergedReps[mi] = repOf(u, merged[mi])
-	}
-	for _, ui := range noise {
-		adopted := false
-		for mi := range merged {
-			rep := mergedReps[mi]
-			if scratch.WithinNormalized(u.seqs[ui], u.seqs[rep], cfg.Eps) {
-				merged[mi] = append(merged[mi], ui)
-				if len(u.members[ui]) > len(u.members[rep]) {
-					mergedReps[mi] = ui
-				}
-				adopted = true
-				break
-			}
-		}
-		if !adopted {
-			remaining = append(remaining, ui)
-		}
-	}
-	return merged, remaining
-}
-
 // repOf picks a cluster's representative unique: the one covering the most
-// samples (the modal shape).
+// samples (the modal shape), weighed by final membership counts.
 func repOf(u uniqueSet, cluster []int) int {
-	best := cluster[0]
-	for _, ui := range cluster[1:] {
-		if len(u.members[ui]) > len(u.members[best]) {
-			best = ui
-		}
-	}
-	return best
+	return heaviest(cluster, func(ui int) int { return len(u.members[ui]) })
 }
 
 // unpackEntry is the cached outcome of unpacking one raw prototype: the

@@ -1,6 +1,11 @@
 package pipeline
 
 import (
+	"fmt"
+	"strings"
+	"time"
+
+	"kizzle/internal/contentcache"
 	"testing"
 
 	"kizzle/internal/ekit"
@@ -252,22 +257,144 @@ func TestConfigThreshold(t *testing.T) {
 	}
 }
 
-func TestPartition(t *testing.T) {
-	parts := partition(10, 3)
-	if len(parts) != 4 {
-		t.Fatalf("partition(10,3) gave %d parts", len(parts))
+// recordingSession captures emitted partitions without executing them.
+type recordingSession struct {
+	emitted []emittedPartition
+}
+
+func (s *recordingSession) submitPartition(ep emittedPartition, _ time.Duration) {
+	s.emitted = append(s.emitted, ep)
+}
+func (s *recordingSession) collect(*uniqueSet) ([]summary, error)    { return nil, nil }
+func (s *recordingSession) edges(rows, cols []int) ([][2]int, error) { return nil, nil }
+func (s *recordingSession) edgeStats() (int, time.Duration)          { return 0, 0 }
+func (s *recordingSession) preReduceTime() time.Duration             { return 0 }
+func (s *recordingSession) close()                                   {}
+
+// TestStreamPartitioning pins the streaming emission contract: every
+// unique sequence lands in exactly one partition, partitions fill to
+// PartitionSize in dedup-discovery order (last one partial), and the
+// emitted weights count the members each unique had at emission time.
+func TestStreamPartitioning(t *testing.T) {
+	var inputs []Input
+	// 10 distinct shapes, interleaved so duplicates keep arriving after a
+	// shape's partition closed.
+	for rep := 0; rep < 3; rep++ {
+		for v := 0; v < 10; v++ {
+			inputs = append(inputs, Input{
+				ID: fmt.Sprintf("s%d-%d", v, rep),
+				// Structurally distinct shapes: v+1 repeated statements.
+				Content: "var a = 0;" + strings.Repeat("a++;", v+1),
+			})
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.PartitionSize = 3
+	cfg.PartitionFanout = 1 // single buffer: partitions chunk in discovery order
+	cfg.Cache = contentcache.New(1 << 20)
+	sess := &recordingSession{}
+	out := runClusterStage(inputs, cfg, sess)
+
+	if out.uniqueDocs != 10 {
+		t.Fatalf("unique documents = %d, want 10", out.uniqueDocs)
+	}
+	if len(out.u.seqs) != 10 {
+		t.Fatalf("unique sequences = %d, want 10", len(out.u.seqs))
+	}
+	if want := 4; len(sess.emitted) != want || out.partitions != want {
+		t.Fatalf("emitted %d partitions (stats %d), want %d", len(sess.emitted), out.partitions, want)
 	}
 	seen := make(map[int]bool)
-	for _, p := range parts {
-		for _, idx := range p {
-			if seen[idx] {
-				t.Fatalf("index %d assigned twice", idx)
+	next := 0
+	for pi, ep := range sess.emitted {
+		wantLen := cfg.PartitionSize
+		if pi == len(sess.emitted)-1 {
+			wantLen = 1
+		}
+		if len(ep.uniques) != wantLen || len(ep.part.Seqs) != wantLen || len(ep.part.Weights) != wantLen {
+			t.Fatalf("partition %d has %d uniques, want %d", pi, len(ep.uniques), wantLen)
+		}
+		for k, ui := range ep.uniques {
+			if seen[ui] {
+				t.Fatalf("unique %d assigned twice", ui)
 			}
-			seen[idx] = true
+			seen[ui] = true
+			// Discovery order: uniques are emitted in creation order.
+			if ui != next {
+				t.Fatalf("partition %d emits unique %d, want %d (discovery order)", pi, ui, next)
+			}
+			next++
+			if got := out.emitWeight[ui]; got != ep.part.Weights[k] {
+				t.Fatalf("unique %d emit weight %d != wire weight %d", ui, got, ep.part.Weights[k])
+			}
+			if !symbolsEqual(ep.part.Seqs[k], out.u.seqs[ui]) {
+				t.Fatalf("partition %d ships wrong sequence for unique %d", pi, ui)
+			}
 		}
 	}
 	if len(seen) != 10 {
-		t.Errorf("%d indices assigned, want 10", len(seen))
+		t.Fatalf("%d uniques emitted, want 10", len(seen))
+	}
+	// All 10 shapes appear once before any repeats, so the first three
+	// partitions close before any duplicate arrives (weight 1 each); final
+	// weights count all three copies.
+	for ui := 0; ui < 9; ui++ {
+		if out.emitWeight[ui] != 1 {
+			t.Errorf("unique %d emit weight = %d, want 1 (emitted before duplicates)", ui, out.emitWeight[ui])
+		}
+		if got := len(out.u.members[ui]); got != 3 {
+			t.Errorf("unique %d final members = %d, want 3", ui, got)
+		}
+	}
+}
+
+// TestStreamPartitionScatter pins the round-robin scatter: with fanout F,
+// consecutive uniques land in F different partitions, every unique is
+// assigned exactly once, and runs of near-identical consecutive shapes
+// are split apart.
+func TestStreamPartitionScatter(t *testing.T) {
+	var inputs []Input
+	const uniques = 24
+	for v := 0; v < uniques; v++ {
+		inputs = append(inputs, Input{
+			ID:      fmt.Sprintf("s%d", v),
+			Content: "var a = 0;" + strings.Repeat("a++;", v+1),
+		})
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.PartitionSize = 3
+	cfg.PartitionFanout = 4
+	cfg.Cache = contentcache.New(1 << 20)
+	sess := &recordingSession{}
+	out := runClusterStage(inputs, cfg, sess)
+	if len(out.u.seqs) != uniques {
+		t.Fatalf("unique sequences = %d, want %d", len(out.u.seqs), uniques)
+	}
+	partOf := make(map[int]int)
+	for pi, ep := range sess.emitted {
+		for _, ui := range ep.uniques {
+			if _, dup := partOf[ui]; dup {
+				t.Fatalf("unique %d assigned twice", ui)
+			}
+			partOf[ui] = pi
+		}
+		// Round-robin scatter: a partition's uniques are congruent mod
+		// fanout — consecutive discoveries never share a partition.
+		for _, ui := range ep.uniques[1:] {
+			if ui%cfg.PartitionFanout != ep.uniques[0]%cfg.PartitionFanout {
+				t.Fatalf("partition %d mixes scatter residues: %v", pi, ep.uniques)
+			}
+		}
+	}
+	if len(partOf) != uniques {
+		t.Fatalf("%d uniques assigned, want %d", len(partOf), uniques)
+	}
+	for ui := 0; ui+1 < uniques; ui++ {
+		if partOf[ui] == partOf[ui+1] {
+			t.Fatalf("consecutive uniques %d,%d share partition %d", ui, ui+1, partOf[ui])
+		}
 	}
 }
 

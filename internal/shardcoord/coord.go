@@ -2,6 +2,7 @@ package shardcoord
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,49 +11,84 @@ import (
 	"kizzle/internal/pipeline"
 )
 
-// Transport delivers one partition request to one shard. Implementations
-// must be safe for concurrent use across shards.
+// Transport delivers work to one shard. Implementations must be safe for
+// concurrent use across shards.
 type Transport interface {
 	// Shards reports how many shard workers are reachable.
 	Shards() int
 	// Partition executes req on the given shard (0 ≤ shard < Shards).
 	Partition(ctx context.Context, shard int, req *PartitionRequest) (*PartitionResponse, error)
+	// Edges executes a distance-sweep job on the given shard. A transport
+	// talking to a worker that predates protocol v2 returns ErrUnsupported,
+	// which makes the coordinator run the job itself.
+	Edges(ctx context.Context, shard int, req *EdgeRequest) (*EdgeResponse, error)
 }
 
-// Coordinator implements pipeline.Clusterer over a Transport: shards pull
-// clustering partitions from a shared queue (one partition in flight per
-// shard — an idle machine immediately takes the next unit, so skewed
-// partition costs still balance), and results are reassembled in
-// partition order so the pipeline's downstream stages see exactly what
-// the in-process path would have produced.
+// ErrUnsupported reports that a shard worker does not implement the
+// requested protocol-v2 operation (an old binary). The coordinator treats
+// it as a capability miss — the work runs coordinator-side — rather than
+// a shard failure.
+var ErrUnsupported = errors.New("shardcoord: operation not supported by worker")
+
+// Coordinator implements pipeline.Clusterer and pipeline.StreamClusterer
+// over a Transport: shards pull work units from a shared queue (one unit
+// in flight per shard — an idle machine immediately takes the next unit,
+// so skewed costs still balance). In streaming mode units are consumed as
+// the pipeline emits them — partitions while the host is still
+// deduplicating, then the reduce step's edge sweeps — and results are
+// matched back by sequence number, so arrival order never affects output.
 type Coordinator struct {
 	transport Transport
-	// retries is how many times a failed partition is retried on the
-	// next shard (round-robin) before the batch fails.
+	// retries is how many times a failed unit is retried on the next
+	// shard (round-robin) before the batch fails.
 	retries int
-	// sequential processes shard queues one after another (profiling
-	// mode) instead of concurrently.
+	// sequential processes units one after another (profiling mode)
+	// instead of concurrently.
 	sequential bool
+
+	schedMu    sync.Mutex
+	schedTotal ScheduleStats
+}
+
+// ScheduleStats accumulates the simulated fleet schedule measured under
+// sequential dispatch (see WithSequentialDispatch): per-shard busy time,
+// and the modeled makespan — when the last work unit would have finished
+// on a real fleet, given each unit's measured cost, its host-side
+// availability time, and a barrier before each reduce wave. Divide by
+// Runs for per-batch numbers.
+type ScheduleStats struct {
+	// Busy is accumulated execution time per shard.
+	Busy []time.Duration
+	// Makespan models the fleet's clustering+reduce critical path: work
+	// units start no earlier than the host emitted them, each shard runs
+	// one unit at a time, and each reduce wave starts only after the
+	// previous wave completed.
+	Makespan time.Duration
+	// PartitionUnits and EdgeUnits count executed work units.
+	PartitionUnits int
+	EdgeUnits      int
+	// Runs counts completed streams folded into the totals.
+	Runs int
 }
 
 // CoordinatorOption configures a Coordinator.
 type CoordinatorOption func(*Coordinator)
 
-// WithRetries sets how many alternative shards a failed partition request
-// is retried on before the whole batch errors (default 1: one failover).
+// WithRetries sets how many alternative shards a failed work unit is
+// retried on before the whole batch errors (default 1: one failover).
 func WithRetries(n int) CoordinatorOption {
 	return func(c *Coordinator) { c.retries = n }
 }
 
-// WithSequentialDispatch dispatches one partition at a time, assigning
-// each to the shard with the least accumulated busy time — a faithful
-// serial simulation of the concurrent shared-queue schedule (a worker
-// pulls the next unit the moment it goes idle). This is a profiling mode:
-// per-shard busy times measured under sequential dispatch are undistorted
-// by CPU time-slicing among loopback workers, which is how
+// WithSequentialDispatch dispatches one work unit at a time, assigning
+// each to the shard that would be idle first in a simulated fleet
+// schedule (arrival-aware: a unit never starts before the host emitted
+// it). This is a profiling mode: per-shard busy times and the modeled
+// makespan measured under sequential dispatch are undistorted by CPU
+// time-slicing among loopback workers, which is how
 // BenchmarkPipelineSharded computes the distributed critical path — the
 // wall-clock an N-machine fleet would see — on a host with fewer cores
-// than shards.
+// than shards. Results are identical to concurrent dispatch.
 func WithSequentialDispatch() CoordinatorOption {
 	return func(c *Coordinator) { c.sequential = true }
 }
@@ -66,9 +102,24 @@ func NewCoordinator(t Transport, opts ...CoordinatorOption) *Coordinator {
 	return c
 }
 
-// ClusterPartitions dispatches every partition and collects the results,
-// ordered by partition index. The first unrecoverable failure cancels the
-// remaining work.
+// StreamWorkers reports the fleet size (pipeline.StreamClusterer).
+func (c *Coordinator) StreamWorkers() int { return c.transport.Shards() }
+
+// ScheduleTotals returns the accumulated sequential-dispatch schedule
+// model and resets the accumulator.
+func (c *Coordinator) ScheduleTotals() ScheduleStats {
+	c.schedMu.Lock()
+	defer c.schedMu.Unlock()
+	out := c.schedTotal
+	out.Busy = append([]time.Duration(nil), c.schedTotal.Busy...)
+	c.schedTotal = ScheduleStats{}
+	return out
+}
+
+// ClusterPartitions dispatches every partition in one batch and collects
+// the results, ordered by partition index (protocol v1 — pre-reduce and
+// the reduce sweeps stay with the caller). The first unrecoverable
+// failure cancels the remaining work.
 func (c *Coordinator) ClusterPartitions(parts []pipeline.ShardPartition, cfg pipeline.Config) ([]pipeline.ShardClusters, error) {
 	shards := c.transport.Shards()
 	if shards < 1 {
@@ -85,7 +136,7 @@ func (c *Coordinator) ClusterPartitions(parts []pipeline.ShardPartition, cfg pip
 	var firstErr error
 	one := func(shard, pi int) bool {
 		req := &PartitionRequest{Eps: cfg.Eps, MinPts: cfg.MinPts, Partition: parts[pi]}
-		resp, err := c.dispatch(ctx, shard, req)
+		resp, err := c.dispatchPartition(ctx, shard, req)
 		if err != nil {
 			errOnce.Do(func() {
 				firstErr = fmt.Errorf("partition %d on shard %d: %w", pi, shard, err)
@@ -98,7 +149,9 @@ func (c *Coordinator) ClusterPartitions(parts []pipeline.ShardPartition, cfg pip
 	}
 	if c.sequential {
 		// Serial simulation of the shared-queue schedule: each partition
-		// goes to the shard that would be idle first.
+		// goes to the shard that would be idle first. In batch mode every
+		// partition is available up front, so the modeled makespan is the
+		// busiest shard's total.
 		busy := make([]time.Duration, shards)
 		for pi := range parts {
 			if ctx.Err() != nil {
@@ -116,6 +169,21 @@ func (c *Coordinator) ClusterPartitions(parts []pipeline.ShardPartition, cfg pip
 			}
 			busy[shard] += time.Since(start)
 		}
+		c.schedMu.Lock()
+		if len(c.schedTotal.Busy) != shards {
+			c.schedTotal.Busy = make([]time.Duration, shards)
+		}
+		var makespan time.Duration
+		for s := range busy {
+			c.schedTotal.Busy[s] += busy[s]
+			if busy[s] > makespan {
+				makespan = busy[s]
+			}
+		}
+		c.schedTotal.Makespan += makespan
+		c.schedTotal.PartitionUnits += len(parts)
+		c.schedTotal.Runs++
+		c.schedMu.Unlock()
 	} else {
 		// Shared queue: each shard pulls the next partition the moment it
 		// finishes its current one, so skewed partition costs balance.
@@ -144,10 +212,196 @@ func (c *Coordinator) ClusterPartitions(parts []pipeline.ShardPartition, cfg pip
 	return results, nil
 }
 
-// dispatch sends one request, failing over to subsequent shards up to the
-// retry budget. A dead worker therefore slows the batch rather than
-// killing it.
-func (c *Coordinator) dispatch(ctx context.Context, shard int, req *PartitionRequest) (*PartitionResponse, error) {
+// ClusterStream consumes work units as the pipeline emits them and
+// returns one result per unit (pipeline.StreamClusterer). Partition units
+// are clustered and pre-reduced on the shard (protocol v2; workers that
+// answer without a summary get pre-reduced coordinator-side), edge units
+// run the reduce's distance sweeps. After a terminal failure every
+// subsequent unit is drained with the root error attached, so the
+// pipeline never blocks.
+func (c *Coordinator) ClusterStream(work <-chan pipeline.WorkUnit, cfg pipeline.Config) <-chan pipeline.WorkResult {
+	out := make(chan pipeline.WorkResult)
+	shards := c.transport.Shards()
+	if shards < 1 {
+		go func() {
+			err := fmt.Errorf("shardcoord: transport has no shards")
+			for unit := range work {
+				out <- pipeline.WorkResult{Seq: unit.Seq, Err: err}
+			}
+			close(out)
+		}()
+		return out
+	}
+	if c.sequential {
+		go c.streamSequential(work, cfg, out, shards)
+	} else {
+		go c.streamConcurrent(work, cfg, out, shards)
+	}
+	return out
+}
+
+// streamConcurrent runs the shared pull queue: each shard goroutine takes
+// the next unit the moment it finishes its current one.
+func (c *Coordinator) streamConcurrent(work <-chan pipeline.WorkUnit, cfg pipeline.Config, out chan<- pipeline.WorkResult, shards int) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var errOnce sync.Once
+	var firstErr atomic.Value // error
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for unit := range work {
+				res := c.executeUnit(ctx, shard, unit, cfg)
+				if res.Err != nil {
+					errOnce.Do(func() {
+						firstErr.Store(res.Err)
+						cancel()
+					})
+					// Attach the root cause, not a cascading cancellation.
+					res.Err = firstErr.Load().(error)
+				}
+				out <- res
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(out)
+}
+
+// streamSequential executes units inline, one at a time, while modeling
+// the fleet schedule: each unit is assigned to the simulated
+// earliest-free shard, starting no earlier than the host emitted it
+// (unit.Emitted), with a barrier before each reduce wave (unit.Wave).
+func (c *Coordinator) streamSequential(work <-chan pipeline.WorkUnit, cfg pipeline.Config, out chan<- pipeline.WorkResult, shards int) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stats := ScheduleStats{Busy: make([]time.Duration, shards)}
+	free := make([]time.Duration, shards) // simulated per-shard finish times
+	wave := 0
+	var waveBase time.Duration
+	var firstErr error
+	for unit := range work {
+		if firstErr != nil {
+			out <- pipeline.WorkResult{Seq: unit.Seq, Err: firstErr}
+			continue
+		}
+		if unit.Wave != wave {
+			// Wave barrier: a reduce sweep starts only after everything
+			// before it completed.
+			wave = unit.Wave
+			waveBase = 0
+			for _, f := range free {
+				if f > waveBase {
+					waveBase = f
+				}
+			}
+		}
+		arrival := time.Duration(unit.Emitted)
+		if unit.Wave > 0 {
+			arrival = waveBase
+		}
+		shard := 0
+		for s := 1; s < shards; s++ {
+			if free[s] < free[shard] {
+				shard = s
+			}
+		}
+		start := time.Now()
+		res := c.executeUnit(ctx, shard, unit, cfg)
+		cost := time.Since(start)
+		if res.Err != nil {
+			firstErr = res.Err
+			out <- res
+			continue
+		}
+		simStart := arrival
+		if free[shard] > simStart {
+			simStart = free[shard]
+		}
+		free[shard] = simStart + cost
+		stats.Busy[shard] += cost
+		if unit.Partition != nil {
+			stats.PartitionUnits++
+		} else {
+			stats.EdgeUnits++
+		}
+		out <- res
+	}
+	for _, f := range free {
+		if f > stats.Makespan {
+			stats.Makespan = f
+		}
+	}
+	stats.Runs = 1
+	c.schedMu.Lock()
+	if len(c.schedTotal.Busy) != shards {
+		c.schedTotal.Busy = make([]time.Duration, shards)
+	}
+	for s := range free {
+		c.schedTotal.Busy[s] += stats.Busy[s]
+	}
+	c.schedTotal.Makespan += stats.Makespan
+	c.schedTotal.PartitionUnits += stats.PartitionUnits
+	c.schedTotal.EdgeUnits += stats.EdgeUnits
+	c.schedTotal.Runs++
+	c.schedMu.Unlock()
+	close(out)
+}
+
+// executeUnit runs one work unit on (nominally) the given shard, with
+// failover to subsequent shards.
+func (c *Coordinator) executeUnit(ctx context.Context, shard int, unit pipeline.WorkUnit, cfg pipeline.Config) pipeline.WorkResult {
+	switch {
+	case unit.Partition != nil:
+		req := &PartitionRequest{
+			Eps:       cfg.Eps,
+			MinPts:    cfg.MinPts,
+			Partition: *unit.Partition,
+			PreReduce: !cfg.DisableShardPreReduce,
+		}
+		resp, err := c.dispatchPartition(ctx, shard, req)
+		if err != nil {
+			return pipeline.WorkResult{Seq: unit.Seq, Err: fmt.Errorf("partition unit %d on shard %d: %w", unit.Seq, shard, err)}
+		}
+		reduced := resp.Reduced
+		if reduced == nil {
+			// v1 worker (or pre-reduce disabled): compute the summary here;
+			// it is a pure function of the partition, so the output is
+			// unchanged. The response is untrusted wire data — validate its
+			// indices before the pre-reduce kernels index the partition.
+			if err := pipeline.CheckShardClusters(resp.ShardClusters, len(unit.Partition.Seqs)); err != nil {
+				return pipeline.WorkResult{Seq: unit.Seq, Err: fmt.Errorf("partition unit %d on shard %d: %w", unit.Seq, shard, err)}
+			}
+			r := pipeline.PreReducePartition(*unit.Partition, resp.ShardClusters, cfg)
+			reduced = &r
+		}
+		return pipeline.WorkResult{Seq: unit.Seq, Reduced: reduced}
+	case unit.Edges != nil:
+		req := &EdgeRequest{Job: *unit.Edges}
+		resp, err := c.dispatchEdges(ctx, shard, req)
+		if errors.Is(err, ErrUnsupported) {
+			// Old fleet: run the sweep coordinator-side rather than failing.
+			el, lerr := pipeline.SweepEdges(*unit.Edges, cfg.Workers, cfg.Cache)
+			if lerr != nil {
+				return pipeline.WorkResult{Seq: unit.Seq, Err: lerr}
+			}
+			return pipeline.WorkResult{Seq: unit.Seq, Edges: &el}
+		}
+		if err != nil {
+			return pipeline.WorkResult{Seq: unit.Seq, Err: fmt.Errorf("edge unit %d on shard %d: %w", unit.Seq, shard, err)}
+		}
+		return pipeline.WorkResult{Seq: unit.Seq, Edges: &resp.EdgeList}
+	default:
+		return pipeline.WorkResult{Seq: unit.Seq, Err: fmt.Errorf("shardcoord: empty work unit %d", unit.Seq)}
+	}
+}
+
+// dispatchPartition sends one partition request, failing over to
+// subsequent shards up to the retry budget. A dead worker therefore slows
+// the batch rather than killing it.
+func (c *Coordinator) dispatchPartition(ctx context.Context, shard int, req *PartitionRequest) (*PartitionResponse, error) {
 	shards := c.transport.Shards()
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
@@ -159,6 +413,27 @@ func (c *Coordinator) dispatch(ctx context.Context, shard int, req *PartitionReq
 			return resp, nil
 		}
 		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// dispatchEdges sends one edge job with the same failover policy. An
+// ErrUnsupported answer is returned as-is (capability miss, not failure).
+func (c *Coordinator) dispatchEdges(ctx context.Context, shard int, req *EdgeRequest) (*EdgeResponse, error) {
+	shards := c.transport.Shards()
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		resp, err := c.transport.Edges(ctx, (shard+attempt)%shards, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrUnsupported) {
+			return nil, err
+		}
 	}
 	return nil, lastErr
 }

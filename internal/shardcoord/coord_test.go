@@ -7,7 +7,10 @@ import (
 	"net/http"
 	"reflect"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"kizzle/internal/contentcache"
 	"kizzle/internal/ekit"
@@ -122,6 +125,195 @@ func TestShardedMatchesSingleProcess(t *testing.T) {
 	}
 }
 
+// TestShardedBatchMatchesStream pins dispatch-mode identity through the
+// coordinator: protocol-v1 batch dispatch, streamed v2 dispatch, and
+// coordinator-side pre-reduce must all produce the single-process output.
+func TestShardedBatchMatchesStream(t *testing.T) {
+	day := ekit.Date(8, 9)
+	inputs := dayInputs(t, day, 90)
+	cfg := pipeline.DefaultConfig()
+	cfg.PartitionSize = 8
+
+	ref, err := pipeline.Process(inputs, seededCorpus(day), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTimings(&ref)
+
+	for _, mode := range []struct {
+		name   string
+		mutate func(*pipeline.Config)
+	}{
+		{"batch", func(c *pipeline.Config) { c.BatchDispatch = true }},
+		{"stream", func(c *pipeline.Config) {}},
+		{"coordinatorPreReduce", func(c *pipeline.Config) { c.DisableShardPreReduce = true }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			scfg := cfg
+			scfg.Clusterer = NewCoordinator(NewLoopback(loopbackWorkers(3, true)))
+			mode.mutate(&scfg)
+			got, err := pipeline.Process(inputs, seededCorpus(day), scfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stripTimings(&got)
+			if !reflect.DeepEqual(ref.Clusters, got.Clusters) || !reflect.DeepEqual(ref.Signatures, got.Signatures) {
+				t.Fatal("dispatch mode diverged from single-process output")
+			}
+			if mode.name == "stream" && got.Stats.EdgeJobs == 0 {
+				t.Fatal("streamed run dispatched no edge jobs")
+			}
+		})
+	}
+}
+
+// delayTransport perturbs scheduling: every request sleeps a
+// pseudo-random (seed-dependent) amount before executing, so work lands
+// on different shards in a different order on every seed.
+type delayTransport struct {
+	inner Transport
+	seed  uint64
+	calls atomic.Int64
+}
+
+func (d *delayTransport) Shards() int { return d.inner.Shards() }
+
+func (d *delayTransport) delay() {
+	n := uint64(d.calls.Add(1))
+	h := (n*2654435761 + d.seed) % 4
+	time.Sleep(time.Duration(h) * time.Millisecond)
+}
+
+func (d *delayTransport) Partition(ctx context.Context, shard int, req *PartitionRequest) (*PartitionResponse, error) {
+	d.delay()
+	return d.inner.Partition(ctx, shard, req)
+}
+
+func (d *delayTransport) Edges(ctx context.Context, shard int, req *EdgeRequest) (*EdgeResponse, error) {
+	d.delay()
+	return d.inner.Edges(ctx, shard, req)
+}
+
+// TestHierarchicalReduceOrderInvariant is the tentpole's property test:
+// shuffling which shard handles which unit and in which order results
+// return must never change the final clusters — the hierarchical merge is
+// a pure function of the partition summaries, which are themselves pure
+// functions of the partitions.
+func TestHierarchicalReduceOrderInvariant(t *testing.T) {
+	day := ekit.Date(8, 10)
+	inputs := dayInputs(t, day, 70)
+	cfg := pipeline.DefaultConfig()
+	cfg.PartitionSize = 6
+
+	ref, err := pipeline.Process(inputs, seededCorpus(day), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTimings(&ref)
+
+	for seed := uint64(1); seed <= 3; seed++ {
+		scfg := cfg
+		scfg.Clusterer = NewCoordinator(&delayTransport{
+			inner: NewLoopback(loopbackWorkers(3, true)),
+			seed:  seed,
+		})
+		got, err := pipeline.Process(inputs, seededCorpus(day), scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripTimings(&got)
+		if !reflect.DeepEqual(ref.Clusters, got.Clusters) || !reflect.DeepEqual(ref.Signatures, got.Signatures) {
+			t.Fatalf("seed %d: scheduling perturbation changed pipeline output", seed)
+		}
+	}
+}
+
+// dyingTransport lets a shard answer successfully a fixed number of times
+// and then fail forever — a worker dying mid-stream.
+type dyingTransport struct {
+	inner     Transport
+	dieShard  int
+	surviving int
+	mu        sync.Mutex
+	answered  int
+	failed    int
+}
+
+func (d *dyingTransport) Shards() int { return d.inner.Shards() }
+
+func (d *dyingTransport) dead(shard int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if shard != d.dieShard {
+		return false
+	}
+	if d.answered >= d.surviving {
+		d.failed++
+		return true
+	}
+	d.answered++
+	return false
+}
+
+func (d *dyingTransport) Partition(ctx context.Context, shard int, req *PartitionRequest) (*PartitionResponse, error) {
+	if d.dead(shard) {
+		return nil, fmt.Errorf("shard %d died mid-stream", shard)
+	}
+	return d.inner.Partition(ctx, shard, req)
+}
+
+func (d *dyingTransport) Edges(ctx context.Context, shard int, req *EdgeRequest) (*EdgeResponse, error) {
+	if d.dead(shard) {
+		return nil, fmt.Errorf("shard %d died mid-stream", shard)
+	}
+	return d.inner.Edges(ctx, shard, req)
+}
+
+// TestStreamFailoverMidStream kills one shard after its first few answers
+// of a streamed run. Its pending work must be re-dispatched to survivors
+// with no duplicate or lost clusters — output identical to single-process.
+func TestStreamFailoverMidStream(t *testing.T) {
+	day := ekit.Date(8, 11)
+	inputs := dayInputs(t, day, 80)
+	cfg := pipeline.DefaultConfig()
+	cfg.PartitionSize = 6
+
+	ref, err := pipeline.Process(inputs, seededCorpus(day), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTimings(&ref)
+
+	dying := &dyingTransport{
+		inner:     NewLoopback(loopbackWorkers(2, false)),
+		dieShard:  0,
+		surviving: 3, // shard 0 answers three units, then dies
+	}
+	scfg := cfg
+	scfg.Clusterer = NewCoordinator(dying)
+	got, err := pipeline.Process(inputs, seededCorpus(day), scfg)
+	if err != nil {
+		t.Fatalf("stream failed despite a surviving shard: %v", err)
+	}
+	stripTimings(&got)
+	if !reflect.DeepEqual(ref.Clusters, got.Clusters) || !reflect.DeepEqual(ref.Signatures, got.Signatures) {
+		t.Fatal("mid-stream failover changed pipeline output")
+	}
+	if dying.failed == 0 {
+		t.Fatal("dead shard was never exercised after dying")
+	}
+
+	// Every shard dead: the streamed batch must fail, not hang.
+	scfg.Clusterer = NewCoordinator(&flakyTransport{
+		inner:     NewLoopback(loopbackWorkers(1, false)),
+		deadShard: -1,
+		shards:    2,
+	})
+	if _, err := pipeline.Process(inputs, seededCorpus(day), scfg); err == nil {
+		t.Fatal("streamed batch succeeded with no live shards")
+	}
+}
+
 // TestCoordinatorFailover kills one shard and expects the batch to
 // complete through retries on the surviving shard, with unchanged output.
 func TestCoordinatorFailover(t *testing.T) {
@@ -185,6 +377,14 @@ func (f *flakyTransport) Partition(ctx context.Context, shard int, req *Partitio
 		return nil, fmt.Errorf("shard %d is down", shard)
 	}
 	return f.inner.Partition(ctx, 0, req)
+}
+
+func (f *flakyTransport) Edges(ctx context.Context, shard int, req *EdgeRequest) (*EdgeResponse, error) {
+	if shard == f.deadShard || f.deadShard == -1 {
+		f.failed++
+		return nil, fmt.Errorf("shard %d is down", shard)
+	}
+	return f.inner.Edges(ctx, 0, req)
 }
 
 // TestWorkerHandlerHTTP exercises the worker's HTTP surface through the
@@ -255,5 +455,102 @@ func TestWorkerHandlerHTTP(t *testing.T) {
 	}
 	if len(pr.Clusters) != 1 || len(pr.Clusters[0]) != 2 || len(pr.Noise) != 1 {
 		t.Fatalf("unexpected clustering: clusters=%v noise=%v", pr.Clusters, pr.Noise)
+	}
+	if pr.Reduced != nil {
+		t.Fatal("v1 request (no preReduce) answered with a summary")
+	}
+
+	// Protocol v2: preReduce returns the compacted summary alongside.
+	body2, _ := json.Marshal(&PartitionRequest{
+		Eps:    0.5,
+		MinPts: 2,
+		Partition: pipeline.ShardPartition{
+			Seqs:    seqsOf("ab", "ab", "zzzzzz"),
+			Weights: []int{1, 1, 1},
+		},
+		PreReduce: true,
+	})
+	resp3, err := client.Post("http://w.loopback/partition", "application/json", strings.NewReader(string(body2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var pr2 PartitionResponse
+	if err := json.NewDecoder(resp3.Body).Decode(&pr2); err != nil {
+		t.Fatal(err)
+	}
+	if pr2.Reduced == nil || len(pr2.Reduced.Clusters) != 1 || len(pr2.Reduced.Reps) != 1 {
+		t.Fatalf("v2 request returned summary %+v", pr2.Reduced)
+	}
+}
+
+// TestWorkerEdgesHTTP exercises the protocol-v2 /edges surface: valid
+// sweeps round-trip, malformed and out-of-alphabet jobs are rejected.
+func TestWorkerEdgesHTTP(t *testing.T) {
+	w := NewWorker(WithWorkerCache(contentcache.New(1 << 20)))
+	client := &http.Client{Transport: handlerRoundTripper{
+		handlers: map[string]http.Handler{"w.loopback": w.Handler()},
+	}}
+	post := func(body string) (*http.Response, string) {
+		t.Helper()
+		resp, err := client.Post("http://w.loopback/edges", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out EdgeResponse
+		dec := json.NewDecoder(resp.Body)
+		msg := ""
+		if resp.StatusCode == http.StatusOK {
+			if err := dec.Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			b, _ := json.Marshal(out.Pairs)
+			msg = string(b)
+		}
+		resp.Body.Close()
+		return resp, msg
+	}
+
+	// Valid triangular job over three sequences, two of them identical.
+	job := EdgeRequest{Job: pipeline.EdgeJob{
+		Eps:  0.5,
+		Seqs: pipeline.PackedSeqs(seqsOf("abcd", "abcd", "zzzzzzzzzzzz")),
+		Rows: []int{0, 1, 2},
+	}}
+	body, _ := json.Marshal(&job)
+	resp, pairs := post(string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid edge job: got %d", resp.StatusCode)
+	}
+	if pairs != "[[0,1]]" {
+		t.Fatalf("edge pairs = %s, want [[0,1]]", pairs)
+	}
+
+	if resp, _ := post("{not json"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: got %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post(`{"job":{"eps":0.5,"seqs":["QUJD"],"rows":[0]}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("odd packed length: got %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post(`{"job":{"eps":0.5,"seqs":[],"rows":[3]}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("row out of range: got %d, want 400", resp.StatusCode)
+	}
+	// eps >= 1 saturates (everything matches) like every other pipeline
+	// path; only non-positive eps is invalid.
+	if resp, _ := post(`{"job":{"eps":-0.5,"seqs":[],"rows":[]}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad eps: got %d, want 400", resp.StatusCode)
+	}
+	// Out-of-alphabet symbol (0xFFFF packed little-endian).
+	if resp, _ := post(`{"job":{"eps":0.5,"seqs":["//8="],"rows":[0]}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-alphabet symbol: got %d, want 400", resp.StatusCode)
+	}
+
+	hresp, err := client.Get("http://w.loopback/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /edges: got %d, want 405", hresp.StatusCode)
 	}
 }

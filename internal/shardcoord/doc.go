@@ -1,29 +1,40 @@
-// Package shardcoord distributes the pipeline's partition-clustering
-// stage across processes — the reproduction of the paper's 50-machine
+// Package shardcoord distributes the pipeline's clustering and reduce
+// work across processes — the reproduction of the paper's 50-machine
 // layout (§IV: "randomly partition the samples across a cluster of
-// machines").
+// machines"), extended with streaming dispatch and a distributed reduce
+// (protocol v2).
 //
 // The division of labor follows the paper's Figure 7: a Coordinator owns
-// the cheap, serial stages (tokenize → dedupe before clustering; reduce →
-// label → sign after) and implements pipeline.Clusterer by dispatching
-// each clustering partition — the O(n²)-ish DBSCAN work unit — to a shard
-// worker. A Worker executes pipeline.ClusterPartition behind a POST
-// /partition HTTP endpoint (cmd/kizzleshard is the standalone binary);
-// only two-byte-per-token abstract symbol sequences travel on the wire,
-// never raw documents.
+// the serial stages and implements both pipeline.Clusterer (batch,
+// protocol v1) and pipeline.StreamClusterer: work units are consumed
+// from a shared streaming pull queue as the pipeline emits them —
+// clustering partitions while the host is still deduplicating, then the
+// reduce step's distance sweeps as edge jobs. A Worker executes
+// pipeline.ClusterPartition (+ pipeline.PreReducePartition when the
+// request asks for pre-reduce) behind POST /partition and
+// pipeline.SweepEdges behind POST /edges (cmd/kizzleshard is the
+// standalone binary); only two-byte-per-token abstract symbol sequences
+// travel on the wire, never raw documents.
 //
 // Transports:
 //
-//   - NewHTTPTransport dispatches to real worker processes by base URL.
+//   - NewHTTPTransport dispatches to real worker processes by base URL; a
+//     worker predating protocol v2 answers /edges with 404, which comes
+//     back as ErrUnsupported and moves that work onto the coordinator (a
+//     mixed fleet degrades gracefully during rolling upgrades).
 //   - NewLoopback runs the identical HTTP handler/JSON round trip against
 //     in-process workers with no sockets, so `go test` (and the
 //     BenchmarkPipelineSharded scaling benchmark) exercises the full
 //     distributed path deterministically.
 //
-// Partition clustering is deterministic in (sequences, weights, eps,
-// minPts), so a sharded run produces bit-identical clusters and signatures
-// to a single-process run — pinned by TestShardedMatchesSingleProcess for
-// 1, 2, and 4 shards. Workers may carry a contentcache.Cache (optionally
-// disk-backed, see WithWorkerCache) to reuse pair within-eps verdicts
-// across requests and restarts; caching never changes results.
+// Every work unit's result is a pure function of the unit, so shard
+// count, scheduling, mid-stream failover (WithRetries), and result
+// arrival order are invisible in pipeline output — pinned by
+// TestShardedMatchesSingleProcess, TestShardedBatchMatchesStream,
+// TestHierarchicalReduceOrderInvariant, and TestStreamFailoverMidStream.
+// Workers may carry a contentcache.Cache (optionally disk-backed, see
+// WithWorkerCache) to reuse pair within-eps verdicts across requests and
+// restarts; caching never changes results. WithSequentialDispatch turns
+// the coordinator into a profiling instrument that models the fleet
+// schedule (ScheduleTotals) while dispatching units one at a time.
 package shardcoord

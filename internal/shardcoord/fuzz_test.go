@@ -1,0 +1,85 @@
+package shardcoord
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"kizzle/internal/contentcache"
+	"kizzle/internal/pipeline"
+)
+
+// The worker's HTTP surface parses coordinator-supplied JSON into symbol
+// sequences and index lists — untrusted input on a network port. These
+// fuzzers drive raw bodies through the full handler path (decode,
+// validation, execution) and require that malformed input is rejected
+// with an error status, never a panic or an out-of-bounds index into the
+// clustering kernels.
+
+func fuzzClient(tb testing.TB) *http.Client {
+	tb.Helper()
+	w := NewWorker(WithWorkerParallelism(1), WithWorkerCache(contentcache.New(1<<20)))
+	return &http.Client{Transport: handlerRoundTripper{
+		handlers: map[string]http.Handler{"w.loopback": w.Handler()},
+	}}
+}
+
+func fuzzPost(tb testing.TB, client *http.Client, path string, body []byte) {
+	tb.Helper()
+	resp, err := client.Post("http://w.loopback"+path, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		tb.Fatalf("handler round trip failed: %v", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+	default:
+		tb.Fatalf("unexpected status %d for %s", resp.StatusCode, path)
+	}
+	if resp.StatusCode == http.StatusOK {
+		// A success must carry a decodable response.
+		var v json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			tb.Fatalf("200 response does not decode: %v", err)
+		}
+	}
+}
+
+// FuzzWorkerPartition fuzzes POST /partition wire-sequence validation.
+func FuzzWorkerPartition(f *testing.F) {
+	f.Add([]byte(`{"eps":0.1,"minPts":2,"partition":{"seqs":[[1,2,3],[1,2,3]],"weights":[1,2]}}`))
+	f.Add([]byte(`{"eps":0.1,"minPts":2,"partition":{"seqs":[[1,2]],"weights":[1,2]}}`))
+	f.Add([]byte(`{"eps":0.1,"minPts":2,"preReduce":true,"partition":{"seqs":[[9,9],[9,9],[60000]],"weights":[1,1,1]}}`))
+	f.Add([]byte(`{"partition":{"seqs":[[]],"weights":[0]}}`))
+	f.Add([]byte(`{not json`))
+	client := fuzzClient(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > 1<<16 {
+			t.Skip("oversized fuzz input")
+		}
+		fuzzPost(t, client, "/partition", body)
+	})
+}
+
+// FuzzWorkerEdges fuzzes POST /edges wire-sequence validation, including
+// the packed base64 sequence decoding.
+func FuzzWorkerEdges(f *testing.F) {
+	valid, _ := json.Marshal(&EdgeRequest{Job: pipeline.EdgeJob{
+		Eps:  0.5,
+		Seqs: pipeline.PackedSeqs(seqsOf("abcd", "abce", "zz")),
+		Rows: []int{0, 1, 2},
+	}})
+	f.Add(valid)
+	f.Add([]byte(`{"job":{"eps":0.5,"seqs":["QUJD"],"rows":[0]}}`))       // odd packed length
+	f.Add([]byte(`{"job":{"eps":0.5,"seqs":["//8="],"rows":[0]}}`))       // out-of-alphabet symbol
+	f.Add([]byte(`{"job":{"eps":0.5,"seqs":[],"rows":[7],"cols":[-1]}}`)) // bad indices
+	f.Add([]byte(`{"job":{"eps":-3,"seqs":[],"rows":[]}}`))
+	client := fuzzClient(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > 1<<16 {
+			t.Skip("oversized fuzz input")
+		}
+		fuzzPost(t, client, "/edges", body)
+	})
+}

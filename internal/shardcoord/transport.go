@@ -45,30 +45,57 @@ func (t *HTTPTransport) Shards() int { return len(t.urls) }
 
 // Partition POSTs the request to the shard's /partition endpoint.
 func (t *HTTPTransport) Partition(ctx context.Context, shard int, req *PartitionRequest) (*PartitionResponse, error) {
+	var resp PartitionResponse
+	if err := t.post(ctx, shard, "/partition", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Edges POSTs the request to the shard's /edges endpoint. A 404 or 405 —
+// a worker binary predating protocol v2 — comes back as ErrUnsupported so
+// the coordinator runs the sweep itself instead of failing over.
+func (t *HTTPTransport) Edges(ctx context.Context, shard int, req *EdgeRequest) (*EdgeResponse, error) {
+	var resp EdgeResponse
+	if err := t.post(ctx, shard, "/edges", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// post runs one JSON request/response round trip against a shard.
+func (t *HTTPTransport) post(ctx context.Context, shard int, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("encode partition: %w", err)
+		return fmt.Errorf("encode %s: %w", path, err)
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		t.urls[shard%len(t.urls)]+"/partition", bytes.NewReader(body))
+		t.urls[shard%len(t.urls)]+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hresp, err := t.client.Do(hreq)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer hresp.Body.Close()
+	if path == "/edges" && (hresp.StatusCode == http.StatusNotFound || hresp.StatusCode == http.StatusMethodNotAllowed) {
+		// Only /edges postdates protocol v1, so only there does a 404/405
+		// mean "old worker binary" (→ ErrUnsupported, coordinator-side
+		// fallback). Every worker version serves /partition; a 404 on it
+		// is a misconfigured URL and falls through to the plain error.
+		io.Copy(io.Discard, io.LimitReader(hresp.Body, 512))
+		return fmt.Errorf("shard %s %s: %w", path, hresp.Status, ErrUnsupported)
+	}
 	if hresp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
-		return nil, fmt.Errorf("shard returned %s: %s", hresp.Status, strings.TrimSpace(string(msg)))
+		return fmt.Errorf("shard returned %s: %s", hresp.Status, strings.TrimSpace(string(msg)))
 	}
-	var resp PartitionResponse
-	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
-		return nil, fmt.Errorf("decode partition response: %w", err)
+	if err := json.NewDecoder(hresp.Body).Decode(resp); err != nil {
+		return fmt.Errorf("decode %s response: %w", path, err)
 	}
-	return &resp, nil
+	return nil
 }
 
 // NewLoopback builds a transport over in-process workers that still runs

@@ -12,29 +12,47 @@ import (
 	"kizzle/internal/pipeline"
 )
 
-// maxPartitionRequestBytes caps one /partition request body. A partition
-// carries abstract symbol sequences only (two bytes per symbol before JSON
-// framing), so 64 MiB covers partitions far beyond the default 300-unique
-// target.
+// maxPartitionRequestBytes caps one /partition or /edges request body. A
+// work unit carries abstract symbol sequences only (two bytes per symbol
+// before framing), so 64 MiB covers units far beyond the default sizes.
 const maxPartitionRequestBytes = 64 << 20
 
 // PartitionRequest is the wire form of one clustering work unit: the
 // partition plus the two DBSCAN parameters the coordinator resolved. The
-// worker contributes its own parallelism and cache.
+// worker contributes its own parallelism and cache. PreReduce (protocol
+// v2) asks the worker to also pre-reduce the partition — merge clusters
+// whose representatives fall within eps and fold local noise — and answer
+// with the compacted summary; v1 workers ignore the field and answer with
+// raw clusters, which the coordinator then pre-reduces itself.
 type PartitionRequest struct {
 	Eps       float64                 `json:"eps"`
 	MinPts    int                     `json:"minPts"`
 	Partition pipeline.ShardPartition `json:"partition"`
+	PreReduce bool                    `json:"preReduce,omitempty"`
 }
 
 // PartitionResponse is the wire form of a partition's clustering result,
-// in partition-local indices.
+// in partition-local indices. Exactly one part is populated: Reduced iff
+// the request asked for pre-reduce (the raw clusters are omitted — the
+// coordinator only reads the summary), raw ShardClusters otherwise.
 type PartitionResponse struct {
 	pipeline.ShardClusters
+	Reduced *pipeline.ReducedPartition `json:"reduced,omitempty"`
 }
 
-// Worker executes clustering partitions. It is safe for concurrent use;
-// each request clusters independently (the shared pair-verdict cache is
+// EdgeRequest is the wire form of one reduce distance sweep (protocol
+// v2): which pairs of the shipped sequences are within eps.
+type EdgeRequest struct {
+	Job pipeline.EdgeJob `json:"job"`
+}
+
+// EdgeResponse carries the within-eps pairs back.
+type EdgeResponse struct {
+	pipeline.EdgeList
+}
+
+// Worker executes clustering work units. It is safe for concurrent use;
+// each request computes independently (the shared pair-verdict cache is
 // internally synchronized).
 type Worker struct {
 	workers int
@@ -44,7 +62,7 @@ type Worker struct {
 // WorkerOption configures a Worker.
 type WorkerOption func(*Worker)
 
-// WithWorkerParallelism sets how many goroutines one partition's distance
+// WithWorkerParallelism sets how many goroutines one work unit's distance
 // sweep fans out across (default GOMAXPROCS). Production shards on
 // dedicated machines keep the default; the loopback benchmark sets 1 so a
 // worker models one machine core.
@@ -54,8 +72,9 @@ func WithWorkerParallelism(n int) WorkerOption {
 
 // WithWorkerCache gives the worker a content-addressed cache for pair
 // within-eps verdicts, carried across requests — day N+1's recurring
-// shapes skip the banded DP entirely. Pair it with contentcache.Load /
-// Save (pipeline.CacheCodecs) to keep the warm verdicts across restarts.
+// shapes skip the banded DP entirely, for partition clustering and reduce
+// sweeps alike. Pair it with contentcache.Load / Save
+// (pipeline.CacheCodecs) to keep the warm verdicts across restarts.
 func WithWorkerCache(c *contentcache.Cache) WorkerOption {
 	return func(w *Worker) { w.cache = c }
 }
@@ -73,6 +92,21 @@ func NewWorker(opts ...WorkerOption) *Worker {
 // the owning process can persist it on shutdown.
 func (w *Worker) Cache() *contentcache.Cache { return w.cache }
 
+// validateSeqs rejects wire sequences carrying symbols outside the
+// abstraction alphabet — untrusted data that would index past the
+// clustering kernel's histogram arenas.
+func validateSeqs(seqs [][]jstoken.Symbol) error {
+	space := jstoken.Symbol(jstoken.SymbolSpace())
+	for i, seq := range seqs {
+		for _, sym := range seq {
+			if sym >= space {
+				return fmt.Errorf("shardcoord: sequence %d carries symbol %d outside the alphabet (%d)", i, sym, space)
+			}
+		}
+	}
+	return nil
+}
+
 // Cluster executes one partition request locally — the computation behind
 // POST /partition.
 func (w *Worker) Cluster(req *PartitionRequest) (*PartitionResponse, error) {
@@ -80,15 +114,8 @@ func (w *Worker) Cluster(req *PartitionRequest) (*PartitionResponse, error) {
 		return nil, fmt.Errorf("shardcoord: %d sequences with %d weights",
 			len(req.Partition.Seqs), len(req.Partition.Weights))
 	}
-	// Wire data is untrusted: a symbol outside the abstraction alphabet
-	// would index past the clustering kernel's histogram arenas.
-	space := jstoken.Symbol(jstoken.SymbolSpace())
-	for i, seq := range req.Partition.Seqs {
-		for _, sym := range seq {
-			if sym >= space {
-				return nil, fmt.Errorf("shardcoord: sequence %d carries symbol %d outside the alphabet (%d)", i, sym, space)
-			}
-		}
+	if err := validateSeqs(req.Partition.Seqs); err != nil {
+		return nil, err
 	}
 	cfg := pipeline.Config{
 		Eps:     req.Eps,
@@ -96,16 +123,39 @@ func (w *Worker) Cluster(req *PartitionRequest) (*PartitionResponse, error) {
 		Workers: w.workers,
 		Cache:   w.cache,
 	}
-	return &PartitionResponse{ShardClusters: pipeline.ClusterPartition(req.Partition, cfg)}, nil
+	clusters := pipeline.ClusterPartition(req.Partition, cfg)
+	if req.PreReduce {
+		// The coordinator consumes only the summary when it asked for
+		// pre-reduce; shipping the raw clusters alongside would double the
+		// response payload for no reader.
+		reduced := pipeline.PreReducePartition(req.Partition, clusters, cfg)
+		return &PartitionResponse{Reduced: &reduced}, nil
+	}
+	return &PartitionResponse{ShardClusters: clusters}, nil
+}
+
+// Edges executes one distance-sweep request locally — the computation
+// behind POST /edges.
+func (w *Worker) Edges(req *EdgeRequest) (*EdgeResponse, error) {
+	if err := validateSeqs(req.Job.Seqs); err != nil {
+		return nil, err
+	}
+	list, err := pipeline.SweepEdges(req.Job, w.workers, w.cache)
+	if err != nil {
+		return nil, fmt.Errorf("shardcoord: %w", err)
+	}
+	return &EdgeResponse{EdgeList: list}, nil
 }
 
 // Handler serves the worker over HTTP:
 //
 //	POST /partition — cluster one PartitionRequest, respond PartitionResponse
+//	POST /edges     — run one EdgeRequest distance sweep, respond EdgeResponse
 //	GET  /healthz   — liveness plus cache occupancy
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/partition", w.servePartition)
+	mux.HandleFunc("/edges", w.serveEdges)
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
 		st := w.cache.Stats()
 		fmt.Fprintf(rw, "ok cache-entries=%d cache-bytes=%d\n", st.Entries, st.Bytes)
@@ -113,20 +163,29 @@ func (w *Worker) Handler() http.Handler {
 	return mux
 }
 
-func (w *Worker) servePartition(rw http.ResponseWriter, r *http.Request) {
+// decodeBody decodes a capped JSON request body, translating oversized
+// bodies into 413s.
+func decodeBody(rw http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
 		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
-		return
+		return false
 	}
 	r.Body = http.MaxBytesReader(rw, r.Body, maxPartitionRequestBytes)
-	var req PartitionRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		status := http.StatusBadRequest
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			status = http.StatusRequestEntityTooLarge
 		}
 		http.Error(rw, "bad request: "+err.Error(), status)
+		return false
+	}
+	return true
+}
+
+func (w *Worker) servePartition(rw http.ResponseWriter, r *http.Request) {
+	var req PartitionRequest
+	if !decodeBody(rw, r, &req) {
 		return
 	}
 	resp, err := w.Cluster(&req)
@@ -134,10 +193,25 @@ func (w *Worker) servePartition(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
-	rw.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(rw).Encode(resp); err != nil {
-		// Headers already sent; the coordinator sees a truncated body and
-		// retries on another shard.
+	writeJSON(rw, resp)
+}
+
+func (w *Worker) serveEdges(rw http.ResponseWriter, r *http.Request) {
+	var req EdgeRequest
+	if !decodeBody(rw, r, &req) {
 		return
 	}
+	resp, err := w.Edges(&req)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(rw, resp)
+}
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	// An encode failure means headers already went out; the coordinator
+	// sees a truncated body and retries on another shard.
+	_ = json.NewEncoder(rw).Encode(v)
 }

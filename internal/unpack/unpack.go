@@ -127,6 +127,35 @@ func varStrings(tokens []jstoken.Token) map[string]string {
 	return out
 }
 
+// varStringValues collects the same bindings' values, one per name —
+// the last assignment wins, matching what the script's runtime would
+// observe — ordered by each name's first occurrence. Unpackers that scan
+// for the "best" candidate (longest payload, longest key) must iterate
+// this slice, not the map: map order would make ties between
+// equal-length candidates nondeterministic, and an unpacked prototype
+// must be a pure function of its document (cluster output and the
+// content-addressed caches both depend on that).
+func varStringValues(tokens []jstoken.Token) []string {
+	var out []string
+	pos := make(map[string]int)
+	for i := 0; i+3 < len(tokens); i++ {
+		if tokens[i].Class == jstoken.ClassKeyword && tokens[i].Text == "var" &&
+			tokens[i+1].Class == jstoken.ClassIdentifier &&
+			isPunct(tokAt(tokens, i+2), "=") {
+			if v, ok := stringValue(tokAt(tokens, i+3)); ok {
+				name := tokens[i+1].Text
+				if at, seen := pos[name]; seen {
+					out[at] = v
+				} else {
+					pos[name] = len(out)
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
 func decodeHexString(s string) (string, bool) {
 	if len(s) == 0 || len(s)%2 != 0 {
 		return "", false
@@ -228,7 +257,7 @@ func unpackNuclear(tokens []jstoken.Token) (string, bool) {
 		return "", false
 	}
 	var payload, key string
-	for _, v := range varStrings(tokens) {
+	for _, v := range varStringValues(tokens) {
 		if len(v) >= 30 && len(v)%3 == 0 && allDigits(v) {
 			if len(v) > len(payload) {
 				payload = v
@@ -338,7 +367,7 @@ func unpackAnglerHex(tokens []jstoken.Token) (string, bool) {
 		return "", false
 	}
 	best := ""
-	for _, v := range varStrings(tokens) {
+	for _, v := range varStringValues(tokens) {
 		if len(v) > len(best) && len(v) >= 20 && isHex(v) {
 			best = v
 		}

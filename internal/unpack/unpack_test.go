@@ -2,6 +2,7 @@ package unpack
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -147,4 +148,60 @@ func BenchmarkUnpackNuclear(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// TestUnpackDeterministic pins that Unpack is a pure function of its
+// document even when several equal-length candidate blobs are present —
+// the regression was a map-order iteration picking a different sprite
+// sheet run to run, which leaked nondeterminism into cluster prototypes
+// and the content-addressed caches.
+func TestUnpackDeterministic(t *testing.T) {
+	doc := `<html><head><title>hexloader</title></head><body><script>
+	var a = "` + hexOf("/* sprite sheet a: aaaaaaaaaaa */") + `";
+	var b = "` + hexOf("/* sprite sheet b: bbbbbbbbbbb */") + `";
+	var out = ""; for (var i = 0; i < a.length; i += 2) { out += String.fromCharCode(parseInt(a.substr(i, 2), 16)); }
+	</script></body></html>`
+	first, err := Unpack(doc)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		got, err := Unpack(doc)
+		if err != nil || got.Payload != first.Payload || got.Method != first.Method {
+			t.Fatalf("run %d: Unpack diverged: %q/%q vs %q/%q (err=%v)",
+				i, got.Method, got.Payload, first.Method, first.Payload, err)
+		}
+	}
+	if first.Payload != "/* sprite sheet a: aaaaaaaaaaa */" {
+		t.Fatalf("tie between equal-length blobs must resolve to the first in token order, got %q", first.Payload)
+	}
+}
+
+// TestUnpackRebindsLastAssignmentWins pins the JS-faithful binding
+// semantics of the candidate scan: when a script reassigns a var, only
+// the final value is live, so a longer overwritten decoy must not win
+// the longest-candidate selection.
+func TestUnpackRebindsLastAssignmentWins(t *testing.T) {
+	decoy := hexOf("/* decoy: this longer blob is dead after the reassignment */")
+	real := hexOf("/* live payload */")
+	doc := `<html><body><script>
+	var p = "` + decoy + `";
+	var p = "` + real + `";
+	var out = ""; for (var i = 0; i < p.length; i += 2) { out += String.fromCharCode(parseInt(p.substr(i, 2), 16)); }
+	</script></body></html>`
+	res, err := Unpack(doc)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if res.Payload != "/* live payload */" {
+		t.Fatalf("picked a dead binding: %q", res.Payload)
+	}
+}
+
+func hexOf(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		fmt.Fprintf(&sb, "%02x", s[i])
+	}
+	return sb.String()
 }

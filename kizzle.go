@@ -82,6 +82,31 @@ func WithPartitionSize(n int) Option {
 	return func(c *pipeline.Config) { c.PartitionSize = n }
 }
 
+// WithPartitionFanout sets how many partitions fill concurrently during
+// streaming dedup (default 8). New unique shapes scatter round-robin
+// across the open partitions — the streaming stand-in for the paper's
+// random partitioning — so one family's consecutive variants spread out
+// instead of piling into one partition.
+func WithPartitionFanout(n int) Option {
+	return func(c *pipeline.Config) { c.PartitionFanout = n }
+}
+
+// WithBatchDispatch disables streaming dispatch: clustering partitions
+// are collected and dispatched in one batch after dedup completes, and
+// the reduce step's distance sweeps stay on the coordinator (the
+// protocol-v1 cost model). Output is identical to streaming; the knob
+// exists for profiling A/B runs and fleets of pre-v2 workers.
+func WithBatchDispatch() Option {
+	return func(c *pipeline.Config) { c.BatchDispatch = true }
+}
+
+// WithCoordinatorPreReduce keeps the per-partition pre-reduce on the
+// coordinator instead of asking shard workers for it. Output is
+// identical; use it to shift CPU off busy workers.
+func WithCoordinatorPreReduce() Option {
+	return func(c *pipeline.Config) { c.DisableShardPreReduce = true }
+}
+
 // WithCacheBytes bounds the compiler's content-addressed cache, which
 // persists across Process calls so a day's batch pays only for content not
 // seen on previous days (tokenization, unpacking, and fingerprinting are
@@ -99,11 +124,12 @@ func WithCacheBytes(n int) Option {
 
 // WithShardWorkers dispatches the clustering stage to remote shard
 // workers (cmd/kizzleshard processes) at the given base URLs — the
-// paper's 50-machine layout. The coordinator-side stages (tokenization,
-// dedup, reduce, labeling, signature generation) stay in this process;
-// only abstract symbol sequences travel to the workers, and the output is
-// identical to single-process operation. An empty URL list keeps
-// clustering in-process.
+// paper's 50-machine layout. Partitions stream to the fleet while this
+// process is still deduplicating (protocol v2), each worker pre-reduces
+// its partitions, and the reduce step's distance sweeps fan out as edge
+// jobs; only abstract symbol sequences travel, raw documents never leave
+// this process. Output is identical to single-process operation. An
+// empty URL list keeps clustering in-process.
 func WithShardWorkers(urls ...string) Option {
 	return func(c *pipeline.Config) {
 		if len(urls) == 0 {
@@ -473,4 +499,3 @@ func (mc *MatcherCache) Build(sigs []Signature) (*Matcher, BuildStats, error) {
 	mc.families = next
 	return &Matcher{scanner: sigmatch.NewScannerFromCompiled(compiled)}, stats, nil
 }
-
