@@ -1,0 +1,181 @@
+// BenchmarkRecompile measures the publisher's recompilation loop on the
+// day-over-day workload — the cost sigserve pays every -recompile tick.
+package kizzle_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"kizzle"
+	"kizzle/internal/contentcache"
+	"kizzle/internal/ekit"
+	"kizzle/internal/shardcoord"
+)
+
+// startCachedFleet launches n shard workers over loopback HTTP, each with
+// its own pair-verdict cache — the configuration a kizzleshard fleet runs
+// with -cachedir, where day N's clustering warms day N+1's.
+func startCachedFleet(tb testing.TB, n int) []string {
+	tb.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		w := shardcoord.NewWorker(shardcoord.WithWorkerCache(contentcache.New(32 << 20)))
+		srv := httptest.NewServer(w.Handler())
+		tb.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+// recompileDays builds the publisher's day-over-day workload: day N, and a
+// day N+1 whose distinct content overlaps day N's by ~85% (the Figure 11
+// regime), both with observation multiplicity.
+func recompileDays(b *testing.B) (day int, day1, day2 []kizzle.Sample) {
+	b.Helper()
+	const (
+		benign    = 300
+		dupFactor = 3
+		overlap   = 0.85
+	)
+	day = ekit.Date(8, 9)
+	cfg := ekit.DefaultStreamConfig()
+	cfg.BenignPerDay = benign
+	stream, err := ekit.NewStream(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	distinct := func(d int) []kizzle.Sample {
+		var out []kizzle.Sample
+		for _, s := range stream.Day(d) {
+			out = append(out, kizzle.Sample{ID: s.ID, Content: s.Content})
+		}
+		return out
+	}
+	day1d := distinct(day)
+	nextd := distinct(day + 1)
+	carried := int(float64(len(day1d)) * overlap)
+	novel := len(day1d) - carried
+	if novel > len(nextd) {
+		b.Fatalf("next day has %d distinct docs, need %d novel", len(nextd), novel)
+	}
+	day2d := append(append([]kizzle.Sample(nil), day1d[:carried]...), nextd[:novel]...)
+	replicate := func(distinct []kizzle.Sample) []kizzle.Sample {
+		out := make([]kizzle.Sample, 0, len(distinct)*dupFactor)
+		for r := 0; r < dupFactor; r++ {
+			for _, s := range distinct {
+				out = append(out, kizzle.Sample{ID: fmt.Sprintf("%s#%d", s.ID, r), Content: s.Content})
+			}
+		}
+		return out
+	}
+	return day, replicate(day1d), replicate(day2d)
+}
+
+// seedRecompiler builds a compiler on the fixed corpus trajectory every
+// variant shares: one payload per family, plus a duplicate RIG entry (the
+// per-family generation bump a daily corpus feedback produces).
+func seedRecompiler(b *testing.B, day int, opts ...kizzle.Option) *kizzle.Compiler {
+	b.Helper()
+	c := kizzle.New(opts...)
+	for _, fam := range ekit.Families {
+		c.AddKnown(fam.String(), ekit.Payload(fam, day-1))
+	}
+	c.AddKnown(ekit.FamilyRIG.String(), ekit.Payload(ekit.FamilyRIG, day-1))
+	return c
+}
+
+// recompileOnce runs one publishing cycle: process the batch and build the
+// deployable matcher through the per-family matcher cache.
+func recompileOnce(b *testing.B, c *kizzle.Compiler, mc *kizzle.MatcherCache, batch []kizzle.Sample) *kizzle.Result {
+	b.Helper()
+	res, err := c.Process(batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := mc.Build(res.Signatures); err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkRecompile compares three publisher configurations on the
+// day-over-day workload:
+//
+//   - full: a fresh compiler every recompile — the pre-PR5 sigserve
+//     behavior (compileInto built a new compiler per tick), paying the
+//     whole pipeline cold every time;
+//   - incremental: one long-lived compiler whose content cache carries
+//     day N into day N+1, in-process clustering — day N+1 pays only for
+//     its novel ~15%;
+//   - fleet: the same long-lived compiler with clustering dispatched to
+//     two kizzleshard workers over real loopback HTTP (each with its own
+//     verdict cache, as -cachedir fleets run), the sigserve -shards path.
+//
+// All three follow the identical corpus trajectory and their published
+// signature sets are pinned byte-identical before timing starts; ns/op is
+// the cost of the day N+1 recompile alone.
+func BenchmarkRecompile(b *testing.B) {
+	day, day1, day2 := recompileDays(b)
+
+	fleetOpts := func(n int) []kizzle.Option {
+		return []kizzle.Option{kizzle.WithShardWorkers(startCachedFleet(b, n)...)}
+	}
+
+	// Pin: every variant publishes the same bytes for both days.
+	pin := func(opts ...kizzle.Option) (string, string) {
+		c := seedRecompiler(b, day, opts...)
+		var mc kizzle.MatcherCache
+		r1 := recompileOnce(b, c, &mc, day1)
+		r2 := recompileOnce(b, c, &mc, day2)
+		return signatureJSON(b, r1.Signatures), signatureJSON(b, r2.Signatures)
+	}
+	ref1, ref2 := pin()
+	for name, opts := range map[string][]kizzle.Option{
+		"fleet": fleetOpts(2),
+	} {
+		g1, g2 := pin(opts...)
+		if g1 != ref1 || g2 != ref2 {
+			b.Fatalf("%s recompile output diverged from single-process reference", name)
+		}
+	}
+
+	b.Run("full", func(b *testing.B) {
+		// The pre-PR5 loop: every tick builds a fresh compiler, so day N+1
+		// costs the same as day 1. Seeding happens outside the timer; the
+		// measured region is the recompile itself.
+		var stats kizzle.Stats
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := seedRecompiler(b, day)
+			var mc kizzle.MatcherCache
+			b.StartTimer()
+			stats = recompileOnce(b, c, &mc, day2).Stats
+		}
+		b.ReportMetric(float64(stats.LabelSweeps), "label-sweeps")
+	})
+	b.Run("incremental", func(b *testing.B) {
+		var stats kizzle.Stats
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := seedRecompiler(b, day)
+			var mc kizzle.MatcherCache
+			recompileOnce(b, c, &mc, day1) // yesterday warms the caches
+			b.StartTimer()
+			stats = recompileOnce(b, c, &mc, day2).Stats
+		}
+		b.ReportMetric(float64(stats.LabelSweeps), "label-sweeps")
+	})
+	b.Run("fleet", func(b *testing.B) {
+		var stats kizzle.Stats
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := seedRecompiler(b, day, fleetOpts(2)...)
+			var mc kizzle.MatcherCache
+			recompileOnce(b, c, &mc, day1)
+			b.StartTimer()
+			stats = recompileOnce(b, c, &mc, day2).Stats
+		}
+		b.ReportMetric(float64(stats.LabelSweeps), "label-sweeps")
+	})
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kizzle"
+	"kizzle/internal/jstoken"
+	"kizzle/internal/unpack"
+	"kizzle/sigdb"
+)
+
+// fuzzFileName coerces an arbitrary fuzz string into a usable file name
+// inside dir, so every input exercises the loader instead of bailing on
+// os.WriteFile errors.
+func fuzzFileName(name, fallback string) string {
+	name = filepath.Base(name)
+	if name == "" || name == "." || name == ".." || name == string(filepath.Separator) ||
+		strings.ContainsRune(name, 0) || len(name) > 64 {
+		return fallback
+	}
+	return name
+}
+
+// FuzzKnownDir fuzzes the known-payload directory loader: file names
+// become family labels and file contents are winnow-fingerprinted into
+// the corpus. Both are operator-supplied but effectively untrusted (known
+// payloads are captured malware). The sync must never panic, and its
+// digest tracking must be stable: an immediate re-sync of an unchanged
+// directory seeds nothing.
+func FuzzKnownDir(f *testing.F) {
+	f.Add("Angler.txt", []byte("var a = unescape('%61%62');"))
+	f.Add("RIG-variant2.txt", []byte("eval(String.fromCharCode(118,97,114))"))
+	f.Add("noext", []byte{0xff, 0xfe, 0x00, 0x01})
+	f.Add("-.js", []byte(""))
+	f.Add("Sweet Orange.txt", []byte("document.write('x');\x00\xc3\x28"))
+	f.Fuzz(func(t *testing.T, name string, body []byte) {
+		dir := t.TempDir()
+		name = fuzzFileName(name, "Seed.txt")
+		if err := os.WriteFile(filepath.Join(dir, name), body, 0o644); err != nil {
+			t.Skip("unwritable fuzz name")
+		}
+		p := &publisher{
+			store:      sigdb.New(),
+			compiler:   kizzle.New(kizzle.WithCacheBytes(1 << 20)),
+			knownDir:   dir,
+			knownFiles: make(map[string]knownMeta),
+		}
+		changed, err := p.syncKnown()
+		if err != nil {
+			return
+		}
+		if changed != 1 {
+			t.Fatalf("one new file counted as %d changes", changed)
+		}
+		again, err := p.syncKnown()
+		if err != nil || again != 0 {
+			t.Fatalf("unchanged dir re-seeded %d changes (err=%v)", again, err)
+		}
+	})
+}
+
+// FuzzSampleDir fuzzes the samples directory loader plus the parsing
+// stages every loaded sample is fed into — script extraction, streaming
+// lexing, unpacking. Sample directories hold captured grayware, the most
+// attacker-controlled bytes in the system; none of it may panic the
+// publisher.
+func FuzzSampleDir(f *testing.F) {
+	f.Add("page.html", []byte("<html><script>var a=1;</script></html>"))
+	f.Add("drive-by.js", []byte("eval(unescape('%76%61%72'))"))
+	f.Add("trunc.htm", []byte("<script>var x = '"))
+	f.Add("binary.html", []byte{0xff, 0xd8, 0xff, 0x00, 0x3c, 0x73})
+	f.Add("deep.js", []byte("(((((((((((((((((((((((((((((((("))
+	f.Fuzz(func(t *testing.T, name string, body []byte) {
+		dir := t.TempDir()
+		name = fuzzFileName(name, "seed.html")
+		if ext := strings.ToLower(filepath.Ext(name)); ext != ".html" && ext != ".htm" && ext != ".js" {
+			name += ".html"
+			if len(name) > 64 {
+				name = "seed.html"
+			}
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), body, 0o644); err != nil {
+			t.Skip("unwritable fuzz name")
+		}
+		samples, err := readSamples(dir)
+		if err != nil {
+			return
+		}
+		if len(samples) != 1 {
+			t.Fatalf("loader returned %d samples for one file", len(samples))
+		}
+		var scratch jstoken.Scratch
+		for _, s := range samples {
+			scratch.LexDocumentSymbols(s.Content)
+			_, _ = unpack.Unpack(s.Content)
+		}
+	})
+}

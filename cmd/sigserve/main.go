@@ -4,10 +4,22 @@
 // recompile signatures on an interval — the "signatures for malware
 // variants observed the same day within a matter of hours" loop.
 //
+// The recompilation loop is incremental end to end: one long-lived
+// compiler carries the content-addressed cache across recompiles (and,
+// with -cachedir, across restarts), known payloads re-seed the corpus only
+// when their files change (bumping just that family's generation, so only
+// its label verdicts recompute), an unchanged signature set publishes
+// without a version bump, and with -shards the clustering stage runs on
+// the same kizzleshard fleet the analysis pipeline uses. Without -shards
+// everything runs in-process — the fleet is an accelerator, never a
+// requirement.
+//
 // Usage:
 //
 //	sigserve -store sigs.json -listen :9090 \
-//	         [-samples corpus/ -known known/ -recompile 1h]
+//	         [-samples corpus/ -known known/ -recompile 1h] \
+//	         [-shards http://shard-0:9191,http://shard-1:9191] \
+//	         [-dispatch stream|batch] [-fanout 8] [-cachedir cache/]
 package main
 
 import (
@@ -26,6 +38,7 @@ import (
 	"time"
 
 	"kizzle"
+	"kizzle/internal/contentcache"
 	"kizzle/sigdb"
 )
 
@@ -46,6 +59,10 @@ func run(args []string, ready chan<- http.Handler) error {
 	samplesDir := fs.String("samples", "", "directory of samples to recompile from (optional)")
 	knownDir := fs.String("known", "", "directory of known unpacked payloads (required with -samples)")
 	recompile := fs.Duration("recompile", time.Hour, "recompilation interval")
+	shards := fs.String("shards", "", "comma-separated kizzleshard worker base URLs to cluster on (empty = in-process)")
+	dispatch := fs.String("dispatch", "stream", "shard dispatch mode: stream or batch (protocol v1)")
+	fanout := fs.Int("fanout", 0, "streaming partition fanout (0 = default)")
+	cacheDir := fs.String("cachedir", "", "persist the compiler's content cache here across restarts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,17 +72,36 @@ func run(args []string, ready chan<- http.Handler) error {
 	if *samplesDir != "" && *knownDir == "" {
 		return fmt.Errorf("-known is required with -samples")
 	}
+	if *samplesDir == "" && (*shards != "" || *cacheDir != "" || *fanout != 0 || *dispatch != "stream") {
+		return fmt.Errorf("-shards/-dispatch/-fanout/-cachedir require -samples")
+	}
+	if *dispatch != "stream" && *dispatch != "batch" {
+		return fmt.Errorf("-dispatch %q must be stream or batch", *dispatch)
+	}
+	if *fanout < 0 {
+		return fmt.Errorf("-fanout %d must be >= 0", *fanout)
+	}
 
 	store, err := sigdb.Open(*storePath)
 	if err != nil {
 		return err
 	}
 
+	shardURLs, err := parseShardURLs(*shards)
+	if err != nil {
+		return err
+	}
+
+	var pub *publisher
 	if *samplesDir != "" {
-		if err := compileInto(store, *samplesDir, *knownDir); err != nil {
+		pub, err = newPublisher(store, *samplesDir, *knownDir, *cacheDir,
+			compileOptions(shardURLs, *dispatch, *fanout)...)
+		if err != nil {
+			return err
+		}
+		if _, err := pub.recompile(); err != nil {
 			return fmt.Errorf("initial compile: %w", err)
 		}
-		log.Printf("compiled signature set v%d from %s", store.Version(), *samplesDir)
 	}
 
 	mux := http.NewServeMux()
@@ -78,7 +114,7 @@ func run(args []string, ready chan<- http.Handler) error {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	loopDone := make(chan struct{})
-	if *samplesDir != "" && ready == nil {
+	if pub != nil && ready == nil {
 		go func() {
 			defer close(loopDone)
 			ticker := time.NewTicker(*recompile)
@@ -89,11 +125,10 @@ func run(args []string, ready chan<- http.Handler) error {
 					return
 				case <-ticker.C:
 				}
-				if err := compileInto(store, *samplesDir, *knownDir); err != nil {
+				if _, err := pub.recompile(); err != nil {
 					log.Printf("recompile: %v", err)
 					continue
 				}
-				log.Printf("published signature set v%d", store.Version())
 			}
 		}()
 	} else {
@@ -111,6 +146,261 @@ func run(args []string, ready chan<- http.Handler) error {
 	cancel()
 	<-loopDone
 	return err
+}
+
+// parseShardURLs splits the -shards flag. A non-empty value that yields
+// no URLs is a configuration error, not a silent fallback to in-process
+// clustering — the operator asked for a fleet and must learn they did
+// not get one.
+func parseShardURLs(shards string) ([]string, error) {
+	if shards == "" {
+		return nil, nil
+	}
+	var urls []string
+	for _, u := range strings.Split(shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("-shards %q contains no worker URLs", shards)
+	}
+	return urls, nil
+}
+
+// compileOptions translates the fleet flags into compiler options.
+func compileOptions(shardURLs []string, dispatch string, fanout int) []kizzle.Option {
+	var opts []kizzle.Option
+	if len(shardURLs) > 0 {
+		opts = append(opts, kizzle.WithShardWorkers(shardURLs...))
+	}
+	if dispatch == "batch" {
+		opts = append(opts, kizzle.WithBatchDispatch())
+	}
+	if fanout > 0 {
+		opts = append(opts, kizzle.WithPartitionFanout(fanout))
+	}
+	return opts
+}
+
+// publisher owns sigserve's recompilation loop: one long-lived compiler
+// whose content cache — clustering verdicts, unpack results, fingerprints,
+// per-family label slices — stays warm across recompiles, so the steady
+// state pays only for the day's novel content, and whose clustering stage
+// optionally runs on a kizzleshard fleet. All methods are serialized by
+// the caller (the recompile loop is a single goroutine).
+type publisher struct {
+	store      *sigdb.Store
+	compiler   *kizzle.Compiler
+	samplesDir string
+	knownDir   string
+	cacheDir   string
+	// knownFiles tracks each known file's content digest — plus the size
+	// and mtime observed alongside it — from the last sync. An untouched
+	// directory skips seeding entirely (unchanged metadata skips even the
+	// reads); any change (new, modified, or removed files) rebuilds the
+	// corpus from the current files, so the corpus is always a pure
+	// function of the directory — and since family generations are
+	// content-derived, families whose files did not change keep their
+	// generation and their cached label verdicts.
+	knownFiles map[string]knownMeta
+}
+
+// knownMeta is one known file's sync record: the content digest that
+// decides change, and the stat metadata that lets an idle tick skip
+// re-reading the file to recompute it.
+type knownMeta struct {
+	digest  uint64
+	size    int64
+	modTime time.Time
+}
+
+// newPublisher builds the publisher and, when cacheDir is set, restores
+// the previous process's cache snapshot so a restarted publisher keeps
+// warm-day economics.
+func newPublisher(store *sigdb.Store, samplesDir, knownDir, cacheDir string, opts ...kizzle.Option) (*publisher, error) {
+	p := &publisher{
+		store:      store,
+		compiler:   kizzle.New(opts...),
+		samplesDir: samplesDir,
+		knownDir:   knownDir,
+		cacheDir:   cacheDir,
+		knownFiles: make(map[string]knownMeta),
+	}
+	if cacheDir != "" {
+		stats, err := p.compiler.LoadCache(cacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("load cache: %w", err)
+		}
+		if stats.Entries > 0 || stats.CorruptSegments > 0 {
+			log.Printf("cache: restored %d entries from %s (%d corrupt segments skipped)",
+				stats.Entries, cacheDir, stats.CorruptSegments)
+		}
+	}
+	return p, nil
+}
+
+// pubStats summarizes one recompile for logging and tests.
+type pubStats struct {
+	Version int64
+	Changed bool
+	// KnownChanged counts known files that were new, modified, or removed
+	// since the previous sync (0 means the corpus was left untouched).
+	KnownChanged int
+	Compile      kizzle.Stats
+	Signatures   int
+}
+
+// recompile runs one publishing cycle: sync the known corpus (per-family
+// incremental), process the samples directory, publish the signature set
+// if it changed, and snapshot the cache for restarts.
+func (p *publisher) recompile() (pubStats, error) {
+	var st pubStats
+	knownChanged, err := p.syncKnown()
+	if err != nil {
+		return st, err
+	}
+	st.KnownChanged = knownChanged
+	samples, err := readSamples(p.samplesDir)
+	if err != nil {
+		return st, err
+	}
+	res, err := p.compiler.Process(samples)
+	if err != nil {
+		return st, err
+	}
+	st.Compile = res.Stats
+	st.Signatures = len(res.Signatures)
+	version, changed, err := p.store.Publish(res.Signatures, nil)
+	if err != nil {
+		return st, err
+	}
+	st.Version, st.Changed = version, changed
+	if changed {
+		log.Printf("published signature set v%d (%d signatures, %d clusters, %d label sweeps)",
+			version, len(res.Signatures), res.Stats.Clusters, res.Stats.LabelSweeps)
+	} else {
+		log.Printf("signature set unchanged at v%d (%d label sweeps)", version, res.Stats.LabelSweeps)
+	}
+	// Snapshot the cache only when this cycle could have changed it: a
+	// fully-warm tick (no misses, no corpus change) would rewrite an
+	// identical snapshot — recurring I/O proportional to the cache budget
+	// for zero information.
+	if p.cacheDir != "" && (res.Stats.CacheMisses > 0 || knownChanged > 0) {
+		if _, err := p.compiler.SaveCache(p.cacheDir); err != nil {
+			// A failed snapshot costs the next restart warmth, not this
+			// process correctness.
+			log.Printf("save cache: %v", err)
+		}
+	}
+	return st, nil
+}
+
+// syncKnown keeps the corpus equal to the known directory's current
+// contents. The file name up to the first '.' or '-' is the family
+// label, so families can carry several payload files (angler.txt,
+// angler-variant2.txt); hidden files are skipped. An unchanged directory
+// is a no-op — and when no file's size or mtime moved either, the no-op
+// is decided from stat metadata alone, so the steady-state tick never
+// re-reads the payloads; content digests remain the change authority
+// whenever metadata moves. Any change rebuilds the corpus from scratch
+// in sorted file order — a modified file replaces its old payload (Add
+// alone would keep the retracted content live) and a deleted file's
+// payload goes away, while content-derived generations keep every
+// untouched family's label cache warm through the rebuild. The return
+// counts new, modified, and removed files.
+func (p *publisher) syncKnown() (changed int, err error) {
+	entries, err := os.ReadDir(p.knownDir)
+	if err != nil {
+		return 0, fmt.Errorf("read known dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	infos := make(map[string]os.FileInfo, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return 0, fmt.Errorf("stat known payload %s: %w", e.Name(), err)
+		}
+		names = append(names, e.Name())
+		infos[e.Name()] = info
+	}
+	// Deterministic seeding order: corpus generations are content-derived
+	// and order-sensitive within a family, so every rebuild — in this
+	// process or a restarted one — must Add in the same order.
+	sort.Strings(names)
+	if len(names) == 0 {
+		return 0, fmt.Errorf("no known payloads in %s", p.knownDir)
+	}
+	for _, name := range names {
+		if knownFamily(name) == "" {
+			// An empty label would collide with the corpus's "no match"
+			// sentinel and silently suppress labeling; refuse loudly.
+			return 0, fmt.Errorf("known payload %q yields an empty family label", name)
+		}
+	}
+	if len(names) == len(p.knownFiles) {
+		same := true
+		for _, name := range names {
+			prev, ok := p.knownFiles[name]
+			info := infos[name]
+			if !ok || info.Size() != prev.size || !info.ModTime().Equal(prev.modTime) {
+				same = false
+				break
+			}
+		}
+		if same {
+			return 0, nil
+		}
+	}
+	bodies := make(map[string]string, len(names))
+	current := make(map[string]knownMeta, len(names))
+	for _, name := range names {
+		body, err := os.ReadFile(filepath.Join(p.knownDir, name))
+		if err != nil {
+			return 0, err
+		}
+		bodies[name] = string(body)
+		info := infos[name]
+		current[name] = knownMeta{
+			digest:  contentcache.Digest(string(body)),
+			size:    info.Size(),
+			modTime: info.ModTime(),
+		}
+	}
+	for name, meta := range current {
+		if prev, ok := p.knownFiles[name]; !ok || prev.digest != meta.digest {
+			changed++
+		}
+	}
+	for name := range p.knownFiles {
+		if _, ok := current[name]; !ok {
+			changed++ // removed
+		}
+	}
+	// Record the observed metadata even when the contents did not change
+	// (e.g. a touch), so the next idle tick can skip the reads again.
+	p.knownFiles = current
+	if changed == 0 {
+		return 0, nil
+	}
+	p.compiler.ResetKnown()
+	for _, name := range names {
+		p.compiler.AddKnown(knownFamily(name), bodies[name])
+	}
+	return changed, nil
+}
+
+// knownFamily derives the family label from a known payload file name:
+// everything up to the first '.' or '-'.
+func knownFamily(name string) string {
+	cut := strings.IndexAny(name, ".-")
+	if cut < 0 {
+		cut = len(name)
+	}
+	return name[:cut]
 }
 
 // scanHandler serves POST /scan: consumers submit a batch of documents and
@@ -218,55 +508,6 @@ func (h *scanHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("scan: encode response: %v", err)
 	}
-}
-
-// compileInto runs the compiler over the samples directory and publishes
-// the resulting signatures to the store.
-func compileInto(store *sigdb.Store, samplesDir, knownDir string) error {
-	c := kizzle.New()
-	if err := seedKnown(c, knownDir); err != nil {
-		return err
-	}
-	samples, err := readSamples(samplesDir)
-	if err != nil {
-		return err
-	}
-	res, err := c.Process(samples)
-	if err != nil {
-		return err
-	}
-	if _, err := store.Replace(res.Signatures, nil); err != nil {
-		return err
-	}
-	return nil
-}
-
-func seedKnown(c *kizzle.Compiler, dir string) error {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return fmt.Errorf("read known dir: %w", err)
-	}
-	n := 0
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		name := e.Name()
-		cut := strings.IndexAny(name, ".-")
-		if cut < 0 {
-			cut = len(name)
-		}
-		body, err := os.ReadFile(filepath.Join(dir, name))
-		if err != nil {
-			return err
-		}
-		c.AddKnown(name[:cut], string(body))
-		n++
-	}
-	if n == 0 {
-		return fmt.Errorf("no known payloads in %s", dir)
-	}
-	return nil
 }
 
 func readSamples(dir string) ([]kizzle.Sample, error) {

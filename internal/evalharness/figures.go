@@ -193,6 +193,11 @@ func (r *MonthResult) FormatPerf() string {
 		fmt.Fprintf(&sb, "Content cache: %.1f%% hit rate over %d lookups (%s)\n",
 			100*float64(hits)/float64(lookups), lookups, scope)
 	}
+	sweeps := 0
+	for _, d := range r.Days {
+		sweeps += d.Pipeline.LabelSweeps
+	}
+	fmt.Fprintf(&sb, "Label sweeps: %d family sweeps over the window (per-family generations re-sweep only corpus slices that changed)\n", sweeps)
 	return sb.String()
 }
 

@@ -31,7 +31,10 @@
 //     StreamClusterer, leaving the coordinator only union-find and
 //     bookkeeping;
 //   - label: unpack the prototype, winnow-fingerprint it, sweep the
-//     known-kit corpus;
+//     known-kit corpus. The sweep is family-sliced: the Corpus keeps a
+//     content-derived generation per family, cached verdicts carry one
+//     slice per family, and a corpus Add re-sweeps only the family it
+//     touched (Stats.LabelSweeps counts the sweeps actually run);
 //   - sign: generalize a structural signature per malicious cluster.
 //
 // Config.Cache threads a contentcache.Cache through every stage so a day

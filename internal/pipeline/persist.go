@@ -201,10 +201,13 @@ func (fingerprintCodec) Decode(data []byte) (any, error) {
 
 // --- kindLabel: labelEntry ---
 //
-// Label verdicts are only valid for the exact corpus version they were
-// computed against; the version is persisted verbatim, so a restarted
-// process whose corpus differs sees config/version mismatches and
-// recomputes — a stale snapshot degrades to a miss, never a wrong label.
+// Per-family verdicts are only valid for the exact family contents they
+// were computed against; each family's content-derived generation is
+// persisted verbatim, so a restarted process that reseeds the same corpus
+// contents recomputes the same generations and keeps the warm verdicts,
+// while any family whose contents differ sees a generation mismatch for
+// just its slice — a stale snapshot degrades to partial misses, never a
+// wrong label.
 
 type labelCodec struct{}
 
@@ -213,27 +216,46 @@ func (labelCodec) Encode(value any) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("pipeline: label codec: %T", value)
 	}
-	b := binary.LittleEndian.AppendUint64(nil, e.corpusVersion)
-	b = appendWinnowConfig(b, e.cfg)
-	b = appendString(b, e.family)
-	return binary.LittleEndian.AppendUint64(b, math.Float64bits(e.overlap)), nil
+	b := appendWinnowConfig(nil, e.cfg)
+	b = appendUvarint(b, uint64(len(e.verdicts)))
+	for _, v := range e.verdicts {
+		b = appendString(b, v.Family)
+		b = binary.LittleEndian.AppendUint64(b, v.Gen)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Overlap))
+	}
+	return b, nil
 }
 
 func (labelCodec) Decode(data []byte) (any, error) {
-	if len(data) < 8 {
-		return nil, errCorruptValue
-	}
-	version := binary.LittleEndian.Uint64(data)
-	cfg, data, err := readWinnowConfig(data[8:])
+	cfg, data, err := readWinnowConfig(data)
 	if err != nil {
 		return nil, err
 	}
-	family, data, err := readString(data)
-	if err != nil || len(data) != 8 {
+	n, data, err := readUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	// A verdict encodes to ≥17 bytes (empty family name, gen, overlap);
+	// bound the pre-allocation by what the data could actually hold.
+	if n > uint64(len(data))/17 {
 		return nil, errCorruptValue
 	}
-	overlap := math.Float64frombits(binary.LittleEndian.Uint64(data))
-	return labelEntry{corpusVersion: version, cfg: cfg, family: family, overlap: overlap}, nil
+	e := labelEntry{cfg: cfg, verdicts: make([]FamilyVerdict, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var v FamilyVerdict
+		v.Family, data, err = readString(data)
+		if err != nil || len(data) < 16 {
+			return nil, errCorruptValue
+		}
+		v.Gen = binary.LittleEndian.Uint64(data)
+		v.Overlap = math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+		data = data[16:]
+		e.verdicts = append(e.verdicts, v)
+	}
+	if len(data) != 0 {
+		return nil, errCorruptValue
+	}
+	return e, nil
 }
 
 // --- kindTokens: []jstoken.Token ---

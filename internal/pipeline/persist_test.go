@@ -29,8 +29,13 @@ func TestCacheCodecsRoundTrip(t *testing.T) {
 			cfg:  winnow.Config{K: 5, Window: 8},
 			hist: winnow.Histogram{0xdeadbeef: 3, 1: 1, 1 << 60: 7},
 		}},
-		{"label", kindLabel, labelEntry{corpusVersion: 42, cfg: winnow.Config{K: 3, Window: 4}, family: "Nuclear", overlap: 0.875}},
-		{"label-benign", kindLabel, labelEntry{corpusVersion: 7, cfg: winnow.DefaultConfig(), family: "", overlap: 0.01}},
+		{"label", kindLabel, labelEntry{cfg: winnow.Config{K: 3, Window: 4}, verdicts: []FamilyVerdict{
+			{Family: "Nuclear", Gen: 42, Overlap: 0.875},
+			{Family: "RIG", Gen: 7, Overlap: 0.31},
+		}}},
+		{"label-benign", kindLabel, labelEntry{cfg: winnow.DefaultConfig(), verdicts: []FamilyVerdict{
+			{Family: "Angler", Gen: 1 << 63, Overlap: 0.01},
+		}}},
 		{"tokens", kindTokens, []jstoken.Token{
 			{Class: jstoken.ClassKeyword, Text: "var", Pos: 0},
 			{Class: jstoken.ClassIdentifier, Text: "x", Pos: 4},

@@ -172,6 +172,13 @@ type Stats struct {
 	// UniqueDocuments counts distinct raw documents after content-digest
 	// pre-deduplication; Samples-UniqueDocuments were never tokenized.
 	UniqueDocuments int
+	// LabelSweeps counts per-family corpus sweeps executed while labeling
+	// clusters. Cold labeling pays one sweep per (payload, family); with a
+	// warm label cache only families whose corpus generation moved since
+	// the verdict was cached are re-swept, so a corpus Add to one family
+	// costs one sweep per re-labeled payload, not a full corpus pass.
+	// Purely observational — sweep counts never affect labels.
+	LabelSweeps int
 	// EdgeJobs counts the reduce-step distance sweeps dispatched to shard
 	// workers as edge work units (zero for in-process and batch runs).
 	EdgeJobs int
@@ -290,7 +297,7 @@ func Process(inputs []Input, corpus *Corpus, cfg Config) (Result, error) {
 
 	// Stage 5: label each cluster via its unpacked prototype.
 	start = time.Now()
-	res.Clusters = labelClusters(inputs, uniq, merged, corpus, cfg)
+	res.Clusters, res.Stats.LabelSweeps = labelClusters(inputs, uniq, merged, corpus, cfg)
 	res.Stats.Label = time.Since(start)
 	res.Stats.Clusters = len(res.Clusters)
 
@@ -467,11 +474,13 @@ func tokensCached(cache *contentcache.Cache, content string) []jstoken.Token {
 // labeling fans out across the worker pool with per-worker winnow
 // scratches; results land by index, keeping the output order identical to
 // the serial loop. Unpack results and fingerprints are content-cached, so
-// a day dominated by previously seen payloads labels almost for free.
-func labelClusters(inputs []Input, u uniqueSet, merged [][]int, corpus *Corpus, cfg Config) []Cluster {
+// a day dominated by previously seen payloads labels almost for free. The
+// second return is the total per-family sweep count (Stats.LabelSweeps).
+func labelClusters(inputs []Input, u uniqueSet, merged [][]int, corpus *Corpus, cfg Config) ([]Cluster, int) {
 	out := make([]Cluster, len(merged))
 	workers := max(cfg.Workers, 1)
 	scratches := make([]winnow.Scratch, workers)
+	sweeps := make([]int, workers)
 	parallel.ForEach(len(merged), workers, 1, func(worker, mi int) {
 		uniques := merged[mi]
 		rep := repOf(u, uniques)
@@ -485,7 +494,8 @@ func labelClusters(inputs []Input, u uniqueSet, merged [][]int, corpus *Corpus, 
 		cl.Unpacked = unp.payload
 		cl.UnpackMethod = unp.method
 		if corpus != nil {
-			family, overlap := bestMatchCached(cfg.Cache, &scratches[worker], corpus, cl.Unpacked)
+			family, overlap, swept := bestMatchCached(cfg.Cache, &scratches[worker], corpus, cl.Unpacked)
+			sweeps[worker] += swept
 			cl.Overlap = overlap
 			if family != "" && overlap >= cfg.Threshold(family) {
 				cl.Label = family
@@ -493,42 +503,49 @@ func labelClusters(inputs []Input, u uniqueSet, merged [][]int, corpus *Corpus, 
 		}
 		out[mi] = cl
 	})
-	return out
+	total := 0
+	for _, s := range sweeps {
+		total += s
+	}
+	return out, total
 }
 
-// labelEntry caches a corpus best-match verdict for one unpacked payload.
-// The verdict is only valid for the exact corpus contents (version) and
-// winnow configuration it was computed against; the labeling threshold is
-// deliberately NOT part of the entry — thresholds are applied by the
-// caller per run, so threshold changes never read stale decisions.
+// labelEntry caches per-family corpus verdicts for one unpacked payload.
+// Each family's slice is tagged with the content-derived generation it was
+// computed against, so a corpus Add to one family invalidates only that
+// family's slice — the other families' overlaps are reused and only the
+// changed family is re-swept. The winnow configuration guards the whole
+// entry; the labeling threshold is deliberately NOT part of it —
+// thresholds are applied by the caller per run, so threshold changes never
+// read stale decisions.
 type labelEntry struct {
-	corpusVersion uint64
-	cfg           winnow.Config
-	family        string
-	overlap       float64
+	cfg      winnow.Config
+	verdicts []FamilyVerdict
 }
 
-// bestMatchCached resolves corpus.BestMatch through the cache: a payload
-// seen while the corpus is unchanged skips both the fingerprint pass and
-// the overlap sweep.
-func bestMatchCached(cache *contentcache.Cache, scratch *winnow.Scratch, corpus *Corpus, text string) (string, float64) {
-	version := corpus.Version()
+// bestMatchCached resolves corpus.BestMatch through the cache, family by
+// family: a payload seen while a family's corpus slice is unchanged reuses
+// that family's cached overlap; only stale families are re-swept. The
+// third return counts the sweeps executed (0 on a fully warm hit).
+func bestMatchCached(cache *contentcache.Cache, scratch *winnow.Scratch, corpus *Corpus, text string) (string, float64, int) {
 	wcfg := corpus.Config()
 	key := contentcache.KeyOf(kindLabel, text)
+	var prior []FamilyVerdict
 	if v, ok := cache.Get(key, text); ok {
-		if e := v.(labelEntry); e.corpusVersion == version && e.cfg == wcfg {
-			return e.family, e.overlap
+		if e := v.(labelEntry); e.cfg == wcfg {
+			prior = e.verdicts
 		}
 	}
 	hist := FingerprintCached(cache, scratch, text, wcfg)
-	family, overlap := corpus.BestMatchHist(hist)
-	// Only cache if the corpus did not move underneath the computation —
-	// otherwise a verdict from the newer corpus would be tagged with the
-	// older version and serve stale answers to it.
-	if corpus.Version() == version {
-		cache.Put(key, text, labelEntry{corpusVersion: version, cfg: wcfg, family: family, overlap: overlap})
+	verdicts, family, overlap, swept := corpus.ResolveHist(hist, prior)
+	if swept > 0 || prior == nil {
+		// ResolveHist snapshots generations and overlaps under one corpus
+		// lock, so the entry is internally consistent even if the corpus
+		// moved before or after; a concurrent Add at worst makes this
+		// entry stale immediately — a future miss, never a wrong answer.
+		cache.Put(key, text, labelEntry{cfg: wcfg, verdicts: verdicts})
 	}
-	return family, overlap
+	return family, overlap, swept
 }
 
 // generateSignature runs siggen over (a capped number of) the cluster's

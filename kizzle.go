@@ -146,6 +146,12 @@ type Compiler struct {
 	corpus *pipeline.Corpus
 }
 
+// defaultMaxPerFamily bounds the known-malware corpus per family. New and
+// ResetKnown must agree on it: corpus generations are content-derived, so
+// a long-lived publisher's rebuilt corpus and a restarted process's fresh
+// one only compute equal generations if they evict identically.
+const defaultMaxPerFamily = 64
+
 // New builds a Compiler with the paper's default parameters. The compiler
 // carries a content-addressed cache across Process calls (see
 // WithCacheBytes), so consecutive daily batches only pay for new content.
@@ -157,7 +163,7 @@ func New(opts ...Option) *Compiler {
 	}
 	return &Compiler{
 		cfg:    cfg,
-		corpus: pipeline.NewCorpus(cfg.Winnow, 64),
+		corpus: pipeline.NewCorpus(cfg.Winnow, defaultMaxPerFamily),
 	}
 }
 
@@ -214,6 +220,17 @@ func (c *Compiler) LoadCache(dir string) (CachePersistStats, error) {
 // Kizzle must be seeded with at least one sample per kit it should track.
 func (c *Compiler) AddKnown(family, unpackedPayload string) {
 	c.corpus.Add(family, unpackedPayload)
+}
+
+// ResetKnown clears the known-malware corpus so it can be reseeded from
+// scratch — publishers rebuild it whenever their known payload files
+// change, keeping the corpus a pure function of the current file set (a
+// retracted payload must actually go away, which Add alone cannot do).
+// The reset is cheap for label caching: family generations are derived
+// from contents, so families reseeded with identical payloads keep their
+// generation and their cached label verdicts stay valid.
+func (c *Compiler) ResetKnown() {
+	c.corpus = pipeline.NewCorpus(c.cfg.Winnow, defaultMaxPerFamily)
 }
 
 // KnownFamilies lists the seeded family labels.
@@ -278,6 +295,17 @@ type Stats struct {
 	Partitions        int
 	Clusters          int
 	MaliciousClusters int
+	// LabelSweeps counts per-family corpus sweeps during cluster labeling.
+	// With a warm cache only families whose corpus slice changed since the
+	// last run are re-swept (an AddKnown to one family costs one sweep per
+	// re-labeled payload, not a full corpus pass); the count is
+	// observational and never affects labels.
+	LabelSweeps int
+	// CacheHits / CacheMisses are this run's content-cache lookups. Zero
+	// misses means the run added nothing to the cache — publishers use
+	// that to skip redundant cache snapshots.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Process clusters, labels, and signs one batch of samples.
@@ -301,6 +329,9 @@ func (c *Compiler) Process(samples []Sample) (*Result, error) {
 			Partitions:        pres.Stats.Partitions,
 			Clusters:          pres.Stats.Clusters,
 			MaliciousClusters: pres.Stats.Malicious,
+			LabelSweeps:       pres.Stats.LabelSweeps,
+			CacheHits:         pres.Stats.CacheHits,
+			CacheMisses:       pres.Stats.CacheMisses,
 		},
 	}
 	out.Signatures = make([]Signature, len(pres.Signatures))

@@ -38,6 +38,7 @@ run_benches() {
     go test -run=NONE -count="$COUNT" -bench='^BenchmarkPipelineDayOverDay$' -benchtime=10x .
     go test -run=NONE -count="$COUNT" -bench='^BenchmarkPipelineSharded$' -benchtime=1x .
     go test -run=NONE -count="$COUNT" -bench='^BenchmarkMatcherRebuild$' -benchtime=300x .
+    go test -run=NONE -count="$COUNT" -bench='^BenchmarkRecompile$' -benchtime=10x .
 }
 
 # Write to the file directly (not via `... | tee`, whose exit status

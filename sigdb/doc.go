@@ -6,5 +6,8 @@
 // snapshot) and accepts pushed signature sets (POST, validated by
 // compilation before they can deploy), and a polling client that keeps a
 // consumer's matcher current — the loop that lets Kizzle push a new
-// signature to endpoints within hours of a kit mutation.
+// signature to endpoints within hours of a kit mutation. Store.Publish is
+// the delta-aware entry point recompilation loops use: byte-identical
+// sets do not bump the version, so steady-state recompiles never force
+// the channel's consumers to re-fetch or recompile anything.
 package sigdb

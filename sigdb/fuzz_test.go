@@ -1,0 +1,41 @@
+package sigdb
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzSignaturesPost fuzzes the push side of the distribution channel —
+// the POST /signatures body is attacker-reachable on any publisher whose
+// update endpoint is exposed. The handler must never panic, must never
+// install a set that does not compile, and a 200 must always mean a
+// well-formed, deployable snapshot.
+func FuzzSignaturesPost(f *testing.F) {
+	f.Add([]byte(`{"signatures":[]}`))
+	f.Add([]byte(`{"signatures":null,"multi":null}`))
+	f.Add([]byte(`{"signatures":[{"family":"Angler","elements":[{"kind":0,"literal":"eval","group":-1}],"samples":2}]}`))
+	f.Add([]byte(`{"signatures":[{"family":"","elements":[],"samples":0}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		store := New()
+		req := httptest.NewRequest(http.MethodPost, "/signatures", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		store.Handler().ServeHTTP(rec, req)
+		switch {
+		case rec.Code == http.StatusOK:
+			// An accepted push must have installed a compilable snapshot.
+			if store.Version() != 1 {
+				t.Fatalf("200 response but store version = %d", store.Version())
+			}
+			if _, _, err := store.Snapshot().Matcher(); err != nil {
+				t.Fatalf("accepted set does not compile: %v", err)
+			}
+		case store.Version() != 0:
+			t.Fatalf("status %d but store version moved to %d", rec.Code, store.Version())
+		}
+	})
+}

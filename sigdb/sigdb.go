@@ -1,6 +1,7 @@
 package sigdb
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -83,6 +84,39 @@ func (s *Store) Snapshot() Snapshot {
 	}
 }
 
+// Publish installs a new signature set only if it differs from the
+// currently published one (compared in serialized form — the exact bytes
+// consumers deploy). An unchanged set returns the current version with
+// changed=false and no version bump, so steady-state recompilation loops
+// do not force every poller to re-fetch, re-validate, and recompile an
+// identical set. A changed set goes through Replace (compile-validated,
+// atomically persisted).
+func (s *Store) Publish(sigs []kizzle.Signature, multi []kizzle.MultiSignature) (version int64, changed bool, err error) {
+	next, err := json.Marshal(update{Signatures: sigs, Multi: multi})
+	if err != nil {
+		return 0, false, fmt.Errorf("sigdb: marshal candidate: %w", err)
+	}
+	candidate := Snapshot{
+		Signatures: append([]kizzle.Signature(nil), sigs...),
+		Multi:      append([]kizzle.MultiSignature(nil), multi...),
+	}
+	if _, _, err := candidate.Matcher(); err != nil {
+		return 0, false, err
+	}
+	// Compare and install under one write lock: a concurrent Replace
+	// between a racy check and install could otherwise make the
+	// unchanged-set decision stale (skipping a publish the live set no
+	// longer matches) or double-bump on two identical publishes.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, err := json.Marshal(update{Signatures: s.snap.Signatures, Multi: s.snap.Multi})
+	if err == nil && s.snap.Version > 0 && bytes.Equal(cur, next) {
+		return s.snap.Version, false, nil
+	}
+	version, err = s.installLocked(candidate)
+	return version, err == nil, err
+}
+
 // Replace installs a new signature set, bumps the version, and (for
 // file-backed stores) persists atomically via rename. The new set is
 // compiled first: invalid signatures never reach the store.
@@ -96,6 +130,12 @@ func (s *Store) Replace(sigs []kizzle.Signature, multi []kizzle.MultiSignature) 
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.installLocked(candidate)
+}
+
+// installLocked bumps the version, persists file-backed stores atomically
+// via rename, and swaps in the candidate. Caller holds s.mu.
+func (s *Store) installLocked(candidate Snapshot) (int64, error) {
 	candidate.Version = s.snap.Version + 1
 	if s.path != "" {
 		data, err := json.MarshalIndent(candidate, "", "  ")

@@ -70,6 +70,51 @@ func TestStoreReplaceBumpsVersion(t *testing.T) {
 	}
 }
 
+// TestStorePublishSkipsUnchanged pins the delta-publish contract sigserve's
+// recompilation loop relies on: republishing an identical set does not bump
+// the version (so pollers stay on 304 and matcher caches stay warm), while
+// any real change — including dropping back to a previous set — does.
+func TestStorePublishSkipsUnchanged(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	s := New()
+	sigs := trainSignatures(t, day)
+
+	v, changed, err := s.Publish(sigs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 || !changed {
+		t.Fatalf("first publish = (v%d, changed=%v), want (v1, true)", v, changed)
+	}
+	v, changed, err = s.Publish(sigs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 || changed {
+		t.Fatalf("identical republish = (v%d, changed=%v), want (v1, false)", v, changed)
+	}
+	// A genuinely different set (drop one signature) must bump.
+	v, changed, err = s.Publish(sigs[1:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 || !changed {
+		t.Fatalf("changed publish = (v%d, changed=%v), want (v2, true)", v, changed)
+	}
+	// Publishing the original set again is also a change relative to v2.
+	v, changed, err = s.Publish(sigs, nil)
+	if err != nil || v != 3 || !changed {
+		t.Fatalf("revert publish = (v%d, changed=%v, err=%v), want (v3, true, nil)", v, changed, err)
+	}
+	// A first publish on an empty store always establishes v1, even when
+	// the candidate set is empty like the store's zero state.
+	empty := New()
+	v, changed, err = empty.Publish(nil, nil)
+	if err != nil || v != 1 || !changed {
+		t.Fatalf("empty first publish = (v%d, changed=%v, err=%v), want (v1, true, nil)", v, changed, err)
+	}
+}
+
 func TestStoreRejectsInvalid(t *testing.T) {
 	s := New()
 	var bad kizzle.Signature
