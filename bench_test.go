@@ -463,7 +463,10 @@ func BenchmarkPipelineDayOverDay(b *testing.B) {
 // Caches are cold every iteration — the honest daily-batch regime, in
 // which the reduce's distance sweeps, not the partition clustering, are
 // the fleet's serial floor (ROADMAP PR 3 "Next targets"); workers carry
-// no verdict cache at all.
+// no verdict cache at all. Workers do carry resident sets, so streamed
+// runs exercise the locality layer: edge jobs route to the shard that
+// clustered their rows and ship 20-byte content keys over the v3 wire
+// (wire-mb / edge-wire-mb report the resulting traffic per run).
 //
 // The synthetic stream's dedup collapses a plain day to ~50 unique
 // shapes, which leaves too little clustering work to distribute, so the
@@ -496,11 +499,13 @@ func BenchmarkPipelineSharded(b *testing.B) {
 	}
 	criticalBy := make(map[string]time.Duration)
 	for _, mode := range []string{"batch", "stream"} {
-		for _, shards := range []int{1, 2, 4} {
+		for _, shards := range []int{1, 2, 4, 8, 16} {
 			b.Run(fmt.Sprintf("mode=%s/shards=%d", mode, shards), func(b *testing.B) {
 				workers := make([]*shardcoord.Worker, shards)
 				for i := range workers {
-					workers[i] = shardcoord.NewWorker(shardcoord.WithWorkerParallelism(1))
+					workers[i] = shardcoord.NewWorker(
+						shardcoord.WithWorkerParallelism(1),
+						shardcoord.WithWorkerResidentBudget(64<<20))
 				}
 				coord := shardcoord.NewCoordinator(shardcoord.NewLoopback(workers),
 					shardcoord.WithSequentialDispatch())
@@ -547,6 +552,8 @@ func BenchmarkPipelineSharded(b *testing.B) {
 				b.ReportMetric(float64(sched.EdgeUnits)/float64(b.N), "edge-jobs")
 				b.ReportMetric(float64(stats.UniqueSequences), "uniques")
 				b.ReportMetric(float64(stats.Partitions), "partitions")
+				b.ReportMetric(float64(stats.WireBytes)/1e6, "wire-mb")
+				b.ReportMetric(float64(stats.EdgeWireBytes)/1e6, "edge-wire-mb")
 			})
 		}
 	}

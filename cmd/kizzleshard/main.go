@@ -6,10 +6,14 @@
 //
 // Usage:
 //
-//	kizzleshard [-listen :9191] [-workers N] [-cachemb 64] [-cachedir dir]
+//	kizzleshard [-listen :9191] [-workers N] [-cachemb 64] [-cachedir dir] [-residentmb MB]
 //
 // With -cachedir the worker loads the previous snapshot at startup and
 // saves on SIGINT/SIGTERM; corrupt snapshots degrade to a cold cache.
+// With -residentmb the worker keeps a bounded digest-addressed resident
+// set of the sequences it has seen and serves the digest-first edge
+// endpoint POST /edges3, letting an affinity-aware coordinator ship
+// 20-byte content keys instead of sequence bytes on the edge path.
 package main
 
 import (
@@ -43,11 +47,15 @@ func run(args []string, ready chan<- http.Handler, quit <-chan struct{}) error {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "clustering parallelism per partition request")
 	cacheMB := fs.Int("cachemb", 64, "pair-verdict cache budget in MiB (0 disables)")
 	cacheDir := fs.String("cachedir", "", "directory for the persistent cache snapshot (optional)")
+	residentMB := fs.Int("residentmb", 0, "resident sequence set budget in MiB for digest-first edge jobs (0 disables /edges3)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	opts := []shardcoord.WorkerOption{shardcoord.WithWorkerParallelism(*workers)}
+	if *residentMB > 0 {
+		opts = append(opts, shardcoord.WithWorkerResidentBudget(*residentMB<<20))
+	}
 	var cache *contentcache.Cache
 	if *cacheMB > 0 {
 		budget := *cacheMB << 20

@@ -74,6 +74,15 @@ type Config struct {
 	// MaxNoiseRecluster caps the reduce step's global re-clustering of
 	// partition-level noise (0 disables the cap).
 	MaxNoiseRecluster int
+	// NoiseChunk, when positive, splits a noise pool larger than one chunk
+	// into fixed-size chunks in content-digest order and re-clusters each
+	// chunk independently — bounding the reduce's quadratic noise sweep at
+	// provider scale (chunked pools bypass MaxNoiseRecluster). Cross-chunk
+	// noise pairs go untested; straggler adoption still sees the full
+	// leftover pool. Digest ordering keeps chunk membership a pure function
+	// of content, so the output stays independent of shard count and
+	// scheduling. 0 (the default) disables chunking.
+	NoiseChunk int
 	// MaxSignatureSamples caps how many cluster samples feed signature
 	// generalization.
 	MaxSignatureSamples int
@@ -182,6 +191,14 @@ type Stats struct {
 	// EdgeJobs counts the reduce-step distance sweeps dispatched to shard
 	// workers as edge work units (zero for in-process and batch runs).
 	EdgeJobs int
+	// WireBytes is what this run actually shipped to the shard fleet and
+	// got back — request plus response bodies of every successful
+	// /partition and /edges (v2 or digest-first v3) round trip.
+	// EdgeWireBytes is the /edges share, the number the affinity wire
+	// cache exists to shrink. Both are zero when the dispatcher does not
+	// expose wire accounting (in-process runs, custom transports).
+	WireBytes     int64
+	EdgeWireBytes int64
 	// CacheHits / CacheMisses are this run's content-cache lookups (zero
 	// without a configured cache).
 	CacheHits   int64
@@ -249,6 +266,13 @@ func Process(inputs []Input, corpus *Corpus, cfg Config) (Result, error) {
 	var res Result
 	res.Stats.Samples = len(inputs)
 	preCache := cfg.Cache.Stats()
+	// Wire accounting is cumulative on the transport; Stats carries this
+	// run's delta.
+	var preWire, preEdgeWire int64
+	wires, _ := cfg.Clusterer.(wireByteser)
+	if wires != nil {
+		preWire, preEdgeWire = wires.WireBytes()
+	}
 
 	// Stages 1–3, fused and streamed: content-digest pre-dedup, chunked
 	// look-ahead tokenization straight to abstract symbols (token values
@@ -283,7 +307,8 @@ func Process(inputs []Input, corpus *Corpus, cfg Config) (Result, error) {
 	// (in-process, or fanned out to the fleet as edge jobs).
 	start = time.Now()
 	weightOf := func(ui int) int { return outcome.emitWeight[ui] }
-	merged, remaining, err := reduceSummaries(sums, weightOf, cfg, sess.edges)
+	digestOf := func(ui int) uint64 { return uniq.ids[ui].h1 }
+	merged, remaining, err := reduceSummaries(sums, weightOf, digestOf, cfg, sess.edges)
 	if err != nil {
 		return Result{}, fmt.Errorf("pipeline: reduce: %w", err)
 	}
@@ -335,7 +360,19 @@ func Process(inputs []Input, corpus *Corpus, cfg Config) (Result, error) {
 	postCache := cfg.Cache.Stats()
 	res.Stats.CacheHits = postCache.Hits - preCache.Hits
 	res.Stats.CacheMisses = postCache.Misses - preCache.Misses
+	if wires != nil {
+		postWire, postEdgeWire := wires.WireBytes()
+		res.Stats.WireBytes = postWire - preWire
+		res.Stats.EdgeWireBytes = postEdgeWire - preEdgeWire
+	}
 	return res, nil
+}
+
+// wireByteser is the optional wire-accounting seam a dispatcher can
+// implement (shardcoord.Coordinator does): cumulative bytes shipped over
+// all successful round trips, total and /edges-only.
+type wireByteser interface {
+	WireBytes() (total, edges int64)
 }
 
 // uniqueSet groups samples with identical abstract sequences.

@@ -44,11 +44,13 @@ type edgeFunc func(rows, cols []int) ([][2]int, error)
 //
 // weightOf supplies each unique's sample weight as the clustering stage
 // saw it (the weight at partition emission), so representative selection
-// agrees with the shard-side pre-reduce. Every step is deterministic in
-// the summary list, which is itself deterministic in the input batch — so
-// shard count, scheduling, and result arrival order cannot change the
-// output.
-func reduceSummaries(sums []summary, weightOf func(int) int, cfg Config, edges edgeFunc) ([][]int, []int, error) {
+// agrees with the shard-side pre-reduce. digestOf supplies each unique's
+// content digest, used only to order noise deterministically when
+// cfg.NoiseChunk splits a large pool into fixed-size chunks. Every step
+// is deterministic in the summary list, which is itself deterministic in
+// the input batch — so shard count, scheduling, and result arrival order
+// cannot change the output.
+func reduceSummaries(sums []summary, weightOf func(int) int, digestOf func(int) uint64, cfg Config, edges edgeFunc) ([][]int, []int, error) {
 	var clusters [][]int
 	var reps []int
 	for _, s := range sums {
@@ -63,13 +65,30 @@ func reduceSummaries(sums []summary, weightOf func(int) int, cfg Config, edges e
 	}
 	merged, mergedReps := mergeClustersByRepPairs(clusters, reps, pairs, weightOf)
 
-	// Global noise re-clustering over the pooled unfolded noise.
+	// Global noise re-clustering over the pooled unfolded noise. With
+	// NoiseChunk set, a pool larger than one chunk is split into fixed-size
+	// chunks in content-digest order and each chunk is swept independently:
+	// the quadratic sweep cost drops from (pool size)² to chunks·(chunk
+	// size)², which is what keeps provider-scale noise pools from
+	// serializing the reduce — at the documented cost that cross-chunk
+	// noise pairs are not tested (straggler adoption still runs over the
+	// full leftover pool). Digest order makes chunk membership a pure
+	// function of content, so scheduling and shard count cannot change the
+	// output. Chunked pools also bypass the MaxNoiseRecluster cap — the cap
+	// exists to bound exactly the quadratic blowup chunking removes.
 	var noise []int
 	for _, s := range sums {
 		noise = append(noise, s.noise...)
 	}
-	if len(noise) > 0 && (cfg.MaxNoiseRecluster == 0 || len(noise) <= cfg.MaxNoiseRecluster) {
-		npairs, err := edges(noise, nil)
+	chunked := cfg.NoiseChunk > 0 && len(noise) > cfg.NoiseChunk
+	if len(noise) > 0 && (chunked || cfg.MaxNoiseRecluster == 0 || len(noise) <= cfg.MaxNoiseRecluster) {
+		var npairs [][2]int
+		var err error
+		if chunked {
+			npairs, err = chunkedNoisePairs(noise, digestOf, cfg.NoiseChunk, edges)
+		} else {
+			npairs, err = edges(noise, nil)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
@@ -123,6 +142,52 @@ func reduceSummaries(sums []summary, weightOf func(int) int, cfg Config, edges e
 		remaining = noise
 	}
 	return merged, remaining, nil
+}
+
+// chunkedNoisePairs sweeps a large noise pool in fixed-size chunks:
+// positions are ordered by (content digest, position) — deterministic in
+// content, independent of partition scheduling — split into chunks of at
+// most chunk entries, and each chunk is swept triangularly on its own.
+// Returned pairs are positions into noise; only within-chunk pairs are
+// tested, which is the documented approximation that bounds the sweep.
+func chunkedNoisePairs(noise []int, digestOf func(int) uint64, chunk int, edges edgeFunc) ([][2]int, error) {
+	order := make([]int, len(noise))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := digestOf(noise[order[a]]), digestOf(noise[order[b]])
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	var pairs [][2]int
+	for lo := 0; lo < len(order); lo += chunk {
+		hi := lo + chunk
+		if hi > len(order) {
+			hi = len(order)
+		}
+		if hi-lo < 2 {
+			continue
+		}
+		rows := make([]int, hi-lo)
+		for k := range rows {
+			rows[k] = noise[order[lo+k]]
+		}
+		cpairs, err := edges(rows, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range cpairs {
+			a, b := order[lo+pr[0]], order[lo+pr[1]]
+			if a > b {
+				a, b = b, a
+			}
+			pairs = append(pairs, [2]int{a, b})
+		}
+	}
+	return pairs, nil
 }
 
 // The helpers below are the shared kernels of both levels of the merge

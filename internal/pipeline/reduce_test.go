@@ -216,7 +216,7 @@ func TestBuildEdgeJobsCoverage(t *testing.T) {
 				rows = idx[:25]
 			}
 			want, _ := localEdges(&uniqueSet{seqs: seqs}, Config{Eps: eps, Workers: 2}, rows, cols)
-			specs := buildEdgeJobs(seqs, rows, cols, eps, fleet)
+			specs := buildEdgeJobs(seqs, rows, cols, eps, fleet, nil, nil)
 			seen := make(map[[2]int]int)
 			for si, spec := range specs {
 				el, err := SweepEdges(spec.job, 2, nil)
@@ -235,6 +235,124 @@ func TestBuildEdgeJobsCoverage(t *testing.T) {
 					t.Fatalf("fleet=%d: pair %v seen %d times", fleet, pr, seen[pr])
 				}
 			}
+		}
+	}
+}
+
+// TestBuildEdgeJobsPlacementCoverage pins the placement-aware job
+// composition: with rows grouped by resident shard (per-group triangles
+// plus cross-group rectangles) the union of job results must cover every
+// unordered pair exactly once — identical to the unplaced chunking.
+// Placed rectangles emit pairs in whichever orientation the group order
+// dictates, so triangular coverage is checked order-normalized, exactly
+// as streamSession.edges normalizes before handing pairs to the reduce.
+func TestBuildEdgeJobsPlacementCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	space := jstoken.SymbolSpace()
+	var seqs [][]jstoken.Symbol
+	for i := 0; i < 41; i++ {
+		n := 10 + rng.Intn(30)
+		seq := make([]jstoken.Symbol, n)
+		for j := range seq {
+			seq[j] = jstoken.Symbol(rng.Intn(6) % space)
+		}
+		seqs = append(seqs, seq)
+	}
+	rows := make([]int, len(seqs))
+	for i := range rows {
+		rows[i] = i
+	}
+	keyFor := func(ui int) SeqKey { return SeqKeyOf(seqs[ui]) }
+	const eps = 0.3
+	want, _ := localEdges(&uniqueSet{seqs: seqs}, Config{Eps: eps, Workers: 2}, rows, nil)
+	for _, shards := range []int{1, 2, 3, 8} {
+		// Scatter rows across shards, with a sprinkle of unplaced (-1)
+		// rows — the cold-cache case placement must also cover.
+		place := make([]int, len(rows))
+		for i := range place {
+			place[i] = rng.Intn(shards+1) - 1
+		}
+		specs := buildEdgeJobs(seqs, rows, nil, eps, shards, keyFor, place)
+		seen := make(map[[2]int]int)
+		for si, spec := range specs {
+			if len(spec.job.Keys) != len(spec.job.Seqs) {
+				t.Fatalf("shards=%d job %d: %d keys for %d seqs", shards, si, len(spec.job.Keys), len(spec.job.Seqs))
+			}
+			el, err := SweepEdges(spec.job, 2, nil)
+			if err != nil {
+				t.Fatalf("shards=%d job %d: %v", shards, si, err)
+			}
+			for _, pr := range el.Pairs {
+				a, b := spec.mapRow[pr[0]], spec.mapCol[pr[1]]
+				if a > b {
+					a, b = b, a
+				}
+				seen[[2]int{a, b}]++
+			}
+		}
+		if len(seen) != len(want) {
+			t.Fatalf("shards=%d: %d distinct pairs, want %d", shards, len(seen), len(want))
+		}
+		for _, pr := range want {
+			if seen[pr] != 1 {
+				t.Fatalf("shards=%d: pair %v seen %d times", shards, pr, seen[pr])
+			}
+		}
+	}
+}
+
+// TestChunkedNoisePairsOrderInvariant pins the determinism claim behind
+// noise chunking: chunk membership is a pure function of content digests,
+// so permuting the pooled noise list (summaries arriving in any order)
+// must leave the tested pair set — mapped back to unique indices —
+// unchanged, and every chunk must respect the size bound.
+func TestChunkedNoisePairsOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	space := jstoken.SymbolSpace()
+	var seqs [][]jstoken.Symbol
+	for i := 0; i < 50; i++ {
+		n := 8 + rng.Intn(20)
+		seq := make([]jstoken.Symbol, n)
+		for j := range seq {
+			seq[j] = jstoken.Symbol(rng.Intn(5) % space)
+		}
+		seqs = append(seqs, seq)
+	}
+	u := &uniqueSet{seqs: seqs}
+	for i := range seqs {
+		u.ids = append(u.ids, seqID{h1: hashSeq(seqs[i]), h2: altHashSeq(seqs[i]), n: len(seqs[i])})
+	}
+	digestOf := func(ui int) uint64 { return u.ids[ui].h1 }
+	cfg := Config{Eps: 0.3, Workers: 2}
+	edges := func(rows, cols []int) ([][2]int, error) { return localEdges(u, cfg, rows, cols) }
+
+	noise := make([]int, len(seqs))
+	for i := range noise {
+		noise[i] = i
+	}
+	const chunk = 12
+	uniqPairs := func(noise []int) map[[2]int]int {
+		t.Helper()
+		pairs, err := chunkedNoisePairs(noise, digestOf, chunk, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[[2]int]int)
+		for _, pr := range pairs {
+			a, b := noise[pr[0]], noise[pr[1]]
+			if a > b {
+				a, b = b, a
+			}
+			out[[2]int{a, b}]++
+		}
+		return out
+	}
+	ref := uniqPairs(noise)
+	for trial := 0; trial < 3; trial++ {
+		perm := append([]int(nil), noise...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if got := uniqPairs(perm); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("trial %d: permuting the noise pool changed the tested pair set", trial)
 		}
 	}
 }

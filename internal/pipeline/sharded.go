@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"encoding/base64"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -38,6 +39,12 @@ import (
 type ShardPartition struct {
 	Seqs    [][]jstoken.Symbol `json:"seqs"`
 	Weights []int              `json:"weights"`
+	// Keys are the content addresses of Seqs (aligned), attached by the
+	// streaming session so an affinity-routing coordinator can record which
+	// worker became resident for which sequences. Coordinator-side only —
+	// never on the wire; workers that keep a resident set recompute the
+	// keys themselves (wire data is untrusted anyway).
+	Keys []SeqKey `json:"-"`
 }
 
 // ShardClusters is a worker's result for one partition: clusters and noise
@@ -77,6 +84,71 @@ type EdgeJob struct {
 	Seqs PackedSeqs `json:"seqs"`
 	Rows []int      `json:"rows"`
 	Cols []int      `json:"cols,omitempty"`
+	// Keys are the content addresses of Seqs (aligned), attached by the
+	// streaming session for coordinators that speak the digest-first edge
+	// protocol (v3). They are a coordinator-side hint only — never part of
+	// the v2 wire form, which is why dispatch through a v2-only fleet is
+	// byte-identical to pre-v3 coordinators.
+	Keys []SeqKey `json:"-"`
+}
+
+// SeqKey is the content address of one abstract symbol sequence: the
+// XXH64 digest of its packed little-endian wire bytes (the same function
+// the content-addressed cache keys on), a second independently mixed
+// 64-bit hash, and the symbol count. A wrong match needs a simultaneous
+// collision of both hashes and the length — the identity strength every
+// other content-addressed structure in the pipeline already relies on.
+// Digest-first edge requests (protocol v3) ship keys instead of sequences
+// and fill only the keys the worker does not hold.
+type SeqKey struct {
+	H uint64
+	A uint64
+	N uint32
+}
+
+// SeqKeyOf computes the content address of a sequence.
+func SeqKeyOf(seq []jstoken.Symbol) SeqKey {
+	b := make([]byte, 2*len(seq))
+	for i, sym := range seq {
+		b[2*i] = byte(sym)
+		b[2*i+1] = byte(sym >> 8)
+	}
+	return SeqKey{H: contentcache.Digest(string(b)), A: altHashSeq(seq), N: uint32(len(seq))}
+}
+
+// WireBytes is the packed size of the addressed sequence — what shipping
+// it (rather than its key) would cost before framing.
+func (k SeqKey) WireBytes() int { return 2 * int(k.N) }
+
+// seqKeyRawLen is the encoded key size: H, A little-endian, then N.
+const seqKeyRawLen = 20
+
+// MarshalText encodes the key as base64 of its 20 raw bytes, so keys ride
+// JSON as compact strings.
+func (k SeqKey) MarshalText() ([]byte, error) {
+	var raw [seqKeyRawLen]byte
+	binary.LittleEndian.PutUint64(raw[0:], k.H)
+	binary.LittleEndian.PutUint64(raw[8:], k.A)
+	binary.LittleEndian.PutUint32(raw[16:], k.N)
+	out := make([]byte, base64.StdEncoding.EncodedLen(seqKeyRawLen))
+	base64.StdEncoding.Encode(out, raw[:])
+	return out, nil
+}
+
+// UnmarshalText decodes a key, rejecting anything but exactly 20 bytes of
+// base64 payload (wire keys are untrusted).
+func (k *SeqKey) UnmarshalText(text []byte) error {
+	raw, err := base64.StdEncoding.DecodeString(string(text))
+	if err != nil {
+		return fmt.Errorf("sequence key: %w", err)
+	}
+	if len(raw) != seqKeyRawLen {
+		return fmt.Errorf("sequence key: %d raw bytes, want %d", len(raw), seqKeyRawLen)
+	}
+	k.H = binary.LittleEndian.Uint64(raw[0:])
+	k.A = binary.LittleEndian.Uint64(raw[8:])
+	k.N = binary.LittleEndian.Uint32(raw[16:])
+	return nil
 }
 
 // EdgeList is an edge job's result: the within-eps pairs as positions —
@@ -196,6 +268,18 @@ type StreamClusterer interface {
 	// StreamWorkers reports the fleet size, used to size edge-sweep fan-out
 	// (it never affects results).
 	StreamWorkers() int
+}
+
+// RowPlacer is an optional interface a StreamClusterer can implement to
+// expose its locality knowledge: for each key, the shard it believes
+// holds the addressed sequence resident (-1 when unknown). The streaming
+// session uses the placement to compose edge jobs from rows that live
+// together, so affinity routing sends whole jobs to warm workers instead
+// of scattering each chunk's bytes across the fleet. Placement is pure
+// routing advice: the pair set (and therefore the output) is independent
+// of how rows are grouped into jobs.
+type RowPlacer interface {
+	PlaceRows(keys []SeqKey) []int
 }
 
 // CheckShardClusters validates a wire ShardClusters against the

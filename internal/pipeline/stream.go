@@ -416,6 +416,9 @@ type streamSession struct {
 	wave         int
 	dispatchWall time.Duration
 	opened       time.Time
+	// keyOf memoizes each unique's content address: computed once when its
+	// partition is emitted, reused by every edge sweep that references it.
+	keyOf map[int]SeqKey
 }
 
 func newStreamSession(sc StreamClusterer, cfg Config) *streamSession {
@@ -426,14 +429,34 @@ func newStreamSession(sc StreamClusterer, cfg Config) *streamSession {
 		work:      work,
 		collected: newResultCollector(sc.ClusterStream(work, cfg)),
 		opened:    time.Now(),
+		keyOf:     make(map[int]SeqKey),
 	}
 }
 
 func (s *streamSession) submitPartition(ep emittedPartition, hostTime time.Duration) {
 	s.emitted = append(s.emitted, ep)
 	part := ep.part
+	// Content addresses ride along so an affinity-routing coordinator can
+	// record which worker turned resident for which sequences; they are
+	// stripped from the v2 wire form (json:"-").
+	part.Keys = make([]SeqKey, len(part.Seqs))
+	for k, ui := range ep.uniques {
+		key := SeqKeyOf(part.Seqs[k])
+		part.Keys[k] = key
+		s.keyOf[ui] = key
+	}
 	s.work <- WorkUnit{Seq: s.nextSeq, Emitted: int64(hostTime), Partition: &part}
 	s.nextSeq++
+}
+
+// seqKey returns the memoized content address of a unique sequence.
+func (s *streamSession) seqKey(ui int) SeqKey {
+	if key, ok := s.keyOf[ui]; ok {
+		return key
+	}
+	key := SeqKeyOf(s.u.seqs[ui])
+	s.keyOf[ui] = key
+	return key
 }
 
 func (s *streamSession) collect(u *uniqueSet) ([]summary, error) {
@@ -441,19 +464,21 @@ func (s *streamSession) collect(u *uniqueSet) ([]summary, error) {
 	return collectSummaries(s.collected, s.emitted)
 }
 
-// edges splits the sweep into one job per fleet worker (two for interior
-// triangular chunks: the within-chunk triangle and the chunk-versus-tail
-// rectangle), submits them over the open stream, and reassembles the pair
-// list in deterministic order. Chunking balances pair counts, and since
-// the pair set is independent of the chunking, fleet size cannot change
-// the result.
+// edges splits the sweep into jobs, submits them over the open stream,
+// and reassembles the pair list in deterministic order. With a locality-
+// aware dispatcher (RowPlacer) the jobs are composed from rows believed
+// resident on the same worker — within-group triangles plus cross-group
+// rectangles — so affinity routing ships near-zero sequence bytes for
+// warm groups; otherwise the split balances pair counts across the fleet.
+// Either way the pair set is independent of the chunking, so placement
+// and fleet size cannot change the result.
 func (s *streamSession) edges(rows, cols []int) ([][2]int, error) {
 	if len(rows) == 0 || (cols != nil && len(cols) == 0) {
 		return nil, nil
 	}
 	sweepStart := time.Now()
 	defer func() { s.dispatchWall += time.Since(sweepStart) }()
-	specs := buildEdgeJobs(s.u.seqs, rows, cols, s.cfg.Eps, s.sc.StreamWorkers())
+	specs := buildEdgeJobs(s.u.seqs, rows, cols, s.cfg.Eps, s.sc.StreamWorkers(), s.seqKey, s.placeRows(rows))
 	s.wave++
 	first := s.nextSeq
 	for i := range specs {
@@ -481,7 +506,14 @@ func (s *streamSession) edges(rows, cols []int) ([][2]int, error) {
 			if pr[0] < 0 || pr[0] >= len(spec.mapRow) || pr[1] < 0 || pr[1] >= len(spec.mapCol) {
 				return nil, fmt.Errorf("edge job %d: pair (%d,%d) outside job bounds", i, pr[0], pr[1])
 			}
-			out = append(out, [2]int{spec.mapRow[pr[0]], spec.mapCol[pr[1]]})
+			a, b := spec.mapRow[pr[0]], spec.mapCol[pr[1]]
+			if cols == nil && a > b {
+				// Placement-grouped rectangles can pair a later row with an
+				// earlier one; normalize so triangular sweeps keep the
+				// ascending-pair contract regardless of grouping.
+				a, b = b, a
+			}
+			out = append(out, [2]int{a, b})
 		}
 	}
 	sort.Slice(out, func(a, b int) bool {
@@ -491,6 +523,20 @@ func (s *streamSession) edges(rows, cols []int) ([][2]int, error) {
 		return out[a][1] < out[b][1]
 	})
 	return out, nil
+}
+
+// placeRows asks a locality-aware dispatcher where each row's sequence is
+// resident (nil when the dispatcher has no placement knowledge).
+func (s *streamSession) placeRows(rows []int) []int {
+	rp, ok := s.sc.(RowPlacer)
+	if !ok {
+		return nil
+	}
+	keys := make([]SeqKey, len(rows))
+	for i, ui := range rows {
+		keys[i] = s.seqKey(ui)
+	}
+	return rp.PlaceRows(keys)
 }
 
 func (s *streamSession) edgeStats() (int, time.Duration) { return s.nEdgeJobs, s.dispatchWall }
@@ -510,16 +556,118 @@ type edgeJobSpec struct {
 	mapCol []int
 }
 
-// buildEdgeJobs splits a sweep over unique indices into wire jobs. For a
-// triangular sweep each chunk [lo,hi) yields a within-chunk triangular job
-// plus a chunk×tail bipartite job, which together cover each unordered
-// pair exactly once; bipartite sweeps split rows evenly. Each job ships
-// only the sequences it references.
-func buildEdgeJobs(seqs [][]jstoken.Symbol, rows, cols []int, eps float64, fleet int) []edgeJobSpec {
+// makeEdgeSpec assembles one wire job from row/col positions (positions
+// into the caller's rows and cols slices; colPos nil means triangular).
+// keyFor, when non-nil, attaches each shipped sequence's content address
+// for digest-first dispatch.
+func makeEdgeSpec(seqs [][]jstoken.Symbol, rows, cols []int, eps float64, keyFor func(int) SeqKey, rowPos, colPos []int) edgeJobSpec {
+	nr, nc := len(rowPos), len(colPos)
+	jobSeqs := make(PackedSeqs, nr+nc)
+	var keys []SeqKey
+	if keyFor != nil {
+		keys = make([]SeqKey, nr+nc)
+	}
+	jobRows := make([]int, nr)
+	mapRow := make([]int, nr)
+	for k, p := range rowPos {
+		ui := rows[p]
+		jobSeqs[k] = seqs[ui]
+		if keys != nil {
+			keys[k] = keyFor(ui)
+		}
+		jobRows[k] = k
+		mapRow[k] = p
+	}
+	if colPos == nil {
+		return edgeJobSpec{
+			job:    EdgeJob{Eps: eps, Seqs: jobSeqs, Rows: jobRows, Keys: keys},
+			mapRow: mapRow,
+			mapCol: mapRow,
+		}
+	}
+	jobCols := make([]int, nc)
+	mapCol := make([]int, nc)
+	for k, p := range colPos {
+		ui := cols[p]
+		jobSeqs[nr+k] = seqs[ui]
+		if keys != nil {
+			keys[nr+k] = keyFor(ui)
+		}
+		jobCols[k] = nr + k
+		mapCol[k] = p
+	}
+	return edgeJobSpec{
+		job:    EdgeJob{Eps: eps, Seqs: jobSeqs, Rows: jobRows, Cols: jobCols, Keys: keys},
+		mapRow: mapRow,
+		mapCol: mapCol,
+	}
+}
+
+// groupByPlace buckets row positions by their placement shard, ascending
+// shard order with the unknown group (-1) last. Positions within a group
+// stay ascending, so grouping is deterministic in the placement.
+func groupByPlace(place []int) [][]int {
+	byShard := make(map[int][]int)
+	var shards []int
+	for pos, s := range place {
+		if _, ok := byShard[s]; !ok {
+			shards = append(shards, s)
+		}
+		byShard[s] = append(byShard[s], pos)
+	}
+	sort.Slice(shards, func(a, b int) bool {
+		// -1 (unknown) sorts last.
+		if (shards[a] < 0) != (shards[b] < 0) {
+			return shards[b] < 0
+		}
+		return shards[a] < shards[b]
+	})
+	groups := make([][]int, len(shards))
+	for i, s := range shards {
+		groups[i] = byShard[s]
+	}
+	return groups
+}
+
+// buildEdgeJobs splits a sweep over unique indices into wire jobs. With
+// placement knowledge (place non-nil, aligned with rows, at least two
+// groups) jobs follow locality: one triangle per resident group plus one
+// rectangle per group pair, so each job's rows live together on one
+// worker and affinity routing ships only cold bytes. Without placement,
+// a triangular sweep is chunked by pair count — each chunk [lo,hi)
+// yields a within-chunk triangle plus a chunk×tail rectangle — and
+// bipartite sweeps split rows evenly. Every unordered pair lands in
+// exactly one job under either composition, so the result is identical;
+// each job ships only the sequences it references.
+func buildEdgeJobs(seqs [][]jstoken.Symbol, rows, cols []int, eps float64, fleet int, keyFor func(int) SeqKey, place []int) []edgeJobSpec {
 	if fleet < 1 {
 		fleet = 1
 	}
 	var specs []edgeJobSpec
+	if len(place) == len(rows) {
+		if groups := groupByPlace(place); len(groups) >= 2 {
+			if cols == nil {
+				for gi, g := range groups {
+					if len(g) >= 2 {
+						specs = append(specs, makeEdgeSpec(seqs, rows, nil, eps, keyFor, g, nil))
+					}
+					for gj := gi + 1; gj < len(groups); gj++ {
+						// Cross-group rectangle (cols drawn from rows).
+						specs = append(specs, makeEdgeSpec(seqs, rows, rows, eps, keyFor, g, groups[gj]))
+					}
+				}
+			} else {
+				allCols := make([]int, len(cols))
+				for k := range allCols {
+					allCols[k] = k
+				}
+				for _, g := range groups {
+					specs = append(specs, makeEdgeSpec(seqs, rows, cols, eps, keyFor, g, allCols))
+				}
+			}
+			return specs
+		}
+	}
 	if cols == nil {
 		bounds := splitTriangular(len(rows), fleet)
 		for c := 0; c+1 < len(bounds); c++ {
@@ -527,77 +675,41 @@ func buildEdgeJobs(seqs [][]jstoken.Symbol, rows, cols []int, eps float64, fleet
 			if lo >= hi {
 				continue
 			}
+			chunk := make([]int, hi-lo)
+			for k := range chunk {
+				chunk[k] = lo + k
+			}
 			// Within-chunk triangle.
 			if hi-lo >= 2 {
-				chunkSeqs := make(PackedSeqs, hi-lo)
-				jobRows := make([]int, hi-lo)
-				mapRow := make([]int, hi-lo)
-				for k := 0; k < hi-lo; k++ {
-					chunkSeqs[k] = seqs[rows[lo+k]]
-					jobRows[k] = k
-					mapRow[k] = lo + k
-				}
-				specs = append(specs, edgeJobSpec{
-					job:    EdgeJob{Eps: eps, Seqs: chunkSeqs, Rows: jobRows},
-					mapRow: mapRow,
-					mapCol: mapRow,
-				})
+				specs = append(specs, makeEdgeSpec(seqs, rows, nil, eps, keyFor, chunk, nil))
 			}
 			// Chunk × tail rectangle.
 			if hi < len(rows) {
-				nr, nc := hi-lo, len(rows)-hi
-				jobSeqs := make(PackedSeqs, nr+nc)
-				jobRows := make([]int, nr)
-				jobCols := make([]int, nc)
-				mapRow := make([]int, nr)
-				mapCol := make([]int, nc)
-				for k := 0; k < nr; k++ {
-					jobSeqs[k] = seqs[rows[lo+k]]
-					jobRows[k] = k
-					mapRow[k] = lo + k
+				tail := make([]int, len(rows)-hi)
+				for k := range tail {
+					tail[k] = hi + k
 				}
-				for k := 0; k < nc; k++ {
-					jobSeqs[nr+k] = seqs[rows[hi+k]]
-					jobCols[k] = nr + k
-					mapCol[k] = hi + k
-				}
-				specs = append(specs, edgeJobSpec{
-					job:    EdgeJob{Eps: eps, Seqs: jobSeqs, Rows: jobRows, Cols: jobCols},
-					mapRow: mapRow,
-					mapCol: mapCol,
-				})
+				specs = append(specs, makeEdgeSpec(seqs, rows, rows, eps, keyFor, chunk, tail))
 			}
 		}
 		return specs
 	}
 	// Bipartite: split rows evenly; every job ships the full col set.
+	allCols := make([]int, len(cols))
+	for k := range allCols {
+		allCols[k] = k
+	}
 	chunk := (len(rows) + fleet - 1) / fleet
 	for lo := 0; lo < len(rows); lo += chunk {
 		hi := lo + chunk
 		if hi > len(rows) {
 			hi = len(rows)
 		}
-		nr, nc := hi-lo, len(cols)
-		jobSeqs := make(PackedSeqs, nr+nc)
-		jobRows := make([]int, nr)
-		jobCols := make([]int, nc)
-		mapRow := make([]int, nr)
-		mapCol := make([]int, nc)
-		for k := 0; k < nr; k++ {
-			jobSeqs[k] = seqs[rows[lo+k]]
-			jobRows[k] = k
-			mapRow[k] = lo + k
+		rowPos := make([]int, hi-lo)
+		for k := range rowPos {
+			rowPos[k] = lo + k
 		}
-		for k := 0; k < nc; k++ {
-			jobSeqs[nr+k] = seqs[cols[k]]
-			jobCols[k] = nr + k
-			mapCol[k] = k
-		}
-		specs = append(specs, edgeJobSpec{
-			job:    EdgeJob{Eps: eps, Seqs: jobSeqs, Rows: jobRows, Cols: jobCols},
-			mapRow: mapRow,
-			mapCol: mapCol,
-		})
+		specs = append(specs, makeEdgeSpec(seqs, rows, cols, eps, keyFor, rowPos, allCols))
 	}
 	return specs
 }

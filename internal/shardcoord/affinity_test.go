@@ -1,0 +1,346 @@
+package shardcoord
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"kizzle/internal/contentcache"
+	"kizzle/internal/ekit"
+	"kizzle/internal/pipeline"
+)
+
+// residentWorkers builds n in-process workers with verdict caches and
+// resident sets — the full locality-aware fleet configuration.
+func residentWorkers(n int) []*Worker {
+	workers := make([]*Worker, n)
+	for i := range workers {
+		workers[i] = NewWorker(
+			WithWorkerParallelism(2),
+			WithWorkerCache(contentcache.New(8<<20)),
+			WithWorkerResidentBudget(32<<20),
+		)
+	}
+	return workers
+}
+
+// TestShardedAffinityMatchesSingleProcess is the locality layer's
+// differential test: affinity routing plus the digest-first v3 wire must
+// produce clusters and signatures identical to both the affinity-disabled
+// coordinator and the single-process pipeline, at every shard count —
+// routing and wire format are pure economics, never semantics. It also
+// pins the economics: on a resident fleet the edge wave must ship less
+// than half the bytes the v2 wire ships for the same workload.
+func TestShardedAffinityMatchesSingleProcess(t *testing.T) {
+	day := ekit.Date(8, 12)
+	inputs := dayInputs(t, day, 110)
+	cfg := pipeline.DefaultConfig()
+	cfg.PartitionSize = 8 // force many partitions, and therefore many edge rows
+
+	ref, err := pipeline.Process(inputs, seededCorpus(day), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTimings(&ref)
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			var affinityEdgeWire, plainEdgeWire int64
+			for _, mode := range []struct {
+				name string
+				opts []CoordinatorOption
+			}{
+				{"affinity", nil},
+				{"noAffinity", []CoordinatorOption{WithoutAffinity()}},
+			} {
+				scfg := cfg
+				scfg.Clusterer = NewCoordinator(NewLoopback(residentWorkers(shards)), mode.opts...)
+				// Two runs per setup: the second exercises warm resident
+				// sets and warm verdict caches on top of a populated
+				// coordinator residency map.
+				for run := 0; run < 2; run++ {
+					got, err := pipeline.Process(inputs, seededCorpus(day), scfg)
+					if err != nil {
+						t.Fatalf("%s run %d: %v", mode.name, run, err)
+					}
+					edgeWire := got.Stats.EdgeWireBytes
+					if edgeWire <= 0 {
+						t.Fatalf("%s run %d: no edge wire traffic measured", mode.name, run)
+					}
+					if run == 1 {
+						if mode.name == "affinity" {
+							affinityEdgeWire = edgeWire
+						} else {
+							plainEdgeWire = edgeWire
+						}
+					}
+					stripTimings(&got)
+					if !reflect.DeepEqual(ref.Clusters, got.Clusters) {
+						t.Fatalf("%s run %d: clusters diverge from single-process", mode.name, run)
+					}
+					if !reflect.DeepEqual(ref.Signatures, got.Signatures) {
+						t.Fatalf("%s run %d: signatures diverge from single-process", mode.name, run)
+					}
+				}
+			}
+			// The acceptance economics: edge rows are partition members, so
+			// by the edge wave every sequence is resident where it clustered
+			// and v3 ships 20-byte keys instead of packed sequences.
+			if affinityEdgeWire*2 > plainEdgeWire {
+				t.Fatalf("affinity edge wire %d bytes is not ≤ half of v2's %d bytes",
+					affinityEdgeWire, plainEdgeWire)
+			}
+		})
+	}
+}
+
+// TestShardedNoiseChunkMatchesSingleProcess pins the chunked-noise
+// determinism end to end: with NoiseChunk set, the sharded pipeline at
+// every shard count must produce exactly the single-process output for
+// the same NoiseChunk — chunk membership is content-addressed, so neither
+// scheduling nor fleet size may move a sequence between chunks.
+func TestShardedNoiseChunkMatchesSingleProcess(t *testing.T) {
+	day := ekit.Date(8, 14)
+	inputs := dayInputs(t, day, 140)
+	cfg := pipeline.DefaultConfig()
+	cfg.PartitionSize = 8
+	cfg.NoiseChunk = 10 // far below the pooled benign-noise size, so chunking engages
+
+	ref, err := pipeline.Process(inputs, seededCorpus(day), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTimings(&ref)
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		scfg := cfg
+		scfg.Clusterer = NewCoordinator(NewLoopback(residentWorkers(shards)))
+		got, err := pipeline.Process(inputs, seededCorpus(day), scfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		stripTimings(&got)
+		if !reflect.DeepEqual(ref.Clusters, got.Clusters) || !reflect.DeepEqual(ref.Signatures, got.Signatures) {
+			t.Fatalf("shards=%d: chunked-noise sharded output diverges from single-process", shards)
+		}
+	}
+}
+
+// dyingV3Transport forwards both wire generations to an inner fleet until
+// the first /edges3 request reaches dieShard — from then on that shard
+// fails every request, modeling a worker crashing at the start of the
+// edge wave with its resident set (and the coordinator's beliefs about
+// it) lost.
+type dyingV3Transport struct {
+	inner    *HTTPTransport
+	dieShard int
+	dead     atomic.Bool
+	mu       sync.Mutex
+	failed   int
+}
+
+func (d *dyingV3Transport) Shards() int { return d.inner.Shards() }
+
+func (d *dyingV3Transport) fail() error {
+	d.mu.Lock()
+	d.failed++
+	d.mu.Unlock()
+	return fmt.Errorf("shard %d died at the edge wave", d.dieShard)
+}
+
+func (d *dyingV3Transport) Partition(ctx context.Context, shard int, req *PartitionRequest) (*PartitionResponse, error) {
+	if shard == d.dieShard && d.dead.Load() {
+		return nil, d.fail()
+	}
+	return d.inner.Partition(ctx, shard, req)
+}
+
+func (d *dyingV3Transport) Edges(ctx context.Context, shard int, req *EdgeRequest) (*EdgeResponse, error) {
+	if shard == d.dieShard && d.dead.Load() {
+		return nil, d.fail()
+	}
+	return d.inner.Edges(ctx, shard, req)
+}
+
+func (d *dyingV3Transport) EdgesV3(ctx context.Context, shard int, req *EdgeRequestV3) (*EdgeResponseV3, error) {
+	if shard == d.dieShard {
+		d.dead.Store(true)
+		return nil, d.fail()
+	}
+	return d.inner.EdgesV3(ctx, shard, req)
+}
+
+// TestShardedAffinityFailoverMidEdgeSweep kills a resident-fleet shard on
+// its first digest-first edge request. The coordinator must drop its
+// residency beliefs about the dead shard, fail the job over to a
+// survivor (re-shipping whatever that shard lacks), and produce output
+// identical to single-process.
+func TestShardedAffinityFailoverMidEdgeSweep(t *testing.T) {
+	day := ekit.Date(8, 13)
+	inputs := dayInputs(t, day, 80)
+	cfg := pipeline.DefaultConfig()
+	cfg.PartitionSize = 8
+
+	ref, err := pipeline.Process(inputs, seededCorpus(day), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTimings(&ref)
+
+	dying := &dyingV3Transport{inner: NewLoopback(residentWorkers(2)), dieShard: 0}
+	scfg := cfg
+	scfg.Clusterer = NewCoordinator(dying)
+	got, err := pipeline.Process(inputs, seededCorpus(day), scfg)
+	if err != nil {
+		t.Fatalf("stream failed despite a surviving shard: %v", err)
+	}
+	stripTimings(&got)
+	if !reflect.DeepEqual(ref.Clusters, got.Clusters) || !reflect.DeepEqual(ref.Signatures, got.Signatures) {
+		t.Fatal("edge-wave worker death changed pipeline output")
+	}
+	if dying.failed == 0 {
+		t.Fatal("dead shard was never exercised after dying")
+	}
+}
+
+// TestCoordinatorEdgesV3StaleResidencyRefill pins the inline-miss dance:
+// a coordinator whose residency map claims sequences live on a shard that
+// does not hold them (worker restarted) must get the misses back, refill
+// the whole job, and still return the correct pairs — two round trips,
+// never a wrong answer, never a livelock.
+func TestCoordinatorEdgesV3StaleResidencyRefill(t *testing.T) {
+	c := NewCoordinator(NewLoopback(residentWorkers(1)))
+	seqs := seqsOf("abcd", "abcd", "zzzzzzzzzzzz")
+	keys := make([]pipeline.SeqKey, len(seqs))
+	for i, s := range seqs {
+		keys[i] = pipeline.SeqKeyOf(s)
+	}
+	// Lie to the coordinator: claim everything is already resident on
+	// shard 0. The worker is fresh, so round 0 ships no fills.
+	c.recordResident(0, keys)
+	job := &pipeline.EdgeJob{Eps: 0.5, Seqs: seqs, Rows: []int{0, 1, 2}, Keys: keys}
+	el, err := c.dispatchEdgeJob(context.Background(), 0, job)
+	if err != nil {
+		t.Fatalf("stale residency was not corrected: %v", err)
+	}
+	if len(el.Pairs) != 1 || el.Pairs[0] != [2]int{0, 1} {
+		t.Fatalf("pairs = %v, want [[0 1]]", el.Pairs)
+	}
+	// The refill re-recorded reality; a repeat of the same job must now
+	// resolve entirely from the resident set (no misses, no error).
+	if _, err := c.dispatchEdgeJob(context.Background(), 0, job); err != nil {
+		t.Fatalf("warm repeat failed: %v", err)
+	}
+}
+
+// TestWorkerEdgesV3HTTP exercises the digest-first /edges3 surface: key
+// resolution, the Missing answer, fill verification, and the capability
+// 404 on a worker running without a resident set.
+func TestWorkerEdgesV3HTTP(t *testing.T) {
+	w := NewWorker(WithWorkerCache(contentcache.New(1<<20)), WithWorkerResidentBudget(1<<20))
+	client := &http.Client{Transport: handlerRoundTripper{
+		handlers: map[string]http.Handler{"w.loopback": w.Handler()},
+	}}
+	post := func(body string) (*http.Response, EdgeResponseV3) {
+		t.Helper()
+		resp, err := client.Post("http://w.loopback/edges3", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out EdgeResponseV3
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resp.Body.Close()
+		return resp, out
+	}
+
+	seqs := seqsOf("abcd", "abcd", "zzzzzzzzzzzz")
+	keys := make([]pipeline.SeqKey, len(seqs))
+	for i, s := range seqs {
+		keys[i] = pipeline.SeqKeyOf(s)
+	}
+	marshal := func(req EdgeRequestV3) string {
+		b, err := json.Marshal(&req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	// Cold worker, no fills: every key comes back missing, no sweep runs.
+	cold := EdgeRequestV3{Eps: 0.5, Keys: keys, Rows: []int{0, 1, 2}}
+	resp, out := post(marshal(cold))
+	if resp.StatusCode != http.StatusOK || !reflect.DeepEqual(out.Missing, []int{0, 1, 2}) {
+		t.Fatalf("cold request: status %d missing %v, want 200 [0 1 2]", resp.StatusCode, out.Missing)
+	}
+
+	// Full fill: the sweep runs, and the fills stay resident.
+	full := cold
+	full.FillAt = []int{0, 1, 2}
+	full.Fill = seqs
+	resp, out = post(marshal(full))
+	if resp.StatusCode != http.StatusOK || len(out.Missing) != 0 {
+		t.Fatalf("filled request: status %d missing %v", resp.StatusCode, out.Missing)
+	}
+	if len(out.Pairs) != 1 || out.Pairs[0] != [2]int{0, 1} {
+		t.Fatalf("pairs = %v, want [[0 1]]", out.Pairs)
+	}
+
+	// Digest-only repeat: resolved entirely from the resident set.
+	resp, out = post(marshal(cold))
+	if resp.StatusCode != http.StatusOK || len(out.Missing) != 0 || len(out.Pairs) != 1 {
+		t.Fatalf("warm request: status %d missing %v pairs %v", resp.StatusCode, out.Missing, out.Pairs)
+	}
+
+	// A fill that does not hash to its declared key is a hard 400 — a
+	// silently accepted one would poison every later resolution of the key.
+	bad := full
+	bad.Fill = seqsOf("abcd", "abcX", "zzzzzzzzzzzz")
+	if resp, _ := post(marshal(bad)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched fill: got %d, want 400", resp.StatusCode)
+	}
+	// Duplicate fill positions and out-of-range positions are rejected.
+	dup := full
+	dup.FillAt = []int{0, 0, 1}
+	if resp, _ := post(marshal(dup)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate fill position: got %d, want 400", resp.StatusCode)
+	}
+	oob := full
+	oob.FillAt = []int{0, 1, 5}
+	if resp, _ := post(marshal(oob)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("fill position out of range: got %d, want 400", resp.StatusCode)
+	}
+	// Truncated fill list (fewer fills than positions) is rejected.
+	trunc := full
+	trunc.Fill = seqs[:2]
+	if resp, _ := post(marshal(trunc)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated fill: got %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post("{not json"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: got %d, want 400", resp.StatusCode)
+	}
+
+	// A worker without a resident set does not serve the endpoint at all —
+	// the 404 is the capability answer the coordinator's fallback reads.
+	plain := NewWorker(WithWorkerCache(contentcache.New(1 << 20)))
+	pclient := &http.Client{Transport: handlerRoundTripper{
+		handlers: map[string]http.Handler{"p.loopback": plain.Handler()},
+	}}
+	presp, err := pclient.Post("http://p.loopback/edges3", "application/json", strings.NewReader(marshal(cold)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no resident set: got %d, want 404", presp.StatusCode)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,16 @@ type Transport interface {
 	// talking to a worker that predates protocol v2 returns ErrUnsupported,
 	// which makes the coordinator run the job itself.
 	Edges(ctx context.Context, shard int, req *EdgeRequest) (*EdgeResponse, error)
+}
+
+// TransportV3 is the optional digest-first edge capability (protocol v3).
+// A transport that implements it lets the coordinator ship content keys
+// instead of sequence bytes on the edge path; ErrUnsupported from EdgesV3
+// means the worker lacks the endpoint and the job repeats over plain
+// Edges. Transports that don't implement the interface at all simply
+// never see v3 traffic — the Transport interface itself is unchanged.
+type TransportV3 interface {
+	EdgesV3(ctx context.Context, shard int, req *EdgeRequestV3) (*EdgeResponseV3, error)
 }
 
 // ErrUnsupported reports that a shard worker does not implement the
@@ -46,9 +57,32 @@ type Coordinator struct {
 	// instead of concurrently.
 	sequential bool
 
+	// v3 is the transport's digest-first capability, nil when the
+	// transport doesn't implement it. noAffinity disables the whole
+	// locality layer (routing, placement, v3 wire) even when available.
+	v3         TransportV3
+	noAffinity bool
+	// resident maps each sequence key to a bitmask of shards believed to
+	// hold it (bit s = shard s; shards ≥64 are never tracked). "Believed"
+	// because workers evict and die — the v3 protocol's refill round
+	// corrects stale entries, and invalidateShard drops a shard's bits
+	// after a dispatch failure.
+	affMu    sync.Mutex
+	resident map[pipeline.SeqKey]uint64
+	// v3cap caches each shard's answer to the /edges3 capability dance so
+	// an old worker is asked exactly once per coordinator.
+	v3cap []atomic.Int32
+
 	schedMu    sync.Mutex
 	schedTotal ScheduleStats
 }
+
+// v3cap states.
+const (
+	capUnknown int32 = iota
+	capYes
+	capNo
+)
 
 // ScheduleStats accumulates the simulated fleet schedule measured under
 // sequential dispatch (see WithSequentialDispatch): per-shard busy time,
@@ -80,6 +114,16 @@ func WithRetries(n int) CoordinatorOption {
 	return func(c *Coordinator) { c.retries = n }
 }
 
+// WithoutAffinity disables locality-aware edge routing and the v3
+// digest-first wire, even on a transport that supports them: every edge
+// job ships its sequences inline over protocol v2 and is scheduled purely
+// by the pull queue. This is the differential-testing lever (affinity on
+// and off must produce identical clusters) and the escape hatch if a
+// fleet's resident sets misbehave.
+func WithoutAffinity() CoordinatorOption {
+	return func(c *Coordinator) { c.noAffinity = true }
+}
+
 // WithSequentialDispatch dispatches one work unit at a time, assigning
 // each to the shard that would be idle first in a simulated fleet
 // schedule (arrival-aware: a unit never starts before the host emitted
@@ -99,11 +143,121 @@ func NewCoordinator(t Transport, opts ...CoordinatorOption) *Coordinator {
 	for _, opt := range opts {
 		opt(c)
 	}
+	c.v3, _ = t.(TransportV3)
+	if c.v3 != nil && !c.noAffinity {
+		c.resident = make(map[pipeline.SeqKey]uint64)
+		c.v3cap = make([]atomic.Int32, t.Shards())
+	}
 	return c
 }
 
 // StreamWorkers reports the fleet size (pipeline.StreamClusterer).
 func (c *Coordinator) StreamWorkers() int { return c.transport.Shards() }
+
+// WireBytes reports the transport's cumulative wire traffic (total and
+// edge-path bytes) when the transport counts it, zeros otherwise. The
+// pipeline surfaces the numbers as Stats.WireBytes / Stats.EdgeWireBytes.
+func (c *Coordinator) WireBytes() (total, edges int64) {
+	if wb, ok := c.transport.(interface{ WireBytes() (int64, int64) }); ok {
+		return wb.WireBytes()
+	}
+	return 0, 0
+}
+
+// affinityOn reports whether the locality layer is active.
+func (c *Coordinator) affinityOn() bool { return c.resident != nil }
+
+// PlaceRows implements pipeline.RowPlacer: for each key, the shard
+// believed to hold that sequence (lowest set residency bit), or -1. The
+// pipeline uses the placement to compose shard-pure edge jobs — per-group
+// triangles plus cross-group rectangles — so that a routed job finds
+// (nearly) all of its bytes already resident.
+func (c *Coordinator) PlaceRows(keys []pipeline.SeqKey) []int {
+	if !c.affinityOn() {
+		return nil
+	}
+	out := make([]int, len(keys))
+	c.affMu.Lock()
+	for i, k := range keys {
+		out[i] = -1
+		if m := c.resident[k]; m != 0 {
+			out[i] = bits.TrailingZeros64(m)
+		}
+	}
+	c.affMu.Unlock()
+	return out
+}
+
+// recordResident marks every key as resident on the shard after a round
+// trip that shipped (or confirmed) the sequences there: a clustered
+// partition, a v2 edge job, or a v3 job's fills.
+func (c *Coordinator) recordResident(shard int, keys []pipeline.SeqKey) {
+	if !c.affinityOn() || shard >= 64 || len(keys) == 0 {
+		return
+	}
+	mask := uint64(1) << shard
+	c.affMu.Lock()
+	for _, k := range keys {
+		c.resident[k] |= mask
+	}
+	c.affMu.Unlock()
+}
+
+// invalidateShard forgets everything believed resident on a shard. Called
+// after a dispatch failure there: the worker may have died, and a
+// restarted worker starts with an empty resident set.
+func (c *Coordinator) invalidateShard(shard int) {
+	if !c.affinityOn() || shard >= 64 {
+		return
+	}
+	keep := ^(uint64(1) << shard)
+	c.affMu.Lock()
+	for k, m := range c.resident {
+		if nm := m & keep; nm != m {
+			if nm == 0 {
+				delete(c.resident, k)
+			} else {
+				c.resident[k] = nm
+			}
+		}
+	}
+	c.affMu.Unlock()
+}
+
+// routeUnit picks the shard for a work unit: for an edge job with content
+// keys, the shard holding the most resident bytes (ties to the lowest
+// shard); otherwise the caller's fallback (the pull queue's choice).
+// Routing runs before execution so the schedule model attributes the
+// unit's cost to the shard that actually served it.
+func (c *Coordinator) routeUnit(unit pipeline.WorkUnit, fallback int) int {
+	if !c.affinityOn() || unit.Edges == nil || len(unit.Edges.Keys) == 0 {
+		return fallback
+	}
+	shards := c.transport.Shards()
+	if shards > 64 {
+		shards = 64
+	}
+	var held [64]int64
+	c.affMu.Lock()
+	for _, k := range unit.Edges.Keys {
+		m := c.resident[k]
+		for m != 0 {
+			s := bits.TrailingZeros64(m)
+			m &^= uint64(1) << s
+			if s < shards {
+				held[s] += int64(k.WireBytes())
+			}
+		}
+	}
+	c.affMu.Unlock()
+	best, bestBytes := fallback, int64(0)
+	for s := 0; s < shards; s++ {
+		if held[s] > bestBytes {
+			best, bestBytes = s, held[s]
+		}
+	}
+	return best
+}
 
 // ScheduleTotals returns the accumulated sequential-dispatch schedule
 // model and resets the accumulator.
@@ -136,7 +290,7 @@ func (c *Coordinator) ClusterPartitions(parts []pipeline.ShardPartition, cfg pip
 	var firstErr error
 	one := func(shard, pi int) bool {
 		req := &PartitionRequest{Eps: cfg.Eps, MinPts: cfg.MinPts, Partition: parts[pi]}
-		resp, err := c.dispatchPartition(ctx, shard, req)
+		resp, _, err := c.dispatchPartition(ctx, shard, req)
 		if err != nil {
 			errOnce.Do(func() {
 				firstErr = fmt.Errorf("partition %d on shard %d: %w", pi, shard, err)
@@ -253,7 +407,11 @@ func (c *Coordinator) streamConcurrent(work <-chan pipeline.WorkUnit, cfg pipeli
 		go func(shard int) {
 			defer wg.Done()
 			for unit := range work {
-				res := c.executeUnit(ctx, shard, unit, cfg)
+				// Affinity may override the pull queue's shard. The goroutine
+				// then acts as a dispatcher for the routed shard — transports
+				// are concurrency-safe, and shard-pure job composition keeps
+				// the preferences spread, so the pull model still balances.
+				res := c.executeUnit(ctx, c.routeUnit(unit, shard), unit, cfg)
 				if res.Err != nil {
 					errOnce.Do(func() {
 						firstErr.Store(res.Err)
@@ -308,6 +466,9 @@ func (c *Coordinator) streamSequential(work <-chan pipeline.WorkUnit, cfg pipeli
 				shard = s
 			}
 		}
+		// Affinity overrides earliest-free for keyed edge jobs, and does so
+		// before execution so busy time and makespan charge the routed shard.
+		shard = c.routeUnit(unit, shard)
 		start := time.Now()
 		res := c.executeUnit(ctx, shard, unit, cfg)
 		cost := time.Since(start)
@@ -361,10 +522,11 @@ func (c *Coordinator) executeUnit(ctx context.Context, shard int, unit pipeline.
 			Partition: *unit.Partition,
 			PreReduce: !cfg.DisableShardPreReduce,
 		}
-		resp, err := c.dispatchPartition(ctx, shard, req)
+		resp, served, err := c.dispatchPartition(ctx, shard, req)
 		if err != nil {
 			return pipeline.WorkResult{Seq: unit.Seq, Err: fmt.Errorf("partition unit %d on shard %d: %w", unit.Seq, shard, err)}
 		}
+		c.recordResident(served, unit.Partition.Keys)
 		reduced := resp.Reduced
 		if reduced == nil {
 			// v1 worker (or pre-reduce disabled): compute the summary here;
@@ -379,20 +541,19 @@ func (c *Coordinator) executeUnit(ctx context.Context, shard int, unit pipeline.
 		}
 		return pipeline.WorkResult{Seq: unit.Seq, Reduced: reduced}
 	case unit.Edges != nil:
-		req := &EdgeRequest{Job: *unit.Edges}
-		resp, err := c.dispatchEdges(ctx, shard, req)
+		el, err := c.dispatchEdgeJob(ctx, shard, unit.Edges)
 		if errors.Is(err, ErrUnsupported) {
 			// Old fleet: run the sweep coordinator-side rather than failing.
-			el, lerr := pipeline.SweepEdges(*unit.Edges, cfg.Workers, cfg.Cache)
+			lel, lerr := pipeline.SweepEdges(*unit.Edges, cfg.Workers, cfg.Cache)
 			if lerr != nil {
 				return pipeline.WorkResult{Seq: unit.Seq, Err: lerr}
 			}
-			return pipeline.WorkResult{Seq: unit.Seq, Edges: &el}
+			return pipeline.WorkResult{Seq: unit.Seq, Edges: &lel}
 		}
 		if err != nil {
 			return pipeline.WorkResult{Seq: unit.Seq, Err: fmt.Errorf("edge unit %d on shard %d: %w", unit.Seq, shard, err)}
 		}
-		return pipeline.WorkResult{Seq: unit.Seq, Edges: &resp.EdgeList}
+		return pipeline.WorkResult{Seq: unit.Seq, Edges: el}
 	default:
 		return pipeline.WorkResult{Seq: unit.Seq, Err: fmt.Errorf("shardcoord: empty work unit %d", unit.Seq)}
 	}
@@ -400,40 +561,114 @@ func (c *Coordinator) executeUnit(ctx context.Context, shard int, unit pipeline.
 
 // dispatchPartition sends one partition request, failing over to
 // subsequent shards up to the retry budget. A dead worker therefore slows
-// the batch rather than killing it.
-func (c *Coordinator) dispatchPartition(ctx context.Context, shard int, req *PartitionRequest) (*PartitionResponse, error) {
+// the batch rather than killing it. Returns the shard that actually
+// served the request so residency is recorded against it.
+func (c *Coordinator) dispatchPartition(ctx context.Context, shard int, req *PartitionRequest) (*PartitionResponse, int, error) {
 	shards := c.transport.Shards()
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return nil, 0, ctx.Err()
 		}
-		resp, err := c.transport.Partition(ctx, (shard+attempt)%shards, req)
+		s := (shard + attempt) % shards
+		resp, err := c.transport.Partition(ctx, s, req)
 		if err == nil {
-			return resp, nil
+			return resp, s, nil
 		}
 		lastErr = err
+		c.invalidateShard(s)
 	}
-	return nil, lastErr
+	return nil, 0, lastErr
 }
 
-// dispatchEdges sends one edge job with the same failover policy. An
-// ErrUnsupported answer is returned as-is (capability miss, not failure).
-func (c *Coordinator) dispatchEdges(ctx context.Context, shard int, req *EdgeRequest) (*EdgeResponse, error) {
+// dispatchEdgeJob sends one edge job with the v2 failover policy, trying
+// the digest-first v3 wire first on capable shards. A v3 capability miss
+// falls back to v2 on the same shard; a v2 ErrUnsupported is returned
+// as-is (capability miss — the coordinator sweeps locally, not failover).
+func (c *Coordinator) dispatchEdgeJob(ctx context.Context, shard int, job *pipeline.EdgeJob) (*pipeline.EdgeList, error) {
 	shards := c.transport.Shards()
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		resp, err := c.transport.Edges(ctx, (shard+attempt)%shards, req)
+		s := (shard + attempt) % shards
+		el, err, handled := c.tryEdgesV3(ctx, s, job)
+		if handled {
+			if err == nil {
+				c.recordResident(s, job.Keys)
+				return el, nil
+			}
+			lastErr = err
+			c.invalidateShard(s)
+			continue
+		}
+		resp, err := c.transport.Edges(ctx, s, &EdgeRequest{Job: *job})
 		if err == nil {
-			return resp, nil
+			// v2 shipped the sequences inline; a resident-set worker
+			// installed them, so record the shard for future routing.
+			c.recordResident(s, job.Keys)
+			return &resp.EdgeList, nil
 		}
 		lastErr = err
 		if errors.Is(err, ErrUnsupported) {
 			return nil, err
 		}
+		c.invalidateShard(s)
 	}
 	return nil, lastErr
+}
+
+// tryEdgesV3 attempts one digest-first round trip. handled=false means v3
+// was not applicable (no capability, affinity off, or the job carries no
+// keys) and the caller should use the v2 wire on the same shard. The
+// protocol is two rounds at most: round 0 fills only the sequences the
+// residency map says the shard lacks; if the worker still reports misses
+// (it evicted, or died and restarted since the map was recorded), round 1
+// fills every position — a worker resolves fills before its resident set,
+// so a second-round miss is impossible on a correct worker and is treated
+// as a shard failure.
+func (c *Coordinator) tryEdgesV3(ctx context.Context, shard int, job *pipeline.EdgeJob) (*pipeline.EdgeList, error, bool) {
+	if !c.affinityOn() || shard >= 64 || len(job.Keys) != len(job.Seqs) || len(job.Keys) == 0 {
+		return nil, nil, false
+	}
+	if c.v3cap[shard].Load() == capNo {
+		return nil, nil, false
+	}
+	req := &EdgeRequestV3{Eps: job.Eps, Keys: job.Keys, Rows: job.Rows, Cols: job.Cols}
+	mask := uint64(1) << shard
+	c.affMu.Lock()
+	for i, k := range job.Keys {
+		if c.resident[k]&mask == 0 {
+			req.FillAt = append(req.FillAt, i)
+			req.Fill = append(req.Fill, job.Seqs[i])
+		}
+	}
+	c.affMu.Unlock()
+	for round := 0; ; round++ {
+		resp, err := c.v3.EdgesV3(ctx, shard, req)
+		if errors.Is(err, ErrUnsupported) {
+			c.v3cap[shard].Store(capNo)
+			return nil, nil, false
+		}
+		if err != nil {
+			return nil, err, true
+		}
+		c.v3cap[shard].Store(capYes)
+		if len(resp.Missing) == 0 {
+			return &resp.EdgeList, nil, true
+		}
+		if round >= 1 {
+			return nil, fmt.Errorf("shardcoord: shard %d still missing %d sequences after a full refill", shard, len(resp.Missing)), true
+		}
+		// The residency map was stale — drop everything recorded for this
+		// shard and refill the whole job.
+		c.invalidateShard(shard)
+		req.FillAt = req.FillAt[:0]
+		req.Fill = req.Fill[:0]
+		for i := range job.Keys {
+			req.FillAt = append(req.FillAt, i)
+			req.Fill = append(req.Fill, job.Seqs[i])
+		}
+	}
 }

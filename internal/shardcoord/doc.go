@@ -1,8 +1,9 @@
 // Package shardcoord distributes the pipeline's clustering and reduce
 // work across processes — the reproduction of the paper's 50-machine
 // layout (§IV: "randomly partition the samples across a cluster of
-// machines"), extended with streaming dispatch and a distributed reduce
-// (protocol v2).
+// machines"), extended with streaming dispatch, a distributed reduce
+// (protocol v2), and locality-aware edge routing over a digest-first
+// wire (protocol v3).
 //
 // The division of labor follows the paper's Figure 7: a Coordinator owns
 // the serial stages and implements both pipeline.Clusterer (batch,
@@ -15,6 +16,22 @@
 // pipeline.SweepEdges behind POST /edges (cmd/kizzleshard is the
 // standalone binary); only two-byte-per-token abstract symbol sequences
 // travel on the wire, never raw documents.
+//
+// Protocol v3 stops re-shipping even those. Sequences are content
+// addressed (pipeline.SeqKey — 20 bytes); a worker with a resident set
+// (WithWorkerResidentBudget, kizzleshard -residentmb) remembers every
+// sequence it has served by key, and the coordinator remembers which
+// shards hold which keys. Edge jobs are then composed placement-aware
+// (rows grouped by owning shard — identical pair coverage to blind
+// chunking), routed to the shard holding the most of their bytes, and
+// sent over POST /edges3 as keys plus only the fills the residency map
+// says that shard lacks. Stale residency is safe: the worker answers
+// Missing positions (no sweep runs), and one full refill round settles
+// it; a dispatch failure invalidates that shard's residency. A worker
+// without a resident set 404s /edges3 and the coordinator drops to the
+// v2 sequence wire for that shard (WithoutAffinity forces v2
+// everywhere). The affinity layer trades wire bytes for bookkeeping —
+// Coordinator.WireBytes meters it — and cannot change output.
 //
 // Transports:
 //
@@ -31,7 +48,12 @@
 // count, scheduling, mid-stream failover (WithRetries), and result
 // arrival order are invisible in pipeline output — pinned by
 // TestShardedMatchesSingleProcess, TestShardedBatchMatchesStream,
-// TestHierarchicalReduceOrderInvariant, and TestStreamFailoverMidStream.
+// TestHierarchicalReduceOrderInvariant, and TestStreamFailoverMidStream;
+// the locality layer adds TestShardedAffinityMatchesSingleProcess
+// (affinity ≡ affinity-off ≡ single process at 1/2/4/8 streamed shards,
+// plus the warm-day wire-savings assertion) and
+// TestShardedAffinityFailoverMidEdgeSweep (worker death at the edge
+// wave).
 // Workers may carry a contentcache.Cache (optionally disk-backed, see
 // WithWorkerCache) to reuse pair within-eps verdicts across requests and
 // restarts; caching never changes results. WithSequentialDispatch turns

@@ -1,0 +1,97 @@
+package shardcoord
+
+import (
+	"container/list"
+	"sync"
+
+	"kizzle/internal/jstoken"
+	"kizzle/internal/pipeline"
+)
+
+// residentSet is a worker's bounded digest→sequence store: the content-
+// addressed half of the wire cache. Partitions the worker clusters and
+// fills it receives on /edges3 are installed; digest-first edge requests
+// resolve against it. Eviction is LRU within a byte budget, so the set
+// tracks the working set the coordinator keeps routing here. Everything
+// in it arrived validated (symbols inside the alphabet, key verified
+// against content), so resolved sequences re-enter sweeps without
+// re-validation.
+type residentSet struct {
+	mu    sync.Mutex
+	max   int64
+	bytes int64
+	ll    *list.List // front = most recently used
+	items map[pipeline.SeqKey]*list.Element
+}
+
+// residentEntry is one resident sequence with its key (needed to delete
+// the index entry on eviction).
+type residentEntry struct {
+	key pipeline.SeqKey
+	seq []jstoken.Symbol
+}
+
+// residentEntryOverhead approximates per-entry bookkeeping (map bucket,
+// list element, slice header) on top of the packed sequence bytes.
+const residentEntryOverhead = 96
+
+func newResidentSet(maxBytes int64) *residentSet {
+	return &residentSet{
+		max:   maxBytes,
+		ll:    list.New(),
+		items: make(map[pipeline.SeqKey]*list.Element),
+	}
+}
+
+func residentCost(key pipeline.SeqKey) int64 {
+	return int64(key.WireBytes()) + residentEntryOverhead
+}
+
+// get resolves a key and marks it most recently used.
+func (r *residentSet) get(key pipeline.SeqKey) ([]jstoken.Symbol, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.items[key]
+	if !ok {
+		return nil, false
+	}
+	r.ll.MoveToFront(el)
+	return el.Value.(*residentEntry).seq, true
+}
+
+// put installs (or refreshes) a sequence, evicting least-recently-used
+// entries until the budget holds. A sequence alone exceeding the budget
+// is not installed — thrashing the whole set for one giant entry would
+// evict the working set the budget exists to protect.
+func (r *residentSet) put(key pipeline.SeqKey, seq []jstoken.Symbol) {
+	cost := residentCost(key)
+	if cost > r.max {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.items[key]; ok {
+		r.ll.MoveToFront(el)
+		el.Value.(*residentEntry).seq = seq
+		return
+	}
+	r.items[key] = r.ll.PushFront(&residentEntry{key: key, seq: seq})
+	r.bytes += cost
+	for r.bytes > r.max {
+		back := r.ll.Back()
+		if back == nil {
+			break
+		}
+		r.ll.Remove(back)
+		e := back.Value.(*residentEntry)
+		delete(r.items, e.key)
+		r.bytes -= residentCost(e.key)
+	}
+}
+
+// stats reports occupancy for /healthz.
+func (r *residentSet) stats() (entries int, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.items), r.bytes
+}

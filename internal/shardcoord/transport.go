@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,6 +17,11 @@ import (
 type HTTPTransport struct {
 	urls   []string
 	client *http.Client
+	// Cumulative request+response body bytes of successful round trips —
+	// total and the /edges (v2+v3) share. The numbers the affinity wire
+	// cache is judged by.
+	wireTotal atomic.Int64
+	wireEdges atomic.Int64
 }
 
 // defaultPartitionTimeout bounds one partition request on the default
@@ -63,6 +69,24 @@ func (t *HTTPTransport) Edges(ctx context.Context, shard int, req *EdgeRequest) 
 	return &resp, nil
 }
 
+// EdgesV3 POSTs a digest-first sweep to the shard's /edges3 endpoint. A
+// 404 or 405 — a worker without a resident set, or a binary predating
+// protocol v3 — comes back as ErrUnsupported so the coordinator repeats
+// the job over plain /edges (the same capability dance v2 introduced).
+func (t *HTTPTransport) EdgesV3(ctx context.Context, shard int, req *EdgeRequestV3) (*EdgeResponseV3, error) {
+	var resp EdgeResponseV3
+	if err := t.post(ctx, shard, "/edges3", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// WireBytes reports cumulative request+response body bytes over all
+// successful round trips: total, and the /edges+/edges3 share.
+func (t *HTTPTransport) WireBytes() (total, edges int64) {
+	return t.wireTotal.Load(), t.wireEdges.Load()
+}
+
 // post runs one JSON request/response round trip against a shard.
 func (t *HTTPTransport) post(ctx context.Context, shard int, path string, req, resp any) error {
 	body, err := json.Marshal(req)
@@ -80,11 +104,13 @@ func (t *HTTPTransport) post(ctx context.Context, shard int, path string, req, r
 		return err
 	}
 	defer hresp.Body.Close()
-	if path == "/edges" && (hresp.StatusCode == http.StatusNotFound || hresp.StatusCode == http.StatusMethodNotAllowed) {
-		// Only /edges postdates protocol v1, so only there does a 404/405
-		// mean "old worker binary" (→ ErrUnsupported, coordinator-side
-		// fallback). Every worker version serves /partition; a 404 on it
-		// is a misconfigured URL and falls through to the plain error.
+	edgePath := path == "/edges" || path == "/edges3"
+	if edgePath && (hresp.StatusCode == http.StatusNotFound || hresp.StatusCode == http.StatusMethodNotAllowed) {
+		// Only the edge endpoints postdate protocol v1, so only there does
+		// a 404/405 mean "capability missing" (→ ErrUnsupported: v3 retries
+		// over v2, v2 falls back coordinator-side). Every worker version
+		// serves /partition; a 404 on it is a misconfigured URL and falls
+		// through to the plain error.
 		io.Copy(io.Discard, io.LimitReader(hresp.Body, 512))
 		return fmt.Errorf("shard %s %s: %w", path, hresp.Status, ErrUnsupported)
 	}
@@ -92,8 +118,18 @@ func (t *HTTPTransport) post(ctx context.Context, shard int, path string, req, r
 		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
 		return fmt.Errorf("shard returned %s: %s", hresp.Status, strings.TrimSpace(string(msg)))
 	}
-	if err := json.NewDecoder(hresp.Body).Decode(resp); err != nil {
+	respBody, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return fmt.Errorf("read %s response: %w", path, err)
+	}
+	if err := json.Unmarshal(respBody, resp); err != nil {
 		return fmt.Errorf("decode %s response: %w", path, err)
+	}
+	// Count only completed round trips: the wire metric compares protocol
+	// economics, and a failed attempt retries through the same accounting.
+	t.wireTotal.Add(int64(len(body) + len(respBody)))
+	if edgePath {
+		t.wireEdges.Add(int64(len(body) + len(respBody)))
 	}
 	return nil
 }

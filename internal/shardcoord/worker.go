@@ -51,12 +51,37 @@ type EdgeResponse struct {
 	pipeline.EdgeList
 }
 
+// EdgeRequestV3 is the digest-first form of a distance sweep (protocol
+// v3): the job references its sequences by content address and ships raw
+// packed bytes only for the positions in FillAt (Fill aligned with it).
+// Every other key must already sit in the worker's resident set; keys the
+// worker cannot resolve come back in EdgeResponseV3.Missing and the
+// coordinator refills them — the inline-miss dance that makes a restarted
+// (resident-set-empty) worker a slow request, never a wrong answer.
+type EdgeRequestV3 struct {
+	Eps    float64             `json:"eps"`
+	Keys   []pipeline.SeqKey   `json:"keys"`
+	FillAt []int               `json:"fillAt,omitempty"`
+	Fill   pipeline.PackedSeqs `json:"fill,omitempty"`
+	Rows   []int               `json:"rows"`
+	Cols   []int               `json:"cols,omitempty"`
+}
+
+// EdgeResponseV3 answers a digest-first sweep: either the within-eps
+// pairs, or the key positions the worker does not hold (in which case no
+// sweep ran and the coordinator must refill).
+type EdgeResponseV3 struct {
+	pipeline.EdgeList
+	Missing []int `json:"missing,omitempty"`
+}
+
 // Worker executes clustering work units. It is safe for concurrent use;
-// each request computes independently (the shared pair-verdict cache is
-// internally synchronized).
+// each request computes independently (the shared pair-verdict cache and
+// the resident set are internally synchronized).
 type Worker struct {
-	workers int
-	cache   *contentcache.Cache
+	workers  int
+	cache    *contentcache.Cache
+	resident *residentSet
 }
 
 // WorkerOption configures a Worker.
@@ -77,6 +102,23 @@ func WithWorkerParallelism(n int) WorkerOption {
 // (pipeline.CacheCodecs) to keep the warm verdicts across restarts.
 func WithWorkerCache(c *contentcache.Cache) WorkerOption {
 	return func(w *Worker) { w.cache = c }
+}
+
+// WithWorkerResidentBudget bounds a digest→sequence resident set (bytes;
+// 0 or negative disables it) and thereby enables the digest-first edge
+// protocol: every partition the worker clusters and every edge fill it
+// receives is kept addressable by content key, LRU-evicted within the
+// budget, so subsequent /edges3 requests ship keys instead of sequence
+// bytes. Purely an economics knob — a disabled or cold resident set makes
+// the coordinator fall back to shipping everything, never changes output.
+func WithWorkerResidentBudget(bytes int) WorkerOption {
+	return func(w *Worker) {
+		if bytes > 0 {
+			w.resident = newResidentSet(int64(bytes))
+		} else {
+			w.resident = nil
+		}
+	}
 }
 
 // NewWorker builds a shard worker.
@@ -123,6 +165,16 @@ func (w *Worker) Cluster(req *PartitionRequest) (*PartitionResponse, error) {
 		Workers: w.workers,
 		Cache:   w.cache,
 	}
+	if w.resident != nil {
+		// Grow the resident set: every sequence this worker clusters stays
+		// addressable by content key, so later digest-first sweeps over the
+		// partition's representatives and noise ship keys, not bytes. The
+		// keys are recomputed here — the coordinator's copy never rides the
+		// wire, and wire data is untrusted anyway.
+		for _, seq := range req.Partition.Seqs {
+			w.resident.put(pipeline.SeqKeyOf(seq), seq)
+		}
+	}
 	clusters := pipeline.ClusterPartition(req.Partition, cfg)
 	if req.PreReduce {
 		// The coordinator consumes only the summary when it asked for
@@ -140,6 +192,13 @@ func (w *Worker) Edges(req *EdgeRequest) (*EdgeResponse, error) {
 	if err := validateSeqs(req.Job.Seqs); err != nil {
 		return nil, err
 	}
+	if w.resident != nil {
+		// A v2 sweep still feeds the resident set: fleets mixing v2 and v3
+		// coordinators warm the same cache.
+		for _, seq := range req.Job.Seqs {
+			w.resident.put(pipeline.SeqKeyOf(seq), seq)
+		}
+	}
 	list, err := pipeline.SweepEdges(req.Job, w.workers, w.cache)
 	if err != nil {
 		return nil, fmt.Errorf("shardcoord: %w", err)
@@ -147,18 +206,95 @@ func (w *Worker) Edges(req *EdgeRequest) (*EdgeResponse, error) {
 	return &EdgeResponse{EdgeList: list}, nil
 }
 
+// EdgesV3 executes one digest-first distance sweep — the computation
+// behind POST /edges3. Fills are verified against their declared keys
+// (wire data is untrusted; a mismatched fill is a hard 400, because a
+// silently accepted one would poison every later request that resolves
+// the key), resident keys are resolved locally, and unresolvable keys
+// come back in Missing without running the sweep.
+func (w *Worker) EdgesV3(req *EdgeRequestV3) (*EdgeResponseV3, error) {
+	if w.resident == nil {
+		return nil, errResidentDisabled
+	}
+	if len(req.FillAt) != len(req.Fill) {
+		return nil, fmt.Errorf("shardcoord: %d fill positions with %d fills", len(req.FillAt), len(req.Fill))
+	}
+	if err := validateSeqs(req.Fill); err != nil {
+		return nil, err
+	}
+	seqs := make([][]jstoken.Symbol, len(req.Keys))
+	filled := make([]bool, len(req.Keys))
+	for i, at := range req.FillAt {
+		if at < 0 || at >= len(req.Keys) {
+			return nil, fmt.Errorf("shardcoord: fill position %d outside [0,%d)", at, len(req.Keys))
+		}
+		if filled[at] {
+			return nil, fmt.Errorf("shardcoord: fill position %d sent twice", at)
+		}
+		if got := pipeline.SeqKeyOf(req.Fill[i]); got != req.Keys[at] {
+			return nil, fmt.Errorf("shardcoord: fill %d does not match its declared key", i)
+		}
+		seqs[at] = req.Fill[i]
+		filled[at] = true
+	}
+	var missing []int
+	for i, key := range req.Keys {
+		if filled[i] {
+			continue
+		}
+		seq, ok := w.resident.get(key)
+		if !ok {
+			missing = append(missing, i)
+			continue
+		}
+		seqs[i] = seq
+	}
+	// Fills stick regardless of outcome, so a refill round (and every
+	// later sweep) finds them resident. Installed after resolution: an
+	// install-order eviction must never knock out a fill this same request
+	// depends on.
+	for i, at := range req.FillAt {
+		w.resident.put(req.Keys[at], req.Fill[i])
+	}
+	if len(missing) > 0 {
+		return &EdgeResponseV3{Missing: missing}, nil
+	}
+	job := pipeline.EdgeJob{Eps: req.Eps, Seqs: seqs, Rows: req.Rows, Cols: req.Cols}
+	list, err := pipeline.SweepEdges(job, w.workers, w.cache)
+	if err != nil {
+		return nil, fmt.Errorf("shardcoord: %w", err)
+	}
+	return &EdgeResponseV3{EdgeList: list}, nil
+}
+
+// errResidentDisabled marks a v3 request against a worker running without
+// a resident set; the HTTP layer answers 404, which coordinators read as
+// the capability miss it is.
+var errResidentDisabled = errors.New("shardcoord: digest-first edges require a resident set (WithWorkerResidentBudget)")
+
 // Handler serves the worker over HTTP:
 //
 //	POST /partition — cluster one PartitionRequest, respond PartitionResponse
 //	POST /edges     — run one EdgeRequest distance sweep, respond EdgeResponse
-//	GET  /healthz   — liveness plus cache occupancy
+//	POST /edges3    — run one digest-first EdgeRequestV3 sweep (only with a
+//	                  resident set; absent otherwise, so coordinators read
+//	                  the 404 as a capability miss and fall back to v2)
+//	GET  /healthz   — liveness plus cache and resident-set occupancy
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/partition", w.servePartition)
 	mux.HandleFunc("/edges", w.serveEdges)
+	if w.resident != nil {
+		mux.HandleFunc("/edges3", w.serveEdgesV3)
+	}
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
 		st := w.cache.Stats()
-		fmt.Fprintf(rw, "ok cache-entries=%d cache-bytes=%d\n", st.Entries, st.Bytes)
+		fmt.Fprintf(rw, "ok cache-entries=%d cache-bytes=%d", st.Entries, st.Bytes)
+		if w.resident != nil {
+			entries, bytes := w.resident.stats()
+			fmt.Fprintf(rw, " resident-entries=%d resident-bytes=%d", entries, bytes)
+		}
+		fmt.Fprintln(rw)
 	})
 	return mux
 }
@@ -202,6 +338,19 @@ func (w *Worker) serveEdges(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := w.Edges(&req)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(rw, resp)
+}
+
+func (w *Worker) serveEdgesV3(rw http.ResponseWriter, r *http.Request) {
+	var req EdgeRequestV3
+	if !decodeBody(rw, r, &req) {
+		return
+	}
+	resp, err := w.EdgesV3(&req)
 	if err != nil {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return

@@ -234,3 +234,113 @@ func BenchmarkScanManyNaive(b *testing.B) {
 		}
 	}
 }
+
+// referenceScanAnchored is the pre-block-prefilter scalar loop: every
+// token pays the length/first-byte test individually. The block-skip scan
+// must visit exactly the same candidates in the same order, so its output
+// (including the early-stop path) must be identical.
+func referenceScanAnchored(s *Scanner, tokens []jstoken.Token, stop *bool) (offsets []int, found []bool) {
+	if s.anchoredCount == 0 {
+		return nil, nil
+	}
+	var captures []string
+	if s.maxGroups > 0 {
+		captures = make([]string, s.maxGroups)
+	}
+	remaining := s.anchoredCount
+	for pos := range tokens {
+		v := tokens[pos].Value()
+		if len(v) < s.minAnchorLen || len(v) > s.maxAnchorLen || !s.anchorByte[v[0]] {
+			continue
+		}
+		cands, ok := s.index[v]
+		if !ok {
+			continue
+		}
+		for _, cand := range cands {
+			if found != nil && found[cand.sig] {
+				continue
+			}
+			start := pos - cand.elem
+			c := s.sigs[cand.sig]
+			if start < 0 || start+len(c.sig.Elements) > len(tokens) {
+				continue
+			}
+			if !c.matchAt(tokens, start, captures) {
+				continue
+			}
+			if found == nil {
+				found = make([]bool, len(s.sigs))
+				offsets = make([]int, len(s.sigs))
+			}
+			found[cand.sig], offsets[cand.sig] = true, start
+			if stop != nil {
+				*stop = true
+				return offsets, found
+			}
+			remaining--
+			if remaining == 0 {
+				return offsets, found
+			}
+		}
+	}
+	return offsets, found
+}
+
+// TestBlockPrefilterMatchesScalar pins the 64-byte-block skip loop against
+// the scalar per-token prefilter on the EK corpus (multiple distinct
+// anchor first bytes and candidate-dense malicious docs) and on synthetic
+// streams padded so candidates straddle block boundaries.
+func TestBlockPrefilterMatchesScalar(t *testing.T) {
+	scanner, docs := ekitScanner(t, 12)
+	if len(scanner.anchorFirst) < 1 {
+		t.Fatal("no anchored signatures")
+	}
+	for _, doc := range docs {
+		tokens := jstoken.LexDocument(doc)
+		gotOff, gotFound := scanner.scanAnchored(tokens, nil)
+		wantOff, wantFound := referenceScanAnchored(scanner, tokens, nil)
+		for i := range scanner.sigs {
+			gf := gotFound != nil && gotFound[i]
+			wf := wantFound != nil && wantFound[i]
+			if gf != wf || (gf && gotOff[i] != wantOff[i]) {
+				t.Fatalf("sig %d: block (%v) vs scalar (%v) disagree", i, gf, wf)
+			}
+		}
+		var gotStop, wantStop bool
+		scanner.scanAnchored(tokens, &gotStop)
+		referenceScanAnchored(scanner, tokens, &wantStop)
+		if gotStop != wantStop {
+			t.Fatalf("early-stop disagree: block %v scalar %v", gotStop, wantStop)
+		}
+	}
+	// Synthetic: one anchor byte (IndexByte path) with candidates at block
+	// edges, plus empty-value string tokens in the stream.
+	sig := siggen.Signature{Family: "f", Elements: []siggen.Element{
+		{Kind: siggen.KindLiteral, Literal: "needle"},
+		{Kind: siggen.KindLiteral, Literal: "("},
+	}}
+	one, err := NewScanner([]siggen.Signature{sig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for i := 0; i < 200; i++ {
+		b.WriteString("x = '';\n") // empty string value tokens
+		if i%63 == 0 {
+			b.WriteString("needle(1);\n")
+		}
+	}
+	tokens := jstoken.LexDocument(b.String())
+	gotOff, gotFound := one.scanAnchored(tokens, nil)
+	wantOff, wantFound := referenceScanAnchored(one, tokens, nil)
+	if (gotFound == nil) != (wantFound == nil) {
+		t.Fatalf("synthetic found mismatch: %v vs %v", gotFound, wantFound)
+	}
+	if gotFound != nil && (gotFound[0] != wantFound[0] || gotOff[0] != wantOff[0]) {
+		t.Fatalf("synthetic: block (%v, %d) scalar (%v, %d)", gotFound[0], gotOff[0], wantFound[0], wantOff[0])
+	}
+	if !gotFound[0] {
+		t.Fatal("synthetic needle not found")
+	}
+}

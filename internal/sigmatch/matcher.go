@@ -1,8 +1,10 @@
 package sigmatch
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"kizzle/internal/jstoken"
 	"kizzle/internal/parallel"
@@ -167,9 +169,17 @@ type Scanner struct {
 	unanchored []int
 	// anchorByte prefilters index lookups: a token can only be an anchor
 	// if anchorByte[v[0]] is set and len(v) is within the global bounds.
-	// This keeps the per-token cost of a scan to a couple of array reads
-	// for the overwhelmingly common non-anchor tokens.
-	anchorByte    [256]bool
+	// The scan gathers every token's first byte into a flat buffer and
+	// skips non-candidates in 64-byte blocks (see nextCandidate), so the
+	// per-token cost for the overwhelmingly common non-anchor tokens is a
+	// fraction of an array read.
+	anchorByte [256]bool
+	// anchorMask mirrors anchorByte as 0/1 bytes so a block test is a
+	// branch-free OR-accumulation instead of 64 conditional jumps.
+	anchorMask [256]byte
+	// anchorFirst lists the distinct anchor first bytes; with exactly one,
+	// the block skip collapses to bytes.IndexByte (memchr-speed).
+	anchorFirst   []byte
 	minAnchorLen  int
 	maxAnchorLen  int
 	maxGroups     int
@@ -234,6 +244,8 @@ func (s *Scanner) rebuildIndex() {
 	s.index = make(map[string][]anchorRef)
 	s.unanchored = s.unanchored[:0]
 	s.anchorByte = [256]bool{}
+	s.anchorMask = [256]byte{}
+	s.anchorFirst = s.anchorFirst[:0]
 	s.minAnchorLen = 0
 	s.maxAnchorLen = 0
 	s.maxGroups = 0
@@ -264,7 +276,11 @@ func (s *Scanner) rebuildIndex() {
 		s.anchoredCount++
 		v := c.sig.Elements[best].Literal
 		s.index[v] = append(s.index[v], anchorRef{sig: i, elem: best})
-		s.anchorByte[v[0]] = true
+		if !s.anchorByte[v[0]] {
+			s.anchorByte[v[0]] = true
+			s.anchorMask[v[0]] = 1
+			s.anchorFirst = append(s.anchorFirst, v[0])
+		}
 		if s.minAnchorLen == 0 || len(v) < s.minAnchorLen {
 			s.minAnchorLen = len(v)
 		}
@@ -306,11 +322,61 @@ func (s *Scanner) ScanTokens(tokens []jstoken.Token) []Match {
 	return out
 }
 
+// prefilterBlock is the span the anchor prefilter tests per iteration: a
+// 64-byte block of gathered first bytes is ruled out with one branch-free
+// OR-accumulation before any per-byte work happens.
+const prefilterBlock = 64
+
+// fbPool recycles the gathered first-byte buffers across scans; Scanner
+// scans run concurrently, so the scratch cannot live on the Scanner.
+var fbPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// nextCandidate returns the smallest index >= pos whose gathered first
+// byte could start an anchor, or -1 when the rest of the stream has none.
+// With one distinct anchor first byte the skip is a single IndexByte call
+// (memchr-speed); otherwise 64-byte blocks are OR-accumulated through
+// anchorMask and only blocks containing a hit are scanned per byte.
+func (s *Scanner) nextCandidate(fb []byte, pos int) int {
+	if len(s.anchorFirst) == 1 {
+		d := bytes.IndexByte(fb[pos:], s.anchorFirst[0])
+		if d < 0 {
+			return -1
+		}
+		return pos + d
+	}
+	for pos < len(fb) {
+		end := pos + prefilterBlock
+		if end > len(fb) {
+			end = len(fb)
+		}
+		var acc byte
+		for _, c := range fb[pos:end] {
+			acc |= s.anchorMask[c]
+		}
+		if acc == 0 {
+			pos = end
+			continue
+		}
+		for ; pos < end; pos++ {
+			if s.anchorByte[fb[pos]] {
+				return pos
+			}
+		}
+	}
+	return -1
+}
+
 // scanAnchored runs the single-pass anchor scan. One capture buffer is
 // reused across all candidate verifications (each verification writes a
 // group before any back-reference reads it, so no clearing is needed).
 // When stop is non-nil, the scan aborts as soon as *stop is set by a
 // successful verification — the Detects fast path.
+//
+// The scan is two-phase: a gather pass records every token's normalized
+// first byte into a flat buffer, then the candidate loop skips over
+// non-anchor stretches with nextCandidate's block prefilter instead of
+// re-testing token by token. The candidate set and its order are exactly
+// those of the per-token scalar scan (pinned by the reference test).
 func (s *Scanner) scanAnchored(tokens []jstoken.Token, stop *bool) (offsets []int, found []bool) {
 	if s.anchoredCount == 0 {
 		return nil, nil
@@ -319,12 +385,37 @@ func (s *Scanner) scanAnchored(tokens []jstoken.Token, stop *bool) (offsets []in
 	if s.maxGroups > 0 {
 		captures = make([]string, s.maxGroups)
 	}
+	fbp := fbPool.Get().(*[]byte)
+	fb := *fbp
+	if cap(fb) < len(tokens) {
+		fb = make([]byte, len(tokens))
+	}
+	fb = fb[:len(tokens)]
+	for i := range tokens {
+		// Empty values gather as 0; even if 0 is an anchor byte the
+		// length re-check below rejects the false candidate, so the
+		// prefilter only ever over-approximates.
+		v := tokens[i].Value()
+		if len(v) > 0 {
+			fb[i] = v[0]
+		} else {
+			fb[i] = 0
+		}
+	}
+	defer func() {
+		*fbp = fb
+		fbPool.Put(fbp)
+	}()
 	remaining := s.anchoredCount
-	for pos := range tokens {
+	for pos := 0; pos < len(tokens); pos++ {
+		pos = s.nextCandidate(fb, pos)
+		if pos < 0 {
+			break
+		}
 		v := tokens[pos].Value()
-		// Cheap prefilter before the map lookup: almost every token of a
-		// benign document fails the first-byte or length test.
-		if len(v) < s.minAnchorLen || len(v) > s.maxAnchorLen || !s.anchorByte[v[0]] {
+		// The block prefilter only tests the first byte; re-check the
+		// length bounds before paying for the map lookup.
+		if len(v) < s.minAnchorLen || len(v) > s.maxAnchorLen {
 			continue
 		}
 		cands, ok := s.index[v]

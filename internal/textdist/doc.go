@@ -7,7 +7,12 @@
 // Two implementations are provided: a full O(n·m) dynamic program and a
 // banded variant that abandons early once the distance provably exceeds a
 // caller-supplied bound. DBSCAN only needs to know whether two samples are
-// within eps of each other, so the banded variant is the hot path.
+// within eps of each other, so the banded variant is the hot path. Its
+// inner loop is written branch-free — min chains over ints that compile
+// to conditional moves instead of data-dependent branches — because the
+// match/mismatch pattern of token sequences is adversarially
+// unpredictable to a branch predictor; the band-edge bookkeeping stays
+// outside the loop.
 //
 // Both are available as package functions (which allocate their DP rows
 // per call) and as methods on a reusable Scratch. Clustering issues

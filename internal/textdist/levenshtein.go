@@ -103,9 +103,17 @@ func (s *Scratch) DistanceWithin(a, b []jstoken.Symbol, maxDist int) (int, bool)
 		return len(b), true
 	}
 
-	const inf = int(^uint(0) >> 1)
+	// inf is "unreachable" for banded cells. It is deliberately far below
+	// the integer ceiling: the branch-free inner loop adds to inf cells
+	// instead of guarding them, and each row grows a cell by at most 1, so
+	// inf + len(a) can never overflow (or dip below any real distance,
+	// which stays <= maxDist+1 per the early abandon).
+	const inf = int(^uint(0) >> 2)
 	width := 2*maxDist + 1
-	prev, curr := s.rows(width)
+	// One sentinel cell past the band: prev[width] reads as inf so the
+	// deletion source prev[k+1] needs no bounds branch at the band edge.
+	prev, curr := s.rows(width + 1)
+	prev[width], curr[width] = inf, inf
 	// Row i stores cells j in [i-maxDist, i+maxDist]; index k maps to
 	// j = i - maxDist + k.
 	for k := 0; k < width; k++ {
@@ -142,32 +150,28 @@ func (s *Scratch) DistanceWithin(a, b []jstoken.Symbol, maxDist int) (int, bool)
 			left = i
 			k = kLo + 1
 		}
-		// off maps k to the b index j-1 = i - maxDist + k - 1.
+		// off maps k to the b index j-1 = i - maxDist + k - 1. Every k in
+		// [k, kHi) has j in [1, len(b)], so the whole active range reads a
+		// contiguous slice of b with no per-cell guards: inf cells take
+		// part in the min like any other value and simply never win.
 		off := i - maxDist - 1
 		for ; k < kHi; k++ {
-			best := inf
-			// Substitution / match: prev row, same k.
-			if pk := prev[k]; pk != inf {
-				if ai == b[off+k] {
-					best = pk
-				} else {
-					best = pk + 1
-				}
+			// Substitution / match: prev row, same k. b2i compiles to a
+			// flag set, not a branch.
+			d := prev[k] + b2i(ai != b[off+k])
+			// Deletion from a: prev row, k+1 (same j; sentinel at the
+			// band edge). Insertion into a: current row, k-1 (j-1). Both
+			// mins compile to conditional moves.
+			if v := prev[k+1] + 1; v < d {
+				d = v
 			}
-			// Deletion from a: prev row, k+1 (same j).
-			if k+1 < width {
-				if p1 := prev[k+1]; p1 != inf && p1+1 < best {
-					best = p1 + 1
-				}
+			if v := left + 1; v < d {
+				d = v
 			}
-			// Insertion into a: current row, k-1 (j-1).
-			if left != inf && left+1 < best {
-				best = left + 1
-			}
-			curr[k] = best
-			left = best
-			if best < rowMin {
-				rowMin = best
+			curr[k] = d
+			left = d
+			if d < rowMin {
+				rowMin = d
 			}
 		}
 		if kHi < width {
@@ -180,10 +184,19 @@ func (s *Scratch) DistanceWithin(a, b []jstoken.Symbol, maxDist int) (int, bool)
 	}
 	s.prev, s.curr = prev[:cap(prev)], curr[:cap(curr)]
 	k := len(b) - len(a) + maxDist
-	if k < 0 || k >= width || prev[k] == inf || prev[k] > maxDist {
+	if k < 0 || k >= width || prev[k] > maxDist {
 		return 0, false
 	}
 	return prev[k], true
+}
+
+// b2i converts a bool to 0 or 1 without a branch (the compiler emits a
+// flag-set instruction for this form).
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // Normalized returns the edit distance between a and b divided by the

@@ -310,3 +310,152 @@ func BenchmarkDistanceWithin(b *testing.B) {
 		}
 	})
 }
+
+// referenceDistanceWithin is the pre-block-form banded implementation,
+// kept verbatim as the scalar reference: per-cell inf guards, a bounds
+// branch at the band edge, and a branchy three-way min. The rewritten
+// inner loop (contiguous active slice, sentinel cell, branch-free min3)
+// must reproduce it cell for cell; TestDistanceWithinMatchesReference
+// pins that equivalence on the full (distance, ok) contract.
+func referenceDistanceWithin(s *Scratch, a, b []jstoken.Symbol, maxDist int) (int, bool) {
+	if maxDist < 0 {
+		return 0, false
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b)-len(a) > maxDist {
+		return 0, false
+	}
+	a, b = trimCommon(a, b)
+	if len(a) == 0 {
+		return len(b), true
+	}
+
+	const inf = int(^uint(0) >> 1)
+	width := 2*maxDist + 1
+	prev, curr := s.rows(width)
+	for k := 0; k < width; k++ {
+		j := 0 - maxDist + k
+		if j >= 0 && j <= len(b) {
+			prev[k] = j
+		} else {
+			prev[k] = inf
+		}
+	}
+	for i := 1; i <= len(a); i++ {
+		rowMin := inf
+		ai := a[i-1]
+		kLo := 0
+		if maxDist > i {
+			kLo = maxDist - i
+		}
+		kHi := width
+		if over := i + maxDist - len(b); over > 0 {
+			kHi = width - over
+		}
+		left := inf
+		k := kLo
+		if kLo > 0 {
+			curr[kLo-1] = inf
+		}
+		if i <= maxDist {
+			curr[kLo] = i
+			rowMin = i
+			left = i
+			k = kLo + 1
+		}
+		off := i - maxDist - 1
+		for ; k < kHi; k++ {
+			best := inf
+			if pk := prev[k]; pk != inf {
+				if ai == b[off+k] {
+					best = pk
+				} else {
+					best = pk + 1
+				}
+			}
+			if k+1 < width {
+				if p1 := prev[k+1]; p1 != inf && p1+1 < best {
+					best = p1 + 1
+				}
+			}
+			if left != inf && left+1 < best {
+				best = left + 1
+			}
+			curr[k] = best
+			left = best
+			if best < rowMin {
+				rowMin = best
+			}
+		}
+		if kHi < width {
+			curr[kHi] = inf
+		}
+		if rowMin > maxDist {
+			return 0, false
+		}
+		prev, curr = curr, prev
+	}
+	s.prev, s.curr = prev[:cap(prev)], curr[:cap(curr)]
+	k := len(b) - len(a) + maxDist
+	if k < 0 || k >= width || prev[k] == inf || prev[k] > maxDist {
+		return 0, false
+	}
+	return prev[k], true
+}
+
+// TestDistanceWithinMatchesReference pins the flat inner loop against the
+// scalar reference across random near-duplicate pairs, every bound from 0
+// to beyond the true distance, and the degenerate shapes (empty, equal,
+// single-symbol, maximal junk).
+func TestDistanceWithinMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	randSeq := func(n int) []jstoken.Symbol {
+		out := make([]jstoken.Symbol, n)
+		for i := range out {
+			out[i] = jstoken.Symbol(rng.Intn(7) + 1)
+		}
+		return out
+	}
+	mutate := func(a []jstoken.Symbol, edits int) []jstoken.Symbol {
+		out := append([]jstoken.Symbol(nil), a...)
+		for e := 0; e < edits; e++ {
+			switch op := rng.Intn(3); {
+			case op == 0 && len(out) > 0: // substitute
+				out[rng.Intn(len(out))] = jstoken.Symbol(rng.Intn(7) + 1)
+			case op == 1: // insert
+				p := rng.Intn(len(out) + 1)
+				out = append(out[:p], append([]jstoken.Symbol{jstoken.Symbol(rng.Intn(7) + 1)}, out[p:]...)...)
+			case op == 2 && len(out) > 0: // delete
+				p := rng.Intn(len(out))
+				out = append(out[:p], out[p+1:]...)
+			}
+		}
+		return out
+	}
+	var got, want Scratch
+	check := func(a, b []jstoken.Symbol, maxDist int) {
+		t.Helper()
+		gd, gok := got.DistanceWithin(a, b, maxDist)
+		wd, wok := referenceDistanceWithin(&want, a, b, maxDist)
+		if gd != wd || gok != wok {
+			t.Fatalf("DistanceWithin(len %d, len %d, maxDist=%d) = (%d, %v), reference (%d, %v)",
+				len(a), len(b), maxDist, gd, gok, wd, wok)
+		}
+	}
+	for trial := 0; trial < 400; trial++ {
+		a := randSeq(rng.Intn(60))
+		b := mutate(a, rng.Intn(8))
+		for maxDist := 0; maxDist <= 10; maxDist++ {
+			check(a, b, maxDist)
+		}
+	}
+	// Unrelated sequences: every cell in the band saturates.
+	for trial := 0; trial < 50; trial++ {
+		check(randSeq(rng.Intn(40)), randSeq(rng.Intn(40)), rng.Intn(6))
+	}
+	check(nil, nil, 0)
+	check(nil, syms(1, 2, 3), 3)
+	check(syms(1), syms(2), 1)
+}

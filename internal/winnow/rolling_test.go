@@ -242,3 +242,25 @@ func BenchmarkFingerprintScratch(b *testing.B) {
 		s.AppendFingerprint(h, text, DefaultConfig())
 	}
 }
+
+// TestFillGrams5MatchesScalar pins the 8-wide block gram hashing against
+// the scalar FNV reference gram for gram: every lane of every block
+// (including the ragged final lanes) must equal hashBytes of the same
+// 5-byte gram.
+func TestFillGrams5MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		// Lengths straddling lane boundaries: 5..5+3*laneWidth bytes.
+		n := 5 + rng.Intn(3*laneWidth+1)
+		text := randomAlphabetText(rng, n, "abcdefgh(){};=.,")
+		grams := len(text) - 5 + 1
+		dst := make([]uint64, grams)
+		fillGrams5(dst, text, 0)
+		for i := range dst {
+			want := hashBytes(text[i : i+5])
+			if dst[i] != want {
+				t.Fatalf("len=%d gram=%d: got %#x want %#x", n, i, dst[i], want)
+			}
+		}
+	}
+}

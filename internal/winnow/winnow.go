@@ -34,6 +34,28 @@ type Scratch struct {
 	// order. The front is the rightmost minimum of the current window.
 	pos []int
 	val []uint64
+	// hbuf buffers one block of gram hashes: the hash stage fills it
+	// laneWidth grams at a time with independent FNV chains, then the
+	// deque stage consumes it sequentially. Splitting the stages keeps
+	// the multiply-latency chains of neighboring grams overlapped
+	// instead of serialized behind the deque bookkeeping.
+	hbuf []uint64
+}
+
+// laneWidth is how many k=5 gram hashes the block fill computes per
+// unrolled iteration: 8 independent FNV-1a chains over a shared 12-byte
+// span.
+const laneWidth = 8
+
+// hashBlock is the number of gram hashes buffered per fill/consume round;
+// 2 KiB of hashes stays comfortably within L1.
+const hashBlock = 256
+
+func (s *Scratch) hashes() []uint64 {
+	if cap(s.hbuf) < hashBlock {
+		s.hbuf = make([]uint64, hashBlock)
+	}
+	return s.hbuf[:hashBlock]
 }
 
 // ring ensures deque capacity for a window of w entries and returns the
@@ -102,33 +124,43 @@ func (s *Scratch) AppendFingerprint(h Histogram, text string, cfg Config) Histog
 	mask := len(pos) - 1
 	head, size := 0, 0 // deque front index and entry count
 	prevSel := -1
-	fixed5 := k == 5 // DefaultConfig's gram size, unrolled below
-	for i := 0; i < n; i++ {
-		var g uint64
+	fixed5 := k == 5 // DefaultConfig's gram size, block-hashed below
+	hbuf := s.hashes()
+	for base := 0; base < n; base += hashBlock {
+		m := n - base
+		if m > hashBlock {
+			m = hashBlock
+		}
+		blk := hbuf[:m]
 		if fixed5 {
-			g = hash5(text[i], text[i+1], text[i+2], text[i+3], text[i+4])
+			fillGrams5(blk, text, base)
 		} else {
-			g = hashBytes(text[i : i+k])
+			for j := range blk {
+				blk[j] = hashBytes(text[base+j : base+j+k])
+			}
 		}
-		for size > 0 && val[(head+size-1)&mask] >= g {
-			size--
-		}
-		tail := (head + size) & mask
-		pos[tail], val[tail] = i, g
-		size++
-		start := i - w + 1
-		if start < 0 {
-			continue
-		}
-		if pos[head] < start {
-			head = (head + 1) & mask
-			size--
-		}
-		// Record each selected position once (robust winnowing: keep the
-		// previous selection while it remains the window minimum).
-		if sel := pos[head]; sel != prevSel {
-			h[val[head]]++
-			prevSel = sel
+		for j, g := range blk {
+			i := base + j
+			for size > 0 && val[(head+size-1)&mask] >= g {
+				size--
+			}
+			tail := (head + size) & mask
+			pos[tail], val[tail] = i, g
+			size++
+			start := i - w + 1
+			if start < 0 {
+				continue
+			}
+			if pos[head] < start {
+				head = (head + 1) & mask
+				size--
+			}
+			// Record each selected position once (robust winnowing: keep
+			// the previous selection while it remains the window minimum).
+			if sel := pos[head]; sel != prevSel {
+				h[val[head]]++
+				prevSel = sel
+			}
 		}
 	}
 	return h
@@ -139,6 +171,72 @@ func (s *Scratch) AppendFingerprint(h Histogram, text string, cfg Config) Histog
 func Fingerprint(text string, cfg Config) Histogram {
 	var s Scratch
 	return s.Fingerprint(text, cfg)
+}
+
+// fillGrams5 computes the k=5 gram hashes for positions base..base+len(dst)-1
+// of text into dst. The caller guarantees base+len(dst)+4 <= len(text). The
+// unrolled body advances laneWidth independent FNV-1a chains per iteration
+// over a shared 12-byte span — no chain depends on another, so the CPU
+// overlaps their xor-multiply latency instead of executing one gram's five
+// multiplies back to back. Output is identical to calling hash5 per gram
+// (pinned gram for gram against the scalar reference in the tests).
+func fillGrams5(dst []uint64, text string, base int) {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	j := 0
+	for ; j+laneWidth <= len(dst); j += laneWidth {
+		t := text[base+j:]
+		_ = t[laneWidth+3] // one bounds check for the whole span
+		h0 := (uint64(offset) ^ uint64(t[0])) * prime
+		h1 := (uint64(offset) ^ uint64(t[1])) * prime
+		h2 := (uint64(offset) ^ uint64(t[2])) * prime
+		h3 := (uint64(offset) ^ uint64(t[3])) * prime
+		h4 := (uint64(offset) ^ uint64(t[4])) * prime
+		h5 := (uint64(offset) ^ uint64(t[5])) * prime
+		h6 := (uint64(offset) ^ uint64(t[6])) * prime
+		h7 := (uint64(offset) ^ uint64(t[7])) * prime
+		h0 = (h0 ^ uint64(t[1])) * prime
+		h1 = (h1 ^ uint64(t[2])) * prime
+		h2 = (h2 ^ uint64(t[3])) * prime
+		h3 = (h3 ^ uint64(t[4])) * prime
+		h4 = (h4 ^ uint64(t[5])) * prime
+		h5 = (h5 ^ uint64(t[6])) * prime
+		h6 = (h6 ^ uint64(t[7])) * prime
+		h7 = (h7 ^ uint64(t[8])) * prime
+		h0 = (h0 ^ uint64(t[2])) * prime
+		h1 = (h1 ^ uint64(t[3])) * prime
+		h2 = (h2 ^ uint64(t[4])) * prime
+		h3 = (h3 ^ uint64(t[5])) * prime
+		h4 = (h4 ^ uint64(t[6])) * prime
+		h5 = (h5 ^ uint64(t[7])) * prime
+		h6 = (h6 ^ uint64(t[8])) * prime
+		h7 = (h7 ^ uint64(t[9])) * prime
+		h0 = (h0 ^ uint64(t[3])) * prime
+		h1 = (h1 ^ uint64(t[4])) * prime
+		h2 = (h2 ^ uint64(t[5])) * prime
+		h3 = (h3 ^ uint64(t[6])) * prime
+		h4 = (h4 ^ uint64(t[7])) * prime
+		h5 = (h5 ^ uint64(t[8])) * prime
+		h6 = (h6 ^ uint64(t[9])) * prime
+		h7 = (h7 ^ uint64(t[10])) * prime
+		h0 = (h0 ^ uint64(t[4])) * prime
+		h1 = (h1 ^ uint64(t[5])) * prime
+		h2 = (h2 ^ uint64(t[6])) * prime
+		h3 = (h3 ^ uint64(t[7])) * prime
+		h4 = (h4 ^ uint64(t[8])) * prime
+		h5 = (h5 ^ uint64(t[9])) * prime
+		h6 = (h6 ^ uint64(t[10])) * prime
+		h7 = (h7 ^ uint64(t[11])) * prime
+		d := dst[j : j+laneWidth : j+laneWidth]
+		d[0], d[1], d[2], d[3] = h0, h1, h2, h3
+		d[4], d[5], d[6], d[7] = h4, h5, h6, h7
+	}
+	for ; j < len(dst); j++ {
+		i := base + j
+		dst[j] = hash5(text[i], text[i+1], text[i+2], text[i+3], text[i+4])
+	}
 }
 
 // hash5 is hashBytes unrolled for the default 5-byte gram — identical

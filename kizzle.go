@@ -91,6 +91,19 @@ func WithPartitionFanout(n int) Option {
 	return func(c *pipeline.Config) { c.PartitionFanout = n }
 }
 
+// WithNoiseChunk bounds the reduce step's global noise re-clustering: a
+// pooled noise set larger than n is split into chunks of at most n unique
+// sequences, ordered by content digest, and each chunk is swept
+// independently — the quadratic sweep cost drops from pool² to
+// chunks·n², at the documented cost that cross-chunk noise pairs are not
+// tested (straggler adoption still sees the full pool). Chunk membership
+// is a pure function of content, so output stays independent of shard
+// count and scheduling. 0 (the default) disables chunking and keeps the
+// MaxNoiseRecluster skip-entirely behavior for oversized pools.
+func WithNoiseChunk(n int) Option {
+	return func(c *pipeline.Config) { c.NoiseChunk = n }
+}
+
 // WithBatchDispatch disables streaming dispatch: clustering partitions
 // are collected and dispatched in one batch after dedup completes, and
 // the reduce step's distance sweeps stay on the coordinator (the
@@ -128,8 +141,12 @@ func WithCacheBytes(n int) Option {
 // process is still deduplicating (protocol v2), each worker pre-reduces
 // its partitions, and the reduce step's distance sweeps fan out as edge
 // jobs; only abstract symbol sequences travel, raw documents never leave
-// this process. Output is identical to single-process operation. An
-// empty URL list keeps clustering in-process.
+// this process. On workers running with a resident set (kizzleshard
+// -residentmb), edge jobs are routed to the shard already holding their
+// sequences and ship 20-byte content keys instead of sequence bytes
+// (protocol v3, negotiated per worker — mixed fleets degrade gracefully
+// to v2). Output is identical to single-process operation. An empty URL
+// list keeps clustering in-process.
 func WithShardWorkers(urls ...string) Option {
 	return func(c *pipeline.Config) {
 		if len(urls) == 0 {
@@ -306,6 +323,13 @@ type Stats struct {
 	// that to skip redundant cache snapshots.
 	CacheHits   int64
 	CacheMisses int64
+	// WireBytes / EdgeWireBytes are this run's shard-fleet traffic
+	// (request+response bodies) — total and the edge-sweep share. Both are
+	// zero for in-process clustering. On a fleet with resident sets, a
+	// warm day's EdgeWireBytes shows the digest-first wire working: edge
+	// jobs ship 20-byte keys instead of sequences already on the worker.
+	WireBytes     int64
+	EdgeWireBytes int64
 }
 
 // Process clusters, labels, and signs one batch of samples.
@@ -332,6 +356,8 @@ func (c *Compiler) Process(samples []Sample) (*Result, error) {
 			LabelSweeps:       pres.Stats.LabelSweeps,
 			CacheHits:         pres.Stats.CacheHits,
 			CacheMisses:       pres.Stats.CacheMisses,
+			WireBytes:         pres.Stats.WireBytes,
+			EdgeWireBytes:     pres.Stats.EdgeWireBytes,
 		},
 	}
 	out.Signatures = make([]Signature, len(pres.Signatures))
