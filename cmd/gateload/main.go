@@ -1,0 +1,278 @@
+// Command gateload drives provider-shaped load through the scanning
+// gateway and reports the latency distribution the SLO gates care about.
+// Traffic follows the two laws an edge actually sees: request rate rides
+// a diurnal sinusoid (trough to peak and back across the run), and
+// document popularity is zipf-skewed — a few hot landing pages dominate
+// while a long tail trickles.
+//
+// By default it hosts the full stack in-process (a synthetic-corpus
+// origin behind a gateway.Proxy with admission batching) so the numbers
+// include proxying, body pooling, and coalescing. Point -target at a
+// running kizzlegate to load an external deployment instead; its
+// upstream should serve scannable documents under /<n> paths.
+//
+// Usage:
+//
+//	gateload [-duration 10s] [-clients 32] [-rps 0] [-zipf 1.5]
+//	         [-batchdocs 32] [-target http://gate:8080]
+//
+// The report is one JSON object on stdout; -rps 0 runs closed-loop at
+// maximum speed, -rps N paces an open loop whose aggregate rate peaks
+// at N mid-run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kizzle"
+	"kizzle/gateway"
+	"kizzle/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gateload:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the harness's JSON output.
+type report struct {
+	Mode       string  `json:"mode"` // "in-process" or "external"
+	DurationMS float64 `json:"duration_ms"`
+	Clients    int     `json:"clients"`
+	Requests   int64   `json:"requests"`
+	RPS        float64 `json:"rps"`
+	Blocked    int64   `json:"blocked"`
+	Errors     int64   `json:"errors"`
+	P50US      float64 `json:"p50_us"`
+	P90US      float64 `json:"p90_us"`
+	P99US      float64 `json:"p99_us"`
+	P999US     float64 `json:"p999_us"`
+	MaxUS      float64 `json:"max_us"`
+	// Admitter and Vetter carry the in-process stack's serving counters
+	// (absent in external mode, where /metrics on the gate has them).
+	Admitter map[string]any `json:"admitter,omitempty"`
+	Vetter   map[string]any `json:"vetter,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gateload", flag.ContinueOnError)
+	target := fs.String("target", "", "running gate URL to load (empty: in-process stack)")
+	duration := fs.Duration("duration", 10*time.Second, "how long to drive load")
+	clients := fs.Int("clients", 32, "concurrent clients")
+	peak := fs.Float64("rps", 0, "peak aggregate request rate of the diurnal cycle (0 = closed loop)")
+	skew := fs.Float64("zipf", 1.5, "zipf exponent of document popularity (hot-key skew)")
+	batchDocs := fs.Int("batchdocs", 32, "in-process admission micro-batch size (0 disables)")
+	batchWait := fs.Duration("batchwait", 500*time.Microsecond, "in-process admission window")
+	day := fs.Int("day", synth.Date(time.August, 5), "synthetic corpus day")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *clients < 1 {
+		return fmt.Errorf("-clients must be positive")
+	}
+
+	rep := report{Clients: *clients}
+	var base string
+	var docCount int
+	var admit *gateway.Admitter
+	var vetter *gateway.Vetter
+
+	if *target != "" {
+		rep.Mode = "external"
+		u, err := url.Parse(*target)
+		if err != nil || u.Scheme == "" {
+			return fmt.Errorf("bad -target %q", *target)
+		}
+		base = *target
+		// The external gate's corpus size is unknown; spread paths over a
+		// plausible working set so the zipf tail still exercises it.
+		docCount = 512
+	} else {
+		rep.Mode = "in-process"
+		docs, matcher, err := corpusAndMatcher(*day)
+		if err != nil {
+			return err
+		}
+		docCount = len(docs)
+		origin, err := serve(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			i, err := strconv.Atoi(r.URL.Path[1:])
+			if err != nil || i < 0 || i >= len(docs) {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "text/html")
+			io.WriteString(w, docs[i])
+		}))
+		if err != nil {
+			return err
+		}
+		defer origin.close()
+		vetter = gateway.NewVetter(matcher)
+		proxy := gateway.NewProxy(origin.url, vetter)
+		if *batchDocs > 0 {
+			admit = gateway.NewAdmitter(vetter, *batchDocs, *batchWait)
+			defer admit.Close()
+			proxy.UseAdmitter(admit)
+		}
+		front, err := serve(proxy)
+		if err != nil {
+			return err
+		}
+		defer front.close()
+		base = front.url.String()
+	}
+
+	lats := make([][]time.Duration, *clients)
+	var blocked, errs atomic.Int64
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			zipf := rand.NewZipf(rng, *skew, 1, uint64(docCount-1))
+			hc := &http.Client{Timeout: 10 * time.Second}
+			mine := make([]time.Duration, 0, 1024)
+			for {
+				now := time.Now()
+				if !now.Before(deadline) {
+					break
+				}
+				if *peak > 0 {
+					// Open loop: pace to the diurnal rate at this instant.
+					// One full cycle spans the run, starting at the trough.
+					frac := now.Sub(start).Seconds() / duration.Seconds()
+					rate := *peak * (0.55 - 0.45*math.Cos(2*math.Pi*frac))
+					if rate < 1 {
+						rate = 1
+					}
+					time.Sleep(time.Duration(float64(*clients) / rate * float64(time.Second)))
+				}
+				t0 := time.Now()
+				resp, err := hc.Get(base + "/" + strconv.FormatUint(zipf.Uint64(), 10))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				mine = append(mine, time.Since(t0))
+				if resp.StatusCode == http.StatusForbidden {
+					blocked.Add(1)
+				} else if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+					errs.Add(1)
+				}
+			}
+			lats[c] = mine
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)))
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return float64(all[i]) / 1e3
+	}
+	rep.DurationMS = float64(elapsed) / 1e6
+	rep.Requests = int64(len(all))
+	rep.RPS = float64(len(all)) / elapsed.Seconds()
+	rep.Blocked = blocked.Load()
+	rep.Errors = errs.Load()
+	rep.P50US, rep.P90US, rep.P99US, rep.P999US = q(0.50), q(0.90), q(0.99), q(0.999)
+	rep.MaxUS = q(1)
+	if admit != nil {
+		rep.Admitter = admit.Metrics()
+	}
+	if vetter != nil {
+		rep.Vetter = vetter.Metrics()
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// corpusAndMatcher trains a real signature set on one synthetic day and
+// returns the day's documents (kit landings and benign pages alike) with
+// the compiled matcher — the same stack the gateway benchmarks serve.
+func corpusAndMatcher(day int) ([]string, *kizzle.Matcher, error) {
+	c := kizzle.New(kizzle.WithSignatureSlack(2))
+	for _, fam := range synth.Kits() {
+		c.AddKnown(fam.String(), synth.Payload(fam, day-1))
+	}
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 60
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var batch []kizzle.Sample
+	var docs []string
+	for _, s := range stream.Day(day) {
+		batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+		docs = append(docs, s.Content)
+	}
+	res, err := c.Process(batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := kizzle.NewMatcher(res.Signatures)
+	if err != nil {
+		return nil, nil, err
+	}
+	return docs, m, nil
+}
+
+// server is a loopback HTTP listener serving one handler.
+type server struct {
+	url *url.URL
+	srv *http.Server
+	ln  net.Listener
+}
+
+func serve(h http.Handler) (*server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &server{
+		srv: &http.Server{Handler: h},
+		ln:  ln,
+	}
+	s.url, _ = url.Parse("http://" + ln.Addr().String())
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+func (s *server) close() {
+	s.srv.Close()
+	s.ln.Close()
+}

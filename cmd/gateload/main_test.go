@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestGateloadInProcess runs a short closed-loop burst through the
+// self-hosted stack and checks the report's invariants: traffic flowed,
+// kit landings were blocked, percentiles are ordered, and the admission
+// counters surfaced.
+func TestGateloadInProcess(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-duration", "300ms", "-clients", "8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Mode != "in-process" {
+		t.Errorf("mode = %q", rep.Mode)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors", rep.Errors)
+	}
+	if rep.Blocked == 0 {
+		t.Error("zipf over a kit-bearing corpus must hit blocked landings")
+	}
+	if rep.P50US <= 0 || rep.P99US < rep.P50US || rep.MaxUS < rep.P99US {
+		t.Errorf("percentiles out of order: p50=%v p99=%v max=%v", rep.P50US, rep.P99US, rep.MaxUS)
+	}
+	if rep.Admitter == nil || rep.Vetter == nil {
+		t.Error("in-process report must carry admitter and vetter metrics")
+	}
+	if reqs, ok := rep.Admitter["requests"].(float64); !ok || reqs <= 0 {
+		t.Errorf("admitter requests = %v", rep.Admitter["requests"])
+	}
+}
+
+// TestGateloadPaced exercises the open-loop diurnal pacing path.
+func TestGateloadPaced(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-duration", "300ms", "-clients", "4", "-rps", "500"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("paced run completed no requests")
+	}
+}
+
+func TestGateloadValidation(t *testing.T) {
+	if err := run([]string{"-target", "://bad"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad -target must fail")
+	}
+	if err := run([]string{"-clients", "0"}, &bytes.Buffer{}); err == nil {
+		t.Error("zero clients must fail")
+	}
+}

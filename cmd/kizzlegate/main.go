@@ -2,13 +2,18 @@
 // browser/CDN deployment channel): it fronts an upstream web server,
 // scans HTML/JavaScript responses against the deployed Kizzle signature
 // set, and blocks exploit-kit landings. Signatures come from a local
-// sigdb file and/or are kept current by polling a signature server.
+// sigdb file and/or are kept current by polling a signature server —
+// conditionally (If-None-Match), jittered across the replica fleet, and
+// over per-family deltas, so a one-kit update moves and recompiles one
+// kit. Concurrent admissions coalesce into micro-batches that scan each
+// distinct in-flight document once.
 //
 // Usage:
 //
 //	kizzlegate -listen :8080 -upstream http://origin:80 \
 //	           [-sigfile sigs.json] [-sigurl http://sigserver/signatures] \
-//	           [-poll 1m]
+//	           [-poll 1m] [-jitter 0.1] [-batchdocs 32] [-batchwait 500us] \
+//	           [-metricslisten :8081]
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"time"
 
 	"kizzle/gateway"
+	"kizzle/internal/servemetrics"
 	"kizzle/sigdb"
 )
 
@@ -32,8 +38,9 @@ func main() {
 	}
 }
 
-// run configures the gate. When ready is non-nil, the configured handler
-// is sent to it instead of binding a listener (test hook).
+// run configures the gate. When ready is non-nil, the configured proxy
+// handler is sent to it instead of binding a listener, followed by the
+// /metrics handler when -metricslisten is set (test hook).
 func run(args []string, ready chan<- http.Handler) error {
 	fs := flag.NewFlagSet("kizzlegate", flag.ContinueOnError)
 	listen := fs.String("listen", ":8080", "address to serve on")
@@ -41,6 +48,10 @@ func run(args []string, ready chan<- http.Handler) error {
 	sigfile := fs.String("sigfile", "", "local sigdb JSON file to load")
 	sigurl := fs.String("sigurl", "", "signature server URL to poll for updates")
 	poll := fs.Duration("poll", time.Minute, "signature poll interval")
+	jitter := fs.Float64("jitter", 0.1, "poll jitter fraction (±), spreads replica polls")
+	batchDocs := fs.Int("batchdocs", 32, "admission micro-batch size (0 disables batching)")
+	batchWait := fs.Duration("batchwait", 500*time.Microsecond, "admission window: how long the first document waits for company")
+	metricsListen := fs.String("metricslisten", "", "admin address to serve /metrics on (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,25 +78,44 @@ func run(args []string, ready chan<- http.Handler) error {
 			return err
 		}
 		vetter.Update(m)
+		vetter.SetVersion(snap.Version)
 		log.Printf("loaded signature set v%d from %s", snap.Version, *sigfile)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	pollDone := make(chan struct{})
+	var client *sigdb.Client
 	if *sigurl != "" {
-		client := &sigdb.Client{URL: *sigurl}
-		go func() {
-			defer close(pollDone)
-			client.Poll(ctx, *poll, func(snap sigdb.Snapshot) {
-				m, _, err := snap.Matcher()
-				if err != nil {
+		client = &sigdb.Client{URL: *sigurl, Jitter: *jitter}
+		deploy := func(snap sigdb.Snapshot) {
+			// The client compiled the set to validate it (incrementally,
+			// per changed family); deploy that compilation rather than
+			// paying for a second one.
+			m, _ := client.Matcher()
+			if m == nil {
+				var err error
+				if m, _, err = snap.Matcher(); err != nil {
 					log.Printf("rejecting signature update v%d: %v", snap.Version, err)
 					return
 				}
-				vetter.Update(m)
-				log.Printf("deployed signature set v%d (%d signatures)", snap.Version, len(snap.Signatures))
-			}, func(err error) {
+			}
+			vetter.Update(m)
+			vetter.SetVersion(snap.Version)
+			log.Printf("deployed signature set v%d (%d signatures)", snap.Version, len(snap.Signatures))
+		}
+		// Arm the gate before serving: fetch once synchronously so a
+		// replica never admits traffic with an empty signature set just
+		// because its first poll tick hasn't fired. The poll loop's own
+		// immediate fetch then costs one 304.
+		if snap, updated, err := client.Fetch(ctx); err != nil {
+			log.Printf("initial signature fetch: %v", err)
+		} else if updated {
+			deploy(snap)
+		}
+		go func() {
+			defer close(pollDone)
+			client.Poll(ctx, *poll, deploy, func(err error) {
 				log.Printf("signature poll: %v", err)
 			})
 		}()
@@ -94,11 +124,45 @@ func run(args []string, ready chan<- http.Handler) error {
 	}
 
 	proxy := gateway.NewProxy(target, vetter)
+	var admit *gateway.Admitter
+	if *batchDocs > 0 {
+		admit = gateway.NewAdmitter(vetter, *batchDocs, *batchWait)
+		defer admit.Close()
+		proxy.UseAdmitter(admit)
+	}
+
+	metrics := servemetrics.Handler(func() map[string]any {
+		out := map[string]any{
+			"vetter":  vetter.Metrics(),
+			"runtime": servemetrics.RuntimeStats(),
+		}
+		if admit != nil {
+			out["admitter"] = admit.Metrics()
+		}
+		if client != nil {
+			out["sigclient"] = client.Metrics()
+		}
+		return out
+	})
+
 	if ready != nil {
 		ready <- proxy
+		if *metricsListen != "" {
+			ready <- metrics
+		}
 		cancel()
 		<-pollDone
 		return nil
+	}
+	if *metricsListen != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics)
+		go func() {
+			log.Printf("kizzlegate metrics on %s/metrics", *metricsListen)
+			if err := http.ListenAndServe(*metricsListen, mux); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
 	}
 	log.Printf("kizzlegate proxying %s on %s", target, *listen)
 	err = http.ListenAndServe(*listen, proxy)

@@ -116,6 +116,137 @@ func TestGateEndToEnd(t *testing.T) {
 	}
 }
 
+// TestGateMetricsAndSigurl runs the gate against a live signature server
+// and an origin, with the metrics endpoint enabled: the ready hook hands
+// back both handlers, the gate is armed from the server before ready (no
+// unprotected window), and /metrics reports the serving counters.
+func TestGateMetricsAndSigurl(t *testing.T) {
+	day := synth.Date(time.August, 5)
+
+	c := kizzle.New(kizzle.WithSignatureSlack(2))
+	for _, fam := range synth.Kits() {
+		c.AddKnown(fam.String(), synth.Payload(fam, day-1))
+	}
+	scfg := synth.DefaultConfig()
+	scfg.BenignPerDay = 40
+	stream, err := synth.NewStream(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []kizzle.Sample
+	var kitDoc string
+	for _, s := range stream.Day(day) {
+		batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+		if s.Family == synth.Angler && kitDoc == "" {
+			kitDoc = s.Content
+		}
+	}
+	res, err := c.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := sigdb.Open(filepath.Join(t.TempDir(), "sigs.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Replace(res.Signatures, nil); err != nil {
+		t.Fatal(err)
+	}
+	sigServer := httptest.NewServer(store.Handler())
+	defer sigServer.Close()
+
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		if r.URL.Path == "/landing" {
+			io.WriteString(w, kitDoc)
+			return
+		}
+		io.WriteString(w, "<html><body>ok</body></html>")
+	}))
+	defer upstream.Close()
+
+	ready := make(chan http.Handler, 2)
+	go func() {
+		if err := run([]string{
+			"-upstream", upstream.URL,
+			"-sigurl", sigServer.URL + "/signatures",
+			"-metricslisten", "127.0.0.1:0",
+		}, ready); err != nil {
+			t.Error(err)
+		}
+	}()
+	var proxy, metrics http.Handler
+	for i := 0; i < 2; i++ {
+		select {
+		case h := <-ready:
+			if proxy == nil {
+				proxy = h
+			} else {
+				metrics = h
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("gate never became ready")
+		}
+	}
+
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+	resp, err := http.Get(front.URL + "/landing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("kit landing status = %d, want 403 (gate must be armed at ready)", resp.StatusCode)
+	}
+	resp, err = http.Get(front.URL + "/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("benign page status = %d, want 200", resp.StatusCode)
+	}
+
+	rec := httptest.NewRecorder()
+	metrics.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	var m struct {
+		Vetter struct {
+			DocsScanned int64 `json:"scanned"`
+			DocsBlocked int64 `json:"blocked"`
+			SigVersion  int64 `json:"matcher_version"`
+		} `json:"vetter"`
+		Admitter struct {
+			Requests int64 `json:"requests"`
+		} `json:"admitter"`
+		Sigclient struct {
+			FetchesFull int64 `json:"fetches_full"`
+		} `json:"sigclient"`
+		Runtime map[string]any `json:"runtime"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if m.Vetter.DocsScanned != 2 || m.Vetter.DocsBlocked != 1 {
+		t.Errorf("vetter metrics scanned/blocked = %d/%d, want 2/1", m.Vetter.DocsScanned, m.Vetter.DocsBlocked)
+	}
+	if m.Vetter.SigVersion != 1 {
+		t.Errorf("matcher_version = %d, want 1", m.Vetter.SigVersion)
+	}
+	if m.Admitter.Requests != 2 {
+		t.Errorf("admitter requests = %d, want 2", m.Admitter.Requests)
+	}
+	if m.Sigclient.FetchesFull != 1 {
+		t.Errorf("sigclient fetches_full = %d, want 1", m.Sigclient.FetchesFull)
+	}
+	if len(m.Runtime) == 0 {
+		t.Error("runtime stats missing")
+	}
+}
+
 // TestSigfileFormat guards the on-disk contract: the file written by sigdb
 // is plain JSON with a version and signatures array.
 func TestSigfileFormat(t *testing.T) {

@@ -64,6 +64,29 @@ func TestWorkerServesPartition(t *testing.T) {
 	if hrec.Code != http.StatusOK || !strings.Contains(hrec.Body.String(), "cache-entries=") {
 		t.Fatalf("healthz: %d %q", hrec.Code, hrec.Body.String())
 	}
+
+	// Metrics endpoint counts the work unit just served.
+	mreq := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, mreq)
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", mrec.Code)
+	}
+	var m struct {
+		Partitions   int64          `json:"partitions"`
+		WorkLatency  map[string]any `json:"work_latency"`
+		CacheEntries int64          `json:"cache_entries"`
+		Runtime      map[string]any `json:"runtime"`
+	}
+	if err := json.Unmarshal(mrec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, mrec.Body.String())
+	}
+	if m.Partitions != 1 {
+		t.Errorf("partitions = %d, want 1", m.Partitions)
+	}
+	if m.WorkLatency == nil || m.Runtime == nil {
+		t.Error("metrics missing work_latency or runtime")
+	}
 }
 
 func TestWorkerRejectsBadRequests(t *testing.T) {

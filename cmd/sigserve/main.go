@@ -37,8 +37,11 @@ import (
 	"sync"
 	"time"
 
+	"sync/atomic"
+
 	"kizzle"
 	"kizzle/internal/contentcache"
+	"kizzle/internal/servemetrics"
 	"kizzle/sigdb"
 )
 
@@ -104,12 +107,24 @@ func run(args []string, ready chan<- http.Handler) error {
 		}
 	}
 
+	scans := &scanHandler{store: store}
 	mux := http.NewServeMux()
 	mux.Handle("/signatures", store.Handler())
-	mux.Handle("/scan", &scanHandler{store: store})
+	mux.Handle("/scan", scans)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok v%d\n", store.Version())
 	})
+	mux.Handle("/metrics", servemetrics.Handler(func() map[string]any {
+		out := map[string]any{
+			"store_version": store.Version(),
+			"scan":          scans.metrics(),
+			"runtime":       servemetrics.RuntimeStats(),
+		}
+		if pub != nil {
+			out["publisher"] = pub.metrics()
+		}
+		return out
+	}))
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -204,6 +219,31 @@ type publisher struct {
 	// content-derived, families whose files did not change keep their
 	// generation and their cached label verdicts.
 	knownFiles map[string]knownMeta
+
+	// lastMu guards last for /metrics readers; recompile itself stays
+	// single-goroutine.
+	lastMu     sync.Mutex
+	last       pubStats
+	recompiles atomic.Int64
+}
+
+// metrics reports the publisher's /metrics fields: recompile count and
+// the last cycle's outcome.
+func (p *publisher) metrics() map[string]any {
+	p.lastMu.Lock()
+	last := p.last
+	p.lastMu.Unlock()
+	return map[string]any{
+		"recompiles":         p.recompiles.Load(),
+		"last_version":       last.Version,
+		"last_changed":       last.Changed,
+		"last_known_changed": last.KnownChanged,
+		"last_signatures":    last.Signatures,
+		"last_clusters":      last.Compile.Clusters,
+		"last_label_sweeps":  last.Compile.LabelSweeps,
+		"last_cache_misses":  last.Compile.CacheMisses,
+		"last_cache_hits":    last.Compile.CacheHits,
+	}
 }
 
 // knownMeta is one known file's sync record: the content digest that
@@ -293,6 +333,10 @@ func (p *publisher) recompile() (pubStats, error) {
 			log.Printf("save cache: %v", err)
 		}
 	}
+	p.recompiles.Add(1)
+	p.lastMu.Lock()
+	p.last = st
+	p.lastMu.Unlock()
 	return st, nil
 }
 
@@ -424,6 +468,31 @@ type scanHandler struct {
 	// /healthz on the same publisher. Excess requests queue here.
 	scanSemOnce sync.Once
 	scanSem     chan struct{}
+
+	requests     atomic.Int64
+	docsScanned  atomic.Int64
+	docsBlocked  atomic.Int64
+	sigsCompiled atomic.Int64
+	sigsReused   atomic.Int64
+	lat          servemetrics.Hist
+}
+
+// metrics reports the scan service's /metrics fields: request and
+// document counters, batch-scan latency, the deployed matcher version,
+// and what incremental rebuilds reused.
+func (h *scanHandler) metrics() map[string]any {
+	h.mu.Lock()
+	version := h.version
+	h.mu.Unlock()
+	return map[string]any{
+		"requests":            h.requests.Load(),
+		"documents":           h.docsScanned.Load(),
+		"blocked":             h.docsBlocked.Load(),
+		"matcher_version":     version,
+		"signatures_compiled": h.sigsCompiled.Load(),
+		"signatures_reused":   h.sigsReused.Load(),
+		"batch_scan_latency":  h.lat.Summary(),
+	}
 }
 
 // maxScanRequestBytes caps one /scan request body (64 MiB: a day-scale
@@ -462,6 +531,8 @@ func (h *scanHandler) current() (*kizzle.Matcher, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	h.sigsCompiled.Add(int64(stats.SignaturesCompiled))
+	h.sigsReused.Add(int64(stats.SignaturesReused))
 	if stats.FamiliesRecompiled > 0 || stats.FamiliesReused > 0 {
 		log.Printf("matcher v%d: %d signatures compiled (%d families), %d reused (%d families)",
 			snap.Version, stats.SignaturesCompiled, stats.FamiliesRecompiled,
@@ -498,12 +569,17 @@ func (h *scanHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.scanSemOnce.Do(func() { h.scanSem = make(chan struct{}, 2) })
 	h.scanSem <- struct{}{}
 	defer func() { <-h.scanSem }()
+	h.requests.Add(1)
+	h.docsScanned.Add(int64(len(req.Documents)))
+	start := time.Now()
 	resp := scanResponse{Version: version, Verdicts: make([]scanVerdict, len(req.Documents))}
 	for i, matches := range m.ScanAll(req.Documents) {
 		if len(matches) > 0 {
 			resp.Verdicts[i] = scanVerdict{Blocked: true, Family: matches[0].Family}
+			h.docsBlocked.Add(1)
 		}
 	}
+	h.lat.Observe(time.Since(start))
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("scan: encode response: %v", err)

@@ -1,0 +1,203 @@
+package gateway
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kizzle/internal/contentcache"
+	"kizzle/internal/servemetrics"
+	"kizzle/internal/zerocopy"
+)
+
+// Admitter coalesces concurrent admission checks into micro-batches.
+//
+// Two effects pay for the sub-millisecond queueing delay it adds. First,
+// a batch rides one VetAllBytes call, so a burst of concurrent responses
+// costs one worker-pool dispatch instead of one lock/dispatch per
+// response. Second — the dominant effect under real traffic — identical
+// in-flight documents are detected inside the window and scanned once:
+// provider traffic is hot-key skewed (many users fetch the same landing
+// page at the same moment), so a 32-document window is mostly duplicates
+// and the scan work per admitted response collapses. Decisions are
+// identical to per-document vetting: duplicates are verified byte-for-
+// byte (a digest alone only nominates candidates), and every request
+// still receives its own Decision.
+//
+// Buffer ownership follows VetBytes: the caller's document is only read
+// until its VetBytes call returns, so pooled proxy buffers stay safe.
+type Admitter struct {
+	v        *Vetter
+	maxBatch int
+	maxWait  time.Duration
+
+	reqs chan admitReq
+	done chan struct{}
+	wg   sync.WaitGroup
+	// closeMu fences enqueues against Close: a request holds the read
+	// side across its send, so once Close holds the write side no request
+	// can slip into a queue nobody serves.
+	closeMu sync.RWMutex
+	closed  bool
+
+	requests  atomic.Int64
+	batches   atomic.Int64
+	coalesced atomic.Int64
+	lat       servemetrics.Hist
+}
+
+type admitReq struct {
+	doc  []byte
+	resp chan Decision
+}
+
+// NewAdmitter starts an admitter in front of v. maxBatch bounds the
+// documents per micro-batch and maxWait the time the first document in a
+// window waits for company; zero or negative values take the defaults
+// (32 documents, 500µs). Close releases the admitter's goroutine.
+func NewAdmitter(v *Vetter, maxBatch int, maxWait time.Duration) *Admitter {
+	if maxBatch <= 0 {
+		maxBatch = 32
+	}
+	if maxWait <= 0 {
+		maxWait = 500 * time.Microsecond
+	}
+	a := &Admitter{
+		v:        v,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		reqs:     make(chan admitReq, maxBatch),
+		done:     make(chan struct{}),
+	}
+	a.wg.Add(1)
+	go a.loop()
+	return a
+}
+
+// VetBytes submits one document for admission and blocks for its
+// decision. After Close it degrades to a direct (unbatched) vet, so
+// in-flight and late callers always get a decision.
+func (a *Admitter) VetBytes(doc []byte) Decision {
+	a.requests.Add(1)
+	start := time.Now()
+	d, ok := a.submit(doc)
+	if !ok {
+		d = a.v.VetBytes(doc)
+	}
+	a.lat.Observe(time.Since(start))
+	return d
+}
+
+// submit enqueues one document and waits for its decision; ok reports
+// false once the admitter is closed. Holding closeMu across the send
+// guarantees the collection loop is still alive to serve it — Close
+// cannot take the write side, and so cannot stop the loop, while any
+// enqueue is in flight.
+func (a *Admitter) submit(doc []byte) (Decision, bool) {
+	a.closeMu.RLock()
+	if a.closed {
+		a.closeMu.RUnlock()
+		return Decision{}, false
+	}
+	r := admitReq{doc: doc, resp: make(chan Decision, 1)}
+	a.reqs <- r
+	a.closeMu.RUnlock()
+	return <-r.resp, true
+}
+
+// Close stops the collection loop, waits for queued documents to be
+// decided, and makes future VetBytes calls vet directly. Must be called
+// at most once; the admitter keeps serving (unbatched) after.
+func (a *Admitter) Close() {
+	a.closeMu.Lock()
+	a.closed = true
+	a.closeMu.Unlock()
+	close(a.done)
+	a.wg.Wait()
+}
+
+// loop collects windows of requests and dispatches each as one batch.
+func (a *Admitter) loop() {
+	defer a.wg.Done()
+	for {
+		select {
+		case first := <-a.reqs:
+			a.dispatch(a.collect(first))
+		case <-a.done:
+			// Drain whatever made it into the queue before Close; their
+			// senders are parked on resp channels.
+			for {
+				select {
+				case r := <-a.reqs:
+					a.dispatch(a.collect(r))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect gathers one micro-batch: the first request plus whatever
+// arrives within maxWait, capped at maxBatch.
+func (a *Admitter) collect(first admitReq) []admitReq {
+	batch := make([]admitReq, 1, a.maxBatch)
+	batch[0] = first
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	for len(batch) < a.maxBatch {
+		select {
+		case r := <-a.reqs:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-a.done:
+			return batch
+		}
+	}
+	return batch
+}
+
+// dispatch scans a batch's unique documents once and fans decisions back
+// out to every request.
+func (a *Admitter) dispatch(batch []admitReq) {
+	a.batches.Add(1)
+	docs := make([][]byte, 0, len(batch))
+	slot := make([]int, len(batch))
+	byDigest := make(map[uint64][]int, len(batch))
+	for i, r := range batch {
+		d := contentcache.Digest(zerocopy.String(r.doc))
+		dup := -1
+		for _, j := range byDigest[d] {
+			if bytes.Equal(docs[j], r.doc) {
+				dup = j
+				break
+			}
+		}
+		if dup >= 0 {
+			slot[i] = dup
+			a.coalesced.Add(1)
+			continue
+		}
+		docs = append(docs, r.doc)
+		byDigest[d] = append(byDigest[d], len(docs)-1)
+		slot[i] = len(docs) - 1
+	}
+	decisions := a.v.VetAllBytes(docs)
+	for i, r := range batch {
+		r.resp <- decisions[slot[i]]
+	}
+}
+
+// Metrics returns the admitter's /metrics fields: request, batch, and
+// coalesced-duplicate counts plus the end-to-end admission latency
+// (queueing included) summary.
+func (a *Admitter) Metrics() map[string]any {
+	return map[string]any{
+		"requests":          a.requests.Load(),
+		"batches":           a.batches.Load(),
+		"coalesced":         a.coalesced.Load(),
+		"admission_latency": a.lat.Summary(),
+	}
+}

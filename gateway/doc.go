@@ -6,9 +6,20 @@
 // with a deployed signature set and blocks exploit-kit landings; the
 // Vetter is the CDN-side admission check for uploads.
 //
-// Both components scan through a shared BatchScanner: Vetter.VetAll
-// admits a whole upload batch in one pass across the matcher's worker
-// pool, which is the shape CDN admission queues and scan APIs call with.
-// Signature updates arrive through sigdb's polling client, so a running
-// proxy converges on a new published set without restarting.
+// The serving hot path is built for provider load. Response bodies move
+// as []byte through pooled buffers (Vetter.VetBytes, the BytesScanner
+// fast path) — a vetted-and-passed response allocates nothing on the
+// scan path. Concurrent admissions coalesce through the Admitter into
+// micro-batches that dispatch one ScanAll sweep per window and scan each
+// distinct in-flight document once; under the hot-key skew an edge
+// actually sees, most requests are answered by another request's scan.
+// Batched decisions are differentially pinned identical to per-document
+// decisions, so batching is an economics knob, never a semantics one.
+//
+// Signature updates arrive through sigdb's polling client (conditional,
+// jittered, per-family deltas), so a running proxy converges on a new
+// published set without restarting; Vetter.Update swaps the matcher
+// atomically under in-flight scans. BenchmarkServe prices the path —
+// direct vs batched, cold vs warm signature swap — and reports exact
+// p50/p99 custom metrics that CI's bench gate enforces as SLOs.
 package gateway

@@ -10,8 +10,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kizzle"
+	"kizzle/internal/servemetrics"
 )
 
 // Decision is the outcome of scanning one document.
@@ -34,6 +36,24 @@ type Scanner interface {
 type BatchScanner interface {
 	Scanner
 	ScanAll(docs []string) [][]kizzle.Match
+}
+
+// BytesScanner is optionally implemented by signature sets that can scan
+// a document held in a byte slice in place (*kizzle.Matcher does).
+// VetBytes uses it when available, which is what makes the proxy's pooled
+// body buffers zero-copy end to end; other scanners fall back to one
+// string copy.
+type BytesScanner interface {
+	Scanner
+	ScanBytes(doc []byte) []kizzle.Match
+}
+
+// BatchBytesScanner is optionally implemented by signature sets that scan
+// byte-slice batches in bulk (*kizzle.Matcher does); VetAllBytes — and
+// through it the admission batcher — uses it when available.
+type BatchBytesScanner interface {
+	Scanner
+	ScanAllBytes(docs [][]byte) [][]kizzle.Match
 }
 
 // multiAdapter lifts a MultiMatcher to the Scanner interface.
@@ -59,6 +79,8 @@ type Vetter struct {
 
 	scanned atomic.Int64
 	blocked atomic.Int64
+	version atomic.Int64
+	lat     servemetrics.Hist
 }
 
 // NewVetter builds a vetter around an initial signature set.
@@ -73,16 +95,24 @@ func (v *Vetter) Update(scanner Scanner) {
 	v.scanner = scanner
 }
 
-// Vet scans one document.
-func (v *Vetter) Vet(doc string) Decision {
+// SetVersion records the deployed signature-set version for the metrics
+// surface; it does not affect scanning. Callers that poll sigdb set it
+// alongside Update.
+func (v *Vetter) SetVersion(version int64) { v.version.Store(version) }
+
+// Version returns the version recorded by SetVersion (0 if never set).
+func (v *Vetter) Version() int64 { return v.version.Load() }
+
+// current returns the live scanner.
+func (v *Vetter) current() Scanner {
 	v.mu.RLock()
 	scanner := v.scanner
 	v.mu.RUnlock()
-	v.scanned.Add(1)
-	if scanner == nil {
-		return Decision{}
-	}
-	matches := scanner.Scan(doc)
+	return scanner
+}
+
+// decide folds matches into a Decision, maintaining the blocked counter.
+func (v *Vetter) decide(matches []kizzle.Match) Decision {
 	if len(matches) == 0 {
 		return Decision{}
 	}
@@ -90,34 +120,95 @@ func (v *Vetter) Vet(doc string) Decision {
 	return Decision{Blocked: true, Family: matches[0].Family}
 }
 
+// Vet scans one document.
+func (v *Vetter) Vet(doc string) Decision {
+	scanner := v.current()
+	v.scanned.Add(1)
+	if scanner == nil {
+		return Decision{}
+	}
+	start := time.Now()
+	matches := scanner.Scan(doc)
+	v.lat.Observe(time.Since(start))
+	return v.decide(matches)
+}
+
+// VetBytes scans one document held in a byte slice. With a BytesScanner
+// deployed the document is scanned in place — the caller keeps ownership
+// of the buffer and may reuse it the moment the call returns; decisions
+// are identical to Vet(string(doc)).
+func (v *Vetter) VetBytes(doc []byte) Decision {
+	scanner := v.current()
+	v.scanned.Add(1)
+	if scanner == nil {
+		return Decision{}
+	}
+	start := time.Now()
+	var matches []kizzle.Match
+	if bs, ok := scanner.(BytesScanner); ok {
+		matches = bs.ScanBytes(doc)
+	} else {
+		matches = scanner.Scan(string(doc))
+	}
+	v.lat.Observe(time.Since(start))
+	return v.decide(matches)
+}
+
 // VetAll scans a batch of documents and returns per-document decisions
 // aligned with the input. When the deployed signature set supports batch
 // scanning the whole batch fans out across one worker pool; otherwise the
 // documents are scanned serially.
 func (v *Vetter) VetAll(docs []string) []Decision {
-	v.mu.RLock()
-	scanner := v.scanner
-	v.mu.RUnlock()
+	scanner := v.current()
 	v.scanned.Add(int64(len(docs)))
 	out := make([]Decision, len(docs))
 	if scanner == nil || len(docs) == 0 {
 		return out
 	}
+	start := time.Now()
 	if bs, ok := scanner.(BatchScanner); ok {
 		for i, matches := range bs.ScanAll(docs) {
-			if len(matches) > 0 {
-				out[i] = Decision{Blocked: true, Family: matches[0].Family}
-				v.blocked.Add(1)
-			}
+			out[i] = v.decide(matches)
 		}
+	} else {
+		for i, doc := range docs {
+			out[i] = v.decide(scanner.Scan(doc))
+		}
+	}
+	// Batch entry points record the whole call once: that is the latency
+	// every document in the batch experienced.
+	v.lat.Observe(time.Since(start))
+	return out
+}
+
+// VetAllBytes is VetAll for byte-slice documents: zero-copy with a
+// BatchBytesScanner deployed, aligned with the input, and
+// decision-identical to per-document VetBytes calls. Buffer-ownership
+// rules are those of VetBytes.
+func (v *Vetter) VetAllBytes(docs [][]byte) []Decision {
+	scanner := v.current()
+	v.scanned.Add(int64(len(docs)))
+	out := make([]Decision, len(docs))
+	if scanner == nil || len(docs) == 0 {
 		return out
 	}
-	for i, doc := range docs {
-		if matches := scanner.Scan(doc); len(matches) > 0 {
-			out[i] = Decision{Blocked: true, Family: matches[0].Family}
-			v.blocked.Add(1)
+	start := time.Now()
+	if bs, ok := scanner.(BatchBytesScanner); ok {
+		for i, matches := range bs.ScanAllBytes(docs) {
+			out[i] = v.decide(matches)
+		}
+	} else {
+		for i, doc := range docs {
+			var matches []kizzle.Match
+			if s, ok := scanner.(BytesScanner); ok {
+				matches = s.ScanBytes(doc)
+			} else {
+				matches = scanner.Scan(string(doc))
+			}
+			out[i] = v.decide(matches)
 		}
 	}
+	v.lat.Observe(time.Since(start))
 	return out
 }
 
@@ -126,12 +217,31 @@ func (v *Vetter) Stats() (scanned, blocked int64) {
 	return v.scanned.Load(), v.blocked.Load()
 }
 
+// ScanLatency exposes the vetter's scan-latency histogram (p50/p99 for
+// the /metrics surface). Batch calls record one observation per call,
+// per-document calls one per document.
+func (v *Vetter) ScanLatency() *servemetrics.Hist { return &v.lat }
+
+// Metrics returns the vetter's /metrics fields: scan and block counts,
+// the recorded signature-set version, and the scan-latency summary.
+func (v *Vetter) Metrics() map[string]any {
+	return map[string]any{
+		"scanned":         v.scanned.Load(),
+		"blocked":         v.blocked.Load(),
+		"matcher_version": v.version.Load(),
+		"scan_latency":    v.lat.Summary(),
+	}
+}
+
 // Proxy is a scanning reverse proxy: HTML and JavaScript responses from the
 // upstream are buffered, vetted, and replaced with 403 when a signature
 // fires. Non-script content passes through untouched.
 type Proxy struct {
 	vetter *Vetter
 	proxy  *httputil.ReverseProxy
+	// admit, when set by UseAdmitter, routes each body through the
+	// admission batcher instead of a direct per-document vet.
+	admit *Admitter
 	// MaxScanBytes bounds how much of a response is buffered for
 	// scanning (default 4 MiB); larger responses pass unscanned rather
 	// than stalling the proxy.
@@ -146,6 +256,13 @@ func NewProxy(upstream *url.URL, vetter *Vetter) *Proxy {
 	p.proxy = rp
 	return p
 }
+
+// UseAdmitter routes the proxy's admission decisions through a (already
+// running) Admitter, so concurrent in-flight responses coalesce into
+// micro-batches — and duplicate in-flight documents into single scans —
+// instead of each paying its own scan. Decisions are identical to the
+// direct path. Call before serving; the admitter must outlive the proxy.
+func (p *Proxy) UseAdmitter(a *Admitter) { p.admit = a }
 
 var _ http.Handler = (*Proxy)(nil)
 
@@ -162,6 +279,59 @@ func scannable(contentType string) bool {
 		strings.Contains(ct, "ecmascript")
 }
 
+// bodyPool recycles response-body buffers across proxied requests: a
+// vetted-and-passed response costs zero scan-path allocations in steady
+// state. 64 KiB starting capacity holds the overwhelming share of web
+// responses; larger bodies grow their pooled buffer once and the grown
+// buffer is what returns to the pool.
+var bodyPool = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return &b }}
+
+// readBodyInto reads r to EOF into buf (growing it as needed), stopping
+// early once more than max bytes have been read. It returns the filled
+// buffer; the caller decides what an over-max read means.
+func readBodyInto(buf []byte, r io.Reader, max int64) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+		if int64(len(buf)) > max {
+			return buf, nil
+		}
+	}
+}
+
+// pooledBody is a response body backed by a pooled buffer: Close returns
+// the buffer to the pool (and closes the remaining upstream body, when
+// the oversized path left one attached). Close is idempotent —
+// http.ReverseProxy closes the body it copies from, but defensive double
+// closes must not double-free the buffer.
+type pooledBody struct {
+	io.Reader
+	buf  *[]byte
+	rest io.Closer
+}
+
+func (pb *pooledBody) Close() error {
+	if pb.buf != nil {
+		bodyPool.Put(pb.buf)
+		pb.buf = nil
+	}
+	if pb.rest != nil {
+		rest := pb.rest
+		pb.rest = nil
+		return rest.Close()
+	}
+	return nil
+}
+
 func (p *Proxy) modifyResponse(resp *http.Response) error {
 	if !scannable(resp.Header.Get("Content-Type")) {
 		return nil
@@ -169,21 +339,39 @@ func (p *Proxy) modifyResponse(resp *http.Response) error {
 	if resp.ContentLength > p.MaxScanBytes {
 		return nil
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, p.MaxScanBytes+1))
-	closeErr := resp.Body.Close()
+	bp := bodyPool.Get().(*[]byte)
+	body, err := readBodyInto((*bp)[:0], resp.Body, p.MaxScanBytes)
+	*bp = body[:0] // keep any growth pooled, whatever path returns it
 	if err != nil {
+		bodyPool.Put(bp)
+		resp.Body.Close()
 		return fmt.Errorf("gateway: read upstream body: %w", err)
 	}
-	if closeErr != nil {
-		return fmt.Errorf("gateway: close upstream body: %w", closeErr)
-	}
 	if int64(len(body)) > p.MaxScanBytes {
-		// Too large to scan: pass through what we read plus the rest.
-		resp.Body = io.NopCloser(bytes.NewReader(body))
-		resp.ContentLength = int64(len(body))
+		// Too large to scan (chunked responses reach here: their length is
+		// unknown until read). Pass through what was buffered followed by
+		// the rest of the upstream body, unconsumed and untruncated.
+		resp.Body = &pooledBody{
+			Reader: io.MultiReader(bytes.NewReader(body), resp.Body),
+			buf:    bp,
+			rest:   resp.Body,
+		}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
 		return nil
 	}
-	if d := p.vetter.Vet(string(body)); d.Blocked {
+	if closeErr := resp.Body.Close(); closeErr != nil {
+		bodyPool.Put(bp)
+		return fmt.Errorf("gateway: close upstream body: %w", closeErr)
+	}
+	var d Decision
+	if p.admit != nil {
+		d = p.admit.VetBytes(body)
+	} else {
+		d = p.vetter.VetBytes(body)
+	}
+	if d.Blocked {
+		bodyPool.Put(bp)
 		blocked := fmt.Sprintf("blocked by kizzle: %s exploit kit detected\n", d.Family)
 		resp.StatusCode = http.StatusForbidden
 		resp.Status = http.StatusText(http.StatusForbidden)
@@ -192,7 +380,7 @@ func (p *Proxy) modifyResponse(resp *http.Response) error {
 		resp.ContentLength = int64(len(blocked))
 		return nil
 	}
-	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.Body = &pooledBody{Reader: bytes.NewReader(body), buf: bp}
 	resp.ContentLength = int64(len(body))
 	return nil
 }

@@ -13,8 +13,8 @@ import (
 	"kizzle/synth"
 )
 
-// buildMatcher trains a matcher on one synthetic day.
-func buildMatcher(t *testing.T, day int) *kizzle.Matcher {
+// trainSignatures produces a real signature set from one synthetic day.
+func trainSignatures(t testing.TB, day int) []kizzle.Signature {
 	t.Helper()
 	c := kizzle.New(kizzle.WithSignatureSlack(2))
 	for _, fam := range synth.Kits() {
@@ -34,14 +34,23 @@ func buildMatcher(t *testing.T, day int) *kizzle.Matcher {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := kizzle.NewMatcher(res.Signatures)
+	if len(res.Signatures) == 0 {
+		t.Fatal("no signatures trained")
+	}
+	return res.Signatures
+}
+
+// buildMatcher trains a matcher on one synthetic day.
+func buildMatcher(t testing.TB, day int) *kizzle.Matcher {
+	t.Helper()
+	m, err := kizzle.NewMatcher(trainSignatures(t, day))
 	if err != nil {
 		t.Fatal(err)
 	}
 	return m
 }
 
-func kitDoc(t *testing.T, day int) string {
+func kitDoc(t testing.TB, day int) string {
 	t.Helper()
 	cfg := synth.DefaultConfig()
 	cfg.BenignPerDay = 0

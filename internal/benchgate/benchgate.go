@@ -5,6 +5,11 @@
 // hiccups; the comparison tolerance absorbs runner-to-runner noise; an
 // over-tolerance median — or a baselined benchmark that vanished — fails
 // the gate.
+//
+// Custom metrics a benchmark reports via b.ReportMetric ride along in
+// snapshots, and the ones whose unit starts with "p50-" or "p99-" are
+// latency-percentile SLOs gated exactly like ns/op: a throughput-neutral
+// change that fattens the tail fails the gate too.
 package benchgate
 
 import (
@@ -23,10 +28,24 @@ type Measurement struct {
 	Name string
 	// NsPerOp is the reported ns/op.
 	NsPerOp float64
+	// Metrics holds the line's custom unit/value pairs (b.ReportMetric
+	// output), keyed by unit — e.g. "p99-us". The standard -benchmem
+	// units (B/op, allocs/op) and MB/s are excluded.
+	Metrics map[string]float64
+}
+
+// standardUnit reports whether a bench unit is one of go test's own,
+// as opposed to a b.ReportMetric custom metric.
+func standardUnit(u string) bool {
+	switch u {
+	case "ns/op", "B/op", "allocs/op", "MB/s":
+		return true
+	}
+	return false
 }
 
 // Parse extracts benchmark measurements from `go test -bench` output.
-// Unrecognized lines (headers, PASS/ok, metrics-only lines) are skipped.
+// Unrecognized lines (headers, PASS/ok) are skipped.
 func Parse(r io.Reader) ([]Measurement, error) {
 	var out []Measurement
 	sc := bufio.NewScanner(r)
@@ -38,22 +57,31 @@ func Parse(r io.Reader) ([]Measurement, error) {
 		}
 		fields := strings.Fields(line)
 		// Name, iterations, then value/unit pairs; ns/op is the unit of
-		// the value preceding it.
+		// the value preceding it, custom units ride after.
 		ns := -1.0
+		var metrics map[string]float64
 		for i := 2; i < len(fields); i++ {
-			if fields[i] == "ns/op" {
-				v, err := strconv.ParseFloat(fields[i-1], 64)
-				if err != nil {
-					return nil, fmt.Errorf("benchgate: bad ns/op in %q", line)
-				}
+			if _, err := strconv.ParseFloat(fields[i], 64); err == nil {
+				continue // a value, not a unit
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch {
+			case fields[i] == "ns/op":
 				ns = v
-				break
+			case !standardUnit(fields[i]):
+				if metrics == nil {
+					metrics = make(map[string]float64)
+				}
+				metrics[fields[i]] = v
 			}
 		}
 		if ns < 0 || len(fields) < 3 {
 			continue
 		}
-		out = append(out, Measurement{Name: trimProcSuffix(fields[0]), NsPerOp: ns})
+		out = append(out, Measurement{Name: trimProcSuffix(fields[0]), NsPerOp: ns, Metrics: metrics})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("benchgate: %w", err)
@@ -81,6 +109,9 @@ type Entry struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	// Samples is how many runs fed the median.
 	Samples int `json:"samples"`
+	// Metrics holds per-unit medians of the benchmark's custom metrics
+	// (b.ReportMetric). Units prefixed "p50-" or "p99-" are gated.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the serialized form of one bench run (BENCH_*.json).
@@ -95,23 +126,40 @@ type Snapshot struct {
 	Benchmarks map[string]Entry `json:"benchmarks"`
 }
 
-// Aggregate folds raw measurements into per-benchmark medians.
+// median of a non-empty sample set (sorts in place).
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// Aggregate folds raw measurements into per-benchmark medians, custom
+// metrics included.
 func Aggregate(ms []Measurement) map[string]Entry {
 	byName := make(map[string][]float64)
+	metricsByName := make(map[string]map[string][]float64)
 	for _, m := range ms {
 		byName[m.Name] = append(byName[m.Name], m.NsPerOp)
+		for unit, v := range m.Metrics {
+			if metricsByName[m.Name] == nil {
+				metricsByName[m.Name] = make(map[string][]float64)
+			}
+			metricsByName[m.Name][unit] = append(metricsByName[m.Name][unit], v)
+		}
 	}
 	out := make(map[string]Entry, len(byName))
 	for name, vals := range byName {
-		sort.Float64s(vals)
-		var median float64
-		n := len(vals)
-		if n%2 == 1 {
-			median = vals[n/2]
-		} else {
-			median = (vals[n/2-1] + vals[n/2]) / 2
+		e := Entry{NsPerOp: median(vals), Samples: len(vals)}
+		if units := metricsByName[name]; len(units) > 0 {
+			e.Metrics = make(map[string]float64, len(units))
+			for unit, mv := range units {
+				e.Metrics[unit] = median(mv)
+			}
 		}
-		out[name] = Entry{NsPerOp: median, Samples: n}
+		out[name] = e
 	}
 	return out
 }
@@ -128,11 +176,19 @@ type Verdict struct {
 	Regressed bool
 }
 
+// gatedMetric reports whether a custom metric unit is an SLO the gate
+// enforces: latency percentiles reported as p50-* / p99-*.
+func gatedMetric(unit string) bool {
+	return strings.HasPrefix(unit, "p50-") || strings.HasPrefix(unit, "p99-")
+}
+
 // Compare gates the current run against a baseline: a benchmark
 // regresses when its median exceeds baseline·(1+tolerance), or when a
 // baselined benchmark vanished from the run (a silently dropped
 // benchmark would otherwise blind the gate; refresh the baseline when
 // renaming). Benchmarks new in the current run pass with Baseline 0.
+// Latency-percentile custom metrics (p50-*/p99-*) get their own verdict
+// per benchmark, named "Benchmark [unit]", gated by the same rules.
 // Results are sorted by descending ratio, regressions first.
 func Compare(current, baseline map[string]Entry, tolerance float64) (verdicts []Verdict, regressed bool) {
 	names := make(map[string]bool, len(current)+len(baseline))
@@ -157,6 +213,37 @@ func Compare(current, baseline map[string]Entry, tolerance float64) (verdicts []
 			regressed = true
 		}
 		verdicts = append(verdicts, v)
+
+		// Percentile SLO metrics: every gated unit either side knows about
+		// gets a verdict, so a vanished percentile fails just like a
+		// vanished benchmark (but only when the benchmark itself still ran).
+		units := make(map[string]bool)
+		for u := range base.Metrics {
+			if gatedMetric(u) {
+				units[u] = true
+			}
+		}
+		for u := range cur.Metrics {
+			if gatedMetric(u) {
+				units[u] = true
+			}
+		}
+		for u := range units {
+			bv, haveBV := base.Metrics[u]
+			cv, haveCV := cur.Metrics[u]
+			mv := Verdict{Name: name + " [" + u + "]", Baseline: bv, Current: cv}
+			switch {
+			case haveBV && !haveCV && haveCur:
+				mv.Regressed = true
+			case haveBV && haveCV && bv > 0:
+				mv.Ratio = cv / bv
+				mv.Regressed = mv.Ratio > 1+tolerance
+			}
+			if mv.Regressed {
+				regressed = true
+			}
+			verdicts = append(verdicts, mv)
+		}
 	}
 	sort.Slice(verdicts, func(a, b int) bool {
 		if verdicts[a].Regressed != verdicts[b].Regressed {

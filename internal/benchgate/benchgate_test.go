@@ -32,6 +32,80 @@ func TestParseAndAggregate(t *testing.T) {
 	if e := agg["BenchmarkPipelineSharded/mode=stream/shards=4"]; e.NsPerOp != 445000000 {
 		t.Fatalf("sub-benchmark entry = %+v", e)
 	}
+	if e := agg["BenchmarkPipelineSharded/mode=stream/shards=4"]; e.Metrics["fleet-critical-us"] != 445095 {
+		t.Fatalf("custom metric not captured: %+v", e.Metrics)
+	}
+	if e := agg["BenchmarkScan"]; e.Metrics != nil {
+		t.Fatalf("B/op and allocs/op must not be treated as custom metrics: %+v", e.Metrics)
+	}
+}
+
+func TestParseCustomMetrics(t *testing.T) {
+	const out = `BenchmarkServe/batched-1   140000   8350 ns/op   0.62 coalesced/req   211 p50-us   750 p99-us
+BenchmarkServe/batched-1   140000   8100 ns/op   0.61 coalesced/req   205 p50-us   900 p99-us
+BenchmarkServe/batched-1   140000   8200 ns/op   0.63 coalesced/req   208 p50-us   800 p99-us
+`
+	ms, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 || ms[0].Metrics["p99-us"] != 750 {
+		t.Fatalf("parsed %+v", ms)
+	}
+	e := Aggregate(ms)["BenchmarkServe/batched"]
+	if e.NsPerOp != 8200 || e.Metrics["p50-us"] != 208 || e.Metrics["p99-us"] != 800 {
+		t.Fatalf("aggregated entry = %+v", e)
+	}
+}
+
+// TestCompareGatesPercentiles: a throughput-neutral run whose p99 blew
+// past tolerance must fail the gate; ungated custom metrics must not.
+func TestCompareGatesPercentiles(t *testing.T) {
+	base := map[string]Entry{
+		"S": {NsPerOp: 100, Metrics: map[string]float64{"p50-us": 10, "p99-us": 50, "coalesced/req": 0.6}},
+	}
+	cur := map[string]Entry{
+		"S": {NsPerOp: 100, Metrics: map[string]float64{"p50-us": 11, "p99-us": 200, "coalesced/req": 0.1}},
+	}
+	verdicts, regressed := Compare(cur, base, 0.25)
+	if !regressed {
+		t.Fatal("4x p99 must regress")
+	}
+	got := map[string]bool{}
+	for _, v := range verdicts {
+		got[v.Name] = v.Regressed
+	}
+	if got["S"] || got["S [p50-us]"] || !got["S [p99-us]"] {
+		t.Errorf("verdicts = %+v", got)
+	}
+	if _, ok := got["S [coalesced/req]"]; ok {
+		t.Error("ungated custom metric must not get a verdict")
+	}
+
+	// A percentile that vanished while the benchmark still ran fails.
+	cur2 := map[string]Entry{"S": {NsPerOp: 100, Metrics: map[string]float64{"p50-us": 10}}}
+	verdicts, regressed = Compare(cur2, base, 0.25)
+	if !regressed {
+		t.Fatal("vanished p99 metric must regress")
+	}
+	for _, v := range verdicts {
+		if v.Name == "S [p99-us]" && !v.Regressed {
+			t.Error("vanished percentile verdict not regressed")
+		}
+	}
+
+	// A benchmark missing wholesale regresses once (on the benchmark),
+	// not once per metric.
+	verdicts, _ = Compare(map[string]Entry{}, base, 0.25)
+	n := 0
+	for _, v := range verdicts {
+		if v.Regressed {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("missing benchmark produced %d regressions, want 1", n)
+	}
 }
 
 func TestParseEvenMedian(t *testing.T) {

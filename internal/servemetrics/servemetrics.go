@@ -1,0 +1,152 @@
+// Package servemetrics is the shared observability kit of the serving
+// tier: a lock-free latency histogram cheap enough to sit on the scan hot
+// path, and helpers for the hand-rolled JSON /metrics endpoints that
+// kizzlegate, sigserve, and kizzleshard expose — the dashboard surface
+// that makes a fleet of replicas operable from one place (scan counts,
+// p50/p99 scan latency, matcher versions, cache hit rates, resident-set
+// bytes).
+//
+// The histogram buckets durations logarithmically with two mantissa bits
+// (≈19% bucket width), which resolves p50/p99 finely enough for
+// operational dashboards at a fixed 2 KiB of atomics per histogram and
+// ~15 ns per observation. SLO gating in CI does not read these
+// histograms: benchmarks compute exact percentiles from recorded samples
+// (see gateway's BenchmarkServe) so the bench gate never inherits bucket
+// quantization.
+package servemetrics
+
+import (
+	"encoding/json"
+	"math"
+	"math/bits"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets covers 1 ns to beyond an hour: values below 8 ns get exact
+// buckets 0..7, then 4 sub-buckets (two mantissa bits) per power of two.
+const histBuckets = 8 + (64-4+1)*4
+
+// Hist is a concurrent log-bucketed latency histogram. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Hist struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// bucketOf maps a nanosecond count to its bucket index.
+func bucketOf(ns int64) int {
+	v := uint64(ns)
+	if v < 8 {
+		return int(v)
+	}
+	e := bits.Len64(v) // 4..64
+	sub := (v >> (uint(e) - 3)) & 3
+	b := 8 + (e-4)*4 + int(sub)
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper is the exclusive nanosecond upper bound of bucket b — the
+// value quantiles report.
+func bucketUpper(b int) int64 {
+	if b < 8 {
+		return int64(b) + 1
+	}
+	e := 4 + (b-8)/4
+	sub := int64((b - 8) % 4)
+	if e >= 63 {
+		// The top buckets' bounds would overflow int64; saturate — an
+		// observation that large (centuries) is beyond any latency scale.
+		return math.MaxInt64
+	}
+	return (5 + sub) << (uint(e) - 3)
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Hist) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns how many observations the histogram holds.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed durations, within one bucket width (≈19%). With no
+// observations it returns 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for b := 0; b < histBuckets; b++ {
+		seen += h.counts[b].Load()
+		if seen >= rank {
+			return time.Duration(bucketUpper(b))
+		}
+	}
+	return time.Duration(bucketUpper(histBuckets - 1))
+}
+
+// Summary reports the histogram as the standard /metrics fields:
+// observation count, mean, and p50/p99 upper bounds, in microseconds.
+func (h *Hist) Summary() map[string]any {
+	n := h.count.Load()
+	out := map[string]any{
+		"count":  n,
+		"p50_us": float64(h.Quantile(0.50)) / 1e3,
+		"p99_us": float64(h.Quantile(0.99)) / 1e3,
+	}
+	if n > 0 {
+		out["mean_us"] = float64(h.sum.Load()) / float64(n) / 1e3
+	}
+	return out
+}
+
+// Handler serves collect() as an indented JSON document — the shape of
+// every /metrics endpoint in the repository. collect runs per request, so
+// the page always reflects live counters.
+func Handler(collect func() map[string]any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collect()); err != nil {
+			// Headers already sent; nothing more to do.
+			return
+		}
+	})
+}
+
+// RuntimeStats returns the process-level fields every /metrics page
+// carries: resident-set proxies from the Go runtime (heap in use, total
+// OS-claimed bytes), GC cycles, and live goroutines.
+func RuntimeStats() map[string]any {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return map[string]any{
+		"heap_inuse_bytes": ms.HeapInuse,
+		"sys_bytes":        ms.Sys,
+		"num_gc":           ms.NumGC,
+		"goroutines":       runtime.NumGoroutine(),
+	}
+}

@@ -1,0 +1,117 @@
+package servemetrics
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketsMonotonic pins the bucket layout: indices are monotonic in
+// the value, every value lands strictly below its bucket's upper bound,
+// and upper bounds increase.
+func TestBucketsMonotonic(t *testing.T) {
+	prev := -1
+	for _, ns := range []int64{0, 1, 2, 7, 8, 9, 15, 16, 100, 1000, 999999, 1 << 30, 1 << 45, 1 << 62} {
+		b := bucketOf(ns)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", ns, b, prev)
+		}
+		if ns >= bucketUpper(b) && b < histBuckets-1 {
+			t.Fatalf("value %d >= upper bound %d of its bucket %d", ns, bucketUpper(b), b)
+		}
+		prev = b
+	}
+	for b := 1; b < histBuckets; b++ {
+		// The top buckets saturate at MaxInt64; equality is allowed there.
+		if bucketUpper(b) < bucketUpper(b-1) ||
+			(bucketUpper(b) == bucketUpper(b-1) && bucketUpper(b) != math.MaxInt64) {
+			t.Fatalf("bucketUpper(%d)=%d not above bucketUpper(%d)=%d", b, bucketUpper(b), b-1, bucketUpper(b-1))
+		}
+	}
+}
+
+// TestQuantileWithinBucketWidth checks quantile estimates against exact
+// percentiles of the recorded samples: the histogram answer must bound
+// the true value from above within one bucket (≤25% high).
+func TestQuantileWithinBucketWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Hist
+	samples := make([]int64, 5000)
+	for i := range samples {
+		// Log-uniform over ~1µs..10ms, the scan latency range.
+		ns := int64(1000 * (1 + rng.Float64()*9999))
+		samples[i] = ns
+		h.Observe(time.Duration(ns))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := int64(h.Quantile(q))
+		if got < exact {
+			t.Errorf("q=%.2f: histogram %d below exact %d", q, got, exact)
+		}
+		if float64(got) > float64(exact)*1.25+8 {
+			t.Errorf("q=%.2f: histogram %d more than a bucket above exact %d", q, got, exact)
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 {
+		t.Error("empty histogram must report 0")
+	}
+	if h.Count() != 0 {
+		t.Error("empty histogram count != 0")
+	}
+}
+
+// TestObserveConcurrent exercises the atomics under the race detector and
+// checks no observation is lost.
+func TestObserveConcurrent(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	var h Hist
+	h.Observe(time.Millisecond)
+	handler := Handler(func() map[string]any {
+		return map[string]any{"scan_latency": h.Summary(), "runtime": RuntimeStats()}
+	})
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics page is not JSON: %v", err)
+	}
+	lat, ok := doc["scan_latency"].(map[string]any)
+	if !ok || lat["count"].(float64) != 1 {
+		t.Fatalf("scan_latency missing or wrong: %v", doc)
+	}
+	if _, ok := doc["runtime"].(map[string]any)["heap_inuse_bytes"]; !ok {
+		t.Fatal("runtime stats missing")
+	}
+}

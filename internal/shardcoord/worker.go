@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"kizzle/internal/contentcache"
 	"kizzle/internal/jstoken"
 	"kizzle/internal/pipeline"
+	"kizzle/internal/servemetrics"
 )
 
 // maxPartitionRequestBytes caps one /partition or /edges request body. A
@@ -82,6 +85,11 @@ type Worker struct {
 	workers  int
 	cache    *contentcache.Cache
 	resident *residentSet
+
+	partitions atomic.Int64
+	edges      atomic.Int64
+	edgesV3    atomic.Int64
+	workLat    servemetrics.Hist
 }
 
 // WorkerOption configures a Worker.
@@ -296,7 +304,34 @@ func (w *Worker) Handler() http.Handler {
 		}
 		fmt.Fprintln(rw)
 	})
+	mux.Handle("/metrics", servemetrics.Handler(w.Metrics))
 	return mux
+}
+
+// Metrics returns the worker's /metrics fields: work-unit counters by
+// endpoint, work-unit latency, verdict-cache hit rates, and resident-set
+// occupancy.
+func (w *Worker) Metrics() map[string]any {
+	st := w.cache.Stats()
+	out := map[string]any{
+		"partitions":       w.partitions.Load(),
+		"edges":            w.edges.Load(),
+		"edges3":           w.edgesV3.Load(),
+		"work_latency":     w.workLat.Summary(),
+		"cache_entries":    st.Entries,
+		"cache_bytes":      st.Bytes,
+		"cache_hits":       st.Hits,
+		"cache_misses":     st.Misses,
+		"cache_hit_rate":   st.HitRate(),
+		"resident_enabled": w.resident != nil,
+		"runtime":          servemetrics.RuntimeStats(),
+	}
+	if w.resident != nil {
+		entries, bytes := w.resident.stats()
+		out["resident_entries"] = entries
+		out["resident_bytes"] = bytes
+	}
+	return out
 }
 
 // decodeBody decodes a capped JSON request body, translating oversized
@@ -324,7 +359,10 @@ func (w *Worker) servePartition(rw http.ResponseWriter, r *http.Request) {
 	if !decodeBody(rw, r, &req) {
 		return
 	}
+	w.partitions.Add(1)
+	start := time.Now()
 	resp, err := w.Cluster(&req)
+	w.workLat.Observe(time.Since(start))
 	if err != nil {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
@@ -337,7 +375,10 @@ func (w *Worker) serveEdges(rw http.ResponseWriter, r *http.Request) {
 	if !decodeBody(rw, r, &req) {
 		return
 	}
+	w.edges.Add(1)
+	start := time.Now()
 	resp, err := w.Edges(&req)
+	w.workLat.Observe(time.Since(start))
 	if err != nil {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
@@ -350,7 +391,10 @@ func (w *Worker) serveEdgesV3(rw http.ResponseWriter, r *http.Request) {
 	if !decodeBody(rw, r, &req) {
 		return
 	}
+	w.edgesV3.Add(1)
+	start := time.Now()
 	resp, err := w.EdgesV3(&req)
+	w.workLat.Observe(time.Since(start))
 	if err != nil {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return

@@ -1,0 +1,33 @@
+// Package zerocopy holds the one unsafe conversion the serving hot path
+// is built on: viewing a []byte as a string without copying it. The
+// gateway reads every response body into a pooled buffer and scans it in
+// place; copying each body into a fresh string (the pre-PR-7 path) cost
+// an allocation plus a full memory copy per vetted response, which at
+// provider scale is most of the admission path's allocation traffic.
+//
+// The view aliases the byte slice's memory, so the usual string
+// immutability guarantee does not hold. Callers must enforce two rules:
+//
+//   - the bytes must not be mutated (or returned to a pool) while any
+//     reference to the view — or to substrings of it, such as lexer
+//     tokens — is still live;
+//   - the view must not be stored past the operation it was made for
+//     (scan results must carry no substrings of the document, only
+//     values owned elsewhere).
+//
+// Both call sites in this repository (sigmatch scanning, gateway
+// vetting) satisfy these by construction: tokens live only for the
+// duration of one scan, and Match results carry only signature-owned
+// family strings and integer offsets.
+package zerocopy
+
+import "unsafe"
+
+// String returns a string view of b without copying. See the package
+// comment for the aliasing rules callers must uphold.
+func String(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}

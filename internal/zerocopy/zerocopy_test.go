@@ -1,0 +1,29 @@
+package zerocopy
+
+import "testing"
+
+func TestString(t *testing.T) {
+	b := []byte("hello, world")
+	s := String(b)
+	if s != "hello, world" {
+		t.Fatalf("String = %q", s)
+	}
+	// The view must alias the slice's memory, not copy it — that is the
+	// entire point of the package.
+	b[0] = 'H'
+	if s != "Hello, world" {
+		t.Fatalf("view did not alias the slice: %q", s)
+	}
+	if String(nil) != "" || String([]byte{}) != "" {
+		t.Fatal("empty slices must view as the empty string")
+	}
+}
+
+func TestStringDoesNotAllocate(t *testing.T) {
+	b := []byte("some document body")
+	var s string
+	if n := testing.AllocsPerRun(100, func() { s = String(b) }); n != 0 {
+		t.Fatalf("String allocated %.1f times per call", n)
+	}
+	_ = s
+}

@@ -452,6 +452,45 @@ func (m *Matcher) ScanAll(docs []string) [][]Match {
 // Detects reports whether any signature matches the document.
 func (m *Matcher) Detects(doc string) bool { return m.scanner.Detects(doc) }
 
+// ScanBytes scans a document held in a byte slice in place, without
+// copying it into a string — the zero-copy entry point of the serving hot
+// path, where the caller owns a pooled body buffer. The matcher retains
+// no part of doc (matches carry only signature-owned family strings and
+// integer offsets), so the buffer may be reused the moment the call
+// returns. Results are identical to Scan(string(doc)).
+func (m *Matcher) ScanBytes(doc []byte) []Match {
+	hits := m.scanner.ScanBytes(doc)
+	out := make([]Match, len(hits))
+	for i, h := range hits {
+		out[i] = Match{Family: h.Family, TokenOffset: h.TokenOffset}
+	}
+	return out
+}
+
+// DetectsBytes reports whether any signature matches the document,
+// scanning the byte slice in place.
+func (m *Matcher) DetectsBytes(doc []byte) bool { return m.scanner.DetectsBytes(doc) }
+
+// ScanAllBytes scans a batch of byte-slice documents concurrently
+// (tokenization included) without copying them, aligned with the input —
+// ScanAll for callers that hold pooled buffers, like the gateway's
+// admission batcher. Buffer-reuse rules are those of ScanBytes.
+func (m *Matcher) ScanAllBytes(docs [][]byte) [][]Match {
+	raw := m.scanner.ScanDocumentsBytes(docs)
+	out := make([][]Match, len(raw))
+	for i, hits := range raw {
+		if len(hits) == 0 {
+			continue
+		}
+		converted := make([]Match, len(hits))
+		for j, h := range hits {
+			converted[j] = Match{Family: h.Family, TokenOffset: h.TokenOffset}
+		}
+		out[i] = converted
+	}
+	return out
+}
+
 // MatcherCache builds Matchers incrementally: compiled signatures are kept
 // per family and reused across builds, so republishing a signature set
 // where only one family changed recompiles only that family. Signature

@@ -39,6 +39,10 @@ run_benches() {
     go test -run=NONE -count="$COUNT" -bench='^BenchmarkPipelineSharded$' -benchtime=1x .
     go test -run=NONE -count="$COUNT" -bench='^BenchmarkMatcherRebuild$' -benchtime=300x .
     go test -run=NONE -count="$COUNT" -bench='^BenchmarkRecompile$' -benchtime=10x .
+    # The serving-tier SLO benchmark: its p50-us/p99-us custom metrics are
+    # gated alongside ns/op (benchgate treats p50-*/p99-* as SLOs). Long
+    # enough per run that the 32-worker admission windows fill.
+    go test -run=NONE -count="$COUNT" -bench='^BenchmarkServe$' -benchtime=20000x ./gateway/
 }
 
 # Write to the file directly (not via `... | tee`, whose exit status

@@ -1,0 +1,170 @@
+package sigdb
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"kizzle"
+	"kizzle/internal/contentcache"
+	"kizzle/internal/zerocopy"
+)
+
+// deltaHistory bounds how many past versions the store keeps family
+// digests for. A replica further behind than this falls back to a full
+// snapshot — correctness never depends on history depth.
+const deltaHistory = 32
+
+// Delta is the wire form of a per-family incremental update: only the
+// families whose signature lists changed since the client's version are
+// carried in full; everything else is reconstructed from the snapshot the
+// client already holds. Families, Order, and Changed together pin the
+// exact interleaving of the new full signature list, so Apply rebuilds it
+// byte-identically — a delta-updated replica compiles exactly the matcher
+// a full download would have produced. Multi signatures ride along whole
+// (the multi set is small; per-part deltas would not pay).
+type Delta struct {
+	// Version is the store version this delta brings the client to.
+	Version int64 `json:"version"`
+	// Since is the client version the delta applies on top of.
+	Since int64 `json:"since"`
+	// IsDelta marks the response as a delta; full Snapshot JSON has no
+	// "delta" key, which is how clients tell the two apart.
+	IsDelta bool `json:"delta"`
+	// Families lists every family of the new snapshot in first-appearance
+	// order of the full signature list.
+	Families []string `json:"families"`
+	// Order holds, per signature position of the full list, the index
+	// into Families of the signature at that position.
+	Order []int `json:"order"`
+	// Changed maps each family whose list changed since Since (including
+	// families that are new) to its full ordered signature list.
+	Changed map[string][]kizzle.Signature `json:"changed"`
+	// Multi is the complete multi-sequence set of the new snapshot.
+	Multi []kizzle.MultiSignature `json:"multi,omitempty"`
+}
+
+// familyDigests maps each family to a digest of its ordered signature
+// list, in serialized form — the bytes consumers deploy, so any change a
+// client could observe changes the digest.
+func familyDigests(sigs []kizzle.Signature) (map[string]uint64, error) {
+	byFam := make(map[string][]kizzle.Signature)
+	for _, sig := range sigs {
+		byFam[sig.Family()] = append(byFam[sig.Family()], sig)
+	}
+	out := make(map[string]uint64, len(byFam))
+	for fam, list := range byFam {
+		data, err := json.Marshal(list)
+		if err != nil {
+			return nil, fmt.Errorf("sigdb: digest family %s: %w", fam, err)
+		}
+		out[fam] = contentcache.Digest(zerocopy.String(data))
+	}
+	return out, nil
+}
+
+// recordHistoryLocked stores the current snapshot's family digests and
+// prunes entries beyond the history window. Caller holds s.mu; digest
+// failures just skip the entry (deltas become unavailable for this
+// version, full snapshots still serve).
+func (s *Store) recordHistoryLocked() {
+	digests, err := familyDigests(s.snap.Signatures)
+	if err != nil {
+		return
+	}
+	if s.history == nil {
+		s.history = make(map[int64]map[string]uint64)
+	}
+	s.history[s.snap.Version] = digests
+	for v := range s.history {
+		if v <= s.snap.Version-deltaHistory {
+			delete(s.history, v)
+		}
+	}
+}
+
+// snapshotAndDelta returns the current snapshot and, when family-digest
+// history for since is available, the delta from since to it — both read
+// under one lock so they describe the same version.
+func (s *Store) snapshotAndDelta(since int64) (Snapshot, *Delta) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := Snapshot{
+		Version:    s.snap.Version,
+		Signatures: append([]kizzle.Signature(nil), s.snap.Signatures...),
+		Multi:      append([]kizzle.MultiSignature(nil), s.snap.Multi...),
+	}
+	if since <= 0 || since >= snap.Version {
+		return snap, nil
+	}
+	old, ok := s.history[since]
+	cur := s.history[snap.Version]
+	if !ok || cur == nil {
+		return snap, nil
+	}
+	d := &Delta{
+		Version: snap.Version,
+		Since:   since,
+		IsDelta: true,
+		Changed: make(map[string][]kizzle.Signature),
+	}
+	famIndex := make(map[string]int)
+	for _, sig := range snap.Signatures {
+		fam := sig.Family()
+		i, seen := famIndex[fam]
+		if !seen {
+			i = len(d.Families)
+			famIndex[fam] = i
+			d.Families = append(d.Families, fam)
+			if old[fam] != cur[fam] {
+				d.Changed[fam] = nil
+			}
+		}
+		d.Order = append(d.Order, i)
+		if _, changed := d.Changed[fam]; changed {
+			d.Changed[fam] = append(d.Changed[fam], sig)
+		}
+	}
+	d.Multi = snap.Multi
+	return snap, d
+}
+
+// Apply reconstructs the full snapshot a delta describes from the
+// snapshot the client retained at d.Since. Any inconsistency (wrong base
+// version, count mismatches, malformed indices) returns an error; the
+// caller falls back to a full fetch rather than deploying a guess.
+func (d Delta) Apply(prev Snapshot) (Snapshot, error) {
+	if prev.Version != d.Since {
+		return Snapshot{}, fmt.Errorf("sigdb: delta applies to v%d, have v%d", d.Since, prev.Version)
+	}
+	prevByFam := make(map[string][]kizzle.Signature)
+	for _, sig := range prev.Signatures {
+		prevByFam[sig.Family()] = append(prevByFam[sig.Family()], sig)
+	}
+	source := func(fam string) []kizzle.Signature {
+		if list, ok := d.Changed[fam]; ok {
+			return list
+		}
+		return prevByFam[fam]
+	}
+	pos := make(map[string]int, len(d.Families))
+	sigs := make([]kizzle.Signature, 0, len(d.Order))
+	for _, oi := range d.Order {
+		if oi < 0 || oi >= len(d.Families) {
+			return Snapshot{}, fmt.Errorf("sigdb: delta order index %d out of range", oi)
+		}
+		fam := d.Families[oi]
+		src := source(fam)
+		k := pos[fam]
+		if k >= len(src) {
+			return Snapshot{}, fmt.Errorf("sigdb: delta wants %d+ signatures for %s, base has %d", k+1, fam, len(src))
+		}
+		sigs = append(sigs, src[k])
+		pos[fam] = k + 1
+	}
+	for _, fam := range d.Families {
+		if pos[fam] != len(source(fam)) {
+			return Snapshot{}, fmt.Errorf("sigdb: delta consumed %d of %d signatures for %s", pos[fam], len(source(fam)), fam)
+		}
+	}
+	return Snapshot{Version: d.Version, Signatures: sigs, Multi: d.Multi}, nil
+}

@@ -2,12 +2,21 @@
 // format: "AV signatures enjoy a well-established deployment channel with
 // frequent, automatic updates for signature consumers." It provides a
 // versioned, optionally file-backed signature store, an HTTP handler that
-// serves incremental updates (GET ?since=version → 304 or a full
-// snapshot) and accepts pushed signature sets (POST, validated by
-// compilation before they can deploy), and a polling client that keeps a
+// serves incremental updates, and a polling client that keeps a
 // consumer's matcher current — the loop that lets Kizzle push a new
-// signature to endpoints within hours of a kit mutation. Store.Publish is
-// the delta-aware entry point recompilation loops use: byte-identical
-// sets do not bump the version, so steady-state recompiles never force
-// the channel's consumers to re-fetch or recompile anything.
+// signature to endpoints within hours of a kit mutation.
+//
+// The wire is conditional and delta-aware at every layer, sized for ten
+// thousand replicas polling one publisher. Store.Publish does not bump
+// the version for byte-identical sets, so steady-state recompiles cost
+// pollers a 304. The handler carries an ETag ("vN") and honors
+// If-None-Match; with ?since=V&delta=1 it serves only the families that
+// changed since V (when per-family history for V is still retained and
+// the delta is actually smaller), and the client reconstructs the
+// byte-identical full snapshot from its previous one — verified, and
+// falling back to one full fetch on any mismatch. The client validates
+// every update by compiling it (incrementally, per changed family, via
+// kizzle.MatcherCache) before reporting it, and exposes that compiled
+// matcher so deployments never pay for a second compile. Poll spreads
+// replica fetches with ±jitter so fleets do not synchronize.
 package sigdb

@@ -2,6 +2,7 @@ package sigdb
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -36,6 +37,49 @@ func FuzzSignaturesPost(f *testing.F) {
 			}
 		case store.Version() != 0:
 			t.Fatalf("status %d but store version moved to %d", rec.Code, store.Version())
+		}
+	})
+}
+
+// FuzzDeltaSignatures fuzzes the pull side of the delta channel — the
+// Delta document a replica applies comes off the network, so Apply must
+// never panic, and any snapshot it does produce must be exactly as long
+// as the delta's order vector and survive re-serialization. Inconsistent
+// deltas must error (the client then falls back to a full fetch), never
+// fabricate a signature set.
+func FuzzDeltaSignatures(f *testing.F) {
+	prevJSON := []byte(`{"version":3,"signatures":[` +
+		`{"family":"Angler","elements":[{"kind":0,"literal":"eval","group":-1}],"samples":2},` +
+		`{"family":"Angler","elements":[{"kind":0,"literal":"unescape","group":-1}],"samples":2},` +
+		`{"family":"Nuclear","elements":[{"kind":0,"literal":"iframe","group":-1}],"samples":3}]}`)
+	f.Add([]byte(`{"version":4,"since":3,"delta":true,"families":["Angler","Nuclear"],"order":[0,0,1],"changed":{}}`))
+	f.Add([]byte(`{"version":4,"since":3,"delta":true,"families":["Nuclear"],"order":[0],` +
+		`"changed":{"Nuclear":[{"family":"Nuclear","elements":[{"kind":0,"literal":"embed","group":-1}],"samples":1}]}}`))
+	f.Add([]byte(`{"version":4,"since":2,"delta":true}`))
+	f.Add([]byte(`{"version":4,"since":3,"delta":true,"families":["Angler"],"order":[-1]}`))
+	f.Add([]byte(`{"version":4,"since":3,"delta":true,"families":["Angler"],"order":[0,0,0,0,0,0,0]}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var prev Snapshot
+		if err := json.Unmarshal(prevJSON, &prev); err != nil {
+			t.Fatal(err)
+		}
+		var d Delta
+		if err := json.Unmarshal(body, &d); err != nil {
+			return
+		}
+		snap, err := d.Apply(prev)
+		if err != nil {
+			return
+		}
+		if len(snap.Signatures) != len(d.Order) {
+			t.Fatalf("applied snapshot has %d signatures for %d order slots", len(snap.Signatures), len(d.Order))
+		}
+		if snap.Version != d.Version {
+			t.Fatalf("applied snapshot v%d, delta v%d", snap.Version, d.Version)
+		}
+		if _, err := json.Marshal(snap); err != nil {
+			t.Fatalf("applied snapshot does not re-serialize: %v", err)
 		}
 	})
 }

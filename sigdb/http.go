@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"kizzle"
@@ -18,16 +21,23 @@ const maxUpdateBytes = 4 << 20
 
 // Handler serves the store over HTTP:
 //
-//	GET  <path>?since=<version>
+//	GET  <path>?since=<version>[&delta=1]
 //	POST <path>
 //
-// GET responds 304 when the client is current, otherwise 200 with the full
-// Snapshot as JSON. Full snapshots (rather than deltas) keep consumers
-// correct through any missed update. POST replaces the published set with
-// the {"signatures": [...], "multi": [...]} body — the push side of the
-// distribution channel, used by compiler pipelines that publish signatures
-// the moment a day's batch finishes — and responds with the new version.
-// Invalid signature sets are rejected before they can reach any consumer.
+// GET responds 304 when the client is current — judged by the since
+// parameter or by If-None-Match against the versioned ETag every response
+// carries — otherwise 200 with the signature set as JSON. By default that
+// is the full Snapshot, which keeps consumers correct through any missed
+// update. With delta=1 a client that holds version since may instead
+// receive a Delta carrying only the families that changed (marked by a
+// "delta" key in the body); the server picks whichever encoding is
+// smaller and falls back to the full snapshot whenever its bounded digest
+// history cannot prove what the client holds. POST replaces the published
+// set with the {"signatures": [...], "multi": [...]} body — the push side
+// of the distribution channel, used by compiler pipelines that publish
+// signatures the moment a day's batch finishes — and responds with the
+// new version. Invalid signature sets are rejected before they can reach
+// any consumer.
 func (s *Store) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
@@ -48,18 +58,32 @@ func (s *Store) Handler() http.Handler {
 			}
 			since = v
 		}
-		snap := s.Snapshot()
-		if since >= snap.Version {
+		snap, delta := s.snapshotAndDelta(since)
+		etag := versionETag(snap.Version)
+		w.Header().Set("ETag", etag)
+		if since >= snap.Version || r.Header.Get("If-None-Match") == etag {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(snap); err != nil {
-			// Headers already sent; nothing more to do.
+		full, err := json.Marshal(snap)
+		if err != nil {
+			http.Error(w, "encode snapshot: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
+		body := full
+		if delta != nil && r.URL.Query().Get("delta") == "1" {
+			if db, err := json.Marshal(delta); err == nil && len(db) < len(full) {
+				body = db
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
 	})
 }
+
+// versionETag renders a store version as the strong ETag GET responses
+// carry.
+func versionETag(version int64) string { return fmt.Sprintf("%q", fmt.Sprintf("v%d", version)) }
 
 // update is the POST body: a signature set without version (the store
 // assigns the next version on Replace).
@@ -90,28 +114,111 @@ func (s *Store) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "{\"version\":%d}\n", version)
 }
 
-// Client polls a signature server and applies updates.
+// Client polls a signature server and applies updates. It asks for
+// per-family deltas once it holds a snapshot (reconstructing and
+// validating the full set locally), sends If-None-Match so unchanged
+// polls cost a 304 and no body, and compiles what it fetches through an
+// incremental per-family cache so a one-family delta recompiles one
+// family. Fetch/Poll must run from one goroutine; Metrics and Matcher
+// are safe to call from others.
 type Client struct {
 	// URL is the update endpoint (the path Handler is mounted at).
 	URL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Jitter spreads every poll interval uniformly by ±Jitter fraction
+	// (0.1 = ±10%), so a fleet of replicas started together does not
+	// stampede the signature server on one synchronized tick. Zero means
+	// fixed intervals.
+	Jitter float64
 
 	version int64
+	etag    string
+	last    Snapshot
+	cache   kizzle.MatcherCache
+
+	matcher atomic.Pointer[kizzle.Matcher]
+	multi   atomic.Pointer[kizzle.MultiMatcher]
+
+	wireFull      atomic.Int64
+	wireDelta     atomic.Int64
+	fetchesFull   atomic.Int64
+	fetchesDelta  atomic.Int64
+	notModified   atomic.Int64
+	sigsCompiled  atomic.Int64
+	sigsReused    atomic.Int64
+	deltaFailures atomic.Int64
+}
+
+// Matcher returns the compiled form of the last applied snapshot (nil
+// before the first successful Fetch). Consumers deploy these directly —
+// Fetch already compiled them for validation, so taking them here makes
+// an update cost one (incremental) compilation total.
+func (c *Client) Matcher() (*kizzle.Matcher, *kizzle.MultiMatcher) {
+	return c.matcher.Load(), c.multi.Load()
+}
+
+// Metrics returns the client's /metrics fields: wire bytes by response
+// kind, fetch counts, 304s, and incremental-compilation reuse counters.
+func (c *Client) Metrics() map[string]any {
+	return map[string]any{
+		"wire_bytes_full":      c.wireFull.Load(),
+		"wire_bytes_delta":     c.wireDelta.Load(),
+		"fetches_full":         c.fetchesFull.Load(),
+		"fetches_delta":        c.fetchesDelta.Load(),
+		"not_modified":         c.notModified.Load(),
+		"signatures_compiled":  c.sigsCompiled.Load(),
+		"signatures_reused":    c.sigsReused.Load(),
+		"delta_apply_failures": c.deltaFailures.Load(),
+	}
 }
 
 // Fetch asks the server for anything newer than the client's last applied
 // version. It returns (snapshot, true) on an update and (zero, false) when
-// already current.
+// already current. Updates are compile-validated before the client's state
+// advances: a set that does not compile is never reported, and a delta
+// that does not apply cleanly falls back to one full fetch.
 func (c *Client) Fetch(ctx context.Context) (Snapshot, bool, error) {
+	// Deltas need the retained base snapshot; before the first success
+	// there is nothing to apply one to.
+	snap, ok, err := c.fetch(ctx, c.last.Version > 0)
+	if err != nil || !ok {
+		return Snapshot{}, false, err
+	}
+	m, stats, buildErr := c.cache.Build(snap.Signatures)
+	if buildErr != nil {
+		return Snapshot{}, false, buildErr
+	}
+	mm, err := kizzle.NewMultiMatcher(snap.Multi)
+	if err != nil {
+		return Snapshot{}, false, err
+	}
+	c.sigsCompiled.Add(int64(stats.SignaturesCompiled))
+	c.sigsReused.Add(int64(stats.SignaturesReused))
+	c.matcher.Store(m)
+	c.multi.Store(mm)
+	c.version = snap.Version
+	c.last = snap
+	return snap, true, nil
+}
+
+// fetch performs one conditional GET, optionally asking for a delta, and
+// returns the (reconstructed) full snapshot.
+func (c *Client) fetch(ctx context.Context, wantDelta bool) (Snapshot, bool, error) {
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		fmt.Sprintf("%s?since=%d", c.URL, c.version), nil)
+	url := fmt.Sprintf("%s?since=%d", c.URL, c.version)
+	if wantDelta {
+		url += "&delta=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return Snapshot{}, false, fmt.Errorf("sigdb: build request: %w", err)
+	}
+	if c.etag != "" {
+		req.Header.Set("If-None-Match", c.etag)
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
@@ -120,30 +227,70 @@ func (c *Client) Fetch(ctx context.Context) (Snapshot, bool, error) {
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusNotModified:
+		c.notModified.Add(1)
 		return Snapshot{}, false, nil
 	case http.StatusOK:
 	default:
 		return Snapshot{}, false, fmt.Errorf("sigdb: server returned %s", resp.Status)
 	}
-	var snap Snapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return Snapshot{}, false, fmt.Errorf("sigdb: read update: %w", err)
+	}
+	var probe struct {
+		IsDelta bool `json:"delta"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
 		return Snapshot{}, false, fmt.Errorf("sigdb: decode update: %w", err)
 	}
-	// Never deploy an update that does not compile.
-	if _, _, err := snap.Matcher(); err != nil {
-		return Snapshot{}, false, err
+	etag := resp.Header.Get("ETag")
+	if !probe.IsDelta {
+		var snap Snapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			return Snapshot{}, false, fmt.Errorf("sigdb: decode update: %w", err)
+		}
+		c.wireFull.Add(int64(len(body)))
+		c.fetchesFull.Add(1)
+		c.etag = etag
+		return snap, true, nil
 	}
-	c.version = snap.Version
+	var d Delta
+	if err := json.Unmarshal(body, &d); err != nil {
+		return Snapshot{}, false, fmt.Errorf("sigdb: decode delta: %w", err)
+	}
+	c.wireDelta.Add(int64(len(body)))
+	c.fetchesDelta.Add(1)
+	snap, err := d.Apply(c.last)
+	if err != nil {
+		// An inapplicable delta (base drift, truncated history semantics)
+		// must not deploy a guess; take one full snapshot instead.
+		c.deltaFailures.Add(1)
+		return c.fetch(ctx, false)
+	}
+	c.etag = etag
 	return snap, true, nil
 }
 
-// Poll fetches on the given interval and hands each new snapshot to apply,
-// until ctx is cancelled. Transient fetch errors are reported to onError
-// (which may be nil) and polling continues — one failed request must not
-// kill the update loop.
+// jitteredInterval spreads interval by ±Jitter.
+func (c *Client) jitteredInterval(interval time.Duration) time.Duration {
+	if c.Jitter <= 0 {
+		return interval
+	}
+	f := 1 + c.Jitter*(2*rand.Float64()-1)
+	d := time.Duration(float64(interval) * f)
+	if d <= 0 {
+		d = interval
+	}
+	return d
+}
+
+// Poll fetches on the given interval (jittered per round when Jitter is
+// set) and hands each new snapshot to apply, until ctx is cancelled.
+// Transient fetch errors are reported to onError (which may be nil) and
+// polling continues — one failed request must not kill the update loop.
 func (c *Client) Poll(ctx context.Context, interval time.Duration, apply func(Snapshot), onError func(error)) {
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	timer := time.NewTimer(c.jitteredInterval(interval))
+	defer timer.Stop()
 	for {
 		snap, updated, err := c.Fetch(ctx)
 		if err != nil {
@@ -159,7 +306,8 @@ func (c *Client) Poll(ctx context.Context, interval time.Duration, apply func(Sn
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
+		timer.Reset(c.jitteredInterval(interval))
 	}
 }

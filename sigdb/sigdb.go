@@ -40,6 +40,9 @@ type Store struct {
 	mu   sync.RWMutex
 	path string
 	snap Snapshot
+	// history holds family digests for the last deltaHistory versions,
+	// the server side of the delta distribution channel (see delta.go).
+	history map[int64]map[string]uint64
 }
 
 // New creates an in-memory store at version 0.
@@ -63,6 +66,9 @@ func Open(path string) (*Store, error) {
 	if _, _, err := s.snap.Matcher(); err != nil {
 		return nil, err
 	}
+	// Seed digest history so replicas already at this version get deltas
+	// for the next Replace.
+	s.recordHistoryLocked()
 	return s, nil
 }
 
@@ -151,5 +157,6 @@ func (s *Store) installLocked(candidate Snapshot) (int64, error) {
 		}
 	}
 	s.snap = candidate
+	s.recordHistoryLocked()
 	return candidate.Version, nil
 }
