@@ -52,6 +52,9 @@ func run(args []string, ready chan<- http.Handler) error {
 	batchDocs := fs.Int("batchdocs", 32, "admission micro-batch size (0 disables batching)")
 	batchWait := fs.Duration("batchwait", 500*time.Microsecond, "admission window: how long the first document waits for company")
 	metricsListen := fs.String("metricslisten", "", "admin address to serve /metrics on (empty disables)")
+	strict := fs.Bool("strict", false, "refuse uncertified signature updates: every fetched set must carry a verifiable attestation")
+	certKey := fs.String("certkey", "", "HMAC key for verifying attestation signatures (share with the publisher)")
+	attestURL := fs.String("attesturl", "", "attestation endpoint (default: -sigurl with its path replaced by /attest)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +63,12 @@ func run(args []string, ready chan<- http.Handler) error {
 	}
 	if *sigfile == "" && *sigurl == "" {
 		return fmt.Errorf("one of -sigfile or -sigurl is required")
+	}
+	if (*strict || *certKey != "" || *attestURL != "") && *sigurl == "" {
+		return fmt.Errorf("-strict/-certkey/-attesturl require -sigurl")
+	}
+	if !*strict && (*certKey != "" || *attestURL != "") {
+		return fmt.Errorf("-certkey/-attesturl require -strict")
 	}
 	target, err := url.Parse(*upstream)
 	if err != nil || target.Scheme == "" {
@@ -88,6 +97,24 @@ func run(args []string, ready chan<- http.Handler) error {
 	var client *sigdb.Client
 	if *sigurl != "" {
 		client = &sigdb.Client{URL: *sigurl, Jitter: *jitter}
+		if *strict {
+			// Certified serving: a fetched set without a matching, (when
+			// keyed) signed attestation never deploys — the gate keeps
+			// serving the last attested version and logs each rejection.
+			client.Strict = true
+			client.CertKey = []byte(*certKey)
+			client.AttestURL = *attestURL
+			if client.AttestURL == "" {
+				u, err := url.Parse(*sigurl)
+				if err != nil {
+					return fmt.Errorf("bad -sigurl %q: %v", *sigurl, err)
+				}
+				u.Path = "/attest"
+				u.RawQuery = ""
+				client.AttestURL = u.String()
+			}
+			log.Printf("strict mode: requiring attestations from %s", client.AttestURL)
+		}
 		deploy := func(snap sigdb.Snapshot) {
 			// The client compiled the set to validate it (incrementally,
 			// per changed family); deploy that compilation rather than

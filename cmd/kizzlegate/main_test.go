@@ -25,6 +25,15 @@ func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-upstream", "://bad", "-sigfile", "x.json"}, nil); err == nil {
 		t.Error("bad upstream URL must fail")
 	}
+	if err := run([]string{"-upstream", "http://x", "-sigfile", "x.json", "-strict"}, nil); err == nil {
+		t.Error("-strict without -sigurl must fail")
+	}
+	if err := run([]string{"-upstream", "http://x", "-sigurl", "http://s", "-certkey", "k"}, nil); err == nil {
+		t.Error("-certkey without -strict must fail")
+	}
+	if err := run([]string{"-upstream", "http://x", "-sigurl", "http://s", "-attesturl", "http://a"}, nil); err == nil {
+		t.Error("-attesturl without -strict must fail")
+	}
 	// A missing sigfile opens as an empty store; use the ready hook so no
 	// listener is bound.
 	ready := make(chan http.Handler, 1)
@@ -244,6 +253,140 @@ func TestGateMetricsAndSigurl(t *testing.T) {
 	}
 	if len(m.Runtime) == 0 {
 		t.Error("runtime stats missing")
+	}
+}
+
+// TestGateStrictAttestation runs the gate in strict mode against two
+// publishers. The certified one (attested publish, shared HMAC key, the
+// attest endpoint derived from -sigurl) arms the gate and blocks kit
+// traffic; the uncertified one is refused — the strict gate deploys
+// nothing from it and counts the rejection.
+func TestGateStrictAttestation(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	c := kizzle.New(kizzle.WithSignatureSlack(2))
+	for _, fam := range synth.Kits() {
+		c.AddKnown(fam.String(), synth.Payload(fam, day-1))
+	}
+	scfg := synth.DefaultConfig()
+	scfg.BenignPerDay = 40
+	stream, err := synth.NewStream(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []kizzle.Sample
+	var kitDoc string
+	for _, s := range stream.Day(day) {
+		batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+		if s.Family == synth.Angler && kitDoc == "" {
+			kitDoc = s.Content
+		}
+	}
+	res, err := c.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key := "gate-strict-key"
+	certified := sigdb.New()
+	certified.SetCertKey([]byte(key))
+	primary := sigdb.PathDescriptor{Mode: "fleet", Shards: 2, Dispatch: "stream", Affinity: true}
+	verify := sigdb.PathDescriptor{Mode: "in-process", Dispatch: "batch", Seed: 7}
+	if _, _, _, err := certified.PublishAttested(res.Signatures, nil, "corpus", primary, verify); err != nil {
+		t.Fatal(err)
+	}
+	uncertified := sigdb.New()
+	if _, err := uncertified.Replace(res.Signatures, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		if r.URL.Path == "/landing" {
+			io.WriteString(w, kitDoc)
+			return
+		}
+		io.WriteString(w, "<html><body>ok</body></html>")
+	}))
+	defer upstream.Close()
+
+	startStrictGate := func(store *sigdb.Store) (http.Handler, http.Handler) {
+		t.Helper()
+		mux := http.NewServeMux()
+		mux.Handle("/signatures", store.Handler())
+		mux.Handle("/attest", store.AttestHandler())
+		sigServer := httptest.NewServer(mux)
+		t.Cleanup(sigServer.Close)
+		ready := make(chan http.Handler, 2)
+		go func() {
+			// No -attesturl: the gate must derive it from -sigurl.
+			if err := run([]string{
+				"-upstream", upstream.URL,
+				"-sigurl", sigServer.URL + "/signatures",
+				"-strict", "-certkey", key,
+				"-metricslisten", "127.0.0.1:0",
+			}, ready); err != nil {
+				t.Error(err)
+			}
+		}()
+		var proxy, metrics http.Handler
+		for i := 0; i < 2; i++ {
+			select {
+			case h := <-ready:
+				if proxy == nil {
+					proxy = h
+				} else {
+					metrics = h
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("strict gate never became ready")
+			}
+		}
+		return proxy, metrics
+	}
+	gateMetrics := func(h http.Handler) map[string]json.RawMessage {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		var m struct {
+			Sigclient map[string]json.RawMessage `json:"sigclient"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+			t.Fatalf("metrics not JSON: %v", err)
+		}
+		return m.Sigclient
+	}
+
+	// Certified publisher: the gate arms from the attested set and blocks.
+	proxy, metrics := startStrictGate(certified)
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+	resp, err := http.Get(front.URL + "/landing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("kit landing through certified strict gate = %d, want 403", resp.StatusCode)
+	}
+	if sc := gateMetrics(metrics); string(sc["attest_verified"]) != "1" {
+		t.Errorf("attest_verified = %s, want 1", sc["attest_verified"])
+	}
+
+	// Uncertified publisher: the strict gate refuses to deploy, so the kit
+	// page passes through unblocked — and the rejection is counted.
+	proxy, metrics = startStrictGate(uncertified)
+	front2 := httptest.NewServer(proxy)
+	defer front2.Close()
+	resp, err = http.Get(front2.URL + "/landing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("kit landing through unarmed strict gate = %d, want 200 (nothing deployed)", resp.StatusCode)
+	}
+	if sc := gateMetrics(metrics); string(sc["attest_rejected"]) != "1" {
+		t.Errorf("attest_rejected = %s, want 1", sc["attest_rejected"])
 	}
 }
 

@@ -1,0 +1,209 @@
+package main
+
+// Publish certification: diverse double-compiling for the signature
+// pipeline. With -certify, every candidate signature set the primary
+// compiler produces is recompiled from the same input corpus by a second,
+// freshly-constructed compiler driven through an intentionally different
+// execution path — in-process instead of fleet, batch instead of
+// streaming dispatch, a seeded permutation of the partition and edge
+// schedule, affinity off — and the publish lands only when the two paths
+// agree byte for byte. A compromised or flaky shard worker, a
+// schedule-dependent pipeline bug, or a corrupted warm cache shows up as
+// a disagreement: the set is quarantined with both artifacts in the
+// audit log, the serving version never moves, and the operator gets both
+// sides to diff.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"kizzle"
+	"kizzle/sigdb"
+)
+
+// errQuarantined marks a certification failure: nothing was installed
+// and the prior version keeps serving. The recompile loop (and the
+// startup path) treats it as a logged condition, not a fatal error — a
+// disagreeing publish must never take the serving store down with it.
+var errQuarantined = errors.New("publish quarantined: certification paths disagreed")
+
+// pathSpec describes one compile execution path. The zero value is the
+// plain in-process streaming path. Output-sensitive knobs (partition
+// fanout) must be identical across the primary and verification specs —
+// they change the compiled set by design, not by defect — while every
+// output-invariant knob (mode, dispatch, schedule seed, affinity) is
+// fair game for diversity.
+type pathSpec struct {
+	shardURLs  []string
+	dispatch   string // "stream" (or "") / "batch"
+	fanout     int
+	noAffinity bool
+	seed       int64
+}
+
+// mode names where clustering runs.
+func (p pathSpec) mode() string {
+	if len(p.shardURLs) > 0 {
+		return "fleet"
+	}
+	return "in-process"
+}
+
+// descriptor renders the spec for attestations and quarantine records.
+func (p pathSpec) descriptor() sigdb.PathDescriptor {
+	d := sigdb.PathDescriptor{
+		Mode:     p.mode(),
+		Shards:   len(p.shardURLs),
+		Dispatch: p.dispatch,
+		Seed:     p.seed,
+	}
+	if d.Dispatch == "" {
+		d.Dispatch = "stream"
+	}
+	d.Affinity = len(p.shardURLs) > 0 && !p.noAffinity && d.Dispatch == "stream"
+	return d
+}
+
+// options translates the spec into compiler options.
+func (p pathSpec) options() []kizzle.Option {
+	var opts []kizzle.Option
+	if len(p.shardURLs) > 0 {
+		opts = append(opts, kizzle.WithShardWorkers(p.shardURLs...))
+	}
+	if p.dispatch == "batch" {
+		opts = append(opts, kizzle.WithBatchDispatch())
+	}
+	if p.fanout > 0 {
+		opts = append(opts, kizzle.WithPartitionFanout(p.fanout))
+	}
+	if p.noAffinity {
+		opts = append(opts, kizzle.WithoutShardAffinity())
+	}
+	if p.seed != 0 {
+		opts = append(opts, kizzle.WithScheduleSeed(p.seed))
+	}
+	return opts
+}
+
+// certConfig is the publisher's certification setup: the verification
+// path and, optionally, the attestation signing key (installed on the
+// store, recorded here only for documentation of intent).
+type certConfig struct {
+	verify pathSpec
+}
+
+// verifyPathSpec derives the verification path from the primary: flip
+// the dispatch mode, permute the schedule, and — in fleet mode — invert
+// affinity, while pinning the output-sensitive fanout. mode selects
+// where the verifier runs: "inprocess" (the strongest diversity against
+// a misbehaving fleet: no worker touches the second compile) or "fleet"
+// (re-dispatches across the same workers on a permuted, affinity-less
+// schedule, so no worker sees the same units in the same role twice).
+func verifyPathSpec(primary pathSpec, mode string, seed int64) (pathSpec, error) {
+	v := pathSpec{fanout: primary.fanout, seed: seed}
+	if primary.dispatch == "batch" {
+		v.dispatch = "stream"
+	} else {
+		v.dispatch = "batch"
+	}
+	switch mode {
+	case "inprocess":
+	case "fleet":
+		if len(primary.shardURLs) == 0 {
+			return pathSpec{}, fmt.Errorf("-certverify fleet requires -shards")
+		}
+		v.shardURLs = primary.shardURLs
+		v.noAffinity = !primary.noAffinity
+	default:
+		return pathSpec{}, fmt.Errorf("-certverify %q must be inprocess or fleet", mode)
+	}
+	return v, nil
+}
+
+// corpusDigest fingerprints the exact compile input: every known payload
+// (in the deterministic seeding order) and every sample (in processing
+// order), length-prefixed so boundaries cannot alias.
+func (p *publisher) corpusDigest(samples []kizzle.Sample) string {
+	h := sha256.New()
+	var n [8]byte
+	put := func(s string) {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		io.WriteString(h, s)
+	}
+	for _, name := range p.knownNames {
+		put(name)
+		put(p.knownBodies[name])
+	}
+	for _, s := range samples {
+		put(s.ID)
+		put(s.Content)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// certify runs the verification compile and gates the publish on
+// bit-identical agreement. The verifier is constructed fresh each cycle
+// — cold caches, its own clustering path — and seeded with the same
+// known corpus in the same deterministic order, so the only thing the
+// two compiles share is their input. Agreement publishes with an
+// attestation; disagreement records a quarantine carrying both artifacts
+// and returns errQuarantined without touching the serving version.
+func (p *publisher) certify(samples []kizzle.Sample, res *kizzle.Result) (version int64, changed bool, err error) {
+	verifier := kizzle.New(p.cert.verify.options()...)
+	for _, name := range p.knownNames {
+		verifier.AddKnown(knownFamily(name), p.knownBodies[name])
+	}
+	vres, err := verifier.Process(samples)
+	if err != nil {
+		return 0, false, fmt.Errorf("verification compile (%s): %w", p.cert.verify.descriptor(), err)
+	}
+	primaryDigest, err := sigdb.SetDigest(res.Signatures, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	verifyDigest, err := sigdb.SetDigest(vres.Signatures, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	corpus := p.corpusDigest(samples)
+	if primaryDigest == verifyDigest {
+		version, changed, _, err = p.store.PublishAttested(res.Signatures, nil,
+			corpus, p.primary.descriptor(), p.cert.verify.descriptor())
+		if err == nil {
+			p.certified.Add(1)
+		}
+		return version, changed, err
+	}
+	primarySet, err := json.Marshal(res.Signatures)
+	if err != nil {
+		return 0, false, fmt.Errorf("marshal primary artifact: %w", err)
+	}
+	verifySet, err := json.Marshal(vres.Signatures)
+	if err != nil {
+		return 0, false, fmt.Errorf("marshal verification artifact: %w", err)
+	}
+	q := sigdb.Quarantine{
+		CorpusDigest:  corpus,
+		Primary:       p.primary.descriptor(),
+		Verify:        p.cert.verify.descriptor(),
+		PrimaryDigest: primaryDigest,
+		VerifyDigest:  verifyDigest,
+		PrimarySet:    primarySet,
+		VerifySet:     verifySet,
+		Reason: fmt.Sprintf("recompile verification failed: %s produced %.12s.., %s produced %.12s..",
+			p.primary.descriptor(), primaryDigest, p.cert.verify.descriptor(), verifyDigest),
+	}
+	if err := p.store.RecordQuarantine(q); err != nil {
+		return 0, false, fmt.Errorf("record quarantine: %w", err)
+	}
+	p.quarantined.Add(1)
+	return 0, false, fmt.Errorf("%w: %s produced %.12s.., %s produced %.12s.. (serving v%d unchanged)",
+		errQuarantined, p.primary.descriptor(), primaryDigest,
+		p.cert.verify.descriptor(), verifyDigest, p.store.Version())
+}

@@ -66,6 +66,10 @@ func run(args []string, ready chan<- http.Handler) error {
 	dispatch := fs.String("dispatch", "stream", "shard dispatch mode: stream or batch (protocol v1)")
 	fanout := fs.Int("fanout", 0, "streaming partition fanout (0 = default)")
 	cacheDir := fs.String("cachedir", "", "persist the compiler's content cache here across restarts")
+	certify := fs.Bool("certify", false, "certify every publish: recompile through a second, diverse execution path and require bit-identical agreement")
+	certKey := fs.String("certkey", "", "HMAC key for signing attestations (share with strict consumers)")
+	certVerify := fs.String("certverify", "inprocess", "verification path: inprocess or fleet")
+	certSeed := fs.Int64("certseed", defaultCertSeed, "schedule-permutation seed for the verification path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,10 +88,19 @@ func run(args []string, ready chan<- http.Handler) error {
 	if *fanout < 0 {
 		return fmt.Errorf("-fanout %d must be >= 0", *fanout)
 	}
+	if *certify && *samplesDir == "" {
+		return fmt.Errorf("-certify requires -samples")
+	}
+	if !*certify && (*certKey != "" || *certVerify != "inprocess" || *certSeed != defaultCertSeed) {
+		return fmt.Errorf("-certkey/-certverify/-certseed require -certify")
+	}
 
 	store, err := sigdb.Open(*storePath)
 	if err != nil {
 		return err
+	}
+	if *certKey != "" {
+		store.SetCertKey([]byte(*certKey))
 	}
 
 	shardURLs, err := parseShardURLs(*shards)
@@ -97,19 +110,36 @@ func run(args []string, ready chan<- http.Handler) error {
 
 	var pub *publisher
 	if *samplesDir != "" {
-		pub, err = newPublisher(store, *samplesDir, *knownDir, *cacheDir,
-			compileOptions(shardURLs, *dispatch, *fanout)...)
+		primary := pathSpec{shardURLs: shardURLs, dispatch: *dispatch, fanout: *fanout}
+		var cert *certConfig
+		if *certify {
+			vspec, err := verifyPathSpec(primary, *certVerify, *certSeed)
+			if err != nil {
+				return err
+			}
+			cert = &certConfig{verify: vspec}
+			log.Printf("certifying publishes: primary %s, verify %s",
+				primary.descriptor(), vspec.descriptor())
+		}
+		pub, err = newPublisher(store, *samplesDir, *knownDir, *cacheDir, primary, cert)
 		if err != nil {
 			return err
 		}
 		if _, err := pub.recompile(); err != nil {
-			return fmt.Errorf("initial compile: %w", err)
+			// A quarantined first compile is an operational condition, not a
+			// startup failure: the store keeps serving whatever version it
+			// already holds while the operator investigates the audit log.
+			if !errors.Is(err, errQuarantined) {
+				return fmt.Errorf("initial compile: %w", err)
+			}
+			log.Printf("initial compile: %v", err)
 		}
 	}
 
 	scans := &scanHandler{store: store}
 	mux := http.NewServeMux()
 	mux.Handle("/signatures", store.Handler())
+	mux.Handle("/attest", store.AttestHandler())
 	mux.Handle("/scan", scans)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok v%d\n", store.Version())
@@ -183,20 +213,9 @@ func parseShardURLs(shards string) ([]string, error) {
 	return urls, nil
 }
 
-// compileOptions translates the fleet flags into compiler options.
-func compileOptions(shardURLs []string, dispatch string, fanout int) []kizzle.Option {
-	var opts []kizzle.Option
-	if len(shardURLs) > 0 {
-		opts = append(opts, kizzle.WithShardWorkers(shardURLs...))
-	}
-	if dispatch == "batch" {
-		opts = append(opts, kizzle.WithBatchDispatch())
-	}
-	if fanout > 0 {
-		opts = append(opts, kizzle.WithPartitionFanout(fanout))
-	}
-	return opts
-}
+// defaultCertSeed is the default -certseed: an arbitrary nonzero value,
+// so the verification path's schedule is permuted out of the box.
+const defaultCertSeed = 1887
 
 // publisher owns sigserve's recompilation loop: one long-lived compiler
 // whose content cache — clustering verdicts, unpack results, fingerprints,
@@ -219,12 +238,25 @@ type publisher struct {
 	// content-derived, families whose files did not change keep their
 	// generation and their cached label verdicts.
 	knownFiles map[string]knownMeta
+	// knownNames/knownBodies retain the last-read corpus (sorted seeding
+	// order and contents), so the certification verifier can seed a fresh
+	// compiler with exactly the corpus the primary holds — including on
+	// idle ticks that never re-read the files.
+	knownNames  []string
+	knownBodies map[string]string
+
+	// primary describes the main compile path; cert, when non-nil, holds
+	// the certification setup (see certify.go).
+	primary pathSpec
+	cert    *certConfig
 
 	// lastMu guards last for /metrics readers; recompile itself stays
 	// single-goroutine.
-	lastMu     sync.Mutex
-	last       pubStats
-	recompiles atomic.Int64
+	lastMu      sync.Mutex
+	last        pubStats
+	recompiles  atomic.Int64
+	certified   atomic.Int64
+	quarantined atomic.Int64
 }
 
 // metrics reports the publisher's /metrics fields: recompile count and
@@ -235,6 +267,8 @@ func (p *publisher) metrics() map[string]any {
 	p.lastMu.Unlock()
 	return map[string]any{
 		"recompiles":         p.recompiles.Load(),
+		"certified":          p.certified.Load(),
+		"quarantined":        p.quarantined.Load(),
 		"last_version":       last.Version,
 		"last_changed":       last.Changed,
 		"last_known_changed": last.KnownChanged,
@@ -258,14 +292,16 @@ type knownMeta struct {
 // newPublisher builds the publisher and, when cacheDir is set, restores
 // the previous process's cache snapshot so a restarted publisher keeps
 // warm-day economics.
-func newPublisher(store *sigdb.Store, samplesDir, knownDir, cacheDir string, opts ...kizzle.Option) (*publisher, error) {
+func newPublisher(store *sigdb.Store, samplesDir, knownDir, cacheDir string, primary pathSpec, cert *certConfig) (*publisher, error) {
 	p := &publisher{
 		store:      store,
-		compiler:   kizzle.New(opts...),
+		compiler:   kizzle.New(primary.options()...),
 		samplesDir: samplesDir,
 		knownDir:   knownDir,
 		cacheDir:   cacheDir,
 		knownFiles: make(map[string]knownMeta),
+		primary:    primary,
+		cert:       cert,
 	}
 	if cacheDir != "" {
 		stats, err := p.compiler.LoadCache(cacheDir)
@@ -311,8 +347,24 @@ func (p *publisher) recompile() (pubStats, error) {
 	}
 	st.Compile = res.Stats
 	st.Signatures = len(res.Signatures)
-	version, changed, err := p.store.Publish(res.Signatures, nil)
+	var version int64
+	var changed bool
+	if p.cert != nil {
+		version, changed, err = p.certify(samples, res)
+	} else {
+		version, changed, err = p.store.Publish(res.Signatures, nil)
+	}
 	if err != nil {
+		// A quarantine still counts the cycle and snapshots the cache —
+		// the primary compile ran and may have warmed it legitimately.
+		if errors.Is(err, errQuarantined) {
+			p.recompiles.Add(1)
+			if p.cacheDir != "" && (res.Stats.CacheMisses > 0 || knownChanged > 0) {
+				if _, serr := p.compiler.SaveCache(p.cacheDir); serr != nil {
+					log.Printf("save cache: %v", serr)
+				}
+			}
+		}
 		return st, err
 	}
 	st.Version, st.Changed = version, changed
@@ -425,8 +477,12 @@ func (p *publisher) syncKnown() (changed int, err error) {
 		}
 	}
 	// Record the observed metadata even when the contents did not change
-	// (e.g. a touch), so the next idle tick can skip the reads again.
+	// (e.g. a touch), so the next idle tick can skip the reads again; the
+	// retained names/bodies are what the certification verifier re-seeds
+	// its fresh compiler from.
 	p.knownFiles = current
+	p.knownNames = names
+	p.knownBodies = bodies
 	if changed == 0 {
 		return 0, nil
 	}

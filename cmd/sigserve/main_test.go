@@ -48,6 +48,22 @@ func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-store", "x.json", "-samples", "dir"}, nil); err == nil {
 		t.Error("-samples without -known must fail")
 	}
+	if err := run([]string{"-store", "x.json", "-certify"}, nil); err == nil {
+		t.Error("-certify without -samples must fail")
+	}
+	if err := run([]string{"-store", "x.json", "-certkey", "k"}, nil); err == nil {
+		t.Error("-certkey without -certify must fail")
+	}
+	if err := run([]string{"-store", "x.json", "-certverify", "fleet"}, nil); err == nil {
+		t.Error("-certverify without -certify must fail")
+	}
+	if err := run([]string{"-store", "x.json", "-certseed", "7"}, nil); err == nil {
+		t.Error("-certseed without -certify must fail")
+	}
+	if err := run([]string{"-store", "x.json", "-samples", "d", "-known", "k",
+		"-certify", "-certverify", "fleet"}, nil); err == nil {
+		t.Error("-certverify fleet without -shards must fail")
+	}
 }
 
 // TestServeEndToEnd compiles from a corpus, serves the store, and fetches

@@ -321,7 +321,7 @@ func TestPublisherRestartKeepsWarmCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pub, err := newPublisher(store, samplesDir, knownDir, cacheDir)
+	pub, err := newPublisher(store, samplesDir, knownDir, cacheDir, pathSpec{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +360,7 @@ func TestPublisherRestartKeepsWarmCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pub2, err := newPublisher(store2, samplesDir, knownDir, cacheDir)
+	pub2, err := newPublisher(store2, samplesDir, knownDir, cacheDir, pathSpec{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +409,7 @@ func TestKnownFileModifiedInPlace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pub, err := newPublisher(store, samplesDir, knownDir, "")
+	pub, err := newPublisher(store, samplesDir, knownDir, "", pathSpec{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -439,7 +439,7 @@ func TestKnownFileModifiedInPlace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := newPublisher(freshStore, samplesDir, knownDir, "")
+	fresh, err := newPublisher(freshStore, samplesDir, knownDir, "", pathSpec{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

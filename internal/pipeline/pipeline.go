@@ -114,6 +114,28 @@ type Config struct {
 	// coordinator instead of asking shard workers for it (protocol v2).
 	// Output is identical; the knob only shifts where the work runs.
 	DisableShardPreReduce bool
+	// ScheduleSeed, when nonzero, applies a seeded deterministic
+	// permutation to the streamed reduce sweeps' row order before edge
+	// jobs are composed (and, at the shard coordinator, to the pull
+	// queue's shard assignment). Both levers are output-invariant by
+	// construction — every unordered pair still lands in exactly one edge
+	// job and results are matched back by sequence number — so a
+	// certification verifier can recompile through a genuinely different
+	// schedule and still demand bit-identical output. 0 (the default)
+	// keeps the canonical schedule.
+	ScheduleSeed int64
+	// ShardWorkers lists remote shard-worker base URLs. The field is not
+	// consumed by the pipeline itself: the top-level constructor
+	// (kizzle.New) builds an HTTP coordinator over the URLs after all
+	// options are applied, so affinity and schedule knobs set by later
+	// options compose with the fleet instead of depending on option
+	// order. Ignored when Clusterer is already set.
+	ShardWorkers []string
+	// ShardNoAffinity disables the shard coordinator's locality layer
+	// (affinity routing and the digest-first v3 edge wire) when kizzle.New
+	// constructs one from ShardWorkers. Output is identical either way —
+	// it is a differential-testing and certification-path lever.
+	ShardNoAffinity bool
 }
 
 // DefaultConfig returns the parameters used throughout the evaluation.

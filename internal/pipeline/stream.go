@@ -464,7 +464,61 @@ func (s *streamSession) collect(u *uniqueSet) ([]summary, error) {
 	return collectSummaries(s.collected, s.emitted)
 }
 
-// edges splits the sweep into jobs, submits them over the open stream,
+// edges serves the reduce step's distance sweeps, optionally through a
+// seeded schedule permutation (Config.ScheduleSeed): the row/col orders
+// are permuted before jobs are composed, which changes every job's
+// membership and chunk boundaries, and the resulting pair positions are
+// mapped back to the caller's order afterwards. The pair set itself is
+// order-independent (every unordered pair lands in exactly one job under
+// any composition, and sweep reassembles into one sorted list), so the
+// permutation diversifies the schedule without being able to change the
+// output — the property the certification verifier leans on.
+func (s *streamSession) edges(rows, cols []int) ([][2]int, error) {
+	if s.cfg.ScheduleSeed == 0 {
+		return s.sweep(rows, cols)
+	}
+	permR := SeededPerm(len(rows), uint64(s.cfg.ScheduleSeed))
+	pRows := make([]int, len(rows))
+	for i, p := range permR {
+		pRows[i] = rows[p]
+	}
+	var pCols, permC []int
+	if cols != nil {
+		permC = SeededPerm(len(cols), uint64(s.cfg.ScheduleSeed)+0x9e3779b97f4a7c15)
+		pCols = make([]int, len(cols))
+		for i, p := range permC {
+			pCols[i] = cols[p]
+		}
+	}
+	pairs, err := s.sweep(pRows, pCols)
+	if err != nil {
+		return nil, err
+	}
+	// Map positions in the permuted orders back to the caller's positions,
+	// re-establishing the ascending-pair contract for triangular sweeps.
+	for i, pr := range pairs {
+		a := permR[pr[0]]
+		var b int
+		if cols == nil {
+			b = permR[pr[1]]
+			if a > b {
+				a, b = b, a
+			}
+		} else {
+			b = permC[pr[1]]
+		}
+		pairs[i] = [2]int{a, b}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	return pairs, nil
+}
+
+// sweep splits the sweep into jobs, submits them over the open stream,
 // and reassembles the pair list in deterministic order. With a locality-
 // aware dispatcher (RowPlacer) the jobs are composed from rows believed
 // resident on the same worker — within-group triangles plus cross-group
@@ -472,7 +526,7 @@ func (s *streamSession) collect(u *uniqueSet) ([]summary, error) {
 // warm groups; otherwise the split balances pair counts across the fleet.
 // Either way the pair set is independent of the chunking, so placement
 // and fleet size cannot change the result.
-func (s *streamSession) edges(rows, cols []int) ([][2]int, error) {
+func (s *streamSession) sweep(rows, cols []int) ([][2]int, error) {
 	if len(rows) == 0 || (cols != nil && len(cols) == 0) {
 		return nil, nil
 	}
@@ -712,6 +766,30 @@ func buildEdgeJobs(seqs [][]jstoken.Symbol, rows, cols []int, eps float64, fleet
 		specs = append(specs, makeEdgeSpec(seqs, rows, cols, eps, keyFor, rowPos, allCols))
 	}
 	return specs
+}
+
+// SeededPerm returns a deterministic Fisher–Yates permutation of [0,n)
+// driven by a splitmix64 stream over seed. Shared by the streamed edge
+// sweeps and the shard coordinator's schedule permutation so a single
+// seed names one reproducible alternative schedule.
+func SeededPerm(n int, seed uint64) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	x := seed
+	next := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
 }
 
 // splitTriangular returns fleet+1 ascending boundaries over [0,n) chosen

@@ -62,6 +62,13 @@ type Coordinator struct {
 	// locality layer (routing, placement, v3 wire) even when available.
 	v3         TransportV3
 	noAffinity bool
+	// schedSeed/shardPerm implement the seeded schedule permutation: the
+	// pull queue's shard choice is relabeled through a fixed seeded
+	// permutation, so a certification verifier's run schedules work onto
+	// different machines than the canonical run. Results are matched back
+	// by sequence number, so the relabeling cannot change output.
+	schedSeed int64
+	shardPerm []int
 	// resident maps each sequence key to a bitmask of shards believed to
 	// hold it (bit s = shard s; shards ≥64 are never tracked). "Believed"
 	// because workers evict and die — the v3 protocol's refill round
@@ -124,6 +131,17 @@ func WithoutAffinity() CoordinatorOption {
 	return func(c *Coordinator) { c.noAffinity = true }
 }
 
+// WithSchedulePermutation relabels every pull-queue shard choice through
+// a seeded deterministic permutation (0 keeps the canonical schedule).
+// This is a diversity lever for dual-path certification: the verify run
+// lands work units on different shards than the primary run while the
+// sequence-number result matching keeps the output bit-identical — so a
+// worker that misbehaves only for particular units cannot corrupt both
+// paths the same way.
+func WithSchedulePermutation(seed int64) CoordinatorOption {
+	return func(c *Coordinator) { c.schedSeed = seed }
+}
+
 // WithSequentialDispatch dispatches one work unit at a time, assigning
 // each to the shard that would be idle first in a simulated fleet
 // schedule (arrival-aware: a unit never starts before the host emitted
@@ -148,7 +166,34 @@ func NewCoordinator(t Transport, opts ...CoordinatorOption) *Coordinator {
 		c.resident = make(map[pipeline.SeqKey]uint64)
 		c.v3cap = make([]atomic.Int32, t.Shards())
 	}
+	if c.schedSeed != 0 && t.Shards() > 1 {
+		c.shardPerm = pipeline.SeededPerm(t.Shards(), uint64(c.schedSeed))
+	}
 	return c
+}
+
+// PathDescriptor summarizes a coordinator's scheduling configuration for
+// provenance records (sigdb attestations carry one per compile path).
+type PathDescriptor struct {
+	Shards   int   `json:"shards"`
+	Affinity bool  `json:"affinity"`
+	Seed     int64 `json:"seed"`
+}
+
+// Describe reports the coordinator's path descriptor: fleet size,
+// whether the locality layer is active, and the schedule-permutation
+// seed (0 = canonical schedule).
+func (c *Coordinator) Describe() PathDescriptor {
+	return PathDescriptor{Shards: c.transport.Shards(), Affinity: c.affinityOn(), Seed: c.schedSeed}
+}
+
+// permShard applies the seeded schedule permutation to a pull-queue
+// shard choice (identity without one).
+func (c *Coordinator) permShard(s int) int {
+	if c.shardPerm == nil {
+		return s
+	}
+	return c.shardPerm[s%len(c.shardPerm)]
 }
 
 // StreamWorkers reports the fleet size (pipeline.StreamClusterer).
@@ -230,6 +275,7 @@ func (c *Coordinator) invalidateShard(shard int) {
 // Routing runs before execution so the schedule model attributes the
 // unit's cost to the shard that actually served it.
 func (c *Coordinator) routeUnit(unit pipeline.WorkUnit, fallback int) int {
+	fallback = c.permShard(fallback)
 	if !c.affinityOn() || unit.Edges == nil || len(unit.Edges.Keys) == 0 {
 		return fallback
 	}
@@ -318,7 +364,7 @@ func (c *Coordinator) ClusterPartitions(parts []pipeline.ShardPartition, cfg pip
 				}
 			}
 			start := time.Now()
-			if !one(shard, pi) {
+			if !one(c.permShard(shard), pi) {
 				break
 			}
 			busy[shard] += time.Since(start)
@@ -352,7 +398,7 @@ func (c *Coordinator) ClusterPartitions(parts []pipeline.ShardPartition, cfg pip
 					if pi >= len(parts) || ctx.Err() != nil {
 						return
 					}
-					if !one(shard, pi) {
+					if !one(c.permShard(shard), pi) {
 						return
 					}
 				}

@@ -149,12 +149,37 @@ func WithCacheBytes(n int) Option {
 // list keeps clustering in-process.
 func WithShardWorkers(urls ...string) Option {
 	return func(c *pipeline.Config) {
+		// The coordinator is constructed by New after all options are
+		// applied, so WithoutShardAffinity / WithScheduleSeed compose with
+		// the fleet regardless of option order.
+		c.ShardWorkers = append([]string(nil), urls...)
 		if len(urls) == 0 {
 			c.Clusterer = nil
-			return
 		}
-		c.Clusterer = shardcoord.NewCoordinator(shardcoord.NewHTTPTransport(urls, nil))
 	}
+}
+
+// WithoutShardAffinity disables the shard coordinator's locality layer —
+// affinity-routed edge jobs and the digest-first v3 wire — so every edge
+// job ships its sequences inline and is scheduled purely by the pull
+// queue. Output is identical either way; the knob exists as a
+// differential-testing lever and as one of the certification verifier's
+// path-diversity axes. No effect without WithShardWorkers.
+func WithoutShardAffinity() Option {
+	return func(c *pipeline.Config) { c.ShardNoAffinity = true }
+}
+
+// WithScheduleSeed runs the compile through a seeded alternative schedule:
+// the streamed reduce sweeps' edge jobs are composed from a permuted row
+// order and the shard coordinator's pull-queue assignment is relabeled
+// through a seeded permutation. Both levers are provably output-invariant
+// (every unordered pair lands in exactly one edge job, final pair lists
+// are sorted, and fleet results are matched by sequence number), so two
+// compiles that differ only in seed must produce bit-identical signature
+// sets — the diversity knob behind dual-path publish certification. 0
+// (the default) keeps the canonical schedule.
+func WithScheduleSeed(seed int64) Option {
+	return func(c *pipeline.Config) { c.ScheduleSeed = seed }
 }
 
 // Compiler is the Kizzle signature compiler.
@@ -177,6 +202,16 @@ func New(opts ...Option) *Compiler {
 	cfg.Cache = contentcache.New(0)
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.Clusterer == nil && len(cfg.ShardWorkers) > 0 {
+		var copts []shardcoord.CoordinatorOption
+		if cfg.ShardNoAffinity {
+			copts = append(copts, shardcoord.WithoutAffinity())
+		}
+		if cfg.ScheduleSeed != 0 {
+			copts = append(copts, shardcoord.WithSchedulePermutation(cfg.ScheduleSeed))
+		}
+		cfg.Clusterer = shardcoord.NewCoordinator(shardcoord.NewHTTPTransport(cfg.ShardWorkers, nil), copts...)
 	}
 	return &Compiler{
 		cfg:    cfg,

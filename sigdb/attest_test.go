@@ -1,0 +1,531 @@
+package sigdb
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kizzle"
+	"kizzle/synth"
+)
+
+var (
+	testPrimaryPath = PathDescriptor{Mode: "fleet", Shards: 2, Dispatch: "stream", Affinity: true}
+	testVerifyPath  = PathDescriptor{Mode: "in-process", Dispatch: "batch", Seed: 7}
+)
+
+// TestAttestationSignVerify pins the MAC scheme: sign/verify round-trips,
+// any field mutation breaks verification, an empty or malformed MAC never
+// verifies, and the key actually matters.
+func TestAttestationSignVerify(t *testing.T) {
+	key := []byte("test-certification-key")
+	att := Attestation{
+		Version:      3,
+		CorpusDigest: "aa11",
+		SetDigest:    "bb22",
+		Primary:      testPrimaryPath,
+		Verify:       testVerifyPath,
+		Time:         "2026-08-08T00:00:00Z",
+	}
+	att.MAC = att.Sign(key)
+	if !att.VerifyMAC(key) {
+		t.Fatal("signed attestation fails verification under the signing key")
+	}
+	if att.VerifyMAC([]byte("some-other-key")) {
+		t.Error("attestation verifies under the wrong key")
+	}
+	tampered := att
+	tampered.SetDigest = "cc33"
+	if tampered.VerifyMAC(key) {
+		t.Error("mutated SetDigest still verifies")
+	}
+	tampered = att
+	tampered.Version = 4
+	if tampered.VerifyMAC(key) {
+		t.Error("mutated Version still verifies")
+	}
+	unsigned := att
+	unsigned.MAC = ""
+	if unsigned.VerifyMAC(key) {
+		t.Error("empty MAC verifies")
+	}
+	garbled := att
+	garbled.MAC = "not-hex"
+	if garbled.VerifyMAC(key) {
+		t.Error("non-hex MAC verifies")
+	}
+}
+
+// TestPublishAttested covers the certified-publish state machine: a
+// changed set installs and gains an attestation whose digest matches the
+// installed snapshot, an unchanged republish returns the existing
+// attestation without a version bump or a new audit record, and a second
+// change chains its attestation to the first through the audit log.
+func TestPublishAttested(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	v1 := trainSignatures(t, day)
+	v2, _ := oneFamilyChange(t, v1, trainSignatures(t, day+1))
+
+	store := New()
+	store.SetCertKey([]byte("k"))
+
+	version, changed, att, err := store.PublishAttested(v1, nil, "corpus-1", testPrimaryPath, testVerifyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 || !changed {
+		t.Fatalf("first publish: v%d changed=%v, want v1 true", version, changed)
+	}
+	wantDigest, err := store.Snapshot().SetDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.SetDigest != wantDigest {
+		t.Fatalf("attestation digest %s, snapshot digest %s", att.SetDigest, wantDigest)
+	}
+	if att.CorpusDigest != "corpus-1" || att.Primary != testPrimaryPath || att.Verify != testVerifyPath {
+		t.Fatalf("attestation lost provenance fields: %+v", att)
+	}
+	if !att.VerifyMAC([]byte("k")) {
+		t.Fatal("attestation unsigned despite SetCertKey")
+	}
+
+	// Unchanged republish: no bump, no new record, same attestation.
+	version, changed, again, err := store.PublishAttested(v1, nil, "corpus-1", testPrimaryPath, testVerifyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 || changed {
+		t.Fatalf("unchanged republish: v%d changed=%v, want v1 false", version, changed)
+	}
+	if again != att {
+		t.Fatalf("unchanged republish returned a different attestation:\n%+v\nvs\n%+v", again, att)
+	}
+	if n := len(store.AuditRecords()); n != 1 {
+		t.Fatalf("audit log has %d records after an unchanged republish, want 1", n)
+	}
+
+	// Changed set: new version, new attestation chained to the first.
+	version, changed, att2, err := store.PublishAttested(v2, nil, "corpus-2", testPrimaryPath, testVerifyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 2 || !changed {
+		t.Fatalf("second publish: v%d changed=%v, want v2 true", version, changed)
+	}
+	recs := store.AuditRecords()
+	if len(recs) != 2 {
+		t.Fatalf("audit log has %d records, want 2", len(recs))
+	}
+	if att2.Prev != recs[0].Sum {
+		t.Fatalf("second attestation pins %.12q, want the first record's chain digest %.12q", att2.Prev, recs[0].Sum)
+	}
+	if got, ok := store.Attestation(1); !ok || got != att {
+		t.Error("version 1 attestation lost after the second publish")
+	}
+
+	// A plain Publish on top leaves the new version unattested; the
+	// handler answers 404 for it (the strict-client signal).
+	if _, _, err := store.Publish(v1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Attestation(3); ok {
+		t.Error("uncertified Publish produced an attestation")
+	}
+}
+
+// TestPublishAttestedBackfillsUnattested: an unchanged certified publish
+// on a version that predates certification attests it in place — the
+// upgrade path for an operator enabling -certify over an existing store.
+func TestPublishAttestedBackfills(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	sigs := trainSignatures(t, day)
+	store := New()
+	if _, _, err := store.Publish(sigs, nil); err != nil {
+		t.Fatal(err)
+	}
+	version, changed, att, err := store.PublishAttested(sigs, nil, "corpus", testPrimaryPath, testVerifyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 || changed {
+		t.Fatalf("backfill publish: v%d changed=%v, want v1 false", version, changed)
+	}
+	if got, ok := store.Attestation(1); !ok || got != att {
+		t.Fatal("pre-certification version not attested in place")
+	}
+}
+
+// TestAttestHandler pins the /attest wire surface: explicit and default
+// version lookup, 404 for unattested versions, the full audit dump, and
+// method/parameter validation.
+func TestAttestHandler(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	store := New()
+	store.SetCertKey([]byte("k"))
+	if _, _, _, err := store.PublishAttested(trainSignatures(t, day), nil, "c", testPrimaryPath, testVerifyPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RecordQuarantine(Quarantine{Reason: "test disagreement"}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(store.AttestHandler())
+	defer srv.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	resp, err := http.Get(srv.URL + "?version=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var att Attestation
+	if err := json.NewDecoder(resp.Body).Decode(&att); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if att.Version != 1 || !att.VerifyMAC([]byte("k")) {
+		t.Fatalf("served attestation invalid: %+v", att)
+	}
+
+	resp, err = http.Get(srv.URL) // default: current version
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cur Attestation
+	if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cur != att {
+		t.Fatalf("default lookup served %+v, want current version's attestation", cur)
+	}
+
+	if r := get("?version=99"); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unattested version: %d, want 404", r.StatusCode)
+	}
+	if r := get("?version=bogus"); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed version: %d, want 400", r.StatusCode)
+	}
+	postResp, err := http.Post(srv.URL, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+	if postResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: %d, want 405", postResp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "?audit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []AuditRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(recs) != 2 || recs[0].Kind != AuditAttest || recs[1].Kind != AuditQuarantine {
+		t.Fatalf("audit dump: %d records (%+v), want attest then quarantine", len(recs), recs)
+	}
+	if recs[1].Prev != recs[0].Sum {
+		t.Error("audit dump chain broken between records 1 and 2")
+	}
+}
+
+// attestedFixture builds a store with an attested v1 behind a mux serving
+// /signatures and /attest, mirroring sigserve's mounts.
+func attestedFixture(t *testing.T, key []byte) (*Store, *httptest.Server, []kizzle.Signature) {
+	t.Helper()
+	day := synth.Date(time.August, 5)
+	sigs := trainSignatures(t, day)
+	store := New()
+	store.SetCertKey(key)
+	if _, _, _, err := store.PublishAttested(sigs, nil, "c1", testPrimaryPath, testVerifyPath); err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/signatures", store.Handler())
+	mux.Handle("/attest", store.AttestHandler())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return store, srv, sigs
+}
+
+// TestStrictClientAcceptsAttested: the happy path — a strict client with
+// the shared key deploys an attested, signed set and counts the
+// verification.
+func TestStrictClientAcceptsAttested(t *testing.T) {
+	key := []byte("shared-key")
+	_, srv, _ := attestedFixture(t, key)
+	c := &Client{URL: srv.URL + "/signatures", Strict: true, AttestURL: srv.URL + "/attest", CertKey: key}
+	snap, ok, err := c.Fetch(t.Context())
+	if err != nil || !ok {
+		t.Fatalf("strict fetch of attested set: ok=%v err=%v", ok, err)
+	}
+	if m, _ := c.Matcher(); m == nil {
+		t.Fatal("no matcher deployed")
+	}
+	if snap.Version != 1 {
+		t.Fatalf("deployed v%d, want v1", snap.Version)
+	}
+	if c.Metrics()["attest_verified"].(int64) != 1 {
+		t.Errorf("attest_verified = %v, want 1", c.Metrics()["attest_verified"])
+	}
+}
+
+// TestStrictClientRejectsUnattested: an uncertified Replace lands a
+// version with no attestation; a strict client must refuse it and keep
+// serving the last attested set.
+func TestStrictClientRejectsUnattested(t *testing.T) {
+	key := []byte("shared-key")
+	store, srv, sigs := attestedFixture(t, key)
+	c := &Client{URL: srv.URL + "/signatures", Strict: true, AttestURL: srv.URL + "/attest", CertKey: key}
+	if _, ok, err := c.Fetch(t.Context()); err != nil || !ok {
+		t.Fatalf("fetch attested v1: ok=%v err=%v", ok, err)
+	}
+	prior, _ := c.Matcher()
+
+	day := synth.Date(time.August, 5)
+	v2, _ := oneFamilyChange(t, sigs, trainSignatures(t, day+1))
+	if _, err := store.Replace(v2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Fetch(t.Context()); err == nil || ok {
+		t.Fatalf("strict client accepted unattested v2: ok=%v err=%v", ok, err)
+	} else if !strings.Contains(err.Error(), "unattested") {
+		t.Fatalf("rejection reason %q does not name the missing attestation", err)
+	}
+	if m, _ := c.Matcher(); m != prior {
+		t.Error("rejected update replaced the deployed matcher")
+	}
+	if c.Metrics()["attest_rejected"].(int64) != 1 {
+		t.Errorf("attest_rejected = %v, want 1", c.Metrics()["attest_rejected"])
+	}
+	// The rejection must not advance the poll baseline: the client keeps
+	// re-encountering (and re-rejecting) the bad version rather than
+	// silently skipping past it.
+	if _, ok, err := c.Fetch(t.Context()); err == nil || ok {
+		t.Fatalf("second fetch of unattested v2: ok=%v err=%v, want rejection", ok, err)
+	}
+}
+
+// TestStrictClientRejectsBadSignature: an attestation whose MAC does not
+// verify under the shared key (unsigned or forged) must be refused when
+// the client holds a key.
+func TestStrictClientRejectsBadSignature(t *testing.T) {
+	_, srv, _ := attestedFixture(t, nil) // publisher signs nothing
+	c := &Client{URL: srv.URL + "/signatures", Strict: true, AttestURL: srv.URL + "/attest", CertKey: []byte("shared-key")}
+	if _, ok, err := c.Fetch(t.Context()); err == nil || ok {
+		t.Fatalf("keyed strict client accepted an unsigned attestation: ok=%v err=%v", ok, err)
+	} else if !strings.Contains(err.Error(), "signature verification") {
+		t.Fatalf("rejection reason %q does not name the signature failure", err)
+	}
+	if m, _ := c.Matcher(); m != nil {
+		t.Error("rejected update still deployed a matcher")
+	}
+
+	// Without a configured key the same unsigned attestation is accepted:
+	// digest pinning alone, for deployments that do not share a secret.
+	unkeyed := &Client{URL: srv.URL + "/signatures", Strict: true, AttestURL: srv.URL + "/attest"}
+	if _, ok, err := unkeyed.Fetch(t.Context()); err != nil || !ok {
+		t.Fatalf("unkeyed strict fetch: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestStrictClientRejectsDigestMismatch: an attestation that verifies
+// cryptographically but covers different bytes than the client fetched
+// must be refused — the digest binds the attestation to the exact set.
+func TestStrictClientRejectsDigestMismatch(t *testing.T) {
+	key := []byte("shared-key")
+	store, _, _ := attestedFixture(t, key)
+	att, ok := store.Attestation(1)
+	if !ok {
+		t.Fatal("fixture lost its attestation")
+	}
+	// A forged-but-validly-signed attestation for other bytes: the MAC
+	// check passes, the digest check must still fail.
+	att.SetDigest = strings.Repeat("ab", 32)
+	att.MAC = att.Sign(key)
+	mux := http.NewServeMux()
+	mux.Handle("/signatures", store.Handler())
+	mux.HandleFunc("/attest", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(att)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := &Client{URL: srv.URL + "/signatures", Strict: true, AttestURL: srv.URL + "/attest", CertKey: key}
+	if _, ok, err := c.Fetch(t.Context()); err == nil || ok {
+		t.Fatalf("strict client accepted a digest-mismatched attestation: ok=%v err=%v", ok, err)
+	} else if !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("rejection reason %q does not name the digest mismatch", err)
+	}
+}
+
+// TestAuditLogPersistence: a file-backed store's audit log survives
+// reopen — records, chain links, and the attestation index — and new
+// records keep extending the same chain.
+func TestAuditLogPersistence(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	v1 := trainSignatures(t, day)
+	v2, _ := oneFamilyChange(t, v1, trainSignatures(t, day+1))
+	path := filepath.Join(t.TempDir(), "sigs.json")
+
+	store, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetCertKey([]byte("k"))
+	if _, _, _, err := store.PublishAttested(v1, nil, "c1", testPrimaryPath, testVerifyPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := store.PublishAttested(v2, nil, "c2", testPrimaryPath, testVerifyPath); err != nil {
+		t.Fatal(err)
+	}
+	before := store.AuditRecords()
+
+	reopened, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := reopened.AuditRecords()
+	if len(after) != len(before) {
+		t.Fatalf("reopen kept %d of %d audit records", len(after), len(before))
+	}
+	for i := range after {
+		if after[i].Sum != before[i].Sum {
+			t.Fatalf("record %d changed across reopen", i+1)
+		}
+	}
+	if _, ok := reopened.Attestation(2); !ok {
+		t.Fatal("attestation index not rebuilt on reopen")
+	}
+	reopened.SetCertKey([]byte("k"))
+	if err := reopened.RecordQuarantine(Quarantine{Reason: "post-reopen"}); err != nil {
+		t.Fatal(err)
+	}
+	recs := reopened.AuditRecords()
+	if last := recs[len(recs)-1]; last.Prev != before[len(before)-1].Sum {
+		t.Error("post-reopen record does not chain to the persisted log")
+	}
+}
+
+// TestAuditLogCorruptionRecovery: a corrupted audit log recovers to the
+// longest valid chained prefix — never fails Open, never fabricates
+// history — and the rewritten log accepts chained appends again. Runs
+// the three corruption shapes: garbage appended, a truncated tail, and a
+// flipped byte mid-chain.
+func TestAuditLogCorruptionRecovery(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	v1 := trainSignatures(t, day)
+	v2, _ := oneFamilyChange(t, v1, trainSignatures(t, day+1))
+
+	seed := func(t *testing.T) (string, []AuditRecord) {
+		path := filepath.Join(t.TempDir(), "sigs.json")
+		store, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.SetCertKey([]byte("k"))
+		if _, _, _, err := store.PublishAttested(v1, nil, "c1", testPrimaryPath, testVerifyPath); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := store.PublishAttested(v2, nil, "c2", testPrimaryPath, testVerifyPath); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.RecordQuarantine(Quarantine{Reason: "seed"}); err != nil {
+			t.Fatal(err)
+		}
+		return path, store.AuditRecords()
+	}
+
+	reopenAndCheck := func(t *testing.T, path string, wantKept int, full []AuditRecord) {
+		t.Helper()
+		store, err := Open(path)
+		if err != nil {
+			t.Fatalf("Open after corruption: %v", err)
+		}
+		recs := store.AuditRecords()
+		if len(recs) != wantKept {
+			t.Fatalf("kept %d records, want %d", len(recs), wantKept)
+		}
+		for i, rec := range recs {
+			if rec.Sum != full[i].Sum {
+				t.Fatalf("kept record %d differs from the original", i+1)
+			}
+		}
+		// The rewritten log must accept appends that chain cleanly.
+		if err := store.RecordQuarantine(Quarantine{Reason: "post-recovery"}); err != nil {
+			t.Fatal(err)
+		}
+		again, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := again.AuditRecords()
+		if len(got) != wantKept+1 {
+			t.Fatalf("post-recovery append not persisted: %d records, want %d", len(got), wantKept+1)
+		}
+		prev := ""
+		for i, rec := range got {
+			if err := rec.checkChain(int64(i+1), prev); err != nil {
+				t.Fatalf("recovered chain invalid: %v", err)
+			}
+			prev = rec.Sum
+		}
+	}
+
+	t.Run("garbage_appended", func(t *testing.T) {
+		path, full := seed(t)
+		f, err := os.OpenFile(path+".audit", os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteString("{\"seq\": not json at all\n")
+		f.Close()
+		reopenAndCheck(t, path, 3, full)
+	})
+
+	t.Run("truncated_tail", func(t *testing.T) {
+		path, full := seed(t)
+		data, err := os.ReadFile(path + ".audit")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path+".audit", data[:len(data)-20], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reopenAndCheck(t, path, 2, full)
+	})
+
+	t.Run("flipped_byte_mid_chain", func(t *testing.T) {
+		path, full := seed(t)
+		data, err := os.ReadFile(path + ".audit")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip a byte inside the second record's line: records 2 and 3
+		// both drop (3 chains through 2), record 1 survives.
+		lines := strings.SplitAfter(string(data), "\n")
+		mid := []byte(lines[1])
+		mid[len(mid)/2] ^= 0x01
+		lines[1] = string(mid)
+		if err := os.WriteFile(path+".audit", []byte(strings.Join(lines, "")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reopenAndCheck(t, path, 1, full)
+	})
+}

@@ -42,25 +42,36 @@ func oneFamilyChange(t *testing.T, base, other []kizzle.Signature) ([]kizzle.Sig
 // updated through the delta path must hold the byte-identical snapshot a
 // full download yields, produce identical scan results, spend less than
 // half the wire bytes on a one-family change, and recompile only the
-// changed family.
+// changed family. Both publishes are certified (PublishAttested) and
+// both clients run strict, so the differential also proves the delta
+// channel composes with attestation: the snapshot a replica reconstructs
+// from a delta hashes to exactly the SetDigest the publisher attested.
 func TestClientDeltaEquivalence(t *testing.T) {
 	day := synth.Date(time.August, 5)
 	v1 := trainSignatures(t, day)
 	v2, changed := oneFamilyChange(t, v1, trainSignatures(t, day+1))
 
+	key := []byte("delta-equivalence-key")
 	store := New()
-	if _, err := store.Replace(v1, nil); err != nil {
+	store.SetCertKey(key)
+	if _, _, _, err := store.PublishAttested(v1, nil, "corpus-day1", testPrimaryPath, testVerifyPath); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(store.Handler())
+	mux := http.NewServeMux()
+	mux.Handle("/signatures", store.Handler())
+	mux.Handle("/attest", store.AttestHandler())
+	srv := httptest.NewServer(mux)
 	defer srv.Close()
 	ctx := context.Background()
+	strictClient := func() *Client {
+		return &Client{URL: srv.URL + "/signatures", Strict: true, AttestURL: srv.URL + "/attest", CertKey: key}
+	}
 
-	deltaClient := &Client{URL: srv.URL}
+	deltaClient := strictClient()
 	if _, ok, err := deltaClient.Fetch(ctx); err != nil || !ok {
 		t.Fatalf("initial fetch: ok=%v err=%v", ok, err)
 	}
-	if _, err := store.Replace(v2, nil); err != nil {
+	if _, _, _, err := store.PublishAttested(v2, nil, "corpus-day2", testPrimaryPath, testVerifyPath); err != nil {
 		t.Fatal(err)
 	}
 	got, ok, err := deltaClient.Fetch(ctx)
@@ -68,10 +79,28 @@ func TestClientDeltaEquivalence(t *testing.T) {
 		t.Fatalf("delta fetch: ok=%v err=%v", ok, err)
 	}
 
-	fullClient := &Client{URL: srv.URL}
+	fullClient := strictClient()
 	want, ok, err := fullClient.Fetch(ctx)
 	if err != nil || !ok {
 		t.Fatalf("full fetch: ok=%v err=%v", ok, err)
+	}
+
+	// The delta-reconstructed snapshot must hash to the digest the
+	// publisher attested for this version — the end-to-end certification
+	// claim across the delta wire.
+	att, okAtt := store.Attestation(got.Version)
+	if !okAtt {
+		t.Fatalf("no attestation for delta-fetched v%d", got.Version)
+	}
+	gotDigest, err := got.SetDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDigest != att.SetDigest {
+		t.Fatalf("delta-reconstructed set digest %s, attested %s", gotDigest, att.SetDigest)
+	}
+	if deltaClient.Metrics()["attest_verified"].(int64) != 2 {
+		t.Errorf("attest_verified = %v, want 2 (both strict fetches)", deltaClient.Metrics()["attest_verified"])
 	}
 
 	gotJSON, err := json.Marshal(got)

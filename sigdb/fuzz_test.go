@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -80,6 +82,64 @@ func FuzzDeltaSignatures(f *testing.F) {
 		}
 		if _, err := json.Marshal(snap); err != nil {
 			t.Fatalf("applied snapshot does not re-serialize: %v", err)
+		}
+	})
+}
+
+// FuzzAttestation fuzzes both attacker-reachable surfaces of the
+// certification layer with one input. As wire bytes: an attestation
+// document a strict client decodes comes off the network, so decode +
+// MAC verification must never panic, verification of arbitrary bytes
+// must never succeed against a re-signed record's key spuriously, and a
+// decoded record re-signed under a key must always verify under that
+// key. As disk bytes: the audit log is the only store file whose
+// corruption must never fail Open — whatever prefix survives must be a
+// valid hash chain, and the recovered log must accept chained appends.
+func FuzzAttestation(f *testing.F) {
+	f.Add([]byte(`{"version":1,"corpusDigest":"aa","setDigest":"bb","primary":{"mode":"fleet","shards":2,"dispatch":"stream","affinity":true},"verify":{"mode":"in-process","dispatch":"batch","seed":7},"time":"2026-08-08T00:00:00Z","mac":"00ff"}`))
+	f.Add([]byte(`{"version":-1,"mac":"zz-not-hex"}`))
+	f.Add([]byte(`{"seq":1,"kind":"attest","attestation":{"version":1},"sum":"deadbeef"}` + "\n"))
+	f.Add([]byte(`{"seq":1,"kind":"quarantine","sum":""}` + "\n{truncated"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key := []byte("fuzz-certification-key")
+		var att Attestation
+		if json.Unmarshal(data, &att) == nil {
+			_ = att.VerifyMAC(key) // must not panic on arbitrary field values
+			att.MAC = att.Sign(key)
+			if !att.VerifyMAC(key) {
+				t.Fatal("self-signed attestation fails verification")
+			}
+			if att.VerifyMAC([]byte("a-different-key")) {
+				t.Fatal("attestation verifies under the wrong key")
+			}
+		}
+
+		path := filepath.Join(t.TempDir(), "sigs.json")
+		if err := os.WriteFile(path+".audit", data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		store, err := Open(path)
+		if err != nil {
+			t.Fatalf("Open must tolerate any audit-log bytes: %v", err)
+		}
+		prev := ""
+		for i, rec := range store.AuditRecords() {
+			if err := rec.checkChain(int64(i+1), prev); err != nil {
+				t.Fatalf("recovered prefix is not a valid chain: %v", err)
+			}
+			prev = rec.Sum
+		}
+		if err := store.RecordQuarantine(Quarantine{Reason: "fuzz append"}); err != nil {
+			t.Fatalf("recovered log rejects appends: %v", err)
+		}
+		reopened, err := Open(path)
+		if err != nil {
+			t.Fatalf("reopen after recovery+append: %v", err)
+		}
+		if got, want := len(reopened.AuditRecords()), len(store.AuditRecords()); got != want {
+			t.Fatalf("reopen kept %d records, want %d", got, want)
 		}
 	})
 }

@@ -131,6 +131,17 @@ type Client struct {
 	// stampede the signature server on one synchronized tick. Zero means
 	// fixed intervals.
 	Jitter float64
+	// Strict refuses uncertified updates: every fetched set must carry an
+	// attestation at AttestURL whose SetDigest matches the bytes fetched,
+	// and (when CertKey is set) whose HMAC verifies. A rejected update
+	// never advances the client — the last attested set keeps serving.
+	Strict bool
+	// AttestURL is the attestation endpoint (the path AttestHandler is
+	// mounted at). Required when Strict is set.
+	AttestURL string
+	// CertKey, when non-empty, is the shared certification key used to
+	// verify attestation MACs in strict mode.
+	CertKey []byte
 
 	version int64
 	etag    string
@@ -140,14 +151,16 @@ type Client struct {
 	matcher atomic.Pointer[kizzle.Matcher]
 	multi   atomic.Pointer[kizzle.MultiMatcher]
 
-	wireFull      atomic.Int64
-	wireDelta     atomic.Int64
-	fetchesFull   atomic.Int64
-	fetchesDelta  atomic.Int64
-	notModified   atomic.Int64
-	sigsCompiled  atomic.Int64
-	sigsReused    atomic.Int64
-	deltaFailures atomic.Int64
+	wireFull       atomic.Int64
+	wireDelta      atomic.Int64
+	fetchesFull    atomic.Int64
+	fetchesDelta   atomic.Int64
+	notModified    atomic.Int64
+	sigsCompiled   atomic.Int64
+	sigsReused     atomic.Int64
+	deltaFailures  atomic.Int64
+	attestVerified atomic.Int64
+	attestRejected atomic.Int64
 }
 
 // Matcher returns the compiled form of the last applied snapshot (nil
@@ -170,6 +183,8 @@ func (c *Client) Metrics() map[string]any {
 		"signatures_compiled":  c.sigsCompiled.Load(),
 		"signatures_reused":    c.sigsReused.Load(),
 		"delta_apply_failures": c.deltaFailures.Load(),
+		"attest_verified":      c.attestVerified.Load(),
+		"attest_rejected":      c.attestRejected.Load(),
 	}
 }
 
@@ -181,7 +196,7 @@ func (c *Client) Metrics() map[string]any {
 func (c *Client) Fetch(ctx context.Context) (Snapshot, bool, error) {
 	// Deltas need the retained base snapshot; before the first success
 	// there is nothing to apply one to.
-	snap, ok, err := c.fetch(ctx, c.last.Version > 0)
+	snap, etag, ok, err := c.fetch(ctx, c.last.Version > 0)
 	if err != nil || !ok {
 		return Snapshot{}, false, err
 	}
@@ -193,18 +208,85 @@ func (c *Client) Fetch(ctx context.Context) (Snapshot, bool, error) {
 	if err != nil {
 		return Snapshot{}, false, err
 	}
+	if c.Strict {
+		// Certification gate: refuse to deploy bytes whose provenance the
+		// publisher cannot attest. Runs after compile validation and before
+		// any state advances, so a rejected set leaves the client exactly
+		// where it was — last attested matcher serving, same poll baseline.
+		if err := c.verifyAttestation(ctx, snap); err != nil {
+			c.attestRejected.Add(1)
+			return Snapshot{}, false, err
+		}
+		c.attestVerified.Add(1)
+	}
 	c.sigsCompiled.Add(int64(stats.SignaturesCompiled))
 	c.sigsReused.Add(int64(stats.SignaturesReused))
 	c.matcher.Store(m)
 	c.multi.Store(mm)
+	// All state — including the ETag — advances only past every gate, so
+	// a rejected update is re-encountered (and re-rejected) on the next
+	// poll instead of being silently 304-skipped.
+	c.etag = etag
 	c.version = snap.Version
 	c.last = snap
 	return snap, true, nil
 }
 
+// verifyAttestation enforces strict mode for one fetched snapshot: the
+// server must hold an attestation for the snapshot's version, its
+// SetDigest must equal the digest of the signature set the client
+// actually reconstructed (a delta that rebuilt different bytes fails
+// here even if the server's own set is attested), and when a
+// certification key is configured the attestation's HMAC must verify.
+func (c *Client) verifyAttestation(ctx context.Context, snap Snapshot) error {
+	if c.AttestURL == "" {
+		return errors.New("sigdb: strict mode without AttestURL")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	url := fmt.Sprintf("%s?version=%d", c.AttestURL, snap.Version)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return fmt.Errorf("sigdb: build attestation request: %w", err)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("sigdb: fetch attestation: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("sigdb: version %d is unattested", snap.Version)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("sigdb: attestation endpoint returned %s", resp.Status)
+	}
+	var att Attestation
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxUpdateBytes)).Decode(&att); err != nil {
+		return fmt.Errorf("sigdb: decode attestation: %w", err)
+	}
+	if att.Version != snap.Version {
+		return fmt.Errorf("sigdb: attestation covers version %d, want %d", att.Version, snap.Version)
+	}
+	got, err := snap.SetDigest()
+	if err != nil {
+		return err
+	}
+	if att.SetDigest != got {
+		return fmt.Errorf("sigdb: attestation digest %.12s.. does not match fetched set %.12s..", att.SetDigest, got)
+	}
+	if len(c.CertKey) > 0 && !att.VerifyMAC(c.CertKey) {
+		return fmt.Errorf("sigdb: attestation for version %d fails signature verification", snap.Version)
+	}
+	return nil
+}
+
 // fetch performs one conditional GET, optionally asking for a delta, and
-// returns the (reconstructed) full snapshot.
-func (c *Client) fetch(ctx context.Context, wantDelta bool) (Snapshot, bool, error) {
+// returns the (reconstructed) full snapshot plus the response's ETag.
+// The caller commits the ETag once the update passes every gate; fetch
+// itself must not, or a rejected update would 304 away on the next poll.
+func (c *Client) fetch(ctx context.Context, wantDelta bool) (Snapshot, string, bool, error) {
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient
@@ -215,48 +297,47 @@ func (c *Client) fetch(ctx context.Context, wantDelta bool) (Snapshot, bool, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return Snapshot{}, false, fmt.Errorf("sigdb: build request: %w", err)
+		return Snapshot{}, "", false, fmt.Errorf("sigdb: build request: %w", err)
 	}
 	if c.etag != "" {
 		req.Header.Set("If-None-Match", c.etag)
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return Snapshot{}, false, fmt.Errorf("sigdb: fetch: %w", err)
+		return Snapshot{}, "", false, fmt.Errorf("sigdb: fetch: %w", err)
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusNotModified:
 		c.notModified.Add(1)
-		return Snapshot{}, false, nil
+		return Snapshot{}, "", false, nil
 	case http.StatusOK:
 	default:
-		return Snapshot{}, false, fmt.Errorf("sigdb: server returned %s", resp.Status)
+		return Snapshot{}, "", false, fmt.Errorf("sigdb: server returned %s", resp.Status)
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return Snapshot{}, false, fmt.Errorf("sigdb: read update: %w", err)
+		return Snapshot{}, "", false, fmt.Errorf("sigdb: read update: %w", err)
 	}
 	var probe struct {
 		IsDelta bool `json:"delta"`
 	}
 	if err := json.Unmarshal(body, &probe); err != nil {
-		return Snapshot{}, false, fmt.Errorf("sigdb: decode update: %w", err)
+		return Snapshot{}, "", false, fmt.Errorf("sigdb: decode update: %w", err)
 	}
 	etag := resp.Header.Get("ETag")
 	if !probe.IsDelta {
 		var snap Snapshot
 		if err := json.Unmarshal(body, &snap); err != nil {
-			return Snapshot{}, false, fmt.Errorf("sigdb: decode update: %w", err)
+			return Snapshot{}, "", false, fmt.Errorf("sigdb: decode update: %w", err)
 		}
 		c.wireFull.Add(int64(len(body)))
 		c.fetchesFull.Add(1)
-		c.etag = etag
-		return snap, true, nil
+		return snap, etag, true, nil
 	}
 	var d Delta
 	if err := json.Unmarshal(body, &d); err != nil {
-		return Snapshot{}, false, fmt.Errorf("sigdb: decode delta: %w", err)
+		return Snapshot{}, "", false, fmt.Errorf("sigdb: decode delta: %w", err)
 	}
 	c.wireDelta.Add(int64(len(body)))
 	c.fetchesDelta.Add(1)
@@ -267,8 +348,7 @@ func (c *Client) fetch(ctx context.Context, wantDelta bool) (Snapshot, bool, err
 		c.deltaFailures.Add(1)
 		return c.fetch(ctx, false)
 	}
-	c.etag = etag
-	return snap, true, nil
+	return snap, etag, true, nil
 }
 
 // jitteredInterval spreads interval by ±Jitter.

@@ -43,6 +43,13 @@ type Store struct {
 	// history holds family digests for the last deltaHistory versions,
 	// the server side of the delta distribution channel (see delta.go).
 	history map[int64]map[string]uint64
+	// certKey signs attestations (see attest.go); empty = unsigned.
+	certKey []byte
+	// attests indexes attestations by covered version; audit is the
+	// append-only hash-chained log both attestations and quarantines land
+	// in, persisted as JSONL at path+".audit" for file-backed stores.
+	attests map[int64]Attestation
+	audit   []AuditRecord
 }
 
 // New creates an in-memory store at version 0.
@@ -52,6 +59,9 @@ func New() *Store { return &Store{} }
 // and is created on the first Replace.
 func Open(path string) (*Store, error) {
 	s := &Store{path: path}
+	// Restore the audit trail first (tolerant of corruption — see
+	// loadAudit); provenance survives even when the snapshot file is gone.
+	s.loadAudit()
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return s, nil
