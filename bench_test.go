@@ -249,6 +249,46 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	b.ReportMetric(float64(len(inputs)), "samples/run")
 }
 
+// BenchmarkWebkitPipelineThroughput measures the second ingest workload
+// end to end: one synthetic phishing-kit day (HTML/PHP/JS bundles)
+// compiled under the webkit profile through the public compiler — the
+// apples-to-apples counterpart of BenchmarkPipelineThroughput for
+// mixed-fleet capacity planning.
+func BenchmarkWebkitPipelineThroughput(b *testing.B) {
+	cfg := synth.DefaultWebkitConfig()
+	cfg.BenignPerDay = 100
+	stream, err := synth.NewWebkitStream(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const day = 35 // mid-epoch for every kit family
+	var (
+		batch []kizzle.Sample
+		bytes int64
+	)
+	for _, s := range stream.Day(day) {
+		batch = append(batch, kizzle.Sample{ID: s.ID, Content: s.Content})
+		bytes += int64(len(s.Content))
+	}
+	c := kizzle.New(kizzle.WithProfile("webkit"), kizzle.WithSignatureSlack(2))
+	for _, fam := range synth.WebkitKits() {
+		c.AddKnown("webkit/"+fam.String(), synth.WebkitPayload(fam, day-1))
+	}
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sigs int
+	for i := 0; i < b.N; i++ {
+		res, err := c.Process(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sigs = len(res.Signatures)
+	}
+	b.ReportMetric(float64(len(batch)), "samples/run")
+	b.ReportMetric(float64(sigs), "signatures/run")
+}
+
 // BenchmarkTokenize measures the tokenization stage over one day of
 // documents: the classic lex-then-abstract composition against the
 // streaming symbol-only path the pipeline now uses.

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	evalmonth [-benign 1200] [-days 31] [-fig all|2|5|6|11|12|13|14|perf] \
-//	          [-shards N] [-dispatch stream|batch] [-cachemb 64] [-cachedir dir]
+//	          [-shards N] [-dispatch stream|batch] [-cachemb 64] [-cachedir dir] \
+//	          [-profile js|webkit]
 //
 // -shards N routes the clustering stage through N in-process shard
 // workers over the loopback transport (the paper's 50-machine layout at
@@ -26,8 +27,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"strings"
 
+	"kizzle"
 	"kizzle/internal/contentcache"
 	"kizzle/internal/ekit"
 	"kizzle/internal/evalharness"
@@ -53,6 +56,7 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "cluster via N loopback shard workers (0 = in-process)")
 	dispatch := fs.String("dispatch", "stream", "shard dispatch mode: stream (partitions flow while dedup runs, reduce sweeps fan out) or batch (protocol v1: one batch after dedup, reduce on the coordinator)")
 	sweep := fs.String("sweep", "", "sweep the labeling threshold for this family instead of running figures")
+	profile := fs.String("profile", "js", "ingest profile to compile the stream with; non-js profiles namespace families profile/family")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +71,10 @@ func run(args []string) error {
 	}
 	if *dispatch != "stream" && *dispatch != "batch" {
 		return fmt.Errorf("-dispatch %q must be stream or batch", *dispatch)
+	}
+	if !slices.Contains(kizzle.Profiles(), *profile) {
+		return fmt.Errorf("-profile %q: unknown ingest profile (registered: %s)",
+			*profile, strings.Join(kizzle.Profiles(), ", "))
 	}
 	if *sweep != "" {
 		scfg := evalharness.DefaultSweepWindow(*benign)
@@ -87,6 +95,7 @@ func run(args []string) error {
 	}
 
 	cfg := evalharness.DefaultConfig()
+	cfg.Profile = *profile
 	cfg.Stream.BenignPerDay = *benign
 	cfg.Pipeline.Signature.LengthSlack = *slack
 	cfg.Days = ekit.AugustDays()[:*days]

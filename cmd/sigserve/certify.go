@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"kizzle"
 	"kizzle/sigdb"
@@ -44,6 +45,10 @@ type pathSpec struct {
 	fanout     int
 	noAffinity bool
 	seed       int64
+	// profiles lists the ingest workloads this path compiles (empty means
+	// the default JS workload). Like fanout it is output-sensitive and
+	// identical across primary and verification specs.
+	profiles []string
 }
 
 // mode names where clustering runs.
@@ -66,6 +71,11 @@ func (p pathSpec) descriptor() sigdb.PathDescriptor {
 		d.Dispatch = "stream"
 	}
 	d.Affinity = len(p.shardURLs) > 0 && !p.noAffinity && d.Dispatch == "stream"
+	// A JS-only path keeps the pre-profile descriptor form, so existing
+	// attestation consumers see unchanged records.
+	if len(p.profiles) > 0 && !(len(p.profiles) == 1 && p.profiles[0] == "js") {
+		d.Profile = strings.Join(p.profiles, ",")
+	}
 	return d
 }
 
@@ -90,6 +100,18 @@ func (p pathSpec) options() []kizzle.Option {
 	return opts
 }
 
+// workloadOptions translates the spec into compiler options for one
+// ingest workload: the shared path options plus the profile selection
+// (the default JS profile is left implicit, keeping cache keys and wire
+// requests in their pre-profile form).
+func (p pathSpec) workloadOptions(profile string) []kizzle.Option {
+	opts := p.options()
+	if profile != "" && profile != "js" {
+		opts = append(opts, kizzle.WithProfile(profile))
+	}
+	return opts
+}
+
 // certConfig is the publisher's certification setup: the verification
 // path and, optionally, the attestation signing key (installed on the
 // store, recorded here only for documentation of intent).
@@ -105,7 +127,7 @@ type certConfig struct {
 // (re-dispatches across the same workers on a permuted, affinity-less
 // schedule, so no worker sees the same units in the same role twice).
 func verifyPathSpec(primary pathSpec, mode string, seed int64) (pathSpec, error) {
-	v := pathSpec{fanout: primary.fanout, seed: seed}
+	v := pathSpec{fanout: primary.fanout, seed: seed, profiles: primary.profiles}
 	if primary.dispatch == "batch" {
 		v.dispatch = "stream"
 	} else {
@@ -125,10 +147,12 @@ func verifyPathSpec(primary pathSpec, mode string, seed int64) (pathSpec, error)
 	return v, nil
 }
 
-// corpusDigest fingerprints the exact compile input: every known payload
-// (in the deterministic seeding order) and every sample (in processing
+// corpusDigest fingerprints the exact compile input across every
+// workload: each profile marker (elided for the default JS workload, so
+// single-JS digests keep their pre-profile values), every known payload
+// (in the deterministic seeding order), and every sample (in processing
 // order), length-prefixed so boundaries cannot alias.
-func (p *publisher) corpusDigest(samples []kizzle.Sample) string {
+func corpusDigest(runs []workloadRun) string {
 	h := sha256.New()
 	var n [8]byte
 	put := func(s string) {
@@ -136,55 +160,68 @@ func (p *publisher) corpusDigest(samples []kizzle.Sample) string {
 		h.Write(n[:])
 		io.WriteString(h, s)
 	}
-	for _, name := range p.knownNames {
-		put(name)
-		put(p.knownBodies[name])
-	}
-	for _, s := range samples {
-		put(s.ID)
-		put(s.Content)
+	for _, run := range runs {
+		if run.w.profile != "js" {
+			put("profile:" + run.w.profile)
+		}
+		for _, name := range run.w.knownNames {
+			put(name)
+			put(run.w.knownBodies[name])
+		}
+		for _, s := range run.samples {
+			put(s.ID)
+			put(s.Content)
+		}
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// certify runs the verification compile and gates the publish on
-// bit-identical agreement. The verifier is constructed fresh each cycle
-// — cold caches, its own clustering path — and seeded with the same
-// known corpus in the same deterministic order, so the only thing the
-// two compiles share is their input. Agreement publishes with an
-// attestation; disagreement records a quarantine carrying both artifacts
-// and returns errQuarantined without touching the serving version.
-func (p *publisher) certify(samples []kizzle.Sample, res *kizzle.Result) (version int64, changed bool, err error) {
-	verifier := kizzle.New(p.cert.verify.options()...)
-	for _, name := range p.knownNames {
-		verifier.AddKnown(knownFamily(name), p.knownBodies[name])
+// certify runs the verification compiles and gates the publish on
+// bit-identical agreement. One verifier per workload is constructed
+// fresh each cycle — cold caches, its own clustering path — and seeded
+// with the same known corpus in the same deterministic order, so the
+// only thing the two compiles share is their input; the concatenated
+// verification set is compared against the primary's concatenated set,
+// so one digest covers the whole mixed-workload publish. Agreement
+// publishes with an attestation; disagreement records a quarantine
+// carrying both artifacts and returns errQuarantined without touching
+// the serving version.
+func (p *publisher) certify(runs []workloadRun, allSigs []kizzle.Signature) (version int64, changed bool, err error) {
+	var verifySigs []kizzle.Signature
+	for _, run := range runs {
+		verifier := kizzle.New(p.cert.verify.workloadOptions(run.w.profile)...)
+		for _, name := range run.w.knownNames {
+			verifier.AddKnown(run.w.familyLabel(name), run.w.knownBodies[name])
+		}
+		vres, err := verifier.Process(run.samples)
+		if err != nil {
+			return 0, false, fmt.Errorf("verification compile (%s, %s): %w",
+				run.w.profile, p.cert.verify.descriptor(), err)
+		}
+		verifySigs = append(verifySigs, vres.Signatures...)
 	}
-	vres, err := verifier.Process(samples)
-	if err != nil {
-		return 0, false, fmt.Errorf("verification compile (%s): %w", p.cert.verify.descriptor(), err)
-	}
-	primaryDigest, err := sigdb.SetDigest(res.Signatures, nil)
+	primaryDigest, err := sigdb.SetDigest(allSigs, nil)
 	if err != nil {
 		return 0, false, err
 	}
-	verifyDigest, err := sigdb.SetDigest(vres.Signatures, nil)
+	verifyDigest, err := sigdb.SetDigest(verifySigs, nil)
 	if err != nil {
 		return 0, false, err
 	}
-	corpus := p.corpusDigest(samples)
+	corpus := corpusDigest(runs)
 	if primaryDigest == verifyDigest {
-		version, changed, _, err = p.store.PublishAttested(res.Signatures, nil,
+		version, changed, _, err = p.store.PublishAttested(allSigs, nil,
 			corpus, p.primary.descriptor(), p.cert.verify.descriptor())
 		if err == nil {
 			p.certified.Add(1)
 		}
 		return version, changed, err
 	}
-	primarySet, err := json.Marshal(res.Signatures)
+	primarySet, err := json.Marshal(allSigs)
 	if err != nil {
 		return 0, false, fmt.Errorf("marshal primary artifact: %w", err)
 	}
-	verifySet, err := json.Marshal(vres.Signatures)
+	verifySet, err := json.Marshal(verifySigs)
 	if err != nil {
 		return 0, false, fmt.Errorf("marshal verification artifact: %w", err)
 	}

@@ -9,7 +9,6 @@ import (
 	"kizzle"
 	"kizzle/internal/jstoken"
 	"kizzle/internal/unpack"
-	"kizzle/sigdb"
 )
 
 // fuzzFileName coerces an arbitrary fuzz string into a usable file name
@@ -42,20 +41,20 @@ func FuzzKnownDir(f *testing.F) {
 		if err := os.WriteFile(filepath.Join(dir, name), body, 0o644); err != nil {
 			t.Skip("unwritable fuzz name")
 		}
-		p := &publisher{
-			store:      sigdb.New(),
+		w := &workload{
+			profile:    "js",
 			compiler:   kizzle.New(kizzle.WithCacheBytes(1 << 20)),
 			knownDir:   dir,
 			knownFiles: make(map[string]knownMeta),
 		}
-		changed, err := p.syncKnown()
+		changed, err := w.syncKnown()
 		if err != nil {
 			return
 		}
 		if changed != 1 {
 			t.Fatalf("one new file counted as %d changes", changed)
 		}
-		again, err := p.syncKnown()
+		again, err := w.syncKnown()
 		if err != nil || again != 0 {
 			t.Fatalf("unchanged dir re-seeded %d changes (err=%v)", again, err)
 		}

@@ -66,6 +66,8 @@ func run(args []string, ready chan<- http.Handler) error {
 	dispatch := fs.String("dispatch", "stream", "shard dispatch mode: stream or batch (protocol v1)")
 	fanout := fs.Int("fanout", 0, "streaming partition fanout (0 = default)")
 	cacheDir := fs.String("cachedir", "", "persist the compiler's content cache here across restarts")
+	profileFlag := fs.String("profile", "js", "comma-separated ingest profiles to compile (e.g. js,webkit); with several, -samples/-known/-cachedir hold one subdirectory per profile and non-js families publish namespaced (profile/family)")
+	yaraPath := fs.String("yara", "", "write every changed publish as a YARA ruleset to this file (requires -samples)")
 	certify := fs.Bool("certify", false, "certify every publish: recompile through a second, diverse execution path and require bit-identical agreement")
 	certKey := fs.String("certkey", "", "HMAC key for signing attestations (share with strict consumers)")
 	certVerify := fs.String("certverify", "inprocess", "verification path: inprocess or fleet")
@@ -91,6 +93,16 @@ func run(args []string, ready chan<- http.Handler) error {
 	if *certify && *samplesDir == "" {
 		return fmt.Errorf("-certify requires -samples")
 	}
+	profiles, err := parseProfiles(*profileFlag)
+	if err != nil {
+		return err
+	}
+	if *samplesDir == "" && *profileFlag != "js" {
+		return fmt.Errorf("-profile requires -samples")
+	}
+	if *yaraPath != "" && *samplesDir == "" {
+		return fmt.Errorf("-yara requires -samples")
+	}
 	if !*certify && (*certKey != "" || *certVerify != "inprocess" || *certSeed != defaultCertSeed) {
 		return fmt.Errorf("-certkey/-certverify/-certseed require -certify")
 	}
@@ -110,7 +122,7 @@ func run(args []string, ready chan<- http.Handler) error {
 
 	var pub *publisher
 	if *samplesDir != "" {
-		primary := pathSpec{shardURLs: shardURLs, dispatch: *dispatch, fanout: *fanout}
+		primary := pathSpec{shardURLs: shardURLs, dispatch: *dispatch, fanout: *fanout, profiles: profiles}
 		var cert *certConfig
 		if *certify {
 			vspec, err := verifyPathSpec(primary, *certVerify, *certSeed)
@@ -125,6 +137,7 @@ func run(args []string, ready chan<- http.Handler) error {
 		if err != nil {
 			return err
 		}
+		pub.yaraPath = *yaraPath
 		if _, err := pub.recompile(); err != nil {
 			// A quarantined first compile is an operational condition, not a
 			// startup failure: the store keeps serving whatever version it
@@ -213,18 +226,75 @@ func parseShardURLs(shards string) ([]string, error) {
 	return urls, nil
 }
 
+// parseProfiles splits and validates the -profile flag against the
+// registered ingest profiles. Unknown names and duplicates are
+// configuration errors — a typo must not silently drop a workload.
+func parseProfiles(spec string) ([]string, error) {
+	valid := make(map[string]bool)
+	for _, id := range kizzle.Profiles() {
+		valid[id] = true
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range strings.Split(spec, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		if !valid[p] {
+			return nil, fmt.Errorf("-profile %q: unknown ingest profile (registered: %s)",
+				p, strings.Join(kizzle.Profiles(), ", "))
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("-profile lists %q twice", p)
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-profile %q contains no profiles", spec)
+	}
+	return out, nil
+}
+
 // defaultCertSeed is the default -certseed: an arbitrary nonzero value,
 // so the verification path's schedule is permuted out of the box.
 const defaultCertSeed = 1887
 
-// publisher owns sigserve's recompilation loop: one long-lived compiler
-// whose content cache — clustering verdicts, unpack results, fingerprints,
-// per-family label slices — stays warm across recompiles, so the steady
-// state pays only for the day's novel content, and whose clustering stage
-// optionally runs on a kizzleshard fleet. All methods are serialized by
-// the caller (the recompile loop is a single goroutine).
+// publisher owns sigserve's recompilation loop. Each configured ingest
+// profile gets one workload: a long-lived compiler whose content cache —
+// clustering verdicts, unpack results, fingerprints, per-family label
+// slices — stays warm across recompiles, so the steady state pays only
+// for the day's novel content, plus its own sample/known directories.
+// Every cycle compiles all workloads and lands their signatures as one
+// publish, so a single sigdb version (and a single attestation) always
+// covers the whole fleet's deployed set. Clustering optionally runs on a
+// kizzleshard fleet. All methods are serialized by the caller (the
+// recompile loop is a single goroutine).
 type publisher struct {
-	store      *sigdb.Store
+	store     *sigdb.Store
+	workloads []*workload
+	// yaraPath, when set, receives the published set as a YARA ruleset on
+	// every changed publish.
+	yaraPath string
+
+	// primary describes the main compile path; cert, when non-nil, holds
+	// the certification setup (see certify.go).
+	primary pathSpec
+	cert    *certConfig
+
+	// lastMu guards last for /metrics readers; recompile itself stays
+	// single-goroutine.
+	lastMu      sync.Mutex
+	last        pubStats
+	recompiles  atomic.Int64
+	certified   atomic.Int64
+	quarantined atomic.Int64
+}
+
+// workload is one ingest profile's slice of the publisher: its compiler,
+// directories, and known-corpus sync state.
+type workload struct {
+	profile    string
 	compiler   *kizzle.Compiler
 	samplesDir string
 	knownDir   string
@@ -244,27 +314,47 @@ type publisher struct {
 	// idle ticks that never re-read the files.
 	knownNames  []string
 	knownBodies map[string]string
-
-	// primary describes the main compile path; cert, when non-nil, holds
-	// the certification setup (see certify.go).
-	primary pathSpec
-	cert    *certConfig
-
-	// lastMu guards last for /metrics readers; recompile itself stays
-	// single-goroutine.
-	lastMu      sync.Mutex
-	last        pubStats
-	recompiles  atomic.Int64
-	certified   atomic.Int64
-	quarantined atomic.Int64
 }
 
-// metrics reports the publisher's /metrics fields: recompile count and
-// the last cycle's outcome.
+// familyLabel maps a known payload file name to the family name its
+// matches publish under: the bare file-derived label for the default JS
+// workload (wire back-compat), namespaced "profile/label" for every
+// other workload so one store can carry both corpora without collisions.
+func (w *workload) familyLabel(name string) string {
+	fam := knownFamily(name)
+	if fam == "" || w.profile == "js" {
+		return fam
+	}
+	return w.profile + "/" + fam
+}
+
+// workloadRun is one workload's output within a recompile cycle.
+type workloadRun struct {
+	w            *workload
+	samples      []kizzle.Sample
+	res          *kizzle.Result
+	knownChanged int
+}
+
+// metrics reports the publisher's /metrics fields: recompile count, the
+// last cycle's aggregate outcome, and a per-workload breakdown so a
+// mixed-profile fleet's operators can watch each corpus independently.
 func (p *publisher) metrics() map[string]any {
 	p.lastMu.Lock()
 	last := p.last
 	p.lastMu.Unlock()
+	workloads := make(map[string]any, len(last.Workloads))
+	for _, ws := range last.Workloads {
+		workloads[ws.Profile] = map[string]any{
+			"documents":     ws.Documents,
+			"clusters":      ws.Compile.Clusters,
+			"signatures":    ws.Signatures,
+			"known_changed": ws.KnownChanged,
+			"label_sweeps":  ws.Compile.LabelSweeps,
+			"cache_misses":  ws.Compile.CacheMisses,
+			"cache_hits":    ws.Compile.CacheHits,
+		}
+	}
 	return map[string]any{
 		"recompiles":         p.recompiles.Load(),
 		"certified":          p.certified.Load(),
@@ -277,6 +367,7 @@ func (p *publisher) metrics() map[string]any {
 		"last_label_sweeps":  last.Compile.LabelSweeps,
 		"last_cache_misses":  last.Compile.CacheMisses,
 		"last_cache_hits":    last.Compile.CacheHits,
+		"workloads":          workloads,
 	}
 }
 
@@ -289,102 +380,153 @@ type knownMeta struct {
 	modTime time.Time
 }
 
-// newPublisher builds the publisher and, when cacheDir is set, restores
-// the previous process's cache snapshot so a restarted publisher keeps
-// warm-day economics.
+// newPublisher builds one workload per configured profile (an empty
+// profile list means the default JS workload, keeping pre-profile call
+// sites and deployments unchanged) and, when cacheDir is set, restores
+// each workload's cache snapshot so a restarted publisher keeps warm-day
+// economics. With several profiles the sample/known/cache directories
+// hold one subdirectory per profile.
 func newPublisher(store *sigdb.Store, samplesDir, knownDir, cacheDir string, primary pathSpec, cert *certConfig) (*publisher, error) {
-	p := &publisher{
-		store:      store,
-		compiler:   kizzle.New(primary.options()...),
-		samplesDir: samplesDir,
-		knownDir:   knownDir,
-		cacheDir:   cacheDir,
-		knownFiles: make(map[string]knownMeta),
-		primary:    primary,
-		cert:       cert,
+	profiles := primary.profiles
+	if len(profiles) == 0 {
+		profiles = []string{"js"}
 	}
-	if cacheDir != "" {
-		stats, err := p.compiler.LoadCache(cacheDir)
-		if err != nil {
-			return nil, fmt.Errorf("load cache: %w", err)
+	p := &publisher{store: store, primary: primary, cert: cert}
+	multi := len(profiles) > 1
+	for _, prof := range profiles {
+		w := &workload{
+			profile:    prof,
+			samplesDir: samplesDir,
+			knownDir:   knownDir,
+			cacheDir:   cacheDir,
+			knownFiles: make(map[string]knownMeta),
 		}
-		if stats.Entries > 0 || stats.CorruptSegments > 0 {
-			log.Printf("cache: restored %d entries from %s (%d corrupt segments skipped)",
-				stats.Entries, cacheDir, stats.CorruptSegments)
+		if multi {
+			w.samplesDir = filepath.Join(samplesDir, prof)
+			w.knownDir = filepath.Join(knownDir, prof)
+			if cacheDir != "" {
+				w.cacheDir = filepath.Join(cacheDir, prof)
+			}
 		}
+		w.compiler = kizzle.New(primary.workloadOptions(prof)...)
+		if w.cacheDir != "" {
+			stats, err := w.compiler.LoadCache(w.cacheDir)
+			if err != nil {
+				return nil, fmt.Errorf("load cache (%s): %w", prof, err)
+			}
+			if stats.Entries > 0 || stats.CorruptSegments > 0 {
+				log.Printf("cache (%s): restored %d entries from %s (%d corrupt segments skipped)",
+					prof, stats.Entries, w.cacheDir, stats.CorruptSegments)
+			}
+		}
+		p.workloads = append(p.workloads, w)
 	}
 	return p, nil
 }
 
-// pubStats summarizes one recompile for logging and tests.
+// pubStats summarizes one recompile for logging and tests. The top-level
+// fields aggregate across workloads (a single-profile publisher reports
+// exactly its one workload); Workloads carries the per-profile split.
 type pubStats struct {
 	Version int64
 	Changed bool
 	// KnownChanged counts known files that were new, modified, or removed
-	// since the previous sync (0 means the corpus was left untouched).
+	// since the previous sync (0 means every corpus was left untouched).
+	KnownChanged int
+	Compile      kizzle.Stats
+	Signatures   int
+	Workloads    []workloadStats
+}
+
+// workloadStats is one workload's share of a recompile cycle.
+type workloadStats struct {
+	Profile      string
+	Documents    int
 	KnownChanged int
 	Compile      kizzle.Stats
 	Signatures   int
 }
 
-// recompile runs one publishing cycle: sync the known corpus (per-family
-// incremental), process the samples directory, publish the signature set
-// if it changed, and snapshot the cache for restarts.
+// addStats accumulates one workload's compile stats into the aggregate.
+func addStats(dst *kizzle.Stats, s kizzle.Stats) {
+	dst.Samples += s.Samples
+	dst.UniqueSequences += s.UniqueSequences
+	dst.Partitions += s.Partitions
+	dst.Clusters += s.Clusters
+	dst.MaliciousClusters += s.MaliciousClusters
+	dst.LabelSweeps += s.LabelSweeps
+	dst.CacheHits += s.CacheHits
+	dst.CacheMisses += s.CacheMisses
+	dst.WireBytes += s.WireBytes
+	dst.EdgeWireBytes += s.EdgeWireBytes
+}
+
+// recompile runs one publishing cycle: for each workload, sync its known
+// corpus (per-family incremental) and process its samples directory;
+// then publish the concatenated signature set if it changed, export YARA
+// when configured, and snapshot each workload's cache for restarts.
 func (p *publisher) recompile() (pubStats, error) {
 	var st pubStats
-	knownChanged, err := p.syncKnown()
-	if err != nil {
-		return st, err
+	runs := make([]workloadRun, 0, len(p.workloads))
+	var allSigs []kizzle.Signature
+	for _, w := range p.workloads {
+		knownChanged, err := w.syncKnown()
+		if err != nil {
+			return st, err
+		}
+		samples, err := readSamples(w.samplesDir)
+		if err != nil {
+			return st, err
+		}
+		res, err := w.compiler.Process(samples)
+		if err != nil {
+			return st, err
+		}
+		st.KnownChanged += knownChanged
+		addStats(&st.Compile, res.Stats)
+		st.Signatures += len(res.Signatures)
+		st.Workloads = append(st.Workloads, workloadStats{
+			Profile:      w.profile,
+			Documents:    len(samples),
+			KnownChanged: knownChanged,
+			Compile:      res.Stats,
+			Signatures:   len(res.Signatures),
+		})
+		allSigs = append(allSigs, res.Signatures...)
+		runs = append(runs, workloadRun{w: w, samples: samples, res: res, knownChanged: knownChanged})
 	}
-	st.KnownChanged = knownChanged
-	samples, err := readSamples(p.samplesDir)
-	if err != nil {
-		return st, err
-	}
-	res, err := p.compiler.Process(samples)
-	if err != nil {
-		return st, err
-	}
-	st.Compile = res.Stats
-	st.Signatures = len(res.Signatures)
 	var version int64
 	var changed bool
+	var err error
 	if p.cert != nil {
-		version, changed, err = p.certify(samples, res)
+		version, changed, err = p.certify(runs, allSigs)
 	} else {
-		version, changed, err = p.store.Publish(res.Signatures, nil)
+		version, changed, err = p.store.Publish(allSigs, nil)
 	}
 	if err != nil {
-		// A quarantine still counts the cycle and snapshots the cache —
-		// the primary compile ran and may have warmed it legitimately.
+		// A quarantine still counts the cycle and snapshots the caches —
+		// the primary compiles ran and may have warmed them legitimately.
 		if errors.Is(err, errQuarantined) {
 			p.recompiles.Add(1)
-			if p.cacheDir != "" && (res.Stats.CacheMisses > 0 || knownChanged > 0) {
-				if _, serr := p.compiler.SaveCache(p.cacheDir); serr != nil {
-					log.Printf("save cache: %v", serr)
-				}
-			}
+			p.snapshotCaches(runs)
 		}
 		return st, err
 	}
 	st.Version, st.Changed = version, changed
 	if changed {
 		log.Printf("published signature set v%d (%d signatures, %d clusters, %d label sweeps)",
-			version, len(res.Signatures), res.Stats.Clusters, res.Stats.LabelSweeps)
+			version, st.Signatures, st.Compile.Clusters, st.Compile.LabelSweeps)
 	} else {
-		log.Printf("signature set unchanged at v%d (%d label sweeps)", version, res.Stats.LabelSweeps)
+		log.Printf("signature set unchanged at v%d (%d label sweeps)", version, st.Compile.LabelSweeps)
 	}
-	// Snapshot the cache only when this cycle could have changed it: a
-	// fully-warm tick (no misses, no corpus change) would rewrite an
-	// identical snapshot — recurring I/O proportional to the cache budget
-	// for zero information.
-	if p.cacheDir != "" && (res.Stats.CacheMisses > 0 || knownChanged > 0) {
-		if _, err := p.compiler.SaveCache(p.cacheDir); err != nil {
-			// A failed snapshot costs the next restart warmth, not this
-			// process correctness.
-			log.Printf("save cache: %v", err)
+	if changed && p.yaraPath != "" {
+		if werr := writeYARA(p.yaraPath, allSigs); werr != nil {
+			// Losing one export costs the AV channel a day's freshness, not
+			// the serving store its new version.
+			log.Printf("yara export: %v", werr)
 		}
 	}
+	p.snapshotCaches(runs)
 	p.recompiles.Add(1)
 	p.lastMu.Lock()
 	p.last = st
@@ -392,9 +534,45 @@ func (p *publisher) recompile() (pubStats, error) {
 	return st, nil
 }
 
-// syncKnown keeps the corpus equal to the known directory's current
-// contents. The file name up to the first '.' or '-' is the family
-// label, so families can carry several payload files (angler.txt,
+// snapshotCaches persists each workload's cache, but only when its cycle
+// could have changed it: a fully-warm tick (no misses, no corpus change)
+// would rewrite an identical snapshot — recurring I/O proportional to
+// the cache budget for zero information. A failed snapshot costs the
+// next restart warmth, not this process correctness.
+func (p *publisher) snapshotCaches(runs []workloadRun) {
+	for _, run := range runs {
+		if run.w.cacheDir == "" || (run.res.Stats.CacheMisses == 0 && run.knownChanged == 0) {
+			continue
+		}
+		if _, err := run.w.compiler.SaveCache(run.w.cacheDir); err != nil {
+			log.Printf("save cache (%s): %v", run.w.profile, err)
+		}
+	}
+}
+
+// writeYARA renders the published set as a YARA ruleset and installs it
+// atomically via rename, validating first so a malformed export never
+// replaces a good file. An empty set writes nothing (there is no valid
+// empty YARA ruleset).
+func writeYARA(path string, sigs []kizzle.Signature) error {
+	if len(sigs) == 0 {
+		return nil
+	}
+	out := kizzle.ExportYARA(sigs)
+	if err := kizzle.ValidateYARA(out); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(out), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// syncKnown keeps the workload's corpus equal to its known directory's
+// current contents. The file name up to the first '.' or '-' is the
+// family label — namespaced by familyLabel for non-js workloads — so
+// families can carry several payload files (angler.txt,
 // angler-variant2.txt); hidden files are skipped. An unchanged directory
 // is a no-op — and when no file's size or mtime moved either, the no-op
 // is decided from stat metadata alone, so the steady-state tick never
@@ -405,8 +583,8 @@ func (p *publisher) recompile() (pubStats, error) {
 // payload goes away, while content-derived generations keep every
 // untouched family's label cache warm through the rebuild. The return
 // counts new, modified, and removed files.
-func (p *publisher) syncKnown() (changed int, err error) {
-	entries, err := os.ReadDir(p.knownDir)
+func (w *workload) syncKnown() (changed int, err error) {
+	entries, err := os.ReadDir(w.knownDir)
 	if err != nil {
 		return 0, fmt.Errorf("read known dir: %w", err)
 	}
@@ -428,7 +606,7 @@ func (p *publisher) syncKnown() (changed int, err error) {
 	// process or a restarted one — must Add in the same order.
 	sort.Strings(names)
 	if len(names) == 0 {
-		return 0, fmt.Errorf("no known payloads in %s", p.knownDir)
+		return 0, fmt.Errorf("no known payloads in %s", w.knownDir)
 	}
 	for _, name := range names {
 		if knownFamily(name) == "" {
@@ -437,10 +615,10 @@ func (p *publisher) syncKnown() (changed int, err error) {
 			return 0, fmt.Errorf("known payload %q yields an empty family label", name)
 		}
 	}
-	if len(names) == len(p.knownFiles) {
+	if len(names) == len(w.knownFiles) {
 		same := true
 		for _, name := range names {
-			prev, ok := p.knownFiles[name]
+			prev, ok := w.knownFiles[name]
 			info := infos[name]
 			if !ok || info.Size() != prev.size || !info.ModTime().Equal(prev.modTime) {
 				same = false
@@ -454,7 +632,7 @@ func (p *publisher) syncKnown() (changed int, err error) {
 	bodies := make(map[string]string, len(names))
 	current := make(map[string]knownMeta, len(names))
 	for _, name := range names {
-		body, err := os.ReadFile(filepath.Join(p.knownDir, name))
+		body, err := os.ReadFile(filepath.Join(w.knownDir, name))
 		if err != nil {
 			return 0, err
 		}
@@ -467,11 +645,11 @@ func (p *publisher) syncKnown() (changed int, err error) {
 		}
 	}
 	for name, meta := range current {
-		if prev, ok := p.knownFiles[name]; !ok || prev.digest != meta.digest {
+		if prev, ok := w.knownFiles[name]; !ok || prev.digest != meta.digest {
 			changed++
 		}
 	}
-	for name := range p.knownFiles {
+	for name := range w.knownFiles {
 		if _, ok := current[name]; !ok {
 			changed++ // removed
 		}
@@ -480,15 +658,15 @@ func (p *publisher) syncKnown() (changed int, err error) {
 	// (e.g. a touch), so the next idle tick can skip the reads again; the
 	// retained names/bodies are what the certification verifier re-seeds
 	// its fresh compiler from.
-	p.knownFiles = current
-	p.knownNames = names
-	p.knownBodies = bodies
+	w.knownFiles = current
+	w.knownNames = names
+	w.knownBodies = bodies
 	if changed == 0 {
 		return 0, nil
 	}
-	p.compiler.ResetKnown()
+	w.compiler.ResetKnown()
 	for _, name := range names {
-		p.compiler.AddKnown(knownFamily(name), bodies[name])
+		w.compiler.AddKnown(w.familyLabel(name), bodies[name])
 	}
 	return changed, nil
 }

@@ -1,0 +1,265 @@
+// End-to-end serving-loop test for the second ingest workload: a
+// synthetic phishing-kit day flows through the webkit-profile pipeline
+// (in-process and over a real-HTTP loopback fleet at 1, 2, and 4
+// workers), the published families carry the webkit/ namespace on the
+// sigdb wire, a gateway vets the day's traffic against the unpacking
+// oracle, and the compiled set exports as a syntactically valid YARA
+// ruleset.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"kizzle"
+	"kizzle/synth"
+)
+
+// webkitDay is mid-epoch for all four kit families (no version flips
+// between day-1 seeding and the day's traffic).
+const webkitDay = 35
+
+// writeWebkitCorpus materializes one phishing-kit day as a sigserve
+// samples directory plus a known-payload directory seeded with the
+// previous day's unpacked kit payloads.
+func writeWebkitCorpus(t *testing.T) (samplesDir, knownDir string) {
+	t.Helper()
+	samplesDir, knownDir = t.TempDir(), t.TempDir()
+	cfg := synth.DefaultWebkitConfig()
+	cfg.BenignPerDay = 20
+	stream, err := synth.NewWebkitStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stream.Day(webkitDay) {
+		if err := os.WriteFile(filepath.Join(samplesDir, s.ID+".html"), []byte(s.Content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range synth.WebkitKits() {
+		name := f.String() + ".txt"
+		if err := os.WriteFile(filepath.Join(knownDir, name), []byte(synth.WebkitPayload(f, webkitDay-1)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return samplesDir, knownDir
+}
+
+// TestWebkitServingLoopEndToEnd drives the full publishing loop for the
+// phishing-kit workload and pins the fleet paths to the in-process
+// reference, exactly like TestServingLoopEndToEnd does for the JS
+// workload.
+func TestWebkitServingLoopEndToEnd(t *testing.T) {
+	samplesDir, knownDir := writeWebkitCorpus(t)
+
+	// Probe traffic: the day's full mix plus a guaranteed-benign page.
+	cfg := synth.DefaultWebkitConfig()
+	cfg.BenignPerDay = 20
+	stream, err := synth.NewWebkitStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []string
+	var malicious []bool
+	for _, s := range stream.Day(webkitDay) {
+		docs = append(docs, s.Content)
+		malicious = append(malicious, s.Family.Malicious())
+	}
+	docs = append(docs, "<html><body>plain benign page</body></html>")
+	malicious = append(malicious, false)
+
+	// The oracle runs the webkit ingest profile and sees the same hidden
+	// corpus under the same namespaced labels the publisher derives.
+	oracle := kizzle.NewOracle(kizzle.WithProfile("webkit"))
+	for _, fam := range synth.WebkitKits() {
+		oracle.AddKnown("webkit/"+fam.String(), synth.WebkitPayload(fam, webkitDay-1))
+	}
+
+	// In-process reference, with YARA export enabled.
+	yaraPath := filepath.Join(t.TempDir(), "kits.yar")
+	refSrv := startSigserve(t, samplesDir, knownDir, "-profile", "webkit", "-yara", yaraPath)
+	refSnap := fetchSet(t, refSrv.URL)
+	refJSON, err := json.Marshal(refSnap.Signatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refSnap.Signatures) == 0 {
+		t.Fatal("webkit compile published no signatures")
+	}
+	for _, sig := range refSnap.Signatures {
+		if !strings.HasPrefix(sig.Family(), "webkit/") {
+			t.Fatalf("published family %q is not webkit-namespaced", sig.Family())
+		}
+	}
+
+	refDecisions := vetDay(t, refSnap, docs)
+	blockedMalicious, totalMalicious := 0, 0
+	for i, d := range refDecisions {
+		if malicious[i] {
+			totalMalicious++
+		}
+		if !d.Blocked {
+			continue
+		}
+		v := oracle.Inspect(docs[i])
+		if !v.Detected || v.Family != d.Family {
+			t.Fatalf("doc %d: gateway blocked as %q but oracle says detected=%v family=%q",
+				i, d.Family, v.Detected, v.Family)
+		}
+		blockedMalicious++
+	}
+	if blockedMalicious < totalMalicious*3/4 {
+		t.Fatalf("reference loop blocked %d/%d malicious docs", blockedMalicious, totalMalicious)
+	}
+
+	// The export written by the publisher must be present, valid, and
+	// carry one rule per published signature.
+	ruleset, err := os.ReadFile(yaraPath)
+	if err != nil {
+		t.Fatalf("yara export not written: %v", err)
+	}
+	if err := kizzle.ValidateYARA(string(ruleset)); err != nil {
+		t.Fatalf("published yara export invalid: %v", err)
+	}
+	if got := strings.Count(string(ruleset), "\nrule "); got != len(refSnap.Signatures) {
+		t.Fatalf("yara export has %d rules, want %d", got, len(refSnap.Signatures))
+	}
+	if !strings.Contains(string(ruleset), "kizzle_webkit_") {
+		t.Fatal("yara export carries no webkit-namespaced rule names")
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			urls := startWorkerFleet(t, workers)
+			srv := startSigserve(t, samplesDir, knownDir,
+				"-profile", "webkit",
+				"-shards", strings.Join(urls, ","),
+				"-cachedir", t.TempDir())
+			snap := fetchSet(t, srv.URL)
+			gotJSON, err := json.Marshal(snap.Signatures)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotJSON, refJSON) {
+				t.Fatal("fleet-published webkit signature set diverged from in-process bytes")
+			}
+			if got := vetDay(t, snap, docs); !reflect.DeepEqual(got, refDecisions) {
+				t.Fatal("fleet-backed gateway verdicts diverged from in-process path")
+			}
+		})
+	}
+}
+
+// TestMixedWorkloadPublisher runs one sigserve over both corpora
+// (-profile js,webkit with per-profile subdirectories): a single
+// published version carries bare JS families next to webkit-namespaced
+// ones, one gateway vets both kinds of traffic, and /metrics splits the
+// counters per workload.
+func TestMixedWorkloadPublisher(t *testing.T) {
+	jsSamples, jsKnown := writeCorpus(t)
+	wkSamples, wkKnown := writeWebkitCorpus(t)
+	samplesDir, knownDir := t.TempDir(), t.TempDir()
+	for _, dir := range []string{
+		filepath.Join(samplesDir, "js"), filepath.Join(samplesDir, "webkit"),
+		filepath.Join(knownDir, "js"), filepath.Join(knownDir, "webkit"),
+	} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	copyDir := func(src, dst string) {
+		entries, err := os.ReadDir(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			body, err := os.ReadFile(filepath.Join(src, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, e.Name()), body, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	copyDir(jsSamples, filepath.Join(samplesDir, "js"))
+	copyDir(wkSamples, filepath.Join(samplesDir, "webkit"))
+	copyDir(jsKnown, filepath.Join(knownDir, "js"))
+	copyDir(wkKnown, filepath.Join(knownDir, "webkit"))
+
+	srv := startSigserve(t, samplesDir, knownDir, "-profile", "js,webkit")
+	snap := fetchSet(t, srv.URL)
+	var bareJS, namespaced int
+	for _, sig := range snap.Signatures {
+		if strings.HasPrefix(sig.Family(), "webkit/") {
+			namespaced++
+		} else if !strings.Contains(sig.Family(), "/") {
+			bareJS++
+		} else {
+			t.Fatalf("unexpected family namespace: %q", sig.Family())
+		}
+	}
+	if bareJS == 0 || namespaced == 0 {
+		t.Fatalf("mixed publish carries %d bare JS and %d webkit families; want both > 0",
+			bareJS, namespaced)
+	}
+
+	// One matcher built from the mixed set vets both corpora: JS samples
+	// report bare families, phishing samples report webkit/ ones.
+	m, _, err := snap.Matcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := synth.DefaultWebkitConfig()
+	wstream, err := synth.NewWebkitStream(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var webkitBlocked int
+	for _, s := range wstream.MaliciousDay(webkitDay) {
+		for _, match := range m.Scan(s.Content) {
+			if !strings.HasPrefix(match.Family, "webkit/") {
+				t.Fatalf("webkit sample matched non-namespaced family %q", match.Family)
+			}
+			webkitBlocked++
+		}
+	}
+	if webkitBlocked == 0 {
+		t.Fatal("mixed matcher blocked no webkit traffic")
+	}
+
+	// /metrics reports both workloads with their own counters.
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var metrics struct {
+		Publisher struct {
+			Workloads map[string]struct {
+				Documents  int `json:"documents"`
+				Clusters   int `json:"clusters"`
+				Signatures int `json:"signatures"`
+			} `json:"workloads"`
+		} `json:"publisher"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	for _, prof := range []string{"js", "webkit"} {
+		w, ok := metrics.Publisher.Workloads[prof]
+		if !ok {
+			t.Fatalf("/metrics missing workload %q", prof)
+		}
+		if w.Documents == 0 || w.Signatures == 0 {
+			t.Fatalf("workload %q reports documents=%d signatures=%d; want both > 0",
+				prof, w.Documents, w.Signatures)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"kizzle"
 	"kizzle/internal/servemetrics"
+	"kizzle/internal/zerocopy"
 )
 
 // Decision is the outcome of scanning one document.
@@ -120,17 +121,11 @@ func (v *Vetter) decide(matches []kizzle.Match) Decision {
 	return Decision{Blocked: true, Family: matches[0].Family}
 }
 
-// Vet scans one document.
+// Vet scans one document. It is a thin compatibility wrapper over
+// VetBytes: the string is viewed as bytes without copying, so the byte
+// path is the single scanning implementation.
 func (v *Vetter) Vet(doc string) Decision {
-	scanner := v.current()
-	v.scanned.Add(1)
-	if scanner == nil {
-		return Decision{}
-	}
-	start := time.Now()
-	matches := scanner.Scan(doc)
-	v.lat.Observe(time.Since(start))
-	return v.decide(matches)
+	return v.VetBytes(zerocopy.Bytes(doc))
 }
 
 // VetBytes scans one document held in a byte slice. With a BytesScanner
@@ -155,36 +150,24 @@ func (v *Vetter) VetBytes(doc []byte) Decision {
 }
 
 // VetAll scans a batch of documents and returns per-document decisions
-// aligned with the input. When the deployed signature set supports batch
-// scanning the whole batch fans out across one worker pool; otherwise the
-// documents are scanned serially.
+// aligned with the input. It is a thin compatibility wrapper over
+// VetAllBytes: documents are viewed as bytes without copying, so the
+// byte path is the single batch-scanning implementation.
 func (v *Vetter) VetAll(docs []string) []Decision {
-	scanner := v.current()
-	v.scanned.Add(int64(len(docs)))
-	out := make([]Decision, len(docs))
-	if scanner == nil || len(docs) == 0 {
-		return out
+	views := make([][]byte, len(docs))
+	for i, doc := range docs {
+		views[i] = zerocopy.Bytes(doc)
 	}
-	start := time.Now()
-	if bs, ok := scanner.(BatchScanner); ok {
-		for i, matches := range bs.ScanAll(docs) {
-			out[i] = v.decide(matches)
-		}
-	} else {
-		for i, doc := range docs {
-			out[i] = v.decide(scanner.Scan(doc))
-		}
-	}
-	// Batch entry points record the whole call once: that is the latency
-	// every document in the batch experienced.
-	v.lat.Observe(time.Since(start))
-	return out
+	return v.VetAllBytes(views)
 }
 
-// VetAllBytes is VetAll for byte-slice documents: zero-copy with a
+// VetAllBytes is the batch-scanning core: zero-copy with a
 // BatchBytesScanner deployed, aligned with the input, and
-// decision-identical to per-document VetBytes calls. Buffer-ownership
-// rules are those of VetBytes.
+// decision-identical to per-document VetBytes calls. Scanners that batch
+// only over strings (BatchScanner) keep their worker-pool fan-out
+// through zero-copy string views; plain Scanners fall back to one serial
+// scan (and one string copy) per document. Buffer-ownership rules are
+// those of VetBytes.
 func (v *Vetter) VetAllBytes(docs [][]byte) []Decision {
 	scanner := v.current()
 	v.scanned.Add(int64(len(docs)))
@@ -193,11 +176,20 @@ func (v *Vetter) VetAllBytes(docs [][]byte) []Decision {
 		return out
 	}
 	start := time.Now()
-	if bs, ok := scanner.(BatchBytesScanner); ok {
+	switch bs := scanner.(type) {
+	case BatchBytesScanner:
 		for i, matches := range bs.ScanAllBytes(docs) {
 			out[i] = v.decide(matches)
 		}
-	} else {
+	case BatchScanner:
+		views := make([]string, len(docs))
+		for i, doc := range docs {
+			views[i] = zerocopy.String(doc)
+		}
+		for i, matches := range bs.ScanAll(views) {
+			out[i] = v.decide(matches)
+		}
+	default:
 		for i, doc := range docs {
 			var matches []kizzle.Match
 			if s, ok := scanner.(BytesScanner); ok {
@@ -208,6 +200,8 @@ func (v *Vetter) VetAllBytes(docs [][]byte) []Decision {
 			out[i] = v.decide(matches)
 		}
 	}
+	// Batch entry points record the whole call once: that is the latency
+	// every document in the batch experienced.
 	v.lat.Observe(time.Since(start))
 	return out
 }

@@ -1,0 +1,24 @@
+package avsim
+
+import "kizzle/internal/ekit"
+
+// WebkitHistory is the commercial engine's signature timeline for the
+// phishing-kit workload. Analysts key on the deployment shells (the
+// base64 dropper wrappers), which are structurally stable per kit — the
+// payload cores underneath re-randomize per version epoch but never
+// appear in the raw document, so shell signatures hold across epochs:
+//
+//   - strato_v2 and chalbhai are old, well-tracked kits; their shell
+//     signatures predate the evaluation window.
+//   - xbalti surfaced recently: its create_function dropper signature
+//     ships mid-window, leaving an early-August coverage gap (the
+//     workload's window-of-vulnerability analog of Nuclear's lag).
+//   - 16shop's double-wrapped checkout shell is covered all month.
+func WebkitHistory() []ManualSignature {
+	return []ManualSignature{
+		{Name: "STR.sig1", Family: "strato_v2", Literal: `class="session-wait"`, ReleaseDay: ekit.Date(7, 2)},
+		{Name: "CHB.sig1", Family: "chalbhai", Literal: `<table class="frame">`, ReleaseDay: ekit.Date(7, 9)},
+		{Name: "XBL.sig1", Family: "xbalti", Literal: `create_function('',base64_decode(`, ReleaseDay: ekit.Date(8, 12)},
+		{Name: "16S.sig1", Family: "16shop", Literal: `class="checkout-`, ReleaseDay: ekit.Date(7, 20)},
+	}
+}

@@ -1,0 +1,40 @@
+package avsim
+
+import (
+	"testing"
+
+	"kizzle/internal/ekit"
+	"kizzle/internal/phishkit"
+)
+
+// TestWebkitHistoryMatchesPackedKits guards the shell literals against
+// drift in the phishkit packers: once released, each signature must hit
+// its family's packed deployments (on any day — shells are stable across
+// version epochs) and nothing else.
+func TestWebkitHistoryMatchesPackedKits(t *testing.T) {
+	e := NewEngine(WebkitHistory())
+	byName := make(map[string]phishkit.Family)
+	for _, f := range phishkit.Families {
+		byName[f.String()] = f
+	}
+	day := ekit.Date(8, 20) // past every release day
+	for _, sig := range WebkitHistory() {
+		fam, ok := byName[sig.Family]
+		if !ok {
+			t.Fatalf("%s targets unknown family %q", sig.Name, sig.Family)
+		}
+		doc := phishkit.Pack(fam, phishkit.Payload(fam, day), day, 0)
+		got := e.Scan(doc, day)
+		if len(got) != 1 || got[0] != sig.Family {
+			t.Errorf("%s: scan of packed %s returned %v", sig.Name, sig.Family, got)
+		}
+		if e.Detects(doc, sig.ReleaseDay-1) {
+			t.Errorf("%s: detected before its release day", sig.Name)
+		}
+	}
+	for _, kind := range phishkit.BenignKinds() {
+		if got := e.Scan(phishkit.BenignSample(kind, day, 0), day); len(got) != 0 {
+			t.Errorf("benign %s page flagged as %v", kind, got)
+		}
+	}
+}

@@ -85,7 +85,7 @@ func (r *MonthResult) FormatFig11() string {
 	for _, d := range r.Days {
 		fmt.Fprintf(&sb, "%-6s", ekit.Label(d.Day))
 		for _, f := range families {
-			if v, ok := d.Similarity[f]; ok {
+			if v, ok := d.Similarity[r.qualify(f)]; ok {
 				fmt.Fprintf(&sb, " %12.1f%%", 100*v)
 			} else {
 				fmt.Fprintf(&sb, " %13s", "-")
@@ -111,10 +111,10 @@ func (r *MonthResult) FormatFig12() string {
 		fmt.Fprintf(&sb, "%-6s", ekit.Label(d.Day))
 		for _, f := range families {
 			mark := " "
-			if d.NewSignature[f] {
+			if d.NewSignature[r.qualify(f)] {
 				mark = "*"
 			}
-			fmt.Fprintf(&sb, " %13d%s", d.SigLength[f], mark)
+			fmt.Fprintf(&sb, " %13d%s", d.SigLength[r.qualify(f)], mark)
 		}
 		sb.WriteString("\n")
 	}
@@ -198,7 +198,58 @@ func (r *MonthResult) FormatPerf() string {
 		sweeps += d.Pipeline.LabelSweeps
 	}
 	fmt.Fprintf(&sb, "Label sweeps: %d family sweeps over the window (per-family generations re-sweep only corpus slices that changed)\n", sweeps)
+	sb.WriteString("Per-workload totals (docs scanned, family-attributed clusters, signature issuances):\n")
+	fmt.Fprintf(&sb, "  %-10s %8s %10s %11s\n", "workload", "docs", "clusters", "signatures")
+	for _, t := range r.WorkloadTotals() {
+		fmt.Fprintf(&sb, "  %-10s %8d %10d %11d\n", t.Workload, t.Docs, t.Clusters, t.Signatures)
+	}
 	return sb.String()
+}
+
+// WorkloadTotals aggregates the window's per-workload counters: the
+// documents the run's stream scanned (attributed to the namespace the
+// run compiled under), the labeled clusters per family namespace, and
+// the signature issuances per family namespace. A single-corpus run
+// reports one row; once two corpora share a fleet the rows split.
+type WorkloadTotals struct {
+	Workload   string
+	Docs       int
+	Clusters   int
+	Signatures int
+}
+
+// WorkloadTotals computes the per-workload roll-up behind FormatPerf.
+func (r *MonthResult) WorkloadTotals() []WorkloadTotals {
+	ns := r.Namespace
+	if ns == "" {
+		ns = "js"
+	}
+	acc := make(map[string]*WorkloadTotals)
+	get := func(w string) *WorkloadTotals {
+		t, ok := acc[w]
+		if !ok {
+			t = &WorkloadTotals{Workload: w}
+			acc[w] = t
+		}
+		return t
+	}
+	for _, d := range r.Days {
+		get(ns).Docs += d.Samples
+		for w, c := range d.WorkloadClusters {
+			get(w).Clusters += c
+		}
+		for f, isNew := range d.NewSignature {
+			if isNew {
+				get(workloadOf(f)).Signatures++
+			}
+		}
+	}
+	out := make([]WorkloadTotals, 0, len(acc))
+	for _, t := range acc {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Workload < out[j].Workload })
+	return out
 }
 
 // FormatSummary renders a one-screen digest of the run.

@@ -2,11 +2,14 @@ package evalharness
 
 import (
 	"fmt"
+	"strings"
 
 	"kizzle/internal/avsim"
 	"kizzle/internal/contentcache"
 	"kizzle/internal/ekit"
+	"kizzle/internal/ingest"
 	"kizzle/internal/jstoken"
+	"kizzle/internal/phishkit"
 	"kizzle/internal/pipeline"
 	"kizzle/internal/siggen"
 	"kizzle/internal/sigmatch"
@@ -42,6 +45,38 @@ type Config struct {
 	// (Figure 11's observation is that most kit bodies churn slowly).
 	// 0 selects the 64 MiB default; negative disables the cache.
 	CacheBytes int
+	// Profile selects the ingest profile the stream is compiled with
+	// ("" or "js" keeps the default JS exploit-kit front-end). A non-js
+	// profile namespaces every corpus family "profile/family", so the
+	// per-workload counters in FormatPerf attribute the run correctly.
+	Profile string
+}
+
+// namespace returns the family namespace this run compiles under ("" for
+// the default JS workload).
+func (c Config) namespace() string {
+	if c.Profile == "" || c.Profile == "js" {
+		return ""
+	}
+	return c.Profile
+}
+
+// qualify maps a bare ground-truth family name to the label the corpus
+// (and therefore clustering and signatures) carries for it in this run.
+func (c Config) qualify(fam string) string {
+	if ns := c.namespace(); ns != "" {
+		return ns + "/" + fam
+	}
+	return fam
+}
+
+// workloadOf maps a family label to its workload namespace ("js" for
+// bare, pre-profile names).
+func workloadOf(family string) string {
+	if i := strings.IndexByte(family, '/'); i >= 0 {
+		return family[:i]
+	}
+	return "js"
 }
 
 // DefaultConfig returns the evaluation-scale configuration.
@@ -78,6 +113,10 @@ type DayStats struct {
 	SigLength map[string]int
 	// NewSignature marks families whose signature changed today.
 	NewSignature map[string]bool
+	// WorkloadClusters counts today's labeled (family-attributed) clusters
+	// per workload namespace — the per-workload share of Clusters once two
+	// corpora share a fleet.
+	WorkloadClusters map[string]int
 	// Similarity is the winnow overlap of today's unpacked centroid with
 	// the best match among all previous days' centroids (Figure 11).
 	Similarity map[string]float64
@@ -108,12 +147,112 @@ type MonthResult struct {
 	// MonthCache records whether one content cache spanned all days (the
 	// per-day hit numbers are otherwise from per-run transient caches).
 	MonthCache bool
+	// Namespace is the family namespace the run compiled under ("" for
+	// the default JS workload); figure lookups qualify ground-truth
+	// family names through it.
+	Namespace string
+}
+
+// qualify maps a bare ground-truth family name to the label this run's
+// corpus carried for it.
+func (r *MonthResult) qualify(fam string) string {
+	if r.Namespace == "" {
+		return fam
+	}
+	return r.Namespace + "/" + fam
 }
 
 // deployedSig tracks one Kizzle signature in the rolling database.
 type deployedSig struct {
 	sig     siggen.Signature
 	lastDay int
+}
+
+// evalSample is the workload-neutral view of one stream document the scan
+// loop consumes; each generator adapts its own Sample type into it.
+type evalSample struct {
+	ID      string
+	Family  string // bare ground-truth family; "" for benign pages
+	Content string
+	// trickle marks a flip-day sample that hit browsers before Kizzle's
+	// same-day signature update shipped (old signatures must cover it).
+	trickle bool
+}
+
+// workload is one synthetic stream adapted to the harness: the daily
+// sample feed plus the family inventory that seeds the known corpus.
+type workload struct {
+	day      func(day int) []evalSample
+	families []string
+	payload  func(fam string, day int) string
+}
+
+// jsWorkload adapts the exploit-kit stream (the default workload).
+func jsWorkload(cfg ekit.StreamConfig) (workload, error) {
+	stream, err := ekit.NewStream(cfg)
+	if err != nil {
+		return workload{}, err
+	}
+	fams := make([]string, len(ekit.Families))
+	byName := make(map[string]ekit.Family, len(ekit.Families))
+	for i, f := range ekit.Families {
+		fams[i] = f.String()
+		byName[f.String()] = f
+	}
+	return workload{
+		day: func(day int) []evalSample {
+			samples := stream.Day(day)
+			out := make([]evalSample, len(samples))
+			for i, s := range samples {
+				es := evalSample{ID: s.ID, Content: s.Content}
+				if s.Family.Malicious() {
+					es.Family = s.Family.String()
+					es.trickle = ekit.IsVersionFlipDay(s.Family, day) &&
+						s.Variant == ekit.VersionIndex(s.Family, day)
+				}
+				out[i] = es
+			}
+			return out
+		},
+		families: fams,
+		payload:  func(fam string, day int) string { return ekit.Payload(byName[fam], day) },
+	}, nil
+}
+
+// webkitWorkload adapts the phishing-kit stream. Its generator deploys
+// each day's kit version to the whole day's traffic (no flip-day
+// trickle), so every sample is scanned with the same-day signature set.
+func webkitWorkload(benignPerDay int) (workload, error) {
+	cfg := phishkit.DefaultStreamConfig()
+	if benignPerDay > 0 {
+		cfg.BenignPerDay = benignPerDay
+	}
+	stream, err := phishkit.NewStream(cfg)
+	if err != nil {
+		return workload{}, err
+	}
+	fams := make([]string, len(phishkit.Families))
+	byName := make(map[string]phishkit.Family, len(phishkit.Families))
+	for i, f := range phishkit.Families {
+		fams[i] = f.String()
+		byName[f.String()] = f
+	}
+	return workload{
+		day: func(day int) []evalSample {
+			samples := stream.Day(day)
+			out := make([]evalSample, len(samples))
+			for i, s := range samples {
+				es := evalSample{ID: s.ID, Content: s.Content}
+				if s.Family.Malicious() {
+					es.Family = s.Family.String()
+				}
+				out[i] = es
+			}
+			return out
+		},
+		families: fams,
+		payload:  func(fam string, day int) string { return phishkit.Payload(byName[fam], day) },
+	}, nil
 }
 
 // Run executes the evaluation.
@@ -130,9 +269,32 @@ func Run(cfg Config) (*MonthResult, error) {
 	if cfg.ReinforceThreshold <= 0 {
 		cfg.ReinforceThreshold = 0.75
 	}
-	stream, err := ekit.NewStream(cfg.Stream)
+	var w workload
+	var err error
+	switch ns := cfg.namespace(); ns {
+	case "":
+		w, err = jsWorkload(cfg.Stream)
+	case "webkit":
+		// The webkit stream inherits the scale knob but keeps its own
+		// per-kit volumes.
+		w, err = webkitWorkload(cfg.Stream.BenignPerDay)
+	default:
+		if _, ok := ingest.Lookup(ns); !ok {
+			return nil, fmt.Errorf("unknown ingest profile %q (registered: %s)",
+				ns, strings.Join(ingest.IDs(), ", "))
+		}
+		return nil, fmt.Errorf("ingest profile %q has no evaluation stream", ns)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if ns := cfg.namespace(); ns != "" {
+		prof, ok := ingest.Lookup(ns)
+		if !ok {
+			return nil, fmt.Errorf("unknown ingest profile %q (registered: %s)",
+				ns, strings.Join(ingest.IDs(), ", "))
+		}
+		cfg.Pipeline.Profile = prof
 	}
 	// One content cache spans the month: the pipeline and the Figure 11
 	// bookkeeping below share it, so every stage pays only for novel
@@ -146,29 +308,35 @@ func Run(cfg Config) (*MonthResult, error) {
 	corpus := pipeline.NewCorpus(cfg.Pipeline.Winnow, 64)
 	first := cfg.Days[0]
 	for d := first - cfg.SeedDays; d < first; d++ {
-		for _, fam := range ekit.Families {
-			corpus.Add(fam.String(), ekit.Payload(fam, d))
+		for _, fam := range w.families {
+			corpus.Add(cfg.qualify(fam), w.payload(fam, d))
 		}
 	}
 
-	av := avsim.NewEngine(avsim.August2014History())
+	avHistory := avsim.August2014History()
+	if cfg.namespace() == "webkit" {
+		avHistory = avsim.WebkitHistory()
+	}
+	av := avsim.NewEngine(avHistory)
 	sigDB := make(map[string]*deployedSig)
 	// centroids holds every previous day's unpacked malicious centroids
 	// per family, for the Figure 11 similarity series.
 	centroids := make(map[string][]winnow.Histogram)
 	for d := first - cfg.SeedDays; d < first; d++ {
-		for _, fam := range ekit.Families {
-			centroids[fam.String()] = append(centroids[fam.String()],
-				winnow.Fingerprint(ekit.Payload(fam, d), cfg.Pipeline.Winnow))
+		for _, fam := range w.families {
+			key := cfg.qualify(fam)
+			centroids[key] = append(centroids[key],
+				winnow.Fingerprint(w.payload(fam, d), cfg.Pipeline.Winnow))
 		}
 	}
 
 	res := &MonthResult{
 		Days:       make([]DayStats, 0, len(cfg.Days)),
 		MonthCache: cfg.Pipeline.Cache != nil,
+		Namespace:  cfg.namespace(),
 	}
 	for _, day := range cfg.Days {
-		ds, err := runDay(day, stream, corpus, av, sigDB, centroids, cfg)
+		ds, err := runDay(day, w, corpus, av, sigDB, centroids, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("day %s: %w", ekit.Label(day), err)
 		}
@@ -177,7 +345,7 @@ func Run(cfg Config) (*MonthResult, error) {
 	return res, nil
 }
 
-func runDay(day int, stream *ekit.Stream, corpus *pipeline.Corpus, av *avsim.Engine,
+func runDay(day int, w workload, corpus *pipeline.Corpus, av *avsim.Engine,
 	sigDB map[string]*deployedSig, centroids map[string][]winnow.Histogram, cfg Config) (DayStats, error) {
 
 	ds := DayStats{
@@ -190,8 +358,10 @@ func runDay(day int, stream *ekit.Stream, corpus *pipeline.Corpus, av *avsim.Eng
 		SigLength:    make(map[string]int),
 		NewSignature: make(map[string]bool),
 		Similarity:   make(map[string]float64),
+
+		WorkloadClusters: make(map[string]int),
 	}
-	samples := stream.Day(day)
+	samples := w.day(day)
 	ds.Samples = len(samples)
 
 	// The scanner deployed while today's traffic arrives: yesterday's
@@ -243,6 +413,7 @@ func runDay(day int, stream *ekit.Stream, corpus *pipeline.Corpus, av *avsim.Eng
 		if cl.Label == "" {
 			continue
 		}
+		ds.WorkloadClusters[workloadOf(cl.Label)]++
 		centroids[cl.Label] = append(centroids[cl.Label],
 			pipeline.FingerprintCached(cfg.Pipeline.Cache, nil, cl.Unpacked, cfg.Pipeline.Winnow))
 		// Anti-poisoning gate on the corpus feedback loop.
@@ -276,13 +447,19 @@ func runDay(day int, stream *ekit.Stream, corpus *pipeline.Corpus, av *avsim.Eng
 	}
 
 	// Scan the day's traffic with both engines. One lexing scratch serves
-	// the whole day: scanners read the token stream only during the call.
+	// the whole day (the configured ingest profile, when set, lexes with
+	// its own front-end): scanners read the token stream only during the
+	// call.
 	var lexScratch jstoken.Scratch
 	for _, s := range samples {
-		tokens := lexScratch.LexDocumentInto(s.Content)
+		var tokens []jstoken.Token
+		if cfg.Pipeline.Profile != nil {
+			tokens = cfg.Pipeline.Profile.LexDocument(s.Content)
+		} else {
+			tokens = lexScratch.LexDocumentInto(s.Content)
+		}
 		scanner := after
-		if s.Family.Malicious() && ekit.IsVersionFlipDay(s.Family, day) &&
-			s.Variant == ekit.VersionIndex(s.Family, day) {
+		if s.trickle {
 			// Flip-day trickle: this sample hit browsers before
 			// Kizzle's same-day update shipped.
 			scanner = before
@@ -290,8 +467,8 @@ func runDay(day int, stream *ekit.Stream, corpus *pipeline.Corpus, av *avsim.Eng
 		kMatches := scanner.ScanTokens(tokens)
 		avFams := av.Scan(s.Content, day)
 
-		if s.Family.Malicious() {
-			fam := s.Family.String()
+		if s.Family != "" {
+			fam := s.Family
 			ds.ByFamily[fam]++
 			if len(kMatches) == 0 {
 				ds.KizzleFN[fam]++
@@ -338,9 +515,13 @@ type Totals struct {
 	KizzleFN    int
 }
 
-// FamilyTotals computes the Figure 14 rows (plus the sum row).
+// FamilyTotals computes the Figure 14 rows (plus the sum row), in the
+// paper's order for the JS workload and observed order otherwise.
 func (r *MonthResult) FamilyTotals() []Totals {
 	families := []string{"Nuclear", "Sweet Orange", "Angler", "RIG"}
+	if r.Namespace != "" {
+		families = r.Families()
+	}
 	out := make([]Totals, 0, len(families)+1)
 	var sum Totals
 	sum.Family = "Sum"

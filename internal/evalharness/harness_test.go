@@ -228,6 +228,54 @@ func TestRunRejectsBadStream(t *testing.T) {
 	}
 }
 
+// TestRunWebkitWorkload pins the -profile webkit evaluation to the
+// phishing-kit stream: ground truth is the phishkit inventory (not the
+// JS kits), Kizzle's same-day turnaround covers the whole window, and
+// the AV baseline shows xbalti's pre-release coverage gap.
+func TestRunWebkitWorkload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Profile = "webkit"
+	cfg.Stream.BenignPerDay = 60
+	cfg.Days = nil
+	for d := ekit.Date(8, 1); d <= ekit.Date(8, 4); d++ {
+		cfg.Days = append(cfg.Days, d)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := res.Families()
+	want := map[string]bool{"strato_v2": true, "chalbhai": true, "xbalti": true, "16shop": true}
+	for _, f := range fams {
+		if !want[f] {
+			t.Errorf("webkit run saw non-phishing family %q", f)
+		}
+	}
+	if len(fams) != len(want) {
+		t.Errorf("Families = %v, want the four phishing kits", fams)
+	}
+	var kfn, avXbalti, xbalti int
+	for _, d := range res.Days {
+		kfn += d.kizzleFNTotal()
+		avXbalti += d.AVFN["xbalti"]
+		xbalti += d.ByFamily["xbalti"]
+		if d.WorkloadClusters["webkit"] == 0 {
+			t.Errorf("%s: no clusters attributed to the webkit workload", ekit.Label(d.Day))
+		}
+		for fam := range d.NewSignature {
+			if !strings.HasPrefix(fam, "webkit/") {
+				t.Errorf("%s: signature deployed under non-namespaced family %q", ekit.Label(d.Day), fam)
+			}
+		}
+	}
+	if kfn != 0 {
+		t.Errorf("Kizzle missed %d phishing samples; same-day signatures should cover the window", kfn)
+	}
+	if xbalti == 0 || avXbalti != xbalti {
+		t.Errorf("AV xbalti FN = %d of %d; its signature ships 8/12, the whole window should be missed", avXbalti, xbalti)
+	}
+}
+
 func TestFamiliesList(t *testing.T) {
 	res, err := Run(weekConfig())
 	if err != nil {

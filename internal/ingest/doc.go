@@ -1,0 +1,21 @@
+// Package ingest defines the pluggable ingest-profile seam: everything
+// workload-specific about turning raw documents into the pipeline's
+// abstract token/symbol streams lives behind the Profile interface —
+// tokenization, streaming symbol-only lexing, unpacking, and the
+// abstraction alphabet workers validate against.
+//
+// Two profiles register at init: "js" (the paper's JS exploit-kit
+// front-end, wrapping internal/jstoken and internal/unpack bit-identically
+// to the pre-profile pipeline) and "webkit" (HTML/PHP/JS phishing-kit
+// bundles, wrapping internal/webkittoken). Everything downstream of the
+// symbol stream — clustering, reduce, labeling, signature generation,
+// publishing — is profile-agnostic; one sigserve fleet can compile both
+// corpora and one kizzlegate can serve both signature namespaces.
+//
+// Profiles are identified by a stable string carried on the shard wire
+// (so workers validate sequences against the right alphabet) and used to
+// namespace families ("webkit/strato_v2") and offset content-cache kinds
+// (so the same document lexed under two profiles never aliases). The js
+// profile's kind offset is 0, which keeps every pre-profile cache
+// snapshot valid and every js cache key byte-identical.
+package ingest

@@ -15,6 +15,10 @@ const (
 	ClassString
 	ClassNumber
 	ClassRegex
+	// ClassText is a markup text run (character data between tags). The JS
+	// lexer never emits it; it exists for non-JS ingest profiles that share
+	// this Token representation.
+	ClassText
 )
 
 // String returns a short human-readable class name.
@@ -32,6 +36,8 @@ func (c Class) String() string {
 		return "Number"
 	case ClassRegex:
 		return "Regex"
+	case ClassText:
+		return "Text"
 	default:
 		return "Class(" + strconv.Itoa(int(c)) + ")"
 	}
@@ -115,6 +121,14 @@ func (t Token) Symbol() Symbol {
 	default:
 		return 0
 	}
+}
+
+// MakeToken builds a Token with an explicit cached abstraction symbol.
+// Non-JS ingest profiles use it so Abstract sees their own alphabet
+// instead of recomputing symbols from this package's keyword and
+// punctuator tables.
+func MakeToken(class Class, text string, pos int, sym Symbol) Token {
+	return Token{Class: class, sym: sym, Text: text, Pos: pos}
 }
 
 // keywords is the ECMAScript 5 keyword set plus the literals the lexer

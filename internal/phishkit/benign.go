@@ -1,0 +1,90 @@
+package phishkit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Benign page kinds. The mix is heavy-tailed over these, and a couple of
+// kinds deliberately include harmless PHP or login forms so neither "has
+// PHP" nor "has a password field" separates benign from kit traffic.
+var benignKinds = []string{
+	"newsletter", "storefront", "blog", "contact", "docs", "webapp",
+}
+
+// BenignKinds returns the benign generator families.
+func BenignKinds() []string { return append([]string(nil), benignKinds...) }
+
+// BenignSample renders one benign page of the given kind. Structure is
+// fixed per kind; text content and asset names randomize per sample.
+func BenignSample(kind string, day, index int) string {
+	var fam Family // benign pages seed under FamilyBenign
+	r := rng("benign-"+kind, fam, day, index)
+	words := func(n int) string {
+		w := make([]string, n)
+		for i := range w {
+			w[i] = randLower(r, 3, 9)
+		}
+		return strings.Join(w, " ")
+	}
+	switch kind {
+	case "newsletter":
+		return fmt.Sprintf(`<html><head><title>%s Weekly</title></head><body>
+<h1>%s</h1>
+<p>%s</p>
+<ul><li>%s</li><li>%s</li><li>%s</li></ul>
+<p><a href="https://news.example.com/%s">Read more</a></p>
+</body></html>`, randLower(r, 5, 9), words(4), words(28), words(6), words(5), words(7), randLower(r, 6, 10))
+	case "storefront":
+		return fmt.Sprintf(`<html><head><title>%s Shop</title><link rel="stylesheet" href="shop_%s.css"></head><body>
+<header><nav><a href="/">Home</a><a href="/cart">Cart</a></nav></header>
+<div class="grid">
+<div class="item"><img src="p_%s.jpg"><span>%s</span><span>$%d.%02d</span></div>
+<div class="item"><img src="p_%s.jpg"><span>%s</span><span>$%d.%02d</span></div>
+</div>
+<footer>%s</footer></body></html>`, randLower(r, 5, 9), randLower(r, 4, 6),
+			randLower(r, 6, 9), words(3), 5+r.Intn(90), r.Intn(100),
+			randLower(r, 6, 9), words(3), 5+r.Intn(90), r.Intn(100), words(8))
+	case "blog":
+		return fmt.Sprintf(`<html><head><title>%s</title></head><body>
+<article><h2>%s</h2>
+<p>%s</p>
+<p>%s</p>
+</article>
+<section class="comments"><p>%s</p></section>
+</body></html>`, words(3), words(6), words(40), words(35), words(12))
+	case "contact":
+		return fmt.Sprintf(`<html><head><title>Contact %s</title></head><body>
+<form method="post" action="/contact">
+<label>Name</label><input type="text" name="name">
+<label>Email</label><input type="email" name="email">
+<label>Message</label><textarea name="message">%s</textarea>
+<button type="submit">Send</button>
+</form></body></html>`, randLower(r, 5, 9), words(10))
+	case "docs":
+		return fmt.Sprintf(`<html><head><title>%s Manual</title></head><body>
+<nav class="toc"><ul><li><a href="#s1">%s</a></li><li><a href="#s2">%s</a></li></ul></nav>
+<h3 id="s1">%s</h3><p>%s</p>
+<pre>config.%s = %q;</pre>
+<h3 id="s2">%s</h3><p>%s</p>
+</body></html>`, randLower(r, 4, 8), words(2), words(2), words(3), words(30),
+			randLower(r, 4, 8), words(2), words(3), words(26))
+	case "webapp":
+		// A legitimate login page with a trivial PHP footer: the benign
+		// twin of the harvester shape.
+		return fmt.Sprintf(`<html><head><title>%s Portal</title></head><body>
+<form method="post" action="/auth/login">
+<input type="text" name="username" placeholder="Username">
+<input type="password" name="password" placeholder="Password">
+<button type="submit">Log in</button>
+</form>
+<script type="text/javascript">
+var form=document.forms[0];form.addEventListener("submit",function(ev){var u=form.username.value;if(u===""){ev.preventDefault();}});
+</script>
+<?php echo "rendered ".date("Y-m-d"); ?>
+</body></html>`, randLower(r, 5, 9))
+	default:
+		return fmt.Sprintf(`<html><head><title>%s</title></head><body><p>%s</p></body></html>`,
+			words(2), words(20))
+	}
+}

@@ -1,0 +1,17 @@
+// Package phishkit generates a deterministic synthetic stream of web
+// phishing-kit bundles (HTML/PHP/JS) plus benign web pages — the second
+// ingest workload, mirroring internal/ekit's role for the JS exploit-kit
+// corpus.
+//
+// The model follows Venturi et al.'s observations about phishing-kit
+// ecosystems: kits are sold and redeployed with a slow-moving PHP core
+// (credential harvesters, anti-bot gates, exfil channels) under a fast
+// per-deployment randomization layer (identifiers, campaign strings,
+// base64 packing). Each synthetic family therefore has a stable payload
+// core per version epoch, wrapped by a family-specific packer whose
+// identifiers re-randomize every sample — the same onion structure Kizzle
+// exploits: cluster on the packed outside, label on the unpacked inside.
+//
+// Everything is seeded from (purpose, family, day, index) tuples, so
+// streams are reproducible across processes and shard layouts.
+package phishkit

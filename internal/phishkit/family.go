@@ -1,0 +1,83 @@
+package phishkit
+
+import "fmt"
+
+// Family identifies the ground-truth origin of a webkit sample.
+type Family int
+
+// The four phishing kits under study plus benign. FamilyBenign is the
+// zero value: an unlabeled page is benign until proven otherwise.
+const (
+	FamilyBenign Family = iota
+	FamilyStrato
+	FamilyChalbhai
+	FamilyXbalti
+	FamilyShop16
+)
+
+// Families lists the malicious families in a stable order.
+var Families = []Family{FamilyStrato, FamilyChalbhai, FamilyXbalti, FamilyShop16}
+
+// String returns the family name as published (and as namespaced on the
+// wire: "webkit/" + String()).
+func (f Family) String() string {
+	switch f {
+	case FamilyBenign:
+		return "benign"
+	case FamilyStrato:
+		return "strato_v2"
+	case FamilyChalbhai:
+		return "chalbhai"
+	case FamilyXbalti:
+		return "xbalti"
+	case FamilyShop16:
+		return "16shop"
+	default:
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+}
+
+// Malicious reports whether the family is a phishing kit.
+func (f Family) Malicious() bool { return f != FamilyBenign }
+
+// Sample is one web document with its ground truth.
+type Sample struct {
+	// ID uniquely identifies the sample within a stream.
+	ID string
+	// Day is the simulation day.
+	Day int
+	// Family is the ground-truth origin; FamilyBenign for benign pages.
+	Family Family
+	// BenignKind names the benign generator family (empty for kits).
+	BenignKind string
+	// Variant tags which kit version epoch produced a malicious sample.
+	Variant int
+	// Content is the full HTML/PHP document.
+	Content string
+}
+
+// flipEvery gives each kit's version-epoch length in days: the payload
+// core and packer constants re-randomize when day/flipEvery ticks over,
+// modeling a kit release.
+func flipEvery(f Family) int {
+	switch f {
+	case FamilyStrato:
+		return 10
+	case FamilyChalbhai:
+		return 9
+	case FamilyXbalti:
+		return 11
+	case FamilyShop16:
+		return 13
+	default:
+		return 10
+	}
+}
+
+// VersionIndex returns the version epoch a family is serving on a day.
+func VersionIndex(f Family, day int) int {
+	if day < 0 {
+		day = 0
+	}
+	return day / flipEvery(f)
+}

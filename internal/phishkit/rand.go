@@ -1,0 +1,79 @@
+package phishkit
+
+import (
+	"math/rand"
+	"strconv"
+)
+
+// seedFor derives a stable RNG seed from a sample's coordinates — the
+// same FNV-1a construction as internal/ekit, keeping streams reproducible
+// and independent across (purpose, family, day, index) tuples.
+func seedFor(purpose string, family Family, day, index int) int64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= 0xff
+		h *= prime
+	}
+	mix(purpose)
+	mix(strconv.Itoa(int(family)))
+	mix(strconv.Itoa(day))
+	mix(strconv.Itoa(index))
+	return int64(h >> 1)
+}
+
+// rng builds the deterministic RNG for a sample.
+func rng(purpose string, family Family, day, index int) *rand.Rand {
+	return rand.New(rand.NewSource(seedFor(purpose, family, day, index)))
+}
+
+const (
+	identStartChars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	identChars      = identStartChars + "0123456789"
+	lowerChars      = "abcdefghijklmnopqrstuvwxyz"
+	alnumChars      = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+)
+
+// randIdent produces a random PHP/JS identifier of length [minLen, maxLen].
+func randIdent(r *rand.Rand, minLen, maxLen int) string {
+	n := minLen
+	if maxLen > minLen {
+		n += r.Intn(maxLen - minLen + 1)
+	}
+	b := make([]byte, n)
+	b[0] = identStartChars[r.Intn(len(identStartChars))]
+	for i := 1; i < n; i++ {
+		b[i] = identChars[r.Intn(len(identChars))]
+	}
+	return string(b)
+}
+
+// randLower produces a random lowercase string.
+func randLower(r *rand.Rand, minLen, maxLen int) string {
+	n := minLen
+	if maxLen > minLen {
+		n += r.Intn(maxLen - minLen + 1)
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = lowerChars[r.Intn(len(lowerChars))]
+	}
+	return string(b)
+}
+
+// randAlnum produces a random alphanumeric string.
+func randAlnum(r *rand.Rand, minLen, maxLen int) string {
+	n := minLen
+	if maxLen > minLen {
+		n += r.Intn(maxLen - minLen + 1)
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alnumChars[r.Intn(len(alnumChars))]
+	}
+	return string(b)
+}

@@ -1,0 +1,103 @@
+package phishkit
+
+import "fmt"
+
+// StreamConfig scales the daily webkit stream. Defaults are sized for
+// the end-to-end harness: enough volume per kit to clear the clusterer's
+// density floor, small enough that a full day pipelines in test time.
+type StreamConfig struct {
+	// BenignPerDay is the number of benign pages per day.
+	BenignPerDay int
+	// KitPerDay gives the mean daily volume per kit.
+	KitPerDay map[Family]int
+}
+
+// DefaultStreamConfig returns the scale used by the webkit harness.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		BenignPerDay: 300,
+		KitPerDay: map[Family]int{
+			FamilyStrato:   24,
+			FamilyChalbhai: 14,
+			FamilyXbalti:   9,
+			FamilyShop16:   6,
+		},
+	}
+}
+
+// Stream generates deterministic daily webkit sample sets.
+type Stream struct {
+	cfg StreamConfig
+}
+
+// NewStream validates the configuration and builds a stream.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	if cfg.BenignPerDay < 0 {
+		return nil, fmt.Errorf("phishkit: negative BenignPerDay %d", cfg.BenignPerDay)
+	}
+	return &Stream{cfg: cfg}, nil
+}
+
+// Day renders the full stream for one simulation day: benign pages
+// first, then each kit's deployments, all with ground truth attached.
+func (s *Stream) Day(day int) []Sample {
+	var out []Sample
+	out = append(out, s.benignDay(day)...)
+	for _, fam := range Families {
+		out = append(out, s.kitDay(fam, day)...)
+	}
+	return out
+}
+
+// MaliciousDay renders only the kit traffic of a day.
+func (s *Stream) MaliciousDay(day int) []Sample {
+	var out []Sample
+	for _, fam := range Families {
+		out = append(out, s.kitDay(fam, day)...)
+	}
+	return out
+}
+
+func (s *Stream) benignDay(day int) []Sample {
+	r := rng("benign-mix", FamilyBenign, day, 0)
+	out := make([]Sample, 0, s.cfg.BenignPerDay)
+	for idx := 0; idx < s.cfg.BenignPerDay; idx++ {
+		// Zipf-ish: low-numbered kinds are much more common.
+		k := int(float64(len(benignKinds)) * r.Float64() * r.Float64())
+		if k >= len(benignKinds) {
+			k = len(benignKinds) - 1
+		}
+		kind := benignKinds[k]
+		out = append(out, Sample{
+			ID:         fmt.Sprintf("wb-%d-%d", day, idx),
+			Day:        day,
+			Family:     FamilyBenign,
+			BenignKind: kind,
+			Content:    BenignSample(kind, day, idx),
+		})
+	}
+	return out
+}
+
+func (s *Stream) kitDay(family Family, day int) []Sample {
+	mean := s.cfg.KitPerDay[family]
+	if mean <= 0 {
+		return nil
+	}
+	r := rng("kit-volume", family, day, 0)
+	// Daily volume fluctuates around the mean, floored at half so a kit
+	// never drops below the clusterer's density threshold by chance.
+	n := mean/2 + r.Intn(mean+1)
+	payload := Payload(family, day)
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Sample{
+			ID:      fmt.Sprintf("wk-%s-%d-%d", family.String(), day, i),
+			Day:     day,
+			Family:  family,
+			Variant: VersionIndex(family, day),
+			Content: Pack(family, payload, day, i),
+		})
+	}
+	return out
+}

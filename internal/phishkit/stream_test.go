@@ -1,0 +1,122 @@
+package phishkit
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreamDeterminism: the entire generator is a pure function of
+// (config, day) — two independent streams render byte-identical days,
+// and re-rendering a day never disturbs it. Every pipeline differential
+// in the repo rests on this.
+func TestStreamDeterminism(t *testing.T) {
+	cfg := DefaultStreamConfig()
+	a, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, day := range []int{1, 35, 36} {
+		da, db := a.Day(day), b.Day(day)
+		if len(da) == 0 || len(da) != len(db) {
+			t.Fatalf("day %d: %d vs %d samples", day, len(da), len(db))
+		}
+		for i := range da {
+			if da[i] != db[i] {
+				t.Fatalf("day %d sample %d diverges across streams", day, i)
+			}
+		}
+		again := a.Day(day)
+		for i := range da {
+			if again[i] != da[i] {
+				t.Fatalf("day %d sample %d diverges across renders", day, i)
+			}
+		}
+	}
+	// Distinct days draw distinct traffic.
+	d35, d36 := a.Day(35), a.Day(36)
+	same := true
+	for i := range d35 {
+		if i >= len(d36) || d35[i] != d36[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("consecutive days rendered identical traffic")
+	}
+}
+
+// TestPayloadVersionEpochs pins the evolution model: payloads change at
+// epoch boundaries (signatures must re-train), stay constant within an
+// epoch for every family except strato (whose drop addresses rotate
+// daily over a stable mailer core), and each family flips on its own
+// cadence.
+func TestPayloadVersionEpochs(t *testing.T) {
+	for _, f := range Families {
+		n := flipEvery(f)
+		within := Payload(f, n)
+		if f == FamilyStrato {
+			if Payload(f, n+1) == within {
+				t.Errorf("%s: drop addresses did not rotate between days %d and %d", f, n, n+1)
+			}
+			const core = "function collect_fields"
+			if !strings.Contains(within, core) || !strings.Contains(Payload(f, n+1), core) {
+				t.Errorf("%s: stable mailer core missing from a daily payload", f)
+			}
+		} else if Payload(f, n+1) != within {
+			t.Errorf("%s: payload changed mid-epoch (days %d, %d)", f, n, n+1)
+		}
+		if Payload(f, n-1) == within {
+			t.Errorf("%s: payload did not change across the epoch boundary at day %d", f, n)
+		}
+		if VersionIndex(f, n-1) != 0 || VersionIndex(f, n) != 1 {
+			t.Errorf("%s: VersionIndex around day %d = %d, %d; want 0, 1",
+				f, n, VersionIndex(f, n-1), VersionIndex(f, n))
+		}
+		if VersionIndex(f, -5) != 0 {
+			t.Errorf("%s: negative day must clamp to epoch 0", f)
+		}
+	}
+}
+
+// TestGroundTruthAndPacking: malicious samples carry their family as
+// ground truth and at least some deployments pack their payloads
+// (base64-wrapped PHP droppers); benign pages never carry a family.
+func TestGroundTruthAndPacking(t *testing.T) {
+	s, err := NewStream(DefaultStreamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := 35
+	packed := 0
+	for _, smp := range s.MaliciousDay(day) {
+		if !smp.Family.Malicious() {
+			t.Fatalf("malicious day yielded benign sample %s", smp.ID)
+		}
+		if smp.Content == "" || smp.ID == "" {
+			t.Fatalf("empty sample %q", smp.ID)
+		}
+		if UnpackMarker(smp.Content) {
+			packed++
+		}
+	}
+	if packed == 0 {
+		t.Error("no packed deployment in a full malicious day")
+	}
+	for _, smp := range s.Day(day) {
+		wantPrefix := "wk-"
+		if smp.Family == FamilyBenign {
+			wantPrefix = "wb-"
+		}
+		if !strings.HasPrefix(smp.ID, wantPrefix) {
+			t.Fatalf("sample %q (family %s) lacks id prefix %q", smp.ID, smp.Family, wantPrefix)
+		}
+	}
+	if _, err := NewStream(StreamConfig{BenignPerDay: -1}); err == nil {
+		t.Fatal("negative BenignPerDay accepted")
+	}
+}

@@ -117,7 +117,7 @@ func tokenizeAll(inputs []Input, cache *contentcache.Cache, workers int) ([][]js
 	cfg := DefaultConfig()
 	cfg.Workers = workers
 	cfg.Cache = cache
-	groups, groupOf := digestGroups(inputs, workers)
+	groups, groupOf := digestGroups(inputs, kindRawSymbols, workers)
 	groupSyms := lexGroupsForTest(inputs, groups, cfg)
 	symbols := make([][]jstoken.Symbol, len(inputs))
 	for i := range inputs {

@@ -185,7 +185,18 @@ type histRef struct {
 const bigramBuckets = 256
 
 func newHistArena(seqs [][]jstoken.Symbol, view []int) *histArena {
-	alpha := jstoken.SymbolSpace()
+	// Size the arena to the symbols actually present rather than a fixed
+	// profile alphabet: the L1 bound over absent symbols is zero either
+	// way, so the output is identical for every alphabet width and the
+	// sweep needs no profile threading.
+	alpha := 1
+	for _, si := range view {
+		for _, sym := range seqs[si] {
+			if int(sym) >= alpha {
+				alpha = int(sym) + 1
+			}
+		}
+	}
 	h := &histArena{
 		alpha:   alpha,
 		freqs:   make([]int32, len(view)*alpha),

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"kizzle/internal/contentcache"
+	"kizzle/internal/ingest"
 	"kizzle/internal/jstoken"
 	"kizzle/internal/siggen"
 	"kizzle/internal/winnow"
@@ -25,7 +26,7 @@ import (
 // (cmd/evalmonth -cachedir, cmd/kizzleshard -cachedir, and
 // kizzle.Compiler.SaveCache all do).
 func CacheCodecs() contentcache.Codecs {
-	return contentcache.Codecs{
+	codecs := contentcache.Codecs{
 		kindRawSymbols:  symbolsCodec{},
 		kindUnpack:      unpackCodec{},
 		kindFingerprint: fingerprintCodec{},
@@ -34,6 +35,23 @@ func CacheCodecs() contentcache.Codecs {
 		kindSignature:   signatureCodec{},
 		kindPairVerdict: verdictCodec{},
 	}
+	// Non-default ingest profiles store their lexer/unpacker-dependent
+	// kinds at a per-profile offset (see profiledKind); register the same
+	// codecs there. The token codec additionally carries the profile's
+	// symbol-restore hook: persisted tokens drop the cached abstraction
+	// symbol, and without the hook a restored webkit token would fall back
+	// to the JS keyword tables — warm and cold runs would diverge.
+	for _, id := range ingest.IDs() {
+		p, _ := ingest.Lookup(id)
+		if p == nil || p.KindOffset() == 0 {
+			continue
+		}
+		codecs[profiledKind(kindRawSymbols, p)] = symbolsCodec{}
+		codecs[profiledKind(kindUnpack, p)] = unpackCodec{}
+		codecs[profiledKind(kindTokens, p)] = tokensCodec{resym: p.SymbolFor}
+		codecs[profiledKind(kindSignature, p)] = signatureCodec{}
+	}
+	return codecs
 }
 
 var errCorruptValue = errors.New("pipeline: corrupt cached value")
@@ -261,10 +279,17 @@ func (labelCodec) Decode(data []byte) (any, error) {
 // --- kindTokens: []jstoken.Token ---
 //
 // The lexer's cached abstraction symbol is not serialized (it is
-// unexported); restored tokens recompute it on demand, which only the
-// signature stage's bounded sample set ever pays.
+// unexported). For the JS profile restored tokens recompute it on demand
+// — which only the signature stage's bounded sample set ever pays — and
+// the encoding stays byte-identical to every historical snapshot. For
+// other profiles the codec's resym hook restores the profile's own
+// symbols at decode time.
 
-type tokensCodec struct{}
+type tokensCodec struct {
+	// resym, when set, recomputes each restored token's abstraction
+	// symbol under a non-default profile's alphabet.
+	resym func(jstoken.Class, string) jstoken.Symbol
+}
 
 func (tokensCodec) Encode(value any) ([]byte, error) {
 	tokens, ok := value.([]jstoken.Token)
@@ -280,7 +305,7 @@ func (tokensCodec) Encode(value any) ([]byte, error) {
 	return b, nil
 }
 
-func (tokensCodec) Decode(data []byte) (any, error) {
+func (c tokensCodec) Decode(data []byte) (any, error) {
 	n, data, err := readUvarint(data)
 	if err != nil {
 		return nil, err
@@ -306,7 +331,11 @@ func (tokensCodec) Decode(data []byte) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		tokens = append(tokens, jstoken.Token{Class: jstoken.Class(class), Text: text, Pos: int(pos)})
+		var sym jstoken.Symbol
+		if c.resym != nil {
+			sym = c.resym(jstoken.Class(class), text)
+		}
+		tokens = append(tokens, jstoken.MakeToken(jstoken.Class(class), text, int(pos), sym))
 	}
 	if len(data) != 0 {
 		return nil, errCorruptValue

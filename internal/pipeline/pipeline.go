@@ -8,16 +8,23 @@ import (
 	"time"
 
 	"kizzle/internal/contentcache"
+	"kizzle/internal/ingest"
 	"kizzle/internal/jstoken"
 	"kizzle/internal/parallel"
 	"kizzle/internal/siggen"
-	"kizzle/internal/unpack"
 	"kizzle/internal/winnow"
 )
 
 // Cache-entry kinds for the content-addressed cache the pipeline threads
 // through its hot stages: raw document → abstract symbol sequence, raw
 // prototype → unpack result, unpacked payload → winnow fingerprint.
+//
+// Kinds whose value depends on the ingest profile's lexer or unpacker
+// (kindRawSymbols, kindUnpack, kindTokens, kindSignature) are offset by
+// Profile.KindOffset at use sites so the same document ingested under two
+// profiles never aliases. The profile-independent kinds — fingerprints
+// and label verdicts (pure functions of text), pair verdicts (pure
+// functions of symbol values) — stay shared across profiles.
 const (
 	kindRawSymbols contentcache.Kind = iota + 1
 	kindUnpack
@@ -27,6 +34,13 @@ const (
 	kindSignature
 	kindPairVerdict
 )
+
+// profiledKind offsets a lexer/unpacker-dependent cache kind into the
+// profile's kind range. The js profile's offset is 0, keeping its keys —
+// and every historical cache snapshot — byte-identical.
+func profiledKind(kind contentcache.Kind, p ingest.Profile) contentcache.Kind {
+	return kind + contentcache.Kind(p.KindOffset())
+}
 
 // DefaultEps is the paper's empirically determined DBSCAN threshold on
 // normalized token edit distance (§V "Tuning the ML"); every eps
@@ -136,6 +150,32 @@ type Config struct {
 	// constructs one from ShardWorkers. Output is identical either way —
 	// it is a differential-testing and certification-path lever.
 	ShardNoAffinity bool
+	// Profile selects the ingest front-end (tokenizer, streaming symbol
+	// lexer, unpacker, alphabet). Nil means the default JS exploit-kit
+	// profile, bit-identical to the pre-profile pipeline.
+	Profile ingest.Profile
+	// Faults accumulates option-validation failures. Option constructors
+	// (kizzle.With*) append here instead of silently clamping invalid
+	// values; Process refuses to run while any fault is recorded.
+	Faults []string
+}
+
+// profile resolves the configured ingest profile, defaulting to JS.
+func (c Config) profile() ingest.Profile {
+	if c.Profile != nil {
+		return c.Profile
+	}
+	return ingest.Default()
+}
+
+// ProfileID names the configured ingest profile on the wire. The default
+// JS profile reports "" so pre-profile shard workers keep accepting the
+// requests unchanged.
+func (c Config) ProfileID() string {
+	if id := c.profile().ID(); id != ingest.Default().ID() {
+		return id
+	}
+	return ""
 }
 
 // DefaultConfig returns the parameters used throughout the evaluation.
@@ -262,6 +302,9 @@ var ErrNoInputs = errors.New("pipeline: no input samples")
 func Process(inputs []Input, corpus *Corpus, cfg Config) (Result, error) {
 	if len(inputs) == 0 {
 		return Result{}, ErrNoInputs
+	}
+	if len(cfg.Faults) > 0 {
+		return Result{}, fmt.Errorf("pipeline: invalid options: %s", strings.Join(cfg.Faults, "; "))
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -468,18 +511,18 @@ type unpackEntry struct {
 	method  string
 }
 
-// unpackCached unpacks content through the cache: a prototype seen on any
-// previous day is never re-unpacked.
-func unpackCached(cache *contentcache.Cache, content string) unpackEntry {
-	key := contentcache.KeyOf(kindUnpack, content)
+// unpackCached unpacks content through the cache under the profile's
+// unpacker: a prototype seen on any previous day is never re-unpacked.
+func unpackCached(p ingest.Profile, cache *contentcache.Cache, content string) unpackEntry {
+	key := contentcache.KeyOf(profiledKind(kindUnpack, p), content)
 	if v, ok := cache.Get(key, content); ok {
 		return v.(unpackEntry)
 	}
 	var e unpackEntry
-	if res, err := unpack.Unpack(content); err == nil {
+	if res, err := p.Unpack(content); err == nil {
 		e = unpackEntry{payload: res.Payload, method: res.Method}
 	} else {
-		e = unpackEntry{payload: jstoken.ExtractScripts(content)}
+		e = unpackEntry{payload: p.ExtractScripts(content)}
 	}
 	cache.PutSized(key, content, e, len(e.payload))
 	return e
@@ -517,12 +560,12 @@ func FingerprintCached(cache *contentcache.Cache, scratch *winnow.Scratch, text 
 // set per batch), so the retained token slices stay small relative to the
 // content budget; siggen reads streams without mutating them, so sharing
 // one slice across clusters and runs is safe.
-func tokensCached(cache *contentcache.Cache, content string) []jstoken.Token {
-	key := contentcache.KeyOf(kindTokens, content)
+func tokensCached(p ingest.Profile, cache *contentcache.Cache, content string) []jstoken.Token {
+	key := contentcache.KeyOf(profiledKind(kindTokens, p), content)
 	if v, ok := cache.Get(key, content); ok {
 		return v.([]jstoken.Token)
 	}
-	tokens := jstoken.LexDocument(content)
+	tokens := p.LexDocument(content)
 	// A Token is 32 bytes — the stream dwarfs its key content.
 	cache.PutSized(key, content, tokens, 32*len(tokens))
 	return tokens
@@ -549,7 +592,7 @@ func labelClusters(inputs []Input, u uniqueSet, merged [][]int, corpus *Corpus, 
 		}
 		proto := u.members[rep][0]
 		cl := Cluster{Samples: samples, Prototype: proto, SignatureIndex: -1}
-		unp := unpackCached(cfg.Cache, inputs[proto].Content)
+		unp := unpackCached(cfg.profile(), cfg.Cache, inputs[proto].Content)
 		cl.Unpacked = unp.payload
 		cl.UnpackMethod = unp.method
 		if corpus != nil {
@@ -638,7 +681,7 @@ func generateSignature(cl *Cluster, inputs []Input, cfg Config) (siggen.Signatur
 		fmt.Fprintf(&kb, "\x00%016x:%x", contentcache.Digest(inputs[si].Content), len(inputs[si].Content))
 	}
 	keyContent := kb.String()
-	key := contentcache.KeyOf(kindSignature, keyContent)
+	key := contentcache.KeyOf(profiledKind(kindSignature, cfg.profile()), keyContent)
 	if v, ok := cfg.Cache.Get(key, keyContent); ok {
 		if e := v.(signatureEntry); e.cfg == cfg.Signature {
 			return e.sig, nil
@@ -646,7 +689,7 @@ func generateSignature(cl *Cluster, inputs []Input, cfg Config) (siggen.Signatur
 	}
 	streams := make([][]jstoken.Token, 0, len(pick))
 	for _, si := range pick {
-		streams = append(streams, tokensCached(cfg.Cache, inputs[si].Content))
+		streams = append(streams, tokensCached(cfg.profile(), cfg.Cache, inputs[si].Content))
 	}
 	sig, err := siggen.Generate(cl.Label, streams, cfg.Signature)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"kizzle/internal/contentcache"
+	"kizzle/internal/ingest"
 	"kizzle/internal/jstoken"
 	"kizzle/internal/parallel"
 )
@@ -92,11 +93,11 @@ func openClusterSession(cfg Config) clusterSession {
 // within a bucket, so identical raw documents — the bulk of provider
 // telemetry — are lexed once and share one symbol slice. Returns the
 // groups (input indices, first occurrence order) and each input's group.
-func digestGroups(inputs []Input, workers int) (groups [][]int, groupOf []int) {
+func digestGroups(inputs []Input, symKind contentcache.Kind, workers int) (groups [][]int, groupOf []int) {
 	n := len(inputs)
 	keys := make([]contentcache.Key, n)
 	parallel.ForEach(n, workers, 8, func(_, i int) {
-		keys[i] = contentcache.KeyOf(kindRawSymbols, inputs[i].Content)
+		keys[i] = contentcache.KeyOf(symKind, inputs[i].Content)
 	})
 	groupOf = make([]int, n)
 	index := make(map[contentcache.Key][]int, n)
@@ -137,18 +138,23 @@ type streamOutcome struct {
 // already-dispatched shape still join the cluster via u.members; they just
 // no longer vote in that partition's density estimate).
 func runClusterStage(inputs []Input, cfg Config, sess clusterSession) streamOutcome {
-	groups, groupOf := digestGroups(inputs, cfg.Workers)
+	prof := cfg.profile()
+	symKind := profiledKind(kindRawSymbols, prof)
+	groups, groupOf := digestGroups(inputs, symKind, cfg.Workers)
 	groupSyms := make([][]jstoken.Symbol, len(groups))
 
 	// Chunked look-ahead lexing: chunk k+1 lexes in the background while
 	// the dedup cursor consumes chunk k.
-	scratches := make([]jstoken.Scratch, cfg.Workers)
+	scratches := make([]ingest.Scratch, cfg.Workers)
+	for i := range scratches {
+		scratches[i] = prof.NewScratch()
+	}
 	lexRange := func(start, end int) {
 		parallel.ForEach(end-start, cfg.Workers, 1, func(worker, k int) {
 			g := start + k
 			rep := groups[g][0]
 			content := inputs[rep].Content
-			key := contentcache.KeyOf(kindRawSymbols, content)
+			key := contentcache.KeyOf(symKind, content)
 			if v, ok := cfg.Cache.Get(key, content); ok {
 				groupSyms[g] = v.([]jstoken.Symbol)
 				return

@@ -225,7 +225,7 @@ func TestCoordinatorEdgesV3StaleResidencyRefill(t *testing.T) {
 	// shard 0. The worker is fresh, so round 0 ships no fills.
 	c.recordResident(0, keys)
 	job := &pipeline.EdgeJob{Eps: 0.5, Seqs: seqs, Rows: []int{0, 1, 2}, Keys: keys}
-	el, err := c.dispatchEdgeJob(context.Background(), 0, job)
+	el, err := c.dispatchEdgeJob(context.Background(), 0, job, "")
 	if err != nil {
 		t.Fatalf("stale residency was not corrected: %v", err)
 	}
@@ -234,7 +234,7 @@ func TestCoordinatorEdgesV3StaleResidencyRefill(t *testing.T) {
 	}
 	// The refill re-recorded reality; a repeat of the same job must now
 	// resolve entirely from the resident set (no misses, no error).
-	if _, err := c.dispatchEdgeJob(context.Background(), 0, job); err != nil {
+	if _, err := c.dispatchEdgeJob(context.Background(), 0, job, ""); err != nil {
 		t.Fatalf("warm repeat failed: %v", err)
 	}
 }

@@ -335,7 +335,7 @@ func (c *Coordinator) ClusterPartitions(parts []pipeline.ShardPartition, cfg pip
 	var errOnce sync.Once
 	var firstErr error
 	one := func(shard, pi int) bool {
-		req := &PartitionRequest{Eps: cfg.Eps, MinPts: cfg.MinPts, Partition: parts[pi]}
+		req := &PartitionRequest{Eps: cfg.Eps, MinPts: cfg.MinPts, Partition: parts[pi], Profile: cfg.ProfileID()}
 		resp, _, err := c.dispatchPartition(ctx, shard, req)
 		if err != nil {
 			errOnce.Do(func() {
@@ -567,6 +567,7 @@ func (c *Coordinator) executeUnit(ctx context.Context, shard int, unit pipeline.
 			MinPts:    cfg.MinPts,
 			Partition: *unit.Partition,
 			PreReduce: !cfg.DisableShardPreReduce,
+			Profile:   cfg.ProfileID(),
 		}
 		resp, served, err := c.dispatchPartition(ctx, shard, req)
 		if err != nil {
@@ -587,7 +588,7 @@ func (c *Coordinator) executeUnit(ctx context.Context, shard int, unit pipeline.
 		}
 		return pipeline.WorkResult{Seq: unit.Seq, Reduced: reduced}
 	case unit.Edges != nil:
-		el, err := c.dispatchEdgeJob(ctx, shard, unit.Edges)
+		el, err := c.dispatchEdgeJob(ctx, shard, unit.Edges, cfg.ProfileID())
 		if errors.Is(err, ErrUnsupported) {
 			// Old fleet: run the sweep coordinator-side rather than failing.
 			lel, lerr := pipeline.SweepEdges(*unit.Edges, cfg.Workers, cfg.Cache)
@@ -631,7 +632,7 @@ func (c *Coordinator) dispatchPartition(ctx context.Context, shard int, req *Par
 // the digest-first v3 wire first on capable shards. A v3 capability miss
 // falls back to v2 on the same shard; a v2 ErrUnsupported is returned
 // as-is (capability miss — the coordinator sweeps locally, not failover).
-func (c *Coordinator) dispatchEdgeJob(ctx context.Context, shard int, job *pipeline.EdgeJob) (*pipeline.EdgeList, error) {
+func (c *Coordinator) dispatchEdgeJob(ctx context.Context, shard int, job *pipeline.EdgeJob, profile string) (*pipeline.EdgeList, error) {
 	shards := c.transport.Shards()
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
@@ -639,7 +640,7 @@ func (c *Coordinator) dispatchEdgeJob(ctx context.Context, shard int, job *pipel
 			return nil, ctx.Err()
 		}
 		s := (shard + attempt) % shards
-		el, err, handled := c.tryEdgesV3(ctx, s, job)
+		el, err, handled := c.tryEdgesV3(ctx, s, job, profile)
 		if handled {
 			if err == nil {
 				c.recordResident(s, job.Keys)
@@ -649,7 +650,7 @@ func (c *Coordinator) dispatchEdgeJob(ctx context.Context, shard int, job *pipel
 			c.invalidateShard(s)
 			continue
 		}
-		resp, err := c.transport.Edges(ctx, s, &EdgeRequest{Job: *job})
+		resp, err := c.transport.Edges(ctx, s, &EdgeRequest{Job: *job, Profile: profile})
 		if err == nil {
 			// v2 shipped the sequences inline; a resident-set worker
 			// installed them, so record the shard for future routing.
@@ -674,14 +675,14 @@ func (c *Coordinator) dispatchEdgeJob(ctx context.Context, shard int, job *pipel
 // fills every position — a worker resolves fills before its resident set,
 // so a second-round miss is impossible on a correct worker and is treated
 // as a shard failure.
-func (c *Coordinator) tryEdgesV3(ctx context.Context, shard int, job *pipeline.EdgeJob) (*pipeline.EdgeList, error, bool) {
+func (c *Coordinator) tryEdgesV3(ctx context.Context, shard int, job *pipeline.EdgeJob, profile string) (*pipeline.EdgeList, error, bool) {
 	if !c.affinityOn() || shard >= 64 || len(job.Keys) != len(job.Seqs) || len(job.Keys) == 0 {
 		return nil, nil, false
 	}
 	if c.v3cap[shard].Load() == capNo {
 		return nil, nil, false
 	}
-	req := &EdgeRequestV3{Eps: job.Eps, Keys: job.Keys, Rows: job.Rows, Cols: job.Cols}
+	req := &EdgeRequestV3{Eps: job.Eps, Keys: job.Keys, Rows: job.Rows, Cols: job.Cols, Profile: profile}
 	mask := uint64(1) << shard
 	c.affMu.Lock()
 	for i, k := range job.Keys {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"kizzle/internal/contentcache"
+	"kizzle/internal/ingest"
 	"kizzle/internal/jstoken"
 	"kizzle/internal/pipeline"
 	"kizzle/internal/servemetrics"
@@ -32,6 +33,10 @@ type PartitionRequest struct {
 	MinPts    int                     `json:"minPts"`
 	Partition pipeline.ShardPartition `json:"partition"`
 	PreReduce bool                    `json:"preReduce,omitempty"`
+	// Profile names the ingest profile whose alphabet the sequences were
+	// lexed under; empty means the default JS profile (pre-profile
+	// coordinators never send the field).
+	Profile string `json:"profile,omitempty"`
 }
 
 // PartitionResponse is the wire form of a partition's clustering result,
@@ -47,6 +52,8 @@ type PartitionResponse struct {
 // v2): which pairs of the shipped sequences are within eps.
 type EdgeRequest struct {
 	Job pipeline.EdgeJob `json:"job"`
+	// Profile names the ingest profile of the job's alphabet ("" = js).
+	Profile string `json:"profile,omitempty"`
 }
 
 // EdgeResponse carries the within-eps pairs back.
@@ -68,6 +75,8 @@ type EdgeRequestV3 struct {
 	Fill   pipeline.PackedSeqs `json:"fill,omitempty"`
 	Rows   []int               `json:"rows"`
 	Cols   []int               `json:"cols,omitempty"`
+	// Profile names the ingest profile of the fills' alphabet ("" = js).
+	Profile string `json:"profile,omitempty"`
 }
 
 // EdgeResponseV3 answers a digest-first sweep: either the within-eps
@@ -142,15 +151,24 @@ func NewWorker(opts ...WorkerOption) *Worker {
 // the owning process can persist it on shutdown.
 func (w *Worker) Cache() *contentcache.Cache { return w.cache }
 
-// validateSeqs rejects wire sequences carrying symbols outside the
-// abstraction alphabet — untrusted data that would index past the
-// clustering kernel's histogram arenas.
-func validateSeqs(seqs [][]jstoken.Symbol) error {
-	space := jstoken.Symbol(jstoken.SymbolSpace())
+// validateSeqs rejects wire sequences carrying symbols outside the named
+// ingest profile's abstraction alphabet — untrusted data that a
+// pre-profile kernel would have indexed past its histogram arenas with.
+// An empty profile name is the historical wire form and means js; an
+// unknown name is a hard error (the worker cannot bound the alphabet).
+func validateSeqs(seqs [][]jstoken.Symbol, profile string) error {
+	p := ingest.Default()
+	if profile != "" {
+		var ok bool
+		if p, ok = ingest.Lookup(profile); !ok {
+			return fmt.Errorf("shardcoord: unknown ingest profile %q", profile)
+		}
+	}
+	space := jstoken.Symbol(p.SymbolSpace())
 	for i, seq := range seqs {
 		for _, sym := range seq {
 			if sym >= space {
-				return fmt.Errorf("shardcoord: sequence %d carries symbol %d outside the alphabet (%d)", i, sym, space)
+				return fmt.Errorf("shardcoord: sequence %d carries symbol %d outside the %s alphabet (%d)", i, sym, p.ID(), space)
 			}
 		}
 	}
@@ -164,7 +182,7 @@ func (w *Worker) Cluster(req *PartitionRequest) (*PartitionResponse, error) {
 		return nil, fmt.Errorf("shardcoord: %d sequences with %d weights",
 			len(req.Partition.Seqs), len(req.Partition.Weights))
 	}
-	if err := validateSeqs(req.Partition.Seqs); err != nil {
+	if err := validateSeqs(req.Partition.Seqs, req.Profile); err != nil {
 		return nil, err
 	}
 	cfg := pipeline.Config{
@@ -197,7 +215,7 @@ func (w *Worker) Cluster(req *PartitionRequest) (*PartitionResponse, error) {
 // Edges executes one distance-sweep request locally — the computation
 // behind POST /edges.
 func (w *Worker) Edges(req *EdgeRequest) (*EdgeResponse, error) {
-	if err := validateSeqs(req.Job.Seqs); err != nil {
+	if err := validateSeqs(req.Job.Seqs, req.Profile); err != nil {
 		return nil, err
 	}
 	if w.resident != nil {
@@ -227,7 +245,7 @@ func (w *Worker) EdgesV3(req *EdgeRequestV3) (*EdgeResponseV3, error) {
 	if len(req.FillAt) != len(req.Fill) {
 		return nil, fmt.Errorf("shardcoord: %d fill positions with %d fills", len(req.FillAt), len(req.Fill))
 	}
-	if err := validateSeqs(req.Fill); err != nil {
+	if err := validateSeqs(req.Fill, req.Profile); err != nil {
 		return nil, err
 	}
 	seqs := make([][]jstoken.Symbol, len(req.Keys))

@@ -1,0 +1,21 @@
+// Package webkittoken lexes web phishing-kit bundles — HTML markup with
+// embedded PHP and JavaScript — into the shared jstoken.Token
+// representation under its own abstraction alphabet.
+//
+// It is the second ingest front-end (the first being the pure-JS lexer in
+// internal/jstoken): the webkit ingest profile wraps this package, so the
+// clustering and signature layers stay byte-for-byte workload-agnostic.
+// The alphabet keeps keyword and punctuator identity (HTML tag names, PHP
+// keywords, shared JS/PHP keywords, and a combined operator set) and
+// collapses identifiers, strings, numbers and markup text runs to one
+// symbol each, mirroring the paper's abstraction.
+//
+// The lexer has two modes. Markup mode emits tag structure (punctuators
+// and tag/attribute names) and collapses character data between tags into
+// single Text tokens; `<?php`/`<?=` and open `<script>` tags switch to
+// code mode, which lexes PHP/JS-style code (strings, numbers, comments,
+// identifiers, operators) until the matching terminator. Unlike the JS
+// lexer it never attempts regex literals — a `/` is always a punctuator —
+// so hostile input cannot drive quadratic or stuck states; every loop
+// iteration consumes at least one byte (fuzzed by FuzzWebkitTokenize).
+package webkittoken

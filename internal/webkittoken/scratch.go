@@ -1,0 +1,19 @@
+package webkittoken
+
+import "kizzle/internal/jstoken"
+
+// Scratch is a reusable symbol-lexing arena mirroring jstoken.Scratch:
+// hot paths lex each document into the retained buffer and copy the
+// exact-size result out, amortizing per-document allocations away.
+type Scratch struct {
+	syms []jstoken.Symbol
+}
+
+// AppendSymbols lexes doc's webkit abstraction symbols and appends them
+// to dst, reusing the scratch arena across calls.
+func (s *Scratch) AppendSymbols(dst []jstoken.Symbol, doc string) []jstoken.Symbol {
+	lx := lexer{src: doc, symsOnly: true, syms: s.syms[:0]}
+	lx.run()
+	s.syms = lx.syms
+	return append(dst, lx.syms...)
+}

@@ -1,0 +1,62 @@
+package webkittoken
+
+import (
+	"encoding/base64"
+	"errors"
+	"strings"
+)
+
+// ErrNotPacked reports that no recognized packing was found in the
+// document, mirroring internal/unpack.ErrNotPacked for the JS kits.
+var ErrNotPacked = errors.New("webkittoken: document is not packed")
+
+// maxUnpackLayers bounds nested base64 unwrapping; phishing kits observed
+// in the wild rarely nest more than twice.
+const maxUnpackLayers = 3
+
+// Unpack peels PHP-style base64 packing: it finds the first
+// base64_decode("...") (or '...') call, decodes the literal, and repeats
+// on the decoded payload up to maxUnpackLayers times. Deterministic by
+// construction — always the first occurrence, standard alphabet only —
+// so warm and cold pipeline runs agree.
+func Unpack(doc string) (string, error) {
+	cur, ok := decodeFirst(doc)
+	if !ok {
+		return "", ErrNotPacked
+	}
+	for layer := 1; layer < maxUnpackLayers; layer++ {
+		inner, ok := decodeFirst(cur)
+		if !ok {
+			break
+		}
+		cur = inner
+	}
+	return cur, nil
+}
+
+// decodeFirst extracts and decodes the first base64_decode string
+// literal, if any.
+func decodeFirst(doc string) (string, bool) {
+	const marker = "base64_decode("
+	i := strings.Index(doc, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := doc[i+len(marker):]
+	if rest == "" || (rest[0] != '"' && rest[0] != '\'') {
+		return "", false
+	}
+	q := rest[0]
+	end := strings.IndexByte(rest[1:], q)
+	if end < 0 {
+		return "", false
+	}
+	lit := rest[1 : 1+end]
+	dec, err := base64.StdEncoding.DecodeString(lit)
+	if err != nil {
+		if dec, err = base64.RawStdEncoding.DecodeString(lit); err != nil {
+			return "", false
+		}
+	}
+	return string(dec), true
+}

@@ -31,3 +31,15 @@ func String(b []byte) string {
 	}
 	return unsafe.String(unsafe.SliceData(b), len(b))
 }
+
+// Bytes returns a []byte view of s without copying — the inverse of
+// String, used to route string compatibility wrappers through the
+// byte-path implementations. The view aliases the string's memory, which
+// the runtime assumes is immutable: the caller must never write to the
+// returned slice, and the same lifetime rules as String apply.
+func Bytes(s string) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(s), len(s))
+}

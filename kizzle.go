@@ -4,12 +4,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 
 	"kizzle/internal/contentcache"
+	"kizzle/internal/ingest"
+	"kizzle/internal/jstoken"
 	"kizzle/internal/pipeline"
 	"kizzle/internal/shardcoord"
 	"kizzle/internal/siggen"
 	"kizzle/internal/sigmatch"
+	"kizzle/internal/zerocopy"
 )
 
 // Sample is one input document.
@@ -22,29 +26,94 @@ type Sample struct {
 }
 
 // Option configures a Compiler.
+//
+// Options validate their arguments: an out-of-range value (a negative
+// worker count, a zero partition fanout, an empty shard URL, an unknown
+// ingest profile) is recorded as a configuration fault instead of being
+// silently clamped, and the first Process call on the misconfigured
+// Compiler returns an error naming every faulty option.
 type Option func(*pipeline.Config)
 
-// WithWorkers sets clustering parallelism (default: GOMAXPROCS).
+// fault records one option-validation failure on the config.
+func fault(c *pipeline.Config, format string, args ...any) {
+	c.Faults = append(c.Faults, fmt.Sprintf(format, args...))
+}
+
+// WithProfile selects the ingest profile — the tokenizer, streaming
+// symbol lexer, unpacker, and abstraction alphabet the front half of the
+// pipeline runs on. "js" (the default) is the paper's JavaScript
+// exploit-kit front-end; "webkit" ingests HTML/PHP/JS web phishing-kit
+// bundles. An unrecognized identifier is a configuration fault.
+func WithProfile(id string) Option {
+	return func(c *pipeline.Config) {
+		p, ok := ingest.Lookup(id)
+		if !ok {
+			fault(c, "WithProfile: unknown ingest profile %q (registered: %s)", id, strings.Join(ingest.IDs(), ", "))
+			return
+		}
+		c.Profile = p
+	}
+}
+
+// Profiles lists the registered ingest profile identifiers, sorted —
+// the valid arguments to WithProfile. Commands use it to validate
+// -profile flags before constructing a compiler.
+func Profiles() []string { return ingest.IDs() }
+
+// WithWorkers sets clustering parallelism (default: GOMAXPROCS; 0 keeps
+// the default). A negative count is a configuration fault.
 func WithWorkers(n int) Option {
-	return func(c *pipeline.Config) { c.Workers = n }
+	return func(c *pipeline.Config) {
+		if n < 0 {
+			fault(c, "WithWorkers: negative worker count %d", n)
+			return
+		}
+		c.Workers = n
+	}
 }
 
 // WithEps sets the normalized token-edit-distance clustering threshold
-// (default 0.10, the paper's empirically determined value).
+// (default 0.10, the paper's empirically determined value). The distance
+// is normalized to [0, 1], so eps outside (0, 1] is a configuration
+// fault.
 func WithEps(eps float64) Option {
-	return func(c *pipeline.Config) { c.Eps = eps }
+	return func(c *pipeline.Config) {
+		if eps <= 0 || eps > 1 {
+			fault(c, "WithEps: threshold %g outside (0, 1]", eps)
+			return
+		}
+		c.Eps = eps
+	}
 }
 
-// WithMinPts sets DBSCAN's minimum (weighted) neighborhood size.
+// WithMinPts sets DBSCAN's minimum (weighted) neighborhood size (0 keeps
+// the default of 2). A negative value is a configuration fault.
 func WithMinPts(n int) Option {
-	return func(c *pipeline.Config) { c.MinPts = n }
+	return func(c *pipeline.Config) {
+		if n < 0 {
+			fault(c, "WithMinPts: negative neighborhood size %d", n)
+			return
+		}
+		c.MinPts = n
+	}
 }
 
 // WithThreshold sets the family-specific labeling threshold: the minimum
 // winnow overlap between a cluster's unpacked prototype and the known
-// corpus required to label the cluster with that family.
+// corpus required to label the cluster with that family. An empty family
+// name or a negative threshold is a configuration fault; thresholds
+// above 1 are permitted (they make the family unlabelable, which tests
+// use deliberately).
 func WithThreshold(family string, threshold float64) Option {
 	return func(c *pipeline.Config) {
+		if family == "" {
+			fault(c, "WithThreshold: empty family name")
+			return
+		}
+		if threshold < 0 {
+			fault(c, "WithThreshold(%q): negative threshold %g", family, threshold)
+			return
+		}
 		if c.Thresholds == nil {
 			c.Thresholds = make(map[string]float64)
 		}
@@ -53,16 +122,27 @@ func WithThreshold(family string, threshold float64) Option {
 }
 
 // WithDefaultThreshold sets the labeling threshold for families without a
-// family-specific one.
+// family-specific one. A negative threshold is a configuration fault.
 func WithDefaultThreshold(threshold float64) Option {
-	return func(c *pipeline.Config) { c.DefaultThreshold = threshold }
+	return func(c *pipeline.Config) {
+		if threshold < 0 {
+			fault(c, "WithDefaultThreshold: negative threshold %g", threshold)
+			return
+		}
+		c.DefaultThreshold = threshold
+	}
 }
 
 // WithSignatureTokens bounds the common-token-run search: signatures
 // shorter than min tokens are discarded, and the search is capped at max
-// tokens (the paper caps at 200).
+// tokens (the paper caps at 200). min below 1 or max below min is a
+// configuration fault.
 func WithSignatureTokens(min, max int) Option {
 	return func(c *pipeline.Config) {
+		if min < 1 || max < min {
+			fault(c, "WithSignatureTokens: invalid bounds [%d, %d]", min, max)
+			return
+		}
 		c.Signature.MinTokens = min
 		c.Signature.MaxTokens = max
 	}
@@ -71,24 +151,45 @@ func WithSignatureTokens(min, max int) Option {
 // WithSignatureSlack widens inferred class length bounds by n characters
 // each way. The paper's algorithm uses the exactly observed lengths
 // (slack 0) and relies on daily regeneration; positive slack makes
-// signatures more robust across days at a small precision cost.
+// signatures more robust across days at a small precision cost. Negative
+// slack is a configuration fault.
 func WithSignatureSlack(n int) Option {
-	return func(c *pipeline.Config) { c.Signature.LengthSlack = n }
+	return func(c *pipeline.Config) {
+		if n < 0 {
+			fault(c, "WithSignatureSlack: negative slack %d", n)
+			return
+		}
+		c.Signature.LengthSlack = n
+	}
 }
 
 // WithPartitionSize sets the target number of unique token sequences per
-// clustering partition.
+// clustering partition (0 keeps the default of 300). A negative size is
+// a configuration fault.
 func WithPartitionSize(n int) Option {
-	return func(c *pipeline.Config) { c.PartitionSize = n }
+	return func(c *pipeline.Config) {
+		if n < 0 {
+			fault(c, "WithPartitionSize: negative partition size %d", n)
+			return
+		}
+		c.PartitionSize = n
+	}
 }
 
 // WithPartitionFanout sets how many partitions fill concurrently during
 // streaming dedup (default 8). New unique shapes scatter round-robin
 // across the open partitions — the streaming stand-in for the paper's
 // random partitioning — so one family's consecutive variants spread out
-// instead of piling into one partition.
+// instead of piling into one partition. A fanout below 1 is a
+// configuration fault.
 func WithPartitionFanout(n int) Option {
-	return func(c *pipeline.Config) { c.PartitionFanout = n }
+	return func(c *pipeline.Config) {
+		if n < 1 {
+			fault(c, "WithPartitionFanout: fanout %d below 1", n)
+			return
+		}
+		c.PartitionFanout = n
+	}
 }
 
 // WithNoiseChunk bounds the reduce step's global noise re-clustering: a
@@ -99,9 +200,16 @@ func WithPartitionFanout(n int) Option {
 // tested (straggler adoption still sees the full pool). Chunk membership
 // is a pure function of content, so output stays independent of shard
 // count and scheduling. 0 (the default) disables chunking and keeps the
-// MaxNoiseRecluster skip-entirely behavior for oversized pools.
+// MaxNoiseRecluster skip-entirely behavior for oversized pools. A
+// negative chunk size is a configuration fault.
 func WithNoiseChunk(n int) Option {
-	return func(c *pipeline.Config) { c.NoiseChunk = n }
+	return func(c *pipeline.Config) {
+		if n < 0 {
+			fault(c, "WithNoiseChunk: negative chunk size %d", n)
+			return
+		}
+		c.NoiseChunk = n
+	}
 }
 
 // WithBatchDispatch disables streaming dispatch: clustering partitions
@@ -146,9 +254,16 @@ func WithCacheBytes(n int) Option {
 // sequences and ship 20-byte content keys instead of sequence bytes
 // (protocol v3, negotiated per worker — mixed fleets degrade gracefully
 // to v2). Output is identical to single-process operation. An empty URL
-// list keeps clustering in-process.
+// list keeps clustering in-process; an empty string within a non-empty
+// list is a configuration fault.
 func WithShardWorkers(urls ...string) Option {
 	return func(c *pipeline.Config) {
+		for i, u := range urls {
+			if u == "" {
+				fault(c, "WithShardWorkers: empty URL at position %d", i)
+				return
+			}
+		}
 		// The coordinator is constructed by New after all options are
 		// applied, so WithoutShardAffinity / WithScheduleSeed compose with
 		// the fleet regardless of option order.
@@ -425,103 +540,186 @@ type Match struct {
 }
 
 // Matcher is a deployed signature set — the consumer side of the AV
-// distribution channel.
+// distribution channel. Signatures compiled from different ingest
+// profiles (resolved from each family's workload namespace, e.g.
+// "webkit/strato_v2" → the webkit profile) coexist in one Matcher: a
+// scanned document is lexed once per present profile and each profile's
+// signatures match over their own token stream, so one gateway fleet
+// serves JS exploit-kit and web phishing-kit corpora side by side.
 type Matcher struct {
+	// scanners holds one sigmatch scanner per ingest profile present in
+	// the signature set, in first-seen family order (a js-only set has
+	// exactly one entry and behaves bit-identically to the pre-profile
+	// matcher).
+	scanners []profileScanner
+}
+
+// profileScanner pairs one ingest profile's lexer with the scanner over
+// that profile's signatures.
+type profileScanner struct {
+	profile ingest.Profile
 	scanner *sigmatch.Scanner
 }
 
-// NewMatcher compiles signatures for scanning.
+// scannerFor returns the scanner for the given profile, appending a new
+// empty one on first use.
+func (m *Matcher) scannerFor(p ingest.Profile) *sigmatch.Scanner {
+	for i := range m.scanners {
+		if m.scanners[i].profile.ID() == p.ID() {
+			return m.scanners[i].scanner
+		}
+	}
+	s, _ := sigmatch.NewScanner(nil)
+	m.scanners = append(m.scanners, profileScanner{profile: p, scanner: s})
+	return s
+}
+
+// NewMatcher compiles signatures for scanning. Each signature's ingest
+// profile is resolved from its family's workload namespace; matches for
+// multi-profile sets are grouped by profile in first-seen family order.
 func NewMatcher(sigs []Signature) (*Matcher, error) {
-	inner := make([]siggen.Signature, len(sigs))
-	for i, s := range sigs {
-		inner[i] = s.inner
+	grouped := make(map[string][]siggen.Signature)
+	var order []string
+	for _, s := range sigs {
+		id := ingest.ProfileOf(s.inner.Family).ID()
+		if _, seen := grouped[id]; !seen {
+			order = append(order, id)
+		}
+		grouped[id] = append(grouped[id], s.inner)
 	}
-	scanner, err := sigmatch.NewScanner(inner)
-	if err != nil {
-		return nil, fmt.Errorf("kizzle: compile signatures: %w", err)
+	m := &Matcher{}
+	for _, id := range order {
+		p, _ := ingest.Lookup(id)
+		scanner, err := sigmatch.NewScanner(grouped[id])
+		if err != nil {
+			return nil, fmt.Errorf("kizzle: compile signatures: %w", err)
+		}
+		m.scanners = append(m.scanners, profileScanner{profile: p, scanner: scanner})
 	}
-	return &Matcher{scanner: scanner}, nil
+	return m, nil
 }
 
 // Add deploys one more signature.
 func (m *Matcher) Add(sig Signature) error {
-	if err := m.scanner.Add(sig.inner); err != nil {
+	if err := m.scannerFor(ingest.ProfileOf(sig.inner.Family)).Add(sig.inner); err != nil {
 		return fmt.Errorf("kizzle: add signature: %w", err)
 	}
 	return nil
 }
 
 // Len reports the number of deployed signatures.
-func (m *Matcher) Len() int { return m.scanner.Len() }
+func (m *Matcher) Len() int {
+	n := 0
+	for i := range m.scanners {
+		n += m.scanners[i].scanner.Len()
+	}
+	return n
+}
 
-// Scan returns all signature matches in a document.
-func (m *Matcher) Scan(doc string) []Match {
-	hits := m.scanner.Scan(doc)
-	out := make([]Match, len(hits))
-	for i, h := range hits {
-		out[i] = Match{Family: h.Family, TokenOffset: h.TokenOffset}
+// appendMatches converts one scanner's hits onto out.
+func appendMatches(out []Match, hits []sigmatch.Match) []Match {
+	for _, h := range hits {
+		out = append(out, Match{Family: h.Family, TokenOffset: h.TokenOffset})
 	}
 	return out
 }
-
-// ScanAll scans a batch of documents concurrently (tokenization included)
-// and returns per-document matches aligned with the input. This is the
-// entry point for bulk deployment channels — CDN admission queues, scan
-// APIs — where per-document goroutine handoff would dominate.
-func (m *Matcher) ScanAll(docs []string) [][]Match {
-	raw := m.scanner.ScanDocuments(docs)
-	out := make([][]Match, len(raw))
-	for i, hits := range raw {
-		if len(hits) == 0 {
-			continue
-		}
-		converted := make([]Match, len(hits))
-		for j, h := range hits {
-			converted[j] = Match{Family: h.Family, TokenOffset: h.TokenOffset}
-		}
-		out[i] = converted
-	}
-	return out
-}
-
-// Detects reports whether any signature matches the document.
-func (m *Matcher) Detects(doc string) bool { return m.scanner.Detects(doc) }
 
 // ScanBytes scans a document held in a byte slice in place, without
-// copying it into a string — the zero-copy entry point of the serving hot
-// path, where the caller owns a pooled body buffer. The matcher retains
-// no part of doc (matches carry only signature-owned family strings and
-// integer offsets), so the buffer may be reused the moment the call
-// returns. Results are identical to Scan(string(doc)).
+// copying it into a string — the zero-copy core of the serving hot path,
+// where the caller owns a pooled body buffer. The document is lexed once
+// per deployed ingest profile and every profile's signatures run over
+// their own token stream. The matcher retains no part of doc (matches
+// carry only signature-owned family strings and integer offsets), so the
+// buffer may be reused the moment the call returns. Results are
+// identical to Scan(string(doc)).
 func (m *Matcher) ScanBytes(doc []byte) []Match {
-	hits := m.scanner.ScanBytes(doc)
-	out := make([]Match, len(hits))
-	for i, h := range hits {
-		out[i] = Match{Family: h.Family, TokenOffset: h.TokenOffset}
+	out := make([]Match, 0)
+	view := zerocopy.String(doc)
+	for i := range m.scanners {
+		ps := &m.scanners[i]
+		out = appendMatches(out, ps.scanner.ScanTokens(ps.profile.LexDocument(view)))
 	}
 	return out
+}
+
+// Scan returns all signature matches in a document. It is a thin
+// compatibility wrapper over ScanBytes: the string is viewed as bytes
+// without copying and scanned through the byte path.
+func (m *Matcher) Scan(doc string) []Match {
+	return m.ScanBytes(zerocopy.Bytes(doc))
 }
 
 // DetectsBytes reports whether any signature matches the document,
 // scanning the byte slice in place.
-func (m *Matcher) DetectsBytes(doc []byte) bool { return m.scanner.DetectsBytes(doc) }
+func (m *Matcher) DetectsBytes(doc []byte) bool {
+	view := zerocopy.String(doc)
+	for i := range m.scanners {
+		ps := &m.scanners[i]
+		if ps.scanner.DetectsTokens(ps.profile.LexDocument(view)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Detects reports whether any signature matches the document — the
+// string compatibility wrapper over DetectsBytes.
+func (m *Matcher) Detects(doc string) bool {
+	return m.DetectsBytes(zerocopy.Bytes(doc))
+}
 
 // ScanAllBytes scans a batch of byte-slice documents concurrently
 // (tokenization included) without copying them, aligned with the input —
-// ScanAll for callers that hold pooled buffers, like the gateway's
-// admission batcher. Buffer-reuse rules are those of ScanBytes.
+// the batched zero-copy core that bulk deployment channels (CDN
+// admission queues, scan APIs) dispatch through. Buffer-reuse rules are
+// those of ScanBytes.
 func (m *Matcher) ScanAllBytes(docs [][]byte) [][]Match {
-	raw := m.scanner.ScanDocumentsBytes(docs)
+	// The single-profile common case keeps sigmatch's pooled batch path;
+	// multi-profile sets scan per profile and merge in profile order so
+	// per-document results match ScanBytes exactly.
+	if len(m.scanners) == 1 {
+		ps := &m.scanners[0]
+		if ps.profile.ID() == ingest.Default().ID() {
+			return convertBatch(ps.scanner.ScanDocumentsBytes(docs))
+		}
+	}
+	out := make([][]Match, len(docs))
+	for i := range m.scanners {
+		ps := &m.scanners[i]
+		streams := make([][]jstoken.Token, len(docs))
+		for j, doc := range docs {
+			streams[j] = ps.profile.LexDocument(zerocopy.String(doc))
+		}
+		for j, hits := range ps.scanner.ScanAll(streams) {
+			if len(hits) > 0 {
+				out[j] = appendMatches(out[j], hits)
+			}
+		}
+	}
+	return out
+}
+
+// ScanAll scans a batch of documents concurrently and returns
+// per-document matches aligned with the input — the string compatibility
+// wrapper over ScanAllBytes (documents are viewed as bytes without
+// copying).
+func (m *Matcher) ScanAll(docs []string) [][]Match {
+	views := make([][]byte, len(docs))
+	for i, doc := range docs {
+		views[i] = zerocopy.Bytes(doc)
+	}
+	return m.ScanAllBytes(views)
+}
+
+// convertBatch converts sigmatch batch output, leaving no-hit documents
+// nil.
+func convertBatch(raw [][]sigmatch.Match) [][]Match {
 	out := make([][]Match, len(raw))
 	for i, hits := range raw {
 		if len(hits) == 0 {
 			continue
 		}
-		converted := make([]Match, len(hits))
-		for j, h := range hits {
-			converted[j] = Match{Family: h.Family, TokenOffset: h.TokenOffset}
-		}
-		out[i] = converted
+		out[i] = appendMatches(make([]Match, 0, len(hits)), hits)
 	}
 	return out
 }
@@ -628,5 +826,25 @@ func (mc *MatcherCache) Build(sigs []Signature) (*Matcher, BuildStats, error) {
 	}
 	// Families absent from this build are dropped from the cache.
 	mc.families = next
-	return &Matcher{scanner: sigmatch.NewScannerFromCompiled(compiled)}, stats, nil
+
+	// Assemble per-profile scanners from the compiled forms, grouped in
+	// first-seen family order — the same shape NewMatcher(sigs) builds.
+	m := &Matcher{}
+	grouped := make(map[string][]*sigmatch.Compiled)
+	var profOrder []string
+	for i, s := range sigs {
+		id := ingest.ProfileOf(s.inner.Family).ID()
+		if _, seen := grouped[id]; !seen {
+			profOrder = append(profOrder, id)
+		}
+		grouped[id] = append(grouped[id], compiled[i])
+	}
+	for _, id := range profOrder {
+		p, _ := ingest.Lookup(id)
+		m.scanners = append(m.scanners, profileScanner{
+			profile: p,
+			scanner: sigmatch.NewScannerFromCompiled(grouped[id]),
+		})
+	}
+	return m, stats, nil
 }

@@ -1,9 +1,8 @@
 package kizzle
 
 import (
-	"kizzle/internal/jstoken"
+	"kizzle/internal/ingest"
 	"kizzle/internal/pipeline"
-	"kizzle/internal/unpack"
 )
 
 // Oracle implements the paper's §V counter-evasion proposal: "hidden
@@ -52,16 +51,21 @@ type Verdict struct {
 	Unpacked bool
 }
 
-// Inspect unpacks the document (if a known packer structure is present)
-// and compares the inner payload against the hidden corpus.
+// Inspect unpacks the document (if a packer structure known to the
+// oracle's ingest profile is present — see WithProfile) and compares the
+// inner payload against the hidden corpus.
 func (o *Oracle) Inspect(doc string) Verdict {
 	var v Verdict
+	p := o.cfg.Profile
+	if p == nil {
+		p = ingest.Default()
+	}
 	payload := ""
-	if res, err := unpack.Unpack(doc); err == nil {
+	if res, err := p.Unpack(doc); err == nil {
 		payload = res.Payload
 		v.Unpacked = true
 	} else {
-		payload = jstoken.ExtractScripts(doc)
+		payload = p.ExtractScripts(doc)
 	}
 	v.Family, v.Overlap = o.corpus.BestMatch(payload)
 	if v.Family != "" && v.Overlap >= o.cfg.Threshold(v.Family) {

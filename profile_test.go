@@ -1,0 +1,111 @@
+package kizzle_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"kizzle"
+	"kizzle/internal/ingest"
+	"kizzle/internal/shardcoord"
+)
+
+// TestJSProfileIdentity pins the contract that makes the pluggable
+// ingest seam invisible to every pre-profile artifact: the default
+// profile is "js", its cache-kind offset is zero (historical cache
+// snapshots stay valid), and the webkit profile occupies a disjoint
+// offset so entries can never alias.
+func TestJSProfileIdentity(t *testing.T) {
+	js := ingest.Default()
+	if js.ID() != "js" {
+		t.Fatalf("default profile id = %q, want js", js.ID())
+	}
+	if js.KindOffset() != 0 {
+		t.Fatalf("js KindOffset = %d, want 0 (cache snapshot compatibility)", js.KindOffset())
+	}
+	reg, ok := ingest.Lookup("js")
+	if !ok || reg.ID() != js.ID() {
+		t.Fatalf("registry lookup for js: ok=%v", ok)
+	}
+	wk, ok := ingest.Lookup("webkit")
+	if !ok {
+		t.Fatal("webkit profile not registered")
+	}
+	if wk.KindOffset() == 0 {
+		t.Fatal("webkit KindOffset must be disjoint from js")
+	}
+	ids := kizzle.Profiles()
+	want := map[string]bool{"js": false, "webkit": false}
+	for _, id := range ids {
+		if _, tracked := want[id]; tracked {
+			want[id] = true
+		}
+	}
+	for id, seen := range want {
+		if !seen {
+			t.Fatalf("Profiles() = %v missing %q", ids, id)
+		}
+	}
+}
+
+// TestJSProfileDifferential pins the explicit profile/js path
+// byte-identical to the implicit pre-refactor default — signatures,
+// cluster counts, and cache traffic — in-process and at 1, 2, and 4
+// shards. Any divergence means the profile seam changed JS output.
+func TestJSProfileDifferential(t *testing.T) {
+	day := august(5)
+	samples := daySamples(t, day, 60)
+
+	run := func(t *testing.T, shards int, extra ...kizzle.Option) (string, kizzle.Stats) {
+		t.Helper()
+		opts := extra
+		if shards > 0 {
+			urls := make([]string, shards)
+			for i := range urls {
+				srv := httptest.NewServer(shardcoord.NewWorker().Handler())
+				t.Cleanup(srv.Close)
+				urls[i] = srv.URL
+			}
+			opts = append(opts, kizzle.WithShardWorkers(urls...))
+		}
+		c := newSeededCompiler(t, day, opts...)
+		res, err := c.Process(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs, err := json.Marshal(res.Signatures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(sigs), res.Stats
+	}
+
+	refSigs, refStats := run(t, 0)
+	if refStats.Clusters == 0 {
+		t.Fatal("reference run produced no clusters")
+	}
+	for _, shards := range []int{0, 1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			implicitSigs, implicitStats := run(t, shards)
+			explicitSigs, explicitStats := run(t, shards, kizzle.WithProfile("js"))
+			if explicitSigs != implicitSigs {
+				t.Fatal("WithProfile(js) signature bytes diverged from the implicit default")
+			}
+			if explicitSigs != refSigs {
+				t.Fatal("sharded signature bytes diverged from the in-process reference")
+			}
+			if explicitStats.Clusters != implicitStats.Clusters ||
+				explicitStats.MaliciousClusters != implicitStats.MaliciousClusters ||
+				explicitStats.UniqueSequences != implicitStats.UniqueSequences {
+				t.Fatalf("cluster stats diverged: explicit %+v implicit %+v", explicitStats, implicitStats)
+			}
+			if explicitStats.CacheHits != implicitStats.CacheHits ||
+				explicitStats.CacheMisses != implicitStats.CacheMisses {
+				t.Fatalf("cache traffic diverged: explicit %d/%d implicit %d/%d",
+					explicitStats.CacheHits, explicitStats.CacheMisses,
+					implicitStats.CacheHits, implicitStats.CacheMisses)
+			}
+		})
+	}
+}

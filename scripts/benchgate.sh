@@ -35,6 +35,7 @@ run_benches() {
     go test -run=NONE -count="$COUNT" -bench='^BenchmarkLexSymbols$' -benchtime=200x ./internal/jstoken/
     go test -run=NONE -count="$COUNT" -bench='^BenchmarkTokenize$' -benchtime=10x .
     go test -run=NONE -count="$COUNT" -bench='^BenchmarkPipelineThroughput$' -benchtime=3x .
+    go test -run=NONE -count="$COUNT" -bench='^BenchmarkWebkitPipelineThroughput$' -benchtime=3x .
     go test -run=NONE -count="$COUNT" -bench='^BenchmarkPipelineDayOverDay$' -benchtime=10x .
     go test -run=NONE -count="$COUNT" -bench='^BenchmarkPipelineSharded$' -benchtime=1x .
     go test -run=NONE -count="$COUNT" -bench='^BenchmarkMatcherRebuild$' -benchtime=300x .

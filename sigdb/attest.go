@@ -48,6 +48,9 @@ type PathDescriptor struct {
 	Affinity bool `json:"affinity,omitempty"`
 	// Seed is the schedule-permutation seed (0 = canonical schedule).
 	Seed int64 `json:"seed,omitempty"`
+	// Profile names the ingest profile the corpus was compiled under
+	// ("" = the default js profile, the pre-profile record form).
+	Profile string `json:"profile,omitempty"`
 }
 
 // String renders the descriptor in the compact form used in logs and
@@ -63,6 +66,9 @@ func (d PathDescriptor) String() string {
 	}
 	if d.Seed != 0 {
 		s += "/seed=" + strconv.FormatInt(d.Seed, 10)
+	}
+	if d.Profile != "" {
+		s += "/profile=" + d.Profile
 	}
 	return s
 }
@@ -273,6 +279,9 @@ func (s *Store) PublishAttested(sigs []kizzle.Signature, multi []kizzle.MultiSig
 	}
 	sum := sha256.Sum256(next)
 	setDigest := hex.EncodeToString(sum[:])
+	if err := validateFamilies(sigs, multi); err != nil {
+		return 0, false, Attestation{}, err
+	}
 	candidate := Snapshot{
 		Signatures: append([]kizzle.Signature(nil), sigs...),
 		Multi:      append([]kizzle.MultiSignature(nil), multi...),

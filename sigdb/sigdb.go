@@ -6,10 +6,44 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 
 	"kizzle"
 )
+
+// validateFamilies rejects candidate sets whose family names are
+// ambiguous under workload namespacing: a bare family name ("strato_v2")
+// and a namespaced one with the same basename ("webkit/strato_v2") must
+// not coexist in one published set — consumers keying thresholds,
+// metrics, or match reports by basename could not tell which workload a
+// hit belongs to. Distinct namespaces sharing a basename are fine.
+func validateFamilies(sigs []kizzle.Signature, multi []kizzle.MultiSignature) error {
+	bare := make(map[string]bool)
+	namespaced := make(map[string]string) // basename -> first namespaced name
+	record := func(fam string) {
+		if i := strings.IndexByte(fam, '/'); i >= 0 {
+			base := fam[i+1:]
+			if _, ok := namespaced[base]; !ok {
+				namespaced[base] = fam
+			}
+		} else {
+			bare[fam] = true
+		}
+	}
+	for _, s := range sigs {
+		record(s.Family())
+	}
+	for _, m := range multi {
+		record(m.Family())
+	}
+	for base, full := range namespaced {
+		if bare[base] {
+			return fmt.Errorf("sigdb: ambiguous family names: bare %q collides with namespaced %q — namespace both or neither", base, full)
+		}
+	}
+	return nil
+}
 
 // Snapshot is one immutable version of the signature set.
 type Snapshot struct {
@@ -112,6 +146,9 @@ func (s *Store) Publish(sigs []kizzle.Signature, multi []kizzle.MultiSignature) 
 	if err != nil {
 		return 0, false, fmt.Errorf("sigdb: marshal candidate: %w", err)
 	}
+	if err := validateFamilies(sigs, multi); err != nil {
+		return 0, false, err
+	}
 	candidate := Snapshot{
 		Signatures: append([]kizzle.Signature(nil), sigs...),
 		Multi:      append([]kizzle.MultiSignature(nil), multi...),
@@ -137,6 +174,9 @@ func (s *Store) Publish(sigs []kizzle.Signature, multi []kizzle.MultiSignature) 
 // file-backed stores) persists atomically via rename. The new set is
 // compiled first: invalid signatures never reach the store.
 func (s *Store) Replace(sigs []kizzle.Signature, multi []kizzle.MultiSignature) (int64, error) {
+	if err := validateFamilies(sigs, multi); err != nil {
+		return 0, err
+	}
 	candidate := Snapshot{
 		Signatures: append([]kizzle.Signature(nil), sigs...),
 		Multi:      append([]kizzle.MultiSignature(nil), multi...),

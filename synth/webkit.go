@@ -1,0 +1,76 @@
+package synth
+
+import (
+	"fmt"
+
+	"kizzle/internal/phishkit"
+	"kizzle/internal/webkittoken"
+)
+
+// Webkit workload: synthetic HTML/PHP/JS web phishing-kit bundles, the
+// second corpus the pluggable ingest front-end serves (profile
+// "webkit"). The generators mirror the JS exploit-kit stream's contract
+// — deterministic in (config, day), per-family version flips on fixed
+// cadences — so the same harness patterns (seed the oracle with
+// yesterday's payload, compile today, vet tomorrow) apply unchanged.
+
+// WebkitFamily identifies a phishing-kit sample's ground-truth origin.
+type WebkitFamily = phishkit.Family
+
+// Webkit families and the benign zero value.
+const (
+	WebkitBenign = phishkit.FamilyBenign
+	Strato       = phishkit.FamilyStrato
+	Chalbhai     = phishkit.FamilyChalbhai
+	Xbalti       = phishkit.FamilyXbalti
+	Shop16       = phishkit.FamilyShop16
+)
+
+// WebkitKits lists the four malicious phishing-kit families.
+func WebkitKits() []WebkitFamily { return append([]WebkitFamily(nil), phishkit.Families...) }
+
+// WebkitSample is one generated phishing-kit-era document with ground
+// truth attached.
+type WebkitSample = phishkit.Sample
+
+// WebkitConfig scales the webkit stream; see DefaultWebkitConfig.
+type WebkitConfig = phishkit.StreamConfig
+
+// DefaultWebkitConfig is the evaluation-scale phishing stream.
+func DefaultWebkitConfig() WebkitConfig { return phishkit.DefaultStreamConfig() }
+
+// WebkitStream generates deterministic daily phishing-site traffic.
+type WebkitStream struct {
+	inner *phishkit.Stream
+}
+
+// NewWebkitStream validates cfg and builds a stream.
+func NewWebkitStream(cfg WebkitConfig) (*WebkitStream, error) {
+	s, err := phishkit.NewStream(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	return &WebkitStream{inner: s}, nil
+}
+
+// Day returns the full sample set for a simulation day.
+func (s *WebkitStream) Day(day int) []WebkitSample { return s.inner.Day(day) }
+
+// MaliciousDay returns only the kit traffic of a day.
+func (s *WebkitStream) MaliciousDay(day int) []WebkitSample { return s.inner.MaliciousDay(day) }
+
+// WebkitPayload returns a phishing kit's unpacked inner payload on a day
+// — use it to seed kizzle.Compiler.AddKnown under the namespaced family
+// name ("webkit/" + family.String()).
+func WebkitPayload(family WebkitFamily, day int) string { return phishkit.Payload(family, day) }
+
+// WebkitUnpack statically decodes a packed phishing-kit sample (the
+// base64/eval onion the kits ship as) and returns the inner payload, or
+// an error when the document is not recognizably packed.
+func WebkitUnpack(doc string) (string, error) {
+	payload, err := webkittoken.Unpack(doc)
+	if err != nil {
+		return "", fmt.Errorf("synth: %w", err)
+	}
+	return payload, nil
+}

@@ -1,0 +1,258 @@
+package kizzle
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"kizzle/internal/siggen"
+)
+
+// YARA export: renders a deployed signature set as a YARA ruleset so the
+// signatures Kizzle compiles can ride existing AV distribution channels
+// (mail scanners, IR tooling) that consume YARA rather than the Figure 10
+// regex dialect. The export is a deliberate over-approximation of the
+// structural matcher in one place: YARA's regex engine has no
+// back-references, so a KindBackref element is rendered as a repetition
+// of the referenced group's character class and quantifier — every
+// document the structural signature matches also matches the YARA rule,
+// but a document whose two "captured" occurrences differ (within the
+// class) matches only the YARA rule. Daily regeneration bounds the
+// precision cost the same way it bounds class-length slack.
+
+// ExportYARA renders the signature set as a YARA ruleset. Rule names are
+// derived from family names (workload namespaces like "webkit/strato_v2"
+// become "kizzle_webkit_strato_v2") with an index suffix keeping them
+// unique; each rule carries the family, sample count, and token length
+// as metadata. The output always passes ValidateYARA.
+func ExportYARA(sigs []Signature) string {
+	var sb strings.Builder
+	sb.WriteString("// Kizzle structural signatures, YARA export.\n")
+	sb.WriteString("// Back-references are over-approximated as class repetitions.\n\n")
+	seen := make(map[string]int)
+	for _, s := range sigs {
+		name := yaraRuleName(s.inner.Family, seen)
+		fmt.Fprintf(&sb, "rule %s\n{\n", name)
+		sb.WriteString("    meta:\n")
+		fmt.Fprintf(&sb, "        family = %q\n", s.inner.Family)
+		fmt.Fprintf(&sb, "        samples = %d\n", s.inner.Samples)
+		fmt.Fprintf(&sb, "        tokens = %d\n", s.TokenLength())
+		sb.WriteString("    strings:\n")
+		fmt.Fprintf(&sb, "        $sig = /%s/\n", yaraRegex(s.inner))
+		sb.WriteString("    condition:\n        $sig\n}\n\n")
+	}
+	return sb.String()
+}
+
+// yaraRuleName sanitizes a family name into a unique YARA identifier.
+func yaraRuleName(family string, seen map[string]int) string {
+	var b strings.Builder
+	b.WriteString("kizzle_")
+	for i := 0; i < len(family); i++ {
+		c := family[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	base := b.String()
+	seen[base]++
+	return fmt.Sprintf("%s_%d", base, seen[base])
+}
+
+// yaraRegex renders one signature's elements as a YARA-safe regex:
+// literals escaped, classes with quantifiers, back-references replaced
+// by the referenced group's class repetition (see the package-level
+// over-approximation note).
+func yaraRegex(sig siggen.Signature) string {
+	groupClass := make(map[int]string)
+	var sb strings.Builder
+	for _, e := range sig.Elements {
+		switch e.Kind {
+		case siggen.KindLiteral:
+			sb.WriteString(yaraEscape(regexp.QuoteMeta(e.Literal)))
+		case siggen.KindClass:
+			part := e.Class + yaraQuantifier(e.MinLen, e.MaxLen)
+			if e.Group >= 0 {
+				groupClass[e.Group] = part
+			}
+			sb.WriteString(part)
+		case siggen.KindBackref:
+			sb.WriteString(groupClass[e.Group])
+		}
+	}
+	return sb.String()
+}
+
+func yaraQuantifier(minLen, maxLen int) string {
+	if minLen == maxLen {
+		return fmt.Sprintf("{%d}", minLen)
+	}
+	return fmt.Sprintf("{%d,%d}", minLen, maxLen)
+}
+
+// yaraEscape makes an already regex-quoted literal safe inside YARA's
+// /.../ delimiters: forward slashes are escaped and line breaks become
+// escape sequences (a YARA regex must sit on one line).
+func yaraEscape(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '/':
+			sb.WriteString(`\/`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+// yaraIdent matches a valid YARA identifier.
+var yaraIdent = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// ValidateYARA checks a ruleset for the structural syntax errors that
+// would make a YARA engine reject the file: malformed or duplicate rule
+// names, unterminated rule bodies, string entries that are not
+// /regex/-style patterns on one line, missing condition sections, and
+// conditions referencing undefined string identifiers. It is a minimal
+// self-contained checker (no YARA engine ships in this repository), kept
+// strict enough that ExportYARA output failing it is a bug.
+func ValidateYARA(ruleset string) error {
+	lines := strings.Split(ruleset, "\n")
+	var (
+		ruleName string
+		inBody   bool
+		section  string
+		strIDs   map[string]bool
+		hasCond  bool
+		condRefs []string
+		rules    = make(map[string]bool)
+	)
+	finish := func(line int) error {
+		if !hasCond {
+			return fmt.Errorf("yara: rule %q (ending line %d) has no condition section", ruleName, line)
+		}
+		for _, ref := range condRefs {
+			if !strIDs[ref] {
+				return fmt.Errorf("yara: rule %q condition references undefined string $%s", ruleName, ref)
+			}
+		}
+		ruleName, inBody, section, hasCond = "", false, "", false
+		strIDs, condRefs = nil, nil
+		return nil
+	}
+	for n, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "rule "):
+			if ruleName != "" {
+				return fmt.Errorf("yara: line %d: rule %q is not closed before the next rule", n+1, ruleName)
+			}
+			name := strings.TrimSpace(strings.TrimPrefix(line, "rule "))
+			name = strings.TrimSuffix(name, "{")
+			name = strings.TrimSpace(name)
+			if !yaraIdent.MatchString(name) {
+				return fmt.Errorf("yara: line %d: invalid rule name %q", n+1, name)
+			}
+			if rules[name] {
+				return fmt.Errorf("yara: line %d: duplicate rule name %q", n+1, name)
+			}
+			rules[name] = true
+			ruleName = name
+			strIDs = make(map[string]bool)
+			inBody = strings.HasSuffix(line, "{")
+		case line == "{":
+			if ruleName == "" {
+				return fmt.Errorf("yara: line %d: '{' outside a rule", n+1)
+			}
+			inBody = true
+		case line == "}":
+			if ruleName == "" || !inBody {
+				return fmt.Errorf("yara: line %d: '}' outside a rule body", n+1)
+			}
+			if err := finish(n + 1); err != nil {
+				return err
+			}
+		case line == "meta:", line == "strings:", line == "condition:":
+			if !inBody {
+				return fmt.Errorf("yara: line %d: section %q outside a rule body", n+1, line)
+			}
+			section = strings.TrimSuffix(line, ":")
+			if section == "condition" {
+				hasCond = true
+			}
+		default:
+			if !inBody {
+				return fmt.Errorf("yara: line %d: unexpected content outside a rule: %q", n+1, line)
+			}
+			switch section {
+			case "meta":
+				if !strings.Contains(line, "=") {
+					return fmt.Errorf("yara: line %d: malformed meta entry %q", n+1, line)
+				}
+			case "strings":
+				id, pat, ok := strings.Cut(line, "=")
+				id, pat = strings.TrimSpace(id), strings.TrimSpace(pat)
+				if !ok || !strings.HasPrefix(id, "$") || !yaraIdent.MatchString(id[1:]) {
+					return fmt.Errorf("yara: line %d: malformed string entry %q", n+1, line)
+				}
+				if err := checkYARAPattern(pat); err != nil {
+					return fmt.Errorf("yara: line %d: %w", n+1, err)
+				}
+				strIDs[id[1:]] = true
+			case "condition":
+				for _, f := range strings.Fields(line) {
+					if strings.HasPrefix(f, "$") {
+						condRefs = append(condRefs, strings.TrimRight(f[1:], ")"))
+					}
+				}
+			default:
+				return fmt.Errorf("yara: line %d: content before any section: %q", n+1, line)
+			}
+		}
+	}
+	if ruleName != "" {
+		return fmt.Errorf("yara: rule %q is never closed", ruleName)
+	}
+	if len(rules) == 0 {
+		return fmt.Errorf("yara: ruleset contains no rules")
+	}
+	return nil
+}
+
+// checkYARAPattern validates one strings-section pattern: a one-line
+// /regex/ (escaped slashes allowed) or a quoted text string.
+func checkYARAPattern(pat string) error {
+	if len(pat) >= 2 && pat[0] == '"' {
+		if pat[len(pat)-1] != '"' {
+			return fmt.Errorf("unterminated text string %q", pat)
+		}
+		return nil
+	}
+	if len(pat) < 2 || pat[0] != '/' {
+		return fmt.Errorf("malformed pattern %q", pat)
+	}
+	// Find the closing unescaped slash; modifiers (nocase etc.) may follow.
+	for i := 1; i < len(pat); i++ {
+		if pat[i] == '\\' {
+			i++
+			continue
+		}
+		if pat[i] == '/' {
+			if i == 1 {
+				return fmt.Errorf("empty regex %q", pat)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("unterminated regex %q", pat)
+}

@@ -1,0 +1,110 @@
+package kizzle
+
+import (
+	"strings"
+	"testing"
+
+	"kizzle/internal/siggen"
+)
+
+// sigFromElements builds a public Signature around hand-authored
+// elements, the way only the compiler normally does — the YARA renderer
+// is exercised element-kind by element-kind.
+func sigFromElements(family string, samples int, elems ...siggen.Element) Signature {
+	return Signature{inner: siggen.Signature{Family: family, Elements: elems, Samples: samples}}
+}
+
+// TestExportYARARendering pins the export's three rendering rules: rule
+// names are sanitized family names with a uniquing suffix, literals are
+// escaped for YARA's /.../ delimiters, and back-references become the
+// referenced group's class repetition (the documented
+// over-approximation — YARA has no backrefs).
+func TestExportYARARendering(t *testing.T) {
+	sigs := []Signature{
+		sigFromElements("webkit/strato_v2", 7,
+			siggen.Element{Kind: siggen.KindLiteral, Literal: `eval(a/b)` + "\n", Group: -1},
+			siggen.Element{Kind: siggen.KindClass, Class: `[a-z]`, MinLen: 3, MaxLen: 5, Group: 0},
+			siggen.Element{Kind: siggen.KindBackref, Group: 0},
+		),
+		sigFromElements("webkit/strato_v2", 2,
+			siggen.Element{Kind: siggen.KindClass, Class: `[0-9]`, MinLen: 4, MaxLen: 4, Group: -1},
+		),
+	}
+	out := ExportYARA(sigs)
+	if err := ValidateYARA(out); err != nil {
+		t.Fatalf("export failed its own validator: %v", err)
+	}
+	// Sanitized, uniqued rule names: the slash becomes '_' and the two
+	// same-family rules get distinct suffixes.
+	for _, want := range []string{"rule kizzle_webkit_strato_v2_1", "rule kizzle_webkit_strato_v2_2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+	// The literal's slash and newline are escaped so the regex stays a
+	// one-line /.../ pattern.
+	if !strings.Contains(out, `a\/b`) {
+		t.Errorf("forward slash not escaped for YARA delimiters:\n%s", out)
+	}
+	if !strings.Contains(out, `\n`) || strings.Count(out, "$sig = /") != 2 {
+		t.Errorf("literal newline leaked into the pattern:\n%s", out)
+	}
+	// Backref over-approximation: the captured class and quantifier
+	// appear twice in a row.
+	if !strings.Contains(out, `[a-z]{3,5}[a-z]{3,5}`) {
+		t.Errorf("backref not rendered as class repetition:\n%s", out)
+	}
+	// Exact-length quantifier collapses to {n}; metadata carries the
+	// original family name.
+	if !strings.Contains(out, `[0-9]{4}`) {
+		t.Errorf("exact-length quantifier not collapsed:\n%s", out)
+	}
+	if !strings.Contains(out, `family = "webkit/strato_v2"`) {
+		t.Errorf("family metadata missing:\n%s", out)
+	}
+}
+
+// TestValidateYARARejections covers the checker's rejection surface with
+// minimal malformed rulesets — each is one structural mutation away from
+// a valid file.
+func TestValidateYARARejections(t *testing.T) {
+	valid := "rule ok\n{\n    strings:\n        $sig = /abc/\n    condition:\n        $sig\n}\n"
+	if err := ValidateYARA(valid); err != nil {
+		t.Fatalf("baseline ruleset rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		ruleset string
+		wantErr string
+	}{
+		{"empty", "", "no rules"},
+		{"comments only", "// nothing here\n", "no rules"},
+		{"bad rule name", "rule 9lives\n{\n    condition:\n        true\n}\n", "invalid rule name"},
+		{"duplicate rule name", valid + strings.ReplaceAll(valid, "/abc/", "/def/"), "duplicate rule name"},
+		{"unterminated body", "rule ok\n{\n    condition:\n        true\n", "never closed"},
+		{"rule inside rule", "rule a\n{\n    condition:\n        true\nrule b\n{\n    condition:\n        true\n}\n}\n", "not closed before the next rule"},
+		{"no condition", "rule ok\n{\n    strings:\n        $sig = /abc/\n}\n", "no condition section"},
+		{"undefined string ref", "rule ok\n{\n    strings:\n        $sig = /abc/\n    condition:\n        $other\n}\n", "undefined string $other"},
+		{"malformed string entry", "rule ok\n{\n    strings:\n        sig = /abc/\n    condition:\n        true\n}\n", "malformed string entry"},
+		{"unterminated regex", "rule ok\n{\n    strings:\n        $sig = /abc\n    condition:\n        $sig\n}\n", "unterminated regex"},
+		{"regex closed by escaped slash", "rule ok\n{\n    strings:\n        $sig = /abc\\/\n    condition:\n        $sig\n}\n", "unterminated regex"},
+		{"empty regex", "rule ok\n{\n    strings:\n        $sig = //\n    condition:\n        $sig\n}\n", "empty regex"},
+		{"unterminated text string", "rule ok\n{\n    strings:\n        $sig = \"abc\n    condition:\n        $sig\n}\n", "unterminated text string"},
+		{"content outside rule", "stray line\n" + valid, "unexpected content outside a rule"},
+		{"body content before section", "rule ok\n{\n    floating\n    condition:\n        true\n}\n", "content before any section"},
+		{"brace outside rule", "{\n", "'{' outside a rule"},
+		{"close outside rule", "}\n", "'}' outside a rule body"},
+		{"malformed meta", "rule ok\n{\n    meta:\n        broken entry\n    condition:\n        true\n}\n", "malformed meta entry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateYARA(tc.ruleset)
+			if err == nil {
+				t.Fatalf("malformed ruleset accepted:\n%s", tc.ruleset)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
