@@ -7,14 +7,18 @@
 //
 // By default it hosts the full stack in-process (a synthetic-corpus
 // origin behind a gateway.Proxy with admission batching) so the numbers
-// include proxying, body pooling, and coalescing. Point -target at a
-// running kizzlegate to load an external deployment instead; its
-// upstream should serve scannable documents under /<n> paths.
+// include proxying, body pooling, and coalescing. With -replicas N it
+// hosts N independent gateway replicas — each with its own matcher,
+// proxy, and admitter, all sharing one fleet verdict cache — behind a
+// round-robin front, and reports per-replica latency alongside the
+// fleet-wide percentiles. Point -target at a running kizzlegate to load
+// an external deployment instead; its upstream should serve scannable
+// documents under /<n> paths.
 //
 // Usage:
 //
 //	gateload [-duration 10s] [-clients 32] [-rps 0] [-zipf 1.5]
-//	         [-batchdocs 32] [-target http://gate:8080]
+//	         [-replicas 1] [-batchdocs 32] [-target http://gate:8080]
 //
 // The report is one JSON object on stdout; -rps 0 runs closed-loop at
 // maximum speed, -rps N paces an open loop whose aggregate rate peaks
@@ -40,6 +44,8 @@ import (
 
 	"kizzle"
 	"kizzle/gateway"
+	"kizzle/internal/servemetrics"
+	"kizzle/internal/verdictcache"
 	"kizzle/synth"
 )
 
@@ -66,8 +72,16 @@ type report struct {
 	MaxUS      float64 `json:"max_us"`
 	// Admitter and Vetter carry the in-process stack's serving counters
 	// (absent in external mode, where /metrics on the gate has them).
+	// With -replicas > 1 they aggregate nothing; Fleet carries the
+	// per-replica split instead.
 	Admitter map[string]any `json:"admitter,omitempty"`
 	Vetter   map[string]any `json:"vetter,omitempty"`
+	// Replicas, Fleet, and SharedCache describe the in-process fleet:
+	// per-replica serving counters plus end-to-end latency summaries, and
+	// the shared verdict cache's hit economics.
+	Replicas    int              `json:"replicas,omitempty"`
+	Fleet       []map[string]any `json:"fleet,omitempty"`
+	SharedCache map[string]any   `json:"shared_cache,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -80,18 +94,25 @@ func run(args []string, out io.Writer) error {
 	batchDocs := fs.Int("batchdocs", 32, "in-process admission micro-batch size (0 disables)")
 	batchWait := fs.Duration("batchwait", 500*time.Microsecond, "in-process admission window")
 	day := fs.Int("day", synth.Date(time.August, 5), "synthetic corpus day")
+	replicas := fs.Int("replicas", 1, "in-process gateway replicas behind the round-robin front")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *clients < 1 {
 		return fmt.Errorf("-clients must be positive")
 	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be positive")
+	}
+	if *target != "" && *replicas != 1 {
+		return fmt.Errorf("-replicas applies to the in-process stack only")
+	}
 
 	rep := report{Clients: *clients}
-	var base string
+	var bases []string
 	var docCount int
-	var admit *gateway.Admitter
-	var vetter *gateway.Vetter
+	fleet := []*replica{}
+	var cache *verdictcache.Cache
 
 	if *target != "" {
 		rep.Mode = "external"
@@ -99,13 +120,13 @@ func run(args []string, out io.Writer) error {
 		if err != nil || u.Scheme == "" {
 			return fmt.Errorf("bad -target %q", *target)
 		}
-		base = *target
+		bases = []string{*target}
 		// The external gate's corpus size is unknown; spread paths over a
 		// plausible working set so the zipf tail still exercises it.
 		docCount = 512
 	} else {
 		rep.Mode = "in-process"
-		docs, matcher, err := corpusAndMatcher(*day)
+		docs, err := corpusDocs(*day)
 		if err != nil {
 			return err
 		}
@@ -123,23 +144,31 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		defer origin.close()
-		vetter = gateway.NewVetter(matcher)
-		proxy := gateway.NewProxy(origin.url, vetter)
-		if *batchDocs > 0 {
-			admit = gateway.NewAdmitter(vetter, *batchDocs, *batchWait)
-			defer admit.Close()
-			proxy.UseAdmitter(admit)
+		// One shared verdict cache across the fleet: the cross-replica
+		// analogue of the admitter's in-flight coalescing.
+		if *replicas > 1 && *batchDocs > 0 {
+			cache = verdictcache.New(0)
 		}
-		front, err := serve(proxy)
-		if err != nil {
-			return err
+		// A typed-nil *Cache must not reach the Store interface: an
+		// interface holding a nil pointer is not itself nil.
+		var store verdictcache.Store
+		if cache != nil {
+			store = cache
 		}
-		defer front.close()
-		base = front.url.String()
+		for i := 0; i < *replicas; i++ {
+			r, err := newReplica(*day, origin.url, *batchDocs, *batchWait, store)
+			if err != nil {
+				return err
+			}
+			defer r.close()
+			fleet = append(fleet, r)
+			bases = append(bases, r.front.url.String())
+		}
 	}
 
 	lats := make([][]time.Duration, *clients)
 	var blocked, errs atomic.Int64
+	var rr atomic.Int64
 	start := time.Now()
 	deadline := start.Add(*duration)
 	var wg sync.WaitGroup
@@ -166,6 +195,9 @@ func run(args []string, out io.Writer) error {
 					}
 					time.Sleep(time.Duration(float64(*clients) / rate * float64(time.Second)))
 				}
+				// Round-robin front: successive requests rotate across the
+				// replica fleet, the way a connectionless load balancer would.
+				base := bases[int(rr.Add(1))%len(bases)]
 				t0 := time.Now()
 				resp, err := hc.Get(base + "/" + strconv.FormatUint(zipf.Uint64(), 10))
 				if err != nil {
@@ -209,21 +241,109 @@ func run(args []string, out io.Writer) error {
 	rep.Errors = errs.Load()
 	rep.P50US, rep.P90US, rep.P99US, rep.P999US = q(0.50), q(0.90), q(0.99), q(0.999)
 	rep.MaxUS = q(1)
-	if admit != nil {
-		rep.Admitter = admit.Metrics()
+	if len(fleet) == 1 {
+		// Single replica: keep the flat report shape earlier tooling reads.
+		if fleet[0].admit != nil {
+			rep.Admitter = fleet[0].admit.Metrics()
+		}
+		rep.Vetter = fleet[0].vetter.Metrics()
+	} else if len(fleet) > 1 {
+		rep.Replicas = len(fleet)
+		for i, r := range fleet {
+			entry := map[string]any{
+				"replica": i,
+				"vetter":  r.vetter.Metrics(),
+				"latency": r.lat.Summary(),
+			}
+			if r.admit != nil {
+				entry["admitter"] = r.admit.Metrics()
+			}
+			rep.Fleet = append(rep.Fleet, entry)
+		}
 	}
-	if vetter != nil {
-		rep.Vetter = vetter.Metrics()
+	if cache != nil {
+		rep.SharedCache = cache.Metrics()
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
 }
 
-// corpusAndMatcher trains a real signature set on one synthetic day and
-// returns the day's documents (kit landings and benign pages alike) with
-// the compiled matcher — the same stack the gateway benchmarks serve.
-func corpusAndMatcher(day int) ([]string, *kizzle.Matcher, error) {
+// replica is one in-process gateway stack: matcher, vetter, admitter,
+// and its loopback front, plus a per-replica latency histogram recorded
+// by a middleware in front of the proxy (so the fleet report can show
+// replica skew the global percentiles hide).
+type replica struct {
+	vetter *gateway.Vetter
+	admit  *gateway.Admitter
+	front  *server
+	lat    *servemetrics.Hist
+}
+
+func (r *replica) close() {
+	r.front.close()
+	if r.admit != nil {
+		r.admit.Close()
+	}
+}
+
+// newReplica builds one gateway replica over the shared origin. Each
+// replica compiles its own matcher from the day's trained signatures
+// (the fleet analogue of N kizzlegate processes deploying the same
+// version) and, when store is non-nil, plugs into the fleet-shared
+// verdict cache.
+func newReplica(day int, origin *url.URL, batchDocs int, batchWait time.Duration, store verdictcache.Store) (*replica, error) {
+	sigs, err := daySignatures(day)
+	if err != nil {
+		return nil, err
+	}
+	m, err := kizzle.NewMatcher(sigs)
+	if err != nil {
+		return nil, err
+	}
+	r := &replica{vetter: gateway.NewVetter(m), lat: &servemetrics.Hist{}}
+	r.vetter.SetVersion(1)
+	proxy := gateway.NewProxy(origin, r.vetter)
+	if batchDocs > 0 {
+		r.admit = gateway.NewAdmitter(r.vetter, batchDocs, batchWait)
+		if store != nil {
+			r.admit.UseSharedStore(store)
+		}
+		proxy.UseAdmitter(r.admit)
+	}
+	r.front, err = serve(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		t0 := time.Now()
+		proxy.ServeHTTP(w, req)
+		r.lat.Observe(time.Since(t0))
+	}))
+	if err != nil {
+		if r.admit != nil {
+			r.admit.Close()
+		}
+		return nil, err
+	}
+	return r, nil
+}
+
+// trained memoizes one day's training run: with -replicas N every
+// replica compiles its own matcher, but the signature set behind them is
+// trained once — exactly how a real fleet deploys one published version.
+var trained struct {
+	sync.Mutex
+	day  int
+	docs []string
+	sigs []kizzle.Signature
+}
+
+// train compiles a real signature set on one synthetic day and returns
+// the day's documents (kit landings and benign pages alike) with the
+// trained signatures — the same stack the gateway benchmarks serve.
+func train(day int) ([]string, []kizzle.Signature, error) {
+	trained.Lock()
+	defer trained.Unlock()
+	if trained.docs != nil && trained.day == day {
+		return trained.docs, trained.sigs, nil
+	}
 	c := kizzle.New(kizzle.WithSignatureSlack(2))
 	for _, fam := range synth.Kits() {
 		c.AddKnown(fam.String(), synth.Payload(fam, day-1))
@@ -244,11 +364,18 @@ func corpusAndMatcher(day int) ([]string, *kizzle.Matcher, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := kizzle.NewMatcher(res.Signatures)
-	if err != nil {
-		return nil, nil, err
-	}
-	return docs, m, nil
+	trained.day, trained.docs, trained.sigs = day, docs, res.Signatures
+	return docs, res.Signatures, nil
+}
+
+func corpusDocs(day int) ([]string, error) {
+	docs, _, err := train(day)
+	return docs, err
+}
+
+func daySignatures(day int) ([]kizzle.Signature, error) {
+	_, sigs, err := train(day)
+	return sigs, err
 }
 
 // server is a loopback HTTP listener serving one handler.

@@ -2,18 +2,22 @@
 // browser/CDN deployment channel): it fronts an upstream web server,
 // scans HTML/JavaScript responses against the deployed Kizzle signature
 // set, and blocks exploit-kit landings. Signatures come from a local
-// sigdb file and/or are kept current by polling a signature server —
-// conditionally (If-None-Match), jittered across the replica fleet, and
-// over per-family deltas, so a one-kit update moves and recompiles one
-// kit. Concurrent admissions coalesce into micro-batches that scan each
-// distinct in-flight document once.
+// sigdb file and/or are kept current from a signature server — by
+// default over the server-push watch stream (a publish reaches every
+// replica in ~1 RTT), degrading to conditional jittered polling over
+// per-family deltas when the server has no watch endpoint, so a one-kit
+// update moves and recompiles one kit. Concurrent admissions coalesce
+// into micro-batches that scan each distinct in-flight document once;
+// with -verdicts, replicas also share scan verdicts through a fleet
+// cache so a hot document is scanned once fleet-wide.
 //
 // Usage:
 //
 //	kizzlegate -listen :8080 -upstream http://origin:80 \
 //	           [-sigfile sigs.json] [-sigurl http://sigserver/signatures] \
-//	           [-poll 1m] [-jitter 0.1] [-batchdocs 32] [-batchwait 500us] \
-//	           [-metricslisten :8081]
+//	           [-watch=true] [-poll 1m] [-jitter 0.1] \
+//	           [-verdicts http://sigserver/verdicts] \
+//	           [-batchdocs 32] [-batchwait 500us] [-metricslisten :8081]
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 
 	"kizzle/gateway"
 	"kizzle/internal/servemetrics"
+	"kizzle/internal/verdictcache"
 	"kizzle/sigdb"
 )
 
@@ -47,8 +52,10 @@ func run(args []string, ready chan<- http.Handler) error {
 	upstream := fs.String("upstream", "", "origin URL to proxy (required)")
 	sigfile := fs.String("sigfile", "", "local sigdb JSON file to load")
 	sigurl := fs.String("sigurl", "", "signature server URL to poll for updates")
-	poll := fs.Duration("poll", time.Minute, "signature poll interval")
+	poll := fs.Duration("poll", time.Minute, "signature poll interval (watch fallback cadence)")
 	jitter := fs.Float64("jitter", 0.1, "poll jitter fraction (±), spreads replica polls")
+	watch := fs.Bool("watch", true, "prefer the server-push watch stream over polling (falls back automatically)")
+	verdictsURL := fs.String("verdicts", "", "shared verdict cache URL (e.g. http://sigserver/verdicts); empty disables fleet verdict sharing")
 	batchDocs := fs.Int("batchdocs", 32, "admission micro-batch size (0 disables batching)")
 	batchWait := fs.Duration("batchwait", 500*time.Microsecond, "admission window: how long the first document waits for company")
 	metricsListen := fs.String("metricslisten", "", "admin address to serve /metrics on (empty disables)")
@@ -69,6 +76,9 @@ func run(args []string, ready chan<- http.Handler) error {
 	}
 	if !*strict && (*certKey != "" || *attestURL != "") {
 		return fmt.Errorf("-certkey/-attesturl require -strict")
+	}
+	if *verdictsURL != "" && *batchDocs <= 0 {
+		return fmt.Errorf("-verdicts requires admission batching (-batchdocs > 0)")
 	}
 	target, err := url.Parse(*upstream)
 	if err != nil || target.Scheme == "" {
@@ -142,9 +152,12 @@ func run(args []string, ready chan<- http.Handler) error {
 		}
 		go func() {
 			defer close(pollDone)
-			client.Poll(ctx, *poll, deploy, func(err error) {
-				log.Printf("signature poll: %v", err)
-			})
+			onErr := func(err error) { log.Printf("signature update: %v", err) }
+			if *watch {
+				client.Run(ctx, *poll, deploy, onErr)
+			} else {
+				client.Poll(ctx, *poll, deploy, onErr)
+			}
 		}()
 	} else {
 		close(pollDone)
@@ -152,9 +165,15 @@ func run(args []string, ready chan<- http.Handler) error {
 
 	proxy := gateway.NewProxy(target, vetter)
 	var admit *gateway.Admitter
+	var verdicts *verdictcache.HTTPStore
 	if *batchDocs > 0 {
 		admit = gateway.NewAdmitter(vetter, *batchDocs, *batchWait)
 		defer admit.Close()
+		if *verdictsURL != "" {
+			verdicts = &verdictcache.HTTPStore{URL: *verdictsURL}
+			admit.UseSharedStore(verdicts)
+			log.Printf("sharing verdicts through %s", *verdictsURL)
+		}
 		proxy.UseAdmitter(admit)
 	}
 
@@ -168,6 +187,9 @@ func run(args []string, ready chan<- http.Handler) error {
 		}
 		if client != nil {
 			out["sigclient"] = client.Metrics()
+		}
+		if verdicts != nil {
+			out["verdict_store"] = verdicts.Metrics()
 		}
 		return out
 	})

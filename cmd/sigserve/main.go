@@ -1,8 +1,12 @@
 // Command sigserve is the publisher side of the signature distribution
 // channel: it serves a sigdb store over HTTP for kizzlegate (and any other
-// consumer) to poll, and can optionally watch a samples directory and
-// recompile signatures on an interval — the "signatures for malware
-// variants observed the same day within a matter of hours" loop.
+// consumer) to poll — or long-poll on /signatures/watch, which pushes a
+// new version to every parked replica the moment it publishes — and can
+// optionally watch a samples directory and recompile signatures on an
+// interval — the "signatures for malware variants observed the same day
+// within a matter of hours" loop. It also hosts the fleet's shared
+// verdict cache on /verdicts, so gateway replicas pointed at it scan
+// each hot document once fleet-wide per signature version.
 //
 // The recompilation loop is incremental end to end: one long-lived
 // compiler carries the content-addressed cache across recompiles (and,
@@ -40,8 +44,10 @@ import (
 	"sync/atomic"
 
 	"kizzle"
+	"kizzle/gateway"
 	"kizzle/internal/contentcache"
 	"kizzle/internal/servemetrics"
+	"kizzle/internal/verdictcache"
 	"kizzle/sigdb"
 )
 
@@ -72,6 +78,7 @@ func run(args []string, ready chan<- http.Handler) error {
 	certKey := fs.String("certkey", "", "HMAC key for signing attestations (share with strict consumers)")
 	certVerify := fs.String("certverify", "inprocess", "verification path: inprocess or fleet")
 	certSeed := fs.Int64("certseed", defaultCertSeed, "schedule-permutation seed for the verification path")
+	verdictCap := fs.Int("verdictcache", verdictcache.DefaultCapacity, "capacity of the fleet-shared verdict cache served on /verdicts (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,10 +157,13 @@ func run(args []string, ready chan<- http.Handler) error {
 	}
 
 	scans := &scanHandler{store: store}
+	verdicts := verdictcache.New(*verdictCap)
 	mux := http.NewServeMux()
 	mux.Handle("/signatures", store.Handler())
+	mux.Handle("/signatures/watch", store.WatchHandler())
 	mux.Handle("/attest", store.AttestHandler())
 	mux.Handle("/scan", scans)
+	mux.Handle("/verdicts", verdictcache.Handler(verdicts))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok v%d\n", store.Version())
 	})
@@ -161,6 +171,7 @@ func run(args []string, ready chan<- http.Handler) error {
 		out := map[string]any{
 			"store_version": store.Version(),
 			"scan":          scans.metrics(),
+			"verdict_cache": verdicts.Metrics(),
 			"runtime":       servemetrics.RuntimeStats(),
 		}
 		if pub != nil {
@@ -703,12 +714,13 @@ type scanHandler struct {
 	scanSemOnce sync.Once
 	scanSem     chan struct{}
 
-	requests     atomic.Int64
-	docsScanned  atomic.Int64
-	docsBlocked  atomic.Int64
-	sigsCompiled atomic.Int64
-	sigsReused   atomic.Int64
-	lat          servemetrics.Hist
+	requests      atomic.Int64
+	docsScanned   atomic.Int64
+	docsBlocked   atomic.Int64
+	docsOversized atomic.Int64
+	sigsCompiled  atomic.Int64
+	sigsReused    atomic.Int64
+	lat           servemetrics.Hist
 }
 
 // metrics reports the scan service's /metrics fields: request and
@@ -722,6 +734,7 @@ func (h *scanHandler) metrics() map[string]any {
 		"requests":            h.requests.Load(),
 		"documents":           h.docsScanned.Load(),
 		"blocked":             h.docsBlocked.Load(),
+		"oversized":           h.docsOversized.Load(),
 		"matcher_version":     version,
 		"signatures_compiled": h.sigsCompiled.Load(),
 		"signatures_reused":   h.sigsReused.Load(),
@@ -729,10 +742,11 @@ func (h *scanHandler) metrics() map[string]any {
 	}
 }
 
-// maxScanRequestBytes caps one /scan request body (64 MiB: a day-scale
-// batch of 4 MiB documents without letting a single client OOM the
-// publisher).
-const maxScanRequestBytes = 64 << 20
+// maxScanRequestBytes caps one /scan request body: a day-scale batch of
+// maximum-size documents without letting a single client OOM the
+// publisher. Expressed in units of the fleet-wide per-document cap so
+// the two bounds cannot drift apart again.
+const maxScanRequestBytes = 16 * gateway.DefaultMaxScanBytes
 
 // scanRequest is the /scan request body.
 type scanRequest struct {
@@ -807,9 +821,23 @@ func (h *scanHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.docsScanned.Add(int64(len(req.Documents)))
 	start := time.Now()
 	resp := scanResponse{Version: version, Verdicts: make([]scanVerdict, len(req.Documents))}
-	for i, matches := range m.ScanAll(req.Documents) {
+	// Apply the fleet-wide per-document cap exactly as the proxy does:
+	// an oversized document passes through unscanned (and counted) —
+	// never truncated-and-scanned, which could vouch "clean" for content
+	// the scan never saw.
+	docs := make([]string, 0, len(req.Documents))
+	idx := make([]int, 0, len(req.Documents))
+	for i, d := range req.Documents {
+		if int64(len(d)) > gateway.DefaultMaxScanBytes {
+			h.docsOversized.Add(1)
+			continue
+		}
+		docs = append(docs, d)
+		idx = append(idx, i)
+	}
+	for j, matches := range m.ScanAll(docs) {
 		if len(matches) > 0 {
-			resp.Verdicts[i] = scanVerdict{Blocked: true, Family: matches[0].Family}
+			resp.Verdicts[idx[j]] = scanVerdict{Blocked: true, Family: matches[0].Family}
 			h.docsBlocked.Add(1)
 		}
 	}

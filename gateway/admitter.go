@@ -8,6 +8,7 @@ import (
 
 	"kizzle/internal/contentcache"
 	"kizzle/internal/servemetrics"
+	"kizzle/internal/verdictcache"
 	"kizzle/internal/zerocopy"
 )
 
@@ -31,6 +32,10 @@ type Admitter struct {
 	v        *Vetter
 	maxBatch int
 	maxWait  time.Duration
+	// shared, when set by UseSharedStore, extends duplicate detection
+	// across the fleet: verdicts for this matcher version computed by any
+	// replica are consulted before a local scan.
+	shared verdictcache.Store
 
 	reqs chan admitReq
 	done chan struct{}
@@ -41,10 +46,12 @@ type Admitter struct {
 	closeMu sync.RWMutex
 	closed  bool
 
-	requests  atomic.Int64
-	batches   atomic.Int64
-	coalesced atomic.Int64
-	lat       servemetrics.Hist
+	requests   atomic.Int64
+	batches    atomic.Int64
+	coalesced  atomic.Int64
+	sharedHits atomic.Int64
+	sharedPuts atomic.Int64
+	lat        servemetrics.Hist
 }
 
 type admitReq struct {
@@ -159,11 +166,22 @@ func (a *Admitter) collect(first admitReq) []admitReq {
 	return batch
 }
 
+// UseSharedStore plugs a fleet-wide verdict store into the admitter:
+// before a batch's unique documents are scanned locally, each is looked
+// up by (matcher version, content digest), and verdicts the local scan
+// produces are published back for the other replicas — under the same
+// version pin, so a signature update landing mid-batch can never leak a
+// stale verdict into the fleet. Call before serving; decisions stay
+// byte-identical to the unshared path because an entry only ever answers
+// for the exact matcher version that computed it.
+func (a *Admitter) UseSharedStore(s verdictcache.Store) { a.shared = s }
+
 // dispatch scans a batch's unique documents once and fans decisions back
 // out to every request.
 func (a *Admitter) dispatch(batch []admitReq) {
 	a.batches.Add(1)
 	docs := make([][]byte, 0, len(batch))
+	digests := make([]uint64, 0, len(batch))
 	slot := make([]int, len(batch))
 	byDigest := make(map[uint64][]int, len(batch))
 	for i, r := range batch {
@@ -181,13 +199,60 @@ func (a *Admitter) dispatch(batch []admitReq) {
 			continue
 		}
 		docs = append(docs, r.doc)
+		digests = append(digests, d)
 		byDigest[d] = append(byDigest[d], len(docs)-1)
 		slot[i] = len(docs) - 1
 	}
-	decisions := a.v.VetAllBytes(docs)
+	decisions := a.decideAll(docs, digests)
 	for i, r := range batch {
 		r.resp <- decisions[slot[i]]
 	}
+}
+
+// decideAll resolves a batch's unique documents to decisions: shared
+// verdict store first (when configured and the matcher version is
+// known), local scan for the misses, then version-pinned publication of
+// the freshly scanned verdicts.
+func (a *Admitter) decideAll(docs [][]byte, digests []uint64) []Decision {
+	shared := a.shared
+	var ver int64
+	if shared != nil {
+		ver = a.v.Version()
+	}
+	if shared == nil || ver <= 0 {
+		// No store, or no recorded matcher version to pin entries to —
+		// an unpinned verdict could survive a signature update.
+		return a.v.VetAllBytes(docs)
+	}
+	out := make([]Decision, len(docs))
+	toScan := docs[:0:0]
+	idx := make([]int, 0, len(docs))
+	for i := range docs {
+		if v, ok := shared.Get(ver, digests[i]); ok {
+			out[i] = Decision{Blocked: v.Blocked, Family: v.Family}
+			a.sharedHits.Add(1)
+			continue
+		}
+		toScan = append(toScan, docs[i])
+		idx = append(idx, i)
+	}
+	if len(toScan) == 0 {
+		return out
+	}
+	scanned := a.v.VetAllBytes(toScan)
+	// Publish only if the vetter still runs the version the lookups were
+	// pinned to: a hot-swap mid-batch means these verdicts may have been
+	// computed by either set, and neither pin would be trustworthy.
+	if a.v.Version() == ver {
+		for j, d := range scanned {
+			shared.Put(ver, digests[idx[j]], verdictcache.Verdict{Blocked: d.Blocked, Family: d.Family})
+			a.sharedPuts.Add(1)
+		}
+	}
+	for j, d := range scanned {
+		out[idx[j]] = d
+	}
+	return out
 }
 
 // Metrics returns the admitter's /metrics fields: request, batch, and
@@ -198,6 +263,8 @@ func (a *Admitter) Metrics() map[string]any {
 		"requests":          a.requests.Load(),
 		"batches":           a.batches.Load(),
 		"coalesced":         a.coalesced.Load(),
+		"shared_hits":       a.sharedHits.Load(),
+		"shared_puts":       a.sharedPuts.Load(),
 		"admission_latency": a.lat.Summary(),
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"kizzle/internal/verdictcache"
 	"kizzle/synth"
 )
 
@@ -352,5 +353,94 @@ func TestProxyWithAdmitter(t *testing.T) {
 	wg.Wait()
 	if mtr := a.Metrics(); mtr["requests"].(int64) != 16 {
 		t.Errorf("admitter saw %v requests, want 16", mtr["requests"])
+	}
+}
+
+// TestAdmitterSharedStore pins fleet cache semantics: two replica
+// admitters sharing one verdict cache produce decisions identical to
+// direct vetting, the second replica hits verdicts the first scanned,
+// and a version bump invalidates everything.
+func TestAdmitterSharedStore(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	cfg := synth.DefaultConfig()
+	cfg.BenignPerDay = 20
+	stream, err := synth.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs [][]byte
+	for _, s := range stream.Day(day) {
+		docs = append(docs, []byte(s.Content))
+	}
+
+	direct := NewVetter(buildMatcher(t, day))
+	want := make([]Decision, len(docs))
+	for i, doc := range docs {
+		want[i] = direct.VetBytes(doc)
+	}
+
+	cache := verdictcache.New(0)
+	replicas := make([]*Admitter, 2)
+	vetters := make([]*Vetter, 2)
+	for i := range replicas {
+		vetters[i] = NewVetter(buildMatcher(t, day))
+		vetters[i].SetVersion(1)
+		replicas[i] = NewAdmitter(vetters[i], 8, 200*time.Microsecond)
+		replicas[i].UseSharedStore(cache)
+		defer replicas[i].Close()
+	}
+
+	// Replica 0 scans everything, populating the shared cache.
+	for i, doc := range docs {
+		if got := replicas[0].VetBytes(doc); got != want[i] {
+			t.Fatalf("replica 0 doc %d: %+v, want %+v", i, got, want[i])
+		}
+	}
+	// Replica 1 must answer identically — from the shared cache, without
+	// scanning a single document.
+	scannedBefore, _ := vetters[1].Stats()
+	for i, doc := range docs {
+		if got := replicas[1].VetBytes(doc); got != want[i] {
+			t.Fatalf("replica 1 doc %d: %+v, want %+v", i, got, want[i])
+		}
+	}
+	scannedAfter, _ := vetters[1].Stats()
+	if scannedAfter != scannedBefore {
+		t.Errorf("replica 1 scanned %d docs, want 0 (all shared hits)", scannedAfter-scannedBefore)
+	}
+	if hits := replicas[1].Metrics()["shared_hits"].(int64); hits != int64(len(docs)) {
+		t.Errorf("shared_hits = %d, want %d", hits, len(docs))
+	}
+
+	// A version bump wipes the cache: replica 1 now scans again.
+	vetters[1].SetVersion(2)
+	if got := replicas[1].VetBytes(docs[0]); got != want[0] {
+		t.Fatalf("post-bump decision %+v, want %+v", got, want[0])
+	}
+	scannedPostBump, _ := vetters[1].Stats()
+	if scannedPostBump == scannedAfter {
+		t.Error("version bump did not force a rescan")
+	}
+	if cache.Version() != 2 {
+		t.Errorf("cache version %d, want 2", cache.Version())
+	}
+}
+
+// TestAdmitterSharedStoreUnversionedVetter pins the safety gate: a
+// vetter that never recorded a matcher version must bypass the shared
+// store entirely (an unpinned verdict could outlive a signature update).
+func TestAdmitterSharedStoreUnversionedVetter(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	cache := verdictcache.New(0)
+	v := NewVetter(buildMatcher(t, day)) // version never set
+	a := NewAdmitter(v, 8, 200*time.Microsecond)
+	a.UseSharedStore(cache)
+	defer a.Close()
+	a.VetBytes([]byte(kitDoc(t, day)))
+	if cache.Len() != 0 {
+		t.Errorf("unversioned vetter published %d verdicts to the fleet", cache.Len())
+	}
+	if puts := a.Metrics()["shared_puts"].(int64); puts != 0 {
+		t.Errorf("shared_puts = %d, want 0", puts)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"kizzle"
+	"kizzle/internal/verdictcache"
 	"kizzle/synth"
 )
 
@@ -172,4 +173,95 @@ func BenchmarkServe(b *testing.B) {
 	b.Run("batched", func(b *testing.B) { benchServe(b, true, noSwap) })
 	b.Run("batched-coldswap", func(b *testing.B) { benchServe(b, true, coldSwap) })
 	b.Run("batched-warmswap", func(b *testing.B) { benchServe(b, true, warmSwap) })
+}
+
+// benchServeFleet drives zipf traffic through N gateway replicas behind
+// a round-robin front, optionally sharing one in-process verdict cache,
+// and reports exact fleet-wide p50/p99. The shared=false/true pair is
+// the case for the fleet cache: with it, a hot document is scanned once
+// fleet-wide per admission epoch instead of once per replica.
+func benchServeFleet(b *testing.B, replicas int, shared bool) {
+	const workers = 32
+	day := synth.Date(time.August, 5)
+	sigs := trainSignatures(b, day)
+	docs := benchCorpus(b, day)
+
+	var cache *verdictcache.Cache
+	if shared {
+		cache = verdictcache.New(0)
+	}
+	vetters := make([]*Vetter, replicas)
+	admits := make([]*Admitter, replicas)
+	for i := range admits {
+		m, err := kizzle.NewMatcher(sigs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vetters[i] = NewVetter(m)
+		vetters[i].SetVersion(1)
+		admits[i] = NewAdmitter(vetters[i], workers, 200*time.Microsecond)
+		if shared {
+			admits[i].UseSharedStore(cache)
+		}
+		defer admits[i].Close()
+	}
+
+	lats := make([][]time.Duration, workers)
+	var next atomic.Int64
+	var rr atomic.Int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			zipf := rand.NewZipf(rng, 1.5, 1, uint64(len(docs)-1))
+			mine := make([]time.Duration, 0, b.N/workers+1)
+			for next.Add(1) <= int64(b.N) {
+				doc := docs[zipf.Uint64()]
+				admit := admits[int(rr.Add(1))%len(admits)]
+				start := time.Now()
+				admit.VetBytes(doc)
+				mine = append(mine, time.Since(start))
+			}
+			lats[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) float64 {
+		i := int(q * float64(len(all)))
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return float64(all[i]) / 1e3
+	}
+	b.ReportMetric(quantile(0.50), "p50-us")
+	b.ReportMetric(quantile(0.99), "p99-us")
+	if shared {
+		var hits, reqs int64
+		for _, a := range admits {
+			m := a.Metrics()
+			hits += m["shared_hits"].(int64)
+			reqs += m["requests"].(int64)
+		}
+		if reqs > 0 {
+			b.ReportMetric(float64(hits)/float64(reqs), "shared-hits/req")
+		}
+	}
+}
+
+// BenchmarkServeFleet is the multi-replica SLO benchmark: 3 gateway
+// replicas behind a round-robin front under zipf traffic, with and
+// without the fleet-wide shared verdict cache.
+func BenchmarkServeFleet(b *testing.B) {
+	b.Run("replicas=3", func(b *testing.B) { benchServeFleet(b, 3, false) })
+	b.Run("replicas=3-shared", func(b *testing.B) { benchServeFleet(b, 3, true) })
 }

@@ -17,6 +17,16 @@ import (
 	"kizzle/internal/zerocopy"
 )
 
+// DefaultMaxScanBytes is the fleet-wide scan-size cap: the one constant
+// every serving path sizes its buffering against, so the proxy and
+// sigserve's /scan cannot drift apart on what "too big to scan" means. A
+// document over the cap is never truncated-and-scanned — a truncated
+// scan could miss a signature sitting past the cut and report the
+// document clean with false confidence — it passes (streams) through
+// unscanned and is counted, so operators can see oversized traffic
+// instead of trusting a half-scan.
+const DefaultMaxScanBytes = 4 << 20
+
 // Decision is the outcome of scanning one document.
 type Decision struct {
 	// Blocked reports whether the document was rejected.
@@ -237,14 +247,15 @@ type Proxy struct {
 	// admission batcher instead of a direct per-document vet.
 	admit *Admitter
 	// MaxScanBytes bounds how much of a response is buffered for
-	// scanning (default 4 MiB); larger responses pass unscanned rather
-	// than stalling the proxy.
+	// scanning (default DefaultMaxScanBytes); larger responses stream
+	// through unscanned — never truncated-and-scanned — rather than
+	// stalling the proxy.
 	MaxScanBytes int64
 }
 
 // NewProxy builds a scanning reverse proxy in front of upstream.
 func NewProxy(upstream *url.URL, vetter *Vetter) *Proxy {
-	p := &Proxy{vetter: vetter, MaxScanBytes: 4 << 20}
+	p := &Proxy{vetter: vetter, MaxScanBytes: DefaultMaxScanBytes}
 	rp := httputil.NewSingleHostReverseProxy(upstream)
 	rp.ModifyResponse = p.modifyResponse
 	p.proxy = rp

@@ -1,10 +1,11 @@
 // Package servemetrics is the shared observability kit of the serving
 // tier: a lock-free latency histogram cheap enough to sit on the scan hot
-// path, and helpers for the hand-rolled JSON /metrics endpoints that
-// kizzlegate, sigserve, and kizzleshard expose — the dashboard surface
-// that makes a fleet of replicas operable from one place (scan counts,
-// p50/p99 scan latency, matcher versions, cache hit rates, resident-set
-// bytes).
+// path, and helpers for the /metrics endpoints that kizzlegate, sigserve,
+// and kizzleshard expose — the dashboard surface that makes a fleet of
+// replicas operable from one place (scan counts, p50/p99 scan latency,
+// matcher versions, cache hit rates, resident-set bytes). Every endpoint
+// serves indented JSON by default and Prometheus text exposition with
+// ?format=prom, so one scrape config covers every binary in the fleet.
 //
 // The histogram buckets durations logarithmically with two mantissa bits
 // (≈19% bucket width), which resolves p50/p99 finely enough for
@@ -17,10 +18,14 @@ package servemetrics
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"math"
 	"math/bits"
 	"net/http"
 	"runtime"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -82,11 +87,23 @@ func (h *Hist) Observe(d time.Duration) {
 // Count returns how many observations the histogram holds.
 func (h *Hist) Count() int64 { return h.count.Load() }
 
-// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
-// observed durations, within one bucket width (≈19%). With no
-// observations it returns 0.
-func (h *Hist) Quantile(q float64) time.Duration {
-	total := h.count.Load()
+// snapshot copies every bucket counter into one local array and returns
+// it with its total. Readers (Quantile, Summary) work from the snapshot,
+// never the live atomics: a scrape racing Observe sees some consistent
+// prefix of the observations instead of mixing bucket counts from
+// different instants with a count from a third — which could report a
+// quantile past the snapshot's own total, or p50 > p99 across two
+// walks.
+func (h *Hist) snapshot() (counts [histBuckets]int64, total int64) {
+	for b := 0; b < histBuckets; b++ {
+		counts[b] = h.counts[b].Load()
+		total += counts[b]
+	}
+	return counts, total
+}
+
+// quantileOf computes the q-quantile upper bound from one snapshot.
+func quantileOf(counts [histBuckets]int64, total int64, q float64) time.Duration {
 	if total <= 0 {
 		return 0
 	}
@@ -99,7 +116,7 @@ func (h *Hist) Quantile(q float64) time.Duration {
 	}
 	var seen int64
 	for b := 0; b < histBuckets; b++ {
-		seen += h.counts[b].Load()
+		seen += counts[b]
 		if seen >= rank {
 			return time.Duration(bucketUpper(b))
 		}
@@ -107,26 +124,49 @@ func (h *Hist) Quantile(q float64) time.Duration {
 	return time.Duration(bucketUpper(histBuckets - 1))
 }
 
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed durations, within one bucket width (≈19%). With no
+// observations it returns 0. The buckets are snapshotted once, so the
+// reported rank is consistent even while Observe runs concurrently.
+func (h *Hist) Quantile(q float64) time.Duration {
+	counts, total := h.snapshot()
+	return quantileOf(counts, total, q)
+}
+
 // Summary reports the histogram as the standard /metrics fields:
 // observation count, mean, and p50/p99 upper bounds, in microseconds.
+// All fields derive from one bucket snapshot, so a summary scraped under
+// concurrent Observe traffic is internally consistent: count equals the
+// snapshot's bucket total and p50 <= p99 always holds.
 func (h *Hist) Summary() map[string]any {
-	n := h.count.Load()
+	counts, total := h.snapshot()
 	out := map[string]any{
-		"count":  n,
-		"p50_us": float64(h.Quantile(0.50)) / 1e3,
-		"p99_us": float64(h.Quantile(0.99)) / 1e3,
+		"count":  total,
+		"p50_us": float64(quantileOf(counts, total, 0.50)) / 1e3,
+		"p99_us": float64(quantileOf(counts, total, 0.99)) / 1e3,
 	}
-	if n > 0 {
-		out["mean_us"] = float64(h.sum.Load()) / float64(n) / 1e3
+	if total > 0 {
+		// The sum atomic may run slightly ahead of the snapshot (an
+		// Observe lands its bucket after the walk read it); the mean is a
+		// dashboard statistic, and dividing by the snapshot total keeps it
+		// within one observation's skew.
+		out["mean_us"] = float64(h.sum.Load()) / float64(total) / 1e3
 	}
 	return out
 }
 
 // Handler serves collect() as an indented JSON document — the shape of
-// every /metrics endpoint in the repository. collect runs per request, so
-// the page always reflects live counters.
+// every /metrics endpoint in the repository — or, with ?format=prom, as
+// Prometheus text exposition (version 0.0.4), so the per-binary JSON
+// pages double as scrape targets for one fleet-wide dashboard. collect
+// runs per request, so the page always reflects live counters.
 func Handler(collect func() map[string]any) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			WritePrometheus(w, collect())
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -135,6 +175,100 @@ func Handler(collect func() map[string]any) http.Handler {
 			return
 		}
 	})
+}
+
+// WritePrometheus renders a (possibly nested) metrics map as Prometheus
+// text exposition. Nested maps flatten with '_' joins (vetter →
+// scan_latency → p99_us becomes vetter_scan_latency_p99_us), names are
+// sanitized to the Prometheus alphabet, non-numeric values are dropped
+// (Prometheus carries numbers only), and output is sorted so scrapes are
+// diffable. Every sample is emitted as an untyped metric — the
+// counters/gauges here are all instantaneous reads.
+func WritePrometheus(w io.Writer, metrics map[string]any) {
+	var lines []string
+	flattenProm("", metrics, &lines)
+	sort.Strings(lines)
+	for _, l := range lines {
+		io.WriteString(w, l)
+		io.WriteString(w, "\n")
+	}
+}
+
+// flattenProm walks one metrics subtree, appending "name value" samples.
+func flattenProm(prefix string, v any, lines *[]string) {
+	switch m := v.(type) {
+	case map[string]any:
+		for k, sub := range m {
+			name := promName(k)
+			if prefix != "" {
+				name = prefix + "_" + name
+			}
+			flattenProm(name, sub, lines)
+		}
+	default:
+		f, ok := promValue(v)
+		if !ok || prefix == "" {
+			return
+		}
+		*lines = append(*lines, fmt.Sprintf("%s %s", prefix, formatPromFloat(f)))
+	}
+}
+
+// promValue converts any numeric metric value to float64.
+func promValue(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case float32:
+		return float64(n), true
+	case int:
+		return float64(n), true
+	case int32:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case uint:
+		return float64(n), true
+	case uint32:
+		return float64(n), true
+	case uint64:
+		return float64(n), true
+	case bool:
+		if n {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// formatPromFloat renders a sample value: integers without a decimal
+// point, everything else in shortest-round-trip form.
+func formatPromFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// promName sanitizes one metric-name segment: every byte outside
+// [a-zA-Z0-9_] becomes '_', and a leading digit gains a '_' prefix.
+func promName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && c >= '0' && c <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
 }
 
 // RuntimeStats returns the process-level fields every /metrics page

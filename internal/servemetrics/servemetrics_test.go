@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/http/httptest"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -113,5 +114,112 @@ func TestHandlerServesJSON(t *testing.T) {
 	}
 	if _, ok := doc["runtime"].(map[string]any)["heap_inuse_bytes"]; !ok {
 		t.Fatal("runtime stats missing")
+	}
+}
+
+// TestSummaryConsistentUnderConcurrentObserve is the race-detector guard
+// for the snapshot fix: a Summary scraped while Observe mutates the
+// buckets must be internally consistent — its count equals the bucket
+// total it was computed from, quantiles are monotonic (p50 <= p99), and
+// count never exceeds what has been fully observed plus what is still in
+// flight, nor shrinks between scrapes.
+func TestSummaryConsistentUnderConcurrentObserve(t *testing.T) {
+	var h Hist
+	const writers, per = 4, 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(1000 + (g*7+i*13)%100000))
+			}
+		}(g)
+	}
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		var prevCount int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Summary()
+			count := s["count"].(int64)
+			p50 := s["p50_us"].(float64)
+			p99 := s["p99_us"].(float64)
+			if count < prevCount {
+				t.Errorf("summary count went backwards: %d -> %d", prevCount, count)
+				return
+			}
+			prevCount = count
+			if count > writers*per {
+				t.Errorf("summary count %d exceeds total observations %d", count, writers*per)
+				return
+			}
+			if p50 > p99 {
+				t.Errorf("p50 %.1fus above p99 %.1fus in one summary (count %d)", p50, p99, count)
+				return
+			}
+			if count > 0 && (p50 <= 0 || p99 <= 0) {
+				t.Errorf("non-empty summary with zero quantile: p50=%.1f p99=%.1f count=%d", p50, p99, count)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	// Settled state: the snapshot total must equal the true count.
+	if got := h.Summary()["count"].(int64); got != writers*per {
+		t.Fatalf("settled count = %d, want %d", got, writers*per)
+	}
+}
+
+// TestHandlerServesPrometheus pins the ?format=prom exposition: flattened
+// sorted names, numeric samples only, nested maps joined with '_'.
+func TestHandlerServesPrometheus(t *testing.T) {
+	var h Hist
+	h.Observe(time.Millisecond)
+	handler := Handler(func() map[string]any {
+		return map[string]any{
+			"vetter": map[string]any{
+				"scanned":      int64(7),
+				"scan_latency": h.Summary(),
+			},
+			"store_version": int64(3),
+			"mode":          "serving", // non-numeric: dropped
+			"9weird name":   1.5,
+		}
+	})
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prom", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain exposition", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"store_version 3\n",
+		"vetter_scanned 7\n",
+		"vetter_scan_latency_count 1\n",
+		"_9weird_name 1.5\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prom exposition missing %q in:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "serving") {
+		t.Error("non-numeric value leaked into prom exposition")
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if !sort.StringsAreSorted(lines) {
+		t.Error("prom exposition is not sorted")
 	}
 }

@@ -1,0 +1,248 @@
+package verdictcache
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// maxVerdictBody caps a verdict POST: a verdict is a bool and a family
+// name, so anything past 4 KiB is malformed or hostile.
+const maxVerdictBody = 4 << 10
+
+// Handler exposes a Cache over HTTP as the fleet's shared verdict
+// sidecar:
+//
+//	GET  <path>?version=V&digest=D          → 200 {"blocked":..,"family":..} | 204
+//	POST <path>?version=V&digest=D  + body  → 204
+//
+// Every parameter is validated on the wire — version must be a positive
+// decimal int64, digest an unsigned decimal uint64, and a POSTed verdict
+// must be a small well-formed JSON object whose family is empty unless
+// blocked — so a confused or hostile client cannot plant junk keys or
+// oversized entries. Cache semantics (version wipes, stale drops) are
+// the Cache's own.
+func Handler(c *Cache) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		version, digest, err := wireKey(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			v, ok := c.Get(version, digest)
+			if !ok {
+				w.WriteHeader(http.StatusNoContent)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(v)
+		case http.MethodPost:
+			body, err := io.ReadAll(io.LimitReader(r.Body, maxVerdictBody+1))
+			if err != nil {
+				http.Error(w, "read body", http.StatusBadRequest)
+				return
+			}
+			if len(body) > maxVerdictBody {
+				http.Error(w, "verdict too large", http.StatusRequestEntityTooLarge)
+				return
+			}
+			v, err := decodeVerdict(body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			c.Put(version, digest, v)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// wireKey parses and validates the version/digest query parameters.
+func wireKey(r *http.Request) (version int64, digest uint64, err error) {
+	q := r.URL.Query()
+	version, err = strconv.ParseInt(q.Get("version"), 10, 64)
+	if err != nil || version <= 0 {
+		return 0, 0, fmt.Errorf("bad version parameter")
+	}
+	digest, err = strconv.ParseUint(q.Get("digest"), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad digest parameter")
+	}
+	return version, digest, nil
+}
+
+// decodeVerdict parses a wire verdict strictly: unknown fields rejected,
+// family only meaningful on blocked verdicts.
+func decodeVerdict(body []byte) (Verdict, error) {
+	var v Verdict
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		return Verdict{}, fmt.Errorf("bad verdict body")
+	}
+	if !v.Blocked && v.Family != "" {
+		return Verdict{}, fmt.Errorf("family on unblocked verdict")
+	}
+	return v, nil
+}
+
+// defaultHTTPTimeout bounds one sidecar round trip. The cache is an
+// optimization sitting on the admission path: a slow sidecar must cost
+// less than the scan it would have saved, so the budget is tight and a
+// timeout just means "scan locally".
+const defaultHTTPTimeout = 50 * time.Millisecond
+
+// defaultCooldown is how long HTTPStore stops talking to a failing
+// sidecar before probing again. Admission keeps working the whole time —
+// every Get during cooldown is a miss, every Put a no-op.
+const defaultCooldown = 5 * time.Second
+
+// HTTPStore is the gateway-side client for a verdict sidecar. It fails
+// open: errors and timeouts count as cache misses, and after a failure
+// the store goes quiet for a cooldown instead of adding a doomed round
+// trip to every admission. Safe for concurrent use.
+type HTTPStore struct {
+	// URL is the sidecar endpoint (e.g. http://sigserve:8344/verdicts).
+	URL string
+	// Client overrides the HTTP client; nil uses a dedicated client with
+	// defaultHTTPTimeout.
+	Client *http.Client
+	// Cooldown overrides how long the store stays quiet after a failure;
+	// zero uses defaultCooldown.
+	Cooldown time.Duration
+
+	// quietUntil is the UnixNano deadline before which the store skips
+	// the network entirely.
+	quietUntil atomic.Int64
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	puts     atomic.Int64
+	errors   atomic.Int64
+	cooldown atomic.Int64
+}
+
+func (s *HTTPStore) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return &http.Client{Timeout: defaultHTTPTimeout}
+}
+
+// quiet reports whether the store is inside a failure cooldown.
+func (s *HTTPStore) quiet() bool {
+	return time.Now().UnixNano() < s.quietUntil.Load()
+}
+
+// fail records a sidecar failure and starts the cooldown.
+func (s *HTTPStore) fail() {
+	s.errors.Add(1)
+	d := s.Cooldown
+	if d <= 0 {
+		d = defaultCooldown
+	}
+	s.quietUntil.Store(time.Now().Add(d).UnixNano())
+	s.cooldown.Add(1)
+}
+
+func (s *HTTPStore) keyURL(version int64, digest uint64) string {
+	return fmt.Sprintf("%s?version=%d&digest=%d", s.URL, version, digest)
+}
+
+// Get asks the sidecar for a verdict; any failure is a miss.
+func (s *HTTPStore) Get(version int64, digest uint64) (Verdict, bool) {
+	if s.quiet() {
+		s.misses.Add(1)
+		return Verdict{}, false
+	}
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, s.keyURL(version, digest), nil)
+	if err != nil {
+		s.fail()
+		s.misses.Add(1)
+		return Verdict{}, false
+	}
+	resp, err := s.client().Do(req)
+	if err != nil {
+		s.fail()
+		s.misses.Add(1)
+		return Verdict{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		s.misses.Add(1)
+		return Verdict{}, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		s.fail()
+		s.misses.Add(1)
+		return Verdict{}, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxVerdictBody+1))
+	if err != nil || len(body) > maxVerdictBody {
+		s.fail()
+		s.misses.Add(1)
+		return Verdict{}, false
+	}
+	// Validate the sidecar's answer as strictly as the sidecar validates
+	// ours: a compromised or corrupt cache must not hand the gateway an
+	// unparseable or inconsistent verdict.
+	v, err := decodeVerdict(body)
+	if err != nil {
+		s.fail()
+		s.misses.Add(1)
+		return Verdict{}, false
+	}
+	s.hits.Add(1)
+	return v, true
+}
+
+// Put publishes a verdict to the sidecar; failures are dropped (the
+// verdict was already served locally — sharing it is best-effort).
+func (s *HTTPStore) Put(version int64, digest uint64, v Verdict) {
+	if s.quiet() {
+		return
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost, s.keyURL(version, digest), bytes.NewReader(body))
+	if err != nil {
+		s.fail()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client().Do(req)
+	if err != nil {
+		s.fail()
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		s.fail()
+		return
+	}
+	s.puts.Add(1)
+}
+
+// Metrics returns the client's /metrics fields.
+func (s *HTTPStore) Metrics() map[string]any {
+	return map[string]any{
+		"hits":      s.hits.Load(),
+		"misses":    s.misses.Load(),
+		"puts":      s.puts.Load(),
+		"errors":    s.errors.Load(),
+		"cooldowns": s.cooldown.Load(),
+	}
+}

@@ -1,0 +1,181 @@
+// Package verdictcache is the fleet's shared verdict store: a bounded
+// cache of scan outcomes keyed by (matcher version, content digest), so
+// N gateway replicas behind one load balancer scan each hot document
+// once fleet-wide instead of once per replica. Provider traffic is
+// hot-key skewed — the same landing page hits many replicas within
+// seconds — and a verdict computed on one replica is exactly the verdict
+// every other replica would compute as long as both run the same matcher
+// version, which the key pins.
+//
+// The cache is deliberately dumb about content: it stores digests and
+// verdicts, never documents, so a poisoned entry can at worst replay a
+// verdict for a digest-colliding document (the admitter treats cached
+// verdicts as advisory for exactly the matcher version they were scanned
+// under, and a version bump wipes the cache wholesale). It ships in two
+// deployments: in-process (gateload's fleet harness shares one *Cache
+// across replicas) and as an HTTP sidecar (Handler inside sigserve,
+// HTTPStore as the gateway-side client).
+package verdictcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Verdict is a cached scan outcome. It mirrors gateway.Decision without
+// importing it (the gateway imports this package).
+type Verdict struct {
+	// Blocked reports whether the document was rejected.
+	Blocked bool `json:"blocked"`
+	// Family is the detected kit for blocked verdicts; empty otherwise.
+	Family string `json:"family,omitempty"`
+}
+
+// Store is the interface the gateway admitter consults: in-process
+// (*Cache) and remote (*HTTPStore) implementations both satisfy it.
+// Get and Put carry the matcher version the verdict was computed under;
+// implementations must never serve a verdict across versions.
+type Store interface {
+	Get(version int64, digest uint64) (Verdict, bool)
+	Put(version int64, digest uint64, v Verdict)
+}
+
+// Cache is a bounded LRU verdict cache for one matcher version at a
+// time. A Get or Put carrying a newer version than the resident one
+// wipes the cache wholesale — stale verdicts must not outlive the
+// signature set that produced them — and entries from older versions are
+// ignored outright (a lagging replica cannot poison the fleet with
+// verdicts from a set everyone else has left behind). Safe for
+// concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	version int64
+	entries map[uint64]*list.Element
+	order   *list.List // front = most recent
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	puts    atomic.Int64
+	wipes   atomic.Int64
+	evicted atomic.Int64
+	stale   atomic.Int64
+}
+
+type cacheEntry struct {
+	digest  uint64
+	verdict Verdict
+}
+
+// DefaultCapacity bounds a cache built with capacity <= 0: enough for
+// the hot tail of a day's distinct documents at ~50 B/entry (≈3 MiB),
+// small enough to wipe instantly on a version change.
+const DefaultCapacity = 65536
+
+// New builds a cache holding at most capacity verdicts; capacity <= 0
+// takes DefaultCapacity.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[uint64]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// advanceLocked moves the cache to version v if v is newer, wiping every
+// resident entry; it reports whether v is current after the call.
+func (c *Cache) advanceLocked(v int64) bool {
+	if v < c.version {
+		return false
+	}
+	if v > c.version {
+		if len(c.entries) > 0 {
+			c.wipes.Add(1)
+		}
+		c.version = v
+		c.entries = make(map[uint64]*list.Element)
+		c.order.Init()
+	}
+	return true
+}
+
+// Get returns the cached verdict for digest under version. A version
+// ahead of the cache wipes it (and misses); a version behind it misses
+// without disturbing resident entries.
+func (c *Cache) Get(version int64, digest uint64) (Verdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.advanceLocked(version) {
+		c.stale.Add(1)
+		c.misses.Add(1)
+		return Verdict{}, false
+	}
+	el, ok := c.entries[digest]
+	if !ok {
+		c.misses.Add(1)
+		return Verdict{}, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).verdict, true
+}
+
+// Put records a verdict computed under version. Puts from versions
+// behind the cache are dropped; a put from a newer version wipes first.
+func (c *Cache) Put(version int64, digest uint64, v Verdict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.advanceLocked(version) {
+		c.stale.Add(1)
+		return
+	}
+	c.puts.Add(1)
+	if el, ok := c.entries[digest]; ok {
+		el.Value.(*cacheEntry).verdict = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[digest] = c.order.PushFront(&cacheEntry{digest: digest, verdict: v})
+	for len(c.entries) > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).digest)
+		c.evicted.Add(1)
+	}
+}
+
+// Version returns the matcher version the resident entries belong to.
+func (c *Cache) Version() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Metrics returns the cache's /metrics fields.
+func (c *Cache) Metrics() map[string]any {
+	c.mu.Lock()
+	entries := len(c.entries)
+	version := c.version
+	c.mu.Unlock()
+	return map[string]any{
+		"entries": entries,
+		"version": version,
+		"hits":    c.hits.Load(),
+		"misses":  c.misses.Load(),
+		"puts":    c.puts.Load(),
+		"wipes":   c.wipes.Load(),
+		"evicted": c.evicted.Load(),
+		"stale":   c.stale.Load(),
+	}
+}

@@ -1,0 +1,223 @@
+package verdictcache
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := New(8)
+	if _, ok := c.Get(1, 42); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(1, 42, Verdict{Blocked: true, Family: "strato"})
+	v, ok := c.Get(1, 42)
+	if !ok || !v.Blocked || v.Family != "strato" {
+		t.Fatalf("got %+v ok=%v", v, ok)
+	}
+	c.Put(1, 42, Verdict{}) // overwrite in place
+	if v, _ := c.Get(1, 42); v.Blocked {
+		t.Fatal("overwrite did not take")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestCacheVersionWipe pins wholesale invalidation: a version bump wipes
+// every resident verdict, and entries from older versions are dropped.
+func TestCacheVersionWipe(t *testing.T) {
+	c := New(8)
+	c.Put(1, 1, Verdict{Blocked: true, Family: "a"})
+	c.Put(1, 2, Verdict{})
+
+	// Newer version on Get wipes.
+	if _, ok := c.Get(2, 1); ok {
+		t.Fatal("verdict survived a version bump")
+	}
+	if c.Len() != 0 || c.Version() != 2 {
+		t.Fatalf("after bump: len=%d version=%d", c.Len(), c.Version())
+	}
+
+	// Stale writes are ignored, stale reads miss without disturbing.
+	c.Put(2, 3, Verdict{Blocked: true, Family: "b"})
+	c.Put(1, 4, Verdict{Blocked: true, Family: "old"})
+	if _, ok := c.Get(1, 3); ok {
+		t.Fatal("stale-version read hit")
+	}
+	if _, ok := c.Get(2, 4); ok {
+		t.Fatal("stale-version write landed")
+	}
+	if v, ok := c.Get(2, 3); !ok || v.Family != "b" {
+		t.Fatalf("current entry lost: %+v ok=%v", v, ok)
+	}
+	m := c.Metrics()
+	if m["wipes"].(int64) != 1 {
+		t.Errorf("wipes = %v, want 1", m["wipes"])
+	}
+	if m["stale"].(int64) != 2 {
+		t.Errorf("stale = %v, want 2", m["stale"])
+	}
+}
+
+// TestCacheLRUEviction pins the bound: the least recently used entry
+// leaves first, and touching an entry via Get refreshes it.
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(3)
+	c.Put(1, 1, Verdict{})
+	c.Put(1, 2, Verdict{})
+	c.Put(1, 3, Verdict{})
+	c.Get(1, 1) // refresh 1; 2 is now oldest
+	c.Put(1, 4, Verdict{})
+	if _, ok := c.Get(1, 2); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	for _, d := range []uint64{1, 3, 4} {
+		if _, ok := c.Get(1, d); !ok {
+			t.Fatalf("entry %d evicted wrongly", d)
+		}
+	}
+	if c.Metrics()["evicted"].(int64) != 1 {
+		t.Errorf("evicted = %v, want 1", c.Metrics()["evicted"])
+	}
+}
+
+// TestCacheConcurrent exercises the cache under the race detector with
+// concurrent readers, writers, and version bumps.
+func TestCacheConcurrent(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				version := int64(1 + i/500) // occasional bumps
+				digest := uint64(i % 100)
+				if i%3 == 0 {
+					c.Put(version, digest, Verdict{Blocked: digest%2 == 0, Family: map[bool]string{true: "f", false: ""}[digest%2 == 0]})
+				} else {
+					if v, ok := c.Get(version, digest); ok && v.Blocked && v.Family == "" {
+						t.Error("blocked verdict without family escaped")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestHandlerWireValidation(t *testing.T) {
+	c := New(8)
+	h := Handler(c)
+	cases := []struct {
+		method, target, body string
+		want                 int
+	}{
+		{"GET", "/verdicts?version=1&digest=42", "", http.StatusNoContent},
+		{"GET", "/verdicts?version=0&digest=42", "", http.StatusBadRequest},
+		{"GET", "/verdicts?version=-3&digest=42", "", http.StatusBadRequest},
+		{"GET", "/verdicts?version=1&digest=banana", "", http.StatusBadRequest},
+		{"GET", "/verdicts?version=1&digest=-1", "", http.StatusBadRequest},
+		{"GET", "/verdicts?version=1", "", http.StatusBadRequest},
+		{"POST", "/verdicts?version=1&digest=42", `{"blocked":true,"family":"x"}`, http.StatusNoContent},
+		{"POST", "/verdicts?version=1&digest=43", `{"blocked":false}`, http.StatusNoContent},
+		{"POST", "/verdicts?version=1&digest=44", `{"blocked":false,"family":"x"}`, http.StatusBadRequest},
+		{"POST", "/verdicts?version=1&digest=45", `{"nope":1}`, http.StatusBadRequest},
+		{"POST", "/verdicts?version=1&digest=46", `{"blocked":true,"family":"` + strings.Repeat("a", maxVerdictBody) + `"}`, http.StatusRequestEntityTooLarge},
+		{"DELETE", "/verdicts?version=1&digest=42", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.target, strings.NewReader(tc.body)))
+		if rec.Code != tc.want {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.target, rec.Code, tc.want)
+		}
+	}
+	// The valid put landed and round-trips.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/verdicts?version=1&digest=42", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200", rec.Code)
+	}
+	if got := strings.TrimSpace(rec.Body.String()); got != `{"blocked":true,"family":"x"}` {
+		t.Fatalf("body %q", got)
+	}
+}
+
+// TestHTTPStoreRoundTrip pins the client against a live sidecar,
+// including cross-client sharing (one replica's Put is another's hit).
+func TestHTTPStoreRoundTrip(t *testing.T) {
+	c := New(64)
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	a := &HTTPStore{URL: srv.URL}
+	b := &HTTPStore{URL: srv.URL}
+	if _, ok := a.Get(3, 7); ok {
+		t.Fatal("hit on empty sidecar")
+	}
+	a.Put(3, 7, Verdict{Blocked: true, Family: "kit"})
+	v, ok := b.Get(3, 7)
+	if !ok || v.Family != "kit" {
+		t.Fatalf("cross-client get: %+v ok=%v", v, ok)
+	}
+	if b.Metrics()["hits"].(int64) != 1 {
+		t.Errorf("hits = %v, want 1", b.Metrics()["hits"])
+	}
+	// A version bump on the sidecar invalidates for every client.
+	if _, ok := a.Get(4, 7); ok {
+		t.Fatal("verdict survived version bump through the sidecar")
+	}
+}
+
+// TestHTTPStoreFailureCooldown pins fail-open behavior: a dead sidecar
+// costs one failed round trip, then the store goes quiet and every call
+// is a local miss until the cooldown lapses.
+func TestHTTPStoreFailureCooldown(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	s := &HTTPStore{URL: srv.URL, Cooldown: time.Hour}
+	if _, ok := s.Get(1, 1); ok {
+		t.Fatal("hit from a failing sidecar")
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := s.Get(1, uint64(i)); ok {
+			t.Fatal("hit during cooldown")
+		}
+		s.Put(1, uint64(i), Verdict{})
+	}
+	if calls != 1 {
+		t.Fatalf("sidecar saw %d calls during cooldown, want 1", calls)
+	}
+	if s.Metrics()["cooldowns"].(int64) != 1 {
+		t.Errorf("cooldowns = %v, want 1", s.Metrics()["cooldowns"])
+	}
+}
+
+// TestHTTPStoreRejectsCorruptSidecar pins wire validation on the client
+// side: a sidecar answering garbage is treated as a failure, not a hit.
+func TestHTTPStoreRejectsCorruptSidecar(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"blocked":false,"family":"phantom"}`)
+	}))
+	defer srv.Close()
+	s := &HTTPStore{URL: srv.URL}
+	if _, ok := s.Get(1, 1); ok {
+		t.Fatal("inconsistent verdict accepted")
+	}
+	if s.Metrics()["errors"].(int64) != 1 {
+		t.Errorf("errors = %v, want 1", s.Metrics()["errors"])
+	}
+}

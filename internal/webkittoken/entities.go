@@ -1,0 +1,136 @@
+package webkittoken
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Phishing kits hide their markup from naive scanners by entity-encoding
+// it: `&lt;script&gt;` carries no '<' byte, so a lexer blind to entities
+// tokenizes the whole construct as inert text and every structural
+// symbol the signature needs evaporates. DecodeEntities runs ahead of
+// tokenization at every entry point (Lex, LexSymbols, Scratch,
+// Unpack), so an entity-encoded document lexes identically to its
+// decoded twin.
+
+// namedEntities is the kit-relevant subset of HTML named character
+// references: the structural characters an encoder must escape to hide
+// markup or code, plus the ubiquitous whitespace names. Exotic
+// typographic entities decode nowhere in kit code and are left alone.
+// nbsp deliberately normalizes to a plain space: the lexer's whitespace
+// alphabet is ASCII, and a non-breaking space that survived as U+00A0
+// would start a spurious identifier in code mode instead of separating
+// tokens the way its author used it.
+var namedEntities = map[string]rune{
+	"lt": '<', "gt": '>', "amp": '&', "quot": '"', "apos": '\'',
+	"nbsp": ' ', "sol": '/', "bsol": '\\', "equals": '=',
+	"num": '#', "semi": ';', "colon": ':', "comma": ',',
+	"lpar": '(', "rpar": ')', "lbrack": '[', "rbrack": ']',
+	"lbrace": '{', "rbrace": '}', "lowbar": '_', "dollar": '$',
+	"percnt": '%', "ast": '*', "plus": '+', "excl": '!',
+	"quest": '?', "grave": '`', "vert": '|', "Tab": '\t',
+	"NewLine": '\n',
+}
+
+// maxEntityName bounds the name scan ("NewLine" is the longest).
+const maxEntityName = 8
+
+// DecodeEntities decodes named and numeric (&#60; / &#x3C;) HTML
+// character references in src in one pass. Decoded output is never
+// re-scanned, so `&amp;lt;` yields the literal `&lt;` — exactly what a
+// browser renders — and can never double-decode into markup. Sequences
+// that are not well-formed references (unknown name, missing semicolon,
+// invalid code point) pass through byte-for-byte. When src contains no
+// decodable reference it is returned unchanged, allocation-free — the
+// overwhelmingly common case on un-encoded documents.
+func DecodeEntities(src string) string {
+	// Locate the first decodable reference; none means no allocation.
+	first := -1
+	for i := 0; i < len(src); {
+		j := strings.IndexByte(src[i:], '&')
+		if j < 0 {
+			break
+		}
+		i += j
+		if _, _, ok := parseEntity(src[i:]); ok {
+			first = i
+			break
+		}
+		i++
+	}
+	if first < 0 {
+		return src
+	}
+	var b strings.Builder
+	b.Grow(len(src))
+	b.WriteString(src[:first])
+	for i := first; i < len(src); {
+		if src[i] == '&' {
+			if r, n, ok := parseEntity(src[i:]); ok {
+				b.WriteRune(r)
+				i += n
+				continue
+			}
+		}
+		b.WriteByte(src[i])
+		i++
+	}
+	return b.String()
+}
+
+// parseEntity parses one character reference at the start of s (s[0]
+// must be '&'), returning the decoded rune and the reference's byte
+// length. Only full, semicolon-terminated references decode; anything
+// else reports ok=false and is copied verbatim by the caller.
+func parseEntity(s string) (r rune, length int, ok bool) {
+	if len(s) < 3 {
+		return 0, 0, false
+	}
+	if s[1] == '#' {
+		i := 2
+		base := rune(10)
+		if s[i] == 'x' || s[i] == 'X' {
+			base = 16
+			i++
+		}
+		start := i
+		var v rune
+		for i < len(s) && i-start < 8 {
+			var d rune
+			switch c := s[i]; {
+			case isDigit(c):
+				d = rune(c - '0')
+			case base == 16 && c >= 'a' && c <= 'f':
+				d = rune(c-'a') + 10
+			case base == 16 && c >= 'A' && c <= 'F':
+				d = rune(c-'A') + 10
+			default:
+				d = -1
+			}
+			if d < 0 || d >= base {
+				break
+			}
+			v = v*base + d
+			i++
+		}
+		if i == start || i >= len(s) || s[i] != ';' {
+			return 0, 0, false
+		}
+		if v == 0 || v > unicode.MaxRune || (v >= 0xD800 && v <= 0xDFFF) {
+			return 0, 0, false
+		}
+		return v, i + 1, true
+	}
+	i := 1
+	for i < len(s) && i <= maxEntityName && (isAlpha(s[i]) || isDigit(s[i])) {
+		i++
+	}
+	if i >= len(s) || s[i] != ';' {
+		return 0, 0, false
+	}
+	r, ok = namedEntities[s[1:i]]
+	if !ok {
+		return 0, 0, false
+	}
+	return r, i + 1, true
+}

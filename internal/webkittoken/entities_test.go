@@ -1,0 +1,100 @@
+package webkittoken
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDecodeEntities(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"plain text, no entities", "plain text, no entities"},
+		{"&lt;script&gt;", "<script>"},
+		{"&quot;x&quot; &apos;y&apos;", `"x" 'y'`},
+		{"a&nbsp;b", "a b"},
+		{"&#60;&#62;", "<>"},
+		{"&#x3C;&#X3e;", "<>"},
+		{"&#038;", "&"},
+		// Single pass: the decoded '&' of &amp; is never re-scanned, so
+		// browser-visible text round-trips instead of double-decoding.
+		{"&amp;lt;", "&lt;"},
+		{"&amp;amp;", "&amp;"},
+		// Malformed references pass through byte-for-byte.
+		{"&bogus;", "&bogus;"},
+		{"&lt", "&lt"},
+		{"& lt;", "& lt;"},
+		{"&#;", "&#;"},
+		{"&#x;", "&#x;"},
+		{"&#xZZ;", "&#xZZ;"},
+		{"&#0;", "&#0;"},
+		{"&#xD800;", "&#xD800;"},
+		{"&#99999999;", "&#99999999;"},
+		{"tail &", "tail &"},
+		{"&&lt;", "&<"},
+		// Mixed document: decodable and junk interleaved.
+		{"x&lt;y&nope;z&#65;", "x<y&nope;zA"},
+	}
+	for _, tc := range cases {
+		if got := DecodeEntities(tc.in); got != tc.want {
+			t.Errorf("DecodeEntities(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestDecodeEntitiesNoAllocPassthrough pins the hot-path guarantee: an
+// un-encoded document (the overwhelming majority) costs zero
+// allocations and returns the input string itself.
+func TestDecodeEntitiesNoAllocPassthrough(t *testing.T) {
+	doc := "<html><script>var a = 'x && y';</script></html>"
+	if got := DecodeEntities(doc); got != doc {
+		t.Fatalf("passthrough changed the document: %q", got)
+	}
+	if n := testing.AllocsPerRun(100, func() { DecodeEntities(doc) }); n != 0 {
+		t.Errorf("passthrough allocated %.1f times per run, want 0", n)
+	}
+}
+
+// TestEntityEncodedLexesAsDecodedTwin is the satellite's acceptance
+// criterion: an entity-encoded webkit sample must lex (tokens and
+// symbols, one-shot and streaming) identically to its decoded twin.
+func TestEntityEncodedLexesAsDecodedTwin(t *testing.T) {
+	decoded := `<html><body onload="go()">` +
+		`<script>var u = "http://evil.example/?a=1&b=2"; eval(u);</script>` +
+		`<?php echo base64_decode("dmFyIHggPSAxOw"); ?></body></html>`
+	encoded := `&lt;html&gt;&lt;body onload=&quot;go()&quot;&gt;` +
+		`&lt;script&gt;var u = &quot;http://evil.example/?a=1&amp;b=2&quot;; eval(u);&lt;/script&gt;` +
+		`&lt;?php echo base64_decode(&quot;dmFyIHggPSAxOw&quot;); ?&gt;&lt;/body&gt;&lt;/html&gt;`
+
+	wantTokens := Lex(decoded)
+	if len(wantTokens) == 0 {
+		t.Fatal("decoded twin lexed to nothing")
+	}
+	if got := Lex(encoded); !reflect.DeepEqual(got, wantTokens) {
+		t.Errorf("entity-encoded sample lexed differently from its decoded twin\n got: %v\nwant: %v", got, wantTokens)
+	}
+
+	wantSyms := LexSymbols(decoded)
+	if got := LexSymbols(encoded); !reflect.DeepEqual(got, wantSyms) {
+		t.Errorf("LexSymbols diverged on the encoded sample")
+	}
+	// Streaming Scratch must stay ≡ one-shot Lex on encoded input too.
+	var sc Scratch
+	for i := 0; i < 2; i++ { // reuse the arena once to catch retained-state bugs
+		if got := sc.AppendSymbols(nil, encoded); !reflect.DeepEqual(got, wantSyms) {
+			t.Errorf("Scratch.AppendSymbols pass %d diverged from LexSymbols", i)
+		}
+	}
+}
+
+// TestUnpackEntityEncoded pins unpacking through entity-encoded quoting:
+// the packer call site is hidden behind &quot; but the payload must
+// still come out.
+func TestUnpackEntityEncoded(t *testing.T) {
+	got, err := Unpack(`<?php eval(base64_decode(&quot;dmFyIHggPSAxOw==&quot;)); ?>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "var x = 1;" {
+		t.Fatalf("unpacked %q", got)
+	}
+}

@@ -7,9 +7,11 @@ import (
 )
 
 // Lex tokenizes a full HTML/PHP/JS bundle into tokens carrying their
-// webkit abstraction symbols.
+// webkit abstraction symbols. HTML character references are decoded
+// first (see DecodeEntities), so entity-encoded markup cannot hide from
+// the alphabet; token positions refer to the decoded document.
 func Lex(src string) []jstoken.Token {
-	lx := lexer{src: src}
+	lx := lexer{src: DecodeEntities(src)}
 	lx.run()
 	return lx.tokens
 }
@@ -21,9 +23,10 @@ func Lex(src string) []jstoken.Token {
 func LexDocument(doc string) []jstoken.Token { return Lex(doc) }
 
 // LexSymbols tokenizes straight to abstraction symbols without
-// materializing tokens.
+// materializing tokens. Character references decode first, exactly as
+// in Lex.
 func LexSymbols(src string) []jstoken.Symbol {
-	lx := lexer{src: src, symsOnly: true}
+	lx := lexer{src: DecodeEntities(src), symsOnly: true}
 	lx.run()
 	return lx.syms
 }

@@ -10,9 +10,11 @@ type Scratch struct {
 }
 
 // AppendSymbols lexes doc's webkit abstraction symbols and appends them
-// to dst, reusing the scratch arena across calls.
+// to dst, reusing the scratch arena across calls. Character references
+// decode first, so the streaming path emits exactly the symbols a
+// one-shot LexSymbols call would.
 func (s *Scratch) AppendSymbols(dst []jstoken.Symbol, doc string) []jstoken.Symbol {
-	lx := lexer{src: doc, symsOnly: true, syms: s.syms[:0]}
+	lx := lexer{src: DecodeEntities(doc), symsOnly: true, syms: s.syms[:0]}
 	lx.run()
 	s.syms = lx.syms
 	return append(dst, lx.syms...)

@@ -20,7 +20,9 @@ const maxUnpackLayers = 3
 // construction — always the first occurrence, standard alphabet only —
 // so warm and cold pipeline runs agree.
 func Unpack(doc string) (string, error) {
-	cur, ok := decodeFirst(doc)
+	// Entity-decode first so base64_decode(&quot;...&quot;) is found; the
+	// base64 alphabet contains no '&', so literals themselves are immune.
+	cur, ok := decodeFirst(DecodeEntities(doc))
 	if !ok {
 		return "", ErrNotPacked
 	}

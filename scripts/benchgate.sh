@@ -44,6 +44,9 @@ run_benches() {
     # gated alongside ns/op (benchgate treats p50-*/p99-* as SLOs). Long
     # enough per run that the 32-worker admission windows fill.
     go test -run=NONE -count="$COUNT" -bench='^BenchmarkServe$' -benchtime=20000x ./gateway/
+    # The fleet tier: 3 round-robin replicas with and without the shared
+    # verdict cache; shared-hits/req is recorded, p50/p99 are gated.
+    go test -run=NONE -count="$COUNT" -bench='^BenchmarkServeFleet$' -benchtime=10000x ./gateway/
 }
 
 # Write to the file directly (not via `... | tee`, whose exit status

@@ -290,21 +290,43 @@ func TestHandlerETag(t *testing.T) {
 }
 
 // TestJitteredInterval pins the poll-jitter bounds: within ±Jitter of the
-// interval, never non-positive, and actually spread.
+// interval, never non-positive, and actually spread. The jitter source is
+// per-client (seeded via JitterSeed), so the test depends on no global
+// state and two clients with the same seed draw the same sequence.
 func TestJitteredInterval(t *testing.T) {
-	c := &Client{Jitter: 0.1}
+	c := &Client{Jitter: 0.1, JitterSeed: 42}
 	base := time.Second
 	lo, hi := time.Duration(float64(base)*0.9), time.Duration(float64(base)*1.1)
 	distinct := map[time.Duration]bool{}
+	var seq []time.Duration
 	for i := 0; i < 500; i++ {
 		d := c.jitteredInterval(base)
 		if d < lo || d > hi {
 			t.Fatalf("jittered interval %v outside [%v, %v]", d, lo, hi)
 		}
 		distinct[d] = true
+		seq = append(seq, d)
 	}
 	if len(distinct) < 10 {
 		t.Errorf("jitter produced only %d distinct intervals", len(distinct))
+	}
+	// Same seed, same sequence: deterministic under test, yet two clients
+	// with different seeds (or the default time-derived seed) still spread.
+	twin := &Client{Jitter: 0.1, JitterSeed: 42}
+	for i, want := range seq {
+		if got := twin.jitteredInterval(base); got != want {
+			t.Fatalf("same-seed draw %d: got %v, want %v", i, got, want)
+		}
+	}
+	other := &Client{Jitter: 0.1, JitterSeed: 43}
+	same := 0
+	for _, want := range seq {
+		if other.jitteredInterval(base) == want {
+			same++
+		}
+	}
+	if same == len(seq) {
+		t.Error("different seeds produced identical jitter sequences")
 	}
 	if (&Client{}).jitteredInterval(base) != base {
 		t.Error("zero jitter must leave the interval unchanged")

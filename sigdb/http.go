@@ -65,20 +65,28 @@ func (s *Store) Handler() http.Handler {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		full, err := json.Marshal(snap)
-		if err != nil {
-			http.Error(w, "encode snapshot: "+err.Error(), http.StatusInternalServerError)
-			return
-		}
-		body := full
-		if delta != nil && r.URL.Query().Get("delta") == "1" {
-			if db, err := json.Marshal(delta); err == nil && len(db) < len(full) {
-				body = db
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(body)
+		writeSetResponse(w, r, snap, delta)
 	})
+}
+
+// writeSetResponse writes one 200 signature-set response: the full
+// snapshot, or (when the client asked with delta=1 and it is smaller)
+// the per-family delta. Shared by the conditional GET handler and the
+// long-poll watch handler so both speak the identical wire format.
+func writeSetResponse(w http.ResponseWriter, r *http.Request, snap Snapshot, delta *Delta) {
+	full, err := json.Marshal(snap)
+	if err != nil {
+		http.Error(w, "encode snapshot: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body := full
+	if delta != nil && r.URL.Query().Get("delta") == "1" {
+		if db, err := json.Marshal(delta); err == nil && len(db) < len(full) {
+			body = db
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }
 
 // versionETag renders a store version as the strong ETag GET responses
@@ -119,8 +127,9 @@ func (s *Store) handleUpdate(w http.ResponseWriter, r *http.Request) {
 // validating the full set locally), sends If-None-Match so unchanged
 // polls cost a 304 and no body, and compiles what it fetches through an
 // incremental per-family cache so a one-family delta recompiles one
-// family. Fetch/Poll must run from one goroutine; Metrics and Matcher
-// are safe to call from others.
+// family. Run prefers the server-push watch endpoint over polling (see
+// watch.go). Fetch/Poll/Run must run from one goroutine; Metrics and
+// Matcher are safe to call from others.
 type Client struct {
 	// URL is the update endpoint (the path Handler is mounted at).
 	URL string
@@ -131,6 +140,16 @@ type Client struct {
 	// stampede the signature server on one synchronized tick. Zero means
 	// fixed intervals.
 	Jitter float64
+	// JitterSeed seeds this client's private jitter source. Zero draws a
+	// unique seed per client (replicas still de-synchronize), a non-zero
+	// seed makes the jitter sequence deterministic — fleet tests pin it so
+	// schedules reproduce. The client never touches the process-global
+	// math/rand state.
+	JitterSeed int64
+	// WatchURL is the server-push endpoint Run long-polls (the path
+	// WatchHandler is mounted at). Empty derives URL + "/watch", matching
+	// sigserve's mount.
+	WatchURL string
 	// Strict refuses uncertified updates: every fetched set must carry an
 	// attestation at AttestURL whose SetDigest matches the bytes fetched,
 	// and (when CertKey is set) whose HMAC verifies. A rejected update
@@ -147,6 +166,7 @@ type Client struct {
 	etag    string
 	last    Snapshot
 	cache   kizzle.MatcherCache
+	rng     *rand.Rand
 
 	matcher atomic.Pointer[kizzle.Matcher]
 	multi   atomic.Pointer[kizzle.MultiMatcher]
@@ -161,6 +181,10 @@ type Client struct {
 	deltaFailures  atomic.Int64
 	attestVerified atomic.Int64
 	attestRejected atomic.Int64
+	watchUpdates   atomic.Int64
+	watchTicks     atomic.Int64
+	watchDrops     atomic.Int64
+	watchFallback  atomic.Int64
 }
 
 // Matcher returns the compiled form of the last applied snapshot (nil
@@ -185,6 +209,10 @@ func (c *Client) Metrics() map[string]any {
 		"delta_apply_failures": c.deltaFailures.Load(),
 		"attest_verified":      c.attestVerified.Load(),
 		"attest_rejected":      c.attestRejected.Load(),
+		"watch_updates":        c.watchUpdates.Load(),
+		"watch_ticks":          c.watchTicks.Load(),
+		"watch_drops":          c.watchDrops.Load(),
+		"watch_fallback":       c.watchFallback.Load(),
 	}
 }
 
@@ -200,6 +228,15 @@ func (c *Client) Fetch(ctx context.Context) (Snapshot, bool, error) {
 	if err != nil || !ok {
 		return Snapshot{}, false, err
 	}
+	return c.advance(ctx, snap, etag)
+}
+
+// advance runs one fetched snapshot through every deploy gate — compile
+// validation, multi compilation, the strict attestation check — and
+// commits the client's state only past all of them. Shared by the
+// polling and watch paths, so a pushed update obeys exactly the gates a
+// polled one does.
+func (c *Client) advance(ctx context.Context, snap Snapshot, etag string) (Snapshot, bool, error) {
 	m, stats, buildErr := c.cache.Build(snap.Signatures)
 	if buildErr != nil {
 		return Snapshot{}, false, buildErr
@@ -282,16 +319,35 @@ func (c *Client) verifyAttestation(ctx context.Context, snap Snapshot) error {
 	return nil
 }
 
-// fetch performs one conditional GET, optionally asking for a delta, and
-// returns the (reconstructed) full snapshot plus the response's ETag.
-// The caller commits the ETag once the update passes every gate; fetch
-// itself must not, or a rejected update would 304 away on the next poll.
+// statusError carries a non-OK HTTP status so callers can classify it
+// (the watch path downgrades 404/405/501 to "endpoint unsupported").
+type statusError struct {
+	code   int
+	status string
+}
+
+func (e *statusError) Error() string { return "sigdb: server returned " + e.status }
+
+// fetch performs one conditional GET against the poll endpoint; see
+// fetchFrom.
 func (c *Client) fetch(ctx context.Context, wantDelta bool) (Snapshot, string, bool, error) {
+	return c.fetchFrom(ctx, c.URL, wantDelta, true)
+}
+
+// fetchFrom performs one GET against base (the poll endpoint or the
+// long-poll watch endpoint — both speak the identical wire format),
+// optionally asking for a delta, and returns the (reconstructed) full
+// snapshot plus the response's ETag. The caller commits the ETag once
+// the update passes every gate; fetchFrom itself must not, or a rejected
+// update would 304 away on the next poll. conditional controls the
+// If-None-Match header: the watch endpoint decides on since alone, and a
+// parked watch request must not 304 against the ETag it already holds.
+func (c *Client) fetchFrom(ctx context.Context, base string, wantDelta, conditional bool) (Snapshot, string, bool, error) {
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	url := fmt.Sprintf("%s?since=%d", c.URL, c.version)
+	url := fmt.Sprintf("%s?since=%d", base, c.version)
 	if wantDelta {
 		url += "&delta=1"
 	}
@@ -299,7 +355,7 @@ func (c *Client) fetch(ctx context.Context, wantDelta bool) (Snapshot, string, b
 	if err != nil {
 		return Snapshot{}, "", false, fmt.Errorf("sigdb: build request: %w", err)
 	}
-	if c.etag != "" {
+	if conditional && c.etag != "" {
 		req.Header.Set("If-None-Match", c.etag)
 	}
 	resp, err := hc.Do(req)
@@ -313,7 +369,7 @@ func (c *Client) fetch(ctx context.Context, wantDelta bool) (Snapshot, string, b
 		return Snapshot{}, "", false, nil
 	case http.StatusOK:
 	default:
-		return Snapshot{}, "", false, fmt.Errorf("sigdb: server returned %s", resp.Status)
+		return Snapshot{}, "", false, &statusError{code: resp.StatusCode, status: resp.Status}
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -351,12 +407,32 @@ func (c *Client) fetch(ctx context.Context, wantDelta bool) (Snapshot, string, b
 	return snap, etag, true, nil
 }
 
+// seedCounter de-duplicates default jitter seeds across clients created
+// in the same nanosecond (fleet tests construct replicas in a tight
+// loop).
+var seedCounter atomic.Int64
+
+// jitterRand returns this client's private jitter source, seeding it on
+// first use. Per-instance state keeps fleet schedules independent of the
+// process-global math/rand — deterministic when JitterSeed is set, and
+// never perturbed by (or perturbing) other packages' random draws.
+func (c *Client) jitterRand() *rand.Rand {
+	if c.rng == nil {
+		seed := c.JitterSeed
+		if seed == 0 {
+			seed = time.Now().UnixNano() ^ (seedCounter.Add(1) << 40)
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	}
+	return c.rng
+}
+
 // jitteredInterval spreads interval by ±Jitter.
 func (c *Client) jitteredInterval(interval time.Duration) time.Duration {
 	if c.Jitter <= 0 {
 		return interval
 	}
-	f := 1 + c.Jitter*(2*rand.Float64()-1)
+	f := 1 + c.Jitter*(2*c.jitterRand().Float64()-1)
 	d := time.Duration(float64(interval) * f)
 	if d <= 0 {
 		d = interval

@@ -84,6 +84,22 @@ type Store struct {
 	// in, persisted as JSONL at path+".audit" for file-backed stores.
 	attests map[int64]Attestation
 	audit   []AuditRecord
+	// watch is closed (and replaced) on every version change: the
+	// broadcast the long-poll watch endpoint blocks on, so a publish
+	// reaches every parked replica in one RTT instead of a poll interval.
+	watch chan struct{}
+}
+
+// versionWatch returns a channel that is closed at the next version
+// change. Subscribe before reading the version you compare against, or a
+// publish landing between the read and the subscription is missed.
+func (s *Store) versionWatch() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.watch == nil {
+		s.watch = make(chan struct{})
+	}
+	return s.watch
 }
 
 // New creates an in-memory store at version 0.
@@ -208,5 +224,11 @@ func (s *Store) installLocked(candidate Snapshot) (int64, error) {
 	}
 	s.snap = candidate
 	s.recordHistoryLocked()
+	if s.watch != nil {
+		// Wake every parked watcher; the next subscriber gets a fresh
+		// channel.
+		close(s.watch)
+		s.watch = nil
+	}
 	return candidate.Version, nil
 }

@@ -1,0 +1,182 @@
+package sigdb
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// defaultWatchWait bounds how long one watch request parks server-side
+// before answering 304. Under common LB/proxy idle timeouts (60s), so a
+// parked request completes before an intermediary kills it; clients
+// reconnect immediately on the tick, so the stream is effectively
+// continuous.
+const defaultWatchWait = 55 * time.Second
+
+// ErrWatchUnsupported reports that the server has no watch endpoint
+// (404/405/501); Run falls back to jittered conditional polling for the
+// client's lifetime.
+var ErrWatchUnsupported = errors.New("sigdb: server does not support watch")
+
+// WatchHandler serves the server-push side of the distribution channel:
+//
+//	GET <path>?since=<version>[&delta=1]
+//
+// A request whose since is behind the store answers immediately with the
+// same body the poll endpoint would serve (full snapshot, or per-family
+// delta when asked for and smaller). A current request parks until the
+// next publish — completing the moment a newer version installs, so a
+// version change reaches every parked replica in ~1 RTT instead of a
+// poll interval — or until the wait bound elapses, which answers 304 and
+// lets the client reconnect (long-poll heartbeat). Closed client
+// connections release their parked goroutine via the request context.
+func (s *Store) WatchHandler() http.Handler { return s.watchHandler(defaultWatchWait) }
+
+// watchHandler is WatchHandler with the park bound injectable (tests use
+// short waits to pin the 304 heartbeat).
+func (s *Store) watchHandler(maxWait time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		since := int64(-1)
+		if q := r.URL.Query().Get("since"); q != "" {
+			v, err := strconv.ParseInt(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since parameter", http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		deadline := time.NewTimer(maxWait)
+		defer deadline.Stop()
+		for {
+			// Subscribe before reading the version: a publish landing
+			// between the two closes the channel we are about to park on,
+			// so it can never be missed.
+			changed := s.versionWatch()
+			snap, delta := s.snapshotAndDelta(since)
+			if snap.Version > since {
+				w.Header().Set("ETag", versionETag(snap.Version))
+				writeSetResponse(w, r, snap, delta)
+				return
+			}
+			select {
+			case <-changed:
+			case <-r.Context().Done():
+				return
+			case <-deadline.C:
+				w.Header().Set("ETag", versionETag(snap.Version))
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+	})
+}
+
+// watchFetch performs one long-poll round against the watch endpoint and
+// runs any returned update through the same deploy gates as Fetch.
+// (Snapshot, true) means an update deployed; (zero, false, nil) is the
+// server's heartbeat tick (304 after the park bound) — reconnect
+// immediately. ErrWatchUnsupported (wrapped) reports a server without
+// the endpoint.
+func (c *Client) watchFetch(ctx context.Context) (Snapshot, bool, error) {
+	base := c.WatchURL
+	if base == "" {
+		base = c.URL + "/watch"
+	}
+	snap, etag, ok, err := c.fetchFrom(ctx, base, c.last.Version > 0, false)
+	if err != nil {
+		var se *statusError
+		if errors.As(err, &se) {
+			switch se.code {
+			case http.StatusNotFound, http.StatusMethodNotAllowed, http.StatusNotImplemented:
+				return Snapshot{}, false, ErrWatchUnsupported
+			}
+		}
+		return Snapshot{}, false, err
+	}
+	if !ok {
+		c.watchTicks.Add(1)
+		return Snapshot{}, false, nil
+	}
+	snap, updated, err := c.advance(ctx, snap, etag)
+	if updated {
+		c.watchUpdates.Add(1)
+	}
+	return snap, updated, err
+}
+
+// watchBackoffCeiling caps the retry backoff after watch stream drops.
+const watchBackoffCeiling = 15 * time.Second
+
+// Run keeps the client current until ctx cancels, preferring server push
+// with polling as the safety net. It long-polls the watch endpoint —
+// each update deploys through the same validation/strict gates as Fetch,
+// and each completed round reconnects immediately — and degrades
+// gracefully when push is unavailable: a server without the endpoint
+// drops Run to Poll (jittered conditional polling at interval) for good,
+// and a dropped stream retries with capped, jittered exponential backoff
+// while a conditional poll per failed round keeps updates flowing at
+// poll cadence in the meantime. Like Fetch/Poll, Run must be the only
+// goroutine driving this client.
+func (c *Client) Run(ctx context.Context, interval time.Duration, apply func(Snapshot), onError func(error)) {
+	backoff := time.Duration(0)
+	for ctx.Err() == nil {
+		snap, updated, err := c.watchFetch(ctx)
+		if err == nil {
+			backoff = 0
+			if updated {
+				apply(snap)
+			}
+			continue
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		if errors.Is(err, ErrWatchUnsupported) {
+			c.watchFallback.Add(1)
+			if onError != nil {
+				onError(err)
+			}
+			c.Poll(ctx, interval, apply, onError)
+			return
+		}
+		c.watchDrops.Add(1)
+		if onError != nil {
+			onError(err)
+		}
+		// The watch stream dropped (or its update failed a gate). Fall
+		// back to one conditional poll so a pending update still lands,
+		// then back off before re-arming the stream — a crashed server
+		// must not be hammered by the whole fleet reconnecting in a tight
+		// loop.
+		if snap, updated, ferr := c.Fetch(ctx); ferr == nil && updated {
+			apply(snap)
+		}
+		if backoff == 0 {
+			backoff = 250 * time.Millisecond
+		} else if backoff *= 2; backoff > watchBackoffCeiling {
+			backoff = watchBackoffCeiling
+		}
+		if !sleepCtx(ctx, c.jitteredInterval(backoff)) {
+			return
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx cancels; it reports false on
+// cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
