@@ -16,7 +16,7 @@
 //	kizzlegate -listen :8080 -upstream http://origin:80 \
 //	           [-sigfile sigs.json] [-sigurl http://sigserver/signatures] \
 //	           [-watch=true] [-poll 1m] [-jitter 0.1] \
-//	           [-verdicts http://sigserver/verdicts] \
+//	           [-verdicts http://sigserver/verdicts] [-verdictkey SECRET] \
 //	           [-batchdocs 32] [-batchwait 500us] [-metricslisten :8081]
 package main
 
@@ -56,6 +56,7 @@ func run(args []string, ready chan<- http.Handler) error {
 	jitter := fs.Float64("jitter", 0.1, "poll jitter fraction (±), spreads replica polls")
 	watch := fs.Bool("watch", true, "prefer the server-push watch stream over polling (falls back automatically)")
 	verdictsURL := fs.String("verdicts", "", "shared verdict cache URL (e.g. http://sigserver/verdicts); empty disables fleet verdict sharing")
+	verdictKey := fs.String("verdictkey", "", "HMAC key for signing shared verdict publishes (the publisher's -verdictkey)")
 	batchDocs := fs.Int("batchdocs", 32, "admission micro-batch size (0 disables batching)")
 	batchWait := fs.Duration("batchwait", 500*time.Microsecond, "admission window: how long the first document waits for company")
 	metricsListen := fs.String("metricslisten", "", "admin address to serve /metrics on (empty disables)")
@@ -79,6 +80,9 @@ func run(args []string, ready chan<- http.Handler) error {
 	}
 	if *verdictsURL != "" && *batchDocs <= 0 {
 		return fmt.Errorf("-verdicts requires admission batching (-batchdocs > 0)")
+	}
+	if *verdictKey != "" && *verdictsURL == "" {
+		return fmt.Errorf("-verdictkey requires -verdicts")
 	}
 	target, err := url.Parse(*upstream)
 	if err != nil || target.Scheme == "" {
@@ -170,7 +174,7 @@ func run(args []string, ready chan<- http.Handler) error {
 		admit = gateway.NewAdmitter(vetter, *batchDocs, *batchWait)
 		defer admit.Close()
 		if *verdictsURL != "" {
-			verdicts = &verdictcache.HTTPStore{URL: *verdictsURL}
+			verdicts = &verdictcache.HTTPStore{URL: *verdictsURL, Key: []byte(*verdictKey)}
 			admit.UseSharedStore(verdicts)
 			log.Printf("sharing verdicts through %s", *verdictsURL)
 		}

@@ -79,6 +79,7 @@ func run(args []string, ready chan<- http.Handler) error {
 	certVerify := fs.String("certverify", "inprocess", "verification path: inprocess or fleet")
 	certSeed := fs.Int64("certseed", defaultCertSeed, "schedule-permutation seed for the verification path")
 	verdictCap := fs.Int("verdictcache", verdictcache.DefaultCapacity, "capacity of the fleet-shared verdict cache served on /verdicts (0 = default)")
+	verdictKey := fs.String("verdictkey", "", "HMAC key required on /verdicts writes (share with gateway replicas via -verdictkey); empty accepts unauthenticated writes, safe only on an isolated replica network")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -163,7 +164,7 @@ func run(args []string, ready chan<- http.Handler) error {
 	mux.Handle("/signatures/watch", store.WatchHandler())
 	mux.Handle("/attest", store.AttestHandler())
 	mux.Handle("/scan", scans)
-	mux.Handle("/verdicts", verdictcache.Handler(verdicts))
+	mux.Handle("/verdicts", verdictcache.Handler(verdicts, []byte(*verdictKey)))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok v%d\n", store.Version())
 	})
@@ -753,10 +754,14 @@ type scanRequest struct {
 	Documents []string `json:"documents"`
 }
 
-// scanVerdict is one per-document result.
+// scanVerdict is one per-document result. Skipped, when non-empty,
+// reports that the document was not scanned at all and why — a caller
+// must be able to tell "scanned clean" from "never looked at" on the
+// wire, not just from a server-side counter.
 type scanVerdict struct {
 	Blocked bool   `json:"blocked"`
 	Family  string `json:"family,omitempty"`
+	Skipped string `json:"skipped,omitempty"`
 }
 
 // scanResponse is the /scan response body.
@@ -822,14 +827,16 @@ func (h *scanHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	resp := scanResponse{Version: version, Verdicts: make([]scanVerdict, len(req.Documents))}
 	// Apply the fleet-wide per-document cap exactly as the proxy does:
-	// an oversized document passes through unscanned (and counted) —
-	// never truncated-and-scanned, which could vouch "clean" for content
-	// the scan never saw.
+	// an oversized document passes through unscanned — never
+	// truncated-and-scanned, which could vouch "clean" for content the
+	// scan never saw — and its verdict says so, so batch clients can
+	// distinguish "scanned clean" from "skipped oversized".
 	docs := make([]string, 0, len(req.Documents))
 	idx := make([]int, 0, len(req.Documents))
 	for i, d := range req.Documents {
 		if int64(len(d)) > gateway.DefaultMaxScanBytes {
 			h.docsOversized.Add(1)
+			resp.Verdicts[i] = scanVerdict{Skipped: "oversized"}
 			continue
 		}
 		docs = append(docs, d)

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"kizzle/gateway"
 	"kizzle/sigdb"
 	"kizzle/synth"
 )
@@ -173,6 +174,11 @@ func TestScanEndpoint(t *testing.T) {
 		}
 		docs = append(docs, s.Content)
 	}
+	// One document over the per-document cap: skipped, and the verdict
+	// must say so on the wire — "clean" and "never scanned" are different
+	// answers.
+	oversizedAt := len(docs)
+	docs = append(docs, strings.Repeat(" ", int(gateway.DefaultMaxScanBytes)+1))
 	body, err := json.Marshal(scanRequest{Documents: docs})
 	if err != nil {
 		t.Fatal(err)
@@ -198,8 +204,14 @@ func TestScanEndpoint(t *testing.T) {
 	if got.Verdicts[0].Blocked {
 		t.Error("benign document blocked")
 	}
+	if v := got.Verdicts[oversizedAt]; v.Blocked || v.Skipped != "oversized" {
+		t.Errorf("oversized verdict = %+v, want skipped:\"oversized\"", v)
+	}
 	blocked := 0
-	for _, v := range got.Verdicts[1:] {
+	for i, v := range got.Verdicts[1:] {
+		if 1+i != oversizedAt && v.Skipped != "" {
+			t.Errorf("in-cap document %d marked skipped %q", 1+i, v.Skipped)
+		}
 		if v.Blocked {
 			blocked++
 			if v.Family == "" {
@@ -207,8 +219,8 @@ func TestScanEndpoint(t *testing.T) {
 			}
 		}
 	}
-	if blocked < (len(docs)-1)*3/4 {
-		t.Errorf("blocked %d/%d kit documents", blocked, len(docs)-1)
+	if blocked < (len(docs)-2)*3/4 {
+		t.Errorf("blocked %d/%d kit documents", blocked, len(docs)-2)
 	}
 
 	// GET is rejected.

@@ -46,12 +46,13 @@ type Admitter struct {
 	closeMu sync.RWMutex
 	closed  bool
 
-	requests   atomic.Int64
-	batches    atomic.Int64
-	coalesced  atomic.Int64
-	sharedHits atomic.Int64
-	sharedPuts atomic.Int64
-	lat        servemetrics.Hist
+	requests      atomic.Int64
+	batches       atomic.Int64
+	coalesced     atomic.Int64
+	sharedHits    atomic.Int64
+	sharedPuts    atomic.Int64
+	sharedRejects atomic.Int64
+	lat           servemetrics.Hist
 }
 
 type admitReq struct {
@@ -173,7 +174,10 @@ func (a *Admitter) collect(first admitReq) []admitReq {
 // version pin, so a signature update landing mid-batch can never leak a
 // stale verdict into the fleet. Call before serving; decisions stay
 // byte-identical to the unshared path because an entry only ever answers
-// for the exact matcher version that computed it.
+// for the exact matcher version that computed it, and only when its
+// SHA-256 content sum matches the document in hand — the 64-bit cache
+// key alone nominates candidates exactly as in-batch coalescing does,
+// where bytes.Equal plays the same role.
 func (a *Admitter) UseSharedStore(s verdictcache.Store) { a.shared = s }
 
 // dispatch scans a batch's unique documents once and fans decisions back
@@ -212,7 +216,11 @@ func (a *Admitter) dispatch(batch []admitReq) {
 // decideAll resolves a batch's unique documents to decisions: shared
 // verdict store first (when configured and the matcher version is
 // known), local scan for the misses, then version-pinned publication of
-// the freshly scanned verdicts.
+// the freshly scanned verdicts. A shared entry answers only when its
+// SHA-256 content sum matches the document in hand: the XXH64 cache key
+// is attacker-collidable, so serving on bare key equality would let a
+// crafted benign/malicious digest pair turn a cached clean verdict into
+// a fleet-wide scanner bypass.
 func (a *Admitter) decideAll(docs [][]byte, digests []uint64) []Decision {
 	shared := a.shared
 	var ver int64
@@ -225,13 +233,23 @@ func (a *Admitter) decideAll(docs [][]byte, digests []uint64) []Decision {
 		return a.v.VetAllBytes(docs)
 	}
 	out := make([]Decision, len(docs))
+	sums := make([]string, len(docs))
+	for i := range docs {
+		sums[i] = verdictcache.ContentSum(docs[i])
+	}
 	toScan := docs[:0:0]
 	idx := make([]int, 0, len(docs))
 	for i := range docs {
 		if v, ok := shared.Get(ver, digests[i]); ok {
-			out[i] = Decision{Blocked: v.Blocked, Family: v.Family}
-			a.sharedHits.Add(1)
-			continue
+			if v.Sum == sums[i] {
+				out[i] = Decision{Blocked: v.Blocked, Family: v.Family}
+				a.sharedHits.Add(1)
+				continue
+			}
+			// The key nominated an entry computed for different content —
+			// a digest collision (accidental or adversarial) or a corrupt
+			// store. Either way the verdict does not cover these bytes.
+			a.sharedRejects.Add(1)
 		}
 		toScan = append(toScan, docs[i])
 		idx = append(idx, i)
@@ -245,7 +263,7 @@ func (a *Admitter) decideAll(docs [][]byte, digests []uint64) []Decision {
 	// computed by either set, and neither pin would be trustworthy.
 	if a.v.Version() == ver {
 		for j, d := range scanned {
-			shared.Put(ver, digests[idx[j]], verdictcache.Verdict{Blocked: d.Blocked, Family: d.Family})
+			shared.Put(ver, digests[idx[j]], verdictcache.Verdict{Blocked: d.Blocked, Family: d.Family, Sum: sums[idx[j]]})
 			a.sharedPuts.Add(1)
 		}
 	}
@@ -265,6 +283,7 @@ func (a *Admitter) Metrics() map[string]any {
 		"coalesced":         a.coalesced.Load(),
 		"shared_hits":       a.sharedHits.Load(),
 		"shared_puts":       a.sharedPuts.Load(),
+		"shared_rejects":    a.sharedRejects.Load(),
 		"admission_latency": a.lat.Summary(),
 	}
 }

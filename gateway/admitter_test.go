@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"kizzle/internal/contentcache"
 	"kizzle/internal/verdictcache"
 	"kizzle/synth"
 )
@@ -423,6 +424,45 @@ func TestAdmitterSharedStore(t *testing.T) {
 	}
 	if cache.Version() != 2 {
 		t.Errorf("cache version %d, want 2", cache.Version())
+	}
+}
+
+// TestAdmitterSharedStoreChecksumGuard pins the collision defense: the
+// shared cache's 64-bit XXH64 key only nominates an entry, and an entry
+// whose SHA-256 content sum does not match the document in hand — an
+// attacker-constructed digest collision, or a corrupt store — must be
+// ignored: the document is scanned locally and the poisoned entry
+// overwritten with the genuine verdict.
+func TestAdmitterSharedStoreChecksumGuard(t *testing.T) {
+	day := synth.Date(time.August, 5)
+	cache := verdictcache.New(0)
+	v := NewVetter(buildMatcher(t, day))
+	v.SetVersion(1)
+	a := NewAdmitter(v, 8, 200*time.Microsecond)
+	a.UseSharedStore(cache)
+	defer a.Close()
+
+	kit := []byte(kitDoc(t, day))
+	kitKey := contentcache.Digest(string(kit))
+	// Plant a clean verdict under the kit's cache key carrying the sum of
+	// different content — what a digest-colliding benign twin, scanned
+	// and cached clean, would leave behind for the kit page to ride on.
+	cache.Put(1, kitKey, verdictcache.Verdict{
+		Blocked: false,
+		Sum:     verdictcache.ContentSum([]byte("benign colliding twin")),
+	})
+	if d := a.VetBytes(kit); !d.Blocked || d.Family != "Angler" {
+		t.Fatalf("forged clean verdict bypassed the scanner: %+v", d)
+	}
+	if rejects := a.Metrics()["shared_rejects"].(int64); rejects != 1 {
+		t.Errorf("shared_rejects = %d, want 1", rejects)
+	}
+	if hits := a.Metrics()["shared_hits"].(int64); hits != 0 {
+		t.Errorf("shared_hits = %d, want 0", hits)
+	}
+	// The rescan published the genuine verdict over the forged entry.
+	if got, ok := cache.Get(1, kitKey); !ok || !got.Blocked || got.Sum != verdictcache.ContentSum(kit) {
+		t.Errorf("cache entry after rescan: %+v ok=%v", got, ok)
 	}
 }
 

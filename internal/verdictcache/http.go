@@ -3,6 +3,9 @@ package verdictcache
 import (
 	"bytes"
 	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,23 +15,33 @@ import (
 	"time"
 )
 
-// maxVerdictBody caps a verdict POST: a verdict is a bool and a family
-// name, so anything past 4 KiB is malformed or hostile.
+// maxVerdictBody caps a verdict POST: a verdict is a bool, a family
+// name, and a content sum, so anything past 4 KiB is malformed or
+// hostile.
 const maxVerdictBody = 4 << 10
+
+// macHeader carries the writer's HMAC on authenticated verdict POSTs.
+const macHeader = "X-Verdict-MAC"
 
 // Handler exposes a Cache over HTTP as the fleet's shared verdict
 // sidecar:
 //
-//	GET  <path>?version=V&digest=D          → 200 {"blocked":..,"family":..} | 204
+//	GET  <path>?version=V&digest=D          → 200 {"blocked":..,"family":..,"sum":..} | 204
 //	POST <path>?version=V&digest=D  + body  → 204
 //
 // Every parameter is validated on the wire — version must be a positive
 // decimal int64, digest an unsigned decimal uint64, and a POSTed verdict
-// must be a small well-formed JSON object whose family is empty unless
-// blocked — so a confused or hostile client cannot plant junk keys or
-// oversized entries. Cache semantics (version wipes, stale drops) are
-// the Cache's own.
-func Handler(c *Cache) http.Handler {
+// must be a small well-formed JSON object carrying a well-formed content
+// sum whose family is empty unless blocked — so a confused or hostile
+// client cannot plant junk keys or oversized entries. When key is
+// non-empty, POSTs must additionally carry an X-Verdict-MAC header
+// holding the hex HMAC-SHA256 of the (version, digest, body) tuple under
+// that key: a cached verdict overrides scan decisions fleet-wide, so
+// write access is gated on the same shared-secret footing as signature
+// attestations. An empty key accepts unauthenticated writes and is only
+// safe when the endpoint is reachable from replicas alone. Cache
+// semantics (version wipes, stale drops) are the Cache's own.
+func Handler(c *Cache, key []byte) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		version, digest, err := wireKey(r)
 		if err != nil {
@@ -52,6 +65,10 @@ func Handler(c *Cache) http.Handler {
 			}
 			if len(body) > maxVerdictBody {
 				http.Error(w, "verdict too large", http.StatusRequestEntityTooLarge)
+				return
+			}
+			if len(key) > 0 && !verifyWriteMAC(key, version, digest, body, r.Header.Get(macHeader)) {
+				http.Error(w, "missing or invalid "+macHeader, http.StatusForbidden)
 				return
 			}
 			v, err := decodeVerdict(body)
@@ -82,7 +99,9 @@ func wireKey(r *http.Request) (version int64, digest uint64, err error) {
 }
 
 // decodeVerdict parses a wire verdict strictly: unknown fields rejected,
-// family only meaningful on blocked verdicts.
+// family only meaningful on blocked verdicts, content sum required and
+// well-formed (an entry without a verifiable sum could never be safely
+// consumed, so it must never enter the cache).
 func decodeVerdict(body []byte) (Verdict, error) {
 	var v Verdict
 	dec := json.NewDecoder(bytes.NewReader(body))
@@ -93,7 +112,44 @@ func decodeVerdict(body []byte) (Verdict, error) {
 	if !v.Blocked && v.Family != "" {
 		return Verdict{}, fmt.Errorf("family on unblocked verdict")
 	}
+	if !validSum(v.Sum) {
+		return Verdict{}, fmt.Errorf("missing or malformed verdict sum")
+	}
 	return v, nil
+}
+
+// validSum reports whether s is a well-formed ContentSum: exactly the
+// lowercase hex of one SHA-256.
+func validSum(s string) bool {
+	if len(s) != sha256.Size*2 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// writeMAC computes the HMAC an authenticated verdict POST must carry:
+// HMAC-SHA256 over a domain-separated encoding of the key tuple and the
+// exact body bytes, so a captured MAC cannot be replayed onto a
+// different (version, digest) or a different verdict.
+func writeMAC(key []byte, version int64, digest uint64, body []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	fmt.Fprintf(mac, "kizzle-verdict-v1\n%d\n%d\n", version, digest)
+	mac.Write(body)
+	return mac.Sum(nil)
+}
+
+// verifyWriteMAC checks a presented hex MAC header in constant time.
+func verifyWriteMAC(key []byte, version int64, digest uint64, body []byte, header string) bool {
+	presented, err := hex.DecodeString(header)
+	if err != nil {
+		return false
+	}
+	return hmac.Equal(presented, writeMAC(key, version, digest, body))
 }
 
 // defaultHTTPTimeout bounds one sidecar round trip. The cache is an
@@ -114,6 +170,10 @@ const defaultCooldown = 5 * time.Second
 type HTTPStore struct {
 	// URL is the sidecar endpoint (e.g. http://sigserve:8344/verdicts).
 	URL string
+	// Key, when non-empty, signs every Put with the X-Verdict-MAC header
+	// a keyed sidecar requires (sigserve -verdictkey). Empty sends
+	// unauthenticated writes, for sidecars on isolated replica networks.
+	Key []byte
 	// Client overrides the HTTP client; nil uses a dedicated client with
 	// defaultHTTPTimeout.
 	Client *http.Client
@@ -222,6 +282,9 @@ func (s *HTTPStore) Put(version int64, digest uint64, v Verdict) {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if len(s.Key) > 0 {
+		req.Header.Set(macHeader, hex.EncodeToString(writeMAC(s.Key, version, digest, body)))
+	}
 	resp, err := s.client().Do(req)
 	if err != nil {
 		s.fail()

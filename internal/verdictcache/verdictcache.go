@@ -8,17 +8,25 @@
 // version, which the key pins.
 //
 // The cache is deliberately dumb about content: it stores digests and
-// verdicts, never documents, so a poisoned entry can at worst replay a
-// verdict for a digest-colliding document (the admitter treats cached
-// verdicts as advisory for exactly the matcher version they were scanned
-// under, and a version bump wipes the cache wholesale). It ships in two
-// deployments: in-process (gateload's fleet harness shares one *Cache
-// across replicas) and as an HTTP sidecar (Handler inside sigserve,
-// HTTPStore as the gateway-side client).
+// verdicts, never documents. Because the 64-bit lookup key is a fast
+// non-cryptographic hash — and the adversary controls the documents, so
+// colliding pairs are constructible — the key only ever nominates a
+// candidate: every entry carries the SHA-256 of the content its verdict
+// was computed for (Verdict.Sum), and the admitter compares it against
+// the document in hand on every hit. A collision, accidental or crafted,
+// therefore degrades to a cache miss and a local scan — never an
+// unscanned admit. Entries are additionally advisory for exactly the
+// matcher version they were scanned under, and a version bump wipes the
+// cache wholesale. It ships in two deployments: in-process (gateload's
+// fleet harness shares one *Cache across replicas) and as an HTTP
+// sidecar (Handler inside sigserve, HTTPStore as the gateway-side
+// client).
 package verdictcache
 
 import (
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"sync"
 	"sync/atomic"
 )
@@ -30,6 +38,22 @@ type Verdict struct {
 	Blocked bool `json:"blocked"`
 	// Family is the detected kit for blocked verdicts; empty otherwise.
 	Family string `json:"family,omitempty"`
+	// Sum is the lowercase hex SHA-256 of the document content the
+	// verdict was computed for (ContentSum). The cache's 64-bit key is
+	// non-cryptographic, so it only nominates this entry; a consumer must
+	// compare Sum against the content sum of the document in hand and
+	// treat any mismatch as a miss.
+	Sum string `json:"sum"`
+}
+
+// ContentSum returns the checksum a Verdict carries in Sum for the given
+// document: its lowercase hex SHA-256. Cryptographic strength is the
+// point — the XXH64 cache key is collision-constructible by an adversary
+// who controls the documents, so verdict identity must rest on a hash it
+// cannot forge a second preimage for.
+func ContentSum(doc []byte) string {
+	h := sha256.Sum256(doc)
+	return hex.EncodeToString(h[:])
 }
 
 // Store is the interface the gateway admitter consults: in-process

@@ -1,6 +1,7 @@
 package verdictcache
 
 import (
+	"encoding/hex"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -115,7 +116,8 @@ func TestCacheConcurrent(t *testing.T) {
 
 func TestHandlerWireValidation(t *testing.T) {
 	c := New(8)
-	h := Handler(c)
+	h := Handler(c, nil)
+	sum := ContentSum([]byte("some document"))
 	cases := []struct {
 		method, target, body string
 		want                 int
@@ -126,11 +128,16 @@ func TestHandlerWireValidation(t *testing.T) {
 		{"GET", "/verdicts?version=1&digest=banana", "", http.StatusBadRequest},
 		{"GET", "/verdicts?version=1&digest=-1", "", http.StatusBadRequest},
 		{"GET", "/verdicts?version=1", "", http.StatusBadRequest},
-		{"POST", "/verdicts?version=1&digest=42", `{"blocked":true,"family":"x"}`, http.StatusNoContent},
-		{"POST", "/verdicts?version=1&digest=43", `{"blocked":false}`, http.StatusNoContent},
-		{"POST", "/verdicts?version=1&digest=44", `{"blocked":false,"family":"x"}`, http.StatusBadRequest},
+		{"POST", "/verdicts?version=1&digest=42", `{"blocked":true,"family":"x","sum":"` + sum + `"}`, http.StatusNoContent},
+		{"POST", "/verdicts?version=1&digest=43", `{"blocked":false,"sum":"` + sum + `"}`, http.StatusNoContent},
+		{"POST", "/verdicts?version=1&digest=44", `{"blocked":false,"family":"x","sum":"` + sum + `"}`, http.StatusBadRequest},
 		{"POST", "/verdicts?version=1&digest=45", `{"nope":1}`, http.StatusBadRequest},
 		{"POST", "/verdicts?version=1&digest=46", `{"blocked":true,"family":"` + strings.Repeat("a", maxVerdictBody) + `"}`, http.StatusRequestEntityTooLarge},
+		// A verdict without a verifiable content sum can never be safely
+		// consumed, so it must never enter the cache.
+		{"POST", "/verdicts?version=1&digest=47", `{"blocked":false}`, http.StatusBadRequest},
+		{"POST", "/verdicts?version=1&digest=48", `{"blocked":false,"sum":"abc123"}`, http.StatusBadRequest},
+		{"POST", "/verdicts?version=1&digest=49", `{"blocked":false,"sum":"` + strings.ToUpper(sum) + `"}`, http.StatusBadRequest},
 		{"DELETE", "/verdicts?version=1&digest=42", "", http.StatusMethodNotAllowed},
 	}
 	for _, tc := range cases {
@@ -140,14 +147,77 @@ func TestHandlerWireValidation(t *testing.T) {
 			t.Errorf("%s %s: status %d, want %d", tc.method, tc.target, rec.Code, tc.want)
 		}
 	}
-	// The valid put landed and round-trips.
+	// The valid put landed and round-trips, content sum included.
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/verdicts?version=1&digest=42", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d, want 200", rec.Code)
 	}
-	if got := strings.TrimSpace(rec.Body.String()); got != `{"blocked":true,"family":"x"}` {
+	if got := strings.TrimSpace(rec.Body.String()); got != `{"blocked":true,"family":"x","sum":"`+sum+`"}` {
 		t.Fatalf("body %q", got)
+	}
+}
+
+// TestHandlerAuthenticatedWrites pins the write gate: against a keyed
+// sidecar, a POST without a MAC — or with a wrong one — is refused
+// before it can plant a verdict, a correctly signed POST lands, and
+// reads stay open.
+func TestHandlerAuthenticatedWrites(t *testing.T) {
+	key := []byte("fleet-secret")
+	c := New(8)
+	h := Handler(c, key)
+	sum := ContentSum([]byte("doc"))
+	body := `{"blocked":false,"sum":"` + sum + `"}`
+
+	post := func(mac string) int {
+		req := httptest.NewRequest("POST", "/verdicts?version=1&digest=7", strings.NewReader(body))
+		if mac != "" {
+			req.Header.Set(macHeader, mac)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if got := post(""); got != http.StatusForbidden {
+		t.Errorf("unsigned POST: status %d, want 403", got)
+	}
+	if got := post("deadbeef"); got != http.StatusForbidden {
+		t.Errorf("wrong MAC: status %d, want 403", got)
+	}
+	// A MAC for a different (version, digest) must not replay onto this one.
+	replayed := hex.EncodeToString(writeMAC(key, 2, 7, []byte(body)))
+	if got := post(replayed); got != http.StatusForbidden {
+		t.Errorf("replayed MAC: status %d, want 403", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("unauthenticated write landed: %d entries", c.Len())
+	}
+	good := hex.EncodeToString(writeMAC(key, 1, 7, []byte(body)))
+	if got := post(good); got != http.StatusNoContent {
+		t.Errorf("signed POST: status %d, want 204", got)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/verdicts?version=1&digest=7", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("read against keyed sidecar: status %d, want 200", rec.Code)
+	}
+
+	// HTTPStore round-trip: a keyed client writes through, an unkeyed one
+	// is refused (and records the failure).
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	keyed := &HTTPStore{URL: srv.URL, Key: key}
+	keyed.Put(1, 8, Verdict{Blocked: true, Family: "kit", Sum: sum})
+	if v, ok := keyed.Get(1, 8); !ok || v.Family != "kit" {
+		t.Errorf("keyed round trip: %+v ok=%v", v, ok)
+	}
+	unkeyed := &HTTPStore{URL: srv.URL}
+	unkeyed.Put(1, 9, Verdict{Sum: sum})
+	if _, ok := keyed.Get(1, 9); ok {
+		t.Error("unkeyed Put landed on a keyed sidecar")
+	}
+	if unkeyed.Metrics()["errors"].(int64) != 1 {
+		t.Errorf("unkeyed errors = %v, want 1", unkeyed.Metrics()["errors"])
 	}
 }
 
@@ -155,7 +225,7 @@ func TestHandlerWireValidation(t *testing.T) {
 // including cross-client sharing (one replica's Put is another's hit).
 func TestHTTPStoreRoundTrip(t *testing.T) {
 	c := New(64)
-	srv := httptest.NewServer(Handler(c))
+	srv := httptest.NewServer(Handler(c, nil))
 	defer srv.Close()
 
 	a := &HTTPStore{URL: srv.URL}
@@ -163,9 +233,10 @@ func TestHTTPStoreRoundTrip(t *testing.T) {
 	if _, ok := a.Get(3, 7); ok {
 		t.Fatal("hit on empty sidecar")
 	}
-	a.Put(3, 7, Verdict{Blocked: true, Family: "kit"})
+	sum := ContentSum([]byte("hot landing page"))
+	a.Put(3, 7, Verdict{Blocked: true, Family: "kit", Sum: sum})
 	v, ok := b.Get(3, 7)
-	if !ok || v.Family != "kit" {
+	if !ok || v.Family != "kit" || v.Sum != sum {
 		t.Fatalf("cross-client get: %+v ok=%v", v, ok)
 	}
 	if b.Metrics()["hits"].(int64) != 1 {

@@ -88,22 +88,26 @@ func parseEntity(s string) (r rune, length int, ok bool) {
 	}
 	if s[1] == '#' {
 		i := 2
-		base := rune(10)
+		base := int64(10)
 		if s[i] == 'x' || s[i] == 'X' {
 			base = 16
 			i++
 		}
 		start := i
-		var v rune
+		// Accumulate in int64: 8 hex digits reach 0xFFFFFFFF, which would
+		// wrap a rune (int32) negative and slip past the MaxRune guard —
+		// int64 holds any ≤8-digit value exactly, so wide references like
+		// &#xFFFFFFFF; fail the range check and pass through verbatim.
+		var v int64
 		for i < len(s) && i-start < 8 {
-			var d rune
+			var d int64
 			switch c := s[i]; {
 			case isDigit(c):
-				d = rune(c - '0')
+				d = int64(c - '0')
 			case base == 16 && c >= 'a' && c <= 'f':
-				d = rune(c-'a') + 10
+				d = int64(c-'a') + 10
 			case base == 16 && c >= 'A' && c <= 'F':
-				d = rune(c-'A') + 10
+				d = int64(c-'A') + 10
 			default:
 				d = -1
 			}
@@ -119,7 +123,7 @@ func parseEntity(s string) (r rune, length int, ok bool) {
 		if v == 0 || v > unicode.MaxRune || (v >= 0xD800 && v <= 0xDFFF) {
 			return 0, 0, false
 		}
-		return v, i + 1, true
+		return rune(v), i + 1, true
 	}
 	i := 1
 	for i < len(s) && i <= maxEntityName && (isAlpha(s[i]) || isDigit(s[i])) {

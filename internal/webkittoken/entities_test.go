@@ -29,6 +29,12 @@ func TestDecodeEntities(t *testing.T) {
 		{"&#0;", "&#0;"},
 		{"&#xD800;", "&#xD800;"},
 		{"&#99999999;", "&#99999999;"},
+		// 8-hex-digit values above 0x7FFFFFFF would wrap an int32
+		// accumulator negative and slip past the MaxRune guard; they must
+		// pass through verbatim, not decode to U+FFFD.
+		{"&#xFFFFFFFF;", "&#xFFFFFFFF;"},
+		{"&#x80000000;", "&#x80000000;"},
+		{"&#x00110000;", "&#x00110000;"},
 		{"tail &", "tail &"},
 		{"&&lt;", "&<"},
 		// Mixed document: decodable and junk interleaved.

@@ -150,6 +150,14 @@ type Client struct {
 	// WatchHandler is mounted at). Empty derives URL + "/watch", matching
 	// sigserve's mount.
 	WatchURL string
+	// WatchMinRound floors one no-update watch round: Run treats a round
+	// that completes faster than this without delivering an update (an
+	// intermediary answering 304 eagerly, a non-store server replying
+	// not-newer immediately) as suspicious and sleeps the difference, so
+	// a misbehaving endpoint sees at most ~1/WatchMinRound requests per
+	// replica instead of a fleet-wide busy loop. Zero takes
+	// defaultWatchMinRound (1s); negative disables pacing.
+	WatchMinRound time.Duration
 	// Strict refuses uncertified updates: every fetched set must carry an
 	// attestation at AttestURL whose SetDigest matches the bytes fetched,
 	// and (when CertKey is set) whose HMAC verifies. A rejected update
@@ -185,6 +193,7 @@ type Client struct {
 	watchTicks     atomic.Int64
 	watchDrops     atomic.Int64
 	watchFallback  atomic.Int64
+	watchPaced     atomic.Int64
 }
 
 // Matcher returns the compiled form of the last applied snapshot (nil
@@ -213,6 +222,7 @@ func (c *Client) Metrics() map[string]any {
 		"watch_ticks":          c.watchTicks.Load(),
 		"watch_drops":          c.watchDrops.Load(),
 		"watch_fallback":       c.watchFallback.Load(),
+		"watch_paced":          c.watchPaced.Load(),
 	}
 }
 

@@ -113,24 +113,52 @@ func (c *Client) watchFetch(ctx context.Context) (Snapshot, bool, error) {
 // watchBackoffCeiling caps the retry backoff after watch stream drops.
 const watchBackoffCeiling = 15 * time.Second
 
+// defaultWatchMinRound is the pacing floor for no-update watch rounds: a
+// healthy round either delivers an update or parks server-side for tens
+// of seconds, so one finishing this fast without news means something in
+// the path (an eager intermediary, a non-store implementation) is
+// answering immediately — and with no floor, every replica would spin
+// the full fleet's request rate against it.
+const defaultWatchMinRound = time.Second
+
+// watchMinRound resolves the client's pacing floor (see WatchMinRound).
+func (c *Client) watchMinRound() time.Duration {
+	if c.WatchMinRound != 0 {
+		return c.WatchMinRound
+	}
+	return defaultWatchMinRound
+}
+
 // Run keeps the client current until ctx cancels, preferring server push
 // with polling as the safety net. It long-polls the watch endpoint —
 // each update deploys through the same validation/strict gates as Fetch,
-// and each completed round reconnects immediately — and degrades
-// gracefully when push is unavailable: a server without the endpoint
-// drops Run to Poll (jittered conditional polling at interval) for good,
-// and a dropped stream retries with capped, jittered exponential backoff
-// while a conditional poll per failed round keeps updates flowing at
-// poll cadence in the meantime. Like Fetch/Poll, Run must be the only
-// goroutine driving this client.
+// and each completed round reconnects immediately (a round that answers
+// suspiciously fast without an update is paced to WatchMinRound, so an
+// eager 304-answering intermediary cannot turn the fleet into a busy
+// loop) — and degrades gracefully when push is unavailable: a server
+// without the endpoint drops Run to Poll (jittered conditional polling
+// at interval) for good, and a dropped stream retries with capped,
+// jittered exponential backoff while a conditional poll per failed round
+// keeps updates flowing at poll cadence in the meantime. Like
+// Fetch/Poll, Run must be the only goroutine driving this client.
 func (c *Client) Run(ctx context.Context, interval time.Duration, apply func(Snapshot), onError func(error)) {
 	backoff := time.Duration(0)
 	for ctx.Err() == nil {
+		start := time.Now()
 		snap, updated, err := c.watchFetch(ctx)
 		if err == nil {
 			backoff = 0
 			if updated {
 				apply(snap)
+			} else if elapsed := time.Since(start); elapsed < c.watchMinRound() {
+				// An empty round should have parked server-side for ~the
+				// wait bound; one returning immediately means the endpoint
+				// is answering eagerly. Sleep out the floor (jittered, so
+				// paced replicas de-synchronize) instead of hammering it.
+				c.watchPaced.Add(1)
+				if !sleepCtx(ctx, c.jitteredInterval(c.watchMinRound()-elapsed)) {
+					return
+				}
 			}
 			continue
 		}

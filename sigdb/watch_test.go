@@ -230,6 +230,33 @@ func TestWatchReconnectAfterDrop(t *testing.T) {
 	<-done
 }
 
+// TestWatchPacesEagerServer pins the anti-busy-loop floor: an endpoint
+// that answers every watch round immediately with 304 (an intermediary,
+// a non-store implementation — no server-side park at all) must see
+// paced reconnects, not a tight request loop.
+func TestWatchPacesEagerServer(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+	}))
+	defer srv.Close()
+
+	c := &Client{URL: srv.URL + "/signatures", JitterSeed: 5, WatchMinRound: 20 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	c.Run(ctx, time.Hour, func(Snapshot) {}, nil)
+
+	// ~12 paced rounds fit in 250ms at a 20ms floor; an unpaced loop
+	// against a local immediate responder would make thousands.
+	if n := calls.Load(); n > 30 {
+		t.Fatalf("eager 304 endpoint saw %d watch rounds in 250ms; pacing failed", n)
+	}
+	if c.Metrics()["watch_paced"].(int64) == 0 {
+		t.Error("watch_paced = 0, want > 0")
+	}
+}
+
 // TestWatchFallsBackToPolling pins the unsupported-endpoint path: against
 // a server with only the poll endpoint, Run degrades to Poll and still
 // delivers updates at poll cadence.
@@ -288,7 +315,9 @@ func TestWatchTickReconnects(t *testing.T) {
 	srv := watchServer(store, 15*time.Millisecond)
 	defer srv.Close()
 
-	c := &Client{URL: srv.URL + "/signatures", JitterSeed: 3}
+	// A sub-floor WatchMinRound keeps the deliberately fast heartbeats of
+	// this test from being paced (pacing itself is pinned separately).
+	c := &Client{URL: srv.URL + "/signatures", JitterSeed: 3, WatchMinRound: -1}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	if _, ok, err := c.Fetch(ctx); err != nil || !ok {
